@@ -1,0 +1,107 @@
+#pragma once
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every binary accepts:
+//   --paper          run at the paper's full parameter ranges (slow)
+//   --seed <u64>     root seed (default 42)
+//   --reps <n>       repetitions per configuration
+//   --timeout <ms>   per-search budget
+//   --csv            also emit machine-readable CSV after the table
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/ecf.hpp"
+#include "core/lns.hpp"
+#include "core/problem.hpp"
+#include "core/rwb.hpp"
+#include "core/search.hpp"
+#include "expr/constraint.hpp"
+#include "topo/brite.hpp"
+#include "topo/composite.hpp"
+#include "topo/regular.hpp"
+#include "topo/sample.hpp"
+#include "trace/planetlab.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace netembed::bench {
+
+struct BenchConfig {
+  bool paper = false;
+  bool csv = false;
+  std::uint64_t seed = 42;
+  std::size_t reps = 3;
+  std::chrono::milliseconds timeout{1500};
+
+  static BenchConfig fromArgs(const util::ArgParser& args,
+                              std::size_t defaultReps = 3,
+                              long long defaultTimeoutMs = 1500) {
+    BenchConfig cfg;
+    cfg.paper = args.getBool("paper");
+    cfg.csv = args.getBool("csv");
+    cfg.seed = args.getSeed("seed", 42);
+    cfg.reps = static_cast<std::size_t>(args.getInt("reps", static_cast<long long>(
+                                                                cfg.paper ? 5 : defaultReps)));
+    cfg.timeout = std::chrono::milliseconds(
+        args.getInt("timeout", cfg.paper ? 60'000 : defaultTimeoutMs));
+    return cfg;
+  }
+};
+
+/// The synthetic PlanetLab hosting network (cached per process).
+inline const graph::Graph& planetlabHost(std::uint64_t seed = 42) {
+  static const graph::Graph host = [seed] {
+    trace::PlanetLabOptions options;
+    options.seed = seed;
+    return trace::synthesize(options);
+  }();
+  return host;
+}
+
+/// A feasible delay-window query: connected subgraph of `host` with `nodes`
+/// nodes and ~`edges` edges, windows widened by `tolerance`.
+inline graph::Graph sampledDelayQuery(const graph::Graph& host, std::size_t nodes,
+                                      std::size_t edges, double tolerance,
+                                      util::Rng& rng) {
+  auto sub = topo::sampleConnectedSubgraph(host, nodes, edges, rng);
+  topo::widenDelayWindows(sub.graph, tolerance);
+  return std::move(sub.graph);
+}
+
+inline core::EmbedResult runAlgorithm(core::Algorithm algorithm,
+                                      const core::Problem& problem,
+                                      const core::SearchOptions& options) {
+  switch (algorithm) {
+    case core::Algorithm::ECF: return core::ecfSearch(problem, options);
+    case core::Algorithm::RWB: return core::rwbSearch(problem, options);
+    case core::Algorithm::LNS: return core::lnsSearch(problem, options);
+    default: throw std::invalid_argument("runAlgorithm: unsupported algorithm");
+  }
+}
+
+/// Format "mean +/- ci" with 1 decimal.
+inline std::string meanCi(const util::RunningStats& stats) {
+  if (stats.count() == 0) return "-";
+  return util::formatFixed(stats.mean(), 1) + " +/- " +
+         util::formatFixed(stats.ci95HalfWidth(), 1);
+}
+
+/// Emit a table and (optionally) CSV to stdout.
+inline void emit(const std::string& title, util::TablePrinter& table,
+                 const std::vector<std::vector<std::string>>& csvRows,
+                 const std::vector<std::string>& csvHeader, bool csv) {
+  std::cout << "\n=== " << title << " ===\n";
+  table.print(std::cout);
+  if (csv) {
+    util::CsvWriter writer(std::cout);
+    writer.row(csvHeader);
+    for (const auto& row : csvRows) writer.row(row);
+  }
+  std::cout.flush();
+}
+
+}  // namespace netembed::bench

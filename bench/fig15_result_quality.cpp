@@ -1,0 +1,118 @@
+// Figure 15: probability distribution of result types per query class and
+// algorithm, under a fixed time budget:
+//   * all      — search exhausted: the COMPLETE set of embeddings returned
+//                (for infeasible queries: infeasibility proven)
+//   * some     — timed out after finding at least one embedding (partial)
+//   * none     — timed out with nothing found (inconclusive)
+//
+// Expected shape: >70% success (all+some) almost everywhere; LNS beats ECF
+// on regular classes (clique/composite); ECF beats LNS on tightly
+// constrained subgraph queries.
+
+#include <functional>
+
+#include "common.hpp"
+
+using namespace netembed;
+using namespace netembed::bench;
+
+namespace {
+
+struct QueryClass {
+  std::string name;
+  std::function<graph::Graph(util::Rng&)> make;
+  const char* constraint;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  const BenchConfig cfg = BenchConfig::fromArgs(args, 10, 400);
+
+  const graph::Graph& host = planetlabHost(cfg.seed);
+  const std::size_t subgraphNodes = cfg.paper ? 100 : 30;
+  const std::size_t cliqueSize = cfg.paper ? 10 : 6;
+
+  const std::vector<QueryClass> classes = {
+      {"subgraph",
+       [&](util::Rng& rng) {
+         return sampledDelayQuery(host, subgraphNodes, 3 * subgraphNodes, 0.02, rng);
+       },
+       topo::delayWindowConstraint()},
+      {"subgraph-infeasible",
+       [&](util::Rng& rng) {
+         graph::Graph q =
+             sampledDelayQuery(host, subgraphNodes, 3 * subgraphNodes, 0.02, rng);
+         topo::makeInfeasible(q, 0.25, rng);
+         return q;
+       },
+       topo::delayWindowConstraint()},
+      {"clique",
+       [&](util::Rng&) { return topo::cliqueQuery(cliqueSize, 10.0, 100.0); },
+       topo::avgDelayWindowConstraint()},
+      {"composite-regular",
+       [&](util::Rng&) {
+         topo::CompositeSpec spec;
+         spec.groups = 4;
+         spec.groupSize = 5;
+         graph::Graph q = topo::composite(spec);
+         topo::assignLevelDelayWindows(q, 75.0, 350.0, 1.0, 75.0);
+         return q;
+       },
+       topo::avgDelayWindowConstraint()},
+      {"composite-irregular",
+       [&](util::Rng& rng) {
+         topo::CompositeSpec spec;
+         spec.groups = 4;
+         spec.groupSize = 5;
+         graph::Graph q = topo::composite(spec);
+         topo::assignRandomDelayWindows(q, 25.0, 175.0, 60.0, rng);
+         return q;
+       },
+       topo::avgDelayWindowConstraint()}};
+
+  const core::Algorithm algos[3] = {core::Algorithm::ECF, core::Algorithm::RWB,
+                                    core::Algorithm::LNS};
+
+  util::TablePrinter table({"class", "algorithm", "P(all)", "P(some)", "P(none)"});
+  std::vector<std::vector<std::string>> csvRows;
+
+  for (const QueryClass& queryClass : classes) {
+    for (int a = 0; a < 3; ++a) {
+      std::size_t all = 0, some = 0, none = 0;
+      for (std::size_t rep = 0; rep < cfg.reps; ++rep) {
+        util::Rng rng(util::deriveSeed(cfg.seed, rep * 31 + a));
+        const graph::Graph query = queryClass.make(rng);
+        const auto constraints = expr::ConstraintSet::edgeOnly(queryClass.constraint);
+        const core::Problem problem(query, host, constraints);
+        core::SearchOptions options;
+        options.timeout = cfg.timeout;
+        options.storeLimit = 1;
+        options.seed = rep + 1;
+        // RWB is a first-match algorithm by design (the paper notes it
+        // always returns a partial result); the others enumerate.
+        if (algos[a] == core::Algorithm::RWB) options.maxSolutions = 1;
+        const auto result = runAlgorithm(algos[a], problem, options);
+        switch (result.outcome) {
+          case core::Outcome::Complete: ++all; break;
+          case core::Outcome::Partial: ++some; break;
+          case core::Outcome::Inconclusive: ++none; break;
+        }
+      }
+      const double total = static_cast<double>(cfg.reps);
+      table.addRow({queryClass.name, core::algorithmName(algos[a]),
+                    util::formatFixed(all / total, 2), util::formatFixed(some / total, 2),
+                    util::formatFixed(none / total, 2)});
+      csvRows.push_back({queryClass.name, core::algorithmName(algos[a]),
+                         util::CsvWriter::field(all / total),
+                         util::CsvWriter::field(some / total),
+                         util::CsvWriter::field(none / total)});
+    }
+  }
+
+  emit("Figure 15: probability of result types per query class (budget " +
+           std::to_string(cfg.timeout.count()) + " ms)",
+       table, csvRows, {"class", "algorithm", "p_all", "p_some", "p_none"}, cfg.csv);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Microbenchmarks for the constraint expression engine: parse+compile cost,
+// and the bytecode VM vs. the AST interpreter on the paper's example
+// expressions (the interpreter-vs-VM ablation).
+
+#include <benchmark/benchmark.h>
+
+#include "expr/constraint.hpp"
+#include "expr/parser.hpp"
+#include "expr/vm.hpp"
+#include "graph/attr_map.hpp"
+
+namespace {
+
+using namespace netembed;
+
+const char* const kDelayTolerance =
+    "rEdge.avgDelay>=0.90*vEdge.avgDelay && rEdge.avgDelay<=1.10*vEdge.avgDelay";
+const char* const kDelayWindow =
+    "rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay";
+const char* const kGeoDistance =
+    "sqrt((vSource.x-vTarget.x)*(vSource.x-vTarget.x)+"
+    "(vSource.y-vTarget.y)*(vSource.y-vTarget.y)) < 100.0";
+const char* const kBinding = "isBoundTo(vSource.osType, rSource.osType)";
+
+struct Context {
+  graph::AttrMap vEdge, rEdge, vSource, vTarget, rSource, rTarget;
+  expr::EvalContext ctx;
+
+  Context() {
+    vEdge.set("avgDelay", 100.0);
+    vEdge.set("minDelay", 90.0);
+    vEdge.set("maxDelay", 120.0);
+    rEdge.set("avgDelay", 95.0);
+    rEdge.set("minDelay", 92.0);
+    rEdge.set("maxDelay", 110.0);
+    vSource.set("x", 10.0);
+    vSource.set("y", 20.0);
+    vSource.set("osType", "linux-2.6");
+    vTarget.set("x", 40.0);
+    vTarget.set("y", 60.0);
+    rSource.set("osType", "linux-2.6");
+    ctx.bind(expr::ObjectId::VEdge, vEdge);
+    ctx.bind(expr::ObjectId::REdge, rEdge);
+    ctx.bind(expr::ObjectId::VSource, vSource);
+    ctx.bind(expr::ObjectId::VTarget, vTarget);
+    ctx.bind(expr::ObjectId::RSource, rSource);
+    ctx.bind(expr::ObjectId::RTarget, rTarget);
+  }
+};
+
+void BM_ParseAndCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    const expr::Ast ast = expr::parse(kDelayTolerance);
+    const expr::Program program = expr::compile(ast);
+    benchmark::DoNotOptimize(program.code().size());
+  }
+}
+BENCHMARK(BM_ParseAndCompile);
+
+void benchVm(benchmark::State& state, const char* source) {
+  const Context fixture;
+  const expr::Ast ast = expr::parse(source);
+  const expr::Program program = expr::compile(ast);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::run(program, fixture.ctx));
+  }
+}
+
+void benchInterp(benchmark::State& state, const char* source) {
+  const Context fixture;
+  const expr::Ast ast = expr::parse(source);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::evalAst(*ast.root, fixture.ctx).truthy());
+  }
+}
+
+void BM_VmDelayTolerance(benchmark::State& s) { benchVm(s, kDelayTolerance); }
+void BM_InterpDelayTolerance(benchmark::State& s) { benchInterp(s, kDelayTolerance); }
+void BM_VmDelayWindow(benchmark::State& s) { benchVm(s, kDelayWindow); }
+void BM_InterpDelayWindow(benchmark::State& s) { benchInterp(s, kDelayWindow); }
+void BM_VmGeoDistance(benchmark::State& s) { benchVm(s, kGeoDistance); }
+void BM_InterpGeoDistance(benchmark::State& s) { benchInterp(s, kGeoDistance); }
+void BM_VmBinding(benchmark::State& s) { benchVm(s, kBinding); }
+void BM_InterpBinding(benchmark::State& s) { benchInterp(s, kBinding); }
+
+BENCHMARK(BM_VmDelayTolerance);
+BENCHMARK(BM_InterpDelayTolerance);
+BENCHMARK(BM_VmDelayWindow);
+BENCHMARK(BM_InterpDelayWindow);
+BENCHMARK(BM_VmGeoDistance);
+BENCHMARK(BM_InterpGeoDistance);
+BENCHMARK(BM_VmBinding);
+BENCHMARK(BM_InterpBinding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

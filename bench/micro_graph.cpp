@@ -1,0 +1,104 @@
+// Microbenchmarks for the graph substrate: construction, edge lookup,
+// adjacency iteration, Dijkstra — the operations every engine leans on.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "topo/brite.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace netembed;
+
+graph::Graph testGraph(std::size_t n) {
+  topo::BriteOptions options;
+  options.nodes = n;
+  options.m = 2;
+  options.seed = 1;
+  return topo::brite(options);
+}
+
+void BM_BuildBaGraph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const graph::Graph g = testGraph(n);
+    benchmark::DoNotOptimize(g.edgeCount());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BuildBaGraph)->Arg(100)->Arg(1000);
+
+void BM_FindEdgeHit(benchmark::State& state) {
+  const graph::Graph g = testGraph(1000);
+  util::Rng rng(3);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  for (int i = 0; i < 1024; ++i) {
+    const auto e = static_cast<graph::EdgeId>(rng.index(g.edgeCount()));
+    pairs.emplace_back(g.edgeSource(e), g.edgeTarget(e));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(g.findEdge(u, v));
+  }
+}
+BENCHMARK(BM_FindEdgeHit);
+
+void BM_FindEdgeMiss(benchmark::State& state) {
+  const graph::Graph g = testGraph(1000);
+  util::Rng rng(4);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  while (pairs.size() < 1024) {
+    const auto u = static_cast<graph::NodeId>(rng.index(g.nodeCount()));
+    const auto v = static_cast<graph::NodeId>(rng.index(g.nodeCount()));
+    if (u != v && !g.hasEdge(u, v)) pairs.emplace_back(u, v);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(g.findEdge(u, v));
+  }
+}
+BENCHMARK(BM_FindEdgeMiss);
+
+void BM_AdjacencyScan(benchmark::State& state) {
+  const graph::Graph g = testGraph(1000);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (graph::NodeId n = 0; n < g.nodeCount(); ++n) {
+      for (const graph::Neighbor& nb : g.neighbors(n)) total += nb.node;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * g.edgeCount()));
+}
+BENCHMARK(BM_AdjacencyScan);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const graph::Graph g = testGraph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto sp = graph::dijkstra(g, 0, [&](graph::EdgeId e) {
+      return g.edgeAttrs(e).getDouble("delay", 1.0);
+    });
+    benchmark::DoNotOptimize(sp.distance.back());
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(300)->Arg(1000);
+
+void BM_AttrLookup(benchmark::State& state) {
+  const graph::Graph g = testGraph(100);
+  const graph::AttrId id = graph::attrId("avgDelay");
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto e = static_cast<graph::EdgeId>(i++ % g.edgeCount());
+    benchmark::DoNotOptimize(g.edgeAttrs(e).get(id));
+  }
+}
+BENCHMARK(BM_AttrLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// netembed_cli — the embedding service as a command-line tool.
+//
+// Feed it a hosting network (GraphML or all-pairs-ping text) and a query
+// network (GraphML), plus constraint expressions, and it prints feasible
+// mappings. This is the "integrated service" face of the paper (§III/Fig 1)
+// for scripted use.
+//
+//   # find 3 embeddings of query.graphml into a synthetic PlanetLab trace
+//   $ ./netembed_cli --query query.graphml --max 3 \\
+//         --edge-constraint "rEdge.avgDelay <= vEdge.maxDelay"
+//
+//   # explicit host file + algorithm + CSV of the mappings
+//   $ ./netembed_cli --host trace.ping --query q.graphml --algo lns --csv
+//
+// Flags:
+//   --host FILE        hosting network (.graphml or all-pairs-ping text);
+//                      default: built-in synthetic PlanetLab trace
+//   --query FILE       query network (.graphml); required unless --demo
+//   --demo             use a built-in demo query sampled from the host
+//   --edge-constraint  expression over vEdge/rEdge/vSource/... (default none)
+//   --node-constraint  expression over vNode/rNode (default none)
+//   --algo NAME        ecf | rwb | lns | auto (default auto)
+//   --max N            stop after N mappings (default 1; 0 = all)
+//   --timeout MS       search budget (default 10000)
+//   --seed N           RNG seed (default 42)
+//   --csv              machine-readable mapping output
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "netembed/netembed.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+using namespace netembed;
+
+namespace {
+
+graph::Graph loadHost(const std::string& path, std::uint64_t seed) {
+  if (path.empty()) {
+    trace::PlanetLabOptions options;
+    options.seed = seed;
+    return trace::synthesize(options);
+  }
+  if (path.size() > 8 && path.substr(path.size() - 8) == ".graphml") {
+    return graphml::readFile(path);
+  }
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open host file '" + path + "'");
+  return trace::readAllPairsPing(in);
+}
+
+std::optional<core::Algorithm> parseAlgo(const std::string& name) {
+  if (name == "ecf") return core::Algorithm::ECF;
+  if (name == "rwb") return core::Algorithm::RWB;
+  if (name == "lns") return core::Algorithm::LNS;
+  if (name == "auto") return std::nullopt;
+  throw std::runtime_error("unknown --algo '" + name + "' (ecf|rwb|lns|auto)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::ArgParser args(argc, argv);
+    const auto seed = args.getSeed("seed", 42);
+
+    graph::Graph host = loadHost(args.getString("host", ""), seed);
+    std::cerr << "host: " << host.nodeCount() << " nodes, " << host.edgeCount()
+              << " edges\n";
+
+    graph::Graph query;
+    std::string edgeConstraint = args.getString("edge-constraint", "");
+    if (args.getBool("demo")) {
+      util::Rng rng(seed);
+      auto sub = topo::sampleConnectedSubgraph(host, 12, 30, rng);
+      query = std::move(sub.graph);
+      topo::widenDelayWindows(query, 0.02);
+      if (edgeConstraint.empty()) edgeConstraint = topo::delayWindowConstraint();
+      std::cerr << "demo query sampled from host (12 nodes)\n";
+    } else {
+      const std::string queryPath = args.getString("query", "");
+      if (queryPath.empty()) {
+        std::cerr << "error: --query FILE (or --demo) is required; see header "
+                     "comment for usage\n";
+        return 2;
+      }
+      query = graphml::readFile(queryPath);
+    }
+    std::cerr << "query: " << query.nodeCount() << " nodes, " << query.edgeCount()
+              << " edges\n";
+
+    service::EmbedRequest request;
+    request.query = std::move(query);
+    request.edgeConstraint = edgeConstraint;
+    request.nodeConstraint = args.getString("node-constraint", "");
+    request.algorithm = parseAlgo(args.getString("algo", "auto"));
+    request.options.maxSolutions = static_cast<std::size_t>(args.getInt("max", 1));
+    request.options.storeLimit = std::max<std::size_t>(request.options.maxSolutions, 16);
+    request.options.timeout = std::chrono::milliseconds(args.getInt("timeout", 10000));
+    request.options.seed = seed;
+
+    service::NetEmbedService svc{service::NetworkModel(std::move(host))};
+    const service::EmbedResponse response = svc.submit(request);
+    std::cerr << response.diagnostics << '\n';
+
+    if (!response.result.feasible()) {
+      std::cout << "no feasible embedding ("
+                << core::outcomeName(response.result.outcome) << ")\n";
+      return 1;
+    }
+    if (args.getBool("csv")) {
+      util::CsvWriter csv(std::cout);
+      std::vector<std::string> header{"mapping"};
+      for (graph::NodeId v = 0; v < request.query.nodeCount(); ++v) {
+        header.push_back(request.query.nodeName(v));
+      }
+      csv.row(header);
+      for (std::size_t i = 0; i < response.result.mappings.size(); ++i) {
+        std::vector<std::string> row{std::to_string(i)};
+        for (const graph::NodeId r : response.result.mappings[i]) {
+          row.push_back(svc.model().host().nodeName(r));
+        }
+        csv.row(row);
+      }
+    } else {
+      for (const core::Mapping& m : response.result.mappings) {
+        std::cout << core::formatMapping(m, request.query, svc.model().host()) << '\n';
+      }
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 2;
+  }
+}

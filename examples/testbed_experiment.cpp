@@ -1,0 +1,121 @@
+// Embedding a network experiment into a shared testbed (the Emulab /
+// PlanetLab use case of §I): the experimenter describes the desired
+// topology in GraphML — including OS requirements and one node pinned to a
+// specific site via the isBoundTo() mechanism of §VI-B — and the service
+// finds placements, negotiating looser delay bounds when the strict request
+// is infeasible.
+//
+//   $ ./testbed_experiment [--seed N] [--out DIR]
+
+#include <fstream>
+#include <iostream>
+
+#include "netembed/netembed.hpp"
+#include "util/cli.hpp"
+
+using namespace netembed;
+
+namespace {
+
+/// The experiment: a 6-node dumbbell (two LAN triangles joined by a WAN
+/// link) with per-link delay windows and per-node software requirements.
+graph::Graph buildExperiment(const graph::Graph& host) {
+  graph::Graph q;
+  const auto l1 = q.addNode("left-router");
+  const auto l2 = q.addNode("left-client1");
+  const auto l3 = q.addNode("left-client2");
+  const auto r1 = q.addNode("right-router");
+  const auto r2 = q.addNode("right-server1");
+  const auto r3 = q.addNode("right-server2");
+
+  const auto lan = [&](graph::NodeId a, graph::NodeId b) {
+    auto& attrs = q.edgeAttrs(q.addEdge(a, b));
+    attrs.set("minDelay", 0.0);
+    attrs.set("maxDelay", 40.0);
+  };
+  lan(l1, l2);
+  lan(l1, l3);
+  lan(l2, l3);
+  lan(r1, r2);
+  lan(r1, r3);
+  lan(r2, r3);
+  auto& wan = q.edgeAttrs(q.addEdge(l1, r1));
+  wan.set("minDelay", 60.0);
+  wan.set("maxDelay", 250.0);
+
+  // Servers need a specific OS; clients take anything.
+  q.nodeAttrs(r2).set("osType", "linux-2.6");
+  q.nodeAttrs(r3).set("osType", "linux-2.6");
+  // Pin the left router to a concrete site (special hardware there).
+  q.nodeAttrs(l1).set("bindTo", host.nodeName(17));
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  const auto seed = args.getSeed("seed", 42);
+  const std::string outDir = args.getString("out", "/tmp");
+
+  trace::PlanetLabOptions traceOptions;
+  traceOptions.seed = seed;
+  graph::Graph host = trace::synthesize(traceOptions);
+  host.nodeAttrs(17).set("name", host.nodeName(17));  // expose name as an attr
+  for (graph::NodeId n = 0; n < host.nodeCount(); ++n) {
+    host.nodeAttrs(n).set("name", host.nodeName(n));
+  }
+
+  const graph::Graph experiment = buildExperiment(host);
+
+  // The experiment travels as GraphML, like any NETEMBED query would.
+  const std::string path = outDir + "/experiment.graphml";
+  graphml::writeFile(experiment, path);
+  const graph::Graph query = graphml::readFile(path);
+  std::cout << "experiment written to and reloaded from " << path << " ("
+            << query.nodeCount() << " nodes, " << query.edgeCount() << " edges)\n";
+
+  service::NetEmbedService svc{service::NetworkModel(std::move(host))};
+
+  service::EmbedRequest request;
+  request.query = query;
+  request.edgeConstraint =
+      "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay";
+  request.nodeConstraint =
+      "isBoundTo(vNode.osType, rNode.osType) && isBoundTo(vNode.bindTo, rNode.name)";
+  request.options.maxSolutions = 1;
+  request.options.timeout = std::chrono::milliseconds(5000);
+
+  service::EmbedResponse response = svc.submit(request);
+  std::cout << "service says: " << response.diagnostics << " (algorithm "
+            << core::algorithmName(response.algorithmUsed) << ")\n";
+
+  if (!response.result.feasible()) {
+    // Interactive negotiation (§VI-B): relax delay windows until a mapping
+    // appears or the experimenter's tolerance is exhausted.
+    std::cout << "strict request infeasible; negotiating...\n";
+    const auto negotiated = svc.negotiate(request, 0.25, 1.0);
+    if (!negotiated.feasible) {
+      std::cout << "no placement even at +100% tolerance; giving up\n";
+      return 1;
+    }
+    std::cout << "feasible at tolerance " << negotiated.toleranceUsed << " after "
+              << negotiated.rounds << " round(s)\n";
+    response = negotiated.response;
+  }
+
+  const core::Mapping& m = response.result.mappings.front();
+  for (graph::NodeId v = 0; v < query.nodeCount(); ++v) {
+    std::cout << "  " << query.nodeName(v) << " -> " << svc.model().host().nodeName(m[v])
+              << " (" << svc.model().host().nodeAttrs(m[v]).at("osType").asString()
+              << ")\n";
+  }
+
+  // The pinned node must have landed on site17.
+  if (svc.model().host().nodeName(m[0]) != "site17") {
+    std::cerr << "BUG: bindTo constraint not honored\n";
+    return 1;
+  }
+  std::cout << "bindTo pin honored (left-router @ site17)\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "baseline/anneal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace netembed::baseline {
+
+using core::EmbedResult;
+using core::Mapping;
+using core::Outcome;
+using core::Problem;
+using graph::NodeId;
+
+std::size_t assignmentEnergy(const Problem& problem, const Mapping& mapping,
+                             std::uint64_t& constraintEvals) {
+  const graph::Graph& q = *problem.query;
+  const graph::Graph& h = *problem.host;
+  std::size_t energy = 0;
+  for (NodeId v = 0; v < q.nodeCount(); ++v) {
+    if (!problem.nodeOk(v, mapping[v])) ++energy;
+  }
+  for (graph::EdgeId e = 0; e < q.edgeCount(); ++e) {
+    const NodeId qa = q.edgeSource(e);
+    const NodeId qb = q.edgeTarget(e);
+    const NodeId ra = mapping[qa];
+    const NodeId rb = mapping[qb];
+    const auto he = h.findEdge(ra, rb);
+    if (!he || !problem.edgeOk(e, qa, qb, *he, ra, rb, constraintEvals)) ++energy;
+  }
+  return energy;
+}
+
+namespace {
+
+Mapping randomInjective(const Problem& problem, util::Rng& rng) {
+  const std::size_t nq = problem.query->nodeCount();
+  const std::size_t nr = problem.host->nodeCount();
+  // Partial Fisher-Yates over host ids: first nq entries of a permutation.
+  std::vector<NodeId> hosts(nr);
+  for (NodeId i = 0; i < nr; ++i) hosts[i] = i;
+  Mapping m(nq);
+  for (std::size_t i = 0; i < nq; ++i) {
+    const std::size_t j = i + rng.index(nr - i);
+    std::swap(hosts[i], hosts[j]);
+    m[i] = hosts[i];
+  }
+  return m;
+}
+
+}  // namespace
+
+EmbedResult annealSearch(const Problem& problem, const AnnealOptions& options,
+                         const core::SearchOptions& limits) {
+  util::Stopwatch total;
+  problem.validate();
+  util::Rng rng(options.seed);
+  util::Deadline deadline(limits.timeout);
+
+  EmbedResult result;
+  result.stats.firstMatchMs = -1.0;
+  const std::size_t nq = problem.query->nodeCount();
+  const std::size_t nr = problem.host->nodeCount();
+
+  for (std::size_t restart = 0; restart < options.restarts; ++restart) {
+    Mapping current = randomInjective(problem, rng);
+    std::size_t energy = assignmentEnergy(problem, current, result.stats.constraintEvals);
+    double temperature = options.initialTemperature;
+
+    // Inverse map for O(1) swap moves: host -> query node or invalid.
+    std::vector<NodeId> inverse(nr, graph::kInvalidNode);
+    for (NodeId v = 0; v < nq; ++v) inverse[current[v]] = v;
+
+    for (std::size_t step = 0; step < options.iterations && energy > 0; ++step) {
+      ++result.stats.treeNodesVisited;
+      if ((step & 1023u) == 0 && deadline.expired()) {
+        result.outcome = Outcome::Inconclusive;
+        result.stats.searchMs = total.elapsedMs();
+        return result;
+      }
+
+      Mapping proposal = current;
+      const NodeId v = static_cast<NodeId>(rng.index(nq));
+      const NodeId target = static_cast<NodeId>(rng.index(nr));
+      if (rng.bernoulli(options.swapProbability) || inverse[target] != graph::kInvalidNode) {
+        // Swap v's image with whoever owns `target` (or plain move if free).
+        const NodeId other = inverse[target];
+        proposal[v] = target;
+        if (other != graph::kInvalidNode && other != v) proposal[other] = current[v];
+      } else {
+        proposal[v] = target;
+      }
+
+      const std::size_t newEnergy =
+          assignmentEnergy(problem, proposal, result.stats.constraintEvals);
+      const double delta =
+          static_cast<double>(newEnergy) - static_cast<double>(energy);
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / std::max(1e-9, temperature))) {
+        current = std::move(proposal);
+        std::fill(inverse.begin(), inverse.end(), graph::kInvalidNode);
+        for (NodeId u = 0; u < nq; ++u) inverse[current[u]] = u;
+        energy = newEnergy;
+      }
+      temperature *= options.coolingFactor;
+    }
+
+    if (energy == 0) {
+      result.solutionCount = 1;
+      result.mappings.push_back(current);
+      result.stats.firstMatchMs = total.elapsedMs();
+      result.outcome = Outcome::Partial;
+      result.stats.searchMs = total.elapsedMs();
+      return result;
+    }
+    ++result.stats.backtracks;  // counts failed restarts
+  }
+
+  result.outcome = Outcome::Inconclusive;
+  result.stats.searchMs = total.elapsedMs();
+  return result;
+}
+
+}  // namespace netembed::baseline

@@ -1,0 +1,38 @@
+#pragma once
+// Simulated-annealing embedder: the metaheuristic family of Emulab's
+// `assign` [13] applied to the feasibility problem (substitution per
+// DESIGN.md §5). Energy = number of violated edge/node constraints; a
+// mapping with zero energy is feasible. No completeness guarantee: failure
+// to find a solution proves nothing — exactly the weakness §II calls out.
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+#include "core/search.hpp"
+
+namespace netembed::baseline {
+
+struct AnnealOptions {
+  std::size_t iterations = 200'000;  // total Metropolis steps per restart
+  std::size_t restarts = 4;
+  double initialTemperature = 2.5;
+  double coolingFactor = 0.9995;     // geometric, applied per step
+  double swapProbability = 0.4;      // swap two images vs. reassign one
+  std::uint64_t seed = 1;
+};
+
+/// Returns Partial with one mapping on success, Inconclusive otherwise
+/// (never Complete: annealing cannot prove infeasibility). `limits.timeout`
+/// caps wall time across restarts.
+[[nodiscard]] core::EmbedResult annealSearch(const core::Problem& problem,
+                                             const AnnealOptions& options = {},
+                                             const core::SearchOptions& limits = {});
+
+/// Energy of a complete assignment: count of query edges whose host pair is
+/// absent or fails the constraint, plus node-constraint violations. Exposed
+/// for tests and for the genetic baseline's fitness.
+[[nodiscard]] std::size_t assignmentEnergy(const core::Problem& problem,
+                                           const core::Mapping& mapping,
+                                           std::uint64_t& constraintEvals);
+
+}  // namespace netembed::baseline

@@ -1,0 +1,160 @@
+#include "baseline/genetic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "baseline/anneal.hpp"  // assignmentEnergy
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace netembed::baseline {
+
+using core::EmbedResult;
+using core::Mapping;
+using core::Outcome;
+using core::Problem;
+using graph::NodeId;
+
+namespace {
+
+struct Individual {
+  Mapping genes;
+  std::size_t energy = 0;
+};
+
+Mapping randomInjectiveMapping(std::size_t nq, std::size_t nr, util::Rng& rng) {
+  std::vector<NodeId> hosts(nr);
+  for (NodeId i = 0; i < nr; ++i) hosts[i] = i;
+  Mapping m(nq);
+  for (std::size_t i = 0; i < nq; ++i) {
+    const std::size_t j = i + rng.index(nr - i);
+    std::swap(hosts[i], hosts[j]);
+    m[i] = hosts[i];
+  }
+  return m;
+}
+
+/// Injective one-point crossover: child takes parent A's prefix, then fills
+/// the remaining positions with parent B's genes in order, skipping host
+/// nodes already used (PMX-style repair keeps the child injective).
+Mapping crossover(const Mapping& a, const Mapping& b, std::size_t nr, util::Rng& rng) {
+  const std::size_t nq = a.size();
+  const std::size_t cut = 1 + rng.index(nq > 1 ? nq - 1 : 1);
+  Mapping child(nq, graph::kInvalidNode);
+  std::vector<bool> used(nr, false);
+  for (std::size_t i = 0; i < cut; ++i) {
+    child[i] = a[i];
+    used[a[i]] = true;
+  }
+  std::size_t fill = cut;
+  for (std::size_t i = 0; i < nq && fill < nq; ++i) {
+    if (!used[b[i]]) {
+      child[fill++] = b[i];
+      used[b[i]] = true;
+    }
+  }
+  // Any still-unfilled slots (duplicates collided): take free hosts in order.
+  for (NodeId r = 0; fill < nq && r < nr; ++r) {
+    if (!used[r]) {
+      child[fill++] = r;
+      used[r] = true;
+    }
+  }
+  return child;
+}
+
+void mutate(Mapping& genes, std::size_t nr, util::Rng& rng) {
+  const std::size_t nq = genes.size();
+  if (rng.bernoulli(0.5) && nq >= 2) {
+    // Swap two images.
+    const std::size_t i = rng.index(nq);
+    std::size_t j = rng.index(nq);
+    while (j == i) j = rng.index(nq);
+    std::swap(genes[i], genes[j]);
+    return;
+  }
+  // Reassign one query node to a random unused host node.
+  std::vector<bool> used(nr, false);
+  for (const NodeId r : genes) used[r] = true;
+  const std::size_t i = rng.index(nq);
+  for (std::size_t tries = 0; tries < 16; ++tries) {
+    const NodeId r = static_cast<NodeId>(rng.index(nr));
+    if (!used[r]) {
+      genes[i] = r;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+EmbedResult geneticSearch(const Problem& problem, const GeneticOptions& options,
+                          const core::SearchOptions& limits) {
+  util::Stopwatch total;
+  problem.validate();
+  util::Rng rng(options.seed);
+  util::Deadline deadline(limits.timeout);
+
+  EmbedResult result;
+  result.stats.firstMatchMs = -1.0;
+  const std::size_t nq = problem.query->nodeCount();
+  const std::size_t nr = problem.host->nodeCount();
+
+  std::vector<Individual> population(options.populationSize);
+  for (Individual& ind : population) {
+    ind.genes = randomInjectiveMapping(nq, nr, rng);
+    ind.energy = assignmentEnergy(problem, ind.genes, result.stats.constraintEvals);
+  }
+
+  const auto byEnergy = [](const Individual& x, const Individual& y) {
+    return x.energy < y.energy;
+  };
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    std::sort(population.begin(), population.end(), byEnergy);
+    if (population.front().energy == 0) {
+      result.solutionCount = 1;
+      result.mappings.push_back(population.front().genes);
+      result.stats.firstMatchMs = total.elapsedMs();
+      result.outcome = Outcome::Partial;
+      result.stats.searchMs = total.elapsedMs();
+      return result;
+    }
+    if (deadline.expired()) break;
+    ++result.stats.treeNodesVisited;
+
+    std::vector<Individual> next;
+    next.reserve(options.populationSize);
+    for (std::size_t i = 0; i < std::min(options.eliteCount, population.size()); ++i) {
+      next.push_back(population[i]);
+    }
+
+    const auto tournament = [&]() -> const Individual& {
+      const Individual* best = &population[rng.index(population.size())];
+      for (std::size_t k = 1; k < options.tournamentSize; ++k) {
+        const Individual& challenger = population[rng.index(population.size())];
+        if (challenger.energy < best->energy) best = &challenger;
+      }
+      return *best;
+    };
+
+    while (next.size() < options.populationSize) {
+      const Individual& pa = tournament();
+      const Individual& pb = tournament();
+      Individual child;
+      child.genes = rng.bernoulli(options.crossoverRate)
+                        ? crossover(pa.genes, pb.genes, nr, rng)
+                        : pa.genes;
+      if (rng.bernoulli(options.mutationRate)) mutate(child.genes, nr, rng);
+      child.energy = assignmentEnergy(problem, child.genes, result.stats.constraintEvals);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+  }
+
+  result.outcome = Outcome::Inconclusive;
+  result.stats.searchMs = total.elapsedMs();
+  return result;
+}
+
+}  // namespace netembed::baseline

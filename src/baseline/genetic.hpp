@@ -1,0 +1,30 @@
+#pragma once
+// Genetic-algorithm embedder: the metaheuristic family of Netbed's
+// `wanassign` [10] applied to the feasibility problem (substitution per
+// DESIGN.md §5). Individuals are injective assignments; fitness is the
+// negated constraint-violation energy. Like annealing, incomplete: a failed
+// run proves nothing about feasibility.
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+#include "core/search.hpp"
+
+namespace netembed::baseline {
+
+struct GeneticOptions {
+  std::size_t populationSize = 64;
+  std::size_t generations = 600;
+  std::size_t tournamentSize = 3;
+  double crossoverRate = 0.8;
+  double mutationRate = 0.25;  // per-offspring probability of one random move
+  std::size_t eliteCount = 2;
+  std::uint64_t seed = 1;
+};
+
+/// Returns Partial with one mapping on success, Inconclusive otherwise.
+[[nodiscard]] core::EmbedResult geneticSearch(const core::Problem& problem,
+                                              const GeneticOptions& options = {},
+                                              const core::SearchOptions& limits = {});
+
+}  // namespace netembed::baseline

@@ -1,0 +1,152 @@
+#include "baseline/naive.hpp"
+
+#include "util/timer.hpp"
+
+namespace netembed::baseline {
+
+using core::EmbedResult;
+using core::Outcome;
+using core::Problem;
+using core::SearchOptions;
+using core::SearchStats;
+using core::SolutionSink;
+using graph::NodeId;
+
+namespace {
+
+class NaiveEngine {
+ public:
+  NaiveEngine(const Problem& problem, const SearchOptions& options,
+              const SolutionSink& sink)
+      : problem_(problem), options_(options), sink_(sink), deadline_(options.timeout) {}
+
+  EmbedResult run() {
+    util::Stopwatch total;
+    problem_.validate();
+    EmbedResult result;
+    stats_ = &result.stats;
+    result.stats.firstMatchMs = -1.0;
+
+    const std::size_t nq = problem_.query->nodeCount();
+    mapping_.assign(nq, graph::kInvalidNode);
+    used_.assign(problem_.host->nodeCount(), false);
+
+    // Edges from each query node to smaller-id (already assigned) nodes.
+    earlier_.resize(nq);
+    const graph::Graph& q = *problem_.query;
+    for (NodeId v = 0; v < nq; ++v) {
+      // vIsSource reflects the *stored* edge orientation — constraints bind
+      // vSource/vTarget to stored endpoints even on undirected graphs.
+      for (const graph::Neighbor& nb : q.neighbors(v)) {
+        if (nb.node < v) {
+          earlier_[v].push_back({nb.edge, nb.node, q.edgeSource(nb.edge) == v});
+        }
+      }
+      if (q.directed()) {
+        for (const graph::Neighbor& nb : q.inNeighbors(v)) {
+          if (nb.node < v) earlier_[v].push_back({nb.edge, nb.node, false});
+        }
+      }
+    }
+
+    descend(0, result);
+
+    result.solutionCount = solutionCount_;
+    result.stats.searchMs = total.elapsedMs();
+    if (!stopped_) {
+      result.outcome = Outcome::Complete;
+    } else {
+      result.outcome = solutionCount_ > 0 ? Outcome::Partial : Outcome::Inconclusive;
+    }
+    return result;
+  }
+
+ private:
+  struct EarlierEdge {
+    graph::EdgeId qedge;
+    NodeId neighbor;
+    bool vIsSource;
+  };
+
+  bool limitsHit() {
+    if (stopped_) return true;
+    if (deadline_.isBounded() &&
+        stats_->treeNodesVisited % options_.checkStride == 0 && deadline_.expired()) {
+      stopped_ = true;
+    }
+    return stopped_;
+  }
+
+  bool candidateOk(NodeId v, NodeId r) {
+    if (!problem_.nodeOk(v, r)) return false;
+    const graph::Graph& h = *problem_.host;
+    for (const EarlierEdge& ee : earlier_[v]) {
+      const NodeId rw = mapping_[ee.neighbor];
+      const NodeId from = ee.vIsSource ? r : rw;
+      const NodeId to = ee.vIsSource ? rw : r;
+      const auto he = h.findEdge(from, to);
+      if (!he) return false;
+      const NodeId qa = ee.vIsSource ? v : ee.neighbor;
+      const NodeId qb = ee.vIsSource ? ee.neighbor : v;
+      if (!problem_.edgeOk(ee.qedge, qa, qb, *he, from, to, stats_->constraintEvals)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void descend(NodeId v, EmbedResult& result) {
+    if (limitsHit()) return;
+    if (v == mapping_.size()) {
+      onSolution(result);
+      return;
+    }
+    for (NodeId r = 0; r < used_.size(); ++r) {
+      if (limitsHit()) return;
+      if (used_[r]) continue;
+      ++stats_->treeNodesVisited;
+      if (!candidateOk(v, r)) continue;
+      mapping_[v] = r;
+      used_[r] = true;
+      descend(v + 1, result);
+      used_[r] = false;
+      mapping_[v] = graph::kInvalidNode;
+      if (stopped_) return;
+    }
+    ++stats_->backtracks;
+  }
+
+  void onSolution(EmbedResult& result) {
+    ++solutionCount_;
+    if (stats_->firstMatchMs < 0) stats_->firstMatchMs = firstTimer_.elapsedMs();
+    if (result.mappings.size() < options_.storeLimit) result.mappings.push_back(mapping_);
+    if (sink_ && !sink_(mapping_)) {
+      stopped_ = true;
+      return;
+    }
+    if (options_.maxSolutions != 0 && solutionCount_ >= options_.maxSolutions) {
+      stopped_ = true;
+    }
+  }
+
+  const Problem& problem_;
+  const SearchOptions& options_;
+  const SolutionSink& sink_;
+  util::Deadline deadline_;
+  util::Stopwatch firstTimer_;
+  core::Mapping mapping_;
+  std::vector<bool> used_;
+  std::vector<std::vector<EarlierEdge>> earlier_;
+  SearchStats* stats_ = nullptr;
+  std::uint64_t solutionCount_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+EmbedResult naiveSearch(const Problem& problem, const SearchOptions& options,
+                        const SolutionSink& sink) {
+  return NaiveEngine(problem, options, sink).run();
+}
+
+}  // namespace netembed::baseline

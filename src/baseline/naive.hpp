@@ -1,0 +1,21 @@
+#pragma once
+// Naive backtracking baseline: the "brute-force with pruning" strawman the
+// paper's related work describes ([16]-style search without NETEMBED's
+// stage-1 filters or Lemma-1 ordering).
+//
+// Query nodes are assigned in natural order; every unused host node is tried
+// at each depth, rejecting a candidate only when an edge to an
+// already-assigned neighbour is missing or fails the constraint. Complete
+// and correct, but explores far more of the permutation tree than ECF —
+// which is precisely the comparison §VII-F makes.
+
+#include "core/problem.hpp"
+#include "core/search.hpp"
+
+namespace netembed::baseline {
+
+[[nodiscard]] core::EmbedResult naiveSearch(const core::Problem& problem,
+                                            const core::SearchOptions& options = {},
+                                            const core::SolutionSink& sink = {});
+
+}  // namespace netembed::baseline

@@ -1,0 +1,200 @@
+#include "core/ecf.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/filter.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace netembed::core {
+
+namespace {
+
+class FilteredEngine {
+ public:
+  FilteredEngine(const Problem& problem, const SearchOptions& options,
+                 const SolutionSink& sink, bool randomize)
+      : problem_(problem),
+        options_(options),
+        sink_(sink),
+        randomize_(randomize),
+        rng_(options.seed),
+        deadline_(options.timeout) {}
+
+  EmbedResult run() {
+    util::Stopwatch total;
+    EmbedResult result;
+
+    try {
+      filters_ = FilterMatrix::build(problem_, options_, result.stats);
+    } catch (const FilterOverflow&) {
+      // Space blow-up: report inconclusive rather than dying (the documented
+      // failure mode that motivates LNS).
+      result.outcome = Outcome::Inconclusive;
+      result.stats.searchMs = total.elapsedMs();
+      throw;
+    }
+
+    const std::size_t nq = problem_.query->nodeCount();
+    order_.resize(nq);
+    std::iota(order_.begin(), order_.end(), 0);
+    if (options_.staticOrdering) {
+      // Lemma 1: ascending candidate count minimizes the permutation tree.
+      std::stable_sort(order_.begin(), order_.end(),
+                       [&](graph::NodeId a, graph::NodeId b) {
+                         return filters_.viable(a).size() < filters_.viable(b).size();
+                       });
+    }
+    position_.assign(nq, 0);
+    for (std::size_t d = 0; d < nq; ++d) position_[order_[d]] = d;
+
+    // Constrainers whose owner is assigned before v in the static order.
+    earlier_.resize(nq);
+    for (graph::NodeId v = 0; v < nq; ++v) {
+      for (const FilterMatrix::Constrainer& c : filters_.constrainersOf(v)) {
+        if (position_[c.owner] < position_[v]) earlier_[v].push_back(c);
+      }
+    }
+
+    mapping_.assign(nq, graph::kInvalidNode);
+    used_.assign(problem_.host->nodeCount(), false);
+    candidateBuffers_.resize(nq);
+    stats_ = &result.stats;
+    solutionCount_ = 0;
+    stopped_ = false;
+    result.stats.firstMatchMs = -1.0;
+    firstMatchTimer_.restart();
+
+    descend(0, result);
+
+    result.solutionCount = solutionCount_;
+    result.stats.searchMs = total.elapsedMs();
+    if (!stopped_) {
+      result.outcome = Outcome::Complete;
+    } else {
+      result.outcome = solutionCount_ > 0 ? Outcome::Partial : Outcome::Inconclusive;
+    }
+    return result;
+  }
+
+ private:
+  bool limitsHit() {
+    if (stopped_) return true;
+    if (deadline_.isBounded() &&
+        stats_->treeNodesVisited % options_.checkStride == 0 && deadline_.expired()) {
+      stopped_ = true;
+    }
+    return stopped_;
+  }
+
+  void collectCandidates(graph::NodeId v, std::vector<graph::NodeId>& out) {
+    out.clear();
+    const auto& earlier = earlier_[v];
+    if (earlier.empty()) {
+      for (const graph::NodeId r : filters_.viable(v)) {
+        if (!used_[r]) out.push_back(r);
+      }
+      return;
+    }
+    // Intersect candidate cells of all previously-assigned neighbours,
+    // iterating the smallest cell and probing the rest (eq. 2).
+    std::span<const graph::NodeId> base;
+    std::size_t baseSize = static_cast<std::size_t>(-1);
+    for (const FilterMatrix::Constrainer& c : earlier) {
+      const auto cell = filters_.candidates(c.owner, c.slot, mapping_[c.owner]);
+      if (cell.size() < baseSize) {
+        baseSize = cell.size();
+        base = cell;
+      }
+      if (baseSize == 0) return;
+    }
+    for (const graph::NodeId r : base) {
+      if (used_[r]) continue;
+      if (!filters_.isViable(v, r)) continue;  // forward arc-consistency prune
+      bool inAll = true;
+      for (const FilterMatrix::Constrainer& c : earlier) {
+        const auto cell = filters_.candidates(c.owner, c.slot, mapping_[c.owner]);
+        if (cell.data() == base.data()) continue;
+        if (!std::binary_search(cell.begin(), cell.end(), r)) {
+          inAll = false;
+          break;
+        }
+      }
+      if (inAll) out.push_back(r);
+    }
+  }
+
+  void descend(std::size_t depth, EmbedResult& result) {
+    if (limitsHit()) return;
+    stats_->peakCovered = std::max(stats_->peakCovered, depth);
+    if (depth == order_.size()) {
+      onSolution(result);
+      return;
+    }
+    const graph::NodeId v = order_[depth];
+    std::vector<graph::NodeId>& candidates = candidateBuffers_[depth];
+    collectCandidates(v, candidates);
+    if (randomize_) rng_.shuffle(candidates);
+
+    for (const graph::NodeId r : candidates) {
+      if (limitsHit()) return;
+      ++stats_->treeNodesVisited;
+      mapping_[v] = r;
+      used_[r] = true;
+      descend(depth + 1, result);
+      used_[r] = false;
+      mapping_[v] = graph::kInvalidNode;
+      if (stopped_) return;
+    }
+    ++stats_->backtracks;
+  }
+
+  void onSolution(EmbedResult& result) {
+    ++solutionCount_;
+    if (stats_->firstMatchMs < 0) stats_->firstMatchMs = firstMatchTimer_.elapsedMs();
+    if (result.mappings.size() < options_.storeLimit) result.mappings.push_back(mapping_);
+    if (sink_ && !sink_(mapping_)) {
+      stopped_ = true;
+      return;
+    }
+    if (options_.maxSolutions != 0 && solutionCount_ >= options_.maxSolutions) {
+      stopped_ = true;
+    }
+  }
+
+  const Problem& problem_;
+  const SearchOptions& options_;
+  const SolutionSink& sink_;
+  bool randomize_;
+  util::Rng rng_;
+  util::Deadline deadline_;
+  util::Stopwatch firstMatchTimer_;
+
+  FilterMatrix filters_;
+  std::vector<graph::NodeId> order_;
+  std::vector<std::size_t> position_;
+  std::vector<std::vector<FilterMatrix::Constrainer>> earlier_;
+  Mapping mapping_;
+  std::vector<bool> used_;
+  std::vector<std::vector<graph::NodeId>> candidateBuffers_;
+  SearchStats* stats_ = nullptr;
+  std::uint64_t solutionCount_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+namespace detail {
+EmbedResult filteredSearch(const Problem& problem, const SearchOptions& options,
+                           const SolutionSink& sink, bool randomize) {
+  return FilteredEngine(problem, options, sink, randomize).run();
+}
+}  // namespace detail
+
+EmbedResult ecfSearch(const Problem& problem, const SearchOptions& options,
+                      const SolutionSink& sink) {
+  return detail::filteredSearch(problem, options, sink, /*randomize=*/false);
+}
+
+}  // namespace netembed::core

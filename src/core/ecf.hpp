@@ -1,0 +1,30 @@
+#pragma once
+// ECF — Exhaustive search with Constraint Filtering (paper §V-A, Fig. 4).
+//
+// Depth-first traversal of the permutation tree in Lemma-1 static order
+// (query nodes sorted by ascending candidate count), with candidates at each
+// depth computed by intersecting stage-1 filter cells of already-assigned
+// neighbours (eq. 2). Complete and correct: enumerates every feasible
+// mapping when given enough time.
+
+#include "core/problem.hpp"
+#include "core/search.hpp"
+
+namespace netembed::core {
+
+/// Run ECF. With default options enumerates all feasible embeddings; use
+/// options.maxSolutions / options.timeout to bound the search, or a sink to
+/// stream mappings (return false from the sink to stop).
+[[nodiscard]] EmbedResult ecfSearch(const Problem& problem,
+                                    const SearchOptions& options = {},
+                                    const SolutionSink& sink = {});
+
+namespace detail {
+/// Shared engine behind ECF and RWB; `randomize` shuffles candidate order at
+/// every depth (RWB's random walk — backtracking keeps it complete).
+[[nodiscard]] EmbedResult filteredSearch(const Problem& problem,
+                                         const SearchOptions& options,
+                                         const SolutionSink& sink, bool randomize);
+}  // namespace detail
+
+}  // namespace netembed::core

@@ -1,0 +1,98 @@
+#pragma once
+// Stage-1 candidate filters for ECF and RWB (paper §V-A).
+//
+// For every *directed use* of a query edge (v's slot pointing at neighbour
+// w) and every host node r, the filter stores the sorted list of host nodes
+// s such that mapping v->r, w->s satisfies topology, node-level checks
+// (node constraint + degree bound) and the edge constraint expression:
+//
+//     F[v][slot(w)][r] = { s : ok(v->r, w->s) }
+//
+// Cells are stored sparsely in CSR form per (v, slot). The paper's negative
+// filter F-bar is represented implicitly: candidate sets are always computed
+// by intersecting positive cells, which is equivalent and strictly cheaper
+// (the explicit F-bar's O(n^5) space is what motivates LNS in §V-C).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/search.hpp"
+
+namespace netembed::core {
+
+/// Thrown when filter construction exceeds SearchOptions::maxFilterEntries.
+class FilterOverflow : public std::runtime_error {
+ public:
+  explicit FilterOverflow(std::size_t entries)
+      : std::runtime_error("filter matrix exceeds entry budget (" +
+                           std::to_string(entries) + " entries)") {}
+};
+
+class FilterMatrix {
+ public:
+  /// One directed use of a query edge, owned by node v: v -> neighbor
+  /// (outgoing true) or neighbor -> v (outgoing false). Undirected edges
+  /// produce one outgoing slot at each endpoint.
+  struct Slot {
+    graph::NodeId neighbor;
+    graph::EdgeId edge;
+    bool outgoing;
+  };
+
+  /// Reverse index entry: slot `slot` of node `owner` constrains this node.
+  struct Constrainer {
+    graph::NodeId owner;
+    std::uint32_t slot;
+  };
+
+  /// Build the filters; fills stats.filterEntries / filterBuildMs /
+  /// constraintEvals. Throws FilterOverflow past the entry budget.
+  [[nodiscard]] static FilterMatrix build(const Problem& problem,
+                                          const SearchOptions& options,
+                                          SearchStats& stats);
+
+  [[nodiscard]] std::span<const Slot> slots(graph::NodeId v) const {
+    return slots_[v];
+  }
+
+  [[nodiscard]] std::span<const Constrainer> constrainersOf(graph::NodeId v) const {
+    return constrainers_[v];
+  }
+
+  /// Candidate continuations: host nodes for slots_[owner][slot].neighbor
+  /// when owner is mapped at r. Sorted ascending.
+  [[nodiscard]] std::span<const graph::NodeId> candidates(graph::NodeId owner,
+                                                          std::uint32_t slot,
+                                                          graph::NodeId r) const {
+    const Csr& csr = cells_[slotBase_[owner] + slot];
+    return std::span<const graph::NodeId>(csr.data.data() + csr.offsets[r],
+                                          csr.offsets[r + 1] - csr.offsets[r]);
+  }
+
+  /// Host nodes viable for v considering node-level checks and non-emptiness
+  /// of every slot cell (strengthened eq. 1). Sorted ascending.
+  [[nodiscard]] std::span<const graph::NodeId> viable(graph::NodeId v) const {
+    return viable_[v];
+  }
+
+  [[nodiscard]] bool isViable(graph::NodeId v, graph::NodeId r) const;
+
+  [[nodiscard]] std::size_t totalEntries() const noexcept { return totalEntries_; }
+
+ private:
+  struct Csr {
+    std::vector<std::uint32_t> offsets;  // host-node-indexed, size NR+1
+    std::vector<graph::NodeId> data;
+  };
+
+  std::vector<std::vector<Slot>> slots_;            // per query node
+  std::vector<std::uint32_t> slotBase_;             // prefix sum into cells_
+  std::vector<Csr> cells_;                          // per (node, slot)
+  std::vector<std::vector<Constrainer>> constrainers_;
+  std::vector<std::vector<graph::NodeId>> viable_;  // per query node, sorted
+  std::size_t totalEntries_ = 0;
+};
+
+}  // namespace netembed::core

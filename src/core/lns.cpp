@@ -1,0 +1,280 @@
+#include "core/lns.hpp"
+
+#include <algorithm>
+
+#include "util/timer.hpp"
+
+namespace netembed::core {
+
+namespace {
+
+class LnsEngine {
+ public:
+  LnsEngine(const Problem& problem, const SearchOptions& options,
+            const SolutionSink& sink)
+      : problem_(problem),
+        options_(options),
+        sink_(sink),
+        deadline_(options.timeout) {}
+
+  EmbedResult run() {
+    util::Stopwatch total;
+    problem_.validate();
+    EmbedResult result;
+    stats_ = &result.stats;
+
+    const std::size_t nq = problem_.query->nodeCount();
+    const std::size_t nr = problem_.host->nodeCount();
+    mapping_.assign(nq, graph::kInvalidNode);
+    covered_.assign(nq, false);
+    linksToCovered_.assign(nq, 0);
+    used_.assign(nr, false);
+    nodeOkKnown_.assign(nq, std::vector<std::uint8_t>(nr, 0));
+    coveredCount_ = 0;
+    solutionCount_ = 0;
+    stopped_ = false;
+    result.stats.firstMatchMs = -1.0;
+    firstMatchTimer_.restart();
+
+    descend(result);
+
+    result.solutionCount = solutionCount_;
+    result.stats.searchMs = total.elapsedMs();
+    if (!stopped_) {
+      result.outcome = Outcome::Complete;
+    } else {
+      result.outcome = solutionCount_ > 0 ? Outcome::Partial : Outcome::Inconclusive;
+    }
+    return result;
+  }
+
+ private:
+  const graph::Graph& query() const { return *problem_.query; }
+  const graph::Graph& host() const { return *problem_.host; }
+
+  bool limitsHit() {
+    if (stopped_) return true;
+    if (deadline_.isBounded() &&
+        stats_->treeNodesVisited % options_.checkStride == 0 && deadline_.expired()) {
+      stopped_ = true;
+    }
+    return stopped_;
+  }
+
+  /// Memoized node-level viability (node constraint + degree bound).
+  bool nodeViable(graph::NodeId v, graph::NodeId r) {
+    std::uint8_t& known = nodeOkKnown_[v][r];
+    if (known == 0) {
+      known = (problem_.degreeOk(v, r) && problem_.nodeOk(v, r)) ? 2 : 1;
+    }
+    return known == 2;
+  }
+
+  /// Pick the next query node to cover: a Neighbor-set node (most links to
+  /// Covered when the heuristic is on), or — when the Neighbor set is empty,
+  /// i.e. at the start or across disconnected query components — an
+  /// uncovered node (max degree when that heuristic is on).
+  graph::NodeId chooseNext() const {
+    graph::NodeId best = graph::kInvalidNode;
+    // Neighbor set first.
+    for (graph::NodeId v = 0; v < covered_.size(); ++v) {
+      if (covered_[v] || linksToCovered_[v] == 0) continue;
+      if (best == graph::kInvalidNode) {
+        best = v;
+        if (!options_.lnsMostConnectedNeighbor) return best;
+        continue;
+      }
+      if (linksToCovered_[v] > linksToCovered_[best] ||
+          (linksToCovered_[v] == linksToCovered_[best] &&
+           query().degree(v) > query().degree(best))) {
+        best = v;
+      }
+    }
+    if (best != graph::kInvalidNode) return best;
+    // Start / next component.
+    for (graph::NodeId v = 0; v < covered_.size(); ++v) {
+      if (covered_[v]) continue;
+      if (best == graph::kInvalidNode) {
+        best = v;
+        if (!options_.lnsMaxDegreeStart) return best;
+        continue;
+      }
+      if (query().degree(v) > query().degree(best)) best = v;
+    }
+    return best;
+  }
+
+  /// All query edges connecting v to covered nodes, with the orientation in
+  /// which they are used (qa -> qb is the stored edge direction).
+  struct ConnectingEdge {
+    graph::EdgeId qedge;
+    graph::NodeId coveredNode;
+    bool vIsSource;  // edge stored as (v -> coveredNode)
+  };
+
+  void collectConnectingEdges(graph::NodeId v, std::vector<ConnectingEdge>& out) const {
+    out.clear();
+    // vIsSource reflects the *stored* query edge orientation (constraints
+    // bind vSource/vTarget to the stored endpoints, even on undirected
+    // graphs where adjacency lists run both ways).
+    for (const graph::Neighbor& nb : query().neighbors(v)) {
+      if (covered_[nb.node]) {
+        out.push_back({nb.edge, nb.node, query().edgeSource(nb.edge) == v});
+      }
+    }
+    if (query().directed()) {
+      for (const graph::Neighbor& nb : query().inNeighbors(v)) {
+        if (covered_[nb.node]) out.push_back({nb.edge, nb.node, false});
+      }
+    }
+  }
+
+  /// Does host node s work for query node v given the current partial map?
+  /// Checks adjacency + constraint for every connecting edge.
+  bool candidateOk(graph::NodeId v, graph::NodeId s,
+                   const std::vector<ConnectingEdge>& connecting) {
+    if (used_[s] || !nodeViable(v, s)) return false;
+    for (const ConnectingEdge& ce : connecting) {
+      const graph::NodeId rw = mapping_[ce.coveredNode];
+      // Required host edge orientation mirrors the query edge orientation.
+      const graph::NodeId from = ce.vIsSource ? s : rw;
+      const graph::NodeId to = ce.vIsSource ? rw : s;
+      const auto he = host().findEdge(from, to);
+      if (!he) return false;
+      const graph::NodeId qa = ce.vIsSource ? v : ce.coveredNode;
+      const graph::NodeId qb = ce.vIsSource ? ce.coveredNode : v;
+      if (!problem_.edgeOk(ce.qedge, qa, qb, *he, from, to, stats_->constraintEvals)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void descend(EmbedResult& result) {
+    if (limitsHit()) return;
+    if (coveredCount_ == query().nodeCount()) {
+      onSolution(result);
+      return;
+    }
+    const graph::NodeId v = chooseNext();
+
+    std::vector<ConnectingEdge> connecting;
+    collectConnectingEdges(v, connecting);
+
+    if (connecting.empty()) {
+      // Start node or disconnected component: every viable unused host node.
+      for (graph::NodeId s = 0; s < used_.size(); ++s) {
+        if (limitsHit()) return;
+        if (used_[s] || !nodeViable(v, s)) continue;
+        ++stats_->treeNodesVisited;
+        push(v, s);
+        descend(result);
+        pop(v, s);
+        if (stopped_) return;
+      }
+      ++stats_->backtracks;
+      return;
+    }
+
+    // Iterate host neighbours of the covered-neighbour image with the
+    // smallest candidate fan-out, in the correct orientation.
+    const ConnectingEdge* base = &connecting.front();
+    std::size_t baseSize = static_cast<std::size_t>(-1);
+    for (const ConnectingEdge& ce : connecting) {
+      const graph::NodeId rw = mapping_[ce.coveredNode];
+      // v plays source => host edge s->rw => iterate in-neighbours of rw.
+      const std::size_t fanout =
+          host().directed()
+              ? (ce.vIsSource ? host().inNeighbors(rw).size()
+                              : host().neighbors(rw).size())
+              : host().neighbors(rw).size();
+      if (fanout < baseSize) {
+        baseSize = fanout;
+        base = &ce;
+      }
+    }
+    const graph::NodeId baseImage = mapping_[base->coveredNode];
+    const std::span<const graph::Neighbor> fan =
+        host().directed() && base->vIsSource ? host().inNeighbors(baseImage)
+                                             : host().neighbors(baseImage);
+
+    for (const graph::Neighbor& nb : fan) {
+      if (limitsHit()) return;
+      const graph::NodeId s = nb.node;
+      if (!candidateOk(v, s, connecting)) continue;
+      ++stats_->treeNodesVisited;
+      push(v, s);
+      descend(result);
+      pop(v, s);
+      if (stopped_) return;
+    }
+    ++stats_->backtracks;
+  }
+
+  void push(graph::NodeId v, graph::NodeId s) {
+    mapping_[v] = s;
+    covered_[v] = true;
+    used_[s] = true;
+    ++coveredCount_;
+    stats_->peakCovered = std::max(stats_->peakCovered, coveredCount_);
+    forEachQueryNeighbor(v, [&](graph::NodeId u) {
+      if (!covered_[u]) ++linksToCovered_[u];
+    });
+  }
+
+  void pop(graph::NodeId v, graph::NodeId s) {
+    forEachQueryNeighbor(v, [&](graph::NodeId u) {
+      if (!covered_[u]) --linksToCovered_[u];
+    });
+    --coveredCount_;
+    used_[s] = false;
+    covered_[v] = false;
+    mapping_[v] = graph::kInvalidNode;
+  }
+
+  template <typename Fn>
+  void forEachQueryNeighbor(graph::NodeId v, Fn&& fn) const {
+    for (const graph::Neighbor& nb : query().neighbors(v)) fn(nb.node);
+    if (query().directed()) {
+      for (const graph::Neighbor& nb : query().inNeighbors(v)) fn(nb.node);
+    }
+  }
+
+  void onSolution(EmbedResult& result) {
+    ++solutionCount_;
+    if (stats_->firstMatchMs < 0) stats_->firstMatchMs = firstMatchTimer_.elapsedMs();
+    if (result.mappings.size() < options_.storeLimit) result.mappings.push_back(mapping_);
+    if (sink_ && !sink_(mapping_)) {
+      stopped_ = true;
+      return;
+    }
+    if (options_.maxSolutions != 0 && solutionCount_ >= options_.maxSolutions) {
+      stopped_ = true;
+    }
+  }
+
+  const Problem& problem_;
+  const SearchOptions& options_;
+  const SolutionSink& sink_;
+  util::Deadline deadline_;
+  util::Stopwatch firstMatchTimer_;
+
+  Mapping mapping_;
+  std::vector<bool> covered_;
+  std::vector<std::uint32_t> linksToCovered_;
+  std::vector<bool> used_;
+  std::vector<std::vector<std::uint8_t>> nodeOkKnown_;  // 0 unknown, 1 no, 2 yes
+  std::size_t coveredCount_ = 0;
+  SearchStats* stats_ = nullptr;
+  std::uint64_t solutionCount_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+EmbedResult lnsSearch(const Problem& problem, const SearchOptions& options,
+                      const SolutionSink& sink) {
+  return LnsEngine(problem, options, sink).run();
+}
+
+}  // namespace netembed::core

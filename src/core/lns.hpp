@@ -1,0 +1,25 @@
+#pragma once
+// LNS — Lazy Neighborhood Search (paper §V-C, Figs. 6-7).
+//
+// Grows a Covered set of mapped query nodes, always expanding a node from
+// the Neighbor set (nodes adjacent to Covered). Host candidates are computed
+// lazily by intersecting the host adjacencies of the images of covered
+// neighbours and checking the connecting-edge constraints on the fly — no
+// precomputed filter matrices, O(n) state (the fix for ECF/RWB's worst-case
+// O(n^5) space).
+//
+// Heuristics (paper's two, both ablatable via SearchOptions):
+//   1. start from the maximum-degree query node,
+//   2. expand the neighbour with the most links into Covered.
+// Complete and correct per the paper's appendix (Lemma 2 / Theorem 1).
+
+#include "core/problem.hpp"
+#include "core/search.hpp"
+
+namespace netembed::core {
+
+[[nodiscard]] EmbedResult lnsSearch(const Problem& problem,
+                                    const SearchOptions& options = {},
+                                    const SolutionSink& sink = {});
+
+}  // namespace netembed::core

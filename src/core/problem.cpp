@@ -1,0 +1,22 @@
+#include "core/problem.hpp"
+
+#include <stdexcept>
+
+namespace netembed::core {
+
+void Problem::validate() const {
+  if (!query || !host) throw std::invalid_argument("Problem: null graph");
+  if (query->directed() != host->directed()) {
+    throw std::invalid_argument(
+        "Problem: query and host must both be directed or both undirected");
+  }
+  if (query->nodeCount() > host->nodeCount()) {
+    throw std::invalid_argument(
+        "Problem: query has more nodes than host; no injective mapping exists");
+  }
+  if (query->nodeCount() == 0) {
+    throw std::invalid_argument("Problem: empty query network");
+  }
+}
+
+}  // namespace netembed::core

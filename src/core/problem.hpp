@@ -1,0 +1,61 @@
+#pragma once
+// An embedding problem instance: query network, hosting network, constraints.
+
+#include "expr/constraint.hpp"
+#include "graph/graph.hpp"
+
+namespace netembed::core {
+
+/// Non-owning view of one embedding problem. The graphs and constraints must
+/// outlive every engine run against the problem. Immutable during search, so
+/// multiple engines may run concurrently on the same Problem.
+struct Problem {
+  const graph::Graph* query = nullptr;
+  const graph::Graph* host = nullptr;
+  const expr::ConstraintSet* constraints = nullptr;  // nullptr => topology only
+
+  Problem() = default;
+  Problem(const graph::Graph& q, const graph::Graph& h,
+          const expr::ConstraintSet& c)
+      : query(&q), host(&h), constraints(&c) {}
+  Problem(const graph::Graph& q, const graph::Graph& h) : query(&q), host(&h) {}
+
+  /// Throws std::invalid_argument when the instance is malformed
+  /// (null graphs, mismatched directedness, query larger than host).
+  void validate() const;
+
+  [[nodiscard]] const expr::Constraint* edgeConstraint() const noexcept {
+    return constraints && constraints->edge ? &*constraints->edge : nullptr;
+  }
+  [[nodiscard]] const expr::Constraint* nodeConstraint() const noexcept {
+    return constraints && constraints->node ? &*constraints->node : nullptr;
+  }
+
+  /// Evaluate the node constraint for q->r (true when unconstrained).
+  [[nodiscard]] bool nodeOk(graph::NodeId q, graph::NodeId r) const {
+    const expr::Constraint* c = nodeConstraint();
+    return !c || c->evalNodePair(*query, q, *host, r);
+  }
+
+  /// Degree-based necessary condition for q->r under an injective mapping.
+  [[nodiscard]] bool degreeOk(graph::NodeId q, graph::NodeId r) const {
+    if (query->directed()) {
+      return query->outDegree(q) <= host->outDegree(r) &&
+             query->inDegree(q) <= host->inDegree(r);
+    }
+    return query->degree(q) <= host->degree(r);
+  }
+
+  /// Evaluate the edge constraint for the oriented pair (true when
+  /// unconstrained). `evals` is incremented when an expression runs.
+  [[nodiscard]] bool edgeOk(graph::EdgeId qe, graph::NodeId qa, graph::NodeId qb,
+                            graph::EdgeId re, graph::NodeId ra, graph::NodeId rb,
+                            std::uint64_t& evals) const {
+    const expr::Constraint* c = edgeConstraint();
+    if (!c) return true;
+    ++evals;
+    return c->evalEdgePair(*query, qe, qa, qb, *host, re, ra, rb);
+  }
+};
+
+}  // namespace netembed::core

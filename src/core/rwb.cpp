@@ -1,0 +1,14 @@
+#include "core/rwb.hpp"
+
+#include "core/ecf.hpp"
+
+namespace netembed::core {
+
+EmbedResult rwbSearch(const Problem& problem, const SearchOptions& options,
+                      const SolutionSink& sink) {
+  SearchOptions effective = options;
+  if (effective.maxSolutions == 0) effective.maxSolutions = 1;
+  return detail::filteredSearch(problem, effective, sink, /*randomize=*/true);
+}
+
+}  // namespace netembed::core

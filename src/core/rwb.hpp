@@ -1,0 +1,18 @@
+#pragma once
+// RWB — Random Walk search with Backtracking (paper §V-B, Fig. 5).
+//
+// Identical pruning machinery to ECF, but candidate mappings are visited in
+// uniformly random order and the search stops at the first feasible
+// embedding (maxSolutions == 0 is treated as 1). Backtracking makes the walk
+// exhaustive, so a no-solution return still proves infeasibility.
+
+#include "core/problem.hpp"
+#include "core/search.hpp"
+
+namespace netembed::core {
+
+[[nodiscard]] EmbedResult rwbSearch(const Problem& problem,
+                                    const SearchOptions& options = {},
+                                    const SolutionSink& sink = {});
+
+}  // namespace netembed::core

@@ -1,0 +1,91 @@
+#pragma once
+// Shared search-facing types: options, statistics, outcomes, results.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace netembed::core {
+
+/// A (possibly partial) node mapping: query node id -> host node id.
+/// Complete mappings have no kInvalidNode entries.
+using Mapping = std::vector<graph::NodeId>;
+
+enum class Algorithm : std::uint8_t { ECF, RWB, LNS, Naive };
+[[nodiscard]] const char* algorithmName(Algorithm a) noexcept;
+
+/// How a search ended (paper §VII-E):
+///  * Complete      — the search space was exhausted before any limit hit;
+///                    with solutionCount == 0 this *proves* infeasibility.
+///  * Partial       — stopped early (timeout or max-solutions) having found
+///                    at least one feasible embedding.
+///  * Inconclusive  — stopped early with none found; existence is unknown.
+enum class Outcome : std::uint8_t { Complete, Partial, Inconclusive };
+[[nodiscard]] const char* outcomeName(Outcome o) noexcept;
+
+struct SearchOptions {
+  /// Wall-clock budget; zero means unlimited.
+  std::chrono::milliseconds timeout{0};
+  /// Stop after this many solutions; zero means enumerate all.
+  std::size_t maxSolutions = 0;
+  /// Retain at most this many mappings in the result (all are still counted).
+  std::size_t storeLimit = 16;
+  /// RNG seed (RWB and the randomized baselines).
+  std::uint64_t seed = 1;
+
+  // --- heuristics (all on by default; benches ablate them) ---
+  /// Lemma-1 static ordering of query nodes by ascending candidate count.
+  bool staticOrdering = true;
+  /// LNS: start from the maximum-degree query node.
+  bool lnsMaxDegreeStart = true;
+  /// LNS: always expand the neighbour with the most links into Covered.
+  bool lnsMostConnectedNeighbor = true;
+  /// Build stage-1 filters in parallel over query edges.
+  bool parallelFilterBuild = true;
+
+  /// Abort filter construction beyond this many stored candidate entries
+  /// (the O(n^5) blow-up guard the paper motivates LNS with). 0 = unlimited.
+  std::size_t maxFilterEntries = 200'000'000;
+
+  /// Deadline poll stride, in visited tree nodes.
+  std::uint64_t checkStride = 1024;
+};
+
+struct SearchStats {
+  std::uint64_t treeNodesVisited = 0;   // candidate assignments attempted
+  std::uint64_t constraintEvals = 0;    // expression evaluations
+  std::uint64_t backtracks = 0;
+  std::size_t filterEntries = 0;        // stage-1 candidate entries stored
+  double filterBuildMs = 0.0;
+  double searchMs = 0.0;                // total wall time incl. filter build
+  double firstMatchMs = -1.0;           // -1 when no match was found
+  std::size_t peakCovered = 0;          // LNS: deepest covered-set size
+
+  void merge(const SearchStats& other) noexcept;
+};
+
+struct EmbedResult {
+  Outcome outcome = Outcome::Inconclusive;
+  std::uint64_t solutionCount = 0;
+  std::vector<Mapping> mappings;  // first min(solutionCount, storeLimit)
+  SearchStats stats;
+
+  [[nodiscard]] bool feasible() const noexcept { return solutionCount > 0; }
+  [[nodiscard]] bool provenInfeasible() const noexcept {
+    return outcome == Outcome::Complete && solutionCount == 0;
+  }
+};
+
+/// Invoked for every feasible mapping as it is found; return false to stop
+/// the search (the result is then Partial).
+using SolutionSink = std::function<bool(const Mapping&)>;
+
+/// Render "q0->r3 q1->r7 ..." using node names.
+[[nodiscard]] std::string formatMapping(const Mapping& m, const graph::Graph& query,
+                                        const graph::Graph& host);
+
+}  // namespace netembed::core

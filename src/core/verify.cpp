@@ -1,0 +1,62 @@
+#include "core/verify.hpp"
+
+#include <vector>
+
+namespace netembed::core {
+
+namespace {
+VerifyResult fail(std::string reason) { return {false, std::move(reason)}; }
+}  // namespace
+
+VerifyResult verifyMapping(const Problem& problem, const Mapping& mapping) {
+  problem.validate();
+  const graph::Graph& q = *problem.query;
+  const graph::Graph& h = *problem.host;
+
+  if (mapping.size() != q.nodeCount()) {
+    return fail("mapping size " + std::to_string(mapping.size()) + " != query size " +
+                std::to_string(q.nodeCount()));
+  }
+
+  std::vector<bool> used(h.nodeCount(), false);
+  for (graph::NodeId v = 0; v < mapping.size(); ++v) {
+    const graph::NodeId r = mapping[v];
+    if (r == graph::kInvalidNode) {
+      return fail("query node " + q.nodeName(v) + " is unmapped");
+    }
+    if (r >= h.nodeCount()) {
+      return fail("query node " + q.nodeName(v) + " maps outside the host");
+    }
+    if (used[r]) {
+      return fail("host node " + h.nodeName(r) + " used twice (not injective)");
+    }
+    used[r] = true;
+    if (!problem.nodeOk(v, r)) {
+      return fail("node constraint fails for " + q.nodeName(v) + "->" + h.nodeName(r));
+    }
+  }
+
+  std::uint64_t evals = 0;
+  for (graph::EdgeId e = 0; e < q.edgeCount(); ++e) {
+    const graph::NodeId qa = q.edgeSource(e);
+    const graph::NodeId qb = q.edgeTarget(e);
+    const graph::NodeId ra = mapping[qa];
+    const graph::NodeId rb = mapping[qb];
+    const auto he = h.findEdge(ra, rb);
+    if (!he) {
+      return fail("query edge (" + q.nodeName(qa) + "," + q.nodeName(qb) +
+                  ") has no host edge between " + h.nodeName(ra) + " and " +
+                  h.nodeName(rb));
+    }
+    // For undirected hosts the stored orientation of the found edge may be
+    // rb->ra; the constraint is evaluated in the mapping's orientation.
+    if (!problem.edgeOk(e, qa, qb, *he, ra, rb, evals)) {
+      return fail("edge constraint fails for query edge (" + q.nodeName(qa) + "," +
+                  q.nodeName(qb) + ") on host edge (" + h.nodeName(ra) + "," +
+                  h.nodeName(rb) + ")");
+    }
+  }
+  return {true, {}};
+}
+
+}  // namespace netembed::core

@@ -1,0 +1,24 @@
+#pragma once
+// Independent mapping verifier: re-checks every property a feasible
+// embedding must have. Used as the test oracle for all engines and exposed
+// publicly so service users can audit returned mappings.
+
+#include <string>
+
+#include "core/problem.hpp"
+#include "core/search.hpp"
+
+namespace netembed::core {
+
+struct VerifyResult {
+  bool ok = false;
+  std::string reason;  // empty when ok
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Check that `mapping` is a complete, injective, topology-preserving,
+/// constraint-satisfying embedding of problem.query into problem.host.
+[[nodiscard]] VerifyResult verifyMapping(const Problem& problem, const Mapping& mapping);
+
+}  // namespace netembed::core

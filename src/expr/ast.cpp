@@ -1,0 +1,216 @@
+#include "expr/ast.hpp"
+
+#include <cmath>
+
+namespace netembed::expr {
+
+const char* objectName(ObjectId o) noexcept {
+  switch (o) {
+    case ObjectId::VEdge: return "vEdge";
+    case ObjectId::REdge: return "rEdge";
+    case ObjectId::VSource: return "vSource";
+    case ObjectId::VTarget: return "vTarget";
+    case ObjectId::RSource: return "rSource";
+    case ObjectId::RTarget: return "rTarget";
+    case ObjectId::VNode: return "vNode";
+    case ObjectId::RNode: return "rNode";
+  }
+  return "?";
+}
+
+bool isEdgeObject(ObjectId o) noexcept {
+  return o != ObjectId::VNode && o != ObjectId::RNode;
+}
+
+bool isNodeObject(ObjectId o) noexcept {
+  return o == ObjectId::VNode || o == ObjectId::RNode;
+}
+
+const char* builtinName(Builtin b) noexcept {
+  switch (b) {
+    case Builtin::Abs: return "abs";
+    case Builtin::Sqrt: return "sqrt";
+    case Builtin::Min: return "min";
+    case Builtin::Max: return "max";
+    case Builtin::Floor: return "floor";
+    case Builtin::Ceil: return "ceil";
+    case Builtin::IsBoundTo: return "isBoundTo";
+  }
+  return "?";
+}
+
+std::size_t builtinArity(Builtin b) noexcept {
+  switch (b) {
+    case Builtin::Abs:
+    case Builtin::Sqrt:
+    case Builtin::Floor:
+    case Builtin::Ceil: return 1;
+    case Builtin::Min:
+    case Builtin::Max:
+    case Builtin::IsBoundTo: return 2;
+  }
+  return 0;
+}
+
+namespace {
+void collectObjects(const Node& node, std::uint32_t& mask) {
+  switch (node.kind) {
+    case Node::Kind::AttrRef:
+      mask |= 1u << static_cast<std::uint32_t>(node.object);
+      break;
+    case Node::Kind::Unary:
+      collectObjects(*node.lhs, mask);
+      break;
+    case Node::Kind::Binary:
+      collectObjects(*node.lhs, mask);
+      collectObjects(*node.rhs, mask);
+      break;
+    case Node::Kind::Call:
+      for (const NodePtr& a : node.args) collectObjects(*a, mask);
+      break;
+    case Node::Kind::Literal:
+      break;
+  }
+}
+
+Value callBuiltin(Builtin b, const Value* argv) {
+  switch (b) {
+    case Builtin::Abs:
+      return argv[0].isNumber() ? Value::number(std::fabs(argv[0].asNumber()))
+                                : Value::undefined();
+    case Builtin::Sqrt:
+      return argv[0].isNumber() && argv[0].asNumber() >= 0.0
+                 ? Value::number(std::sqrt(argv[0].asNumber()))
+                 : Value::undefined();
+    case Builtin::Floor:
+      return argv[0].isNumber() ? Value::number(std::floor(argv[0].asNumber()))
+                                : Value::undefined();
+    case Builtin::Ceil:
+      return argv[0].isNumber() ? Value::number(std::ceil(argv[0].asNumber()))
+                                : Value::undefined();
+    case Builtin::Min:
+      return argv[0].isNumber() && argv[1].isNumber()
+                 ? Value::number(std::fmin(argv[0].asNumber(), argv[1].asNumber()))
+                 : Value::undefined();
+    case Builtin::Max:
+      return argv[0].isNumber() && argv[1].isNumber()
+                 ? Value::number(std::fmax(argv[0].asNumber(), argv[1].asNumber()))
+                 : Value::undefined();
+    case Builtin::IsBoundTo:
+      return valueIsBoundTo(argv[0], argv[1]);
+  }
+  return Value::undefined();
+}
+}  // namespace
+
+std::uint32_t Ast::objectsUsed() const {
+  std::uint32_t mask = 0;
+  if (root) collectObjects(*root, mask);
+  return mask;
+}
+
+Value evalAst(const Node& node, const EvalContext& ctx) {
+  switch (node.kind) {
+    case Node::Kind::Literal:
+      return node.literal;
+    case Node::Kind::AttrRef: {
+      const graph::AttrMap* attrs = ctx.slot[static_cast<std::size_t>(node.object)];
+      if (!attrs) return Value::undefined();
+      const graph::AttrValue* v = attrs->get(node.attr);
+      return v ? Value::fromAttr(*v) : Value::undefined();
+    }
+    case Node::Kind::Unary: {
+      const Value operand = evalAst(*node.lhs, ctx);
+      if (node.unaryOp == UnaryOp::Not) return Value::boolean(!operand.truthy());
+      return operand.isNumber() ? Value::number(-operand.asNumber()) : Value::undefined();
+    }
+    case Node::Kind::Binary: {
+      switch (node.binaryOp) {
+        case BinaryOp::And: {
+          if (!evalAst(*node.lhs, ctx).truthy()) return Value::boolean(false);
+          return Value::boolean(evalAst(*node.rhs, ctx).truthy());
+        }
+        case BinaryOp::Or: {
+          if (evalAst(*node.lhs, ctx).truthy()) return Value::boolean(true);
+          return Value::boolean(evalAst(*node.rhs, ctx).truthy());
+        }
+        default: break;
+      }
+      const Value a = evalAst(*node.lhs, ctx);
+      const Value b = evalAst(*node.rhs, ctx);
+      switch (node.binaryOp) {
+        case BinaryOp::Eq: return valueEquals(a, b);
+        case BinaryOp::Ne: {
+          const Value eq = valueEquals(a, b);
+          return eq.isUndefined() ? eq : Value::boolean(!eq.asBool());
+        }
+        case BinaryOp::Lt: return valueCompare(a, b, 0);
+        case BinaryOp::Le: return valueCompare(a, b, 1);
+        case BinaryOp::Gt: return valueCompare(a, b, 2);
+        case BinaryOp::Ge: return valueCompare(a, b, 3);
+        case BinaryOp::Add: return valueArith(a, b, '+');
+        case BinaryOp::Sub: return valueArith(a, b, '-');
+        case BinaryOp::Mul: return valueArith(a, b, '*');
+        case BinaryOp::Div: return valueArith(a, b, '/');
+        default: return Value::undefined();
+      }
+    }
+    case Node::Kind::Call: {
+      Value argv[2];
+      for (std::size_t i = 0; i < node.args.size() && i < 2; ++i) {
+        argv[i] = evalAst(*node.args[i], ctx);
+      }
+      return callBuiltin(node.builtin, argv);
+    }
+  }
+  return Value::undefined();
+}
+
+namespace {
+const char* binaryOpText(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::And: return "&&";
+    case BinaryOp::Or: return "||";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string toString(const Node& node) {
+  switch (node.kind) {
+    case Node::Kind::Literal:
+      if (node.literal.isString()) return "\"" + std::string(node.literal.asString()) + "\"";
+      return node.literal.toString();
+    case Node::Kind::AttrRef:
+      return std::string(objectName(node.object)) + "." + graph::attrName(node.attr);
+    case Node::Kind::Unary:
+      return std::string(node.unaryOp == UnaryOp::Not ? "!" : "-") + "(" +
+             toString(*node.lhs) + ")";
+    case Node::Kind::Binary:
+      return "(" + toString(*node.lhs) + " " + binaryOpText(node.binaryOp) + " " +
+             toString(*node.rhs) + ")";
+    case Node::Kind::Call: {
+      std::string out = builtinName(node.builtin);
+      out += "(";
+      for (std::size_t i = 0; i < node.args.size(); ++i) {
+        if (i) out += ", ";
+        out += toString(*node.args[i]);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace netembed::expr

@@ -1,0 +1,85 @@
+#pragma once
+// Abstract syntax tree for constraint expressions, plus a reference
+// tree-walking evaluator. The bytecode VM (vm.hpp) is the production
+// evaluator; the AST interpreter doubles as its differential-testing oracle
+// and as the slow leg of the interpreter-vs-VM ablation bench.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/value.hpp"
+#include "graph/attr_map.hpp"
+
+namespace netembed::expr {
+
+/// The objects available in expressions (paper Table I, plus the vNode/rNode
+/// extension used by node-level constraints).
+enum class ObjectId : std::uint8_t {
+  VEdge, REdge, VSource, VTarget, RSource, RTarget, VNode, RNode
+};
+inline constexpr std::size_t kObjectCount = 8;
+
+[[nodiscard]] const char* objectName(ObjectId o) noexcept;
+[[nodiscard]] bool isEdgeObject(ObjectId o) noexcept;  // Table I objects
+[[nodiscard]] bool isNodeObject(ObjectId o) noexcept;  // vNode / rNode
+
+enum class Builtin : std::uint8_t { Abs, Sqrt, Min, Max, Floor, Ceil, IsBoundTo };
+
+[[nodiscard]] const char* builtinName(Builtin b) noexcept;
+[[nodiscard]] std::size_t builtinArity(Builtin b) noexcept;
+
+enum class UnaryOp : std::uint8_t { Not, Negate };
+enum class BinaryOp : std::uint8_t {
+  And, Or, Eq, Ne, Lt, Le, Gt, Ge, Add, Sub, Mul, Div
+};
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Node {
+  enum class Kind : std::uint8_t { Literal, AttrRef, Unary, Binary, Call } kind;
+
+  // Literal
+  Value literal;            // strings view into Ast::stringPool
+  // AttrRef
+  ObjectId object{};
+  graph::AttrId attr{};
+  // Unary / Binary
+  UnaryOp unaryOp{};
+  BinaryOp binaryOp{};
+  NodePtr lhs;              // also the Unary operand
+  NodePtr rhs;
+  // Call
+  Builtin builtin{};
+  std::vector<NodePtr> args;
+};
+
+/// A parsed expression: root node plus owned string literals.
+struct Ast {
+  NodePtr root;
+  std::vector<std::unique_ptr<std::string>> stringPool;  // stable addresses
+  std::string source;
+
+  /// Bitmask over ObjectId of objects the expression references.
+  [[nodiscard]] std::uint32_t objectsUsed() const;
+};
+
+/// Attribute-map bindings for one evaluation. Unbound slots are nullptr;
+/// attribute reads through them yield Undefined.
+struct EvalContext {
+  const graph::AttrMap* slot[kObjectCount] = {};
+
+  void bind(ObjectId o, const graph::AttrMap& attrs) noexcept {
+    slot[static_cast<std::size_t>(o)] = &attrs;
+  }
+};
+
+/// Reference evaluator (recursive tree walk, short-circuiting && / ||).
+[[nodiscard]] Value evalAst(const Node& node, const EvalContext& ctx);
+
+/// Render back to (normalized) source text, for diagnostics.
+[[nodiscard]] std::string toString(const Node& node);
+
+}  // namespace netembed::expr

@@ -1,0 +1,240 @@
+#include "expr/compile.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace netembed::expr {
+
+namespace {
+
+/// Mutable buffers the Compiler fills; compile() moves them into a Program.
+struct ProgramBuffers {
+  std::vector<Instr> code;
+  std::vector<Value> constants;
+  std::vector<std::unique_ptr<std::string>> stringPool;
+  std::uint32_t objectsUsed = 0;
+  std::size_t maxStack = 0;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(ProgramBuffers& out) : out_(out) {}
+
+  void emitNode(const Node& node) {
+    switch (node.kind) {
+      case Node::Kind::Literal: emitLiteral(node); break;
+      case Node::Kind::AttrRef: emitAttrRef(node); break;
+      case Node::Kind::Unary: emitUnary(node); break;
+      case Node::Kind::Binary: emitBinary(node); break;
+      case Node::Kind::Call: emitCall(node); break;
+    }
+  }
+
+  void finalize() {
+    // Final result is used via truthiness; normalize to Bool so callers can
+    // rely on a Bool outcome.
+    emit(OpCode::Truthy);
+  }
+
+ private:
+  std::uint32_t emit(OpCode op, std::uint32_t a = 0, std::uint32_t b = 0) {
+    out_.code.push_back({op, a, b});
+    trackStack(op);
+    return static_cast<std::uint32_t>(out_.code.size() - 1);
+  }
+
+  void trackStack(OpCode op) {
+    switch (op) {
+      case OpCode::PushConst:
+      case OpCode::PushAttr:
+      case OpCode::PushTrue:
+      case OpCode::PushFalse:
+        ++depth_;
+        break;
+      case OpCode::Eq: case OpCode::Ne: case OpCode::Lt: case OpCode::Le:
+      case OpCode::Gt: case OpCode::Ge: case OpCode::Add: case OpCode::Sub:
+      case OpCode::Mul: case OpCode::Div: case OpCode::Min: case OpCode::Max:
+      case OpCode::IsBoundTo:
+      case OpCode::JumpIfFalse:
+      case OpCode::JumpIfTrue:
+        --depth_;
+        break;
+      default:
+        break;
+    }
+    out_.maxStack = std::max(out_.maxStack, depth_);
+  }
+
+  void patch(std::uint32_t at) {
+    out_.code[at].a = static_cast<std::uint32_t>(out_.code.size());
+  }
+
+  std::uint32_t addConstant(const Value& v) {
+    if (v.isString()) {
+      out_.stringPool.push_back(std::make_unique<std::string>(v.asString()));
+      out_.constants.push_back(Value::string(*out_.stringPool.back()));
+    } else {
+      out_.constants.push_back(v);
+    }
+    return static_cast<std::uint32_t>(out_.constants.size() - 1);
+  }
+
+  void emitLiteral(const Node& node) {
+    if (node.literal.isBool()) {
+      emit(node.literal.asBool() ? OpCode::PushTrue : OpCode::PushFalse);
+      return;
+    }
+    emit(OpCode::PushConst, addConstant(node.literal));
+  }
+
+  void emitAttrRef(const Node& node) {
+    out_.objectsUsed |= 1u << static_cast<std::uint32_t>(node.object);
+    emit(OpCode::PushAttr, static_cast<std::uint32_t>(node.object), node.attr);
+  }
+
+  void emitUnary(const Node& node) {
+    emitNode(*node.lhs);
+    emit(node.unaryOp == UnaryOp::Not ? OpCode::Not : OpCode::Negate);
+  }
+
+  void emitBinary(const Node& node) {
+    switch (node.binaryOp) {
+      case BinaryOp::And: {
+        emitNode(*node.lhs);
+        emit(OpCode::Truthy);
+        const std::uint32_t jumpFalse = emit(OpCode::JumpIfFalse);
+        emitNode(*node.rhs);
+        emit(OpCode::Truthy);
+        const std::uint32_t jumpEnd = emit(OpCode::Jump);
+        patch(jumpFalse);
+        emit(OpCode::PushFalse);
+        --depth_;  // both branches push exactly one value
+        patch(jumpEnd);
+        return;
+      }
+      case BinaryOp::Or: {
+        emitNode(*node.lhs);
+        emit(OpCode::Truthy);
+        const std::uint32_t jumpTrue = emit(OpCode::JumpIfTrue);
+        emitNode(*node.rhs);
+        emit(OpCode::Truthy);
+        const std::uint32_t jumpEnd = emit(OpCode::Jump);
+        patch(jumpTrue);
+        emit(OpCode::PushTrue);
+        --depth_;
+        patch(jumpEnd);
+        return;
+      }
+      default: break;
+    }
+    emitNode(*node.lhs);
+    emitNode(*node.rhs);
+    switch (node.binaryOp) {
+      case BinaryOp::Eq: emit(OpCode::Eq); break;
+      case BinaryOp::Ne: emit(OpCode::Ne); break;
+      case BinaryOp::Lt: emit(OpCode::Lt); break;
+      case BinaryOp::Le: emit(OpCode::Le); break;
+      case BinaryOp::Gt: emit(OpCode::Gt); break;
+      case BinaryOp::Ge: emit(OpCode::Ge); break;
+      case BinaryOp::Add: emit(OpCode::Add); break;
+      case BinaryOp::Sub: emit(OpCode::Sub); break;
+      case BinaryOp::Mul: emit(OpCode::Mul); break;
+      case BinaryOp::Div: emit(OpCode::Div); break;
+      default: throw std::logic_error("compile: unreachable binary op");
+    }
+  }
+
+  void emitCall(const Node& node) {
+    for (const NodePtr& arg : node.args) emitNode(*arg);
+    switch (node.builtin) {
+      case Builtin::Abs: emit(OpCode::Abs); break;
+      case Builtin::Sqrt: emit(OpCode::Sqrt); break;
+      case Builtin::Floor: emit(OpCode::Floor); break;
+      case Builtin::Ceil: emit(OpCode::Ceil); break;
+      case Builtin::Min: emit(OpCode::Min); break;
+      case Builtin::Max: emit(OpCode::Max); break;
+      case Builtin::IsBoundTo: emit(OpCode::IsBoundTo); break;
+    }
+  }
+
+  ProgramBuffers& out_;
+  std::size_t depth_ = 0;
+};
+
+const char* opName(OpCode op) {
+  switch (op) {
+    case OpCode::PushConst: return "PUSH_CONST";
+    case OpCode::PushAttr: return "PUSH_ATTR";
+    case OpCode::Not: return "NOT";
+    case OpCode::Negate: return "NEG";
+    case OpCode::Eq: return "EQ";
+    case OpCode::Ne: return "NE";
+    case OpCode::Lt: return "LT";
+    case OpCode::Le: return "LE";
+    case OpCode::Gt: return "GT";
+    case OpCode::Ge: return "GE";
+    case OpCode::Add: return "ADD";
+    case OpCode::Sub: return "SUB";
+    case OpCode::Mul: return "MUL";
+    case OpCode::Div: return "DIV";
+    case OpCode::Abs: return "ABS";
+    case OpCode::Sqrt: return "SQRT";
+    case OpCode::Floor: return "FLOOR";
+    case OpCode::Ceil: return "CEIL";
+    case OpCode::Min: return "MIN";
+    case OpCode::Max: return "MAX";
+    case OpCode::IsBoundTo: return "IS_BOUND_TO";
+    case OpCode::Truthy: return "TRUTHY";
+    case OpCode::JumpIfFalse: return "JF";
+    case OpCode::JumpIfTrue: return "JT";
+    case OpCode::Jump: return "JMP";
+    case OpCode::PushTrue: return "PUSH_TRUE";
+    case OpCode::PushFalse: return "PUSH_FALSE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Program compile(const Ast& ast) {
+  if (!ast.root) throw std::invalid_argument("compile: empty AST");
+  ProgramBuffers buffers;
+  Compiler compiler(buffers);
+  compiler.emitNode(*ast.root);
+  compiler.finalize();
+  Program program;
+  program.code_ = std::move(buffers.code);
+  program.constants_ = std::move(buffers.constants);
+  program.stringPool_ = std::move(buffers.stringPool);
+  program.objectsUsed_ = buffers.objectsUsed;
+  program.maxStack_ = buffers.maxStack;
+  return program;
+}
+
+std::string Program::disassemble() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const Instr& instr = code_[i];
+    out << i << ": " << opName(instr.op);
+    switch (instr.op) {
+      case OpCode::PushConst:
+        out << " " << constants_[instr.a].toString();
+        break;
+      case OpCode::PushAttr:
+        out << " " << objectName(static_cast<ObjectId>(instr.a)) << "."
+            << graph::attrName(instr.b);
+        break;
+      case OpCode::Jump:
+      case OpCode::JumpIfFalse:
+      case OpCode::JumpIfTrue:
+        out << " -> " << instr.a;
+        break;
+      default:
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace netembed::expr

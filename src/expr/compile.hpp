@@ -1,0 +1,63 @@
+#pragma once
+// AST -> stack-bytecode compiler.
+//
+// Stage-1 filter construction evaluates one expression |E_Q| x |E_R| times;
+// a flat instruction array with pre-resolved attribute ids removes the
+// pointer-chasing and branch-misprediction cost of walking the AST.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/ast.hpp"
+
+namespace netembed::expr {
+
+enum class OpCode : std::uint8_t {
+  PushConst,   // a = constant index
+  PushAttr,    // a = ObjectId, b = AttrId
+  Not,         // truthiness negation
+  Negate,      // numeric negation
+  Eq, Ne, Lt, Le, Gt, Ge,
+  Add, Sub, Mul, Div,
+  Abs, Sqrt, Floor, Ceil,  // 1-arg builtins
+  Min, Max, IsBoundTo,     // 2-arg builtins
+  Truthy,      // coerce top of stack to Bool via truthiness
+  JumpIfFalse, // a = target; pops, jumps when not truthy
+  JumpIfTrue,  // a = target; pops, jumps when truthy
+  Jump,        // a = target
+  PushTrue,
+  PushFalse,
+};
+
+struct Instr {
+  OpCode op;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// Executable form of an expression. Immutable after compilation; safe to
+/// evaluate concurrently from many threads (each evaluation uses its own
+/// small stack).
+class Program {
+ public:
+  [[nodiscard]] const std::vector<Instr>& code() const noexcept { return code_; }
+  [[nodiscard]] const std::vector<Value>& constants() const noexcept { return constants_; }
+  [[nodiscard]] std::uint32_t objectsUsed() const noexcept { return objectsUsed_; }
+  [[nodiscard]] std::size_t maxStackDepth() const noexcept { return maxStack_; }
+
+  /// Human-readable disassembly, for tests and debugging.
+  [[nodiscard]] std::string disassemble() const;
+
+ private:
+  friend Program compile(const Ast& ast);
+  std::vector<Instr> code_;
+  std::vector<Value> constants_;
+  std::vector<std::unique_ptr<std::string>> stringPool_;  // owns string constants
+  std::uint32_t objectsUsed_ = 0;
+  std::size_t maxStack_ = 0;
+};
+
+[[nodiscard]] Program compile(const Ast& ast);
+
+}  // namespace netembed::expr

@@ -1,0 +1,67 @@
+#include "expr/constraint.hpp"
+
+#include <stdexcept>
+
+#include "expr/parser.hpp"
+#include "expr/vm.hpp"
+
+namespace netembed::expr {
+
+Constraint Constraint::parse(std::string_view source) {
+  Constraint c;
+  c.ast_ = expr::parse(source);
+  c.program_ = compile(c.ast_);
+  return c;
+}
+
+bool Constraint::usesEdgeObjects() const noexcept {
+  const std::uint32_t mask = program_.objectsUsed();
+  constexpr std::uint32_t edgeMask =
+      (1u << static_cast<std::uint32_t>(ObjectId::VEdge)) |
+      (1u << static_cast<std::uint32_t>(ObjectId::REdge)) |
+      (1u << static_cast<std::uint32_t>(ObjectId::VSource)) |
+      (1u << static_cast<std::uint32_t>(ObjectId::VTarget)) |
+      (1u << static_cast<std::uint32_t>(ObjectId::RSource)) |
+      (1u << static_cast<std::uint32_t>(ObjectId::RTarget));
+  return (mask & edgeMask) != 0;
+}
+
+bool Constraint::usesNodeObjects() const noexcept {
+  const std::uint32_t mask = program_.objectsUsed();
+  constexpr std::uint32_t nodeMask =
+      (1u << static_cast<std::uint32_t>(ObjectId::VNode)) |
+      (1u << static_cast<std::uint32_t>(ObjectId::RNode));
+  return (mask & nodeMask) != 0;
+}
+
+bool Constraint::evalCtx(const EvalContext& ctx) const {
+  if (useInterpreter_) return evalAst(*ast_.root, ctx).truthy();
+  return run(program_, ctx);
+}
+
+ConstraintSet ConstraintSet::edgeOnly(std::string_view source) {
+  return parse(source, {});
+}
+
+ConstraintSet ConstraintSet::parse(std::string_view edgeSource,
+                                   std::string_view nodeSource) {
+  ConstraintSet set;
+  if (!edgeSource.empty()) {
+    set.edge = Constraint::parse(edgeSource);
+    if (set.edge->usesNodeObjects()) {
+      throw std::invalid_argument(
+          "edge constraint must not reference vNode/rNode (use "
+          "vSource/vTarget/rSource/rTarget)");
+    }
+  }
+  if (!nodeSource.empty()) {
+    set.node = Constraint::parse(nodeSource);
+    if (set.node->usesEdgeObjects()) {
+      throw std::invalid_argument(
+          "node constraint may only reference vNode and rNode");
+    }
+  }
+  return set;
+}
+
+}  // namespace netembed::expr

@@ -1,0 +1,91 @@
+#pragma once
+// The public face of the constraint language: parse once, evaluate millions
+// of times against (query, host) element pairs.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "expr/ast.hpp"
+#include "expr/compile.hpp"
+#include "expr/lexer.hpp"  // SyntaxError is part of parse()'s contract
+#include "graph/graph.hpp"
+
+namespace netembed::expr {
+
+/// A parsed + compiled constraint expression.
+///
+/// Edge constraints are evaluated per (query-edge, host-edge) pair with the
+/// Table-I objects bound to the *orientation in which the edges are used by
+/// the mapping*: vSource/rSource are the query/host nodes at the same end.
+/// Node constraints use vNode/rNode only.
+class Constraint {
+ public:
+  /// Parse and compile. Throws SyntaxError on malformed source.
+  [[nodiscard]] static Constraint parse(std::string_view source);
+
+  [[nodiscard]] const std::string& source() const noexcept { return ast_.source; }
+  [[nodiscard]] const Program& program() const noexcept { return program_; }
+  [[nodiscard]] const Ast& ast() const noexcept { return ast_; }
+
+  [[nodiscard]] bool usesEdgeObjects() const noexcept;
+  [[nodiscard]] bool usesNodeObjects() const noexcept;
+
+  /// Evaluate against an oriented edge pair:
+  ///   query edge qe used from qa to qb, host edge re used from ra to rb.
+  [[nodiscard]] bool evalEdgePair(const graph::Graph& query, graph::EdgeId qe,
+                                  graph::NodeId qa, graph::NodeId qb,
+                                  const graph::Graph& host, graph::EdgeId re,
+                                  graph::NodeId ra, graph::NodeId rb) const {
+    EvalContext ctx;
+    ctx.bind(ObjectId::VEdge, query.edgeAttrs(qe));
+    ctx.bind(ObjectId::REdge, host.edgeAttrs(re));
+    ctx.bind(ObjectId::VSource, query.nodeAttrs(qa));
+    ctx.bind(ObjectId::VTarget, query.nodeAttrs(qb));
+    ctx.bind(ObjectId::RSource, host.nodeAttrs(ra));
+    ctx.bind(ObjectId::RTarget, host.nodeAttrs(rb));
+    return evalCtx(ctx);
+  }
+
+  /// Evaluate against a (query-node, host-node) pair (vNode / rNode objects).
+  [[nodiscard]] bool evalNodePair(const graph::Graph& query, graph::NodeId qn,
+                                  const graph::Graph& host, graph::NodeId rn) const {
+    EvalContext ctx;
+    ctx.bind(ObjectId::VNode, query.nodeAttrs(qn));
+    ctx.bind(ObjectId::RNode, host.nodeAttrs(rn));
+    return evalCtx(ctx);
+  }
+
+  [[nodiscard]] bool evalCtx(const EvalContext& ctx) const;
+
+  /// When true, the reference AST interpreter is used instead of the VM
+  /// (ablation hook; also exercised by differential tests).
+  void setUseInterpreter(bool on) noexcept { useInterpreter_ = on; }
+  [[nodiscard]] bool usingInterpreter() const noexcept { return useInterpreter_; }
+
+ private:
+  Constraint() = default;
+  Ast ast_;
+  Program program_;
+  bool useInterpreter_ = false;
+};
+
+/// The full constraint specification of a query: an optional edge expression
+/// (paper's constraint expression) and an optional node expression
+/// (extension). Absent expressions are unconstrained (always true).
+struct ConstraintSet {
+  std::optional<Constraint> edge;
+  std::optional<Constraint> node;
+
+  /// Parse an edge-level constraint only; validates object usage.
+  [[nodiscard]] static ConstraintSet edgeOnly(std::string_view source);
+
+  /// Parse both levels; either may be empty ("" => unconstrained).
+  [[nodiscard]] static ConstraintSet parse(std::string_view edgeSource,
+                                           std::string_view nodeSource);
+
+  /// Topology-only matching (subgraph isomorphism, no attribute constraints).
+  [[nodiscard]] static ConstraintSet none() { return ConstraintSet{}; }
+};
+
+}  // namespace netembed::expr

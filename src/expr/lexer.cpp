@@ -1,0 +1,158 @@
+#include "expr/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace netembed::expr {
+
+std::string_view tokenKindName(TokenKind k) noexcept {
+  switch (k) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::Number: return "number";
+    case TokenKind::String: return "string";
+    case TokenKind::True: return "'true'";
+    case TokenKind::False: return "'false'";
+    case TokenKind::AndAnd: return "'&&'";
+    case TokenKind::OrOr: return "'||'";
+    case TokenKind::Not: return "'!'";
+    case TokenKind::Eq: return "'=='";
+    case TokenKind::Ne: return "'!='";
+    case TokenKind::Lt: return "'<'";
+    case TokenKind::Le: return "'<='";
+    case TokenKind::Gt: return "'>'";
+    case TokenKind::Ge: return "'>='";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::End: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const auto push = [&](TokenKind kind, std::size_t start, std::size_t len) {
+    tokens.push_back({kind, source.substr(start, len), 0.0, start});
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) || source[i] == '_')) {
+        ++i;
+      }
+      const std::string_view word = source.substr(start, i - start);
+      if (word == "true") {
+        push(TokenKind::True, start, word.size());
+      } else if (word == "false") {
+        push(TokenKind::False, start, word.size());
+      } else {
+        push(TokenKind::Identifier, start, word.size());
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t start = i;
+      while (i < source.size() && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      if (i < source.size() && source[i] == '.') {
+        ++i;
+        while (i < source.size() && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      }
+      if (i < source.size() && (source[i] == 'e' || source[i] == 'E')) {
+        std::size_t j = i + 1;
+        if (j < source.size() && (source[j] == '+' || source[j] == '-')) ++j;
+        if (j < source.size() && std::isdigit(static_cast<unsigned char>(source[j]))) {
+          i = j;
+          while (i < source.size() && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+        }
+      }
+      Token tok{TokenKind::Number, source.substr(start, i - start), 0.0, start};
+      tok.number = std::strtod(std::string(tok.text).c_str(), nullptr);
+      tokens.push_back(tok);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t start = ++i;
+      while (i < source.size() && source[i] != quote) ++i;
+      if (i >= source.size()) throw SyntaxError("unterminated string literal", start - 1);
+      push(TokenKind::String, start, i - start);
+      ++i;  // closing quote
+      continue;
+    }
+    const std::size_t start = i;
+    auto two = [&](char second) {
+      return i + 1 < source.size() && source[i + 1] == second;
+    };
+    switch (c) {
+      case '&':
+        if (!two('&')) throw SyntaxError("expected '&&'", start);
+        push(TokenKind::AndAnd, start, 2);
+        i += 2;
+        break;
+      case '|':
+        if (!two('|')) throw SyntaxError("expected '||'", start);
+        push(TokenKind::OrOr, start, 2);
+        i += 2;
+        break;
+      case '=':
+        if (!two('=')) throw SyntaxError("expected '==' (assignment is not supported)", start);
+        push(TokenKind::Eq, start, 2);
+        i += 2;
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokenKind::Ne, start, 2);
+          i += 2;
+        } else {
+          push(TokenKind::Not, start, 1);
+          ++i;
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokenKind::Le, start, 2);
+          i += 2;
+        } else {
+          push(TokenKind::Lt, start, 1);
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenKind::Ge, start, 2);
+          i += 2;
+        } else {
+          push(TokenKind::Gt, start, 1);
+          ++i;
+        }
+        break;
+      case '+': push(TokenKind::Plus, start, 1); ++i; break;
+      case '-': push(TokenKind::Minus, start, 1); ++i; break;
+      case '*': push(TokenKind::Star, start, 1); ++i; break;
+      case '/': push(TokenKind::Slash, start, 1); ++i; break;
+      case '(': push(TokenKind::LParen, start, 1); ++i; break;
+      case ')': push(TokenKind::RParen, start, 1); ++i; break;
+      case ',': push(TokenKind::Comma, start, 1); ++i; break;
+      case '.': push(TokenKind::Dot, start, 1); ++i; break;
+      default:
+        throw SyntaxError(std::string("unexpected character '") + c + "'", start);
+    }
+  }
+  tokens.push_back({TokenKind::End, source.substr(source.size(), 0), 0.0, source.size()});
+  return tokens;
+}
+
+}  // namespace netembed::expr

@@ -1,0 +1,50 @@
+#pragma once
+// Tokenizer for the NETEMBED constraint expression language (paper §VI-B):
+// Java-style boolean expressions over the objects of Table I.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netembed::expr {
+
+enum class TokenKind : std::uint8_t {
+  Identifier,   // vEdge, avgDelay, isBoundTo, ...
+  Number,       // 0.90, 100, 1e-3
+  String,       // "linux-2.6" or 'linux-2.6'
+  True, False,  // keywords
+  AndAnd, OrOr, Not,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  Plus, Minus, Star, Slash,
+  LParen, RParen, Comma, Dot,
+  End
+};
+
+[[nodiscard]] std::string_view tokenKindName(TokenKind k) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string_view text;   // view into the source
+  double number = 0.0;     // valid for Number
+  std::size_t offset = 0;  // byte offset into the source (for diagnostics)
+};
+
+/// Error in lexing or parsing, carrying the source offset.
+class SyntaxError : public std::runtime_error {
+ public:
+  SyntaxError(const std::string& message, std::size_t offset)
+      : std::runtime_error(message + " (at offset " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Tokenize the whole source; the final token is always End.
+/// The source string must outlive the tokens (text fields are views).
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace netembed::expr

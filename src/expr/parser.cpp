@@ -1,0 +1,240 @@
+#include "expr/parser.hpp"
+
+#include <optional>
+
+namespace netembed::expr {
+
+namespace {
+
+std::optional<ObjectId> objectFromName(std::string_view name) {
+  if (name == "vEdge") return ObjectId::VEdge;
+  if (name == "rEdge") return ObjectId::REdge;
+  if (name == "vSource") return ObjectId::VSource;
+  if (name == "vTarget") return ObjectId::VTarget;
+  if (name == "rSource") return ObjectId::RSource;
+  if (name == "rTarget") return ObjectId::RTarget;
+  if (name == "vNode") return ObjectId::VNode;
+  if (name == "rNode") return ObjectId::RNode;
+  return std::nullopt;
+}
+
+std::optional<Builtin> builtinFromName(std::string_view name) {
+  if (name == "abs") return Builtin::Abs;
+  if (name == "sqrt") return Builtin::Sqrt;
+  if (name == "min") return Builtin::Min;
+  if (name == "max") return Builtin::Max;
+  if (name == "floor") return Builtin::Floor;
+  if (name == "ceil") return Builtin::Ceil;
+  if (name == "isBoundTo") return Builtin::IsBoundTo;
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(tokenize(source)) {
+    ast_.source = std::string(source);
+  }
+
+  Ast run() {
+    ast_.root = parseOr();
+    expect(TokenKind::End);
+    return std::move(ast_);
+  }
+
+ private:
+  [[nodiscard]] const Token& cur() const { return tokens_[pos_]; }
+
+  [[nodiscard]] bool accept(TokenKind kind) {
+    if (cur().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect(TokenKind kind) {
+    if (!accept(kind)) {
+      throw SyntaxError(std::string("expected ") + std::string(tokenKindName(kind)) +
+                            ", found " + std::string(tokenKindName(cur().kind)),
+                        cur().offset);
+    }
+  }
+
+  static NodePtr makeBinary(BinaryOp op, NodePtr lhs, NodePtr rhs) {
+    auto node = std::make_unique<Node>();
+    node->kind = Node::Kind::Binary;
+    node->binaryOp = op;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+
+  NodePtr parseOr() {
+    NodePtr lhs = parseAnd();
+    while (accept(TokenKind::OrOr)) lhs = makeBinary(BinaryOp::Or, std::move(lhs), parseAnd());
+    return lhs;
+  }
+
+  NodePtr parseAnd() {
+    NodePtr lhs = parseEquality();
+    while (accept(TokenKind::AndAnd)) {
+      lhs = makeBinary(BinaryOp::And, std::move(lhs), parseEquality());
+    }
+    return lhs;
+  }
+
+  NodePtr parseEquality() {
+    NodePtr lhs = parseRelational();
+    for (;;) {
+      if (accept(TokenKind::Eq)) {
+        lhs = makeBinary(BinaryOp::Eq, std::move(lhs), parseRelational());
+      } else if (accept(TokenKind::Ne)) {
+        lhs = makeBinary(BinaryOp::Ne, std::move(lhs), parseRelational());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr parseRelational() {
+    NodePtr lhs = parseAdditive();
+    for (;;) {
+      if (accept(TokenKind::Lt)) {
+        lhs = makeBinary(BinaryOp::Lt, std::move(lhs), parseAdditive());
+      } else if (accept(TokenKind::Le)) {
+        lhs = makeBinary(BinaryOp::Le, std::move(lhs), parseAdditive());
+      } else if (accept(TokenKind::Gt)) {
+        lhs = makeBinary(BinaryOp::Gt, std::move(lhs), parseAdditive());
+      } else if (accept(TokenKind::Ge)) {
+        lhs = makeBinary(BinaryOp::Ge, std::move(lhs), parseAdditive());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr parseAdditive() {
+    NodePtr lhs = parseMultiplicative();
+    for (;;) {
+      if (accept(TokenKind::Plus)) {
+        lhs = makeBinary(BinaryOp::Add, std::move(lhs), parseMultiplicative());
+      } else if (accept(TokenKind::Minus)) {
+        lhs = makeBinary(BinaryOp::Sub, std::move(lhs), parseMultiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr parseMultiplicative() {
+    NodePtr lhs = parseUnary();
+    for (;;) {
+      if (accept(TokenKind::Star)) {
+        lhs = makeBinary(BinaryOp::Mul, std::move(lhs), parseUnary());
+      } else if (accept(TokenKind::Slash)) {
+        lhs = makeBinary(BinaryOp::Div, std::move(lhs), parseUnary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr parseUnary() {
+    if (accept(TokenKind::Not)) {
+      auto node = std::make_unique<Node>();
+      node->kind = Node::Kind::Unary;
+      node->unaryOp = UnaryOp::Not;
+      node->lhs = parseUnary();
+      return node;
+    }
+    if (accept(TokenKind::Minus)) {
+      auto node = std::make_unique<Node>();
+      node->kind = Node::Kind::Unary;
+      node->unaryOp = UnaryOp::Negate;
+      node->lhs = parseUnary();
+      return node;
+    }
+    return parsePrimary();
+  }
+
+  NodePtr parsePrimary() {
+    const Token tok = cur();
+    if (accept(TokenKind::Number)) {
+      auto node = std::make_unique<Node>();
+      node->kind = Node::Kind::Literal;
+      node->literal = Value::number(tok.number);
+      return node;
+    }
+    if (accept(TokenKind::String)) {
+      ast_.stringPool.push_back(std::make_unique<std::string>(tok.text));
+      auto node = std::make_unique<Node>();
+      node->kind = Node::Kind::Literal;
+      node->literal = Value::string(*ast_.stringPool.back());
+      return node;
+    }
+    if (accept(TokenKind::True) || (tok.kind == TokenKind::False && accept(TokenKind::False))) {
+      auto node = std::make_unique<Node>();
+      node->kind = Node::Kind::Literal;
+      node->literal = Value::boolean(tok.kind == TokenKind::True);
+      return node;
+    }
+    if (accept(TokenKind::LParen)) {
+      NodePtr inner = parseOr();
+      expect(TokenKind::RParen);
+      return inner;
+    }
+    if (accept(TokenKind::Identifier)) {
+      if (accept(TokenKind::Dot)) {
+        const Token attrTok = cur();
+        expect(TokenKind::Identifier);
+        const auto object = objectFromName(tok.text);
+        if (!object) {
+          throw SyntaxError("unknown object '" + std::string(tok.text) +
+                                "' (expected vEdge, rEdge, vSource, vTarget, "
+                                "rSource, rTarget, vNode, or rNode)",
+                            tok.offset);
+        }
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::AttrRef;
+        node->object = *object;
+        node->attr = graph::attrId(attrTok.text);
+        return node;
+      }
+      if (accept(TokenKind::LParen)) {
+        const auto builtin = builtinFromName(tok.text);
+        if (!builtin) {
+          throw SyntaxError("unknown function '" + std::string(tok.text) + "'", tok.offset);
+        }
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::Call;
+        node->builtin = *builtin;
+        if (cur().kind != TokenKind::RParen) {
+          node->args.push_back(parseOr());
+          while (accept(TokenKind::Comma)) node->args.push_back(parseOr());
+        }
+        expect(TokenKind::RParen);
+        if (node->args.size() != builtinArity(*builtin)) {
+          throw SyntaxError(std::string(builtinName(*builtin)) + " expects " +
+                                std::to_string(builtinArity(*builtin)) + " argument(s), got " +
+                                std::to_string(node->args.size()),
+                            tok.offset);
+        }
+        return node;
+      }
+      throw SyntaxError("bare identifier '" + std::string(tok.text) +
+                            "' (did you mean object.attribute or a function call?)",
+                        tok.offset);
+    }
+    throw SyntaxError("expected an expression, found " +
+                          std::string(tokenKindName(tok.kind)),
+                      tok.offset);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Ast ast_;
+};
+
+}  // namespace
+
+Ast parse(std::string_view source) { return Parser(source).run(); }
+
+}  // namespace netembed::expr

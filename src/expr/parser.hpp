@@ -1,0 +1,27 @@
+#pragma once
+// Recursive-descent parser producing an Ast. Grammar (Java precedence,
+// paper §VI-B):
+//
+//   or      := and ('||' and)*
+//   and     := equality ('&&' equality)*
+//   equality:= relational (('==' | '!=') relational)*
+//   relational := additive (('<' | '<=' | '>' | '>=') additive)*
+//   additive   := multiplicative (('+' | '-') multiplicative)*
+//   multiplicative := unary (('*' | '/') unary)*
+//   unary   := ('!' | '-') unary | primary
+//   primary := NUMBER | STRING | 'true' | 'false' | '(' or ')'
+//            | IDENT '.' IDENT            (object attribute reference)
+//            | IDENT '(' args ')'         (builtin call)
+
+#include <string_view>
+
+#include "expr/ast.hpp"
+#include "expr/lexer.hpp"
+
+namespace netembed::expr {
+
+/// Parse a complete expression. Throws SyntaxError on malformed input,
+/// unknown objects, unknown functions, or arity mismatches.
+[[nodiscard]] Ast parse(std::string_view source);
+
+}  // namespace netembed::expr

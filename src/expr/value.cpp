@@ -1,0 +1,85 @@
+#include "expr/value.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace netembed::expr {
+
+Value Value::fromAttr(const graph::AttrValue& a) noexcept {
+  switch (a.type()) {
+    case graph::AttrType::Undefined: return Value::undefined();
+    case graph::AttrType::Bool: return Value::boolean(a.asBool());
+    case graph::AttrType::Int: return Value::number(static_cast<double>(a.asInt()));
+    case graph::AttrType::Double: return Value::number(a.asDouble());
+    case graph::AttrType::String: return Value::string(a.asString());
+  }
+  return Value::undefined();
+}
+
+std::string Value::toString() const {
+  switch (kind_) {
+    case ValueKind::Undefined: return "undefined";
+    case ValueKind::Bool: return asBool() ? "true" : "false";
+    case ValueKind::Number: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%g", num_);
+      return buf;
+    }
+    case ValueKind::String: return std::string(str_);
+  }
+  return "?";
+}
+
+Value valueEquals(const Value& a, const Value& b) noexcept {
+  if (a.isUndefined() || b.isUndefined()) return Value::undefined();
+  if (a.kind() != b.kind()) return Value::boolean(false);
+  switch (a.kind()) {
+    case ValueKind::Bool: return Value::boolean(a.asBool() == b.asBool());
+    case ValueKind::Number: return Value::boolean(a.asNumber() == b.asNumber());
+    case ValueKind::String: return Value::boolean(a.asString() == b.asString());
+    default: return Value::undefined();
+  }
+}
+
+Value valueCompare(const Value& a, const Value& b, int op) noexcept {
+  if (a.isUndefined() || b.isUndefined()) return Value::undefined();
+  int cmp = 0;
+  if (a.isNumber() && b.isNumber()) {
+    const double x = a.asNumber(), y = b.asNumber();
+    if (std::isnan(x) || std::isnan(y)) return Value::undefined();
+    cmp = x < y ? -1 : (x > y ? 1 : 0);
+  } else if (a.isString() && b.isString()) {
+    const int c = a.asString().compare(b.asString());
+    cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+  } else {
+    return Value::undefined();  // bool/mixed types are not ordered
+  }
+  switch (op) {
+    case 0: return Value::boolean(cmp < 0);
+    case 1: return Value::boolean(cmp <= 0);
+    case 2: return Value::boolean(cmp > 0);
+    case 3: return Value::boolean(cmp >= 0);
+    default: return Value::undefined();
+  }
+}
+
+Value valueArith(const Value& a, const Value& b, char op) noexcept {
+  if (!a.isNumber() || !b.isNumber()) return Value::undefined();
+  const double x = a.asNumber(), y = b.asNumber();
+  switch (op) {
+    case '+': return Value::number(x + y);
+    case '-': return Value::number(x - y);
+    case '*': return Value::number(x * y);
+    case '/': return y == 0.0 ? Value::undefined() : Value::number(x / y);
+    default: return Value::undefined();
+  }
+}
+
+Value valueIsBoundTo(const Value& first, const Value& second) noexcept {
+  if (first.isUndefined()) return Value::boolean(true);
+  if (second.isUndefined()) return Value::boolean(false);
+  const Value eq = valueEquals(first, second);
+  return eq.isUndefined() ? Value::boolean(false) : eq;
+}
+
+}  // namespace netembed::expr

@@ -1,0 +1,91 @@
+#pragma once
+// Runtime values for constraint evaluation.
+//
+// Semantics for missing data: reading an absent attribute yields Undefined;
+// arithmetic and comparisons involving Undefined yield Undefined; Undefined
+// is falsy. This makes under-specified queries safe: a constraint touching
+// an attribute a network does not carry simply fails to match, it never
+// aborts the search. isBoundTo() is the one construct that treats absence
+// specially (absent first argument => unconstrained, paper §VI-B).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "graph/attr_value.hpp"
+
+namespace netembed::expr {
+
+enum class ValueKind : std::uint8_t { Undefined, Bool, Number, String };
+
+/// A small tagged value. Strings are non-owning views into either the
+/// compiled program's constant pool or a graph's attribute storage, both of
+/// which outlive any evaluation.
+class Value {
+ public:
+  constexpr Value() noexcept : kind_(ValueKind::Undefined), num_(0.0) {}
+
+  [[nodiscard]] static constexpr Value undefined() noexcept { return Value(); }
+  [[nodiscard]] static constexpr Value boolean(bool b) noexcept {
+    Value v;
+    v.kind_ = ValueKind::Bool;
+    v.num_ = b ? 1.0 : 0.0;
+    return v;
+  }
+  [[nodiscard]] static constexpr Value number(double d) noexcept {
+    Value v;
+    v.kind_ = ValueKind::Number;
+    v.num_ = d;
+    return v;
+  }
+  [[nodiscard]] static Value string(std::string_view s) noexcept {
+    Value v;
+    v.kind_ = ValueKind::String;
+    v.str_ = s;
+    return v;
+  }
+
+  /// Convert a graph attribute (Int widens to Number, Bool stays Bool).
+  [[nodiscard]] static Value fromAttr(const graph::AttrValue& a) noexcept;
+
+  [[nodiscard]] constexpr ValueKind kind() const noexcept { return kind_; }
+  [[nodiscard]] constexpr bool isUndefined() const noexcept {
+    return kind_ == ValueKind::Undefined;
+  }
+  [[nodiscard]] constexpr bool isNumber() const noexcept {
+    return kind_ == ValueKind::Number;
+  }
+  [[nodiscard]] constexpr bool isBool() const noexcept { return kind_ == ValueKind::Bool; }
+  [[nodiscard]] constexpr bool isString() const noexcept {
+    return kind_ == ValueKind::String;
+  }
+
+  [[nodiscard]] constexpr double asNumber() const noexcept { return num_; }
+  [[nodiscard]] constexpr bool asBool() const noexcept { return num_ != 0.0; }
+  [[nodiscard]] constexpr std::string_view asString() const noexcept { return str_; }
+
+  /// Only Bool(true) is truthy; numbers/strings/undefined are not booleans.
+  [[nodiscard]] constexpr bool truthy() const noexcept {
+    return kind_ == ValueKind::Bool && num_ != 0.0;
+  }
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  ValueKind kind_;
+  double num_;
+  std::string_view str_;
+};
+
+// Three-valued operations (Undefined propagates).
+[[nodiscard]] Value valueEquals(const Value& a, const Value& b) noexcept;
+[[nodiscard]] Value valueCompare(const Value& a, const Value& b, int op) noexcept;
+// op: 0 '<', 1 '<=', 2 '>', 3 '>='
+[[nodiscard]] Value valueArith(const Value& a, const Value& b, char op) noexcept;
+// op: '+', '-', '*', '/'
+
+/// isBoundTo(first, second): absent first => true; otherwise equality
+/// (absent second => false).
+[[nodiscard]] Value valueIsBoundTo(const Value& first, const Value& second) noexcept;
+
+}  // namespace netembed::expr

@@ -1,0 +1,184 @@
+#include "expr/vm.hpp"
+
+#include <cmath>
+
+namespace netembed::expr {
+
+Value runValue(const Program& program, const EvalContext& ctx) {
+  // Constraint expressions are tiny; 32 slots comfortably covers any
+  // realistic nesting (maxStackDepth is validated below just in case).
+  Value fixedStack[32];
+  std::vector<Value> heapStack;
+  Value* stack = fixedStack;
+  if (program.maxStackDepth() > 32) {
+    heapStack.resize(program.maxStackDepth());
+    stack = heapStack.data();
+  }
+  std::size_t top = 0;  // next free slot
+
+  const std::vector<Instr>& code = program.code();
+  const std::vector<Value>& constants = program.constants();
+
+  std::size_t pc = 0;
+  while (pc < code.size()) {
+    const Instr& instr = code[pc];
+    switch (instr.op) {
+      case OpCode::PushConst:
+        stack[top++] = constants[instr.a];
+        ++pc;
+        break;
+      case OpCode::PushAttr: {
+        const graph::AttrMap* attrs = ctx.slot[instr.a];
+        if (attrs) {
+          const graph::AttrValue* v = attrs->get(instr.b);
+          stack[top++] = v ? Value::fromAttr(*v) : Value::undefined();
+        } else {
+          stack[top++] = Value::undefined();
+        }
+        ++pc;
+        break;
+      }
+      case OpCode::PushTrue:
+        stack[top++] = Value::boolean(true);
+        ++pc;
+        break;
+      case OpCode::PushFalse:
+        stack[top++] = Value::boolean(false);
+        ++pc;
+        break;
+      case OpCode::Not:
+        stack[top - 1] = Value::boolean(!stack[top - 1].truthy());
+        ++pc;
+        break;
+      case OpCode::Negate:
+        stack[top - 1] = stack[top - 1].isNumber()
+                             ? Value::number(-stack[top - 1].asNumber())
+                             : Value::undefined();
+        ++pc;
+        break;
+      case OpCode::Truthy:
+        stack[top - 1] = Value::boolean(stack[top - 1].truthy());
+        ++pc;
+        break;
+      case OpCode::Eq:
+        --top;
+        stack[top - 1] = valueEquals(stack[top - 1], stack[top]);
+        ++pc;
+        break;
+      case OpCode::Ne: {
+        --top;
+        const Value eq = valueEquals(stack[top - 1], stack[top]);
+        stack[top - 1] = eq.isUndefined() ? eq : Value::boolean(!eq.asBool());
+        ++pc;
+        break;
+      }
+      case OpCode::Lt:
+        --top;
+        stack[top - 1] = valueCompare(stack[top - 1], stack[top], 0);
+        ++pc;
+        break;
+      case OpCode::Le:
+        --top;
+        stack[top - 1] = valueCompare(stack[top - 1], stack[top], 1);
+        ++pc;
+        break;
+      case OpCode::Gt:
+        --top;
+        stack[top - 1] = valueCompare(stack[top - 1], stack[top], 2);
+        ++pc;
+        break;
+      case OpCode::Ge:
+        --top;
+        stack[top - 1] = valueCompare(stack[top - 1], stack[top], 3);
+        ++pc;
+        break;
+      case OpCode::Add:
+        --top;
+        stack[top - 1] = valueArith(stack[top - 1], stack[top], '+');
+        ++pc;
+        break;
+      case OpCode::Sub:
+        --top;
+        stack[top - 1] = valueArith(stack[top - 1], stack[top], '-');
+        ++pc;
+        break;
+      case OpCode::Mul:
+        --top;
+        stack[top - 1] = valueArith(stack[top - 1], stack[top], '*');
+        ++pc;
+        break;
+      case OpCode::Div:
+        --top;
+        stack[top - 1] = valueArith(stack[top - 1], stack[top], '/');
+        ++pc;
+        break;
+      case OpCode::Abs:
+        stack[top - 1] = stack[top - 1].isNumber()
+                             ? Value::number(std::fabs(stack[top - 1].asNumber()))
+                             : Value::undefined();
+        ++pc;
+        break;
+      case OpCode::Sqrt: {
+        const Value& v = stack[top - 1];
+        stack[top - 1] = v.isNumber() && v.asNumber() >= 0.0
+                             ? Value::number(std::sqrt(v.asNumber()))
+                             : Value::undefined();
+        ++pc;
+        break;
+      }
+      case OpCode::Floor:
+        stack[top - 1] = stack[top - 1].isNumber()
+                             ? Value::number(std::floor(stack[top - 1].asNumber()))
+                             : Value::undefined();
+        ++pc;
+        break;
+      case OpCode::Ceil:
+        stack[top - 1] = stack[top - 1].isNumber()
+                             ? Value::number(std::ceil(stack[top - 1].asNumber()))
+                             : Value::undefined();
+        ++pc;
+        break;
+      case OpCode::Min:
+        --top;
+        stack[top - 1] = (stack[top - 1].isNumber() && stack[top].isNumber())
+                             ? Value::number(std::fmin(stack[top - 1].asNumber(),
+                                                       stack[top].asNumber()))
+                             : Value::undefined();
+        ++pc;
+        break;
+      case OpCode::Max:
+        --top;
+        stack[top - 1] = (stack[top - 1].isNumber() && stack[top].isNumber())
+                             ? Value::number(std::fmax(stack[top - 1].asNumber(),
+                                                       stack[top].asNumber()))
+                             : Value::undefined();
+        ++pc;
+        break;
+      case OpCode::IsBoundTo:
+        --top;
+        stack[top - 1] = valueIsBoundTo(stack[top - 1], stack[top]);
+        ++pc;
+        break;
+      case OpCode::JumpIfFalse: {
+        const Value v = stack[--top];
+        pc = v.truthy() ? pc + 1 : instr.a;
+        break;
+      }
+      case OpCode::JumpIfTrue: {
+        const Value v = stack[--top];
+        pc = v.truthy() ? instr.a : pc + 1;
+        break;
+      }
+      case OpCode::Jump:
+        pc = instr.a;
+        break;
+    }
+  }
+  return stack[0];
+}
+
+bool run(const Program& program, const EvalContext& ctx) {
+  return runValue(program, ctx).truthy();
+}
+
+}  // namespace netembed::expr

@@ -1,0 +1,15 @@
+#pragma once
+// Stack VM executing compiled constraint programs.
+
+#include "expr/compile.hpp"
+
+namespace netembed::expr {
+
+/// Execute `program` under `ctx`. The final value is always Bool (the
+/// compiler appends a truthiness coercion); returns its value.
+[[nodiscard]] bool run(const Program& program, const EvalContext& ctx);
+
+/// As `run` but returns the raw final Value (used by tests).
+[[nodiscard]] Value runValue(const Program& program, const EvalContext& ctx);
+
+}  // namespace netembed::expr

@@ -1,0 +1,155 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace netembed::graph {
+
+namespace {
+/// Visit all neighbours of n, ignoring direction.
+template <typename Fn>
+void forEachUndirected(const Graph& g, NodeId n, Fn&& fn) {
+  for (const Neighbor& nb : g.neighbors(n)) fn(nb);
+  if (g.directed()) {
+    for (const Neighbor& nb : g.inNeighbors(n)) fn(nb);
+  }
+}
+}  // namespace
+
+std::vector<NodeId> bfsOrder(const Graph& g, NodeId start) {
+  if (start >= g.nodeCount()) throw std::out_of_range("bfsOrder: bad start node");
+  std::vector<bool> seen(g.nodeCount(), false);
+  std::vector<NodeId> order;
+  order.reserve(g.nodeCount());
+  std::queue<NodeId> frontier;
+  frontier.push(start);
+  seen[start] = true;
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop();
+    order.push_back(n);
+    forEachUndirected(g, n, [&](const Neighbor& nb) {
+      if (!seen[nb.node]) {
+        seen[nb.node] = true;
+        frontier.push(nb.node);
+      }
+    });
+  }
+  return order;
+}
+
+Components connectedComponents(const Graph& g) {
+  Components out;
+  out.label.assign(g.nodeCount(), static_cast<std::uint32_t>(-1));
+  for (NodeId n = 0; n < g.nodeCount(); ++n) {
+    if (out.label[n] != static_cast<std::uint32_t>(-1)) continue;
+    const std::uint32_t id = out.count++;
+    std::queue<NodeId> frontier;
+    frontier.push(n);
+    out.label[n] = id;
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.front();
+      frontier.pop();
+      forEachUndirected(g, cur, [&](const Neighbor& nb) {
+        if (out.label[nb.node] == static_cast<std::uint32_t>(-1)) {
+          out.label[nb.node] = id;
+          frontier.push(nb.node);
+        }
+      });
+    }
+  }
+  return out;
+}
+
+bool isConnected(const Graph& g) {
+  if (g.nodeCount() <= 1) return true;
+  return connectedComponents(g).count == 1;
+}
+
+std::vector<std::size_t> degreeHistogram(const Graph& g) {
+  std::size_t maxDeg = 0;
+  for (NodeId n = 0; n < g.nodeCount(); ++n) maxDeg = std::max(maxDeg, g.degree(n));
+  std::vector<std::size_t> hist(maxDeg + 1, 0);
+  for (NodeId n = 0; n < g.nodeCount(); ++n) ++hist[g.degree(n)];
+  return hist;
+}
+
+double averageDegree(const Graph& g) {
+  if (g.nodeCount() == 0) return 0.0;
+  double total = 0.0;
+  for (NodeId n = 0; n < g.nodeCount(); ++n) total += static_cast<double>(g.degree(n));
+  return total / static_cast<double>(g.nodeCount());
+}
+
+ShortestPaths dijkstra(const Graph& g, NodeId source,
+                       const std::function<double(EdgeId)>& weight) {
+  if (source >= g.nodeCount()) throw std::out_of_range("dijkstra: bad source");
+  ShortestPaths sp;
+  sp.distance.assign(g.nodeCount(), kUnreachable);
+  sp.parent.assign(g.nodeCount(), kInvalidNode);
+  sp.parentEdge.assign(g.nodeCount(), kInvalidEdge);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  sp.distance[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [dist, n] = heap.top();
+    heap.pop();
+    if (dist > sp.distance[n]) continue;  // stale entry
+    for (const Neighbor& nb : g.neighbors(n)) {
+      const double w = weight(nb.edge);
+      if (w < 0.0) throw std::invalid_argument("dijkstra: negative edge weight");
+      const double candidate = dist + w;
+      if (candidate < sp.distance[nb.node]) {
+        sp.distance[nb.node] = candidate;
+        sp.parent[nb.node] = n;
+        sp.parentEdge[nb.node] = nb.edge;
+        heap.emplace(candidate, nb.node);
+      }
+    }
+  }
+  return sp;
+}
+
+std::vector<NodeId> extractPath(const ShortestPaths& sp, NodeId target) {
+  if (target >= sp.distance.size() || sp.distance[target] == kUnreachable) return {};
+  std::vector<NodeId> path;
+  for (NodeId n = target; n != kInvalidNode; n = sp.parent[n]) path.push_back(n);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<EdgeId> extractPathEdges(const ShortestPaths& sp, NodeId target) {
+  if (target >= sp.distance.size() || sp.distance[target] == kUnreachable) return {};
+  std::vector<EdgeId> edges;
+  for (NodeId n = target; sp.parent[n] != kInvalidNode; n = sp.parent[n]) {
+    edges.push_back(sp.parentEdge[n]);
+  }
+  std::reverse(edges.begin(), edges.end());
+  return edges;
+}
+
+std::size_t diameter(const Graph& g) {
+  std::size_t best = 0;
+  for (NodeId start = 0; start < g.nodeCount(); ++start) {
+    std::vector<std::int64_t> depth(g.nodeCount(), -1);
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    depth[start] = 0;
+    while (!frontier.empty()) {
+      const NodeId n = frontier.front();
+      frontier.pop();
+      best = std::max(best, static_cast<std::size_t>(depth[n]));
+      forEachUndirected(g, n, [&](const Neighbor& nb) {
+        if (depth[nb.node] < 0) {
+          depth[nb.node] = depth[n] + 1;
+          frontier.push(nb.node);
+        }
+      });
+    }
+  }
+  return best;
+}
+
+}  // namespace netembed::graph

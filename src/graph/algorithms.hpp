@@ -1,0 +1,58 @@
+#pragma once
+// Classic graph algorithms used by generators, samplers, and the service's
+// link->path mapping extension. All treat directed graphs as weakly connected
+// where connectivity is concerned (matches how topology generators reason).
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace netembed::graph {
+
+/// BFS order from `start` (ignoring edge direction). Unreached nodes are
+/// absent from the result.
+[[nodiscard]] std::vector<NodeId> bfsOrder(const Graph& g, NodeId start);
+
+/// Component label per node (labels are dense, starting at 0) and count.
+struct Components {
+  std::vector<std::uint32_t> label;
+  std::uint32_t count = 0;
+};
+[[nodiscard]] Components connectedComponents(const Graph& g);
+
+[[nodiscard]] bool isConnected(const Graph& g);
+
+/// histogram[d] = number of nodes of (total) degree d.
+[[nodiscard]] std::vector<std::size_t> degreeHistogram(const Graph& g);
+
+[[nodiscard]] double averageDegree(const Graph& g);
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Single-source shortest paths under a non-negative edge weight function.
+/// For undirected graphs edges are traversed both ways; for directed graphs
+/// only source->target.
+struct ShortestPaths {
+  std::vector<double> distance;   // kUnreachable when not reachable
+  std::vector<NodeId> parent;     // kInvalidNode at source / unreachable
+  std::vector<EdgeId> parentEdge; // kInvalidEdge likewise
+};
+[[nodiscard]] ShortestPaths dijkstra(
+    const Graph& g, NodeId source,
+    const std::function<double(EdgeId)>& weight);
+
+/// Reconstruct the node path source..target from a dijkstra result;
+/// empty when unreachable.
+[[nodiscard]] std::vector<NodeId> extractPath(const ShortestPaths& sp, NodeId target);
+
+/// Edge ids along the path (one fewer entry than extractPath).
+[[nodiscard]] std::vector<EdgeId> extractPathEdges(const ShortestPaths& sp, NodeId target);
+
+/// Unweighted eccentricity-based diameter via BFS from every node.
+/// O(V * (V+E)); intended for query-sized graphs.
+[[nodiscard]] std::size_t diameter(const Graph& g);
+
+}  // namespace netembed::graph

@@ -1,0 +1,101 @@
+#include "graph/attr_map.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace netembed::graph {
+
+namespace {
+struct Registry {
+  std::shared_mutex mutex;
+  std::unordered_map<std::string, AttrId> byName;
+  std::vector<std::string> names;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+}  // namespace
+
+AttrId attrId(std::string_view name) {
+  Registry& r = registry();
+  {
+    std::shared_lock lock(r.mutex);
+    const auto it = r.byName.find(std::string(name));
+    if (it != r.byName.end()) return it->second;
+  }
+  std::unique_lock lock(r.mutex);
+  const auto [it, inserted] =
+      r.byName.try_emplace(std::string(name), static_cast<AttrId>(r.names.size()));
+  if (inserted) r.names.emplace_back(name);
+  return it->second;
+}
+
+const std::string& attrName(AttrId id) {
+  Registry& r = registry();
+  std::shared_lock lock(r.mutex);
+  if (id >= r.names.size()) throw std::out_of_range("attrName: unknown AttrId");
+  return r.names[id];
+}
+
+std::optional<AttrId> findAttrId(std::string_view name) {
+  Registry& r = registry();
+  std::shared_lock lock(r.mutex);
+  const auto it = r.byName.find(std::string(name));
+  if (it == r.byName.end()) return std::nullopt;
+  return it->second;
+}
+
+void AttrMap::set(AttrId id, AttrValue value) {
+  const auto it = std::lower_bound(
+      items_.begin(), items_.end(), id,
+      [](const value_type& item, AttrId key) { return item.first < key; });
+  if (it != items_.end() && it->first == id) {
+    it->second = std::move(value);
+  } else {
+    items_.emplace(it, id, std::move(value));
+  }
+}
+
+const AttrValue* AttrMap::get(AttrId id) const noexcept {
+  const auto it = std::lower_bound(
+      items_.begin(), items_.end(), id,
+      [](const value_type& item, AttrId key) { return item.first < key; });
+  if (it != items_.end() && it->first == id) return &it->second;
+  return nullptr;
+}
+
+const AttrValue* AttrMap::get(std::string_view name) const noexcept {
+  const auto id = findAttrId(name);
+  if (!id) return nullptr;
+  return get(*id);
+}
+
+const AttrValue& AttrMap::at(std::string_view name) const {
+  const AttrValue* v = get(name);
+  if (!v) throw std::out_of_range("AttrMap: missing attribute '" + std::string(name) + "'");
+  return *v;
+}
+
+double AttrMap::getDouble(std::string_view name, double fallback) const {
+  const AttrValue* v = get(name);
+  if (!v || !v->isNumeric()) return fallback;
+  return v->asDouble();
+}
+
+bool AttrMap::erase(AttrId id) {
+  const auto it = std::lower_bound(
+      items_.begin(), items_.end(), id,
+      [](const value_type& item, AttrId key) { return item.first < key; });
+  if (it != items_.end() && it->first == id) {
+    items_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace netembed::graph

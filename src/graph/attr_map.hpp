@@ -1,0 +1,69 @@
+#pragma once
+// Attribute maps keyed by process-interned attribute names.
+//
+// Interning turns the expression VM's attribute loads into an integer-indexed
+// binary search over a small flat vector instead of string hashing; this is
+// the hot path of stage-1 filter construction (|E_Q| x |E_R| evaluations).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/attr_value.hpp"
+
+namespace netembed::graph {
+
+using AttrId = std::uint32_t;
+
+/// Intern an attribute name -> stable process-wide id. Thread-safe; lookups
+/// of already-interned names take a shared lock only.
+[[nodiscard]] AttrId attrId(std::string_view name);
+
+/// Reverse lookup. Requires a previously interned id.
+[[nodiscard]] const std::string& attrName(AttrId id);
+
+/// Look up without interning; nullopt when the name was never interned.
+[[nodiscard]] std::optional<AttrId> findAttrId(std::string_view name);
+
+/// Flat sorted association of AttrId -> AttrValue. Graphs typically carry a
+/// handful of attributes per element, so a sorted vector beats any hash map.
+class AttrMap {
+ public:
+  void set(AttrId id, AttrValue value);
+  void set(std::string_view name, AttrValue value) { set(attrId(name), std::move(value)); }
+
+  /// nullptr when absent.
+  [[nodiscard]] const AttrValue* get(AttrId id) const noexcept;
+  [[nodiscard]] const AttrValue* get(std::string_view name) const noexcept;
+
+  [[nodiscard]] bool has(AttrId id) const noexcept { return get(id) != nullptr; }
+  [[nodiscard]] bool has(std::string_view name) const noexcept {
+    return get(name) != nullptr;
+  }
+
+  /// Value access with a thrown error on absence (for loader code paths).
+  [[nodiscard]] const AttrValue& at(std::string_view name) const;
+
+  /// Numeric convenience with default.
+  [[nodiscard]] double getDouble(std::string_view name, double fallback) const;
+
+  bool erase(AttrId id);
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+  using value_type = std::pair<AttrId, AttrValue>;
+  [[nodiscard]] auto begin() const noexcept { return items_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return items_.end(); }
+
+  friend bool operator==(const AttrMap& a, const AttrMap& b) {
+    return a.items_ == b.items_;
+  }
+
+ private:
+  std::vector<value_type> items_;  // sorted by AttrId
+};
+
+}  // namespace netembed::graph

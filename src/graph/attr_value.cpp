@@ -1,0 +1,105 @@
+#include "graph/attr_value.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace netembed::graph {
+
+std::string_view attrTypeName(AttrType t) noexcept {
+  switch (t) {
+    case AttrType::Undefined: return "undefined";
+    case AttrType::Bool: return "boolean";
+    case AttrType::Int: return "long";
+    case AttrType::Double: return "double";
+    case AttrType::String: return "string";
+  }
+  return "?";
+}
+
+double AttrValue::asDouble() const {
+  switch (type()) {
+    case AttrType::Int: return static_cast<double>(std::get<std::int64_t>(v_));
+    case AttrType::Double: return std::get<double>(v_);
+    case AttrType::Bool: return std::get<bool>(v_) ? 1.0 : 0.0;
+    default:
+      throw std::runtime_error("AttrValue: not numeric (" +
+                               std::string(attrTypeName(type())) + ")");
+  }
+}
+
+std::int64_t AttrValue::asInt() const {
+  switch (type()) {
+    case AttrType::Int: return std::get<std::int64_t>(v_);
+    case AttrType::Double: return static_cast<std::int64_t>(std::get<double>(v_));
+    case AttrType::Bool: return std::get<bool>(v_) ? 1 : 0;
+    default:
+      throw std::runtime_error("AttrValue: not numeric (" +
+                               std::string(attrTypeName(type())) + ")");
+  }
+}
+
+bool AttrValue::asBool() const {
+  if (type() != AttrType::Bool) throw std::runtime_error("AttrValue: not a boolean");
+  return std::get<bool>(v_);
+}
+
+const std::string& AttrValue::asString() const {
+  if (type() != AttrType::String) throw std::runtime_error("AttrValue: not a string");
+  return std::get<std::string>(v_);
+}
+
+std::string AttrValue::toString() const {
+  switch (type()) {
+    case AttrType::Undefined: return "";
+    case AttrType::Bool: return std::get<bool>(v_) ? "true" : "false";
+    case AttrType::Int: return std::to_string(std::get<std::int64_t>(v_));
+    case AttrType::Double: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", std::get<double>(v_));
+      return buf;
+    }
+    case AttrType::String: return std::get<std::string>(v_);
+  }
+  return "";
+}
+
+AttrValue AttrValue::parseAs(AttrType type, std::string_view text) {
+  switch (type) {
+    case AttrType::Undefined: return {};
+    case AttrType::Bool: {
+      if (text == "true" || text == "1") return AttrValue(true);
+      if (text == "false" || text == "0") return AttrValue(false);
+      throw std::runtime_error("AttrValue: bad boolean '" + std::string(text) + "'");
+    }
+    case AttrType::Int: {
+      std::int64_t out = 0;
+      const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+      if (ec != std::errc{} || ptr != text.data() + text.size()) {
+        throw std::runtime_error("AttrValue: bad integer '" + std::string(text) + "'");
+      }
+      return AttrValue(out);
+    }
+    case AttrType::Double: {
+      // std::from_chars for double is unreliable across libstdc++ versions;
+      // strtod on a NUL-terminated copy is portable and this is not hot code.
+      const std::string copy(text);
+      char* end = nullptr;
+      const double out = std::strtod(copy.c_str(), &end);
+      if (end != copy.c_str() + copy.size() || copy.empty()) {
+        throw std::runtime_error("AttrValue: bad double '" + copy + "'");
+      }
+      return AttrValue(out);
+    }
+    case AttrType::String: return AttrValue(std::string(text));
+  }
+  throw std::runtime_error("AttrValue: unknown type");
+}
+
+bool operator==(const AttrValue& a, const AttrValue& b) {
+  // Numeric values compare across Int/Double representations.
+  if (a.isNumeric() && b.isNumeric()) return a.asDouble() == b.asDouble();
+  return a.v_ == b.v_;
+}
+
+}  // namespace netembed::graph

@@ -1,0 +1,59 @@
+#pragma once
+// Typed attribute values attached to graph nodes and edges.
+//
+// The paper's networks carry both numeric metrics (delay, bandwidth, CPU
+// speed) and categorical classes ("node n1 is linux-2.6"); GraphML declares
+// them as typed <key>s. AttrValue is the closed sum of those types.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace netembed::graph {
+
+enum class AttrType : std::uint8_t { Undefined, Bool, Int, Double, String };
+
+[[nodiscard]] std::string_view attrTypeName(AttrType t) noexcept;
+
+/// A value of one of the GraphML-representable attribute types. The default
+/// state is Undefined (attribute absent); expression evaluation propagates
+/// undefined rather than throwing (see expr::Value).
+class AttrValue {
+ public:
+  AttrValue() noexcept = default;
+  AttrValue(bool b) noexcept : v_(b) {}                       // NOLINT(google-explicit-constructor)
+  AttrValue(std::int64_t i) noexcept : v_(i) {}               // NOLINT
+  AttrValue(int i) noexcept : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  AttrValue(double d) noexcept : v_(d) {}                     // NOLINT
+  AttrValue(std::string s) noexcept : v_(std::move(s)) {}     // NOLINT
+  AttrValue(const char* s) : v_(std::string(s)) {}            // NOLINT
+
+  [[nodiscard]] AttrType type() const noexcept {
+    return static_cast<AttrType>(v_.index());
+  }
+  [[nodiscard]] bool isDefined() const noexcept { return type() != AttrType::Undefined; }
+  [[nodiscard]] bool isNumeric() const noexcept {
+    return type() == AttrType::Int || type() == AttrType::Double;
+  }
+
+  /// Numeric view (Int widens to double). Requires isNumeric() or Bool.
+  [[nodiscard]] double asDouble() const;
+  [[nodiscard]] std::int64_t asInt() const;
+  [[nodiscard]] bool asBool() const;
+  [[nodiscard]] const std::string& asString() const;
+
+  /// Render for GraphML / debugging ("3.5", "true", "linux-2.6").
+  [[nodiscard]] std::string toString() const;
+
+  /// Parse `text` as the given type (used by the GraphML reader).
+  [[nodiscard]] static AttrValue parseAs(AttrType type, std::string_view text);
+
+  friend bool operator==(const AttrValue& a, const AttrValue& b);
+  friend bool operator!=(const AttrValue& a, const AttrValue& b) { return !(a == b); }
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string> v_;
+};
+
+}  // namespace netembed::graph

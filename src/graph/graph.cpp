@@ -1,0 +1,78 @@
+#include "graph/graph.hpp"
+
+#include <stdexcept>
+
+namespace netembed::graph {
+
+NodeId Graph::addNode(std::string name) {
+  const auto id = static_cast<NodeId>(nodeAttrs_.size());
+  if (name.empty()) name = "n" + std::to_string(id);
+  const auto [it, inserted] = byName_.try_emplace(name, id);
+  (void)it;
+  if (!inserted) throw std::invalid_argument("Graph: duplicate node name '" + name + "'");
+  nodeAttrs_.emplace_back();
+  names_.push_back(std::move(name));
+  out_.emplace_back();
+  if (directed_) in_.emplace_back();
+  return id;
+}
+
+void Graph::checkNode(NodeId n) const {
+  if (n >= nodeCount()) throw std::out_of_range("Graph: node id out of range");
+}
+
+std::uint64_t Graph::edgeKey(NodeId u, NodeId v) const noexcept {
+  if (!directed_ && u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+EdgeId Graph::addEdge(NodeId u, NodeId v) {
+  checkNode(u);
+  checkNode(v);
+  if (u == v) throw std::invalid_argument("Graph: self-loops are not allowed");
+  const std::uint64_t key = edgeKey(u, v);
+  if (edgeIndex_.count(key) != 0) {
+    throw std::invalid_argument("Graph: duplicate edge (" + names_[u] + ", " +
+                                names_[v] + ")");
+  }
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({u, v});
+  edgeAttrs_.emplace_back();
+  edgeIndex_.emplace(key, id);
+  out_[u].push_back({v, id});
+  if (directed_) {
+    in_[v].push_back({u, id});
+  } else {
+    out_[v].push_back({u, id});
+  }
+  return id;
+}
+
+NodeId Graph::edgeOther(EdgeId e, NodeId n) const {
+  const EdgeRec& rec = edges_.at(e);
+  if (rec.src == n) return rec.dst;
+  if (rec.dst == n) return rec.src;
+  throw std::invalid_argument("Graph: node is not an endpoint of edge");
+}
+
+std::optional<EdgeId> Graph::findEdge(NodeId u, NodeId v) const {
+  if (u >= nodeCount() || v >= nodeCount()) return std::nullopt;
+  const auto it = edgeIndex_.find(edgeKey(u, v));
+  if (it == edgeIndex_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<NodeId> Graph::findNode(std::string_view name) const {
+  const auto it = byName_.find(std::string(name));
+  if (it == byName_.end()) return std::nullopt;
+  return it->second;
+}
+
+double Graph::density() const noexcept {
+  const double n = static_cast<double>(nodeCount());
+  if (n < 2) return 0.0;
+  const double pairs = directed_ ? n * (n - 1) : n * (n - 1) / 2.0;
+  return static_cast<double>(edgeCount()) / pairs;
+}
+
+}  // namespace netembed::graph

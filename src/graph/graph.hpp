@@ -1,0 +1,115 @@
+#pragma once
+// The attributed graph that represents both hosting and query networks.
+//
+// Design targets (driven by the embedding engines):
+//   * O(1) amortized edge existence / lookup via a hash index,
+//   * cache-friendly adjacency iteration (contiguous Neighbor vectors),
+//   * directed and undirected graphs behind one interface; for undirected
+//     graphs the adjacency is symmetric and findEdge is orientation-blind.
+// Self-loops and parallel edges are rejected: a mapping is injective on
+// nodes, so neither can ever participate in a feasible embedding.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/attr_map.hpp"
+
+namespace netembed::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// One adjacency entry: the neighbouring node and the connecting edge.
+struct Neighbor {
+  NodeId node;
+  EdgeId edge;
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+class Graph {
+ public:
+  explicit Graph(bool directed = false) : directed_(directed) {}
+
+  [[nodiscard]] bool directed() const noexcept { return directed_; }
+  [[nodiscard]] std::size_t nodeCount() const noexcept { return nodeAttrs_.size(); }
+  [[nodiscard]] std::size_t edgeCount() const noexcept { return edges_.size(); }
+
+  /// Adds a node; an empty name is replaced by "n<id>". Names must be unique.
+  NodeId addNode(std::string name = {});
+
+  /// Adds an edge u->v (directed) or {u,v} (undirected). Throws on self-loop,
+  /// duplicate edge, or out-of-range endpoints.
+  EdgeId addEdge(NodeId u, NodeId v);
+
+  [[nodiscard]] NodeId edgeSource(EdgeId e) const { return edges_.at(e).src; }
+  [[nodiscard]] NodeId edgeTarget(EdgeId e) const { return edges_.at(e).dst; }
+
+  /// The endpoint of `e` that is not `n` (n must be an endpoint).
+  [[nodiscard]] NodeId edgeOther(EdgeId e, NodeId n) const;
+
+  [[nodiscard]] AttrMap& nodeAttrs(NodeId n) { return nodeAttrs_.at(n); }
+  [[nodiscard]] const AttrMap& nodeAttrs(NodeId n) const { return nodeAttrs_.at(n); }
+  [[nodiscard]] AttrMap& edgeAttrs(EdgeId e) { return edgeAttrs_.at(e); }
+  [[nodiscard]] const AttrMap& edgeAttrs(EdgeId e) const { return edgeAttrs_.at(e); }
+
+  /// Out-adjacency for directed graphs, full adjacency for undirected.
+  [[nodiscard]] std::span<const Neighbor> neighbors(NodeId n) const {
+    return out_.at(n);
+  }
+  /// In-adjacency; only meaningful for directed graphs (empty otherwise).
+  [[nodiscard]] std::span<const Neighbor> inNeighbors(NodeId n) const {
+    return directed_ ? std::span<const Neighbor>(in_.at(n)) : std::span<const Neighbor>();
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId n) const {
+    return out_.at(n).size() + (directed_ ? in_.at(n).size() : 0);
+  }
+  [[nodiscard]] std::size_t outDegree(NodeId n) const { return out_.at(n).size(); }
+  [[nodiscard]] std::size_t inDegree(NodeId n) const {
+    return directed_ ? in_.at(n).size() : out_.at(n).size();
+  }
+
+  /// Directed: edge u->v. Undirected: edge {u,v} in either orientation.
+  [[nodiscard]] std::optional<EdgeId> findEdge(NodeId u, NodeId v) const;
+  [[nodiscard]] bool hasEdge(NodeId u, NodeId v) const { return findEdge(u, v).has_value(); }
+
+  [[nodiscard]] const std::string& nodeName(NodeId n) const { return names_.at(n); }
+  [[nodiscard]] std::optional<NodeId> findNode(std::string_view name) const;
+
+  /// Graph-level attributes (e.g. generator provenance).
+  [[nodiscard]] AttrMap& attrs() noexcept { return graphAttrs_; }
+  [[nodiscard]] const AttrMap& attrs() const noexcept { return graphAttrs_; }
+
+  /// 2|E| / (|V|(|V|-1)) for directed, 2|E| / (|V|(|V|-1)) undirected counts
+  /// each unordered pair once; 0 for |V| < 2.
+  [[nodiscard]] double density() const noexcept;
+
+ private:
+  struct EdgeRec {
+    NodeId src;
+    NodeId dst;
+  };
+
+  [[nodiscard]] std::uint64_t edgeKey(NodeId u, NodeId v) const noexcept;
+  void checkNode(NodeId n) const;
+
+  bool directed_;
+  std::vector<AttrMap> nodeAttrs_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> byName_;
+  std::vector<EdgeRec> edges_;
+  std::vector<AttrMap> edgeAttrs_;
+  std::vector<std::vector<Neighbor>> out_;
+  std::vector<std::vector<Neighbor>> in_;  // directed only
+  std::unordered_map<std::uint64_t, EdgeId> edgeIndex_;
+  AttrMap graphAttrs_;
+};
+
+}  // namespace netembed::graph

@@ -1,0 +1,67 @@
+#include "graph/subgraph.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace netembed::graph {
+
+namespace {
+std::unordered_map<NodeId, NodeId> buildIndex(const Graph& g,
+                                              const std::vector<NodeId>& nodes,
+                                              Subgraph& out) {
+  std::unordered_map<NodeId, NodeId> toNew;
+  toNew.reserve(nodes.size());
+  for (const NodeId original : nodes) {
+    if (original >= g.nodeCount()) {
+      throw std::out_of_range("inducedSubgraph: node id out of range");
+    }
+    const NodeId fresh = out.graph.addNode(g.nodeName(original));
+    if (!toNew.emplace(original, fresh).second) {
+      throw std::invalid_argument("inducedSubgraph: duplicate node id");
+    }
+    out.graph.nodeAttrs(fresh) = g.nodeAttrs(original);
+    out.originalNode.push_back(original);
+  }
+  return toNew;
+}
+}  // namespace
+
+Subgraph inducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes) {
+  Subgraph out{Graph(g.directed()), {}, {}};
+  const auto toNew = buildIndex(g, nodes, out);
+  for (const NodeId original : nodes) {
+    for (const Neighbor& nb : g.neighbors(original)) {
+      const auto it = toNew.find(nb.node);
+      if (it == toNew.end()) continue;
+      const NodeId u = toNew.at(original);
+      const NodeId v = it->second;
+      // For undirected graphs each edge appears in both adjacency lists;
+      // keep the first encounter only.
+      if (out.graph.hasEdge(u, v)) continue;
+      const EdgeId fresh = out.graph.addEdge(u, v);
+      out.graph.edgeAttrs(fresh) = g.edgeAttrs(nb.edge);
+      out.originalEdge.push_back(nb.edge);
+    }
+  }
+  return out;
+}
+
+Subgraph edgeSubgraph(const Graph& g, const std::vector<NodeId>& nodes,
+                      const std::vector<EdgeId>& edges) {
+  Subgraph out{Graph(g.directed()), {}, {}};
+  const auto toNew = buildIndex(g, nodes, out);
+  for (const EdgeId e : edges) {
+    if (e >= g.edgeCount()) throw std::out_of_range("edgeSubgraph: edge id out of range");
+    const auto src = toNew.find(g.edgeSource(e));
+    const auto dst = toNew.find(g.edgeTarget(e));
+    if (src == toNew.end() || dst == toNew.end()) {
+      throw std::invalid_argument("edgeSubgraph: edge endpoint not in node set");
+    }
+    const EdgeId fresh = out.graph.addEdge(src->second, dst->second);
+    out.graph.edgeAttrs(fresh) = g.edgeAttrs(e);
+    out.originalEdge.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace netembed::graph

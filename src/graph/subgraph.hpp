@@ -1,0 +1,29 @@
+#pragma once
+// Induced-subgraph extraction, with provenance back to the original graph.
+// The query sampler (topo/sample) builds on this: queries in the paper's
+// PlanetLab/BRITE experiments are connected subgraphs of the hosting network.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace netembed::graph {
+
+/// A subgraph plus the original node/edge each element came from.
+struct Subgraph {
+  Graph graph;
+  std::vector<NodeId> originalNode;  // subgraph node id -> original node id
+  std::vector<EdgeId> originalEdge;  // subgraph edge id -> original edge id
+};
+
+/// The subgraph induced by `nodes` (all original edges between them), with
+/// node and edge attributes copied. Node order in `nodes` defines the new
+/// node ids; duplicate or out-of-range ids throw.
+[[nodiscard]] Subgraph inducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Like inducedSubgraph but keeping only the given original edges (each must
+/// connect two selected nodes).
+[[nodiscard]] Subgraph edgeSubgraph(const Graph& g, const std::vector<NodeId>& nodes,
+                                    const std::vector<EdgeId>& edges);
+
+}  // namespace netembed::graph

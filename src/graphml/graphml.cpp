@@ -1,0 +1,216 @@
+#include "graphml/graphml.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "xml/xml.hpp"
+
+namespace netembed::graphml {
+
+using graph::AttrId;
+using graph::AttrType;
+using graph::AttrValue;
+using graph::Graph;
+
+namespace {
+
+std::string_view typeString(AttrType t) {
+  switch (t) {
+    case AttrType::Bool: return "boolean";
+    case AttrType::Int: return "long";
+    case AttrType::Double: return "double";
+    case AttrType::String: return "string";
+    default: return "string";
+  }
+}
+
+AttrType typeFromString(std::string_view s) {
+  if (s == "boolean") return AttrType::Bool;
+  if (s == "int" || s == "long") return AttrType::Int;
+  if (s == "float" || s == "double") return AttrType::Double;
+  if (s == "string") return AttrType::String;
+  throw std::runtime_error("GraphML: unknown attr.type '" + std::string(s) + "'");
+}
+
+/// Scope -> attribute name -> type, merging across all elements.
+struct KeyTable {
+  std::map<std::pair<std::string, AttrId>, AttrType> types;
+
+  void observe(const std::string& scope, const graph::AttrMap& attrs) {
+    for (const auto& [id, value] : attrs) {
+      if (!value.isDefined()) continue;
+      const auto key = std::make_pair(scope, id);
+      const auto it = types.find(key);
+      if (it == types.end()) {
+        types.emplace(key, value.type());
+      } else if (it->second != value.type()) {
+        it->second = AttrType::String;  // conflicting types -> promote
+      }
+    }
+  }
+};
+
+void appendDataElements(xml::Element& parent, const std::string& scope,
+                        const graph::AttrMap& attrs) {
+  for (const auto& [id, value] : attrs) {
+    if (!value.isDefined()) continue;
+    xml::Element data;
+    data.name = "data";
+    data.attributes.emplace_back("key", scope + "_" + graph::attrName(id));
+    data.text = value.toString();
+    parent.children.push_back(std::move(data));
+  }
+}
+
+}  // namespace
+
+std::string write(const Graph& g) {
+  KeyTable keys;
+  keys.observe("graph", g.attrs());
+  for (graph::NodeId n = 0; n < g.nodeCount(); ++n) keys.observe("node", g.nodeAttrs(n));
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) keys.observe("edge", g.edgeAttrs(e));
+
+  xml::Element root;
+  root.name = "graphml";
+  root.attributes.emplace_back("xmlns", "http://graphml.graphdrawing.org/xmlns");
+
+  for (const auto& [scopeAndId, type] : keys.types) {
+    const auto& [scope, id] = scopeAndId;
+    xml::Element key;
+    key.name = "key";
+    key.attributes.emplace_back("id", scope + "_" + graph::attrName(id));
+    key.attributes.emplace_back("for", scope);
+    key.attributes.emplace_back("attr.name", graph::attrName(id));
+    key.attributes.emplace_back("attr.type", std::string(typeString(type)));
+    root.children.push_back(std::move(key));
+  }
+
+  xml::Element graphEl;
+  graphEl.name = "graph";
+  graphEl.attributes.emplace_back("id", "G");
+  graphEl.attributes.emplace_back("edgedefault", g.directed() ? "directed" : "undirected");
+  appendDataElements(graphEl, "graph", g.attrs());
+
+  for (graph::NodeId n = 0; n < g.nodeCount(); ++n) {
+    xml::Element node;
+    node.name = "node";
+    node.attributes.emplace_back("id", g.nodeName(n));
+    appendDataElements(node, "node", g.nodeAttrs(n));
+    graphEl.children.push_back(std::move(node));
+  }
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) {
+    xml::Element edge;
+    edge.name = "edge";
+    edge.attributes.emplace_back("source", g.nodeName(g.edgeSource(e)));
+    edge.attributes.emplace_back("target", g.nodeName(g.edgeTarget(e)));
+    appendDataElements(edge, "edge", g.edgeAttrs(e));
+    graphEl.children.push_back(std::move(edge));
+  }
+  root.children.push_back(std::move(graphEl));
+  return xml::serialize(root);
+}
+
+void write(const Graph& g, std::ostream& out) { out << write(g); }
+
+void writeFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("GraphML: cannot open '" + path + "' for writing");
+  write(g, out);
+}
+
+Graph read(std::string_view text) {
+  const xml::Element root = xml::parse(text);
+  if (root.name != "graphml") {
+    throw std::runtime_error("GraphML: root element is <" + root.name +
+                             ">, expected <graphml>");
+  }
+
+  struct KeyInfo {
+    std::string scope;  // "node", "edge", "graph", "all"
+    std::string attrName;
+    AttrType type = AttrType::String;
+    std::string defaultValue;
+    bool hasDefault = false;
+  };
+  std::map<std::string, KeyInfo> keys;
+  for (const xml::Element* key : root.childrenNamed("key")) {
+    KeyInfo info;
+    info.scope = key->attr("for") ? *key->attr("for") : "all";
+    const std::string* name = key->attr("attr.name");
+    info.attrName = name ? *name : key->requiredAttr("id");
+    if (const std::string* type = key->attr("attr.type")) {
+      info.type = typeFromString(*type);
+    }
+    if (const xml::Element* def = key->child("default")) {
+      info.hasDefault = true;
+      info.defaultValue = def->text;
+    }
+    keys.emplace(key->requiredAttr("id"), std::move(info));
+  }
+
+  const xml::Element* graphEl = root.child("graph");
+  if (!graphEl) throw std::runtime_error("GraphML: missing <graph> element");
+  const std::string* edgeDefault = graphEl->attr("edgedefault");
+  const bool directed = edgeDefault && *edgeDefault == "directed";
+  Graph g(directed);
+
+  auto applyData = [&](const xml::Element& owner, graph::AttrMap& attrs,
+                       const std::string& scope) {
+    for (const xml::Element* data : owner.childrenNamed("data")) {
+      const std::string& keyId = data->requiredAttr("key");
+      const auto it = keys.find(keyId);
+      if (it == keys.end()) {
+        throw std::runtime_error("GraphML: <data> references undeclared key '" + keyId +
+                                 "'");
+      }
+      const KeyInfo& info = it->second;
+      if (info.scope != "all" && info.scope != scope) {
+        throw std::runtime_error("GraphML: key '" + keyId + "' is for '" + info.scope +
+                                 "', used on a " + scope);
+      }
+      attrs.set(info.attrName, AttrValue::parseAs(info.type, data->text));
+    }
+  };
+
+  auto applyDefaults = [&](graph::AttrMap& attrs, const std::string& scope) {
+    for (const auto& [id, info] : keys) {
+      (void)id;
+      if (!info.hasDefault) continue;
+      if (info.scope != "all" && info.scope != scope) continue;
+      if (!attrs.has(info.attrName)) {
+        attrs.set(info.attrName, AttrValue::parseAs(info.type, info.defaultValue));
+      }
+    }
+  };
+
+  applyData(*graphEl, g.attrs(), "graph");
+
+  for (const xml::Element* node : graphEl->childrenNamed("node")) {
+    const graph::NodeId id = g.addNode(node->requiredAttr("id"));
+    applyData(*node, g.nodeAttrs(id), "node");
+    applyDefaults(g.nodeAttrs(id), "node");
+  }
+  for (const xml::Element* edge : graphEl->childrenNamed("edge")) {
+    const auto src = g.findNode(edge->requiredAttr("source"));
+    const auto dst = g.findNode(edge->requiredAttr("target"));
+    if (!src || !dst) {
+      throw std::runtime_error("GraphML: edge references undeclared node");
+    }
+    const graph::EdgeId id = g.addEdge(*src, *dst);
+    applyData(*edge, g.edgeAttrs(id), "edge");
+    applyDefaults(g.edgeAttrs(id), "edge");
+  }
+  return g;
+}
+
+Graph readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("GraphML: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read(buffer.str());
+}
+
+}  // namespace netembed::graphml

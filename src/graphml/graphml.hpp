@@ -1,0 +1,31 @@
+#pragma once
+// GraphML reader/writer (paper §VI-A): the "standard network representation"
+// NETEMBED adopts so hosting and query networks carry arbitrary typed
+// attributes for nodes and links.
+//
+// Supported subset: one <graph> per document, <key> declarations with
+// attr.name / attr.type (boolean, int, long, float, double, string) and
+// optional <default>, <data> on graph/node/edge elements. Nested graphs and
+// ports are not supported (and not used by any NETEMBED workload).
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "graph/graph.hpp"
+
+namespace netembed::graphml {
+
+/// Serialize to GraphML. Keys are synthesized from the attributes actually
+/// present; if one attribute name is used with conflicting types, values are
+/// promoted to string.
+[[nodiscard]] std::string write(const graph::Graph& g);
+void write(const graph::Graph& g, std::ostream& out);
+void writeFile(const graph::Graph& g, const std::string& path);
+
+/// Parse a GraphML document. Node ids become node names. Throws
+/// xml::ParseError / std::runtime_error on malformed input.
+[[nodiscard]] graph::Graph read(std::string_view text);
+[[nodiscard]] graph::Graph readFile(const std::string& path);
+
+}  // namespace netembed::graphml

@@ -1,0 +1,121 @@
+#include "service/model.hpp"
+
+#include <stdexcept>
+
+namespace netembed::service {
+
+NetworkModel::NetworkModel(graph::Graph host) : host_(std::move(host)) {}
+
+void NetworkModel::setEdgeMetric(graph::NodeId u, graph::NodeId v,
+                                 std::string_view attr, graph::AttrValue value) {
+  const auto e = host_.findEdge(u, v);
+  if (!e) throw std::invalid_argument("NetworkModel: no such edge");
+  host_.edgeAttrs(*e).set(attr, std::move(value));
+  ++version_;
+}
+
+void NetworkModel::setNodeAttr(graph::NodeId n, std::string_view attr,
+                               graph::AttrValue value) {
+  host_.nodeAttrs(n).set(attr, std::move(value));
+  ++version_;
+}
+
+std::size_t NetworkModel::applyMeasurements(std::span<const Measurement> batch) {
+  std::size_t applied = 0;
+  for (const Measurement& m : batch) {
+    const auto src = host_.findNode(m.src);
+    if (!src) continue;
+    if (m.dst.empty()) {
+      host_.nodeAttrs(*src).set(m.attr, m.value);
+      ++applied;
+      continue;
+    }
+    const auto dst = host_.findNode(m.dst);
+    if (!dst) continue;
+    const auto e = host_.findEdge(*src, *dst);
+    if (!e) continue;
+    host_.edgeAttrs(*e).set(m.attr, m.value);
+    ++applied;
+  }
+  if (applied > 0) ++version_;
+  return applied;
+}
+
+NetworkModel::ReservationId NetworkModel::reserve(const graph::Graph& query,
+                                                  const core::Mapping& mapping,
+                                                  const ReservationSpec& spec) {
+  if (mapping.size() != query.nodeCount()) {
+    throw std::invalid_argument("NetworkModel::reserve: incomplete mapping");
+  }
+  std::vector<Delta> deltas;
+
+  const auto planNode = [&](graph::NodeId q, graph::NodeId r, const std::string& attr) {
+    const graph::AttrId id = graph::attrId(attr);
+    const graph::AttrValue* demand = query.nodeAttrs(q).get(id);
+    if (!demand || !demand->isNumeric() || demand->asDouble() == 0.0) return;
+    deltas.push_back({true, r, id, demand->asDouble()});
+  };
+  const auto planEdge = [&](graph::EdgeId qe, graph::EdgeId re, const std::string& attr) {
+    const graph::AttrId id = graph::attrId(attr);
+    const graph::AttrValue* demand = query.edgeAttrs(qe).get(id);
+    if (!demand || !demand->isNumeric() || demand->asDouble() == 0.0) return;
+    deltas.push_back({false, re, id, demand->asDouble()});
+  };
+
+  for (graph::NodeId q = 0; q < query.nodeCount(); ++q) {
+    if (mapping[q] == graph::kInvalidNode || mapping[q] >= host_.nodeCount()) {
+      throw std::invalid_argument("NetworkModel::reserve: bad mapping entry");
+    }
+    for (const std::string& attr : spec.nodeCapacityAttrs) planNode(q, mapping[q], attr);
+  }
+  for (graph::EdgeId qe = 0; qe < query.edgeCount(); ++qe) {
+    const auto re = host_.findEdge(mapping[query.edgeSource(qe)],
+                                   mapping[query.edgeTarget(qe)]);
+    if (!re) {
+      throw std::invalid_argument(
+          "NetworkModel::reserve: mapping does not preserve topology");
+    }
+    for (const std::string& attr : spec.edgeCapacityAttrs) planEdge(qe, *re, attr);
+  }
+
+  // Validate all capacities first so failure changes nothing.
+  for (const Delta& d : deltas) {
+    const graph::AttrMap& attrs =
+        d.onNode ? host_.nodeAttrs(d.element) : host_.edgeAttrs(d.element);
+    const graph::AttrValue* capacity = attrs.get(d.attr);
+    const double available =
+        capacity && capacity->isNumeric() ? capacity->asDouble() : 0.0;
+    if (available < d.amount) {
+      throw std::runtime_error("NetworkModel::reserve: insufficient '" +
+                               graph::attrName(d.attr) + "' capacity");
+    }
+  }
+  for (const Delta& d : deltas) {
+    graph::AttrMap& attrs =
+        d.onNode ? host_.nodeAttrs(d.element) : host_.edgeAttrs(d.element);
+    attrs.set(d.attr, attrs.get(d.attr)->asDouble() - d.amount);
+  }
+
+  const ReservationId id = nextId_++;
+  reservations_.emplace(id, std::move(deltas));
+  ++version_;
+  return id;
+}
+
+void NetworkModel::release(ReservationId id) {
+  const auto it = reservations_.find(id);
+  if (it == reservations_.end()) {
+    throw std::invalid_argument("NetworkModel::release: unknown reservation");
+  }
+  for (const Delta& d : it->second) {
+    graph::AttrMap& attrs =
+        d.onNode ? host_.nodeAttrs(d.element) : host_.edgeAttrs(d.element);
+    const graph::AttrValue* current = attrs.get(d.attr);
+    const double base = current && current->isNumeric() ? current->asDouble() : 0.0;
+    attrs.set(d.attr, base + d.amount);
+  }
+  reservations_.erase(it);
+  ++version_;
+}
+
+}  // namespace netembed::service

@@ -1,0 +1,87 @@
+#pragma once
+// The "model of the real network" component of the NETEMBED service
+// (paper §III, Fig. 1): holds the hosting graph, accepts monitoring-style
+// metric updates, and implements the optional resource-reservation system
+// (allocations subtract from capacity attributes; releases restore them).
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/search.hpp"
+#include "graph/graph.hpp"
+
+namespace netembed::service {
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(graph::Graph host);
+
+  [[nodiscard]] const graph::Graph& host() const noexcept { return host_; }
+
+  /// Monotonically increasing; bumped by every mutation. Lets distributed
+  /// replicas detect staleness (paper §III: "an up-to-date copy of the model
+  /// on each server").
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  // --- monitoring updates ---------------------------------------------------
+
+  /// Update a link metric; throws when the edge does not exist.
+  void setEdgeMetric(graph::NodeId u, graph::NodeId v, std::string_view attr,
+                     graph::AttrValue value);
+
+  void setNodeAttr(graph::NodeId n, std::string_view attr, graph::AttrValue value);
+
+  /// One observation from a monitoring service, addressed by node names.
+  struct Measurement {
+    std::string src;
+    std::string dst;   // empty => node-level measurement on src
+    std::string attr;
+    graph::AttrValue value;
+  };
+
+  /// Apply a batch; unknown nodes/edges are skipped. Returns applied count.
+  std::size_t applyMeasurements(std::span<const Measurement> batch);
+
+  // --- reservations -----------------------------------------------------------
+
+  using ReservationId = std::uint64_t;
+
+  /// Which attributes act as consumable capacities. For each listed
+  /// attribute, the query element's value (its demand) is subtracted from
+  /// the mapped host element's value (its remaining capacity).
+  struct ReservationSpec {
+    std::vector<std::string> nodeCapacityAttrs;
+    std::vector<std::string> edgeCapacityAttrs;
+  };
+
+  /// Atomically reserve resources for a complete mapping. Throws
+  /// std::runtime_error (and changes nothing) when any capacity would go
+  /// negative. Query elements without a demand attribute consume nothing.
+  ReservationId reserve(const graph::Graph& query, const core::Mapping& mapping,
+                        const ReservationSpec& spec);
+
+  /// Return a reservation's resources; throws on unknown id.
+  void release(ReservationId id);
+
+  [[nodiscard]] std::size_t activeReservations() const noexcept {
+    return reservations_.size();
+  }
+
+ private:
+  struct Delta {
+    bool onNode;
+    std::uint32_t element;  // node or edge id
+    graph::AttrId attr;
+    double amount;
+  };
+
+  graph::Graph host_;
+  std::uint64_t version_ = 0;
+  ReservationId nextId_ = 1;
+  std::map<ReservationId, std::vector<Delta>> reservations_;
+};
+
+}  // namespace netembed::service

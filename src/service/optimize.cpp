@@ -1,0 +1,70 @@
+#include "service/optimize.hpp"
+
+#include <limits>
+
+#include "core/ecf.hpp"
+#include "core/lns.hpp"
+#include "core/rwb.hpp"
+
+namespace netembed::service {
+
+CostFn totalEdgeAttrCost(const graph::Graph& query, const graph::Graph& host,
+                         std::string attr, double missingPenalty) {
+  return [&query, &host, attr = std::move(attr), missingPenalty](
+             const core::Mapping& m) {
+    double total = 0.0;
+    for (graph::EdgeId e = 0; e < query.edgeCount(); ++e) {
+      const auto he = host.findEdge(m[query.edgeSource(e)], m[query.edgeTarget(e)]);
+      if (!he) {
+        total += missingPenalty;
+        continue;
+      }
+      total += host.edgeAttrs(*he).getDouble(attr, missingPenalty);
+    }
+    return total;
+  };
+}
+
+CostFn totalNodeAttrCost(const graph::Graph& query, const graph::Graph& host,
+                         std::string attr, double missingValue) {
+  return [&query, &host, attr = std::move(attr), missingValue](const core::Mapping& m) {
+    double total = 0.0;
+    for (graph::NodeId q = 0; q < query.nodeCount(); ++q) {
+      total += host.nodeAttrs(m[q]).getDouble(attr, missingValue);
+    }
+    return total;
+  };
+}
+
+OptimizeResult enumerateAndOptimize(const core::Problem& problem,
+                                    core::Algorithm algorithm,
+                                    const core::SearchOptions& options,
+                                    const CostFn& cost) {
+  OptimizeResult out;
+  out.bestCost = std::numeric_limits<double>::infinity();
+
+  const core::SolutionSink sink = [&](const core::Mapping& m) {
+    const double c = cost(m);
+    if (c < out.bestCost) {
+      out.bestCost = c;
+      out.best = m;
+    }
+    return true;  // keep enumerating
+  };
+
+  switch (algorithm) {
+    case core::Algorithm::ECF:
+      out.search = core::ecfSearch(problem, options, sink);
+      break;
+    case core::Algorithm::RWB:
+      out.search = core::rwbSearch(problem, options, sink);
+      break;
+    case core::Algorithm::LNS:
+    case core::Algorithm::Naive:
+      out.search = core::lnsSearch(problem, options, sink);
+      break;
+  }
+  return out;
+}
+
+}  // namespace netembed::service

@@ -1,0 +1,49 @@
+#pragma once
+// Optimization over the feasible set (paper §VIII and footnote 1: "the
+// solution to a constraint satisfaction problem may yield multiple feasible
+// embeddings, in which case the embedding of choice would be the one that
+// minimizes a specific cost metric").
+//
+// Costs stream through the engines' solution sink, so the best mapping is
+// tracked without materializing the full (possibly huge) feasible set.
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/problem.hpp"
+#include "core/search.hpp"
+
+namespace netembed::service {
+
+/// Smaller is better.
+using CostFn = std::function<double(const core::Mapping&)>;
+
+/// Sum over query edges of the mapped host edge's numeric attribute
+/// (missing attribute or host edge counts as `missingPenalty`).
+[[nodiscard]] CostFn totalEdgeAttrCost(const graph::Graph& query,
+                                       const graph::Graph& host, std::string attr,
+                                       double missingPenalty = 1e9);
+
+/// Sum over query nodes of the mapped host node's numeric attribute
+/// (e.g. "load"): prefers placements onto lightly-loaded hosts.
+[[nodiscard]] CostFn totalNodeAttrCost(const graph::Graph& query,
+                                       const graph::Graph& host, std::string attr,
+                                       double missingValue = 0.0);
+
+struct OptimizeResult {
+  core::EmbedResult search;      // outcome / counts / stats of the enumeration
+  std::optional<core::Mapping> best;
+  double bestCost = 0.0;
+};
+
+/// Enumerate feasible embeddings with the given algorithm and keep the
+/// cheapest. The search result's outcome tells whether the enumeration was
+/// exhaustive (Complete => `best` is the global optimum over all feasible
+/// embeddings).
+[[nodiscard]] OptimizeResult enumerateAndOptimize(const core::Problem& problem,
+                                                  core::Algorithm algorithm,
+                                                  const core::SearchOptions& options,
+                                                  const CostFn& cost);
+
+}  // namespace netembed::service

@@ -1,0 +1,179 @@
+#include "service/pathmap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace netembed::service {
+
+using graph::NodeId;
+
+namespace {
+
+class PathEngine {
+ public:
+  PathEngine(const graph::Graph& query, const graph::Graph& host,
+             const PathMapOptions& options)
+      : query_(query), host_(host), options_(options), deadline_(options.search.timeout) {
+    if (query.directed() || host.directed()) {
+      throw std::invalid_argument("embedWithPaths: undirected graphs only");
+    }
+    delayId_ = graph::attrId(options.delayAttr);
+    budgetId_ = graph::attrId(options.budgetAttr);
+    if (!options.nodeConstraint.empty()) {
+      nodeConstraint_ = expr::Constraint::parse(options.nodeConstraint);
+    }
+  }
+
+  PathEmbedding run() {
+    util::Stopwatch total;
+    PathEmbedding out;
+    out.stats.firstMatchMs = -1.0;
+    stats_ = &out.stats;
+
+    const std::size_t nq = query_.nodeCount();
+    mapping_.assign(nq, graph::kInvalidNode);
+    covered_.assign(nq, false);
+    links_.assign(nq, 0);
+    used_.assign(host_.nodeCount(), false);
+    coveredCount_ = 0;
+
+    found_ = false;
+    descend(out);
+
+    if (found_) {
+      out.feasible = true;
+      out.nodes = mapping_;
+      out.edgePaths.resize(query_.edgeCount());
+      out.pathDelays.resize(query_.edgeCount());
+      for (graph::EdgeId e = 0; e < query_.edgeCount(); ++e) {
+        const NodeId ra = mapping_[query_.edgeSource(e)];
+        const NodeId rb = mapping_[query_.edgeTarget(e)];
+        const graph::ShortestPaths& sp = paths(ra);
+        out.edgePaths[e] = graph::extractPath(sp, rb);
+        out.pathDelays[e] = sp.distance[rb];
+      }
+      out.stats.firstMatchMs = total.elapsedMs();
+    }
+    out.stats.searchMs = total.elapsedMs();
+    return out;
+  }
+
+ private:
+  const graph::ShortestPaths& paths(NodeId source) {
+    const auto it = dijkstraCache_.find(source);
+    if (it != dijkstraCache_.end()) return it->second;
+    auto sp = graph::dijkstra(host_, source, [&](graph::EdgeId e) {
+      return host_.edgeAttrs(e).getDouble(options_.delayAttr, 0.0);
+    });
+    return dijkstraCache_.emplace(source, std::move(sp)).first->second;
+  }
+
+  bool nodeOk(NodeId q, NodeId r) {
+    if (!nodeConstraint_) return true;
+    ++stats_->constraintEvals;
+    return nodeConstraint_->evalNodePair(query_, q, host_, r);
+  }
+
+  /// Path feasibility for query edge e if its endpoints map to ra / rb.
+  bool pathOk(graph::EdgeId e, NodeId ra, NodeId rb) {
+    const graph::ShortestPaths& sp = paths(ra);
+    const double budget =
+        query_.edgeAttrs(e).getDouble(options_.budgetAttr, graph::kUnreachable);
+    if (sp.distance[rb] > budget) return false;
+    if (options_.maxPathHops > 0) {
+      const auto path = graph::extractPath(sp, rb);
+      if (path.size() > options_.maxPathHops + 1) return false;
+    }
+    return true;
+  }
+
+  NodeId chooseNext() const {
+    NodeId best = graph::kInvalidNode;
+    for (NodeId v = 0; v < covered_.size(); ++v) {
+      if (covered_[v] || links_[v] == 0) continue;
+      if (best == graph::kInvalidNode || links_[v] > links_[best]) best = v;
+    }
+    if (best != graph::kInvalidNode) return best;
+    for (NodeId v = 0; v < covered_.size(); ++v) {
+      if (covered_[v]) continue;
+      if (best == graph::kInvalidNode || query_.degree(v) > query_.degree(best)) best = v;
+    }
+    return best;
+  }
+
+  void descend(PathEmbedding& out) {
+    if (found_ || (deadline_.isBounded() && deadline_.expired())) return;
+    if (coveredCount_ == query_.nodeCount()) {
+      found_ = true;
+      return;
+    }
+    const NodeId v = chooseNext();
+
+    for (NodeId s = 0; s < used_.size(); ++s) {
+      if (found_) return;
+      if (used_[s] || !nodeOk(v, s)) continue;
+      bool connectable = true;
+      for (const graph::Neighbor& nb : query_.neighbors(v)) {
+        if (!covered_[nb.node]) continue;
+        if (!pathOk(nb.edge, mapping_[nb.node], s)) {
+          connectable = false;
+          break;
+        }
+      }
+      if (!connectable) continue;
+      ++stats_->treeNodesVisited;
+      push(v, s);
+      descend(out);
+      if (!found_) pop(v, s);
+    }
+    if (!found_) ++stats_->backtracks;
+  }
+
+  void push(NodeId v, NodeId s) {
+    mapping_[v] = s;
+    covered_[v] = true;
+    used_[s] = true;
+    ++coveredCount_;
+    for (const graph::Neighbor& nb : query_.neighbors(v)) {
+      if (!covered_[nb.node]) ++links_[nb.node];
+    }
+  }
+
+  void pop(NodeId v, NodeId s) {
+    for (const graph::Neighbor& nb : query_.neighbors(v)) {
+      if (!covered_[nb.node]) --links_[nb.node];
+    }
+    --coveredCount_;
+    used_[s] = false;
+    covered_[v] = false;
+    mapping_[v] = graph::kInvalidNode;
+  }
+
+  const graph::Graph& query_;
+  const graph::Graph& host_;
+  const PathMapOptions& options_;
+  util::Deadline deadline_;
+  graph::AttrId delayId_{};
+  graph::AttrId budgetId_{};
+  std::optional<expr::Constraint> nodeConstraint_;
+  std::unordered_map<NodeId, graph::ShortestPaths> dijkstraCache_;
+
+  core::Mapping mapping_;
+  std::vector<bool> covered_;
+  std::vector<std::uint32_t> links_;
+  std::vector<bool> used_;
+  std::size_t coveredCount_ = 0;
+  core::SearchStats* stats_ = nullptr;
+  bool found_ = false;
+};
+
+}  // namespace
+
+PathEmbedding embedWithPaths(const graph::Graph& query, const graph::Graph& host,
+                             const PathMapOptions& options) {
+  return PathEngine(query, host, options).run();
+}
+
+}  // namespace netembed::service

@@ -1,0 +1,51 @@
+#pragma once
+// Many-to-one link->path mapping (paper §VIII "Current and Future Work":
+// "mapping a link in the query network to a path in the real network").
+//
+// A query edge no longer needs a direct host edge; it needs a host *path*
+// whose accumulated delay stays within the edge's budget. Node placement is
+// searched LNS-style (grow a covered set, most-connected neighbour first)
+// with the edge-feasibility predicate replaced by a shortest-path-distance
+// test; per-source Dijkstra results are memoized across the search.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/search.hpp"
+#include "expr/constraint.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+
+namespace netembed::service {
+
+struct PathMapOptions {
+  /// Additive host edge metric (missing metric => edge weight 0).
+  std::string delayAttr = "avgDelay";
+  /// Query edge attribute holding the end-to-end delay budget.
+  std::string budgetAttr = "pathDelayBudget";
+  /// Optional node constraint (vNode/rNode objects); empty => none.
+  std::string nodeConstraint;
+  /// Reject paths longer than this many hops (0 = unlimited).
+  std::size_t maxPathHops = 8;
+  core::SearchOptions search;
+};
+
+struct PathEmbedding {
+  bool feasible = false;
+  core::Mapping nodes;
+  /// Per query edge (indexed by EdgeId): host node path from the image of
+  /// the edge source to the image of the edge target (>= 2 nodes).
+  std::vector<std::vector<graph::NodeId>> edgePaths;
+  /// Total host delay per query edge.
+  std::vector<double> pathDelays;
+  core::SearchStats stats;
+};
+
+/// Find one path-relaxed embedding (first match). Undirected graphs only.
+[[nodiscard]] PathEmbedding embedWithPaths(const graph::Graph& query,
+                                           const graph::Graph& host,
+                                           const PathMapOptions& options = {});
+
+}  // namespace netembed::service

@@ -1,0 +1,87 @@
+#include "service/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/lns.hpp"
+#include "core/problem.hpp"
+
+namespace netembed::service {
+
+EmbeddingScheduler::EmbeddingScheduler(graph::Graph host, std::string capacityAttr,
+                                       std::string demandAttr)
+    : host_(std::move(host)),
+      capacityAttr_(std::move(capacityAttr)),
+      demandAttr_(std::move(demandAttr)) {}
+
+double EmbeddingScheduler::residualCapacity(graph::NodeId node, std::size_t start,
+                                            std::size_t duration) const {
+  double capacity = host_.nodeAttrs(node).getDouble(capacityAttr_, 0.0);
+  for (const Booking& b : bookings_) {
+    if (b.node != node) continue;
+    const bool overlaps = b.start < start + duration && start < b.start + b.duration;
+    if (overlaps) capacity -= b.amount;
+  }
+  return capacity;
+}
+
+std::optional<EmbeddingScheduler::Placement> EmbeddingScheduler::schedule(
+    const graph::Graph& query, const std::string& edgeConstraint,
+    std::size_t duration, std::size_t horizon, std::size_t earliest,
+    const core::SearchOptions& options) {
+  if (duration == 0) throw std::invalid_argument("schedule: zero duration");
+
+  // The residual-capacity check rides on the node-constraint hook:
+  // "vNode.demand <= rNode.<residualAttr>" against a working copy of the
+  // host whose residual attribute is refreshed per candidate start time.
+  const std::string residualAttr = "__residual_" + capacityAttr_;
+
+  graph::Graph working = host_;
+  const expr::ConstraintSet constraints = expr::ConstraintSet::parse(
+      edgeConstraint, "vNode." + demandAttr_ + " <= rNode." + residualAttr);
+
+  // Ensure every query node carries a demand (absent => 0).
+  graph::Graph queryCopy = query;
+  const graph::AttrId demandId = graph::attrId(demandAttr_);
+  for (graph::NodeId v = 0; v < queryCopy.nodeCount(); ++v) {
+    if (!queryCopy.nodeAttrs(v).has(demandId)) queryCopy.nodeAttrs(v).set(demandId, 0.0);
+  }
+
+  const graph::AttrId residualId = graph::attrId(residualAttr);
+  core::SearchOptions firstOnly = options;
+  firstOnly.maxSolutions = 1;
+
+  for (std::size_t start = earliest; start <= horizon; ++start) {
+    for (graph::NodeId n = 0; n < working.nodeCount(); ++n) {
+      working.nodeAttrs(n).set(residualId, residualCapacity(n, start, duration));
+    }
+    const core::Problem problem(queryCopy, working, constraints);
+    const core::EmbedResult result = core::lnsSearch(problem, firstOnly);
+    if (result.feasible() && !result.mappings.empty()) {
+      const core::Mapping& mapping = result.mappings.front();
+      Placement placement{nextId_++, start, duration, mapping};
+      for (graph::NodeId v = 0; v < queryCopy.nodeCount(); ++v) {
+        const double demand = queryCopy.nodeAttrs(v).getDouble(demandAttr_, 0.0);
+        if (demand > 0.0) {
+          bookings_.push_back({placement.id, start, duration, mapping[v], demand});
+        }
+      }
+      placements_.push_back(placement);
+      return placement;
+    }
+  }
+  return std::nullopt;
+}
+
+void EmbeddingScheduler::cancel(std::uint64_t id) {
+  const auto placementIt =
+      std::find_if(placements_.begin(), placements_.end(),
+                   [&](const Placement& p) { return p.id == id; });
+  if (placementIt == placements_.end()) {
+    throw std::invalid_argument("EmbeddingScheduler::cancel: unknown placement");
+  }
+  placements_.erase(placementIt);
+  std::erase_if(bookings_, [&](const Booking& b) { return b.id == id; });
+}
+
+}  // namespace netembed::service

@@ -1,0 +1,71 @@
+#pragma once
+// Time-windowed embedding (paper §VIII: "the embedding problem must be
+// tightly integrated with the scheduling problem — to find a window of time
+// ... in which some feasible embedding is available", the SNBENCH use case).
+//
+// Host nodes expose a numeric capacity attribute; query nodes carry a demand
+// attribute. Placements occupy capacity for [start, start+duration) in
+// discrete time slots. schedule() finds the earliest start at which a
+// feasible embedding exists against the *residual* capacities, then books it.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/search.hpp"
+#include "graph/graph.hpp"
+
+namespace netembed::service {
+
+class EmbeddingScheduler {
+ public:
+  EmbeddingScheduler(graph::Graph host, std::string capacityAttr = "capacity",
+                     std::string demandAttr = "demand");
+
+  struct Placement {
+    std::uint64_t id;
+    std::size_t start;
+    std::size_t duration;
+    core::Mapping mapping;
+  };
+
+  /// Find the earliest start in [earliest, horizon] where the query embeds
+  /// feasibly given residual capacities, book it, and return the placement.
+  /// `edgeConstraint` uses the normal expression language (may be empty).
+  [[nodiscard]] std::optional<Placement> schedule(
+      const graph::Graph& query, const std::string& edgeConstraint,
+      std::size_t duration, std::size_t horizon, std::size_t earliest = 0,
+      const core::SearchOptions& options = {});
+
+  /// Cancel a booking; throws on unknown id.
+  void cancel(std::uint64_t id);
+
+  [[nodiscard]] std::size_t activePlacements() const noexcept {
+    return placements_.size();
+  }
+
+  [[nodiscard]] const graph::Graph& host() const noexcept { return host_; }
+
+  /// Residual capacity of `node` during [start, start+duration).
+  [[nodiscard]] double residualCapacity(graph::NodeId node, std::size_t start,
+                                        std::size_t duration) const;
+
+ private:
+  struct Booking {
+    std::uint64_t id;
+    std::size_t start;
+    std::size_t duration;
+    graph::NodeId node;
+    double amount;
+  };
+
+  graph::Graph host_;
+  std::string capacityAttr_;
+  std::string demandAttr_;
+  std::vector<Booking> bookings_;
+  std::vector<Placement> placements_;
+  std::uint64_t nextId_ = 1;
+};
+
+}  // namespace netembed::service

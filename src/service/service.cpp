@@ -1,0 +1,92 @@
+#include "service/service.hpp"
+
+#include <sstream>
+
+#include "core/ecf.hpp"
+#include "core/lns.hpp"
+#include "core/rwb.hpp"
+#include "topo/sample.hpp"
+
+namespace netembed::service {
+
+using core::Algorithm;
+
+EmbedResponse NetEmbedService::submit(const EmbedRequest& request) const {
+  const expr::ConstraintSet constraints =
+      expr::ConstraintSet::parse(request.edgeConstraint, request.nodeConstraint);
+  const core::Problem problem(request.query, model_.host(), constraints);
+  problem.validate();
+
+  const bool wantAll = request.options.maxSolutions != 1;
+  const Algorithm algorithm =
+      request.algorithm.value_or(chooseAlgorithm(request.query, model_.host(), wantAll));
+
+  EmbedResponse response;
+  response.algorithmUsed = algorithm;
+  response.modelVersion = model_.version();
+  switch (algorithm) {
+    case Algorithm::ECF:
+      response.result = core::ecfSearch(problem, request.options);
+      break;
+    case Algorithm::RWB:
+      response.result = core::rwbSearch(problem, request.options);
+      break;
+    case Algorithm::LNS:
+    case Algorithm::Naive:  // the service never auto-picks Naive; map it to LNS
+      response.result = core::lnsSearch(problem, request.options);
+      break;
+  }
+
+  std::ostringstream diag;
+  diag << core::algorithmName(algorithm) << ": " << core::outcomeName(response.result.outcome)
+       << ", " << response.result.solutionCount << " mapping(s), "
+       << response.result.stats.searchMs << " ms";
+  response.diagnostics = diag.str();
+  return response;
+}
+
+Algorithm NetEmbedService::chooseAlgorithm(const graph::Graph& query,
+                                           const graph::Graph& host, bool wantAll) {
+  // Dense hosts (overlays are near-cliques) defeat the stage-1 filters'
+  // pruning and can blow up their memory; LNS is the paper's answer there.
+  const bool denseHost = host.density() > 0.2;
+  // Dense/regular queries (cliques and friends) also favor LNS for
+  // first-match per §VII-D.
+  const bool denseQuery = query.density() > 0.5 && query.nodeCount() >= 4;
+  if (!wantAll && (denseHost || denseQuery)) return Algorithm::LNS;
+  if (wantAll) return Algorithm::ECF;
+  return Algorithm::RWB;
+}
+
+NetEmbedService::NegotiationResult NetEmbedService::negotiate(
+    const EmbedRequest& request, double step, double maxTolerance) const {
+  NegotiationResult out;
+  for (double tolerance = 0.0; tolerance <= maxTolerance + 1e-12; tolerance += step) {
+    EmbedRequest attempt = request;
+    if (tolerance > 0.0) topo::widenDelayWindows(attempt.query, tolerance);
+    ++out.rounds;
+    out.response = submit(attempt);
+    if (out.response.result.feasible()) {
+      out.feasible = true;
+      out.toleranceUsed = tolerance;
+      return out;
+    }
+    if (step <= 0.0) break;  // single round when no widening step given
+  }
+  return out;
+}
+
+std::optional<NetEmbedService::Allocation> NetEmbedService::allocateFirstFeasible(
+    const EmbedRequest& request, const NetworkModel::ReservationSpec& spec) {
+  EmbedRequest firstOnly = request;
+  firstOnly.options.maxSolutions = 1;
+  const EmbedResponse response = submit(firstOnly);
+  if (!response.result.feasible() || response.result.mappings.empty()) {
+    return std::nullopt;
+  }
+  const core::Mapping& mapping = response.result.mappings.front();
+  const NetworkModel::ReservationId id = model_.reserve(request.query, mapping, spec);
+  return Allocation{id, mapping};
+}
+
+}  // namespace netembed::service

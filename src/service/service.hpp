@@ -1,0 +1,80 @@
+#pragma once
+// The NETEMBED mapping service (paper §III, Fig. 1): applications submit a
+// query network plus constraint expressions and receive feasible mappings.
+// Includes algorithm auto-selection (per the §VIII guidance on when each
+// algorithm wins) and the interactive constraint-relaxation loop §VI-B
+// motivates ("begin with more stringent constraints and relax them if there
+// is no compliant mapping").
+
+#include <optional>
+#include <string>
+
+#include "core/problem.hpp"
+#include "core/search.hpp"
+#include "service/model.hpp"
+
+namespace netembed::service {
+
+struct EmbedRequest {
+  graph::Graph query;
+  std::string edgeConstraint;  // empty => topology-only
+  std::string nodeConstraint;  // empty => unconstrained nodes
+  /// nullopt => the service chooses (see chooseAlgorithm).
+  std::optional<core::Algorithm> algorithm;
+  core::SearchOptions options;
+};
+
+struct EmbedResponse {
+  core::EmbedResult result;
+  core::Algorithm algorithmUsed = core::Algorithm::ECF;
+  std::uint64_t modelVersion = 0;
+  std::string diagnostics;
+};
+
+class NetEmbedService {
+ public:
+  explicit NetEmbedService(NetworkModel model) : model_(std::move(model)) {}
+  explicit NetEmbedService(graph::Graph host) : model_(std::move(host)) {}
+
+  [[nodiscard]] NetworkModel& model() noexcept { return model_; }
+  [[nodiscard]] const NetworkModel& model() const noexcept { return model_; }
+
+  /// Run one query. Throws expr::SyntaxError on bad constraint source and
+  /// std::invalid_argument on malformed problems.
+  [[nodiscard]] EmbedResponse submit(const EmbedRequest& request) const;
+
+  /// §VIII: ECF/RWB win on tightly-constrained queries over sparse hosts;
+  /// LNS wins for first-match on dense hosts and regular/under-constrained
+  /// queries. `wantAll` = enumerating (not stopping at the first match).
+  [[nodiscard]] static core::Algorithm chooseAlgorithm(const graph::Graph& query,
+                                                       const graph::Graph& host,
+                                                       bool wantAll);
+
+  struct NegotiationResult {
+    bool feasible = false;
+    double toleranceUsed = 0.0;  // delay-window widening that succeeded
+    int rounds = 0;
+    EmbedResponse response;
+  };
+
+  /// Interactive-negotiation helper: resubmit with progressively wider query
+  /// delay windows (multiplying min by 1-t and max by 1+t) until feasible or
+  /// maxTolerance is exceeded.
+  [[nodiscard]] NegotiationResult negotiate(const EmbedRequest& request, double step,
+                                            double maxTolerance) const;
+
+  /// Submit, then reserve resources for the first feasible mapping (paper
+  /// §III component 3). Returns the reservation id and mapping, or nullopt
+  /// when no feasible embedding was found.
+  struct Allocation {
+    NetworkModel::ReservationId reservation;
+    core::Mapping mapping;
+  };
+  [[nodiscard]] std::optional<Allocation> allocateFirstFeasible(
+      const EmbedRequest& request, const NetworkModel::ReservationSpec& spec);
+
+ private:
+  NetworkModel model_;
+};
+
+}  // namespace netembed::service

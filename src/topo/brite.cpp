@@ -1,0 +1,177 @@
+#include "topo/brite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace netembed::topo {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+struct Point {
+  double x, y;
+};
+
+double dist(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+void setEdgeDelays(Graph& g, graph::EdgeId e, double d, util::Rng& rng) {
+  // avg adds queueing slack on top of propagation; min is near-propagation;
+  // max carries a heavier tail (mirrors all-pairs ping traces).
+  const double avg = d * rng.uniform(1.02, 1.06);
+  const double mn = d * rng.uniform(0.985, 1.0);
+  const double mx = avg * (1.0 + std::min(0.25, rng.exponential(20.0)));
+  auto& attrs = g.edgeAttrs(e);
+  attrs.set("delay", d);
+  attrs.set("minDelay", mn);
+  attrs.set("avgDelay", avg);
+  attrs.set("maxDelay", mx);
+  attrs.set("bw", static_cast<double>(rng.uniformInt(10, 1000)));
+}
+
+Graph placeNodes(const BriteOptions& options, util::Rng& rng, std::vector<Point>& points) {
+  Graph g(false);
+  points.reserve(options.nodes);
+  for (std::size_t i = 0; i < options.nodes; ++i) {
+    const NodeId id = g.addNode();
+    const Point p{rng.uniform(0.0, options.planeSize), rng.uniform(0.0, options.planeSize)};
+    points.push_back(p);
+    auto& attrs = g.nodeAttrs(id);
+    attrs.set("x", p.x);
+    attrs.set("y", p.y);
+  }
+  return g;
+}
+
+double edgeDelay(const BriteOptions& options, const Point& a, const Point& b) {
+  return options.baseDelay + options.delayPerKm * dist(a, b);
+}
+
+Graph barabasiAlbert(const BriteOptions& options, util::Rng& rng) {
+  const std::size_t m = options.m;
+  if (options.nodes < m + 1) {
+    throw std::invalid_argument("brite: need at least m+1 nodes for BA growth");
+  }
+  std::vector<Point> points;
+  Graph g = placeNodes(options, rng, points);
+
+  // Degree-weighted sampling pool: node id repeated once per incident edge.
+  std::vector<NodeId> pool;
+  pool.reserve(options.nodes * m * 2);
+
+  // Seed: an (m+1)-clique so every seed node starts with degree m.
+  const std::size_t seedSize = m + 1;
+  for (std::size_t i = 0; i < seedSize; ++i) {
+    for (std::size_t j = i + 1; j < seedSize; ++j) {
+      const graph::EdgeId e = g.addEdge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      setEdgeDelays(g, e, edgeDelay(options, points[i], points[j]), rng);
+      pool.push_back(static_cast<NodeId>(i));
+      pool.push_back(static_cast<NodeId>(j));
+    }
+  }
+
+  for (std::size_t v = seedSize; v < options.nodes; ++v) {
+    // Choose m distinct targets by preferential attachment.
+    std::vector<NodeId> targets;
+    targets.reserve(m);
+    std::size_t guard = 0;
+    while (targets.size() < m) {
+      const NodeId candidate = pool[rng.index(pool.size())];
+      bool duplicate = false;
+      for (const NodeId t : targets) duplicate = duplicate || t == candidate;
+      if (!duplicate) targets.push_back(candidate);
+      if (++guard > 64 * m) {
+        // Degenerate pools (tiny graphs): fall back to uniform choice.
+        const NodeId uniform = static_cast<NodeId>(rng.index(v));
+        duplicate = false;
+        for (const NodeId t : targets) duplicate = duplicate || t == uniform;
+        if (!duplicate) targets.push_back(uniform);
+      }
+    }
+    for (const NodeId t : targets) {
+      const graph::EdgeId e = g.addEdge(static_cast<NodeId>(v), t);
+      setEdgeDelays(g, e, edgeDelay(options, points[v], points[t]), rng);
+      pool.push_back(static_cast<NodeId>(v));
+      pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph waxman(const BriteOptions& options, util::Rng& rng) {
+  if (options.nodes < 2) throw std::invalid_argument("brite: need at least 2 nodes");
+  std::vector<Point> points;
+  Graph g = placeNodes(options, rng, points);
+  const double scale = options.waxmanBeta * options.planeSize * std::numbers::sqrt2_v<double>;
+
+  for (std::size_t i = 0; i < options.nodes; ++i) {
+    for (std::size_t j = i + 1; j < options.nodes; ++j) {
+      const double d = dist(points[i], points[j]);
+      if (rng.bernoulli(options.waxmanAlpha * std::exp(-d / scale))) {
+        const graph::EdgeId e = g.addEdge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+        setEdgeDelays(g, e, edgeDelay(options, points[i], points[j]), rng);
+      }
+    }
+  }
+
+  // Waxman graphs may come out disconnected; stitch components together via
+  // nearest cross-component pairs so hosting networks are always connected.
+  for (;;) {
+    std::vector<std::uint32_t> label(g.nodeCount(), static_cast<std::uint32_t>(-1));
+    std::uint32_t componentCount = 0;
+    for (NodeId n = 0; n < g.nodeCount(); ++n) {
+      if (label[n] != static_cast<std::uint32_t>(-1)) continue;
+      std::vector<NodeId> stack{n};
+      label[n] = componentCount;
+      while (!stack.empty()) {
+        const NodeId cur = stack.back();
+        stack.pop_back();
+        for (const graph::Neighbor& nb : g.neighbors(cur)) {
+          if (label[nb.node] == static_cast<std::uint32_t>(-1)) {
+            label[nb.node] = componentCount;
+            stack.push_back(nb.node);
+          }
+        }
+      }
+      ++componentCount;
+    }
+    if (componentCount <= 1) break;
+    // Join component 0 to the nearest node of a different component.
+    double best = 1e300;
+    NodeId bestA = 0, bestB = 0;
+    for (NodeId a = 0; a < g.nodeCount(); ++a) {
+      if (label[a] != 0) continue;
+      for (NodeId b = 0; b < g.nodeCount(); ++b) {
+        if (label[b] == 0) continue;
+        const double d = dist(points[a], points[b]);
+        if (d < best) {
+          best = d;
+          bestA = a;
+          bestB = b;
+        }
+      }
+    }
+    const graph::EdgeId e = g.addEdge(bestA, bestB);
+    setEdgeDelays(g, e, edgeDelay(options, points[bestA], points[bestB]), rng);
+  }
+  return g;
+}
+
+}  // namespace
+
+Graph brite(const BriteOptions& options) {
+  util::Rng rng(options.seed);
+  Graph g = options.model == BriteOptions::Model::BarabasiAlbert
+                ? barabasiAlbert(options, rng)
+                : waxman(options, rng);
+  g.attrs().set("generator", options.model == BriteOptions::Model::BarabasiAlbert
+                                 ? "brite-ba"
+                                 : "brite-waxman");
+  return g;
+}
+
+}  // namespace netembed::topo

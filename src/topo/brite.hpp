@@ -1,0 +1,45 @@
+#pragma once
+// BRITE-like synthetic Internet topologies (paper §VII-C; substitution for
+// the external BRITE tool [18]). Implements the two node-placement/growth
+// models BRITE popularized:
+//
+//   * Barabasi-Albert incremental growth with preferential attachment
+//     (power-law degree distribution; with m = 2 this yields E ~ 2N, the
+//     paper's (1500, 3030) / (2000, 4040) / (2500, 5020) shapes), and
+//   * Waxman random graphs with distance-dependent edge probability.
+//
+// Nodes get plane coordinates (attrs "x", "y" in km); edges get a
+// propagation-derived "delay" plus "minDelay"/"avgDelay"/"maxDelay" (ms) and
+// a "bw" (Mbps) so the same constraint expressions work on BRITE and
+// PlanetLab hosting networks.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace netembed::topo {
+
+struct BriteOptions {
+  enum class Model { BarabasiAlbert, Waxman };
+
+  std::size_t nodes = 1000;
+  Model model = Model::BarabasiAlbert;
+  /// BA: edges added per new node.
+  std::size_t m = 2;
+  /// Waxman parameters (P(u,v) = alpha * exp(-d / (beta * L))).
+  double waxmanAlpha = 0.15;
+  double waxmanBeta = 0.2;
+  /// Side of the square placement plane, km.
+  double planeSize = 10000.0;
+  /// RTT per km of euclidean distance, ms (0.01 ~= fiber propagation).
+  double delayPerKm = 0.01;
+  /// Minimum delay floor, ms.
+  double baseDelay = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a connected, undirected topology per the options.
+[[nodiscard]] graph::Graph brite(const BriteOptions& options);
+
+}  // namespace netembed::topo

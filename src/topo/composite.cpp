@@ -1,0 +1,105 @@
+#include "topo/composite.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace netembed::topo {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+/// Add the edges of a regular shape over the given member node ids.
+/// members[0] is the hub for Star and the root for Tree.
+void addShapeEdges(Graph& g, const std::vector<NodeId>& members, Shape shape,
+                   const char* level) {
+  const graph::AttrId levelId = graph::attrId("level");
+  const auto connect = [&](NodeId a, NodeId b) {
+    if (g.hasEdge(a, b)) return;  // shapes over >=3 members may repeat pairs
+    const graph::EdgeId e = g.addEdge(a, b);
+    g.edgeAttrs(e).set(levelId, level);
+  };
+  const std::size_t n = members.size();
+  if (n < 2) return;
+  switch (shape) {
+    case Shape::Ring:
+      if (n == 2) {
+        connect(members[0], members[1]);
+        break;
+      }
+      for (std::size_t i = 0; i < n; ++i) connect(members[i], members[(i + 1) % n]);
+      break;
+    case Shape::Star:
+      for (std::size_t i = 1; i < n; ++i) connect(members[0], members[i]);
+      break;
+    case Shape::Clique:
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) connect(members[i], members[j]);
+      }
+      break;
+    case Shape::Line:
+      for (std::size_t i = 0; i + 1 < n; ++i) connect(members[i], members[i + 1]);
+      break;
+    case Shape::Tree:
+      for (std::size_t i = 1; i < n; ++i) connect(members[(i - 1) / 2], members[i]);
+      break;
+  }
+}
+
+}  // namespace
+
+Graph composite(const CompositeSpec& spec) {
+  if (spec.groups < 2) throw std::invalid_argument("composite: need at least 2 groups");
+  if (spec.groupSize < 1) {
+    throw std::invalid_argument("composite: groups must have at least 1 node");
+  }
+  Graph g(false);
+  std::vector<NodeId> gateways;
+  gateways.reserve(spec.groups);
+
+  for (std::size_t group = 0; group < spec.groups; ++group) {
+    std::vector<NodeId> members;
+    members.reserve(spec.groupSize);
+    for (std::size_t i = 0; i < spec.groupSize; ++i) {
+      const NodeId id =
+          g.addNode("g" + std::to_string(group) + "_n" + std::to_string(i));
+      g.nodeAttrs(id).set("group", static_cast<std::int64_t>(group));
+      members.push_back(id);
+    }
+    gateways.push_back(members[0]);
+    addShapeEdges(g, members, spec.leafShape, "leaf");
+  }
+  addShapeEdges(g, gateways, spec.rootShape, "root");
+  return g;
+}
+
+void assignLevelDelayWindows(Graph& g, double rootLo, double rootHi, double leafLo,
+                             double leafHi) {
+  const graph::AttrId levelId = graph::attrId("level");
+  const graph::AttrId minId = graph::attrId("minDelay");
+  const graph::AttrId maxId = graph::attrId("maxDelay");
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) {
+    auto& attrs = g.edgeAttrs(e);
+    const graph::AttrValue* level = attrs.get(levelId);
+    const bool isRoot = level && level->asString() == "root";
+    attrs.set(minId, isRoot ? rootLo : leafLo);
+    attrs.set(maxId, isRoot ? rootHi : leafHi);
+  }
+}
+
+void assignRandomDelayWindows(Graph& g, double lo, double hi, double width,
+                              util::Rng& rng) {
+  if (hi - width < lo) throw std::invalid_argument("assignRandomDelayWindows: width too large");
+  const graph::AttrId minId = graph::attrId("minDelay");
+  const graph::AttrId maxId = graph::attrId("maxDelay");
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) {
+    const double start = rng.uniform(lo, hi - width);
+    auto& attrs = g.edgeAttrs(e);
+    attrs.set(minId, start);
+    attrs.set(maxId, start + width);
+  }
+}
+
+}  // namespace netembed::topo

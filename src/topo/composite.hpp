@@ -1,0 +1,40 @@
+#pragma once
+// Two-level composite query topologies (paper §VII-D): a regular root-level
+// structure whose "vertices" are themselves regular structures — the shape
+// of multicast trees, DHT rings, and similar overlay applications.
+//
+// Each group contributes one gateway node (its node 0) to the root-level
+// structure. Edges carry attr "level" = "root" | "leaf" so per-level delay
+// constraints can be assigned (regular or randomized).
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace netembed::topo {
+
+enum class Shape : std::uint8_t { Ring, Star, Clique, Line, Tree };
+
+struct CompositeSpec {
+  Shape rootShape = Shape::Ring;
+  std::size_t groups = 3;
+  Shape leafShape = Shape::Star;
+  std::size_t groupSize = 4;  // nodes per group, including the gateway
+};
+
+/// Build the two-level topology; total nodes = groups * groupSize.
+[[nodiscard]] graph::Graph composite(const CompositeSpec& spec);
+
+/// Assign the paper's *regular* per-level delay windows: every root edge
+/// gets [rootLo, rootHi], every leaf edge [leafLo, leafHi] (attrs
+/// minDelay/maxDelay on the query edges).
+void assignLevelDelayWindows(graph::Graph& g, double rootLo, double rootHi,
+                             double leafLo, double leafHi);
+
+/// Assign the paper's *irregular* constraints: every edge gets a window of
+/// the given width placed uniformly at random inside [lo, hi].
+void assignRandomDelayWindows(graph::Graph& g, double lo, double hi, double width,
+                              util::Rng& rng);
+
+}  // namespace netembed::topo

@@ -1,0 +1,108 @@
+#include "topo/regular.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace netembed::topo {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+Graph withNodes(std::size_t n) {
+  Graph g(false);
+  for (std::size_t i = 0; i < n; ++i) g.addNode();
+  return g;
+}
+}  // namespace
+
+Graph ring(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("ring: need at least 3 nodes");
+  Graph g = withNodes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.addEdge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  return g;
+}
+
+Graph star(std::size_t leaves) {
+  if (leaves < 1) throw std::invalid_argument("star: need at least 1 leaf");
+  Graph g = withNodes(leaves + 1);
+  for (std::size_t i = 1; i <= leaves; ++i) {
+    g.addEdge(0, static_cast<NodeId>(i));
+  }
+  return g;
+}
+
+Graph clique(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("clique: need at least 2 nodes");
+  Graph g = withNodes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.addEdge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return g;
+}
+
+Graph line(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("line: need at least 2 nodes");
+  Graph g = withNodes(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.addEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  return g;
+}
+
+Graph completeTree(std::size_t nodes, std::size_t arity) {
+  if (nodes < 1) throw std::invalid_argument("completeTree: need at least 1 node");
+  if (arity < 1) throw std::invalid_argument("completeTree: arity must be >= 1");
+  Graph g = withNodes(nodes);
+  for (std::size_t child = 1; child < nodes; ++child) {
+    const std::size_t parent = (child - 1) / arity;
+    g.addEdge(static_cast<NodeId>(parent), static_cast<NodeId>(child));
+  }
+  return g;
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("grid: empty dimensions");
+  Graph g = withNodes(rows * cols);
+  const auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.addEdge(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) g.addEdge(at(r, c), at(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph hypercube(std::size_t dimension) {
+  if (dimension < 1 || dimension > 20) {
+    throw std::invalid_argument("hypercube: dimension out of range [1, 20]");
+  }
+  const std::size_t n = std::size_t{1} << dimension;
+  Graph g = withNodes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t bit = 0; bit < dimension; ++bit) {
+      const std::size_t j = i ^ (std::size_t{1} << bit);
+      if (i < j) g.addEdge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return g;
+}
+
+void setAllEdges(Graph& g, std::string_view attr, graph::AttrValue value) {
+  const graph::AttrId id = graph::attrId(attr);
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) g.edgeAttrs(e).set(id, value);
+}
+
+void setAllNodes(Graph& g, std::string_view attr, graph::AttrValue value) {
+  const graph::AttrId id = graph::attrId(attr);
+  for (graph::NodeId n = 0; n < g.nodeCount(); ++n) g.nodeAttrs(n).set(id, value);
+}
+
+}  // namespace netembed::topo

@@ -1,0 +1,27 @@
+#pragma once
+// Regular query topologies (paper §VII-D): rings, stars, cliques, lines,
+// trees, grids, hypercubes. These are the structures that stress the
+// embedding algorithms hardest — any permutation of a partial match is also
+// a partial match, so pruning by candidate count is ineffective.
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace netembed::topo {
+
+[[nodiscard]] graph::Graph ring(std::size_t n);
+[[nodiscard]] graph::Graph star(std::size_t leaves);   // 1 + leaves nodes
+[[nodiscard]] graph::Graph clique(std::size_t n);
+[[nodiscard]] graph::Graph line(std::size_t n);
+[[nodiscard]] graph::Graph completeTree(std::size_t nodes, std::size_t arity);
+[[nodiscard]] graph::Graph grid(std::size_t rows, std::size_t cols);
+[[nodiscard]] graph::Graph hypercube(std::size_t dimension);  // 2^dim nodes
+
+/// Set one attribute to the same value on every edge / node (convenience for
+/// building uniformly-constrained queries, e.g. clique queries with a single
+/// delay window).
+void setAllEdges(graph::Graph& g, std::string_view attr, graph::AttrValue value);
+void setAllNodes(graph::Graph& g, std::string_view attr, graph::AttrValue value);
+
+}  // namespace netembed::topo

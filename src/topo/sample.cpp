@@ -1,0 +1,160 @@
+#include "topo/sample.hpp"
+
+#include "topo/regular.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace netembed::topo {
+
+using graph::Graph;
+using graph::NodeId;
+
+graph::Subgraph sampleConnectedSubgraph(const Graph& host, std::size_t nodes,
+                                        std::size_t targetEdges, util::Rng& rng) {
+  if (nodes == 0) throw std::invalid_argument("sampleConnectedSubgraph: zero nodes");
+  if (nodes > host.nodeCount()) {
+    throw std::invalid_argument("sampleConnectedSubgraph: query larger than host");
+  }
+
+  constexpr int kMaxAttempts = 64;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    // Frontier expansion from a random start: guarantees the induced
+    // subgraph is connected.
+    std::unordered_set<NodeId> selected;
+    std::vector<NodeId> frontier;
+    const NodeId start = static_cast<NodeId>(rng.index(host.nodeCount()));
+    selected.insert(start);
+    for (const graph::Neighbor& nb : host.neighbors(start)) frontier.push_back(nb.node);
+
+    while (selected.size() < nodes && !frontier.empty()) {
+      const std::size_t pick = rng.index(frontier.size());
+      const NodeId next = frontier[pick];
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+      if (selected.count(next)) continue;
+      selected.insert(next);
+      for (const graph::Neighbor& nb : host.neighbors(next)) {
+        if (!selected.count(nb.node)) frontier.push_back(nb.node);
+      }
+    }
+    if (selected.size() < nodes) continue;  // start landed in a small component
+
+    std::vector<NodeId> nodeList(selected.begin(), selected.end());
+    std::sort(nodeList.begin(), nodeList.end());
+    graph::Subgraph induced = graph::inducedSubgraph(host, nodeList);
+
+    const std::size_t inducedEdges = induced.graph.edgeCount();
+    const std::size_t minEdges = nodes - 1;
+    const std::size_t want = std::clamp(targetEdges, minEdges, inducedEdges);
+    if (want == inducedEdges) return induced;
+
+    // Thin edges while preserving connectivity: keep a random spanning tree,
+    // then a random subset of the remainder.
+    std::vector<graph::EdgeId> order(inducedEdges);
+    for (graph::EdgeId e = 0; e < inducedEdges; ++e) order[e] = e;
+    rng.shuffle(order);
+
+    // Kruskal-style tree selection with union-find.
+    std::vector<NodeId> parent(induced.graph.nodeCount());
+    for (NodeId i = 0; i < parent.size(); ++i) parent[i] = i;
+    const auto find = [&](NodeId x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+
+    std::vector<bool> keep(inducedEdges, false);
+    std::size_t kept = 0;
+    for (const graph::EdgeId e : order) {
+      const NodeId a = find(induced.graph.edgeSource(e));
+      const NodeId b = find(induced.graph.edgeTarget(e));
+      if (a != b) {
+        parent[a] = b;
+        keep[e] = true;
+        ++kept;
+      }
+    }
+    for (const graph::EdgeId e : order) {
+      if (kept >= want) break;
+      if (!keep[e]) {
+        keep[e] = true;
+        ++kept;
+      }
+    }
+
+    std::vector<graph::EdgeId> keptOriginal;
+    keptOriginal.reserve(kept);
+    for (graph::EdgeId e = 0; e < inducedEdges; ++e) {
+      if (keep[e]) keptOriginal.push_back(induced.originalEdge[e]);
+    }
+    return graph::edgeSubgraph(host, nodeList, keptOriginal);
+  }
+  throw std::runtime_error(
+      "sampleConnectedSubgraph: no connected component of the requested size "
+      "(after 64 attempts)");
+}
+
+void widenDelayWindows(Graph& query, double tolerance) {
+  if (tolerance < 0.0) throw std::invalid_argument("widenDelayWindows: negative tolerance");
+  const graph::AttrId minId = graph::attrId("minDelay");
+  const graph::AttrId maxId = graph::attrId("maxDelay");
+  const graph::AttrId delayId = graph::attrId("delay");
+  for (graph::EdgeId e = 0; e < query.edgeCount(); ++e) {
+    auto& attrs = query.edgeAttrs(e);
+    const graph::AttrValue* mn = attrs.get(minId);
+    const graph::AttrValue* mx = attrs.get(maxId);
+    double lo, hi;
+    if (mn && mx && mn->isNumeric() && mx->isNumeric()) {
+      lo = mn->asDouble();
+      hi = mx->asDouble();
+    } else if (const graph::AttrValue* d = attrs.get(delayId); d && d->isNumeric()) {
+      lo = hi = d->asDouble();
+    } else {
+      continue;  // no delay information to widen
+    }
+    attrs.set(minId, lo * (1.0 - tolerance));
+    attrs.set(maxId, hi * (1.0 + tolerance));
+  }
+}
+
+void makeInfeasible(Graph& query, double fraction, util::Rng& rng) {
+  if (query.edgeCount() == 0) return;
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("makeInfeasible: fraction must be in (0, 1]");
+  }
+  const auto count = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(query.edgeCount())));
+  std::vector<graph::EdgeId> order(query.edgeCount());
+  for (graph::EdgeId e = 0; e < query.edgeCount(); ++e) order[e] = e;
+  rng.shuffle(order);
+  const graph::AttrId minId = graph::attrId("minDelay");
+  const graph::AttrId maxId = graph::attrId("maxDelay");
+  for (std::size_t i = 0; i < count; ++i) {
+    auto& attrs = query.edgeAttrs(order[i]);
+    // A window no physical link can satisfy (sub-microsecond RTT band).
+    attrs.set(minId, 1e-4);
+    attrs.set(maxId, 2e-4);
+  }
+}
+
+graph::Graph cliqueQuery(std::size_t n, double delayLo, double delayHi) {
+  Graph g = clique(n);
+  setAllEdges(g, "minDelay", delayLo);
+  setAllEdges(g, "maxDelay", delayHi);
+  return g;
+}
+
+const char* delayWindowConstraint() {
+  return "rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay";
+}
+
+const char* avgDelayWindowConstraint() {
+  return "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay";
+}
+
+}  // namespace netembed::topo

@@ -1,0 +1,48 @@
+#pragma once
+// Query generation (paper §VII-B): random connected subgraphs of the hosting
+// network. Sampling from the host guarantees at least one embedding exists,
+// which gives known-feasible test cases; perturbation helpers then produce
+// known-infeasible variants without changing the topology (§VII-B, Fig. 10).
+
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+#include "util/rng.hpp"
+
+namespace netembed::topo {
+
+/// Sample a connected induced subgraph with exactly `nodes` nodes and —
+/// after thinning — `targetEdges` edges (clamped to [nodes-1, induced edge
+/// count]; a spanning tree is always kept so the query stays connected).
+/// Node and edge attributes are copied from the host. Throws when the host
+/// has no connected component of the requested size.
+[[nodiscard]] graph::Subgraph sampleConnectedSubgraph(const graph::Graph& host,
+                                                      std::size_t nodes,
+                                                      std::size_t targetEdges,
+                                                      util::Rng& rng);
+
+/// Turn a subgraph copied from the host into a delay-window query: each edge
+/// keeps [minDelay*(1-tolerance), maxDelay*(1+tolerance)] so the original
+/// placement satisfies "rEdge.minDelay >= vEdge.minDelay &&
+/// rEdge.maxDelay <= vEdge.maxDelay" (the constraint used throughout
+/// §VII-B). Edges lacking delay attributes fall back to the "delay" attr.
+void widenDelayWindows(graph::Graph& query, double tolerance);
+
+/// Make a feasible query infeasible by moving the delay window of
+/// ceil(fraction * |E|) randomly-chosen edges to an impossible range
+/// (paper: "changing some of their link attributes to infeasible values").
+void makeInfeasible(graph::Graph& query, double fraction, util::Rng& rng);
+
+/// Clique query with one uniform delay window on every edge (paper §VII-D:
+/// "cliques whose only constraint was an end-to-end delay between 10 and
+/// 100 ms").
+[[nodiscard]] graph::Graph cliqueQuery(std::size_t n, double delayLo, double delayHi);
+
+/// The §VII-B constraint: the host link's delay range must lie within the
+/// query link's delay window.
+[[nodiscard]] const char* delayWindowConstraint();
+
+/// The §VII-D constraint: the host link's *average* delay must lie within
+/// the query link's delay window.
+[[nodiscard]] const char* avgDelayWindowConstraint();
+
+}  // namespace netembed::topo

@@ -1,0 +1,166 @@
+#include "trace/planetlab.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace netembed::trace {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+const char* const kOsChoices[] = {"linux-2.4", "linux-2.6", "fedora-core-2",
+                                  "fedora-core-4", "centos-4"};
+const std::int64_t kMemChoices[] = {512, 1024, 2048, 4096};
+
+struct Site {
+  double x, y;
+  std::size_t cluster;
+  bool dead;
+};
+
+}  // namespace
+
+Graph synthesize(const PlanetLabOptions& options) {
+  if (options.sites < 2) throw std::invalid_argument("planetlab: need >= 2 sites");
+  if (options.clusters == 0) throw std::invalid_argument("planetlab: need >= 1 cluster");
+  util::Rng rng(options.seed);
+
+  // Continents sit on a ring (intercontinental RTTs dominate, like the real
+  // trace); regions scatter around their continent; sites around regions.
+  const std::size_t continents = std::max<std::size_t>(1, options.continents);
+  std::vector<std::pair<double, double>> continentCenters;
+  continentCenters.reserve(continents);
+  const double cx = options.continentRingKm * 2.0;
+  for (std::size_t k = 0; k < continents; ++k) {
+    const double angle = 2.0 * 3.14159265358979323846 * static_cast<double>(k) /
+                         static_cast<double>(continents);
+    continentCenters.emplace_back(cx + options.continentRingKm * std::cos(angle),
+                                  cx + options.continentRingKm * std::sin(angle));
+  }
+  std::vector<std::pair<double, double>> centers;
+  centers.reserve(options.clusters);
+  for (std::size_t c = 0; c < options.clusters; ++c) {
+    const auto& continent = continentCenters[c % continents];
+    centers.emplace_back(continent.first + rng.normal(0.0, options.continentSpreadKm),
+                         continent.second + rng.normal(0.0, options.continentSpreadKm));
+  }
+
+  std::vector<Site> sites(options.sites);
+  for (std::size_t i = 0; i < options.sites; ++i) {
+    const std::size_t cluster = rng.index(options.clusters);
+    sites[i] = {centers[cluster].first + rng.normal(0.0, options.clusterSigmaKm),
+                centers[cluster].second + rng.normal(0.0, options.clusterSigmaKm),
+                cluster, false};
+  }
+  // Dead sites: ran no daemon during the trace window.
+  for (std::size_t k = 0; k < std::min(options.deadSites, options.sites); ++k) {
+    sites[rng.index(options.sites)].dead = true;
+  }
+
+  Graph g(false);
+  for (std::size_t i = 0; i < options.sites; ++i) {
+    const NodeId id = g.addNode("site" + std::to_string(i));
+    auto& attrs = g.nodeAttrs(id);
+    attrs.set("x", sites[i].x);
+    attrs.set("y", sites[i].y);
+    attrs.set("region", "region" + std::to_string(sites[i].cluster));
+    attrs.set("osType", kOsChoices[rng.index(std::size(kOsChoices))]);
+    attrs.set("cpuMhz", static_cast<std::int64_t>(rng.uniformInt(1000, 3400)));
+    attrs.set("memMB", kMemChoices[rng.index(std::size(kMemChoices))]);
+    attrs.set("alive", !sites[i].dead);
+  }
+
+  const graph::AttrId minId = graph::attrId("minDelay");
+  const graph::AttrId avgId = graph::attrId("avgDelay");
+  const graph::AttrId maxId = graph::attrId("maxDelay");
+
+
+  for (std::size_t i = 0; i < options.sites; ++i) {
+    for (std::size_t j = i + 1; j < options.sites; ++j) {
+      if (sites[i].dead || sites[j].dead) continue;
+      if (rng.bernoulli(options.pairLossRate)) continue;
+
+      // Purely geometric RTT: delay compatibility is then (approximately)
+      // transitive -- sites close to each other are interchangeable -- which
+      // is the structural property of real all-pairs traces that keeps
+      // subgraph queries solution-rich (paper reports near-linear scaling).
+      const double distKm = std::hypot(sites[i].x - sites[j].x, sites[i].y - sites[j].y);
+      const double propagation =
+          options.baseRttMs + options.rttPerKm * options.routeInflation * distKm;
+      // Jitter is small relative to propagation (as in real ping traces,
+      // where min ~= avg for most pairs); compatibility between links is
+      // then dominated by geography, which keeps it (roughly) transitive.
+      const double avg = propagation * rng.uniform(1.02, 1.06);
+      const double mn = propagation * rng.uniform(0.985, 1.0);
+      const double mx = avg * (1.0 + std::min(0.25, rng.exponential(20.0)));
+
+      const graph::EdgeId e =
+          g.addEdge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      auto& attrs = g.edgeAttrs(e);
+      attrs.set(minId, mn);
+      attrs.set(avgId, avg);
+      attrs.set(maxId, mx);
+    }
+  }
+  g.attrs().set("generator", "planetlab-synth");
+  return g;
+}
+
+void writeAllPairsPing(const Graph& g, std::ostream& out) {
+  out << "# all-pairs ping (synthetic), RTT in ms\n";
+  out << "# src dst min avg max\n";
+  char line[256];
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) {
+    const auto& attrs = g.edgeAttrs(e);
+    std::snprintf(line, sizeof line, "%s %s %.3f %.3f %.3f\n",
+                  g.nodeName(g.edgeSource(e)).c_str(),
+                  g.nodeName(g.edgeTarget(e)).c_str(),
+                  attrs.getDouble("minDelay", 0.0), attrs.getDouble("avgDelay", 0.0),
+                  attrs.getDouble("maxDelay", 0.0));
+    out << line;
+  }
+}
+
+Graph readAllPairsPing(std::istream& in) {
+  Graph g(false);
+  const graph::AttrId minId = graph::attrId("minDelay");
+  const graph::AttrId avgId = graph::attrId("avgDelay");
+  const graph::AttrId maxId = graph::attrId("maxDelay");
+
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string src, dst;
+    double mn = 0, avg = 0, mx = 0;
+    if (!(fields >> src >> dst >> mn >> avg >> mx)) {
+      throw std::runtime_error("all-pairs-ping: malformed line " +
+                               std::to_string(lineNo) + ": '" + line + "'");
+    }
+    const auto ensure = [&](const std::string& name) {
+      if (const auto existing = g.findNode(name)) return *existing;
+      return g.addNode(name);
+    };
+    const NodeId a = ensure(src);
+    const NodeId b = ensure(dst);
+    const graph::EdgeId e = g.addEdge(a, b);
+    auto& attrs = g.edgeAttrs(e);
+    attrs.set(minId, mn);
+    attrs.set(avgId, avg);
+    attrs.set(maxId, mx);
+  }
+  return g;
+}
+
+}  // namespace netembed::trace

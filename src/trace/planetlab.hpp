@@ -1,0 +1,57 @@
+#pragma once
+// Synthetic PlanetLab all-pairs-ping substrate (paper §VII-B; substitution
+// for the unavailable dataset [21], see DESIGN.md §5).
+//
+// The real trace provides min/avg/max RTT between 296 PlanetLab sites; with
+// some sites down, the graph has ~28,996 edges and is almost — but not quite
+// — a clique. The synthesizer reproduces the properties the paper's
+// experiments depend on:
+//   * 296 sites, ~29k measured pairs,
+//   * min <= avg <= max per pair, heavy max tail,
+//   * a delay distribution with ~23% of links in the 10-100 ms window
+//     (§VII-D cliques: "about 6,700 edges") and ~70% in 25-175 ms
+//     (§VII-D composites: "about 70% of the links"),
+//   * geographic structure (sites cluster into regions; intra-region RTTs
+//     are small) and per-site attributes (osType, cpuMhz, memMB) for
+//     isBoundTo-style constraints.
+//
+// The same text format the all-pairs-ping service used is written/parsed so
+// the dataset-loading path is a first-class, tested code path.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace netembed::trace {
+
+struct PlanetLabOptions {
+  std::size_t sites = 296;
+  std::size_t clusters = 30;       // metro-area regions
+  std::size_t continents = 5;      // continents on a ring; regions cluster on them
+  std::size_t deadSites = 4;       // sites with no measurements at all
+  double pairLossRate = 0.31;      // additional per-pair measurement loss
+  double continentRingKm = 6400.0; // ring radius the continents sit on
+  double continentSpreadKm = 1000.0;  // region scatter around a continent
+  double clusterSigmaKm = 150.0;   // site scatter around a region
+  double rttPerKm = 0.0105;        // fiber RTT per km
+  double routeInflation = 1.35;    // paths are longer than geodesics
+  double baseRttMs = 2.5;          // stack + first-hop cost
+  std::uint64_t seed = 42;
+};
+
+/// Generate the hosting network. Undirected; edge attrs minDelay / avgDelay
+/// / maxDelay (ms); node attrs x, y (km), region, osType, cpuMhz, memMB.
+[[nodiscard]] graph::Graph synthesize(const PlanetLabOptions& options = {});
+
+/// Write in the all-pairs-ping text format:
+///   # comment lines
+///   <srcSite> <dstSite> <minMs> <avgMs> <maxMs>
+void writeAllPairsPing(const graph::Graph& g, std::ostream& out);
+
+/// Parse the all-pairs-ping text format back into a hosting graph (only the
+/// delay attributes survive a round trip; that is all the format carries).
+[[nodiscard]] graph::Graph readAllPairsPing(std::istream& in);
+
+}  // namespace netembed::trace

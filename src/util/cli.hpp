@@ -1,0 +1,39 @@
+#pragma once
+// Tiny command-line flag parser shared by the example and benchmark binaries.
+// Supports --name=value, --name value, and bare boolean --name.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace netembed::util {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string getString(const std::string& name,
+                                      const std::string& fallback) const;
+  [[nodiscard]] long long getInt(const std::string& name, long long fallback) const;
+  [[nodiscard]] double getDouble(const std::string& name, double fallback) const;
+  [[nodiscard]] bool getBool(const std::string& name, bool fallback = false) const;
+  [[nodiscard]] std::uint64_t getSeed(const std::string& name,
+                                      std::uint64_t fallback) const;
+
+  /// Non-flag arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& programName() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace netembed::util

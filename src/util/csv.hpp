@@ -1,0 +1,45 @@
+#pragma once
+// CSV and aligned-table emitters. Each benchmark harness prints the series a
+// paper figure plots, both human-readable (table) and machine-readable (CSV).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace netembed::util {
+
+/// RFC-4180-ish CSV writer (quotes fields containing comma/quote/newline).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string field(double v);
+  static std::string field(long long v);
+  static std::string field(unsigned long long v);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Column-aligned plain-text table for terminal output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> row);
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-point formatting helper ("12.34").
+[[nodiscard]] std::string formatFixed(double v, int decimals);
+
+}  // namespace netembed::util

@@ -1,0 +1,133 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace netembed::util {
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable workAvailable;
+  std::condition_variable allDone;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> workers;
+  std::size_t inFlight = 0;
+  bool shutdown = false;
+
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex);
+        workAvailable.wait(lock, [&] { return shutdown || !queue.empty(); });
+        if (shutdown && queue.empty()) return;
+        task = std::move(queue.front());
+        queue.pop_front();
+        ++inFlight;
+      }
+      task();
+      {
+        std::lock_guard lock(mutex);
+        --inFlight;
+        if (queue.empty() && inFlight == 0) allDone.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  impl_->workers.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    impl_->workers.emplace_back([this] { impl_->workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->workAvailable.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(impl_->mutex);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->workAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(impl_->mutex);
+  impl_->allDone.wait(lock, [&] { return impl_->queue.empty() && impl_->inFlight == 0; });
+}
+
+std::size_t ThreadPool::threadCount() const noexcept { return impl_->workers.size(); }
+
+void parallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn, std::size_t grain) {
+  if (n == 0) return;
+  const std::size_t workers = pool.threadCount();
+  if (n == 1 || workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (grain == 0) grain = std::max<std::size_t>(1, n / (workers * 8));
+
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+
+  const std::size_t tasks = std::min(workers, (n + grain - 1) / grain);
+  std::atomic<std::size_t> remaining{tasks};
+  std::mutex doneMutex;
+  std::condition_variable doneCv;
+
+  for (std::size_t t = 0; t < tasks; ++t) {
+    pool.submit([&] {
+      for (;;) {
+        const std::size_t begin = cursor.fetch_add(grain);
+        if (begin >= n) break;
+        const std::size_t end = std::min(n, begin + grain);
+        try {
+          for (std::size_t i = begin; i < end; ++i) fn(i);
+        } catch (...) {
+          std::lock_guard lock(errorMutex);
+          if (!firstError) firstError = std::current_exception();
+          cursor.store(n);  // cancel remaining chunks
+        }
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard lock(doneMutex);
+        doneCv.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock lock(doneMutex);
+  doneCv.wait(lock, [&] { return remaining.load() == 0; });
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 std::size_t grain) {
+  parallelFor(sharedPool(), n, fn, grain);
+}
+
+ThreadPool& sharedPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace netembed::util

@@ -1,0 +1,51 @@
+#pragma once
+// A small task pool and a chunked parallel-for.
+//
+// NETEMBED's stage-1 filter construction evaluates the constraint expression
+// over |E_Q| x |E_R| edge pairs; that loop is embarrassingly parallel and is
+// the main user of parallelFor. Benchmark harnesses also use the pool to run
+// independent repetitions concurrently.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace netembed::util {
+
+/// Fixed-size worker pool. Tasks are arbitrary std::function<void()>; the
+/// destructor drains the queue and joins all workers (RAII, no detach).
+class ThreadPool {
+ public:
+  /// threads == 0 selects the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait();
+
+  [[nodiscard]] std::size_t threadCount() const noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_;  // pimpl keeps <thread>/<condition_variable> out of the header
+};
+
+/// Process [0, n) with `fn(i)` across the pool, in contiguous chunks.
+/// Exceptions thrown by fn propagate to the caller (first one wins).
+void parallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grain = 0);
+
+/// Convenience overload using a process-wide shared pool.
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 std::size_t grain = 0);
+
+/// The lazily-created process-wide pool (hardware concurrency).
+ThreadPool& sharedPool();
+
+}  // namespace netembed::util

@@ -1,0 +1,10 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace netembed::util {
+
+double Rng::sqrtApprox(double x) noexcept { return std::sqrt(x); }
+double Rng::logApprox(double x) noexcept { return std::log(x); }
+
+}  // namespace netembed::util

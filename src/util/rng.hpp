@@ -1,0 +1,151 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation.
+//
+// All randomized components of NETEMBED (RWB's walk order, topology
+// generators, the trace synthesizer, the metaheuristic baselines) take an
+// explicit Rng so every experiment is reproducible from a single seed.
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace netembed::util {
+
+/// splitmix64 step; used for seeding and as a cheap standalone mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
+/// used with <algorithm> shuffles, but the member helpers below are preferred.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniformInt: lo > hi");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next();  // full 64-bit range
+    // Lemire-style rejection to avoid modulo bias.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * span;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < span) {
+      const std::uint64_t threshold = (0 - span) % span;
+      while (low < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * span;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::index: n == 0");
+    return static_cast<std::size_t>(uniformInt(0, n - 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() noexcept {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0, v = 0.0, s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = sqrtApprox(-2.0 * logApprox(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+  }
+
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Exponential with the given rate (lambda).
+  double exponential(double rate) noexcept { return -logApprox(1.0 - uniform()) / rate; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Pick a uniformly random element (container must be non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  // Thin wrappers so <cmath> stays out of this header's hot path; defined in
+  // rng.cpp with the real library calls.
+  static double sqrtApprox(double x) noexcept;
+  static double logApprox(double x) noexcept;
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+/// Derive a child seed; useful for giving each repetition/worker its own
+/// independent stream while keeping the experiment reproducible.
+[[nodiscard]] constexpr std::uint64_t deriveSeed(std::uint64_t root, std::uint64_t stream) noexcept {
+  std::uint64_t s = root ^ (0x632be59bd9b4e019ULL * (stream + 1));
+  return splitmix64(s);
+}
+
+}  // namespace netembed::util

@@ -1,0 +1,42 @@
+#pragma once
+// Streaming and batch statistics used by the benchmark harnesses to report
+// the same mean +/- confidence-interval series the paper plots.
+
+#include <cstddef>
+#include <vector>
+
+namespace netembed::util {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Half-width of the 95% confidence interval for the mean
+  /// (Student-t critical values for small n, 1.96 asymptotically).
+  [[nodiscard]] double ci95HalfWidth() const noexcept;
+
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p in [0,100]; linear interpolation between order statistics.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+[[nodiscard]] double mean(const std::vector<double>& values);
+[[nodiscard]] double median(std::vector<double> values);
+
+}  // namespace netembed::util

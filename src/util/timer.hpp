@@ -1,0 +1,62 @@
+#pragma once
+// Wall-clock helpers: Stopwatch for measuring, Deadline for bounding search.
+
+#include <chrono>
+#include <cstdint>
+
+namespace netembed::util {
+
+/// Monotonic stopwatch with millisecond-resolution reporting.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsedMs() const noexcept {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsedSeconds() const noexcept { return elapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A soft deadline. A zero duration means "no deadline" (never expires).
+///
+/// Search engines poll expired() at a coarse stride so the cost of the clock
+/// read is amortized over thousands of visited tree nodes.
+class Deadline {
+ public:
+  Deadline() noexcept = default;  // unbounded
+
+  explicit Deadline(std::chrono::milliseconds budget) noexcept {
+    if (budget.count() > 0) {
+      bounded_ = true;
+      expires_ = Clock::now() + budget;
+    }
+  }
+
+  [[nodiscard]] static Deadline unbounded() noexcept { return Deadline{}; }
+
+  [[nodiscard]] bool isBounded() const noexcept { return bounded_; }
+
+  [[nodiscard]] bool expired() const noexcept {
+    return bounded_ && Clock::now() >= expires_;
+  }
+
+  /// Remaining time in milliseconds; a large sentinel when unbounded.
+  [[nodiscard]] double remainingMs() const noexcept {
+    if (!bounded_) return 1e18;
+    return std::chrono::duration<double, std::milli>(expires_ - Clock::now()).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool bounded_ = false;
+  Clock::time_point expires_{};
+};
+
+}  // namespace netembed::util

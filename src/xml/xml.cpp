@@ -1,0 +1,345 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace netembed::xml {
+
+ParseError::ParseError(std::string message, std::size_t line, std::size_t column)
+    : line_(line), column_(column) {
+  full_ = "XML parse error at " + std::to_string(line) + ":" + std::to_string(column) +
+          ": " + std::move(message);
+}
+
+const std::string* Element::attr(std::string_view name) const noexcept {
+  for (const auto& [k, v] : attributes) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+const std::string& Element::requiredAttr(std::string_view name) const {
+  const std::string* v = attr(name);
+  if (!v) {
+    throw std::runtime_error("XML element <" + this->name + "> missing attribute '" +
+                             std::string(name) + "'");
+  }
+  return *v;
+}
+
+const Element* Element::child(std::string_view name) const noexcept {
+  for (const Element& c : children) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::childrenNamed(std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const Element& c : children) {
+    if (c.name == name) out.push_back(&c);
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  Element parseDocument() {
+    skipProlog();
+    Element root = parseElement();
+    skipMisc();
+    if (pos_ != in_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < in_.size(); ++i) {
+      if (in_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw ParseError(message, line, col);
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= in_.size(); }
+  [[nodiscard]] char peek() const { return in_[pos_]; }
+
+  [[nodiscard]] bool lookingAt(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+
+  void expect(std::string_view s) {
+    if (!lookingAt(s)) fail("expected '" + std::string(s) + "'");
+    pos_ += s.size();
+  }
+
+  void skipWhitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  void skipComment() {
+    expect("<!--");
+    const auto end = in_.find("-->", pos_);
+    if (end == std::string_view::npos) fail("unterminated comment");
+    pos_ = end + 3;
+  }
+
+  void skipProcessingInstruction() {
+    expect("<?");
+    const auto end = in_.find("?>", pos_);
+    if (end == std::string_view::npos) fail("unterminated processing instruction");
+    pos_ = end + 2;
+  }
+
+  void skipDoctype() {
+    // Tolerant: skip to the matching '>' (no internal-subset brackets support
+    // beyond one nesting level, which covers real-world GraphML files).
+    expect("<!DOCTYPE");
+    int depth = 0;
+    while (!eof()) {
+      const char c = in_[pos_++];
+      if (c == '[') ++depth;
+      if (c == ']') --depth;
+      if (c == '>' && depth <= 0) return;
+    }
+    fail("unterminated DOCTYPE");
+  }
+
+  void skipMisc() {
+    for (;;) {
+      skipWhitespace();
+      if (lookingAt("<!--")) {
+        skipComment();
+      } else if (lookingAt("<?")) {
+        skipProcessingInstruction();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skipProlog() {
+    skipMisc();
+    if (lookingAt("<!DOCTYPE")) {
+      skipDoctype();
+      skipMisc();
+    }
+  }
+
+  [[nodiscard]] bool isNameStart(char c) const {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  [[nodiscard]] bool isNameChar(char c) const {
+    return isNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+           c == '.';
+  }
+
+  std::string parseName() {
+    if (eof() || !isNameStart(peek())) fail("expected a name");
+    const std::size_t start = pos_;
+    while (!eof() && isNameChar(peek())) ++pos_;
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  std::string decodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      const auto semi = raw.find(';', i);
+      if (semi == std::string_view::npos) fail("unterminated entity reference");
+      const std::string_view body = raw.substr(i + 1, semi - i - 1);
+      if (body == "amp") {
+        out += '&';
+      } else if (body == "lt") {
+        out += '<';
+      } else if (body == "gt") {
+        out += '>';
+      } else if (body == "quot") {
+        out += '"';
+      } else if (body == "apos") {
+        out += '\'';
+      } else if (!body.empty() && body[0] == '#') {
+        const bool hex = body.size() > 1 && (body[1] == 'x' || body[1] == 'X');
+        unsigned long code = 0;
+        try {
+          code = std::stoul(std::string(body.substr(hex ? 2 : 1)), nullptr, hex ? 16 : 10);
+        } catch (const std::exception&) {
+          fail("bad numeric character reference '&" + std::string(body) + ";'");
+        }
+        appendUtf8(out, code);
+      } else {
+        fail("unknown entity '&" + std::string(body) + ";'");
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  static void appendUtf8(std::string& out, unsigned long code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::string parseAttrValue() {
+    if (eof() || (peek() != '"' && peek() != '\'')) fail("expected attribute value");
+    const char quote = in_[pos_++];
+    const std::size_t start = pos_;
+    while (!eof() && peek() != quote) {
+      if (peek() == '<') fail("'<' in attribute value");
+      ++pos_;
+    }
+    if (eof()) fail("unterminated attribute value");
+    const std::string_view raw = in_.substr(start, pos_ - start);
+    ++pos_;  // closing quote
+    return decodeEntities(raw);
+  }
+
+  Element parseElement() {
+    expect("<");
+    Element el;
+    el.name = parseName();
+    for (;;) {
+      skipWhitespace();
+      if (eof()) fail("unterminated start tag");
+      if (lookingAt("/>")) {
+        pos_ += 2;
+        return el;
+      }
+      if (peek() == '>') {
+        ++pos_;
+        parseContent(el);
+        return el;
+      }
+      std::string attr = parseName();
+      skipWhitespace();
+      expect("=");
+      skipWhitespace();
+      el.attributes.emplace_back(std::move(attr), parseAttrValue());
+    }
+  }
+
+  void parseContent(Element& el) {
+    for (;;) {
+      if (eof()) fail("unterminated element <" + el.name + ">");
+      if (lookingAt("</")) {
+        pos_ += 2;
+        const std::string name = parseName();
+        if (name != el.name) {
+          fail("mismatched closing tag </" + name + "> for <" + el.name + ">");
+        }
+        skipWhitespace();
+        expect(">");
+        return;
+      }
+      if (lookingAt("<!--")) {
+        skipComment();
+        continue;
+      }
+      if (lookingAt("<![CDATA[")) {
+        pos_ += 9;
+        const auto end = in_.find("]]>", pos_);
+        if (end == std::string_view::npos) fail("unterminated CDATA section");
+        el.text.append(in_.substr(pos_, end - pos_));
+        pos_ = end + 3;
+        continue;
+      }
+      if (lookingAt("<?")) {
+        skipProcessingInstruction();
+        continue;
+      }
+      if (peek() == '<') {
+        el.children.push_back(parseElement());
+        continue;
+      }
+      const std::size_t start = pos_;
+      while (!eof() && peek() != '<') ++pos_;
+      el.text += decodeEntities(in_.substr(start, pos_ - start));
+    }
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+void serializeInto(const Element& el, std::ostringstream& out, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  out << pad << '<' << el.name;
+  for (const auto& [k, v] : el.attributes) out << ' ' << k << "=\"" << escape(v) << '"';
+  const std::string trimmed = [&] {
+    std::string t = el.text;
+    const auto notSpace = [](unsigned char c) { return !std::isspace(c); };
+    while (!t.empty() && !notSpace(static_cast<unsigned char>(t.back()))) t.pop_back();
+    std::size_t i = 0;
+    while (i < t.size() && !notSpace(static_cast<unsigned char>(t[i]))) ++i;
+    return t.substr(i);
+  }();
+  if (el.children.empty() && trimmed.empty()) {
+    out << "/>\n";
+    return;
+  }
+  out << '>';
+  if (el.children.empty()) {
+    out << escape(trimmed) << "</" << el.name << ">\n";
+    return;
+  }
+  out << '\n';
+  if (!trimmed.empty()) out << pad << "  " << escape(trimmed) << '\n';
+  for (const Element& c : el.children) serializeInto(c, out, indent + 1);
+  out << pad << "</" << el.name << ">\n";
+}
+
+}  // namespace
+
+Element parse(std::string_view input) { return Parser(input).parseDocument(); }
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string serialize(const Element& root) {
+  std::ostringstream out;
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  serializeInto(root, out, 0);
+  return out.str();
+}
+
+}  // namespace netembed::xml

@@ -1,0 +1,59 @@
+#pragma once
+// Minimal dependency-free XML document parser and serializer.
+//
+// Supports the subset GraphML needs: elements, attributes (both quote
+// styles), character data with the five standard entities plus numeric
+// character references, comments, CDATA sections, processing instructions,
+// and the XML declaration. No DTDs, no namespaces resolution (prefixes are
+// kept verbatim in names).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netembed::xml {
+
+/// Parse error with 1-based line/column of the offending input position.
+class ParseError : public std::exception {
+ public:
+  ParseError(std::string message, std::size_t line, std::size_t column);
+  [[nodiscard]] const char* what() const noexcept override { return full_.c_str(); }
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::string full_;
+  std::size_t line_;
+  std::size_t column_;
+};
+
+struct Element {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<Element> children;
+  std::string text;  // concatenated character data directly inside this element
+
+  /// First attribute with the given name; nullptr when absent.
+  [[nodiscard]] const std::string* attr(std::string_view name) const noexcept;
+
+  /// Attribute value or a thrown error (for required attributes).
+  [[nodiscard]] const std::string& requiredAttr(std::string_view name) const;
+
+  /// First child element with the given name; nullptr when absent.
+  [[nodiscard]] const Element* child(std::string_view name) const noexcept;
+
+  /// All child elements with the given name, in document order.
+  [[nodiscard]] std::vector<const Element*> childrenNamed(std::string_view name) const;
+};
+
+/// Parse a complete document; returns the root element.
+[[nodiscard]] Element parse(std::string_view input);
+
+/// Escape text for use in character data / attribute values.
+[[nodiscard]] std::string escape(std::string_view text);
+
+/// Serialize with 2-space indentation and an XML declaration.
+[[nodiscard]] std::string serialize(const Element& root);
+
+}  // namespace netembed::xml

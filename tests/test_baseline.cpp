@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "baseline/anneal.hpp"
+#include "baseline/genetic.hpp"
+#include "baseline/naive.hpp"
+#include "core/ecf.hpp"
+#include "core/verify.hpp"
+#include "topo/regular.hpp"
+
+namespace {
+
+using namespace netembed;
+using core::Outcome;
+using core::Problem;
+using core::SearchOptions;
+using graph::Graph;
+
+const expr::ConstraintSet kNone;
+
+SearchOptions storeAll() {
+  SearchOptions o;
+  o.storeLimit = 100000;
+  return o;
+}
+
+TEST(Naive, CountsMatchEcf) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::ring(4);
+  const auto naive = baseline::naiveSearch(Problem(query, host, kNone), storeAll());
+  const auto ecf = core::ecfSearch(Problem(query, host, kNone), storeAll());
+  EXPECT_EQ(naive.outcome, Outcome::Complete);
+  EXPECT_EQ(naive.solutionCount, ecf.solutionCount);
+}
+
+TEST(Naive, VisitsMoreTreeNodesThanEcf) {
+  const Graph query = topo::ring(4);
+  const Graph host = topo::ring(8);
+  const auto naive = baseline::naiveSearch(Problem(query, host, kNone), storeAll());
+  const auto ecf = core::ecfSearch(Problem(query, host, kNone), storeAll());
+  EXPECT_EQ(naive.solutionCount, ecf.solutionCount);
+  // The whole point of stage-1 filtering: ECF explores far less.
+  EXPECT_GT(naive.stats.treeNodesVisited, ecf.stats.treeNodesVisited);
+}
+
+TEST(Naive, ProvesInfeasibility) {
+  const Graph query = topo::clique(4);
+  const Graph host = topo::ring(6);
+  const auto r = baseline::naiveSearch(Problem(query, host, kNone), storeAll());
+  EXPECT_TRUE(r.provenInfeasible());
+}
+
+TEST(Naive, RespectsTimeout) {
+  const Graph query = topo::clique(6);
+  const Graph host = topo::clique(30);
+  SearchOptions o;
+  o.timeout = std::chrono::milliseconds(20);
+  o.checkStride = 64;
+  const auto r = baseline::naiveSearch(Problem(query, host, kNone), o);
+  EXPECT_NE(r.outcome, Outcome::Complete);
+}
+
+TEST(Anneal, SolvesEasyInstance) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::clique(8);
+  baseline::AnnealOptions o;
+  o.seed = 3;
+  const auto r = baseline::annealSearch(Problem(query, host, kNone), o);
+  ASSERT_EQ(r.outcome, Outcome::Partial);
+  ASSERT_EQ(r.mappings.size(), 1u);
+  EXPECT_TRUE(core::verifyMapping(Problem(query, host, kNone), r.mappings[0]).ok);
+}
+
+TEST(Anneal, NeverClaimsCompleteness) {
+  // Infeasible instance: annealing must come back Inconclusive, not Complete.
+  const Graph query = topo::clique(4);
+  const Graph host = topo::ring(6);
+  baseline::AnnealOptions o;
+  o.iterations = 5000;
+  o.restarts = 2;
+  const auto r = baseline::annealSearch(Problem(query, host, kNone), o);
+  EXPECT_EQ(r.outcome, Outcome::Inconclusive);
+  EXPECT_FALSE(r.provenInfeasible());
+}
+
+TEST(Anneal, EnergyOfPerfectMappingIsZero) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::line(3);
+  std::uint64_t evals = 0;
+  EXPECT_EQ(baseline::assignmentEnergy(Problem(query, host, kNone), {0, 1, 2}, evals), 0u);
+  // Reversed is also an embedding of a path.
+  EXPECT_EQ(baseline::assignmentEnergy(Problem(query, host, kNone), {2, 1, 0}, evals), 0u);
+  // A broken mapping has positive energy.
+  EXPECT_GT(baseline::assignmentEnergy(Problem(query, host, kNone), {0, 2, 1}, evals), 0u);
+}
+
+TEST(Anneal, RespectsTimeout) {
+  const Graph query = topo::clique(4);
+  const Graph host = topo::ring(12);
+  baseline::AnnealOptions o;
+  o.iterations = 100'000'000;  // would run forever
+  o.restarts = 1;
+  SearchOptions limits;
+  limits.timeout = std::chrono::milliseconds(30);
+  const auto r = baseline::annealSearch(Problem(query, host, kNone), o, limits);
+  EXPECT_EQ(r.outcome, Outcome::Inconclusive);
+}
+
+TEST(Genetic, SolvesEasyInstance) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::clique(8);
+  baseline::GeneticOptions o;
+  o.seed = 5;
+  const auto r = baseline::geneticSearch(Problem(query, host, kNone), o);
+  ASSERT_EQ(r.outcome, Outcome::Partial);
+  EXPECT_TRUE(core::verifyMapping(Problem(query, host, kNone), r.mappings[0]).ok);
+}
+
+TEST(Genetic, InconclusiveOnInfeasible) {
+  const Graph query = topo::clique(4);
+  const Graph host = topo::ring(6);
+  baseline::GeneticOptions o;
+  o.generations = 30;
+  const auto r = baseline::geneticSearch(Problem(query, host, kNone), o);
+  EXPECT_EQ(r.outcome, Outcome::Inconclusive);
+}
+
+TEST(Genetic, ConstraintAwareFitness) {
+  Graph host = topo::clique(6);
+  for (graph::EdgeId e = 0; e < host.edgeCount(); ++e) {
+    host.edgeAttrs(e).set("delay", e % 3 == 0 ? 5.0 : 50.0);
+  }
+  Graph query = topo::line(2);
+  topo::setAllEdges(query, "maxDelay", 10.0);
+  const auto constraints = expr::ConstraintSet::edgeOnly("rEdge.delay <= vEdge.maxDelay");
+  const Problem problem(query, host, constraints);
+  baseline::GeneticOptions o;
+  o.seed = 11;
+  const auto r = baseline::geneticSearch(problem, o);
+  ASSERT_TRUE(r.feasible());
+  EXPECT_TRUE(core::verifyMapping(problem, r.mappings[0]).ok);
+}
+
+TEST(Genetic, DeterministicPerSeed) {
+  const Graph query = topo::line(4);
+  const Graph host = topo::clique(10);
+  baseline::GeneticOptions o;
+  o.seed = 21;
+  const auto a = baseline::geneticSearch(Problem(query, host, kNone), o);
+  const auto b = baseline::geneticSearch(Problem(query, host, kNone), o);
+  ASSERT_TRUE(a.feasible());
+  ASSERT_TRUE(b.feasible());
+  EXPECT_EQ(a.mappings, b.mappings);
+}
+
+}  // namespace

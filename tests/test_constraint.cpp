@@ -1,0 +1,124 @@
+#include "expr/constraint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace netembed::expr;
+using netembed::graph::Graph;
+
+TEST(Constraint, ParseKeepsSource) {
+  const auto c = Constraint::parse("vEdge.d > 1");
+  EXPECT_EQ(c.source(), "vEdge.d > 1");
+  EXPECT_TRUE(c.usesEdgeObjects());
+  EXPECT_FALSE(c.usesNodeObjects());
+}
+
+TEST(Constraint, NodeObjectDetection) {
+  const auto c = Constraint::parse("vNode.cpu <= rNode.cpu");
+  EXPECT_FALSE(c.usesEdgeObjects());
+  EXPECT_TRUE(c.usesNodeObjects());
+}
+
+TEST(Constraint, EvalEdgePairBindsOrientation) {
+  Graph q;
+  q.addNode();
+  q.addNode();
+  const auto qe = q.addEdge(0, 1);
+  q.nodeAttrs(0).set("tag", "qsrc");
+  q.nodeAttrs(1).set("tag", "qdst");
+  q.edgeAttrs(qe).set("d", 5.0);
+
+  Graph h;
+  h.addNode();
+  h.addNode();
+  const auto he = h.addEdge(0, 1);
+  h.nodeAttrs(0).set("tag", "ra");
+  h.nodeAttrs(1).set("tag", "rb");
+  h.edgeAttrs(he).set("d", 5.0);
+
+  const auto match = Constraint::parse("vEdge.d == rEdge.d");
+  EXPECT_TRUE(match.evalEdgePair(q, qe, 0, 1, h, he, 0, 1));
+
+  // Orientation-sensitive expression: rSource must be the host node playing
+  // the same end as vSource.
+  const auto oriented = Constraint::parse("rSource.tag == \"ra\"");
+  EXPECT_TRUE(oriented.evalEdgePair(q, qe, 0, 1, h, he, 0, 1));
+  EXPECT_FALSE(oriented.evalEdgePair(q, qe, 0, 1, h, he, 1, 0));  // reversed use
+}
+
+TEST(Constraint, EvalNodePair) {
+  Graph q;
+  q.addNode();
+  q.nodeAttrs(0).set("cpu", 1000);
+  Graph h;
+  h.addNode();
+  h.nodeAttrs(0).set("cpu", 2000);
+  const auto c = Constraint::parse("vNode.cpu <= rNode.cpu");
+  EXPECT_TRUE(c.evalNodePair(q, 0, h, 0));
+  const auto tooBig = Constraint::parse("vNode.cpu >= rNode.cpu");
+  EXPECT_FALSE(tooBig.evalNodePair(q, 0, h, 0));
+}
+
+TEST(Constraint, InterpreterModeMatchesVm) {
+  Graph q;
+  q.addNode();
+  q.addNode();
+  const auto qe = q.addEdge(0, 1);
+  q.edgeAttrs(qe).set("d", 10.0);
+  Graph h;
+  h.addNode();
+  h.addNode();
+  const auto he = h.addEdge(0, 1);
+  h.edgeAttrs(he).set("d", 10.5);
+
+  auto c = Constraint::parse("abs(vEdge.d - rEdge.d) < 1.0");
+  const bool vm = c.evalEdgePair(q, qe, 0, 1, h, he, 0, 1);
+  c.setUseInterpreter(true);
+  EXPECT_TRUE(c.usingInterpreter());
+  EXPECT_EQ(c.evalEdgePair(q, qe, 0, 1, h, he, 0, 1), vm);
+}
+
+TEST(ConstraintSet, EdgeOnly) {
+  const auto set = ConstraintSet::edgeOnly("vEdge.d > 1");
+  EXPECT_TRUE(set.edge.has_value());
+  EXPECT_FALSE(set.node.has_value());
+}
+
+TEST(ConstraintSet, EmptySourcesMeanUnconstrained) {
+  const auto set = ConstraintSet::parse("", "");
+  EXPECT_FALSE(set.edge.has_value());
+  EXPECT_FALSE(set.node.has_value());
+  const auto none = ConstraintSet::none();
+  EXPECT_FALSE(none.edge.has_value());
+}
+
+TEST(ConstraintSet, RejectsNodeObjectsInEdgeConstraint) {
+  EXPECT_THROW((void)ConstraintSet::parse("vNode.x > 1", ""), std::invalid_argument);
+}
+
+TEST(ConstraintSet, RejectsEdgeObjectsInNodeConstraint) {
+  EXPECT_THROW((void)ConstraintSet::parse("", "vEdge.d > 1"), std::invalid_argument);
+}
+
+TEST(ConstraintSet, AcceptsBothLevels) {
+  const auto set =
+      ConstraintSet::parse("rEdge.delay <= vEdge.maxDelay", "vNode.cpu <= rNode.cpu");
+  EXPECT_TRUE(set.edge.has_value());
+  EXPECT_TRUE(set.node.has_value());
+}
+
+TEST(ConstraintSet, SyntaxErrorsPropagate) {
+  EXPECT_THROW((void)ConstraintSet::edgeOnly("vEdge..d"), SyntaxError);
+  EXPECT_THROW((void)ConstraintSet::edgeOnly("1 +"), SyntaxError);
+}
+
+TEST(Constraint, DisassembleShowsProgram) {
+  const auto c = Constraint::parse("vEdge.d > 1 && rEdge.d < 2");
+  const std::string listing = c.program().disassemble();
+  EXPECT_NE(listing.find("PUSH_ATTR"), std::string::npos);
+  EXPECT_NE(listing.find("GT"), std::string::npos);
+  EXPECT_NE(listing.find("JF"), std::string::npos);
+}
+
+}  // namespace

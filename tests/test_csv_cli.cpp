@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using netembed::util::ArgParser;
+using netembed::util::CsvWriter;
+using netembed::util::formatFixed;
+using netembed::util::TablePrinter;
+
+TEST(Csv, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesCommasAndQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(Csv, NumericFields) {
+  EXPECT_EQ(CsvWriter::field(1.5), "1.5");
+  EXPECT_EQ(CsvWriter::field(static_cast<long long>(-42)), "-42");
+  EXPECT_EQ(CsvWriter::field(static_cast<unsigned long long>(7)), "7");
+}
+
+TEST(Table, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.addRow({"x", "1"});
+  table.addRow({"longer", "22"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.addRow({"only"});
+  std::ostringstream out;
+  table.print(out);  // must not crash
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
+
+ArgParser makeParser(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  for (auto& s : storage) ptrs.push_back(s.data());
+  return ArgParser(static_cast<int>(ptrs.size()), ptrs.data());
+}
+
+TEST(Cli, EqualsForm) {
+  const auto args = makeParser({"prog", "--nodes=42", "--name=abc"});
+  EXPECT_EQ(args.getInt("nodes", 0), 42);
+  EXPECT_EQ(args.getString("name", ""), "abc");
+}
+
+TEST(Cli, SpaceForm) {
+  const auto args = makeParser({"prog", "--nodes", "42"});
+  EXPECT_EQ(args.getInt("nodes", 0), 42);
+}
+
+TEST(Cli, BareBooleanFlag) {
+  const auto args = makeParser({"prog", "--paper", "--fast=false"});
+  EXPECT_TRUE(args.getBool("paper"));
+  EXPECT_FALSE(args.getBool("fast"));
+  EXPECT_FALSE(args.getBool("absent"));
+  EXPECT_TRUE(args.getBool("absent", true));
+}
+
+TEST(Cli, Fallbacks) {
+  const auto args = makeParser({"prog"});
+  EXPECT_EQ(args.getInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(args.getDouble("x", 2.5), 2.5);
+  EXPECT_EQ(args.getString("s", "dflt"), "dflt");
+  EXPECT_EQ(args.getSeed("seed", 99), 99u);
+  EXPECT_FALSE(args.has("n"));
+}
+
+TEST(Cli, Positional) {
+  const auto args = makeParser({"prog", "file1", "--k=1", "file2"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "file1");
+  EXPECT_EQ(args.positional()[1], "file2");
+}
+
+TEST(Cli, BadIntegerThrows) {
+  const auto args = makeParser({"prog", "--n=abc"});
+  EXPECT_THROW((void)args.getInt("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, ConsecutiveFlagsAreBooleans) {
+  const auto args = makeParser({"prog", "--a", "--b", "7"});
+  EXPECT_TRUE(args.getBool("a"));
+  EXPECT_EQ(args.getInt("b", 0), 7);
+}
+
+}  // namespace

@@ -1,0 +1,232 @@
+// Evaluation semantics, exercised through both the AST interpreter and the
+// bytecode VM. Every expression in the differential suite must produce the
+// same result on both evaluators across several attribute contexts — this is
+// the oracle that keeps the VM honest.
+
+#include <gtest/gtest.h>
+
+#include "expr/constraint.hpp"
+#include "expr/parser.hpp"
+#include "expr/vm.hpp"
+#include "graph/attr_map.hpp"
+
+namespace {
+
+using namespace netembed::expr;
+using netembed::graph::AttrMap;
+
+struct Fixture {
+  AttrMap vEdge, rEdge, vSource, vTarget, rSource, rTarget;
+
+  EvalContext ctx() const {
+    EvalContext c;
+    c.bind(ObjectId::VEdge, vEdge);
+    c.bind(ObjectId::REdge, rEdge);
+    c.bind(ObjectId::VSource, vSource);
+    c.bind(ObjectId::VTarget, vTarget);
+    c.bind(ObjectId::RSource, rSource);
+    c.bind(ObjectId::RTarget, rTarget);
+    return c;
+  }
+};
+
+Fixture richFixture() {
+  Fixture f;
+  f.vEdge.set("avgDelay", 100.0);
+  f.vEdge.set("minDelay", 90.0);
+  f.vEdge.set("maxDelay", 120.0);
+  f.rEdge.set("avgDelay", 95.0);
+  f.rEdge.set("minDelay", 92.0);
+  f.rEdge.set("maxDelay", 110.0);
+  f.vSource.set("os", "linux-2.6");
+  f.vSource.set("x", 3.0);
+  f.vSource.set("y", 0.0);
+  f.vTarget.set("x", 0.0);
+  f.vTarget.set("y", 4.0);
+  f.rSource.set("os", "linux-2.6");
+  f.rSource.set("name", "planetlab1");
+  f.rTarget.set("os", "fedora");
+  return f;
+}
+
+bool evalBoth(const std::string& src, const Fixture& f) {
+  const Ast ast = parse(src);
+  const Program program = compile(ast);
+  const bool vm = run(program, f.ctx());
+  const bool interp = evalAst(*ast.root, f.ctx()).truthy();
+  EXPECT_EQ(vm, interp) << "VM and interpreter disagree on: " << src;
+  return vm;
+}
+
+TEST(Eval, NumericComparisons) {
+  const Fixture f = richFixture();
+  EXPECT_TRUE(evalBoth("rEdge.avgDelay < vEdge.avgDelay", f));
+  EXPECT_FALSE(evalBoth("rEdge.avgDelay > vEdge.avgDelay", f));
+  EXPECT_TRUE(evalBoth("vEdge.avgDelay == 100.0", f));
+  EXPECT_TRUE(evalBoth("vEdge.avgDelay != 99", f));
+  EXPECT_TRUE(evalBoth("vEdge.avgDelay >= 100", f));
+  EXPECT_TRUE(evalBoth("vEdge.avgDelay <= 100", f));
+}
+
+TEST(Eval, Arithmetic) {
+  const Fixture f = richFixture();
+  EXPECT_TRUE(evalBoth("vEdge.avgDelay + 10 == 110", f));
+  EXPECT_TRUE(evalBoth("vEdge.avgDelay - rEdge.avgDelay == 5", f));
+  EXPECT_TRUE(evalBoth("vEdge.avgDelay * 2 == 200", f));
+  EXPECT_TRUE(evalBoth("vEdge.avgDelay / 4 == 25", f));
+  EXPECT_TRUE(evalBoth("-vEdge.avgDelay == 0 - 100", f));
+}
+
+TEST(Eval, DivisionByZeroIsUndefinedNotCrash) {
+  const Fixture f = richFixture();
+  EXPECT_FALSE(evalBoth("vEdge.avgDelay / 0 == 1", f));
+  EXPECT_FALSE(evalBoth("vEdge.avgDelay / 0 != 1", f));  // undefined, not true
+}
+
+TEST(Eval, BooleanLogic) {
+  const Fixture f = richFixture();
+  EXPECT_TRUE(evalBoth("true && true", f));
+  EXPECT_FALSE(evalBoth("true && false", f));
+  EXPECT_TRUE(evalBoth("false || true", f));
+  EXPECT_FALSE(evalBoth("false || false", f));
+  EXPECT_TRUE(evalBoth("!false", f));
+  EXPECT_FALSE(evalBoth("!true", f));
+}
+
+TEST(Eval, ShortCircuitSkipsUndefined) {
+  const Fixture f = richFixture();
+  // Right side references a missing attribute; short-circuit must win.
+  EXPECT_TRUE(evalBoth("true || vEdge.noSuchAttr > 1", f));
+  EXPECT_FALSE(evalBoth("false && vEdge.noSuchAttr > 1", f));
+}
+
+TEST(Eval, MissingAttributeComparisonsAreFalse) {
+  const Fixture f = richFixture();
+  EXPECT_FALSE(evalBoth("vEdge.ghost > 1", f));
+  EXPECT_FALSE(evalBoth("vEdge.ghost < 1", f));
+  EXPECT_FALSE(evalBoth("vEdge.ghost == 1", f));
+  EXPECT_FALSE(evalBoth("vEdge.ghost != 1", f));
+  EXPECT_FALSE(evalBoth("vEdge.ghost + 1 > 0", f));
+}
+
+TEST(Eval, StringEqualityAndOrdering) {
+  const Fixture f = richFixture();
+  EXPECT_TRUE(evalBoth("vSource.os == \"linux-2.6\"", f));
+  EXPECT_TRUE(evalBoth("vSource.os == rSource.os", f));
+  EXPECT_FALSE(evalBoth("vSource.os == rTarget.os", f));
+  EXPECT_TRUE(evalBoth("vSource.os != rTarget.os", f));
+  EXPECT_TRUE(evalBoth("\"abc\" < \"abd\"", f));
+}
+
+TEST(Eval, MixedTypeEqualityIsFalseNotError) {
+  const Fixture f = richFixture();
+  EXPECT_FALSE(evalBoth("vSource.os == 5", f));
+  EXPECT_TRUE(evalBoth("vSource.os != 5", f));
+  EXPECT_FALSE(evalBoth("vSource.os < 5", f));  // unordered across types
+}
+
+TEST(Eval, Functions) {
+  const Fixture f = richFixture();
+  EXPECT_TRUE(evalBoth("abs(0 - 5) == 5", f));
+  EXPECT_TRUE(evalBoth("sqrt(16) == 4", f));
+  EXPECT_TRUE(evalBoth("min(3, 7) == 3", f));
+  EXPECT_TRUE(evalBoth("max(3, 7) == 7", f));
+  EXPECT_TRUE(evalBoth("floor(1.9) == 1", f));
+  EXPECT_TRUE(evalBoth("ceil(1.1) == 2", f));
+}
+
+TEST(Eval, SqrtOfNegativeIsUndefined) {
+  const Fixture f = richFixture();
+  EXPECT_FALSE(evalBoth("sqrt(0 - 1) == 0", f));
+  EXPECT_FALSE(evalBoth("sqrt(0 - 1) != 0", f));
+}
+
+TEST(Eval, IsBoundToSemantics) {
+  const Fixture f = richFixture();
+  // Both present and equal.
+  EXPECT_TRUE(evalBoth("isBoundTo(vSource.os, rSource.os)", f));
+  // Both present and different.
+  EXPECT_FALSE(evalBoth("isBoundTo(vSource.os, rTarget.os)", f));
+  // First absent => unconstrained => true.
+  EXPECT_TRUE(evalBoth("isBoundTo(vSource.bindTo, rSource.name)", f));
+  // First present, second absent => false.
+  EXPECT_FALSE(evalBoth("isBoundTo(vSource.os, rSource.ghost)", f));
+}
+
+TEST(Eval, PaperDelayToleranceExample) {
+  const Fixture f = richFixture();
+  // 95 is within [90, 110] of the query's 100 +/- 10%.
+  EXPECT_TRUE(evalBoth(
+      "rEdge.avgDelay>=0.90*vEdge.avgDelay && rEdge.avgDelay<=1.10*vEdge.avgDelay", f));
+}
+
+TEST(Eval, PaperMinMaxRangeExample) {
+  const Fixture f = richFixture();
+  EXPECT_TRUE(evalBoth(
+      "vEdge.avgDelay>=rEdge.minDelay && vEdge.avgDelay<=rEdge.maxDelay", f));
+}
+
+TEST(Eval, PaperGeoDistanceExample) {
+  const Fixture f = richFixture();  // (3,0) vs (0,4): distance 5
+  EXPECT_TRUE(evalBoth(
+      "sqrt((vSource.x-vTarget.x)*(vSource.x-vTarget.x)+"
+      "(vSource.y-vTarget.y)*(vSource.y-vTarget.y)) < 100.0", f));
+  EXPECT_FALSE(evalBoth(
+      "sqrt((vSource.x-vTarget.x)*(vSource.x-vTarget.x)+"
+      "(vSource.y-vTarget.y)*(vSource.y-vTarget.y)) < 5.0", f));
+}
+
+TEST(Eval, UnboundObjectYieldsUndefined) {
+  const Fixture f = richFixture();
+  EvalContext partial;
+  partial.bind(ObjectId::VEdge, f.vEdge);  // everything else unbound
+  const Program p = compile(parse("rEdge.avgDelay > 0"));
+  EXPECT_FALSE(run(p, partial));
+  const Program p2 = compile(parse("vEdge.avgDelay > 0"));
+  EXPECT_TRUE(run(p2, partial));
+}
+
+TEST(Eval, NonBooleanFinalValueIsFalsy) {
+  const Fixture f = richFixture();
+  // A bare number is not a boolean; the result coerces to false.
+  EXPECT_FALSE(evalBoth("1 + 1", f));
+  EXPECT_FALSE(evalBoth("vSource.os", f));
+}
+
+// ---- differential sweep: VM vs interpreter over many expressions ---------
+
+class Differential : public testing::TestWithParam<const char*> {};
+
+TEST_P(Differential, VmMatchesInterpreter) {
+  const Fixture f = richFixture();
+  const Ast ast = parse(GetParam());
+  const Program program = compile(ast);
+  EXPECT_EQ(run(program, f.ctx()), evalAst(*ast.root, f.ctx()).truthy());
+
+  // Also under an empty context (all attrs undefined).
+  Fixture empty;
+  EXPECT_EQ(run(program, empty.ctx()), evalAst(*ast.root, empty.ctx()).truthy());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, Differential,
+    testing::Values(
+        "true", "false", "!true || !false",
+        "1 < 2 && 2 < 3 && 3 < 4",
+        "1 > 2 || 2 > 3 || 4 > 3",
+        "vEdge.avgDelay > 50 && vEdge.avgDelay < 150",
+        "vEdge.minDelay <= rEdge.minDelay == rEdge.maxDelay <= vEdge.maxDelay",
+        "abs(vEdge.avgDelay - rEdge.avgDelay) <= 10",
+        "min(vEdge.minDelay, rEdge.minDelay) == rEdge.minDelay - 2",
+        "max(vEdge.maxDelay, rEdge.maxDelay) >= 120",
+        "isBoundTo(vSource.os, rSource.os) && isBoundTo(vSource.nope, rSource.os)",
+        "vSource.os == \"linux-2.6\" || vSource.os == 'fedora'",
+        "(vEdge.avgDelay + rEdge.avgDelay) / 2 > 97",
+        "sqrt(vEdge.avgDelay * vEdge.avgDelay) == vEdge.avgDelay",
+        "!(vEdge.ghost > 0) && !(vEdge.ghost <= 0)",
+        "1/0 == 1/0",
+        "floor(vEdge.avgDelay / 3) * 3 <= vEdge.avgDelay",
+        "-(-(5)) == 5",
+        "vEdge.avgDelay - rEdge.avgDelay == 5 && true || false"));
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include "expr/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace netembed::expr;
+
+std::vector<TokenKind> kinds(std::string_view src) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokenize(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const auto tokens = tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::End);
+}
+
+TEST(Lexer, IdentifiersAndKeywords) {
+  const auto tokens = tokenize("vEdge avgDelay true false _x1");
+  EXPECT_EQ(tokens[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens[0].text, "vEdge");
+  EXPECT_EQ(tokens[2].kind, TokenKind::True);
+  EXPECT_EQ(tokens[3].kind, TokenKind::False);
+  EXPECT_EQ(tokens[4].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens[4].text, "_x1");
+}
+
+TEST(Lexer, Numbers) {
+  const auto tokens = tokenize("0 3.5 0.90 1e3 2.5E-2");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 0.0);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 3.5);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 0.90);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 0.025);
+}
+
+TEST(Lexer, NumberFollowedByDotIdent) {
+  // "1.e" would be ambiguous; our grammar never needs it, but "vEdge.x"
+  // must lex as ident dot ident.
+  const auto k = kinds("vEdge.x");
+  ASSERT_EQ(k.size(), 4u);
+  EXPECT_EQ(k[0], TokenKind::Identifier);
+  EXPECT_EQ(k[1], TokenKind::Dot);
+  EXPECT_EQ(k[2], TokenKind::Identifier);
+}
+
+TEST(Lexer, StringsBothQuotes) {
+  const auto tokens = tokenize(R"("linux-2.6" 'abc')");
+  EXPECT_EQ(tokens[0].kind, TokenKind::String);
+  EXPECT_EQ(tokens[0].text, "linux-2.6");
+  EXPECT_EQ(tokens[1].kind, TokenKind::String);
+  EXPECT_EQ(tokens[1].text, "abc");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW((void)tokenize("\"abc"), SyntaxError);
+}
+
+TEST(Lexer, AllOperators) {
+  const auto k = kinds("&& || ! == != < <= > >= + - * / ( ) , .");
+  const std::vector<TokenKind> expected{
+      TokenKind::AndAnd, TokenKind::OrOr,  TokenKind::Not,   TokenKind::Eq,
+      TokenKind::Ne,     TokenKind::Lt,    TokenKind::Le,    TokenKind::Gt,
+      TokenKind::Ge,     TokenKind::Plus,  TokenKind::Minus, TokenKind::Star,
+      TokenKind::Slash,  TokenKind::LParen, TokenKind::RParen, TokenKind::Comma,
+      TokenKind::Dot,    TokenKind::End};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, SingleAmpersandRejected) {
+  EXPECT_THROW((void)tokenize("a & b"), SyntaxError);
+}
+
+TEST(Lexer, SinglePipeRejected) {
+  EXPECT_THROW((void)tokenize("a | b"), SyntaxError);
+}
+
+TEST(Lexer, SingleEqualsRejected) {
+  EXPECT_THROW((void)tokenize("a = b"), SyntaxError);
+}
+
+TEST(Lexer, UnknownCharacterRejected) {
+  EXPECT_THROW((void)tokenize("a # b"), SyntaxError);
+}
+
+TEST(Lexer, OffsetsPointIntoSource) {
+  const std::string src = "ab  <=  cd";
+  const auto tokens = tokenize(src);
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 4u);
+  EXPECT_EQ(tokens[2].offset, 8u);
+}
+
+TEST(Lexer, ErrorCarriesOffset) {
+  try {
+    (void)tokenize("abc $");
+    FAIL();
+  } catch (const SyntaxError& e) {
+    EXPECT_EQ(e.offset(), 4u);
+  }
+}
+
+TEST(Lexer, PaperExampleTokenizes) {
+  const auto tokens = tokenize(
+      "vEdge.avgDelay>=0.90*rEdge.avgDelay && vEdge.avgDelay<=1.10*rEdge.avgDelay");
+  EXPECT_EQ(tokens.back().kind, TokenKind::End);
+  EXPECT_GT(tokens.size(), 10u);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+#include "expr/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace netembed::expr;
+
+std::string normalized(std::string_view src) { return toString(*parse(src).root); }
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  EXPECT_EQ(normalized("1 + 2 * 3"), "(1 + (2 * 3))");
+}
+
+TEST(Parser, PrecedenceAddOverRelational) {
+  EXPECT_EQ(normalized("1 + 2 < 3 + 4"), "((1 + 2) < (3 + 4))");
+}
+
+TEST(Parser, PrecedenceRelationalOverEquality) {
+  EXPECT_EQ(normalized("1 < 2 == 3 < 4"), "((1 < 2) == (3 < 4))");
+}
+
+TEST(Parser, PrecedenceEqualityOverAnd) {
+  EXPECT_EQ(normalized("true == false && true"), "((true == false) && true)");
+}
+
+TEST(Parser, PrecedenceAndOverOr) {
+  EXPECT_EQ(normalized("true || false && true"), "(true || (false && true))");
+}
+
+TEST(Parser, ParenthesesOverride) {
+  EXPECT_EQ(normalized("(1 + 2) * 3"), "((1 + 2) * 3)");
+}
+
+TEST(Parser, LeftAssociativity) {
+  EXPECT_EQ(normalized("1 - 2 - 3"), "((1 - 2) - 3)");
+  EXPECT_EQ(normalized("8 / 4 / 2"), "((8 / 4) / 2)");
+}
+
+TEST(Parser, UnaryOperators) {
+  EXPECT_EQ(normalized("!true"), "!(true)");
+  EXPECT_EQ(normalized("-5 + 3"), "(-(5) + 3)");
+  EXPECT_EQ(normalized("!!true"), "!(!(true))");
+}
+
+TEST(Parser, AttrRefsForAllObjects) {
+  for (const char* object : {"vEdge", "rEdge", "vSource", "vTarget", "rSource",
+                             "rTarget", "vNode", "rNode"}) {
+    const std::string src = std::string(object) + ".attr";
+    EXPECT_EQ(normalized(src), src) << src;
+  }
+}
+
+TEST(Parser, UnknownObjectRejected) {
+  EXPECT_THROW((void)parse("qEdge.delay > 1"), SyntaxError);
+}
+
+TEST(Parser, BareIdentifierRejected) {
+  EXPECT_THROW((void)parse("delay > 1"), SyntaxError);
+}
+
+TEST(Parser, FunctionCalls) {
+  EXPECT_EQ(normalized("abs(-1)"), "abs(-(1))");
+  EXPECT_EQ(normalized("sqrt(4)"), "sqrt(4)");
+  EXPECT_EQ(normalized("min(1, 2)"), "min(1, 2)");
+  EXPECT_EQ(normalized("max(1, 2)"), "max(1, 2)");
+  EXPECT_EQ(normalized("floor(1.5)"), "floor(1.5)");
+  EXPECT_EQ(normalized("ceil(1.5)"), "ceil(1.5)");
+  EXPECT_EQ(normalized("isBoundTo(vSource.os, rSource.os)"),
+            "isBoundTo(vSource.os, rSource.os)");
+}
+
+TEST(Parser, UnknownFunctionRejected) {
+  EXPECT_THROW((void)parse("log(1)"), SyntaxError);
+}
+
+TEST(Parser, ArityMismatchRejected) {
+  EXPECT_THROW((void)parse("abs(1, 2)"), SyntaxError);
+  EXPECT_THROW((void)parse("min(1)"), SyntaxError);
+  EXPECT_THROW((void)parse("isBoundTo(vSource.os)"), SyntaxError);
+}
+
+TEST(Parser, StringLiterals) {
+  EXPECT_EQ(normalized("vSource.os == \"linux-2.6\""),
+            "(vSource.os == \"linux-2.6\")");
+}
+
+TEST(Parser, TrailingGarbageRejected) {
+  EXPECT_THROW((void)parse("1 + 2 extra"), SyntaxError);
+  EXPECT_THROW((void)parse("1 + 2)"), SyntaxError);
+}
+
+TEST(Parser, UnbalancedParensRejected) {
+  EXPECT_THROW((void)parse("(1 + 2"), SyntaxError);
+}
+
+TEST(Parser, EmptyInputRejected) {
+  EXPECT_THROW((void)parse(""), SyntaxError);
+}
+
+TEST(Parser, ObjectsUsedMask) {
+  const Ast ast = parse("vEdge.d > 1 && rSource.x < 2");
+  const auto mask = ast.objectsUsed();
+  EXPECT_TRUE(mask & (1u << static_cast<unsigned>(ObjectId::VEdge)));
+  EXPECT_TRUE(mask & (1u << static_cast<unsigned>(ObjectId::RSource)));
+  EXPECT_FALSE(mask & (1u << static_cast<unsigned>(ObjectId::RNode)));
+}
+
+TEST(Parser, PaperGeoDistanceExample) {
+  const char* src =
+      "sqrt( (vSource.x-vTarget.x)*(vSource.x-vTarget.x) + "
+      "(vSource.y-vTarget.y)*(vSource.y-vTarget.y) ) < 100.0";
+  EXPECT_NO_THROW((void)parse(src));
+}
+
+TEST(Parser, PaperDelayRangeExample) {
+  EXPECT_NO_THROW((void)parse(
+      "vEdge.avgDelay>=rEdge.minDelay && vEdge.avgDelay<=rEdge.maxDelay"));
+}
+
+}  // namespace

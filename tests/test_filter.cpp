@@ -1,0 +1,188 @@
+#include "core/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/regular.hpp"
+
+namespace {
+
+using namespace netembed;
+using core::FilterMatrix;
+using core::Problem;
+using core::SearchOptions;
+using core::SearchStats;
+using graph::Graph;
+using graph::NodeId;
+
+/// Host: path r0 -w=1- r1 -w=2- r2; query: single edge q0 -w- q1.
+struct PathFixture {
+  Graph host{false};
+  Graph query{false};
+  expr::ConstraintSet constraints;
+
+  explicit PathFixture(double queryW) {
+    for (int i = 0; i < 3; ++i) host.addNode();
+    host.edgeAttrs(host.addEdge(0, 1)).set("w", 1.0);
+    host.edgeAttrs(host.addEdge(1, 2)).set("w", 2.0);
+    query.addNode();
+    query.addNode();
+    query.edgeAttrs(query.addEdge(0, 1)).set("w", queryW);
+    constraints = expr::ConstraintSet::edgeOnly("rEdge.w == vEdge.w");
+  }
+};
+
+std::vector<NodeId> toVec(std::span<const NodeId> s) {
+  return std::vector<NodeId>(s.begin(), s.end());
+}
+
+TEST(Filter, CandidatesMatchConstraint) {
+  PathFixture f(1.0);
+  const Problem problem(f.query, f.host, f.constraints);
+  SearchStats stats;
+  const FilterMatrix fm = FilterMatrix::build(problem, {}, stats);
+
+  // q0 has one slot (towards q1). With q0 -> r0, the only matching host edge
+  // of weight 1 leads to r1.
+  ASSERT_EQ(fm.slots(0).size(), 1u);
+  EXPECT_EQ(toVec(fm.candidates(0, 0, 0)), (std::vector<NodeId>{1}));
+  // With q0 -> r1, the weight-1 edge leads back to r0.
+  EXPECT_EQ(toVec(fm.candidates(0, 0, 1)), (std::vector<NodeId>{0}));
+  // With q0 -> r2, only the weight-2 edge exists: no candidates.
+  EXPECT_TRUE(fm.candidates(0, 0, 2).empty());
+
+  // Viability (strengthened eq. 1): r2 has no supporting edge for either
+  // query node.
+  EXPECT_EQ(toVec(fm.viable(0)), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(toVec(fm.viable(1)), (std::vector<NodeId>{0, 1}));
+  EXPECT_TRUE(fm.isViable(0, 0));
+  EXPECT_FALSE(fm.isViable(0, 2));
+}
+
+TEST(Filter, NoMatchesYieldsEmptyViability) {
+  PathFixture f(99.0);  // no host edge has weight 99
+  const Problem problem(f.query, f.host, f.constraints);
+  SearchStats stats;
+  const FilterMatrix fm = FilterMatrix::build(problem, {}, stats);
+  EXPECT_TRUE(fm.viable(0).empty());
+  EXPECT_TRUE(fm.viable(1).empty());
+  EXPECT_EQ(fm.totalEntries(), 0u);
+}
+
+TEST(Filter, EntriesCountBothDirections) {
+  PathFixture f(2.0);
+  const Problem problem(f.query, f.host, f.constraints);
+  SearchStats stats;
+  const FilterMatrix fm = FilterMatrix::build(problem, {}, stats);
+  // One matching undirected host edge, stored from both endpoints in each of
+  // the two slots (q0's and q1's): 2 slots * 2 orientations = 4 entries.
+  EXPECT_EQ(fm.totalEntries(), 4u);
+  EXPECT_EQ(stats.filterEntries, 4u);
+  EXPECT_GT(stats.constraintEvals, 0u);
+}
+
+TEST(Filter, DegreePruningRemovesSmallHosts) {
+  // Query star needs a degree-3 hub; host path has max degree 2.
+  const Graph query = topo::star(3);
+  Graph host(false);
+  for (int i = 0; i < 5; ++i) host.addNode();
+  for (int i = 0; i < 4; ++i) host.addEdge(i, i + 1);
+  const expr::ConstraintSet none;
+  const Problem problem(query, host, none);
+  SearchStats stats;
+  const FilterMatrix fm = FilterMatrix::build(problem, {}, stats);
+  EXPECT_TRUE(fm.viable(0).empty());  // hub has no viable host
+}
+
+TEST(Filter, TopologyOnlyCliqueHostIsUnpruned) {
+  const Graph query = topo::ring(3);
+  const Graph host = topo::clique(5);
+  const expr::ConstraintSet none;
+  const Problem problem(query, host, none);
+  SearchStats stats;
+  const FilterMatrix fm = FilterMatrix::build(problem, {}, stats);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(fm.viable(v).size(), 5u);
+  // Each slot cell holds the 4 other host nodes.
+  EXPECT_EQ(fm.candidates(0, 0, 2).size(), 4u);
+}
+
+TEST(Filter, DirectedOrientationRespected) {
+  Graph host(true);
+  for (int i = 0; i < 3; ++i) host.addNode();
+  host.addEdge(0, 1);
+  host.addEdge(1, 2);
+  Graph query(true);
+  query.addNode();
+  query.addNode();
+  query.addEdge(0, 1);
+  const expr::ConstraintSet none;
+  const Problem problem(query, host, none);
+  SearchStats stats;
+  const FilterMatrix fm = FilterMatrix::build(problem, {}, stats);
+  // q0 (out-slot): from r0 can go to r1; from r2 nowhere.
+  EXPECT_EQ(toVec(fm.candidates(0, 0, 0)), (std::vector<NodeId>{1}));
+  EXPECT_TRUE(fm.candidates(0, 0, 2).empty());
+  // q1 (in-slot): from r1, predecessor r0; a directed host edge never runs
+  // backwards.
+  ASSERT_EQ(fm.slots(1).size(), 1u);
+  EXPECT_FALSE(fm.slots(1)[0].outgoing);
+  EXPECT_EQ(toVec(fm.candidates(1, 0, 1)), (std::vector<NodeId>{0}));
+}
+
+TEST(Filter, ConstrainersAreReverseOfSlots) {
+  const Graph query = topo::star(2);  // hub 0, leaves 1, 2
+  const Graph host = topo::clique(4);
+  const expr::ConstraintSet none;
+  const Problem problem(query, host, none);
+  SearchStats stats;
+  const FilterMatrix fm = FilterMatrix::build(problem, {}, stats);
+  // Leaf 1 is constrained by exactly one slot, owned by the hub.
+  ASSERT_EQ(fm.constrainersOf(1).size(), 1u);
+  EXPECT_EQ(fm.constrainersOf(1)[0].owner, 0u);
+  // The hub is constrained by both leaves.
+  EXPECT_EQ(fm.constrainersOf(0).size(), 2u);
+}
+
+TEST(Filter, OverflowGuardThrows) {
+  const Graph query = topo::ring(4);
+  const Graph host = topo::clique(12);
+  const expr::ConstraintSet none;
+  const Problem problem(query, host, none);
+  SearchOptions options;
+  options.maxFilterEntries = 10;  // absurdly small budget
+  SearchStats stats;
+  EXPECT_THROW((void)FilterMatrix::build(problem, options, stats), core::FilterOverflow);
+}
+
+TEST(Filter, SerialAndParallelBuildsAgree) {
+  const Graph query = topo::ring(4);
+  const Graph host = topo::clique(8);
+  const expr::ConstraintSet none;
+  const Problem problem(query, host, none);
+  SearchOptions serial;
+  serial.parallelFilterBuild = false;
+  SearchOptions parallel;
+  parallel.parallelFilterBuild = true;
+  SearchStats s1, s2;
+  const FilterMatrix a = FilterMatrix::build(problem, serial, s1);
+  const FilterMatrix b = FilterMatrix::build(problem, parallel, s2);
+  EXPECT_EQ(a.totalEntries(), b.totalEntries());
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(toVec(a.viable(v)), toVec(b.viable(v)));
+    for (std::uint32_t s = 0; s < a.slots(v).size(); ++s) {
+      for (NodeId r = 0; r < 8; ++r) {
+        EXPECT_EQ(toVec(a.candidates(v, s, r)), toVec(b.candidates(v, s, r)));
+      }
+    }
+  }
+}
+
+TEST(Filter, InvalidProblemRejected) {
+  const Graph query = topo::ring(5);
+  const Graph host = topo::clique(3);  // smaller than the query
+  const expr::ConstraintSet none;
+  const Problem problem(query, host, none);
+  SearchStats stats;
+  EXPECT_THROW((void)FilterMatrix::build(problem, {}, stats), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using netembed::graph::Graph;
+using netembed::graph::NodeId;
+
+TEST(Graph, StartsEmpty) {
+  Graph g;
+  EXPECT_EQ(g.nodeCount(), 0u);
+  EXPECT_EQ(g.edgeCount(), 0u);
+  EXPECT_FALSE(g.directed());
+}
+
+TEST(Graph, AddNodesAssignsSequentialIdsAndDefaultNames) {
+  Graph g;
+  EXPECT_EQ(g.addNode(), 0u);
+  EXPECT_EQ(g.addNode("custom"), 1u);
+  EXPECT_EQ(g.addNode(), 2u);
+  EXPECT_EQ(g.nodeName(0), "n0");
+  EXPECT_EQ(g.nodeName(1), "custom");
+  EXPECT_EQ(g.nodeName(2), "n2");
+}
+
+TEST(Graph, DuplicateNameRejected) {
+  Graph g;
+  g.addNode("x");
+  EXPECT_THROW((void)g.addNode("x"), std::invalid_argument);
+}
+
+TEST(Graph, FindNodeByName) {
+  Graph g;
+  g.addNode("alpha");
+  g.addNode("beta");
+  EXPECT_EQ(g.findNode("beta"), std::optional<NodeId>(1));
+  EXPECT_FALSE(g.findNode("gamma").has_value());
+}
+
+TEST(Graph, UndirectedEdgeSymmetry) {
+  Graph g;
+  g.addNode();
+  g.addNode();
+  const auto e = g.addEdge(0, 1);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 0));
+  EXPECT_EQ(g.findEdge(1, 0), std::optional(e));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].node, 1u);
+  EXPECT_EQ(g.neighbors(0)[0].edge, e);
+}
+
+TEST(Graph, DirectedEdgeOrientation) {
+  Graph g(true);
+  g.addNode();
+  g.addNode();
+  g.addEdge(0, 1);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_FALSE(g.hasEdge(1, 0));
+  EXPECT_EQ(g.outDegree(0), 1u);
+  EXPECT_EQ(g.inDegree(0), 0u);
+  EXPECT_EQ(g.outDegree(1), 0u);
+  EXPECT_EQ(g.inDegree(1), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  ASSERT_EQ(g.inNeighbors(1).size(), 1u);
+  EXPECT_EQ(g.inNeighbors(1)[0].node, 0u);
+}
+
+TEST(Graph, DirectedAllowsBothOrientations) {
+  Graph g(true);
+  g.addNode();
+  g.addNode();
+  g.addEdge(0, 1);
+  g.addEdge(1, 0);  // distinct edge
+  EXPECT_EQ(g.edgeCount(), 2u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g;
+  g.addNode();
+  EXPECT_THROW((void)g.addEdge(0, 0), std::invalid_argument);
+}
+
+TEST(Graph, DuplicateEdgeRejected) {
+  Graph g;
+  g.addNode();
+  g.addNode();
+  g.addEdge(0, 1);
+  EXPECT_THROW((void)g.addEdge(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)g.addEdge(1, 0), std::invalid_argument);  // undirected
+}
+
+TEST(Graph, OutOfRangeEndpointsRejected) {
+  Graph g;
+  g.addNode();
+  EXPECT_THROW((void)g.addEdge(0, 5), std::out_of_range);
+}
+
+TEST(Graph, EdgeEndpointsAndOther) {
+  Graph g;
+  g.addNode();
+  g.addNode();
+  g.addNode();
+  const auto e = g.addEdge(1, 2);
+  EXPECT_EQ(g.edgeSource(e), 1u);
+  EXPECT_EQ(g.edgeTarget(e), 2u);
+  EXPECT_EQ(g.edgeOther(e, 1), 2u);
+  EXPECT_EQ(g.edgeOther(e, 2), 1u);
+  EXPECT_THROW((void)g.edgeOther(e, 0), std::invalid_argument);
+}
+
+TEST(Graph, AttributesPersist) {
+  Graph g;
+  g.addNode();
+  g.addNode();
+  const auto e = g.addEdge(0, 1);
+  g.nodeAttrs(0).set("os", "linux");
+  g.edgeAttrs(e).set("delay", 12.5);
+  g.attrs().set("title", "test");
+  EXPECT_EQ(g.nodeAttrs(0).at("os").asString(), "linux");
+  EXPECT_DOUBLE_EQ(g.edgeAttrs(e).at("delay").asDouble(), 12.5);
+  EXPECT_EQ(g.attrs().at("title").asString(), "test");
+}
+
+TEST(Graph, DensityUndirected) {
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.addNode();
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(2, 3);
+  // 3 edges out of C(4,2)=6 pairs.
+  EXPECT_DOUBLE_EQ(g.density(), 0.5);
+}
+
+TEST(Graph, DensityDirected) {
+  Graph g(true);
+  for (int i = 0; i < 3; ++i) g.addNode();
+  g.addEdge(0, 1);
+  g.addEdge(1, 0);
+  g.addEdge(1, 2);
+  // 3 of 6 ordered pairs.
+  EXPECT_DOUBLE_EQ(g.density(), 0.5);
+}
+
+TEST(Graph, DensityTinyGraphs) {
+  Graph g;
+  EXPECT_DOUBLE_EQ(g.density(), 0.0);
+  g.addNode();
+  EXPECT_DOUBLE_EQ(g.density(), 0.0);
+}
+
+TEST(Graph, CopySemantics) {
+  Graph g;
+  g.addNode("a");
+  g.addNode("b");
+  g.addEdge(0, 1);
+  g.nodeAttrs(0).set("k", 1);
+  Graph copy = g;
+  copy.nodeAttrs(0).set("k", 2);
+  EXPECT_EQ(g.nodeAttrs(0).at("k").asInt(), 1);
+  EXPECT_EQ(copy.nodeAttrs(0).at("k").asInt(), 2);
+  EXPECT_TRUE(copy.hasEdge(0, 1));
+}
+
+TEST(Graph, LargeGraphEdgeLookupIsConsistent) {
+  Graph g;
+  constexpr int kN = 200;
+  for (int i = 0; i < kN; ++i) g.addNode();
+  for (int i = 0; i + 1 < kN; ++i) g.addEdge(i, i + 1);
+  for (int i = 0; i + 1 < kN; ++i) {
+    EXPECT_TRUE(g.hasEdge(i, i + 1));
+    EXPECT_TRUE(g.hasEdge(i + 1, i));
+  }
+  EXPECT_FALSE(g.hasEdge(0, kN - 1));
+}
+
+}  // namespace

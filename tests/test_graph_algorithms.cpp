@@ -1,0 +1,143 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/regular.hpp"
+
+namespace {
+
+using namespace netembed::graph;
+namespace topo = netembed::topo;
+
+Graph pathGraph(int n) {
+  Graph g;
+  for (int i = 0; i < n; ++i) g.addNode();
+  for (int i = 0; i + 1 < n; ++i) g.addEdge(i, i + 1);
+  return g;
+}
+
+TEST(Bfs, VisitsAllReachableInOrder) {
+  const Graph g = pathGraph(5);
+  const auto order = bfsOrder(g, 0);
+  ASSERT_EQ(order.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(order[i], static_cast<NodeId>(i));
+}
+
+TEST(Bfs, StopsAtComponentBoundary) {
+  Graph g = pathGraph(3);
+  g.addNode();  // isolated
+  EXPECT_EQ(bfsOrder(g, 0).size(), 3u);
+  EXPECT_EQ(bfsOrder(g, 3).size(), 1u);
+}
+
+TEST(Bfs, BadStartThrows) {
+  const Graph g = pathGraph(2);
+  EXPECT_THROW((void)bfsOrder(g, 9), std::out_of_range);
+}
+
+TEST(Bfs, DirectedEdgesAreTraversedBothWays) {
+  Graph g(true);
+  g.addNode();
+  g.addNode();
+  g.addEdge(1, 0);  // only inbound edge for node 0
+  EXPECT_EQ(bfsOrder(g, 0).size(), 2u);  // weak connectivity
+}
+
+TEST(Components, CountsAndLabels) {
+  Graph g = pathGraph(3);
+  g.addNode();
+  g.addNode();
+  g.addEdge(3, 4);
+  const Components c = connectedComponents(g);
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[1], c.label[2]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[3]);
+}
+
+TEST(Components, ConnectedGraph) {
+  EXPECT_TRUE(isConnected(pathGraph(10)));
+  EXPECT_TRUE(isConnected(Graph{}));  // vacuous
+  Graph single;
+  single.addNode();
+  EXPECT_TRUE(isConnected(single));
+}
+
+TEST(Components, DisconnectedGraph) {
+  Graph g = pathGraph(2);
+  g.addNode();
+  EXPECT_FALSE(isConnected(g));
+}
+
+TEST(DegreeHistogram, Ring) {
+  const auto hist = degreeHistogram(topo::ring(6));
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[2], 6u);
+}
+
+TEST(DegreeHistogram, Star) {
+  const auto hist = degreeHistogram(topo::star(5));
+  EXPECT_EQ(hist[1], 5u);
+  EXPECT_EQ(hist[5], 1u);
+}
+
+TEST(AverageDegree, RingIsTwo) {
+  EXPECT_DOUBLE_EQ(averageDegree(topo::ring(8)), 2.0);
+  EXPECT_DOUBLE_EQ(averageDegree(Graph{}), 0.0);
+}
+
+TEST(Dijkstra, UnitWeightsMatchHops) {
+  const Graph g = pathGraph(5);
+  const auto sp = dijkstra(g, 0, [](EdgeId) { return 1.0; });
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(sp.distance[i], i);
+  const auto path = extractPath(sp, 4);
+  ASSERT_EQ(path.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(path[i], static_cast<NodeId>(i));
+  EXPECT_EQ(extractPathEdges(sp, 4).size(), 4u);
+}
+
+TEST(Dijkstra, PrefersCheaperDetour) {
+  // 0-1 weight 10; 0-2-1 weights 1+1.
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.addNode();
+  const auto direct = g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  g.addEdge(2, 1);
+  const auto sp = dijkstra(g, 0, [&](EdgeId e) { return e == direct ? 10.0 : 1.0; });
+  EXPECT_DOUBLE_EQ(sp.distance[1], 2.0);
+  const auto path = extractPath(sp, 1);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], 2u);
+}
+
+TEST(Dijkstra, UnreachableIsInfinity) {
+  Graph g = pathGraph(2);
+  g.addNode();
+  const auto sp = dijkstra(g, 0, [](EdgeId) { return 1.0; });
+  EXPECT_EQ(sp.distance[2], kUnreachable);
+  EXPECT_TRUE(extractPath(sp, 2).empty());
+}
+
+TEST(Dijkstra, NegativeWeightThrows) {
+  const Graph g = pathGraph(2);
+  EXPECT_THROW((void)dijkstra(g, 0, [](EdgeId) { return -1.0; }), std::invalid_argument);
+}
+
+TEST(Dijkstra, DirectedRespectsOrientation) {
+  Graph g(true);
+  g.addNode();
+  g.addNode();
+  g.addEdge(1, 0);
+  const auto sp = dijkstra(g, 0, [](EdgeId) { return 1.0; });
+  EXPECT_EQ(sp.distance[1], kUnreachable);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(pathGraph(5)), 4u);
+  EXPECT_EQ(diameter(topo::ring(6)), 3u);
+  EXPECT_EQ(diameter(topo::clique(5)), 1u);
+  EXPECT_EQ(diameter(topo::star(4)), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+#include "graphml/graphml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/planetlab.hpp"
+
+namespace {
+
+using netembed::graph::Graph;
+namespace graphml = netembed::graphml;
+
+Graph sampleGraph() {
+  Graph g;
+  g.addNode("a");
+  g.addNode("b");
+  g.addNode("c");
+  g.nodeAttrs(0).set("os", "linux-2.6");
+  g.nodeAttrs(0).set("cpu", 2000);
+  g.nodeAttrs(1).set("ok", true);
+  const auto e0 = g.addEdge(0, 1);
+  const auto e1 = g.addEdge(1, 2);
+  g.edgeAttrs(e0).set("delay", 12.5);
+  g.edgeAttrs(e1).set("delay", 7.25);
+  g.attrs().set("title", "sample");
+  return g;
+}
+
+TEST(GraphML, RoundTripPreservesEverything) {
+  const Graph g = sampleGraph();
+  const std::string text = graphml::write(g);
+  const Graph back = graphml::read(text);
+
+  ASSERT_EQ(back.nodeCount(), 3u);
+  ASSERT_EQ(back.edgeCount(), 2u);
+  EXPECT_FALSE(back.directed());
+  EXPECT_EQ(back.nodeName(0), "a");
+  EXPECT_EQ(back.nodeAttrs(0).at("os").asString(), "linux-2.6");
+  EXPECT_EQ(back.nodeAttrs(0).at("cpu").asInt(), 2000);
+  EXPECT_EQ(back.nodeAttrs(1).at("ok").asBool(), true);
+  const auto e = back.findEdge(*back.findNode("a"), *back.findNode("b"));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(back.edgeAttrs(*e).at("delay").asDouble(), 12.5);
+  EXPECT_EQ(back.attrs().at("title").asString(), "sample");
+}
+
+TEST(GraphML, DirectedRoundTrip) {
+  Graph g(true);
+  g.addNode("x");
+  g.addNode("y");
+  g.addEdge(1, 0);
+  const Graph back = graphml::read(graphml::write(g));
+  EXPECT_TRUE(back.directed());
+  EXPECT_TRUE(back.hasEdge(1, 0));
+  EXPECT_FALSE(back.hasEdge(0, 1));
+}
+
+TEST(GraphML, DeclaredKeysWithDefaults) {
+  const char* text = R"(<?xml version="1.0"?>
+<graphml>
+  <key id="d0" for="node" attr.name="color" attr.type="string">
+    <default>green</default>
+  </key>
+  <graph id="G" edgedefault="undirected">
+    <node id="n0"><data key="d0">red</data></node>
+    <node id="n1"/>
+  </graph>
+</graphml>)";
+  const Graph g = graphml::read(text);
+  EXPECT_EQ(g.nodeAttrs(0).at("color").asString(), "red");
+  EXPECT_EQ(g.nodeAttrs(1).at("color").asString(), "green");
+}
+
+TEST(GraphML, TypeParsingPerKey) {
+  const char* text = R"(<graphml>
+  <key id="k1" for="edge" attr.name="weight" attr.type="double"/>
+  <key id="k2" for="edge" attr.name="count" attr.type="int"/>
+  <graph edgedefault="undirected">
+    <node id="a"/><node id="b"/>
+    <edge source="a" target="b">
+      <data key="k1">2.5</data>
+      <data key="k2">3</data>
+    </edge>
+  </graph>
+</graphml>)";
+  const Graph g = graphml::read(text);
+  EXPECT_DOUBLE_EQ(g.edgeAttrs(0).at("weight").asDouble(), 2.5);
+  EXPECT_EQ(g.edgeAttrs(0).at("count").asInt(), 3);
+}
+
+TEST(GraphML, RejectsUndeclaredKey) {
+  const char* text = R"(<graphml><graph edgedefault="undirected">
+    <node id="a"><data key="nope">1</data></node>
+  </graph></graphml>)";
+  EXPECT_THROW((void)graphml::read(text), std::runtime_error);
+}
+
+TEST(GraphML, RejectsWrongScopeKey) {
+  const char* text = R"(<graphml>
+  <key id="k" for="edge" attr.name="w" attr.type="int"/>
+  <graph edgedefault="undirected">
+    <node id="a"><data key="k">1</data></node>
+  </graph></graphml>)";
+  EXPECT_THROW((void)graphml::read(text), std::runtime_error);
+}
+
+TEST(GraphML, RejectsEdgeToUnknownNode) {
+  const char* text = R"(<graphml><graph edgedefault="undirected">
+    <node id="a"/>
+    <edge source="a" target="ghost"/>
+  </graph></graphml>)";
+  EXPECT_THROW((void)graphml::read(text), std::runtime_error);
+}
+
+TEST(GraphML, RejectsNonGraphmlRoot) {
+  EXPECT_THROW((void)graphml::read("<gexf/>"), std::runtime_error);
+}
+
+TEST(GraphML, RejectsMissingGraph) {
+  EXPECT_THROW((void)graphml::read("<graphml/>"), std::runtime_error);
+}
+
+TEST(GraphML, UnknownAttrTypeRejected) {
+  const char* text = R"(<graphml>
+  <key id="k" for="node" attr.name="w" attr.type="matrix"/>
+  <graph edgedefault="undirected"><node id="a"/></graph></graphml>)";
+  EXPECT_THROW((void)graphml::read(text), std::runtime_error);
+}
+
+TEST(GraphML, FileRoundTrip) {
+  const Graph g = sampleGraph();
+  const std::string path = testing::TempDir() + "/netembed_roundtrip.graphml";
+  graphml::writeFile(g, path);
+  const Graph back = graphml::readFile(path);
+  EXPECT_EQ(back.nodeCount(), g.nodeCount());
+  EXPECT_EQ(back.edgeCount(), g.edgeCount());
+}
+
+TEST(GraphML, MissingFileThrows) {
+  EXPECT_THROW((void)graphml::readFile("/nonexistent/file.graphml"), std::runtime_error);
+}
+
+TEST(GraphML, SynthesizedPlanetLabRoundTrips) {
+  netembed::trace::PlanetLabOptions opts;
+  opts.sites = 40;
+  opts.clusters = 5;
+  opts.deadSites = 1;
+  const Graph g = netembed::trace::synthesize(opts);
+  const Graph back = graphml::read(graphml::write(g));
+  EXPECT_EQ(back.nodeCount(), g.nodeCount());
+  EXPECT_EQ(back.edgeCount(), g.edgeCount());
+  // Spot-check one edge attribute survives with full precision.
+  if (g.edgeCount() > 0) {
+    EXPECT_DOUBLE_EQ(back.edgeAttrs(0).at("avgDelay").asDouble(),
+                     g.edgeAttrs(0).at("avgDelay").asDouble());
+  }
+}
+
+}  // namespace

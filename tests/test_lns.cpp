@@ -1,0 +1,174 @@
+#include "core/lns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/ecf.hpp"
+#include "core/verify.hpp"
+#include "topo/regular.hpp"
+
+namespace {
+
+using namespace netembed;
+using core::ecfSearch;
+using core::EmbedResult;
+using core::lnsSearch;
+using core::Outcome;
+using core::Problem;
+using core::SearchOptions;
+using graph::Graph;
+
+const expr::ConstraintSet kNone;
+
+SearchOptions storeAll() {
+  SearchOptions o;
+  o.storeLimit = 100000;
+  return o;
+}
+
+TEST(Lns, TriangleInK4MatchesEcfCount) {
+  const Graph query = topo::clique(3);
+  const Graph host = topo::clique(4);
+  const EmbedResult r = lnsSearch(Problem(query, host, kNone), storeAll());
+  EXPECT_EQ(r.outcome, Outcome::Complete);
+  EXPECT_EQ(r.solutionCount, 24u);
+}
+
+TEST(Lns, EnumeratesExactlyTheEcfSolutionSet) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::ring(4);
+  const EmbedResult lns = lnsSearch(Problem(query, host, kNone), storeAll());
+  const EmbedResult ecf = ecfSearch(Problem(query, host, kNone), storeAll());
+  const std::set<core::Mapping> a(lns.mappings.begin(), lns.mappings.end());
+  const std::set<core::Mapping> b(ecf.mappings.begin(), ecf.mappings.end());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(lns.solutionCount, ecf.solutionCount);
+}
+
+TEST(Lns, ProvesInfeasibility) {
+  const Graph query = topo::clique(4);
+  const Graph host = topo::ring(7);
+  const EmbedResult r = lnsSearch(Problem(query, host, kNone), storeAll());
+  EXPECT_TRUE(r.provenInfeasible());
+}
+
+TEST(Lns, NoFilterMemoryIsUsed) {
+  const Graph query = topo::clique(3);
+  const Graph host = topo::clique(6);
+  const EmbedResult r = lnsSearch(Problem(query, host, kNone), storeAll());
+  EXPECT_EQ(r.stats.filterEntries, 0u);
+  EXPECT_EQ(r.stats.filterBuildMs, 0.0);
+  EXPECT_GT(r.stats.peakCovered, 0u);
+}
+
+TEST(Lns, HeuristicsOffRemainsCorrect) {
+  const Graph query = topo::line(4);
+  const Graph host = topo::ring(6);
+  SearchOptions noHeuristics = storeAll();
+  noHeuristics.lnsMaxDegreeStart = false;
+  noHeuristics.lnsMostConnectedNeighbor = false;
+  const EmbedResult a = lnsSearch(Problem(query, host, kNone), noHeuristics);
+  const EmbedResult b = lnsSearch(Problem(query, host, kNone), storeAll());
+  EXPECT_EQ(a.solutionCount, b.solutionCount);
+}
+
+TEST(Lns, MaxSolutionsAndSink) {
+  const Graph query = topo::clique(3);
+  const Graph host = topo::clique(10);
+  SearchOptions o = storeAll();
+  o.maxSolutions = 4;
+  const EmbedResult r = lnsSearch(Problem(query, host, kNone), o);
+  EXPECT_EQ(r.solutionCount, 4u);
+  EXPECT_EQ(r.outcome, Outcome::Partial);
+
+  int seen = 0;
+  const EmbedResult s =
+      lnsSearch(Problem(query, host, kNone), storeAll(), [&](const core::Mapping&) {
+        return ++seen < 2;
+      });
+  EXPECT_EQ(s.solutionCount, 2u);
+}
+
+TEST(Lns, ConstraintsRespected) {
+  Graph host(false);
+  for (int i = 0; i < 4; ++i) host.addNode();
+  host.edgeAttrs(host.addEdge(0, 1)).set("delay", 10.0);
+  host.edgeAttrs(host.addEdge(1, 2)).set("delay", 10.0);
+  host.edgeAttrs(host.addEdge(2, 3)).set("delay", 100.0);
+  host.edgeAttrs(host.addEdge(3, 0)).set("delay", 100.0);
+  Graph query = topo::line(3);
+  topo::setAllEdges(query, "maxDelay", 20.0);
+  const auto constraints = expr::ConstraintSet::edgeOnly("rEdge.delay <= vEdge.maxDelay");
+  const Problem problem(query, host, constraints);
+  const EmbedResult r = lnsSearch(problem, storeAll());
+  // Only the path 0-1-2 qualifies, two orientations.
+  EXPECT_EQ(r.solutionCount, 2u);
+  for (const core::Mapping& m : r.mappings) {
+    EXPECT_TRUE(core::verifyMapping(problem, m).ok);
+  }
+}
+
+TEST(Lns, NodeConstraintsRespected) {
+  Graph host = topo::clique(4);
+  for (graph::NodeId n = 0; n < 4; ++n) {
+    host.nodeAttrs(n).set("cpu", n < 2 ? 1000 : 3000);
+  }
+  Graph query = topo::line(2);
+  topo::setAllNodes(query, "minCpu", 2000);
+  const auto constraints = expr::ConstraintSet::parse("", "rNode.cpu >= vNode.minCpu");
+  const EmbedResult r = lnsSearch(Problem(query, host, constraints), storeAll());
+  EXPECT_EQ(r.solutionCount, 2u);  // nodes 2,3 in both orders
+  for (const core::Mapping& m : r.mappings) {
+    for (const graph::NodeId r2 : m) EXPECT_GE(r2, 2u);
+  }
+}
+
+TEST(Lns, DisconnectedQueryCrossesComponents) {
+  Graph query(false);
+  for (int i = 0; i < 4; ++i) query.addNode();
+  query.addEdge(0, 1);
+  query.addEdge(2, 3);
+  const Graph host = topo::ring(4);
+  const EmbedResult r = lnsSearch(Problem(query, host, kNone), storeAll());
+  EXPECT_EQ(r.solutionCount, 16u);  // must match ECF (see test_ecf)
+}
+
+TEST(Lns, DirectedQueries) {
+  Graph query(true);
+  query.addNode();
+  query.addNode();
+  query.addNode();
+  query.addEdge(0, 1);
+  query.addEdge(1, 2);
+  Graph host(true);
+  for (int i = 0; i < 4; ++i) host.addNode();
+  host.addEdge(0, 1);
+  host.addEdge(1, 2);
+  host.addEdge(2, 3);
+  host.addEdge(3, 0);
+  const EmbedResult r = lnsSearch(Problem(query, host, kNone), storeAll());
+  EXPECT_EQ(r.solutionCount, 4u);  // 4 directed 2-paths in a directed 4-cycle
+}
+
+TEST(Lns, TimeoutOnHugeEnumerationIsPartial) {
+  const Graph query = topo::clique(5);
+  const Graph host = topo::clique(24);
+  SearchOptions o;
+  o.storeLimit = 1;
+  o.timeout = std::chrono::milliseconds(30);
+  o.checkStride = 256;
+  const EmbedResult r = lnsSearch(Problem(query, host, kNone), o);
+  EXPECT_EQ(r.outcome, Outcome::Partial);
+  EXPECT_GT(r.solutionCount, 0u);
+}
+
+TEST(Lns, SingleNodeQuery) {
+  Graph query(false);
+  query.addNode();
+  const Graph host = topo::ring(5);
+  const EmbedResult r = lnsSearch(Problem(query, host, kNone), storeAll());
+  EXPECT_EQ(r.solutionCount, 5u);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include "service/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ecf.hpp"
+#include "core/verify.hpp"
+#include "topo/regular.hpp"
+
+namespace {
+
+using namespace netembed;
+using core::Algorithm;
+using core::Outcome;
+using core::Problem;
+using graph::Graph;
+
+const expr::ConstraintSet kNone;
+
+/// Host triangle with one cheap edge (0-1: 1ms), others 10ms.
+Graph triangleHost() {
+  Graph g(false);
+  for (int i = 0; i < 3; ++i) g.addNode();
+  g.edgeAttrs(g.addEdge(0, 1)).set("delay", 1.0);
+  g.edgeAttrs(g.addEdge(1, 2)).set("delay", 10.0);
+  g.edgeAttrs(g.addEdge(2, 0)).set("delay", 10.0);
+  return g;
+}
+
+TEST(Optimize, PicksTheCheapestMapping) {
+  const Graph host = triangleHost();
+  const Graph query = topo::line(2);
+  const Problem problem(query, host, kNone);
+  const auto cost = service::totalEdgeAttrCost(query, host, "delay");
+  const auto result =
+      service::enumerateAndOptimize(problem, Algorithm::ECF, {}, cost);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(result.search.outcome, Outcome::Complete);
+  EXPECT_DOUBLE_EQ(result.bestCost, 1.0);  // must land on the cheap edge
+  const core::Mapping& m = *result.best;
+  EXPECT_TRUE((m[0] == 0 && m[1] == 1) || (m[0] == 1 && m[1] == 0));
+}
+
+TEST(Optimize, CompleteSearchMakesGlobalOptimum) {
+  // Larger instance: path query on a weighted clique; brute-force check.
+  Graph host = topo::clique(6);
+  for (graph::EdgeId e = 0; e < host.edgeCount(); ++e) {
+    host.edgeAttrs(e).set("delay", static_cast<double>((e * 7) % 13) + 1.0);
+  }
+  const Graph query = topo::line(3);
+  const Problem problem(query, host, kNone);
+  const auto cost = service::totalEdgeAttrCost(query, host, "delay");
+
+  core::SearchOptions all;
+  all.storeLimit = 100000;
+  const auto ecfAll = core::ecfSearch(problem, all);
+  double expected = 1e18;
+  for (const core::Mapping& m : ecfAll.mappings) expected = std::min(expected, cost(m));
+
+  const auto result = service::enumerateAndOptimize(problem, Algorithm::ECF, {}, cost);
+  EXPECT_DOUBLE_EQ(result.bestCost, expected);
+}
+
+TEST(Optimize, LnsAgreesWithEcfOnOptimum) {
+  Graph host = topo::clique(5);
+  for (graph::EdgeId e = 0; e < host.edgeCount(); ++e) {
+    host.edgeAttrs(e).set("delay", static_cast<double>((e * 3) % 7) + 1.0);
+  }
+  const Graph query = topo::ring(3);
+  const Problem problem(query, host, kNone);
+  const auto cost = service::totalEdgeAttrCost(query, host, "delay");
+  const auto a = service::enumerateAndOptimize(problem, Algorithm::ECF, {}, cost);
+  const auto b = service::enumerateAndOptimize(problem, Algorithm::LNS, {}, cost);
+  EXPECT_DOUBLE_EQ(a.bestCost, b.bestCost);
+}
+
+TEST(Optimize, NodeAttrCost) {
+  Graph host = topo::clique(4);
+  for (graph::NodeId n = 0; n < 4; ++n) {
+    host.nodeAttrs(n).set("load", static_cast<double>(n));
+  }
+  const Graph query = topo::line(2);
+  const Problem problem(query, host, kNone);
+  const auto cost = service::totalNodeAttrCost(query, host, "load");
+  const auto result = service::enumerateAndOptimize(problem, Algorithm::ECF, {}, cost);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_DOUBLE_EQ(result.bestCost, 1.0);  // nodes 0 and 1
+}
+
+TEST(Optimize, InfeasibleYieldsNoBest) {
+  const Graph host = topo::ring(6);
+  const Graph query = topo::clique(4);
+  const Problem problem(query, host, kNone);
+  const auto cost = service::totalEdgeAttrCost(query, host, "delay");
+  const auto result = service::enumerateAndOptimize(problem, Algorithm::ECF, {}, cost);
+  EXPECT_FALSE(result.best.has_value());
+  EXPECT_TRUE(result.search.provenInfeasible());
+}
+
+TEST(Optimize, MissingAttrGetsPenalty) {
+  const Graph host = topo::clique(3);  // no delay attrs at all
+  const Graph query = topo::line(2);
+  const Problem problem(query, host, kNone);
+  const auto cost = service::totalEdgeAttrCost(query, host, "delay", 500.0);
+  const auto result = service::enumerateAndOptimize(problem, Algorithm::ECF, {}, cost);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_DOUBLE_EQ(result.bestCost, 500.0);
+}
+
+}  // namespace

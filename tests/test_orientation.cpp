@@ -1,0 +1,158 @@
+// Orientation-sensitive constraints on undirected graphs: when a constraint
+// references vSource/vTarget/rSource/rTarget, the engines must bind those
+// objects to the orientation in which the mapping *uses* each edge — and the
+// stage-1 filter's symmetric fast path must NOT kick in. These tests pin
+// that behaviour across all three engines and the verifier.
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive.hpp"
+#include "core/ecf.hpp"
+#include "core/lns.hpp"
+#include "core/rwb.hpp"
+#include "core/verify.hpp"
+#include "topo/regular.hpp"
+
+namespace {
+
+using namespace netembed;
+using core::EmbedResult;
+using core::Outcome;
+using core::Problem;
+using core::SearchOptions;
+using graph::Graph;
+
+SearchOptions storeAll() {
+  SearchOptions o;
+  o.storeLimit = 100000;
+  return o;
+}
+
+/// Host: single undirected edge a--b with distinguishable endpoints.
+struct TaggedEdgeFixture {
+  Graph host{false};
+  Graph query{false};
+
+  TaggedEdgeFixture() {
+    const auto a = host.addNode("a");
+    const auto b = host.addNode("b");
+    host.nodeAttrs(a).set("tag", "alpha");
+    host.nodeAttrs(b).set("tag", "beta");
+    host.addEdge(a, b);
+    query.addNode("q0");
+    query.addNode("q1");
+    query.addEdge(0, 1);
+  }
+};
+
+TEST(Orientation, AsymmetricConstraintSelectsOneDirection) {
+  TaggedEdgeFixture f;
+  // q0 (the edge's source) must land on the "alpha" endpoint.
+  const auto constraints = expr::ConstraintSet::edgeOnly("rSource.tag == \"alpha\"");
+  const Problem problem(f.query, f.host, constraints);
+
+  const EmbedResult ecf = core::ecfSearch(problem, storeAll());
+  ASSERT_EQ(ecf.outcome, Outcome::Complete);
+  ASSERT_EQ(ecf.solutionCount, 1u);
+  EXPECT_EQ(ecf.mappings[0][0], 0u);  // q0 -> a
+  EXPECT_EQ(ecf.mappings[0][1], 1u);
+
+  const EmbedResult lns = core::lnsSearch(problem, storeAll());
+  ASSERT_EQ(lns.solutionCount, 1u);
+  EXPECT_EQ(lns.mappings[0], ecf.mappings[0]);
+
+  const EmbedResult naive = baseline::naiveSearch(problem, storeAll());
+  EXPECT_EQ(naive.solutionCount, 1u);
+
+  const EmbedResult rwb = core::rwbSearch(problem, storeAll());
+  ASSERT_EQ(rwb.solutionCount, 1u);
+  EXPECT_EQ(rwb.mappings[0], ecf.mappings[0]);
+}
+
+TEST(Orientation, SymmetricConstraintAllowsBothDirections) {
+  TaggedEdgeFixture f;
+  const auto constraints =
+      expr::ConstraintSet::edgeOnly("rEdge.w == rEdge.w || true");  // tautology
+  const Problem problem(f.query, f.host, constraints);
+  const EmbedResult ecf = core::ecfSearch(problem, storeAll());
+  EXPECT_EQ(ecf.solutionCount, 2u);  // both orientations
+}
+
+TEST(Orientation, VerifierAgreesWithEngines) {
+  TaggedEdgeFixture f;
+  const auto constraints = expr::ConstraintSet::edgeOnly("rSource.tag == \"alpha\"");
+  const Problem problem(f.query, f.host, constraints);
+  EXPECT_TRUE(core::verifyMapping(problem, {0, 1}).ok);
+  EXPECT_FALSE(core::verifyMapping(problem, {1, 0}).ok);
+}
+
+TEST(Orientation, QuerySideEndpointAttrsBindPerUse) {
+  // Query path q0-q1-q2 where the constraint ties query endpoint attrs to
+  // host endpoint attrs: "the host endpoint under the query edge's source
+  // must carry the same color".
+  Graph host(false);
+  const auto r0 = host.addNode();
+  const auto r1 = host.addNode();
+  const auto r2 = host.addNode();
+  host.nodeAttrs(r0).set("color", "red");
+  host.nodeAttrs(r1).set("color", "green");
+  host.nodeAttrs(r2).set("color", "blue");
+  host.addEdge(r0, r1);
+  host.addEdge(r1, r2);
+
+  Graph query(false);
+  query.addNode();
+  query.addNode();
+  query.addNode();
+  query.nodeAttrs(0).set("want", "red");
+  query.nodeAttrs(1).set("want", "green");
+  query.nodeAttrs(2).set("want", "blue");
+  query.addEdge(0, 1);
+  query.addEdge(1, 2);
+
+  const auto constraints = expr::ConstraintSet::edgeOnly(
+      "vSource.want == rSource.color && vTarget.want == rTarget.color");
+  const Problem problem(query, host, constraints);
+
+  const EmbedResult ecf = core::ecfSearch(problem, storeAll());
+  ASSERT_EQ(ecf.solutionCount, 1u);
+  EXPECT_EQ(ecf.mappings[0], (core::Mapping{0, 1, 2}));
+  const EmbedResult lns = core::lnsSearch(problem, storeAll());
+  EXPECT_EQ(lns.solutionCount, 1u);
+}
+
+TEST(Orientation, GeoConstraintOnHostEndpoints) {
+  // Paper-style geographic constraint: host endpoints must be within 100km.
+  Graph host(false);
+  for (int i = 0; i < 3; ++i) {
+    const auto n = host.addNode();
+    host.nodeAttrs(n).set("x", i * 80.0);
+    host.nodeAttrs(n).set("y", 0.0);
+  }
+  host.addEdge(0, 1);  // 80 km apart
+  host.addEdge(0, 2);  // 160 km apart
+  host.addEdge(1, 2);  // 80 km apart
+  const Graph query = topo::line(2);
+  const auto constraints = expr::ConstraintSet::edgeOnly(
+      "sqrt((rSource.x-rTarget.x)*(rSource.x-rTarget.x)+"
+      "(rSource.y-rTarget.y)*(rSource.y-rTarget.y)) < 100.0");
+  const Problem problem(query, host, constraints);
+  const EmbedResult ecf = core::ecfSearch(problem, storeAll());
+  EXPECT_EQ(ecf.solutionCount, 4u);  // edges (0,1) and (1,2), both directions
+  const EmbedResult lns = core::lnsSearch(problem, storeAll());
+  EXPECT_EQ(lns.solutionCount, 4u);
+}
+
+TEST(Orientation, MixedSymmetricAndAsymmetricConjuncts) {
+  TaggedEdgeFixture f;
+  f.host.edgeAttrs(0).set("delay", 5.0);
+  f.query.edgeAttrs(0).set("maxDelay", 10.0);
+  const auto constraints = expr::ConstraintSet::edgeOnly(
+      "rEdge.delay <= vEdge.maxDelay && rSource.tag == \"beta\"");
+  const Problem problem(f.query, f.host, constraints);
+  const EmbedResult ecf = core::ecfSearch(problem, storeAll());
+  ASSERT_EQ(ecf.solutionCount, 1u);
+  EXPECT_EQ(ecf.mappings[0][0], 1u);  // q0 -> b this time
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using netembed::util::parallelFor;
+using netembed::util::ThreadPool;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.threadCount(), 3u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallelFor(pool, kN, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  parallelFor(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, SingleIterationRunsInline) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallelFor(pool, 1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, ComputesCorrectSum) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100'000;
+  std::atomic<long long> sum{0};
+  parallelFor(pool, kN, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallelFor(pool, 1000,
+                  [&](std::size_t i) {
+                    if (i == 500) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> counter{0};
+  parallelFor(pool, 10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelFor, RespectsExplicitGrain) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(64);
+  parallelFor(pool, 64, [&](std::size_t i) { visits[i].fetch_add(1); }, 7);
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, SharedPoolOverloadWorks) {
+  std::atomic<int> counter{0};
+  parallelFor(256, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 256);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+#include "service/pathmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/regular.hpp"
+
+namespace {
+
+using namespace netembed;
+using graph::Graph;
+using service::PathMapOptions;
+
+/// Host line 0-1-2-3-4, 10 ms per hop.
+Graph lineHost() {
+  Graph g = topo::line(5);
+  topo::setAllEdges(g, "avgDelay", 10.0);
+  return g;
+}
+
+TEST(PathMap, DirectEdgeWhenBudgetTight) {
+  const Graph host = lineHost();
+  Graph query = topo::line(2);
+  topo::setAllEdges(query, "pathDelayBudget", 10.0);
+  const auto result = service::embedWithPaths(query, host);
+  ASSERT_TRUE(result.feasible);
+  ASSERT_EQ(result.edgePaths.size(), 1u);
+  EXPECT_EQ(result.edgePaths[0].size(), 2u);  // single hop
+  EXPECT_LE(result.pathDelays[0], 10.0);
+}
+
+TEST(PathMap, MultiHopPathWhenBudgetAllows) {
+  const Graph host = lineHost();
+  // Query: triangle — impossible with direct edges in a line host, but fine
+  // with paths if budgets are generous.
+  Graph query = topo::ring(3);
+  topo::setAllEdges(query, "pathDelayBudget", 40.0);
+  const auto result = service::embedWithPaths(query, host);
+  ASSERT_TRUE(result.feasible);
+  for (graph::EdgeId e = 0; e < query.edgeCount(); ++e) {
+    ASSERT_GE(result.edgePaths[e].size(), 2u);
+    EXPECT_LE(result.pathDelays[e], 40.0);
+    // Path endpoints must be the images of the query edge endpoints.
+    EXPECT_EQ(result.edgePaths[e].front(), result.nodes[query.edgeSource(e)]);
+    EXPECT_EQ(result.edgePaths[e].back(), result.nodes[query.edgeTarget(e)]);
+    // Consecutive path nodes must be host-adjacent.
+    for (std::size_t i = 0; i + 1 < result.edgePaths[e].size(); ++i) {
+      EXPECT_TRUE(host.hasEdge(result.edgePaths[e][i], result.edgePaths[e][i + 1]));
+    }
+  }
+}
+
+TEST(PathMap, InfeasibleWhenBudgetTooSmall) {
+  const Graph host = lineHost();
+  Graph query = topo::ring(3);
+  topo::setAllEdges(query, "pathDelayBudget", 15.0);  // triangle needs >= 2+1+1 hops
+  const auto result = service::embedWithPaths(query, host);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(PathMap, MissingBudgetMeansUnlimited) {
+  const Graph host = lineHost();
+  const Graph query = topo::ring(3);  // no budget attr at all
+  const auto result = service::embedWithPaths(query, host);
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(PathMap, HopLimitRejectsLongPaths) {
+  const Graph host = lineHost();
+  Graph query = topo::line(2);
+  topo::setAllEdges(query, "pathDelayBudget", 1000.0);
+  PathMapOptions options;
+  options.maxPathHops = 1;  // direct edges only
+  const auto direct = service::embedWithPaths(query, host, options);
+  ASSERT_TRUE(direct.feasible);
+  EXPECT_EQ(direct.edgePaths[0].size(), 2u);
+
+  Graph triangle = topo::ring(3);
+  topo::setAllEdges(triangle, "pathDelayBudget", 1000.0);
+  const auto limited = service::embedWithPaths(triangle, host, options);
+  EXPECT_FALSE(limited.feasible);  // a line has no triangle of direct edges
+}
+
+TEST(PathMap, NodeConstraintRespected) {
+  Graph host = lineHost();
+  for (graph::NodeId n = 0; n < host.nodeCount(); ++n) {
+    host.nodeAttrs(n).set("cpu", n >= 3 ? 4000 : 1000);
+  }
+  Graph query = topo::line(2);
+  topo::setAllEdges(query, "pathDelayBudget", 100.0);
+  topo::setAllNodes(query, "minCpu", 2000);
+  PathMapOptions options;
+  options.nodeConstraint = "rNode.cpu >= vNode.minCpu";
+  const auto result = service::embedWithPaths(query, host, options);
+  ASSERT_TRUE(result.feasible);
+  for (const graph::NodeId r : result.nodes) EXPECT_GE(r, 3u);
+}
+
+TEST(PathMap, RejectsDirectedGraphs) {
+  Graph directed(true);
+  directed.addNode();
+  directed.addNode();
+  directed.addEdge(0, 1);
+  const Graph host = lineHost();
+  EXPECT_THROW((void)service::embedWithPaths(directed, host), std::invalid_argument);
+}
+
+TEST(PathMap, StatsPopulated) {
+  const Graph host = lineHost();
+  Graph query = topo::line(3);
+  topo::setAllEdges(query, "pathDelayBudget", 50.0);
+  const auto result = service::embedWithPaths(query, host);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GT(result.stats.treeNodesVisited, 0u);
+  EXPECT_GE(result.stats.firstMatchMs, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include "core/rwb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/verify.hpp"
+#include "topo/regular.hpp"
+
+namespace {
+
+using namespace netembed;
+using core::EmbedResult;
+using core::Outcome;
+using core::Problem;
+using core::rwbSearch;
+using core::SearchOptions;
+using graph::Graph;
+
+const expr::ConstraintSet kNone;
+
+TEST(Rwb, StopsAtFirstSolutionByDefault) {
+  const Graph query = topo::clique(3);
+  const Graph host = topo::clique(6);
+  const EmbedResult r = rwbSearch(Problem(query, host, kNone));
+  EXPECT_EQ(r.outcome, Outcome::Partial);
+  EXPECT_EQ(r.solutionCount, 1u);
+  ASSERT_EQ(r.mappings.size(), 1u);
+  EXPECT_TRUE(core::verifyMapping(Problem(query, host, kNone), r.mappings[0]).ok);
+}
+
+TEST(Rwb, ProvesInfeasibilityByBacktracking) {
+  const Graph query = topo::clique(4);
+  const Graph host = topo::ring(8);
+  const EmbedResult r = rwbSearch(Problem(query, host, kNone));
+  EXPECT_EQ(r.outcome, Outcome::Complete);
+  EXPECT_TRUE(r.provenInfeasible());
+}
+
+TEST(Rwb, SeedsProduceDifferentWalks) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::clique(12);
+  std::set<core::Mapping> found;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SearchOptions o;
+    o.seed = seed;
+    const EmbedResult r = rwbSearch(Problem(query, host, kNone), o);
+    ASSERT_EQ(r.mappings.size(), 1u);
+    found.insert(r.mappings[0]);
+  }
+  // With 1320 possible mappings, 8 random walks almost surely differ.
+  EXPECT_GT(found.size(), 1u);
+}
+
+TEST(Rwb, SameSeedIsDeterministic) {
+  const Graph query = topo::line(4);
+  const Graph host = topo::clique(10);
+  SearchOptions o;
+  o.seed = 99;
+  const EmbedResult a = rwbSearch(Problem(query, host, kNone), o);
+  const EmbedResult b = rwbSearch(Problem(query, host, kNone), o);
+  ASSERT_EQ(a.mappings.size(), 1u);
+  EXPECT_EQ(a.mappings, b.mappings);
+}
+
+TEST(Rwb, ExplicitMaxSolutionsHonored) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::clique(6);
+  SearchOptions o;
+  o.maxSolutions = 7;
+  o.storeLimit = 100;
+  const EmbedResult r = rwbSearch(Problem(query, host, kNone), o);
+  EXPECT_EQ(r.solutionCount, 7u);
+  EXPECT_EQ(r.mappings.size(), 7u);
+}
+
+TEST(Rwb, SolutionsSatisfyConstraints) {
+  Graph host(false);
+  for (int i = 0; i < 5; ++i) host.addNode();
+  int w = 0;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      host.edgeAttrs(host.addEdge(i, j)).set("w", (w++ % 2) ? 1.0 : 2.0);
+    }
+  }
+  Graph query(false);
+  query.addNode();
+  query.addNode();
+  query.addNode();
+  query.edgeAttrs(query.addEdge(0, 1)).set("w", 1.0);
+  query.edgeAttrs(query.addEdge(1, 2)).set("w", 1.0);
+  const auto constraints = expr::ConstraintSet::edgeOnly("rEdge.w == vEdge.w");
+  const Problem problem(query, host, constraints);
+  const EmbedResult r = rwbSearch(problem);
+  ASSERT_TRUE(r.feasible());
+  EXPECT_TRUE(core::verifyMapping(problem, r.mappings[0]).ok);
+}
+
+TEST(Rwb, TimeoutYieldsInconclusiveOnHardInfeasible) {
+  // A large near-miss instance: K7 into a dense-but-not-complete host.
+  Graph host = topo::clique(16);
+  const Graph query = topo::clique(12);
+  // Remove nothing: actually feasible, but give it zero time budget.
+  SearchOptions o;
+  o.timeout = std::chrono::milliseconds(1);
+  o.checkStride = 1;
+  const EmbedResult r = rwbSearch(Problem(query, host, kNone), o);
+  // With a 1 ms budget either it found one fast (Partial) or none
+  // (Inconclusive); both are legal, Complete is not expected for this size.
+  EXPECT_NE(r.outcome == Outcome::Partial, r.outcome == Outcome::Inconclusive);
+}
+
+}  // namespace

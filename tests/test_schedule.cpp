@@ -1,0 +1,120 @@
+#include "service/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/regular.hpp"
+
+namespace {
+
+using namespace netembed;
+using graph::Graph;
+using service::EmbeddingScheduler;
+
+Graph hostWithCapacity(double capacity) {
+  Graph g = topo::clique(4);
+  topo::setAllNodes(g, "capacity", capacity);
+  return g;
+}
+
+Graph demandQuery(std::size_t nodes, double demand) {
+  Graph q = nodes >= 3 ? topo::ring(nodes) : topo::line(nodes);
+  topo::setAllNodes(q, "demand", demand);
+  return q;
+}
+
+TEST(Schedule, PlacesImmediatelyWhenCapacityFree) {
+  EmbeddingScheduler scheduler(hostWithCapacity(1.0));
+  const auto placement = scheduler.schedule(demandQuery(3, 1.0), "", 5, 10);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->start, 0u);
+  EXPECT_EQ(placement->duration, 5u);
+  EXPECT_EQ(scheduler.activePlacements(), 1u);
+}
+
+TEST(Schedule, SecondJobWaitsForCapacity) {
+  EmbeddingScheduler scheduler(hostWithCapacity(1.0));
+  // First job occupies 3 of 4 nodes for slots [0, 5).
+  const auto first = scheduler.schedule(demandQuery(3, 1.0), "", 5, 10);
+  ASSERT_TRUE(first.has_value());
+  // Second 3-node job cannot fit concurrently (only 1 node free), so it must
+  // start at slot 5.
+  const auto second = scheduler.schedule(demandQuery(3, 1.0), "", 5, 20);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->start, 5u);
+}
+
+TEST(Schedule, ConcurrentJobsFitWhenCapacityAllows) {
+  EmbeddingScheduler scheduler(hostWithCapacity(2.0));  // two units per node
+  const auto first = scheduler.schedule(demandQuery(3, 1.0), "", 5, 10);
+  const auto second = scheduler.schedule(demandQuery(3, 1.0), "", 5, 10);
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(second->start, 0u);
+}
+
+TEST(Schedule, HorizonExhaustedReturnsNullopt) {
+  EmbeddingScheduler scheduler(hostWithCapacity(1.0));
+  (void)scheduler.schedule(demandQuery(3, 1.0), "", 100, 10);
+  // Horizon 3 < first free slot 100.
+  const auto failed = scheduler.schedule(demandQuery(3, 1.0), "", 5, 3);
+  EXPECT_FALSE(failed.has_value());
+}
+
+TEST(Schedule, CancelFreesCapacity) {
+  EmbeddingScheduler scheduler(hostWithCapacity(1.0));
+  const auto first = scheduler.schedule(demandQuery(3, 1.0), "", 50, 10);
+  ASSERT_TRUE(first.has_value());
+  scheduler.cancel(first->id);
+  EXPECT_EQ(scheduler.activePlacements(), 0u);
+  const auto second = scheduler.schedule(demandQuery(3, 1.0), "", 5, 10);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->start, 0u);
+}
+
+TEST(Schedule, CancelUnknownThrows) {
+  EmbeddingScheduler scheduler(hostWithCapacity(1.0));
+  EXPECT_THROW(scheduler.cancel(42), std::invalid_argument);
+}
+
+TEST(Schedule, ResidualCapacityAccounting) {
+  EmbeddingScheduler scheduler(hostWithCapacity(3.0));
+  const auto p = scheduler.schedule(demandQuery(2, 2.0), "", 4, 10);
+  ASSERT_TRUE(p.has_value());
+  const graph::NodeId used = p->mapping[0];
+  EXPECT_DOUBLE_EQ(scheduler.residualCapacity(used, 0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(scheduler.residualCapacity(used, 4, 4), 3.0);  // after it ends
+  EXPECT_DOUBLE_EQ(scheduler.residualCapacity(used, 2, 4), 1.0);  // overlap
+}
+
+TEST(Schedule, EdgeConstraintStillApplies) {
+  Graph host = topo::clique(4);
+  topo::setAllNodes(host, "capacity", 1.0);
+  for (graph::EdgeId e = 0; e < host.edgeCount(); ++e) {
+    host.edgeAttrs(e).set("delay", e % 2 == 0 ? 5.0 : 50.0);
+  }
+  EmbeddingScheduler scheduler(std::move(host));
+  Graph query = topo::line(2);
+  topo::setAllNodes(query, "demand", 1.0);
+  topo::setAllEdges(query, "maxDelay", 10.0);
+  const auto p =
+      scheduler.schedule(query, "rEdge.delay <= vEdge.maxDelay", 5, 10);
+  ASSERT_TRUE(p.has_value());
+  const auto he =
+      scheduler.host().findEdge(p->mapping[0], p->mapping[1]);
+  ASSERT_TRUE(he.has_value());
+  EXPECT_LE(scheduler.host().edgeAttrs(*he).at("delay").asDouble(), 10.0);
+}
+
+TEST(Schedule, ZeroDurationRejected) {
+  EmbeddingScheduler scheduler(hostWithCapacity(1.0));
+  EXPECT_THROW((void)scheduler.schedule(demandQuery(2, 1.0), "", 0, 10),
+               std::invalid_argument);
+}
+
+TEST(Schedule, EarliestParameterSkipsSlots) {
+  EmbeddingScheduler scheduler(hostWithCapacity(1.0));
+  const auto p = scheduler.schedule(demandQuery(3, 1.0), "", 5, 20, 7);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_GE(p->start, 7u);
+}
+
+}  // namespace

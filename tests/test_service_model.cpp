@@ -1,0 +1,134 @@
+#include "service/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/regular.hpp"
+
+namespace {
+
+using namespace netembed;
+using service::NetworkModel;
+using graph::Graph;
+
+Graph capacityHost() {
+  Graph g = topo::clique(4);
+  for (graph::NodeId n = 0; n < 4; ++n) g.nodeAttrs(n).set("cpu", 100.0);
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) g.edgeAttrs(e).set("bw", 10.0);
+  return g;
+}
+
+TEST(Model, VersionBumpsOnMutation) {
+  NetworkModel model(topo::ring(4));
+  const auto v0 = model.version();
+  model.setNodeAttr(0, "load", 0.5);
+  EXPECT_GT(model.version(), v0);
+  model.setEdgeMetric(0, 1, "delay", 12.0);
+  EXPECT_GT(model.version(), v0 + 1);
+}
+
+TEST(Model, SetEdgeMetricRejectsMissingEdge) {
+  NetworkModel model(topo::ring(4));
+  EXPECT_THROW(model.setEdgeMetric(0, 2, "delay", 1.0), std::invalid_argument);
+}
+
+TEST(Model, MeasurementsApplyByName) {
+  NetworkModel model(topo::ring(3));
+  const std::vector<NetworkModel::Measurement> batch{
+      {"n0", "n1", "delay", graph::AttrValue(9.0)},
+      {"n2", "", "load", graph::AttrValue(0.7)},
+      {"ghost", "n1", "delay", graph::AttrValue(1.0)},   // unknown node
+      {"n0", "n2", "delay", graph::AttrValue(1.0)},      // edge exists in ring(3)
+      {"n0", "ghost", "delay", graph::AttrValue(1.0)}};  // unknown target
+  const std::size_t applied = model.applyMeasurements(batch);
+  EXPECT_EQ(applied, 3u);
+  EXPECT_DOUBLE_EQ(model.host().edgeAttrs(*model.host().findEdge(0, 1)).at("delay").asDouble(),
+                   9.0);
+  EXPECT_DOUBLE_EQ(model.host().nodeAttrs(2).at("load").asDouble(), 0.7);
+}
+
+TEST(Model, ReserveSubtractsAndReleaseRestores) {
+  NetworkModel model(capacityHost());
+  Graph query = topo::line(2);
+  query.nodeAttrs(0).set("cpu", 30.0);
+  query.nodeAttrs(1).set("cpu", 40.0);
+  query.edgeAttrs(0).set("bw", 4.0);
+
+  NetworkModel::ReservationSpec spec;
+  spec.nodeCapacityAttrs = {"cpu"};
+  spec.edgeCapacityAttrs = {"bw"};
+
+  const auto id = model.reserve(query, {0, 1}, spec);
+  EXPECT_EQ(model.activeReservations(), 1u);
+  EXPECT_DOUBLE_EQ(model.host().nodeAttrs(0).at("cpu").asDouble(), 70.0);
+  EXPECT_DOUBLE_EQ(model.host().nodeAttrs(1).at("cpu").asDouble(), 60.0);
+  const auto he = *model.host().findEdge(0, 1);
+  EXPECT_DOUBLE_EQ(model.host().edgeAttrs(he).at("bw").asDouble(), 6.0);
+
+  model.release(id);
+  EXPECT_EQ(model.activeReservations(), 0u);
+  EXPECT_DOUBLE_EQ(model.host().nodeAttrs(0).at("cpu").asDouble(), 100.0);
+  EXPECT_DOUBLE_EQ(model.host().edgeAttrs(he).at("bw").asDouble(), 10.0);
+}
+
+TEST(Model, InsufficientCapacityRollsBack) {
+  NetworkModel model(capacityHost());
+  Graph query = topo::line(2);
+  query.nodeAttrs(0).set("cpu", 30.0);
+  query.nodeAttrs(1).set("cpu", 500.0);  // over capacity
+  NetworkModel::ReservationSpec spec;
+  spec.nodeCapacityAttrs = {"cpu"};
+  EXPECT_THROW((void)model.reserve(query, {0, 1}, spec), std::runtime_error);
+  // Nothing changed.
+  EXPECT_DOUBLE_EQ(model.host().nodeAttrs(0).at("cpu").asDouble(), 100.0);
+  EXPECT_EQ(model.activeReservations(), 0u);
+}
+
+TEST(Model, StackedReservationsDrainCapacity) {
+  NetworkModel model(capacityHost());
+  Graph query(false);
+  query.addNode();
+  query.nodeAttrs(0).set("cpu", 60.0);
+  NetworkModel::ReservationSpec spec;
+  spec.nodeCapacityAttrs = {"cpu"};
+  (void)model.reserve(query, {0}, spec);
+  // Second reservation of 60 on the same node must fail (only 40 left).
+  EXPECT_THROW((void)model.reserve(query, {0}, spec), std::runtime_error);
+  // A different node still works.
+  (void)model.reserve(query, {1}, spec);
+  EXPECT_EQ(model.activeReservations(), 2u);
+}
+
+TEST(Model, ReserveValidatesMapping) {
+  NetworkModel model(capacityHost());
+  Graph query = topo::line(2);
+  NetworkModel::ReservationSpec spec;
+  EXPECT_THROW((void)model.reserve(query, {0}, spec), std::invalid_argument);  // size
+  EXPECT_THROW((void)model.reserve(query, {0, graph::kInvalidNode}, spec),
+               std::invalid_argument);
+}
+
+TEST(Model, ReserveRequiresTopologyPreservation) {
+  NetworkModel model(topo::ring(4));  // 0-1-2-3-0
+  Graph query = topo::line(2);
+  query.edgeAttrs(0).set("bw", 1.0);
+  NetworkModel::ReservationSpec spec;
+  spec.edgeCapacityAttrs = {"bw"};
+  // 0 and 2 are not adjacent in the ring.
+  EXPECT_THROW((void)model.reserve(query, {0, 2}, spec), std::invalid_argument);
+}
+
+TEST(Model, ReleaseUnknownIdThrows) {
+  NetworkModel model(topo::ring(3));
+  EXPECT_THROW(model.release(12345), std::invalid_argument);
+}
+
+TEST(Model, DemandlessElementsConsumeNothing) {
+  NetworkModel model(capacityHost());
+  Graph query = topo::line(2);  // no cpu demands set
+  NetworkModel::ReservationSpec spec;
+  spec.nodeCapacityAttrs = {"cpu"};
+  (void)model.reserve(query, {0, 1}, spec);
+  EXPECT_DOUBLE_EQ(model.host().nodeAttrs(0).at("cpu").asDouble(), 100.0);
+}
+
+}  // namespace

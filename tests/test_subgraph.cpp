@@ -1,0 +1,106 @@
+#include "graph/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/regular.hpp"
+
+namespace {
+
+using namespace netembed::graph;
+
+Graph attributedSquare() {
+  // 0-1-2-3-0 ring plus diagonal 0-2, with per-element attrs.
+  Graph g;
+  for (int i = 0; i < 4; ++i) {
+    const NodeId n = g.addNode();
+    g.nodeAttrs(n).set("idx", i);
+  }
+  const auto mark = [&](EdgeId e, int w) { g.edgeAttrs(e).set("w", w); };
+  mark(g.addEdge(0, 1), 1);
+  mark(g.addEdge(1, 2), 2);
+  mark(g.addEdge(2, 3), 3);
+  mark(g.addEdge(3, 0), 4);
+  mark(g.addEdge(0, 2), 5);
+  return g;
+}
+
+TEST(InducedSubgraph, KeepsAllInternalEdges) {
+  const Graph g = attributedSquare();
+  const Subgraph sub = inducedSubgraph(g, {0, 1, 2});
+  EXPECT_EQ(sub.graph.nodeCount(), 3u);
+  EXPECT_EQ(sub.graph.edgeCount(), 3u);  // 0-1, 1-2, 0-2
+  EXPECT_TRUE(sub.graph.hasEdge(0, 1));
+  EXPECT_TRUE(sub.graph.hasEdge(1, 2));
+  EXPECT_TRUE(sub.graph.hasEdge(0, 2));
+}
+
+TEST(InducedSubgraph, CopiesAttributesAndProvenance) {
+  const Graph g = attributedSquare();
+  const Subgraph sub = inducedSubgraph(g, {2, 0});
+  ASSERT_EQ(sub.originalNode.size(), 2u);
+  EXPECT_EQ(sub.originalNode[0], 2u);
+  EXPECT_EQ(sub.originalNode[1], 0u);
+  EXPECT_EQ(sub.graph.nodeAttrs(0).at("idx").asInt(), 2);
+  EXPECT_EQ(sub.graph.nodeAttrs(1).at("idx").asInt(), 0);
+  ASSERT_EQ(sub.graph.edgeCount(), 1u);
+  EXPECT_EQ(sub.graph.edgeAttrs(0).at("w").asInt(), 5);
+  EXPECT_EQ(sub.originalEdge[0], 4u);  // the diagonal was edge id 4
+}
+
+TEST(InducedSubgraph, PreservesNames) {
+  Graph g;
+  g.addNode("alpha");
+  g.addNode("beta");
+  g.addEdge(0, 1);
+  const Subgraph sub = inducedSubgraph(g, {1});
+  EXPECT_EQ(sub.graph.nodeName(0), "beta");
+}
+
+TEST(InducedSubgraph, RejectsDuplicatesAndOutOfRange) {
+  const Graph g = attributedSquare();
+  EXPECT_THROW((void)inducedSubgraph(g, {0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)inducedSubgraph(g, {9}), std::out_of_range);
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  const Graph g = attributedSquare();
+  const Subgraph sub = inducedSubgraph(g, {});
+  EXPECT_EQ(sub.graph.nodeCount(), 0u);
+  EXPECT_EQ(sub.graph.edgeCount(), 0u);
+}
+
+TEST(EdgeSubgraph, KeepsOnlyRequestedEdges) {
+  const Graph g = attributedSquare();
+  const Subgraph sub = edgeSubgraph(g, {0, 1, 2}, {0, 1});  // edges 0-1, 1-2
+  EXPECT_EQ(sub.graph.edgeCount(), 2u);
+  EXPECT_TRUE(sub.graph.hasEdge(0, 1));
+  EXPECT_TRUE(sub.graph.hasEdge(1, 2));
+  EXPECT_FALSE(sub.graph.hasEdge(0, 2));
+}
+
+TEST(EdgeSubgraph, RejectsForeignEdges) {
+  const Graph g = attributedSquare();
+  // Edge 2 is (2,3); node 3 is not selected.
+  EXPECT_THROW((void)edgeSubgraph(g, {0, 1, 2}, {2}), std::invalid_argument);
+  EXPECT_THROW((void)edgeSubgraph(g, {0, 1}, {99}), std::out_of_range);
+}
+
+TEST(EdgeSubgraph, DirectedOrientationPreserved) {
+  Graph g(true);
+  g.addNode();
+  g.addNode();
+  g.addEdge(1, 0);
+  const Subgraph sub = edgeSubgraph(g, {0, 1}, {0});
+  EXPECT_TRUE(sub.graph.hasEdge(1, 0));
+  EXPECT_FALSE(sub.graph.hasEdge(0, 1));
+}
+
+TEST(InducedSubgraph, WholeCliqueRoundTrip) {
+  const Graph g = netembed::topo::clique(5);
+  std::vector<NodeId> all{0, 1, 2, 3, 4};
+  const Subgraph sub = inducedSubgraph(g, all);
+  EXPECT_EQ(sub.graph.nodeCount(), 5u);
+  EXPECT_EQ(sub.graph.edgeCount(), 10u);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+#include "topo/brite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace {
+
+using namespace netembed;
+using graph::Graph;
+using topo::BriteOptions;
+
+TEST(Brite, BarabasiAlbertCounts) {
+  BriteOptions o;
+  o.nodes = 500;
+  o.m = 2;
+  o.seed = 7;
+  const Graph g = topo::brite(o);
+  EXPECT_EQ(g.nodeCount(), 500u);
+  // Seed clique C(3,2)=3 edges + 2 per subsequent node.
+  EXPECT_EQ(g.edgeCount(), 3u + (500u - 3u) * 2u);
+  EXPECT_TRUE(graph::isConnected(g));
+}
+
+TEST(Brite, PaperScaleEdgeCounts) {
+  // The paper's BRITE hosting networks have E ~= 2N.
+  for (const std::size_t n : {1500u, 2000u}) {
+    BriteOptions o;
+    o.nodes = n;
+    o.m = 2;
+    o.seed = n;
+    const Graph g = topo::brite(o);
+    const double ratio = static_cast<double>(g.edgeCount()) / static_cast<double>(n);
+    EXPECT_NEAR(ratio, 2.0, 0.05) << n;
+  }
+}
+
+TEST(Brite, PreferentialAttachmentCreatesHubs) {
+  BriteOptions o;
+  o.nodes = 800;
+  o.m = 2;
+  o.seed = 11;
+  const Graph g = topo::brite(o);
+  std::size_t maxDegree = 0;
+  for (graph::NodeId n = 0; n < g.nodeCount(); ++n) {
+    maxDegree = std::max(maxDegree, g.degree(n));
+  }
+  // Power-law-ish: the hub should far exceed the mean degree (~4).
+  EXPECT_GT(maxDegree, 20u);
+}
+
+TEST(Brite, NodesCarryCoordinates) {
+  BriteOptions o;
+  o.nodes = 50;
+  o.seed = 3;
+  const Graph g = topo::brite(o);
+  for (graph::NodeId n = 0; n < g.nodeCount(); ++n) {
+    const double x = g.nodeAttrs(n).at("x").asDouble();
+    const double y = g.nodeAttrs(n).at("y").asDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, o.planeSize);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, o.planeSize);
+  }
+}
+
+TEST(Brite, EdgesCarryConsistentDelays) {
+  BriteOptions o;
+  o.nodes = 100;
+  o.seed = 5;
+  const Graph g = topo::brite(o);
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) {
+    const auto& attrs = g.edgeAttrs(e);
+    const double mn = attrs.at("minDelay").asDouble();
+    const double avg = attrs.at("avgDelay").asDouble();
+    const double mx = attrs.at("maxDelay").asDouble();
+    const double delay = attrs.at("delay").asDouble();
+    EXPECT_GT(delay, 0.0);
+    EXPECT_LE(mn, avg);
+    EXPECT_LE(avg, mx);
+    EXPECT_GT(attrs.at("bw").asDouble(), 0.0);
+  }
+}
+
+TEST(Brite, DeterministicPerSeed) {
+  BriteOptions o;
+  o.nodes = 120;
+  o.seed = 42;
+  const Graph a = topo::brite(o);
+  const Graph b = topo::brite(o);
+  ASSERT_EQ(a.edgeCount(), b.edgeCount());
+  for (graph::EdgeId e = 0; e < a.edgeCount(); ++e) {
+    EXPECT_EQ(a.edgeSource(e), b.edgeSource(e));
+    EXPECT_EQ(a.edgeTarget(e), b.edgeTarget(e));
+    EXPECT_DOUBLE_EQ(a.edgeAttrs(e).at("avgDelay").asDouble(),
+                     b.edgeAttrs(e).at("avgDelay").asDouble());
+  }
+  o.seed = 43;
+  const Graph c = topo::brite(o);
+  bool identical = a.edgeCount() == c.edgeCount();
+  if (identical) {
+    for (graph::EdgeId e = 0; e < a.edgeCount() && identical; ++e) {
+      identical = a.edgeSource(e) == c.edgeSource(e) &&
+                  a.edgeTarget(e) == c.edgeTarget(e);
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(Brite, WaxmanIsConnectedAndTagged) {
+  BriteOptions o;
+  o.nodes = 150;
+  o.model = BriteOptions::Model::Waxman;
+  o.seed = 9;
+  const Graph g = topo::brite(o);
+  EXPECT_EQ(g.nodeCount(), 150u);
+  EXPECT_TRUE(graph::isConnected(g));
+  EXPECT_EQ(g.attrs().at("generator").asString(), "brite-waxman");
+}
+
+TEST(Brite, BaTagged) {
+  BriteOptions o;
+  o.nodes = 10;
+  o.seed = 2;
+  const Graph g = topo::brite(o);
+  EXPECT_EQ(g.attrs().at("generator").asString(), "brite-ba");
+}
+
+TEST(Brite, RejectsTooFewNodes) {
+  BriteOptions o;
+  o.nodes = 2;
+  o.m = 2;
+  EXPECT_THROW((void)topo::brite(o), std::invalid_argument);
+}
+
+TEST(Brite, HigherMMeansMoreEdges) {
+  BriteOptions o2;
+  o2.nodes = 300;
+  o2.m = 2;
+  o2.seed = 1;
+  BriteOptions o3 = o2;
+  o3.m = 3;
+  EXPECT_GT(topo::brite(o3).edgeCount(), topo::brite(o2).edgeCount());
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+#include "topo/regular.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace {
+
+using namespace netembed;
+using graph::Graph;
+
+class RegularSizes : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(RegularSizes, RingProperties) {
+  const std::size_t n = GetParam();
+  if (n < 3) return;
+  const Graph g = topo::ring(n);
+  EXPECT_EQ(g.nodeCount(), n);
+  EXPECT_EQ(g.edgeCount(), n);
+  EXPECT_TRUE(graph::isConnected(g));
+  for (graph::NodeId i = 0; i < n; ++i) EXPECT_EQ(g.degree(i), 2u);
+}
+
+TEST_P(RegularSizes, CliqueProperties) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;
+  const Graph g = topo::clique(n);
+  EXPECT_EQ(g.nodeCount(), n);
+  EXPECT_EQ(g.edgeCount(), n * (n - 1) / 2);
+  EXPECT_DOUBLE_EQ(g.density(), 1.0);
+  for (graph::NodeId i = 0; i < n; ++i) EXPECT_EQ(g.degree(i), n - 1);
+}
+
+TEST_P(RegularSizes, StarProperties) {
+  const std::size_t leaves = GetParam();
+  if (leaves < 1) return;
+  const Graph g = topo::star(leaves);
+  EXPECT_EQ(g.nodeCount(), leaves + 1);
+  EXPECT_EQ(g.edgeCount(), leaves);
+  EXPECT_EQ(g.degree(0), leaves);
+  for (graph::NodeId i = 1; i <= leaves; ++i) EXPECT_EQ(g.degree(i), 1u);
+}
+
+TEST_P(RegularSizes, LineProperties) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;
+  const Graph g = topo::line(n);
+  EXPECT_EQ(g.nodeCount(), n);
+  EXPECT_EQ(g.edgeCount(), n - 1);
+  EXPECT_EQ(graph::diameter(g), n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RegularSizes, testing::Values(2, 3, 4, 5, 8, 16));
+
+TEST(Regular, TreeShape) {
+  const Graph g = topo::completeTree(7, 2);  // perfect binary tree
+  EXPECT_EQ(g.nodeCount(), 7u);
+  EXPECT_EQ(g.edgeCount(), 6u);
+  EXPECT_EQ(g.degree(0), 2u);   // root
+  EXPECT_EQ(g.degree(1), 3u);   // internal
+  EXPECT_EQ(g.degree(3), 1u);   // leaf
+  EXPECT_TRUE(graph::isConnected(g));
+}
+
+TEST(Regular, TreeWithArityThree) {
+  const Graph g = topo::completeTree(13, 3);
+  EXPECT_EQ(g.edgeCount(), 12u);
+  EXPECT_EQ(g.degree(0), 3u);
+}
+
+TEST(Regular, GridShape) {
+  const Graph g = topo::grid(3, 4);
+  EXPECT_EQ(g.nodeCount(), 12u);
+  EXPECT_EQ(g.edgeCount(), 3u * 3 + 2u * 4);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_EQ(g.degree(0), 2u);                 // corner
+  EXPECT_EQ(g.degree(5), 4u);                 // interior
+  EXPECT_TRUE(graph::isConnected(g));
+}
+
+TEST(Regular, HypercubeShape) {
+  const Graph g = topo::hypercube(4);
+  EXPECT_EQ(g.nodeCount(), 16u);
+  EXPECT_EQ(g.edgeCount(), 32u);  // n * dim / 2
+  for (graph::NodeId i = 0; i < 16; ++i) EXPECT_EQ(g.degree(i), 4u);
+  EXPECT_EQ(graph::diameter(g), 4u);
+}
+
+TEST(Regular, InvalidSizesRejected) {
+  EXPECT_THROW((void)topo::ring(2), std::invalid_argument);
+  EXPECT_THROW((void)topo::clique(1), std::invalid_argument);
+  EXPECT_THROW((void)topo::star(0), std::invalid_argument);
+  EXPECT_THROW((void)topo::line(1), std::invalid_argument);
+  EXPECT_THROW((void)topo::completeTree(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)topo::completeTree(3, 0), std::invalid_argument);
+  EXPECT_THROW((void)topo::grid(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)topo::hypercube(0), std::invalid_argument);
+  EXPECT_THROW((void)topo::hypercube(21), std::invalid_argument);
+}
+
+TEST(Regular, SetAllEdgesAndNodes) {
+  Graph g = topo::ring(4);
+  topo::setAllEdges(g, "minDelay", 10.0);
+  topo::setAllNodes(g, "os", "linux");
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) {
+    EXPECT_DOUBLE_EQ(g.edgeAttrs(e).at("minDelay").asDouble(), 10.0);
+  }
+  for (graph::NodeId n = 0; n < g.nodeCount(); ++n) {
+    EXPECT_EQ(g.nodeAttrs(n).at("os").asString(), "linux");
+  }
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+#include "topo/sample.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ecf.hpp"
+#include "core/problem.hpp"
+#include "graph/algorithms.hpp"
+#include "topo/brite.hpp"
+#include "topo/regular.hpp"
+
+namespace {
+
+using namespace netembed;
+using graph::Graph;
+
+Graph testHost() {
+  topo::BriteOptions o;
+  o.nodes = 60;
+  o.m = 2;
+  o.seed = 17;
+  return topo::brite(o);
+}
+
+TEST(Sample, ExactNodeCountAndConnected) {
+  const Graph host = testHost();
+  util::Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const auto sub = topo::sampleConnectedSubgraph(host, 8, 10, rng);
+    EXPECT_EQ(sub.graph.nodeCount(), 8u);
+    EXPECT_TRUE(graph::isConnected(sub.graph));
+  }
+}
+
+TEST(Sample, EdgeTargetRespectedWhenPossible) {
+  const Graph host = testHost();
+  util::Rng rng(2);
+  const auto sub = topo::sampleConnectedSubgraph(host, 10, 11, rng);
+  // Induced count may be below target; otherwise exactly the target.
+  EXPECT_GE(sub.graph.edgeCount(), 9u);  // spanning tree minimum
+  EXPECT_LE(sub.graph.edgeCount(), 11u);
+}
+
+TEST(Sample, TreeMinimumEnforced) {
+  const Graph host = testHost();
+  util::Rng rng(3);
+  const auto sub = topo::sampleConnectedSubgraph(host, 6, 0, rng);  // under-ask
+  EXPECT_EQ(sub.graph.edgeCount(), 5u);  // clamped to spanning tree
+  EXPECT_TRUE(graph::isConnected(sub.graph));
+}
+
+TEST(Sample, AttributesAreCopied) {
+  const Graph host = testHost();
+  util::Rng rng(4);
+  const auto sub = topo::sampleConnectedSubgraph(host, 5, 8, rng);
+  for (graph::EdgeId e = 0; e < sub.graph.edgeCount(); ++e) {
+    const graph::EdgeId orig = sub.originalEdge[e];
+    EXPECT_EQ(sub.graph.edgeAttrs(e), host.edgeAttrs(orig));
+  }
+  for (graph::NodeId n = 0; n < sub.graph.nodeCount(); ++n) {
+    EXPECT_EQ(sub.graph.nodeAttrs(n), host.nodeAttrs(sub.originalNode[n]));
+  }
+}
+
+TEST(Sample, TooLargeThrows) {
+  const Graph host = topo::ring(5);
+  util::Rng rng(5);
+  EXPECT_THROW((void)topo::sampleConnectedSubgraph(host, 10, 10, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)topo::sampleConnectedSubgraph(host, 0, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(Sample, SmallComponentEventuallyFails) {
+  Graph host(false);  // two isolated edges: no connected 3-subgraph
+  for (int i = 0; i < 4; ++i) host.addNode();
+  host.addEdge(0, 1);
+  host.addEdge(2, 3);
+  util::Rng rng(6);
+  EXPECT_THROW((void)topo::sampleConnectedSubgraph(host, 3, 3, rng),
+               std::runtime_error);
+}
+
+TEST(Sample, WidenDelayWindowsMath) {
+  Graph q(false);
+  q.addNode();
+  q.addNode();
+  const auto e = q.addEdge(0, 1);
+  q.edgeAttrs(e).set("minDelay", 100.0);
+  q.edgeAttrs(e).set("maxDelay", 200.0);
+  topo::widenDelayWindows(q, 0.10);
+  EXPECT_DOUBLE_EQ(q.edgeAttrs(e).at("minDelay").asDouble(), 90.0);
+  EXPECT_DOUBLE_EQ(q.edgeAttrs(e).at("maxDelay").asDouble(), 220.0);
+}
+
+TEST(Sample, WidenFallsBackToDelayAttr) {
+  Graph q(false);
+  q.addNode();
+  q.addNode();
+  const auto e = q.addEdge(0, 1);
+  q.edgeAttrs(e).set("delay", 50.0);
+  topo::widenDelayWindows(q, 0.2);
+  EXPECT_DOUBLE_EQ(q.edgeAttrs(e).at("minDelay").asDouble(), 40.0);
+  EXPECT_DOUBLE_EQ(q.edgeAttrs(e).at("maxDelay").asDouble(), 60.0);
+}
+
+TEST(Sample, WidenSkipsEdgesWithoutDelayInfo) {
+  Graph q(false);
+  q.addNode();
+  q.addNode();
+  q.addEdge(0, 1);
+  topo::widenDelayWindows(q, 0.2);  // must not throw
+  EXPECT_FALSE(q.edgeAttrs(0).has("minDelay"));
+}
+
+TEST(Sample, WidenRejectsNegativeTolerance) {
+  Graph q = topo::ring(3);
+  EXPECT_THROW(topo::widenDelayWindows(q, -0.1), std::invalid_argument);
+}
+
+TEST(Sample, MakeInfeasibleTouchesRequestedFraction) {
+  Graph q = topo::ring(8);
+  topo::setAllEdges(q, "minDelay", 50.0);
+  topo::setAllEdges(q, "maxDelay", 100.0);
+  util::Rng rng(7);
+  topo::makeInfeasible(q, 0.5, rng);
+  int impossible = 0;
+  for (graph::EdgeId e = 0; e < q.edgeCount(); ++e) {
+    if (q.edgeAttrs(e).at("maxDelay").asDouble() < 0.001) ++impossible;
+  }
+  EXPECT_EQ(impossible, 4);
+}
+
+TEST(Sample, MakeInfeasibleValidatesFraction) {
+  Graph q = topo::ring(4);
+  util::Rng rng(8);
+  EXPECT_THROW(topo::makeInfeasible(q, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(topo::makeInfeasible(q, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Sample, SampledQueryIsFeasibleByConstruction) {
+  const Graph host = testHost();
+  util::Rng rng(9);
+  auto sub = topo::sampleConnectedSubgraph(host, 6, 7, rng);
+  topo::widenDelayWindows(sub.graph, 0.10);
+  const auto constraints = expr::ConstraintSet::edgeOnly(topo::delayWindowConstraint());
+  const auto result = core::ecfSearch(core::Problem(sub.graph, host, constraints));
+  EXPECT_GE(result.solutionCount, 1u);
+}
+
+TEST(Sample, CliqueQueryShape) {
+  const Graph q = topo::cliqueQuery(5, 10.0, 100.0);
+  EXPECT_EQ(q.nodeCount(), 5u);
+  EXPECT_EQ(q.edgeCount(), 10u);
+  for (graph::EdgeId e = 0; e < q.edgeCount(); ++e) {
+    EXPECT_DOUBLE_EQ(q.edgeAttrs(e).at("minDelay").asDouble(), 10.0);
+    EXPECT_DOUBLE_EQ(q.edgeAttrs(e).at("maxDelay").asDouble(), 100.0);
+  }
+}
+
+TEST(Sample, ConstraintStringsParse) {
+  EXPECT_NO_THROW((void)expr::ConstraintSet::edgeOnly(topo::delayWindowConstraint()));
+  EXPECT_NO_THROW((void)expr::ConstraintSet::edgeOnly(topo::avgDelayWindowConstraint()));
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+#include "trace/planetlab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+
+namespace {
+
+using namespace netembed;
+using graph::Graph;
+using trace::PlanetLabOptions;
+
+const Graph& defaultTrace() {
+  static const Graph g = trace::synthesize();
+  return g;
+}
+
+TEST(PlanetLab, DefaultShapeMatchesPaper) {
+  const Graph& g = defaultTrace();
+  EXPECT_EQ(g.nodeCount(), 296u);
+  // Paper: 28,996 edges; the synthesizer must land in the same regime.
+  EXPECT_GT(g.edgeCount(), 24000u);
+  EXPECT_LT(g.edgeCount(), 34000u);
+}
+
+TEST(PlanetLab, DelayOrderingInvariant) {
+  const Graph& g = defaultTrace();
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) {
+    const auto& attrs = g.edgeAttrs(e);
+    const double mn = attrs.at("minDelay").asDouble();
+    const double avg = attrs.at("avgDelay").asDouble();
+    const double mx = attrs.at("maxDelay").asDouble();
+    EXPECT_GT(mn, 0.0);
+    EXPECT_LE(mn, avg);
+    EXPECT_LE(avg, mx);
+  }
+}
+
+TEST(PlanetLab, DelayBandsMatchPaperFractions) {
+  // §VII-D relies on two facts about the trace's avgDelay distribution:
+  //   ~6,700 of ~29,000 edges (23%) fall in the 10..100 ms window, and
+  //   ~70% fall in the 25..175 ms window.
+  const Graph& g = defaultTrace();
+  std::size_t band10to100 = 0, band25to175 = 0;
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) {
+    const double avg = g.edgeAttrs(e).at("avgDelay").asDouble();
+    if (avg >= 10.0 && avg <= 100.0) ++band10to100;
+    if (avg >= 25.0 && avg <= 175.0) ++band25to175;
+  }
+  const double f1 = static_cast<double>(band10to100) / g.edgeCount();
+  const double f2 = static_cast<double>(band25to175) / g.edgeCount();
+  EXPECT_GT(f1, 0.13) << "10-100ms fraction " << f1;
+  EXPECT_LT(f1, 0.35) << "10-100ms fraction " << f1;
+  EXPECT_GT(f2, 0.55) << "25-175ms fraction " << f2;
+  EXPECT_LT(f2, 0.85) << "25-175ms fraction " << f2;
+}
+
+TEST(PlanetLab, DeadSitesHaveNoEdges) {
+  PlanetLabOptions o;
+  o.sites = 50;
+  o.clusters = 6;
+  o.deadSites = 3;
+  o.seed = 5;
+  const Graph g = trace::synthesize(o);
+  std::size_t isolated = 0;
+  for (graph::NodeId n = 0; n < g.nodeCount(); ++n) {
+    const bool alive = g.nodeAttrs(n).at("alive").asBool();
+    if (!alive) {
+      EXPECT_EQ(g.degree(n), 0u);
+      ++isolated;
+    }
+  }
+  EXPECT_GE(isolated, 1u);
+  EXPECT_LE(isolated, 3u);  // random picks may collide
+}
+
+TEST(PlanetLab, NodeAttributesPresent) {
+  const Graph& g = defaultTrace();
+  for (graph::NodeId n = 0; n < g.nodeCount(); ++n) {
+    const auto& attrs = g.nodeAttrs(n);
+    EXPECT_TRUE(attrs.has("x"));
+    EXPECT_TRUE(attrs.has("y"));
+    EXPECT_TRUE(attrs.has("region"));
+    EXPECT_TRUE(attrs.has("osType"));
+    EXPECT_GT(attrs.at("cpuMhz").asInt(), 0);
+    EXPECT_GT(attrs.at("memMB").asInt(), 0);
+  }
+}
+
+TEST(PlanetLab, IntraRegionFasterThanInterRegion) {
+  const Graph& g = defaultTrace();
+  double intraSum = 0, interSum = 0;
+  std::size_t intraCount = 0, interCount = 0;
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) {
+    const auto& a = g.nodeAttrs(g.edgeSource(e)).at("region").asString();
+    const auto& b = g.nodeAttrs(g.edgeTarget(e)).at("region").asString();
+    const double avg = g.edgeAttrs(e).at("avgDelay").asDouble();
+    if (a == b) {
+      intraSum += avg;
+      ++intraCount;
+    } else {
+      interSum += avg;
+      ++interCount;
+    }
+  }
+  ASSERT_GT(intraCount, 0u);
+  ASSERT_GT(interCount, 0u);
+  EXPECT_LT(intraSum / intraCount, interSum / interCount);
+}
+
+TEST(PlanetLab, DeterministicPerSeed) {
+  PlanetLabOptions o;
+  o.sites = 40;
+  o.clusters = 5;
+  o.seed = 77;
+  const Graph a = trace::synthesize(o);
+  const Graph b = trace::synthesize(o);
+  ASSERT_EQ(a.edgeCount(), b.edgeCount());
+  for (graph::EdgeId e = 0; e < a.edgeCount(); ++e) {
+    EXPECT_DOUBLE_EQ(a.edgeAttrs(e).at("avgDelay").asDouble(),
+                     b.edgeAttrs(e).at("avgDelay").asDouble());
+  }
+  o.seed = 78;
+  const Graph c = trace::synthesize(o);
+  EXPECT_NE(a.edgeCount(), c.edgeCount());
+}
+
+TEST(PlanetLab, TextFormatRoundTrip) {
+  PlanetLabOptions o;
+  o.sites = 30;
+  o.clusters = 4;
+  o.deadSites = 0;
+  o.seed = 12;
+  const Graph g = trace::synthesize(o);
+  std::stringstream buffer;
+  trace::writeAllPairsPing(g, buffer);
+  const Graph back = trace::readAllPairsPing(buffer);
+  EXPECT_EQ(back.edgeCount(), g.edgeCount());
+  // Node count may differ (isolated nodes don't appear in the pair list),
+  // but every edge's delays must survive at the format's 3-decimal precision.
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) {
+    const auto src = back.findNode(g.nodeName(g.edgeSource(e)));
+    const auto dst = back.findNode(g.nodeName(g.edgeTarget(e)));
+    ASSERT_TRUE(src && dst);
+    const auto he = back.findEdge(*src, *dst);
+    ASSERT_TRUE(he.has_value());
+    EXPECT_NEAR(back.edgeAttrs(*he).at("avgDelay").asDouble(),
+                g.edgeAttrs(e).at("avgDelay").asDouble(), 0.0005);
+  }
+}
+
+TEST(PlanetLab, ParserSkipsCommentsAndRejectsGarbage) {
+  std::stringstream good("# header\nsiteA siteB 1.0 2.0 3.0\n\n");
+  const Graph g = trace::readAllPairsPing(good);
+  EXPECT_EQ(g.nodeCount(), 2u);
+  EXPECT_EQ(g.edgeCount(), 1u);
+
+  std::stringstream bad("siteA siteB not_a_number 2.0 3.0\n");
+  EXPECT_THROW((void)trace::readAllPairsPing(bad), std::runtime_error);
+}
+
+TEST(PlanetLab, InvalidOptionsRejected) {
+  PlanetLabOptions o;
+  o.sites = 1;
+  EXPECT_THROW((void)trace::synthesize(o), std::invalid_argument);
+  o.sites = 10;
+  o.clusters = 0;
+  EXPECT_THROW((void)trace::synthesize(o), std::invalid_argument);
+}
+
+TEST(PlanetLab, MostlyConnectedAmongAliveSites) {
+  const Graph& g = defaultTrace();
+  const auto components = graph::connectedComponents(g);
+  // One giant component plus isolated dead sites.
+  std::vector<std::size_t> sizes(components.count, 0);
+  for (graph::NodeId n = 0; n < g.nodeCount(); ++n) ++sizes[components.label[n]];
+  const std::size_t largest = *std::max_element(sizes.begin(), sizes.end());
+  EXPECT_GE(largest, g.nodeCount() - 8);
+}
+
+}  // namespace

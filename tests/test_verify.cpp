@@ -1,0 +1,118 @@
+#include "core/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/regular.hpp"
+
+namespace {
+
+using namespace netembed;
+using core::Mapping;
+using core::Problem;
+using core::verifyMapping;
+using graph::Graph;
+using graph::kInvalidNode;
+
+const expr::ConstraintSet kNone;
+
+TEST(Verify, AcceptsValidMapping) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::ring(4);
+  const Mapping m{0, 1, 2};
+  const auto v = verifyMapping(Problem(query, host, kNone), m);
+  EXPECT_TRUE(v.ok);
+  EXPECT_TRUE(v.reason.empty());
+  EXPECT_TRUE(static_cast<bool>(v));
+}
+
+TEST(Verify, RejectsWrongSize) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::ring(4);
+  const auto v = verifyMapping(Problem(query, host, kNone), Mapping{0, 1});
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("size"), std::string::npos);
+}
+
+TEST(Verify, RejectsUnmappedNode) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::ring(4);
+  const auto v = verifyMapping(Problem(query, host, kNone), Mapping{0, kInvalidNode, 2});
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("unmapped"), std::string::npos);
+}
+
+TEST(Verify, RejectsNonInjective) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::ring(4);
+  const auto v = verifyMapping(Problem(query, host, kNone), Mapping{0, 1, 0});
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("injective"), std::string::npos);
+}
+
+TEST(Verify, RejectsOutOfRange) {
+  const Graph query = topo::line(2);
+  const Graph host = topo::ring(3);
+  const auto v = verifyMapping(Problem(query, host, kNone), Mapping{0, 77});
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(Verify, RejectsMissingHostEdge) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::ring(4);
+  // 0 and 2 are not adjacent in C4.
+  const auto v = verifyMapping(Problem(query, host, kNone), Mapping{0, 2, 1});
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("no host edge"), std::string::npos);
+}
+
+TEST(Verify, RejectsEdgeConstraintViolation) {
+  Graph host(false);
+  host.addNode();
+  host.addNode();
+  host.edgeAttrs(host.addEdge(0, 1)).set("delay", 100.0);
+  Graph query = topo::line(2);
+  topo::setAllEdges(query, "maxDelay", 10.0);
+  const auto constraints = expr::ConstraintSet::edgeOnly("rEdge.delay <= vEdge.maxDelay");
+  const auto v = verifyMapping(Problem(query, host, constraints), Mapping{0, 1});
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("edge constraint"), std::string::npos);
+}
+
+TEST(Verify, RejectsNodeConstraintViolation) {
+  Graph host = topo::line(2);
+  host.nodeAttrs(0).set("cpu", 100);
+  host.nodeAttrs(1).set("cpu", 100);
+  Graph query = topo::line(2);
+  topo::setAllNodes(query, "minCpu", 500);
+  const auto constraints = expr::ConstraintSet::parse("", "rNode.cpu >= vNode.minCpu");
+  const auto v = verifyMapping(Problem(query, host, constraints), Mapping{0, 1});
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("node constraint"), std::string::npos);
+}
+
+TEST(Verify, DirectedOrientationChecked) {
+  Graph query(true);
+  query.addNode();
+  query.addNode();
+  query.addEdge(0, 1);
+  Graph host(true);
+  host.addNode();
+  host.addNode();
+  host.addEdge(1, 0);  // only the reverse orientation exists
+  const auto v = verifyMapping(Problem(query, host, kNone), Mapping{0, 1});
+  EXPECT_FALSE(v.ok);
+  const auto ok = verifyMapping(Problem(query, host, kNone), Mapping{1, 0});
+  EXPECT_TRUE(ok.ok);
+}
+
+TEST(Verify, FormatMappingIsReadable) {
+  const Graph query = topo::line(2);
+  const Graph host = topo::ring(3);
+  const std::string text = core::formatMapping({2, 0}, query, host);
+  EXPECT_EQ(text, "n0->n2 n1->n0");
+  const std::string partial =
+      core::formatMapping({2, kInvalidNode}, query, host);
+  EXPECT_NE(partial.find("?"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+#include "xml/xml.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace xml = netembed::xml;
+
+TEST(Xml, MinimalElement) {
+  const auto root = xml::parse("<a/>");
+  EXPECT_EQ(root.name, "a");
+  EXPECT_TRUE(root.children.empty());
+  EXPECT_TRUE(root.attributes.empty());
+}
+
+TEST(Xml, AttributesBothQuoteStyles) {
+  const auto root = xml::parse(R"(<a x="1" y='two'/>)");
+  ASSERT_EQ(root.attributes.size(), 2u);
+  EXPECT_EQ(*root.attr("x"), "1");
+  EXPECT_EQ(*root.attr("y"), "two");
+  EXPECT_EQ(root.attr("z"), nullptr);
+}
+
+TEST(Xml, RequiredAttrThrowsWhenAbsent) {
+  const auto root = xml::parse("<a x='1'/>");
+  EXPECT_EQ(root.requiredAttr("x"), "1");
+  EXPECT_THROW((void)root.requiredAttr("missing"), std::runtime_error);
+}
+
+TEST(Xml, NestedChildrenAndText) {
+  const auto root = xml::parse("<a><b>hello</b><c/><b>world</b></a>");
+  ASSERT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(root.children[0].text, "hello");
+  ASSERT_NE(root.child("c"), nullptr);
+  const auto bs = root.childrenNamed("b");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[1]->text, "world");
+}
+
+TEST(Xml, EntityDecoding) {
+  const auto root = xml::parse("<a t='&lt;&gt;&amp;&quot;&apos;'>&#65;&#x42;</a>");
+  EXPECT_EQ(*root.attr("t"), "<>&\"'");
+  EXPECT_EQ(root.text, "AB");
+}
+
+TEST(Xml, CommentsAndPIsAreSkipped) {
+  const auto root = xml::parse(
+      "<?xml version='1.0'?><!-- hi --><a><!-- inner --><b/><?pi data?></a>");
+  EXPECT_EQ(root.name, "a");
+  EXPECT_EQ(root.children.size(), 1u);
+}
+
+TEST(Xml, CdataIsVerbatim) {
+  const auto root = xml::parse("<a><![CDATA[<not&parsed>]]></a>");
+  EXPECT_EQ(root.text, "<not&parsed>");
+}
+
+TEST(Xml, DoctypeSkipped) {
+  const auto root = xml::parse("<!DOCTYPE a SYSTEM \"a.dtd\"><a/>");
+  EXPECT_EQ(root.name, "a");
+}
+
+TEST(Xml, MismatchedTagsRejected) {
+  EXPECT_THROW((void)xml::parse("<a></b>"), xml::ParseError);
+}
+
+TEST(Xml, UnterminatedConstructsRejected) {
+  EXPECT_THROW((void)xml::parse("<a>"), xml::ParseError);
+  EXPECT_THROW((void)xml::parse("<a attr='x/>"), xml::ParseError);
+  EXPECT_THROW((void)xml::parse("<!-- never closed"), xml::ParseError);
+  EXPECT_THROW((void)xml::parse("<a><![CDATA[oops</a>"), xml::ParseError);
+}
+
+TEST(Xml, TrailingContentRejected) {
+  EXPECT_THROW((void)xml::parse("<a/><b/>"), xml::ParseError);
+}
+
+TEST(Xml, UnknownEntityRejected) {
+  EXPECT_THROW((void)xml::parse("<a>&nope;</a>"), xml::ParseError);
+}
+
+TEST(Xml, ErrorCarriesPosition) {
+  try {
+    (void)xml::parse("<a>\n  <b></c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const xml::ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_GT(e.column(), 1u);
+    EXPECT_NE(std::string(e.what()).find("mismatched"), std::string::npos);
+  }
+}
+
+TEST(Xml, EscapeCoversSpecials) {
+  EXPECT_EQ(xml::escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(xml::escape("plain"), "plain");
+}
+
+TEST(Xml, SerializeParseRoundTrip) {
+  xml::Element root;
+  root.name = "graph";
+  root.attributes.emplace_back("id", "G<1>");
+  xml::Element child;
+  child.name = "node";
+  child.text = "text & more";
+  root.children.push_back(child);
+
+  const std::string text = xml::serialize(root);
+  const auto reparsed = xml::parse(text);
+  EXPECT_EQ(reparsed.name, "graph");
+  EXPECT_EQ(*reparsed.attr("id"), "G<1>");
+  ASSERT_EQ(reparsed.children.size(), 1u);
+  EXPECT_EQ(reparsed.children[0].text, "text & more");
+}
+
+TEST(Xml, WhitespaceAroundTokensTolerated) {
+  const auto root = xml::parse("  \n <a  x = '1' ><b />\n</a>  \n");
+  EXPECT_EQ(root.name, "a");
+  EXPECT_EQ(*root.attr("x"), "1");
+  EXPECT_EQ(root.children.size(), 1u);
+}
+
+}  // namespace
