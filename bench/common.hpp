@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "core/ecf.hpp"
+#include "core/engine.hpp"
 #include "core/lns.hpp"
+#include "core/portfolio.hpp"
 #include "core/problem.hpp"
 #include "core/rwb.hpp"
 #include "core/search.hpp"
@@ -75,12 +77,7 @@ inline graph::Graph sampledDelayQuery(const graph::Graph& host, std::size_t node
 inline core::EmbedResult runAlgorithm(core::Algorithm algorithm,
                                       const core::Problem& problem,
                                       const core::SearchOptions& options) {
-  switch (algorithm) {
-    case core::Algorithm::ECF: return core::ecfSearch(problem, options);
-    case core::Algorithm::RWB: return core::rwbSearch(problem, options);
-    case core::Algorithm::LNS: return core::lnsSearch(problem, options);
-    default: throw std::invalid_argument("runAlgorithm: unsupported algorithm");
-  }
+  return core::runSearch(algorithm, problem, options);
 }
 
 /// Format "mean +/- ci" with 1 decimal.

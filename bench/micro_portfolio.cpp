@@ -1,0 +1,100 @@
+// micro_portfolio — single-thread vs root-split vs racing-portfolio
+// first-match latency on a BRITE-style hosting network.
+//
+// The portfolio races ECF, RWB and LNS concurrently and cancels the losers
+// at the first match; root-split fans ECF's first-depth candidates across
+// the thread pool. Expected shape: portfolio tracks the per-instance best
+// single engine (plus a small cancellation overhead), and root-split helps
+// most when the first feasible subtree is deep in the Lemma-1 root order.
+
+#include "common.hpp"
+
+using namespace netembed;
+using namespace netembed::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  std::function<core::EmbedResult(const core::Problem&, core::SearchOptions)> run;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  const BenchConfig cfg = BenchConfig::fromArgs(args, 5, 1500);
+
+  const std::vector<std::size_t> hostSizes =
+      cfg.paper ? std::vector<std::size_t>{800, 1500, 2500}
+                : std::vector<std::size_t>{300, 600};
+  const std::vector<double> queryFractions =
+      cfg.paper ? std::vector<double>{0.2, 0.4, 0.6} : std::vector<double>{0.2, 0.4};
+
+  const Variant variants[] = {
+      {"ecf", [](const core::Problem& p, core::SearchOptions o) {
+         return core::runSearch(core::Algorithm::ECF, p, o);
+       }},
+      {"rwb", [](const core::Problem& p, core::SearchOptions o) {
+         return core::runSearch(core::Algorithm::RWB, p, o);
+       }},
+      {"lns", [](const core::Problem& p, core::SearchOptions o) {
+         return core::runSearch(core::Algorithm::LNS, p, o);
+       }},
+      {"ecf_split", [](const core::Problem& p, core::SearchOptions o) {
+         o.rootSplitThreads = 0;  // one worker per hardware thread
+         return core::runSearch(core::Algorithm::ECF, p, o);
+       }},
+      {"portfolio", [](const core::Problem& p, core::SearchOptions o) {
+         return core::portfolioSearch(p, o).result;
+       }},
+  };
+  constexpr std::size_t kVariants = std::size(variants);
+
+  const auto constraints = expr::ConstraintSet::edgeOnly(topo::delayWindowConstraint());
+  util::TablePrinter table({"host N", "query N", "ECF (ms)", "RWB (ms)", "LNS (ms)",
+                            "ECF-split (ms)", "portfolio (ms)"});
+  std::vector<std::vector<std::string>> csvRows;
+
+  for (const std::size_t hostSize : hostSizes) {
+    topo::BriteOptions bo;
+    bo.nodes = hostSize;
+    bo.m = 2;
+    bo.seed = util::deriveSeed(cfg.seed, hostSize);
+    const graph::Graph host = topo::brite(bo);
+
+    for (const double fraction : queryFractions) {
+      const auto queryNodes = static_cast<std::size_t>(fraction * hostSize);
+      if (queryNodes < 3) continue;
+      util::RunningStats stats[kVariants];
+      for (std::size_t rep = 0; rep < cfg.reps; ++rep) {
+        util::Rng rng(util::deriveSeed(cfg.seed, hostSize * 271 + queryNodes + rep));
+        const graph::Graph query =
+            sampledDelayQuery(host, queryNodes, queryNodes * 2, 0.02, rng);
+        const core::Problem problem(query, host, constraints);
+        for (std::size_t v = 0; v < kVariants; ++v) {
+          core::SearchOptions options;
+          options.timeout = cfg.timeout;
+          options.storeLimit = 1;
+          options.maxSolutions = 1;
+          options.seed = rep + 1;
+          stats[v].add(variants[v].run(problem, options).stats.searchMs);
+        }
+      }
+      std::vector<std::string> row = {std::to_string(hostSize), std::to_string(queryNodes)};
+      std::vector<std::string> csvRow = row;
+      for (std::size_t v = 0; v < kVariants; ++v) {
+        row.push_back(meanCi(stats[v]));
+        csvRow.push_back(util::CsvWriter::field(stats[v].mean()));
+      }
+      table.addRow(row);
+      csvRows.push_back(std::move(csvRow));
+    }
+  }
+
+  emit("micro: first-match latency, single-thread vs root-split vs portfolio", table,
+       csvRows, {"host_n", "query_n", "ecf_ms", "rwb_ms", "lns_ms", "ecf_split_ms",
+                 "portfolio_ms"},
+       cfg.csv);
+  return 0;
+}

@@ -6,8 +6,9 @@
 // for scripted use.
 //
 //   # find 3 embeddings of query.graphml into a synthetic PlanetLab trace
-//   $ ./netembed_cli --query query.graphml --max 3 \\
-//         --edge-constraint "rEdge.avgDelay <= vEdge.maxDelay"
+//   $ ./netembed_cli --query q.graphml --max 3
+//           --edge-constraint "rEdge.avgDelay <= vEdge.maxDelay"
+//     (one shell command, wrapped here for width)
 //
 //   # explicit host file + algorithm + CSV of the mappings
 //   $ ./netembed_cli --host trace.ping --query q.graphml --algo lns --csv
@@ -19,7 +20,9 @@
 //   --demo             use a built-in demo query sampled from the host
 //   --edge-constraint  expression over vEdge/rEdge/vSource/... (default none)
 //   --node-constraint  expression over vNode/rNode (default none)
-//   --algo NAME        ecf | rwb | lns | auto (default auto)
+//   --algo NAME        ecf | rwb | lns | naive | anneal | genetic |
+//                      portfolio | auto (default auto; auto races the
+//                      portfolio for first-match queries)
 //   --max N            stop after N mappings (default 1; 0 = all)
 //   --timeout MS       search budget (default 10000)
 //   --seed N           RNG seed (default 42)
@@ -55,8 +58,13 @@ std::optional<core::Algorithm> parseAlgo(const std::string& name) {
   if (name == "ecf") return core::Algorithm::ECF;
   if (name == "rwb") return core::Algorithm::RWB;
   if (name == "lns") return core::Algorithm::LNS;
+  if (name == "naive") return core::Algorithm::Naive;
+  if (name == "anneal") return core::Algorithm::Anneal;
+  if (name == "genetic") return core::Algorithm::Genetic;
+  if (name == "portfolio") return core::Algorithm::Portfolio;
   if (name == "auto") return std::nullopt;
-  throw std::runtime_error("unknown --algo '" + name + "' (ecf|rwb|lns|auto)");
+  throw std::runtime_error("unknown --algo '" + name +
+                           "' (ecf|rwb|lns|naive|anneal|genetic|portfolio|auto)");
 }
 
 }  // namespace

@@ -53,20 +53,26 @@ Mapping randomInjective(const Problem& problem, util::Rng& rng) {
 }  // namespace
 
 EmbedResult annealSearch(const Problem& problem, const AnnealOptions& options,
-                         const core::SearchOptions& limits) {
+                         core::SearchContext& context) {
   util::Stopwatch total;
   problem.validate();
+  context.beginSearchPhase();
   util::Rng rng(options.seed);
-  util::Deadline deadline(limits.timeout);
 
-  EmbedResult result;
-  result.stats.firstMatchMs = -1.0;
+  core::SearchStats stats;
+  const auto bail = [&] {
+    context.mergeStats(stats);
+    EmbedResult result = context.finish(/*exhausted=*/false);
+    result.stats.searchMs = total.elapsedMs();
+    return result;
+  };
+
   const std::size_t nq = problem.query->nodeCount();
   const std::size_t nr = problem.host->nodeCount();
 
   for (std::size_t restart = 0; restart < options.restarts; ++restart) {
     Mapping current = randomInjective(problem, rng);
-    std::size_t energy = assignmentEnergy(problem, current, result.stats.constraintEvals);
+    std::size_t energy = assignmentEnergy(problem, current, stats.constraintEvals);
     double temperature = options.initialTemperature;
 
     // Inverse map for O(1) swap moves: host -> query node or invalid.
@@ -74,12 +80,8 @@ EmbedResult annealSearch(const Problem& problem, const AnnealOptions& options,
     for (NodeId v = 0; v < nq; ++v) inverse[current[v]] = v;
 
     for (std::size_t step = 0; step < options.iterations && energy > 0; ++step) {
-      ++result.stats.treeNodesVisited;
-      if ((step & 1023u) == 0 && deadline.expired()) {
-        result.outcome = Outcome::Inconclusive;
-        result.stats.searchMs = total.elapsedMs();
-        return result;
-      }
+      ++stats.treeNodesVisited;
+      if (context.shouldStop(stats.treeNodesVisited)) return bail();
 
       Mapping proposal = current;
       const NodeId v = static_cast<NodeId>(rng.index(nq));
@@ -94,7 +96,7 @@ EmbedResult annealSearch(const Problem& problem, const AnnealOptions& options,
       }
 
       const std::size_t newEnergy =
-          assignmentEnergy(problem, proposal, result.stats.constraintEvals);
+          assignmentEnergy(problem, proposal, stats.constraintEvals);
       const double delta =
           static_cast<double>(newEnergy) - static_cast<double>(energy);
       if (delta <= 0.0 || rng.uniform() < std::exp(-delta / std::max(1e-9, temperature))) {
@@ -107,19 +109,22 @@ EmbedResult annealSearch(const Problem& problem, const AnnealOptions& options,
     }
 
     if (energy == 0) {
-      result.solutionCount = 1;
-      result.mappings.push_back(current);
-      result.stats.firstMatchMs = total.elapsedMs();
-      result.outcome = Outcome::Partial;
+      (void)context.offerSolution(current);
+      context.mergeStats(stats);
+      EmbedResult result = context.finish(/*exhausted=*/false);
       result.stats.searchMs = total.elapsedMs();
       return result;
     }
-    ++result.stats.backtracks;  // counts failed restarts
+    ++stats.backtracks;  // counts failed restarts
   }
 
-  result.outcome = Outcome::Inconclusive;
-  result.stats.searchMs = total.elapsedMs();
-  return result;
+  return bail();
+}
+
+EmbedResult annealSearch(const Problem& problem, const AnnealOptions& options,
+                         const core::SearchOptions& limits) {
+  core::SearchContext context(limits);
+  return annealSearch(problem, options, context);
 }
 
 }  // namespace netembed::baseline

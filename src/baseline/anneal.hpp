@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "core/engine.hpp"
 #include "core/problem.hpp"
 #include "core/search.hpp"
 
@@ -27,6 +28,12 @@ struct AnnealOptions {
 [[nodiscard]] core::EmbedResult annealSearch(const core::Problem& problem,
                                              const AnnealOptions& options = {},
                                              const core::SearchOptions& limits = {});
+
+/// Run against an externally-owned context; the context supplies the
+/// deadline/cancellation and collects the solution.
+[[nodiscard]] core::EmbedResult annealSearch(const core::Problem& problem,
+                                             const AnnealOptions& options,
+                                             core::SearchContext& context);
 
 /// Energy of a complete assignment: count of query edges whose host pair is
 /// absent or fails the constraint, plus node-constraint violations. Exposed

@@ -89,21 +89,28 @@ void mutate(Mapping& genes, std::size_t nr, util::Rng& rng) {
 }  // namespace
 
 EmbedResult geneticSearch(const Problem& problem, const GeneticOptions& options,
-                          const core::SearchOptions& limits) {
+                          core::SearchContext& context) {
   util::Stopwatch total;
   problem.validate();
+  context.beginSearchPhase();
   util::Rng rng(options.seed);
-  util::Deadline deadline(limits.timeout);
 
-  EmbedResult result;
-  result.stats.firstMatchMs = -1.0;
+  core::SearchStats stats;
+  const auto wrapUp = [&](const Mapping* winner) {
+    if (winner) (void)context.offerSolution(*winner);
+    context.mergeStats(stats);
+    EmbedResult result = context.finish(/*exhausted=*/false);
+    result.stats.searchMs = total.elapsedMs();
+    return result;
+  };
+
   const std::size_t nq = problem.query->nodeCount();
   const std::size_t nr = problem.host->nodeCount();
 
   std::vector<Individual> population(options.populationSize);
   for (Individual& ind : population) {
     ind.genes = randomInjectiveMapping(nq, nr, rng);
-    ind.energy = assignmentEnergy(problem, ind.genes, result.stats.constraintEvals);
+    ind.energy = assignmentEnergy(problem, ind.genes, stats.constraintEvals);
   }
 
   const auto byEnergy = [](const Individual& x, const Individual& y) {
@@ -112,16 +119,9 @@ EmbedResult geneticSearch(const Problem& problem, const GeneticOptions& options,
 
   for (std::size_t gen = 0; gen < options.generations; ++gen) {
     std::sort(population.begin(), population.end(), byEnergy);
-    if (population.front().energy == 0) {
-      result.solutionCount = 1;
-      result.mappings.push_back(population.front().genes);
-      result.stats.firstMatchMs = total.elapsedMs();
-      result.outcome = Outcome::Partial;
-      result.stats.searchMs = total.elapsedMs();
-      return result;
-    }
-    if (deadline.expired()) break;
-    ++result.stats.treeNodesVisited;
+    if (population.front().energy == 0) return wrapUp(&population.front().genes);
+    ++stats.treeNodesVisited;
+    if (context.shouldStop()) break;
 
     std::vector<Individual> next;
     next.reserve(options.populationSize);
@@ -146,15 +146,19 @@ EmbedResult geneticSearch(const Problem& problem, const GeneticOptions& options,
                         ? crossover(pa.genes, pb.genes, nr, rng)
                         : pa.genes;
       if (rng.bernoulli(options.mutationRate)) mutate(child.genes, nr, rng);
-      child.energy = assignmentEnergy(problem, child.genes, result.stats.constraintEvals);
+      child.energy = assignmentEnergy(problem, child.genes, stats.constraintEvals);
       next.push_back(std::move(child));
     }
     population = std::move(next);
   }
 
-  result.outcome = Outcome::Inconclusive;
-  result.stats.searchMs = total.elapsedMs();
-  return result;
+  return wrapUp(nullptr);
+}
+
+EmbedResult geneticSearch(const Problem& problem, const GeneticOptions& options,
+                          const core::SearchOptions& limits) {
+  core::SearchContext context(limits);
+  return geneticSearch(problem, options, context);
 }
 
 }  // namespace netembed::baseline

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "core/engine.hpp"
 #include "core/problem.hpp"
 #include "core/search.hpp"
 
@@ -26,5 +27,11 @@ struct GeneticOptions {
 [[nodiscard]] core::EmbedResult geneticSearch(const core::Problem& problem,
                                               const GeneticOptions& options = {},
                                               const core::SearchOptions& limits = {});
+
+/// Run against an externally-owned context; the context supplies the
+/// deadline/cancellation and collects the solution.
+[[nodiscard]] core::EmbedResult geneticSearch(const core::Problem& problem,
+                                              const GeneticOptions& options,
+                                              core::SearchContext& context);
 
 }  // namespace netembed::baseline

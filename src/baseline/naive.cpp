@@ -5,8 +5,8 @@
 namespace netembed::baseline {
 
 using core::EmbedResult;
-using core::Outcome;
 using core::Problem;
+using core::SearchContext;
 using core::SearchOptions;
 using core::SearchStats;
 using core::SolutionSink;
@@ -16,16 +16,13 @@ namespace {
 
 class NaiveEngine {
  public:
-  NaiveEngine(const Problem& problem, const SearchOptions& options,
-              const SolutionSink& sink)
-      : problem_(problem), options_(options), sink_(sink), deadline_(options.timeout) {}
+  NaiveEngine(const Problem& problem, SearchContext& context)
+      : problem_(problem), options_(context.options()), context_(context) {}
 
   EmbedResult run() {
     util::Stopwatch total;
     problem_.validate();
-    EmbedResult result;
-    stats_ = &result.stats;
-    result.stats.firstMatchMs = -1.0;
+    context_.beginSearchPhase();
 
     const std::size_t nq = problem_.query->nodeCount();
     mapping_.assign(nq, graph::kInvalidNode);
@@ -49,15 +46,11 @@ class NaiveEngine {
       }
     }
 
-    descend(0, result);
+    descend(0);
 
-    result.solutionCount = solutionCount_;
+    context_.mergeStats(stats_);
+    EmbedResult result = context_.finish(/*exhausted=*/!stopped_);
     result.stats.searchMs = total.elapsedMs();
-    if (!stopped_) {
-      result.outcome = Outcome::Complete;
-    } else {
-      result.outcome = solutionCount_ > 0 ? Outcome::Partial : Outcome::Inconclusive;
-    }
     return result;
   }
 
@@ -70,10 +63,7 @@ class NaiveEngine {
 
   bool limitsHit() {
     if (stopped_) return true;
-    if (deadline_.isBounded() &&
-        stats_->treeNodesVisited % options_.checkStride == 0 && deadline_.expired()) {
-      stopped_ = true;
-    }
+    if (context_.shouldStop(stats_.treeNodesVisited)) stopped_ = true;
     return stopped_;
   }
 
@@ -88,57 +78,41 @@ class NaiveEngine {
       if (!he) return false;
       const NodeId qa = ee.vIsSource ? v : ee.neighbor;
       const NodeId qb = ee.vIsSource ? ee.neighbor : v;
-      if (!problem_.edgeOk(ee.qedge, qa, qb, *he, from, to, stats_->constraintEvals)) {
+      if (!problem_.edgeOk(ee.qedge, qa, qb, *he, from, to, stats_.constraintEvals)) {
         return false;
       }
     }
     return true;
   }
 
-  void descend(NodeId v, EmbedResult& result) {
+  void descend(NodeId v) {
     if (limitsHit()) return;
     if (v == mapping_.size()) {
-      onSolution(result);
+      if (!context_.offerSolution(mapping_)) stopped_ = true;
       return;
     }
     for (NodeId r = 0; r < used_.size(); ++r) {
       if (limitsHit()) return;
       if (used_[r]) continue;
-      ++stats_->treeNodesVisited;
+      ++stats_.treeNodesVisited;
       if (!candidateOk(v, r)) continue;
       mapping_[v] = r;
       used_[r] = true;
-      descend(v + 1, result);
+      descend(v + 1);
       used_[r] = false;
       mapping_[v] = graph::kInvalidNode;
       if (stopped_) return;
     }
-    ++stats_->backtracks;
-  }
-
-  void onSolution(EmbedResult& result) {
-    ++solutionCount_;
-    if (stats_->firstMatchMs < 0) stats_->firstMatchMs = firstTimer_.elapsedMs();
-    if (result.mappings.size() < options_.storeLimit) result.mappings.push_back(mapping_);
-    if (sink_ && !sink_(mapping_)) {
-      stopped_ = true;
-      return;
-    }
-    if (options_.maxSolutions != 0 && solutionCount_ >= options_.maxSolutions) {
-      stopped_ = true;
-    }
+    ++stats_.backtracks;
   }
 
   const Problem& problem_;
   const SearchOptions& options_;
-  const SolutionSink& sink_;
-  util::Deadline deadline_;
-  util::Stopwatch firstTimer_;
+  SearchContext& context_;
   core::Mapping mapping_;
   std::vector<bool> used_;
   std::vector<std::vector<EarlierEdge>> earlier_;
-  SearchStats* stats_ = nullptr;
-  std::uint64_t solutionCount_ = 0;
+  SearchStats stats_;
   bool stopped_ = false;
 };
 
@@ -146,7 +120,12 @@ class NaiveEngine {
 
 EmbedResult naiveSearch(const Problem& problem, const SearchOptions& options,
                         const SolutionSink& sink) {
-  return NaiveEngine(problem, options, sink).run();
+  SearchContext context(options, sink);
+  return NaiveEngine(problem, context).run();
+}
+
+EmbedResult naiveSearch(const Problem& problem, SearchContext& context) {
+  return NaiveEngine(problem, context).run();
 }
 
 }  // namespace netembed::baseline

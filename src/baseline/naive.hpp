@@ -9,6 +9,7 @@
 // and correct, but explores far more of the permutation tree than ECF —
 // which is precisely the comparison §VII-F makes.
 
+#include "core/engine.hpp"
 #include "core/problem.hpp"
 #include "core/search.hpp"
 
@@ -17,5 +18,9 @@ namespace netembed::baseline {
 [[nodiscard]] core::EmbedResult naiveSearch(const core::Problem& problem,
                                             const core::SearchOptions& options = {},
                                             const core::SolutionSink& sink = {});
+
+/// Run against an externally-owned context; the context supplies the options.
+[[nodiscard]] core::EmbedResult naiveSearch(const core::Problem& problem,
+                                            core::SearchContext& context);
 
 }  // namespace netembed::baseline

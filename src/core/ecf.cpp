@@ -1,9 +1,15 @@
 #include "core/ecf.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
 #include <numeric>
 
 #include "core/filter.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -11,88 +17,94 @@ namespace netembed::core {
 
 namespace {
 
-class FilteredEngine {
- public:
-  FilteredEngine(const Problem& problem, const SearchOptions& options,
-                 const SolutionSink& sink, bool randomize)
-      : problem_(problem),
-        options_(options),
-        sink_(sink),
-        randomize_(randomize),
-        rng_(options.seed),
-        deadline_(options.timeout) {}
+/// Immutable per-search setup shared by every root-split worker: the stage-1
+/// filters, the Lemma-1 static order and the per-node lists of constrainers
+/// whose owner is assigned earlier in that order. Built once, read
+/// concurrently without synchronization.
+struct FilteredPlan {
+  FilterMatrix filters;
+  std::vector<graph::NodeId> order;
+  std::vector<std::vector<FilterMatrix::Constrainer>> earlier;
 
-  EmbedResult run() {
-    util::Stopwatch total;
-    EmbedResult result;
+  static FilteredPlan build(const Problem& problem, const SearchOptions& options,
+                            SearchStats& stats) {
+    FilteredPlan plan;
+    plan.filters = FilterMatrix::build(problem, options, stats);
 
-    try {
-      filters_ = FilterMatrix::build(problem_, options_, result.stats);
-    } catch (const FilterOverflow&) {
-      // Space blow-up: report inconclusive rather than dying (the documented
-      // failure mode that motivates LNS).
-      result.outcome = Outcome::Inconclusive;
-      result.stats.searchMs = total.elapsedMs();
-      throw;
-    }
-
-    const std::size_t nq = problem_.query->nodeCount();
-    order_.resize(nq);
-    std::iota(order_.begin(), order_.end(), 0);
-    if (options_.staticOrdering) {
+    const std::size_t nq = problem.query->nodeCount();
+    plan.order.resize(nq);
+    std::iota(plan.order.begin(), plan.order.end(), 0);
+    if (options.staticOrdering) {
       // Lemma 1: ascending candidate count minimizes the permutation tree.
-      std::stable_sort(order_.begin(), order_.end(),
+      std::stable_sort(plan.order.begin(), plan.order.end(),
                        [&](graph::NodeId a, graph::NodeId b) {
-                         return filters_.viable(a).size() < filters_.viable(b).size();
+                         return plan.filters.viable(a).size() <
+                                plan.filters.viable(b).size();
                        });
     }
-    position_.assign(nq, 0);
-    for (std::size_t d = 0; d < nq; ++d) position_[order_[d]] = d;
+    std::vector<std::size_t> position(nq, 0);
+    for (std::size_t d = 0; d < nq; ++d) position[plan.order[d]] = d;
 
-    // Constrainers whose owner is assigned before v in the static order.
-    earlier_.resize(nq);
+    plan.earlier.resize(nq);
     for (graph::NodeId v = 0; v < nq; ++v) {
-      for (const FilterMatrix::Constrainer& c : filters_.constrainersOf(v)) {
-        if (position_[c.owner] < position_[v]) earlier_[v].push_back(c);
+      for (const FilterMatrix::Constrainer& c : plan.filters.constrainersOf(v)) {
+        if (position[c.owner] < position[v]) plan.earlier[v].push_back(c);
       }
     }
-
-    mapping_.assign(nq, graph::kInvalidNode);
-    used_.assign(problem_.host->nodeCount(), false);
-    candidateBuffers_.resize(nq);
-    stats_ = &result.stats;
-    solutionCount_ = 0;
-    stopped_ = false;
-    result.stats.firstMatchMs = -1.0;
-    firstMatchTimer_.restart();
-
-    descend(0, result);
-
-    result.solutionCount = solutionCount_;
-    result.stats.searchMs = total.elapsedMs();
-    if (!stopped_) {
-      result.outcome = Outcome::Complete;
-    } else {
-      result.outcome = solutionCount_ > 0 ? Outcome::Partial : Outcome::Inconclusive;
-    }
-    return result;
+    return plan;
   }
+};
+
+/// One depth-first explorer over the shared plan. Serial search runs a
+/// single worker over the whole root candidate list; root-split search runs
+/// one per thread, pulling root candidates from a shared cursor. Stopping,
+/// solution admission and maxSolutions accounting all go through the shared
+/// SearchContext, so workers halt together and the solution count stays
+/// exact.
+class FilteredWorker {
+ public:
+  FilteredWorker(const Problem& problem, const FilteredPlan& plan,
+                 SearchContext& context, bool randomize, std::uint64_t seed)
+      : plan_(plan), context_(context), randomize_(randomize), rng_(seed) {
+    const std::size_t nq = problem.query->nodeCount();
+    mapping_.assign(nq, graph::kInvalidNode);
+    used_.assign(problem.host->nodeCount(), false);
+    candidateBuffers_.resize(nq);
+  }
+
+  /// Explore the subtree of each root candidate claimed from `cursor`.
+  void run(std::span<const graph::NodeId> roots, std::atomic<std::size_t>& cursor) {
+    const graph::NodeId v0 = plan_.order.front();
+    for (;;) {
+      if (limitsHit()) return;
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= roots.size()) return;
+      const graph::NodeId r = roots[i];
+      ++stats_.treeNodesVisited;
+      mapping_[v0] = r;
+      used_[r] = true;
+      descend(1);
+      used_[r] = false;
+      mapping_[v0] = graph::kInvalidNode;
+      if (stopped_) return;
+    }
+  }
+
+  [[nodiscard]] const SearchStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool stoppedEarly() const noexcept { return stopped_; }
 
  private:
   bool limitsHit() {
     if (stopped_) return true;
-    if (deadline_.isBounded() &&
-        stats_->treeNodesVisited % options_.checkStride == 0 && deadline_.expired()) {
-      stopped_ = true;
-    }
+    if (context_.shouldStop(stats_.treeNodesVisited)) stopped_ = true;
     return stopped_;
   }
 
   void collectCandidates(graph::NodeId v, std::vector<graph::NodeId>& out) {
     out.clear();
-    const auto& earlier = earlier_[v];
+    const auto& earlier = plan_.earlier[v];
     if (earlier.empty()) {
-      for (const graph::NodeId r : filters_.viable(v)) {
+      for (const graph::NodeId r : plan_.filters.viable(v)) {
         if (!used_[r]) out.push_back(r);
       }
       return;
@@ -102,7 +114,7 @@ class FilteredEngine {
     std::span<const graph::NodeId> base;
     std::size_t baseSize = static_cast<std::size_t>(-1);
     for (const FilterMatrix::Constrainer& c : earlier) {
-      const auto cell = filters_.candidates(c.owner, c.slot, mapping_[c.owner]);
+      const auto cell = plan_.filters.candidates(c.owner, c.slot, mapping_[c.owner]);
       if (cell.size() < baseSize) {
         baseSize = cell.size();
         base = cell;
@@ -111,10 +123,10 @@ class FilteredEngine {
     }
     for (const graph::NodeId r : base) {
       if (used_[r]) continue;
-      if (!filters_.isViable(v, r)) continue;  // forward arc-consistency prune
+      if (!plan_.filters.isViable(v, r)) continue;  // forward arc-consistency prune
       bool inAll = true;
       for (const FilterMatrix::Constrainer& c : earlier) {
-        const auto cell = filters_.candidates(c.owner, c.slot, mapping_[c.owner]);
+        const auto cell = plan_.filters.candidates(c.owner, c.slot, mapping_[c.owner]);
         if (cell.data() == base.data()) continue;
         if (!std::binary_search(cell.begin(), cell.end(), r)) {
           inAll = false;
@@ -125,76 +137,158 @@ class FilteredEngine {
     }
   }
 
-  void descend(std::size_t depth, EmbedResult& result) {
+  void descend(std::size_t depth) {
     if (limitsHit()) return;
-    stats_->peakCovered = std::max(stats_->peakCovered, depth);
-    if (depth == order_.size()) {
-      onSolution(result);
+    stats_.peakCovered = std::max(stats_.peakCovered, depth);
+    if (depth == plan_.order.size()) {
+      if (!context_.offerSolution(mapping_)) stopped_ = true;
       return;
     }
-    const graph::NodeId v = order_[depth];
+    const graph::NodeId v = plan_.order[depth];
     std::vector<graph::NodeId>& candidates = candidateBuffers_[depth];
     collectCandidates(v, candidates);
     if (randomize_) rng_.shuffle(candidates);
 
     for (const graph::NodeId r : candidates) {
       if (limitsHit()) return;
-      ++stats_->treeNodesVisited;
+      ++stats_.treeNodesVisited;
       mapping_[v] = r;
       used_[r] = true;
-      descend(depth + 1, result);
+      descend(depth + 1);
       used_[r] = false;
       mapping_[v] = graph::kInvalidNode;
       if (stopped_) return;
     }
-    ++stats_->backtracks;
+    ++stats_.backtracks;
   }
 
-  void onSolution(EmbedResult& result) {
-    ++solutionCount_;
-    if (stats_->firstMatchMs < 0) stats_->firstMatchMs = firstMatchTimer_.elapsedMs();
-    if (result.mappings.size() < options_.storeLimit) result.mappings.push_back(mapping_);
-    if (sink_ && !sink_(mapping_)) {
-      stopped_ = true;
-      return;
-    }
-    if (options_.maxSolutions != 0 && solutionCount_ >= options_.maxSolutions) {
-      stopped_ = true;
-    }
-  }
-
-  const Problem& problem_;
-  const SearchOptions& options_;
-  const SolutionSink& sink_;
+  const FilteredPlan& plan_;
+  SearchContext& context_;
   bool randomize_;
   util::Rng rng_;
-  util::Deadline deadline_;
-  util::Stopwatch firstMatchTimer_;
 
-  FilterMatrix filters_;
-  std::vector<graph::NodeId> order_;
-  std::vector<std::size_t> position_;
-  std::vector<std::vector<FilterMatrix::Constrainer>> earlier_;
   Mapping mapping_;
   std::vector<bool> used_;
   std::vector<std::vector<graph::NodeId>> candidateBuffers_;
-  SearchStats* stats_ = nullptr;
-  std::uint64_t solutionCount_ = 0;
+  SearchStats stats_;
   bool stopped_ = false;
 };
 
 }  // namespace
 
 namespace detail {
-EmbedResult filteredSearch(const Problem& problem, const SearchOptions& options,
-                           const SolutionSink& sink, bool randomize) {
-  return FilteredEngine(problem, options, sink, randomize).run();
+
+EmbedResult filteredSearch(const Problem& problem, SearchContext& context,
+                           bool randomize) {
+  util::Stopwatch total;
+  problem.validate();
+  const SearchOptions& options = context.options();
+
+  SearchStats setupStats;
+  std::unique_ptr<FilteredPlan> plan;
+  try {
+    plan = std::make_unique<FilteredPlan>(
+        FilteredPlan::build(problem, options, setupStats));
+  } catch (const FilterOverflow&) {
+    // Space blow-up: report inconclusive rather than dying (the documented
+    // failure mode that motivates LNS).
+    context.mergeStats(setupStats);
+    throw;
+  }
+  context.mergeStats(setupStats);
+  context.beginSearchPhase();
+
+  // Empty query: the empty mapping is the one embedding.
+  if (plan->order.empty()) {
+    context.offerSolution({});
+    EmbedResult result = context.finish(/*exhausted=*/true);
+    result.stats.searchMs = total.elapsedMs();
+    return result;
+  }
+
+  const auto viableRoots = plan->filters.viable(plan->order.front());
+  std::vector<graph::NodeId> roots(viableRoots.begin(), viableRoots.end());
+  if (randomize) util::Rng(options.seed).shuffle(roots);
+
+  std::size_t workers = options.rootSplitThreads == 0
+                            ? util::sharedPool().threadCount() + 1
+                            : options.rootSplitThreads;
+  workers = std::max<std::size_t>(1, std::min(workers, std::max<std::size_t>(
+                                                           roots.size(), 1)));
+
+  std::atomic<std::size_t> cursor{0};
+  bool exhausted = true;
+  if (workers == 1) {
+    FilteredWorker worker(problem, *plan, context, randomize, options.seed);
+    worker.run(roots, cursor);
+    context.mergeStats(worker.stats());
+    exhausted = !worker.stoppedEarly();
+  } else {
+    // Root-split: workers-1 pool tasks plus this thread all pull root
+    // candidates from the shared cursor. The caller participating keeps
+    // forward progress guaranteed even when the pool is saturated or tiny.
+    std::vector<std::unique_ptr<FilteredWorker>> team;
+    team.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      team.push_back(std::make_unique<FilteredWorker>(
+          problem, *plan, context, randomize,
+          w == 0 ? options.seed : util::deriveSeed(options.seed, w)));
+    }
+    std::atomic<std::size_t> pending{workers - 1};
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+    // A throwing worker (user sink, bad_alloc) must not escape into the
+    // pool's worker loop nor leave `pending` undecremented: capture the
+    // first exception, cancel the siblings, and rethrow on this thread.
+    const auto runGuarded = [&](std::size_t w) {
+      try {
+        team[w]->run(roots, cursor);
+      } catch (...) {
+        {
+          std::lock_guard lock(errorMutex);
+          if (!firstError) firstError = std::current_exception();
+        }
+        context.requestCancel();
+      }
+    };
+    for (std::size_t w = 1; w < workers; ++w) {
+      util::sharedPool().submit([&, w] {
+        runGuarded(w);
+        if (pending.fetch_sub(1) == 1) {
+          std::lock_guard lock(doneMutex);
+          doneCv.notify_all();
+        }
+      });
+    }
+    runGuarded(0);
+    {
+      std::unique_lock lock(doneMutex);
+      doneCv.wait(lock, [&] { return pending.load() == 0; });
+    }
+    if (firstError) std::rethrow_exception(firstError);
+    for (const auto& worker : team) {
+      context.mergeStats(worker->stats());
+      exhausted = exhausted && !worker->stoppedEarly();
+    }
+  }
+
+  EmbedResult result = context.finish(exhausted);
+  result.stats.searchMs = total.elapsedMs();
+  return result;
 }
+
 }  // namespace detail
 
 EmbedResult ecfSearch(const Problem& problem, const SearchOptions& options,
                       const SolutionSink& sink) {
-  return detail::filteredSearch(problem, options, sink, /*randomize=*/false);
+  SearchContext context(options, sink);
+  return detail::filteredSearch(problem, context, /*randomize=*/false);
+}
+
+EmbedResult ecfSearch(const Problem& problem, SearchContext& context) {
+  return detail::filteredSearch(problem, context, /*randomize=*/false);
 }
 
 }  // namespace netembed::core

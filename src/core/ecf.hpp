@@ -6,7 +6,15 @@
 // depth computed by intersecting stage-1 filter cells of already-assigned
 // neighbours (eq. 2). Complete and correct: enumerates every feasible
 // mapping when given enough time.
+//
+// Root-split parallelism (SearchOptions::rootSplitThreads): the first-depth
+// candidate set is partitioned dynamically across workers, each exploring
+// its subtrees against the shared immutable FilterMatrix. Subtrees of
+// distinct root candidates are disjoint, so the workers' solution sets
+// partition the serial enumeration exactly; maxSolutions/storeLimit and
+// cancellation are honored through the shared SearchContext.
 
+#include "core/engine.hpp"
 #include "core/problem.hpp"
 #include "core/search.hpp"
 
@@ -19,12 +27,15 @@ namespace netembed::core {
                                     const SearchOptions& options = {},
                                     const SolutionSink& sink = {});
 
+/// Run ECF against an externally-owned context (portfolio contenders, tests
+/// exercising cancellation). The context supplies the options.
+[[nodiscard]] EmbedResult ecfSearch(const Problem& problem, SearchContext& context);
+
 namespace detail {
 /// Shared engine behind ECF and RWB; `randomize` shuffles candidate order at
 /// every depth (RWB's random walk — backtracking keeps it complete).
 [[nodiscard]] EmbedResult filteredSearch(const Problem& problem,
-                                         const SearchOptions& options,
-                                         const SolutionSink& sink, bool randomize);
+                                         SearchContext& context, bool randomize);
 }  // namespace detail
 
 }  // namespace netembed::core

@@ -1,0 +1,198 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+
+// The registry deliberately spans layers: the library links as one unit and
+// the service dispatches every Algorithm value — including the baselines —
+// through engineFor(). Only this translation unit reaches down into
+// baseline/; the headers keep the core -> baseline direction out of the API.
+#include "baseline/anneal.hpp"
+#include "baseline/genetic.hpp"
+#include "baseline/naive.hpp"
+#include "core/ecf.hpp"
+#include "core/lns.hpp"
+#include "core/portfolio.hpp"
+#include "core/rwb.hpp"
+
+namespace netembed::core {
+
+const char* stopReasonName(StopReason r) noexcept {
+  switch (r) {
+    case StopReason::None: return "none";
+    case StopReason::Deadline: return "deadline";
+    case StopReason::SolutionBudget: return "solution-budget";
+    case StopReason::SinkStop: return "sink-stop";
+    case StopReason::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+void SearchContext::requestCancel(StopReason reason) noexcept {
+  std::uint8_t expected = static_cast<std::uint8_t>(StopReason::None);
+  reason_.compare_exchange_strong(expected, static_cast<std::uint8_t>(reason),
+                                  std::memory_order_acq_rel);
+  stop_.request_stop();
+}
+
+bool SearchContext::shouldStop(std::uint64_t visits) noexcept {
+  if (stop_.stop_requested()) return true;
+  if (external_.stop_possible() && external_.stop_requested()) {
+    requestCancel(StopReason::Cancelled);
+    return true;
+  }
+  const std::uint64_t stride = options_.checkStride;
+  if (deadline_.isBounded() && (stride <= 1 || visits % stride == 0) &&
+      deadline_.expired()) {
+    requestCancel(StopReason::Deadline);
+    return true;
+  }
+  return false;
+}
+
+bool SearchContext::offerSolution(const Mapping& mapping) {
+  std::lock_guard lock(mutex_);
+  // Exact budget accounting across workers: an over-budget offer is rejected
+  // un-counted, and a sink-stop freezes admission entirely.
+  if (stopReason() == StopReason::SinkStop) return false;
+  const std::uint64_t before = solutions_.load(std::memory_order_relaxed);
+  if (options_.maxSolutions != 0 && before >= options_.maxSolutions) return false;
+  const std::uint64_t count = before + 1;
+  solutions_.store(count, std::memory_order_release);
+  if (firstMatchMs_ < 0) firstMatchMs_ = firstMatchClock_.elapsedMs();
+  if (mappings_.size() < options_.storeLimit) mappings_.push_back(mapping);
+  if (sink_ && !sink_(mapping)) {
+    requestCancel(StopReason::SinkStop);
+    return false;
+  }
+  if (options_.maxSolutions != 0 && count >= options_.maxSolutions) {
+    requestCancel(StopReason::SolutionBudget);
+    return false;
+  }
+  return true;
+}
+
+void SearchContext::mergeStats(const SearchStats& stats) {
+  std::lock_guard lock(mutex_);
+  stats_.merge(stats);
+}
+
+EmbedResult SearchContext::finish(bool exhausted) {
+  std::lock_guard lock(mutex_);
+  EmbedResult result;
+  result.solutionCount = solutions_.load(std::memory_order_acquire);
+  result.mappings = std::move(mappings_);
+  mappings_.clear();
+  stats_.firstMatchMs = firstMatchMs_;
+  result.stats = stats_;
+  const bool cleanFinish = exhausted && !stop_.stop_requested();
+  result.outcome = cleanFinish ? Outcome::Complete
+                   : result.solutionCount > 0 ? Outcome::Partial
+                                              : Outcome::Inconclusive;
+  return result;
+}
+
+namespace {
+
+class EcfEngine final : public Engine {
+ public:
+  Algorithm algorithm() const noexcept override { return Algorithm::ECF; }
+  bool complete() const noexcept override { return true; }
+  EmbedResult run(const Problem& problem, SearchContext& context) const override {
+    return detail::filteredSearch(problem, context, /*randomize=*/false);
+  }
+};
+
+class RwbEngine final : public Engine {
+ public:
+  Algorithm algorithm() const noexcept override { return Algorithm::RWB; }
+  bool complete() const noexcept override { return true; }
+  SearchOptions effectiveOptions(SearchOptions options) const override {
+    if (options.maxSolutions == 0) options.maxSolutions = 1;
+    return options;
+  }
+  EmbedResult run(const Problem& problem, SearchContext& context) const override {
+    return detail::filteredSearch(problem, context, /*randomize=*/true);
+  }
+};
+
+class LnsEngine final : public Engine {
+ public:
+  Algorithm algorithm() const noexcept override { return Algorithm::LNS; }
+  bool complete() const noexcept override { return true; }
+  EmbedResult run(const Problem& problem, SearchContext& context) const override {
+    return lnsSearch(problem, context);
+  }
+};
+
+class NaiveEngine final : public Engine {
+ public:
+  Algorithm algorithm() const noexcept override { return Algorithm::Naive; }
+  bool complete() const noexcept override { return true; }
+  EmbedResult run(const Problem& problem, SearchContext& context) const override {
+    return baseline::naiveSearch(problem, context);
+  }
+};
+
+class AnnealEngine final : public Engine {
+ public:
+  Algorithm algorithm() const noexcept override { return Algorithm::Anneal; }
+  bool complete() const noexcept override { return false; }
+  EmbedResult run(const Problem& problem, SearchContext& context) const override {
+    baseline::AnnealOptions options;
+    options.seed = context.options().seed;
+    return baseline::annealSearch(problem, options, context);
+  }
+};
+
+class GeneticEngine final : public Engine {
+ public:
+  Algorithm algorithm() const noexcept override { return Algorithm::Genetic; }
+  bool complete() const noexcept override { return false; }
+  EmbedResult run(const Problem& problem, SearchContext& context) const override {
+    baseline::GeneticOptions options;
+    options.seed = context.options().seed;
+    return baseline::geneticSearch(problem, options, context);
+  }
+};
+
+class PortfolioEngine final : public Engine {
+ public:
+  Algorithm algorithm() const noexcept override { return Algorithm::Portfolio; }
+  // The race includes complete engines, so an undisturbed Complete outcome
+  // is a genuine proof.
+  bool complete() const noexcept override { return true; }
+  EmbedResult run(const Problem& problem, SearchContext& context) const override {
+    return portfolioSearch(problem, context).result;
+  }
+};
+
+}  // namespace
+
+const Engine& engineFor(Algorithm algorithm) {
+  static const EcfEngine ecf;
+  static const RwbEngine rwb;
+  static const LnsEngine lns;
+  static const NaiveEngine naive;
+  static const AnnealEngine anneal;
+  static const GeneticEngine genetic;
+  static const PortfolioEngine portfolio;
+  switch (algorithm) {
+    case Algorithm::ECF: return ecf;
+    case Algorithm::RWB: return rwb;
+    case Algorithm::LNS: return lns;
+    case Algorithm::Naive: return naive;
+    case Algorithm::Anneal: return anneal;
+    case Algorithm::Genetic: return genetic;
+    case Algorithm::Portfolio: return portfolio;
+  }
+  throw std::invalid_argument("engineFor: unknown algorithm");
+}
+
+EmbedResult runSearch(Algorithm algorithm, const Problem& problem,
+                      const SearchOptions& options, const SolutionSink& sink) {
+  const Engine& engine = engineFor(algorithm);
+  SearchContext context(engine.effectiveOptions(options), sink);
+  return engine.run(problem, context);
+}
+
+}  // namespace netembed::core

@@ -1,0 +1,166 @@
+#pragma once
+// The unified Engine layer.
+//
+// Every search algorithm — ECF, RWB, LNS, the naive/anneal/genetic baselines
+// and the racing portfolio — runs behind the same Engine interface, driven by
+// a SearchContext that owns the wall-clock deadline, a cooperative
+// cancellation token, thread-safe solution admission (maxSolutions,
+// storeLimit, SolutionSink, first-match timing) and a thread-safe stats sink.
+//
+// The context is what makes concurrency composable: root-split workers share
+// one context and agree on when to stop and what was found; portfolio
+// contenders each get their own context chained onto the parent's stop token
+// so cancelling the parent (or the loser of a race) propagates without any
+// engine knowing who else is running.
+
+#include <atomic>
+#include <mutex>
+#include <stop_token>
+
+#include "core/problem.hpp"
+#include "core/search.hpp"
+#include "util/timer.hpp"
+
+namespace netembed::core {
+
+/// Why a search stopped before exhausting its space.
+enum class StopReason : std::uint8_t {
+  None,            // still running, or ran to completion
+  Deadline,        // SearchOptions::timeout expired
+  SolutionBudget,  // maxSolutions reached
+  SinkStop,        // a SolutionSink returned false
+  Cancelled,       // external requestCancel (portfolio loser, shutdown, ...)
+};
+[[nodiscard]] const char* stopReasonName(StopReason r) noexcept;
+
+/// Shared state for one search run. One-shot: create it from the effective
+/// SearchOptions, hand it (by reference) to an engine or to several workers,
+/// then collect the EmbedResult with finish().
+///
+/// Thread-safety: requestCancel/shouldStop/offerSolution/mergeStats may be
+/// called concurrently from any number of workers.
+class SearchContext {
+ public:
+  SearchContext() = default;
+  explicit SearchContext(const SearchOptions& options, SolutionSink sink = {},
+                         std::stop_token externalStop = {})
+      : options_(options),
+        deadline_(options.timeout),
+        external_(std::move(externalStop)),
+        sink_(std::move(sink)) {}
+
+  SearchContext(const SearchContext&) = delete;
+  SearchContext& operator=(const SearchContext&) = delete;
+
+  [[nodiscard]] const SearchOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const util::Deadline& deadline() const noexcept { return deadline_; }
+
+  // --- cancellation --------------------------------------------------------
+
+  /// Ask every engine/worker driving this context to stop at its next poll.
+  /// The first reason recorded wins; later calls only raise the flag.
+  void requestCancel(StopReason reason = StopReason::Cancelled) noexcept;
+
+  [[nodiscard]] bool stopRequested() const noexcept {
+    return stop_.stop_requested();
+  }
+  [[nodiscard]] StopReason stopReason() const noexcept {
+    return static_cast<StopReason>(reason_.load(std::memory_order_acquire));
+  }
+  /// Token observing this context's stop; chain it into child contexts so a
+  /// parent cancel fans out (see the portfolio).
+  [[nodiscard]] std::stop_token stopToken() const noexcept {
+    return stop_.get_token();
+  }
+
+  /// Cooperative poll, called by engines once per visited tree node. Checks
+  /// the cancel flags every call (relaxed atomic loads) and the wall clock
+  /// once per SearchOptions::checkStride visits.
+  [[nodiscard]] bool shouldStop(std::uint64_t visits) noexcept;
+
+  /// Poll for coarse-grained loops (one call per restart/generation): the
+  /// wall clock is checked on every call.
+  [[nodiscard]] bool shouldStop() noexcept { return shouldStop(0); }
+
+  // --- solutions -----------------------------------------------------------
+
+  /// Thread-safe solution admission: counts the mapping, stores it while
+  /// under storeLimit, stamps the first-match time, invokes the sink, and
+  /// raises SolutionBudget / SinkStop cancellation. Returns false when the
+  /// caller must stop its own search (budget exhausted or sink said stop);
+  /// a false return for an over-budget offer means the mapping was NOT
+  /// counted, keeping solutionCount exact even across racing workers.
+  bool offerSolution(const Mapping& mapping);
+
+  [[nodiscard]] std::uint64_t solutionCount() const noexcept {
+    return solutions_.load(std::memory_order_acquire);
+  }
+
+  // --- stats and result ----------------------------------------------------
+
+  /// Restart the first-match clock. Drivers call this once setup (e.g. the
+  /// stage-1 filter build) is done, so firstMatchMs measures search time.
+  void beginSearchPhase() noexcept { firstMatchClock_.restart(); }
+
+  void mergeStats(const SearchStats& stats);
+
+  /// Assemble the final result from everything offered so far. `exhausted`
+  /// means the caller walked its entire search space; the outcome is then
+  /// Complete unless a stop was requested (a cancelled run never reports
+  /// Complete), otherwise Partial/Inconclusive by whether anything was found.
+  /// Callers stamp result.stats.searchMs with their own wall clock.
+  [[nodiscard]] EmbedResult finish(bool exhausted);
+
+ private:
+  SearchOptions options_{};
+  util::Deadline deadline_{};
+  std::stop_token external_{};
+  std::stop_source stop_;
+  std::atomic<std::uint8_t> reason_{static_cast<std::uint8_t>(StopReason::None)};
+  std::atomic<std::uint64_t> solutions_{0};
+  util::Stopwatch firstMatchClock_;
+
+  std::mutex mutex_;  // guards mappings_, sink_, stats_, firstMatchMs_
+  std::vector<Mapping> mappings_;
+  SolutionSink sink_;
+  SearchStats stats_{};
+  double firstMatchMs_ = -1.0;
+};
+
+/// A search algorithm behind the uniform entry point. Implementations are
+/// stateless singletons (see engineFor); all per-run state lives in the
+/// SearchContext and on the stack.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  [[nodiscard]] virtual Algorithm algorithm() const noexcept = 0;
+  [[nodiscard]] const char* name() const noexcept {
+    return algorithmName(algorithm());
+  }
+
+  /// Complete search: a Complete outcome with zero solutions proves
+  /// infeasibility. False for the metaheuristic baselines.
+  [[nodiscard]] virtual bool complete() const noexcept = 0;
+
+  /// Normalize caller options to this engine's semantics (e.g. RWB treats
+  /// maxSolutions == 0 as 1). Build the SearchContext from the result.
+  [[nodiscard]] virtual SearchOptions effectiveOptions(SearchOptions options) const {
+    return options;
+  }
+
+  /// Run against a context prepared from effectiveOptions().
+  [[nodiscard]] virtual EmbedResult run(const Problem& problem,
+                                        SearchContext& context) const = 0;
+};
+
+/// The engine registry: one stateless instance per Algorithm value.
+[[nodiscard]] const Engine& engineFor(Algorithm algorithm);
+
+/// One-call dispatch: build a context from effectiveOptions() and run.
+/// This is what the service, the optimizer and the benches call.
+[[nodiscard]] EmbedResult runSearch(Algorithm algorithm, const Problem& problem,
+                                    const SearchOptions& options = {},
+                                    const SolutionSink& sink = {});
+
+}  // namespace netembed::core

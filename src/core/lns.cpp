@@ -10,18 +10,13 @@ namespace {
 
 class LnsEngine {
  public:
-  LnsEngine(const Problem& problem, const SearchOptions& options,
-            const SolutionSink& sink)
-      : problem_(problem),
-        options_(options),
-        sink_(sink),
-        deadline_(options.timeout) {}
+  LnsEngine(const Problem& problem, SearchContext& context)
+      : problem_(problem), options_(context.options()), context_(context) {}
 
   EmbedResult run() {
     util::Stopwatch total;
     problem_.validate();
-    EmbedResult result;
-    stats_ = &result.stats;
+    context_.beginSearchPhase();
 
     const std::size_t nq = problem_.query->nodeCount();
     const std::size_t nr = problem_.host->nodeCount();
@@ -31,20 +26,13 @@ class LnsEngine {
     used_.assign(nr, false);
     nodeOkKnown_.assign(nq, std::vector<std::uint8_t>(nr, 0));
     coveredCount_ = 0;
-    solutionCount_ = 0;
     stopped_ = false;
-    result.stats.firstMatchMs = -1.0;
-    firstMatchTimer_.restart();
 
-    descend(result);
+    descend();
 
-    result.solutionCount = solutionCount_;
+    context_.mergeStats(stats_);
+    EmbedResult result = context_.finish(/*exhausted=*/!stopped_);
     result.stats.searchMs = total.elapsedMs();
-    if (!stopped_) {
-      result.outcome = Outcome::Complete;
-    } else {
-      result.outcome = solutionCount_ > 0 ? Outcome::Partial : Outcome::Inconclusive;
-    }
     return result;
   }
 
@@ -54,10 +42,7 @@ class LnsEngine {
 
   bool limitsHit() {
     if (stopped_) return true;
-    if (deadline_.isBounded() &&
-        stats_->treeNodesVisited % options_.checkStride == 0 && deadline_.expired()) {
-      stopped_ = true;
-    }
+    if (context_.shouldStop(stats_.treeNodesVisited)) stopped_ = true;
     return stopped_;
   }
 
@@ -143,17 +128,17 @@ class LnsEngine {
       if (!he) return false;
       const graph::NodeId qa = ce.vIsSource ? v : ce.coveredNode;
       const graph::NodeId qb = ce.vIsSource ? ce.coveredNode : v;
-      if (!problem_.edgeOk(ce.qedge, qa, qb, *he, from, to, stats_->constraintEvals)) {
+      if (!problem_.edgeOk(ce.qedge, qa, qb, *he, from, to, stats_.constraintEvals)) {
         return false;
       }
     }
     return true;
   }
 
-  void descend(EmbedResult& result) {
+  void descend() {
     if (limitsHit()) return;
     if (coveredCount_ == query().nodeCount()) {
-      onSolution(result);
+      if (!context_.offerSolution(mapping_)) stopped_ = true;
       return;
     }
     const graph::NodeId v = chooseNext();
@@ -166,13 +151,13 @@ class LnsEngine {
       for (graph::NodeId s = 0; s < used_.size(); ++s) {
         if (limitsHit()) return;
         if (used_[s] || !nodeViable(v, s)) continue;
-        ++stats_->treeNodesVisited;
+        ++stats_.treeNodesVisited;
         push(v, s);
-        descend(result);
+        descend();
         pop(v, s);
         if (stopped_) return;
       }
-      ++stats_->backtracks;
+      ++stats_.backtracks;
       return;
     }
 
@@ -202,13 +187,13 @@ class LnsEngine {
       if (limitsHit()) return;
       const graph::NodeId s = nb.node;
       if (!candidateOk(v, s, connecting)) continue;
-      ++stats_->treeNodesVisited;
+      ++stats_.treeNodesVisited;
       push(v, s);
-      descend(result);
+      descend();
       pop(v, s);
       if (stopped_) return;
     }
-    ++stats_->backtracks;
+    ++stats_.backtracks;
   }
 
   void push(graph::NodeId v, graph::NodeId s) {
@@ -216,7 +201,7 @@ class LnsEngine {
     covered_[v] = true;
     used_[s] = true;
     ++coveredCount_;
-    stats_->peakCovered = std::max(stats_->peakCovered, coveredCount_);
+    stats_.peakCovered = std::max(stats_.peakCovered, coveredCount_);
     forEachQueryNeighbor(v, [&](graph::NodeId u) {
       if (!covered_[u]) ++linksToCovered_[u];
     });
@@ -240,24 +225,9 @@ class LnsEngine {
     }
   }
 
-  void onSolution(EmbedResult& result) {
-    ++solutionCount_;
-    if (stats_->firstMatchMs < 0) stats_->firstMatchMs = firstMatchTimer_.elapsedMs();
-    if (result.mappings.size() < options_.storeLimit) result.mappings.push_back(mapping_);
-    if (sink_ && !sink_(mapping_)) {
-      stopped_ = true;
-      return;
-    }
-    if (options_.maxSolutions != 0 && solutionCount_ >= options_.maxSolutions) {
-      stopped_ = true;
-    }
-  }
-
   const Problem& problem_;
   const SearchOptions& options_;
-  const SolutionSink& sink_;
-  util::Deadline deadline_;
-  util::Stopwatch firstMatchTimer_;
+  SearchContext& context_;
 
   Mapping mapping_;
   std::vector<bool> covered_;
@@ -265,8 +235,7 @@ class LnsEngine {
   std::vector<bool> used_;
   std::vector<std::vector<std::uint8_t>> nodeOkKnown_;  // 0 unknown, 1 no, 2 yes
   std::size_t coveredCount_ = 0;
-  SearchStats* stats_ = nullptr;
-  std::uint64_t solutionCount_ = 0;
+  SearchStats stats_;
   bool stopped_ = false;
 };
 
@@ -274,7 +243,12 @@ class LnsEngine {
 
 EmbedResult lnsSearch(const Problem& problem, const SearchOptions& options,
                       const SolutionSink& sink) {
-  return LnsEngine(problem, options, sink).run();
+  SearchContext context(options, sink);
+  return LnsEngine(problem, context).run();
+}
+
+EmbedResult lnsSearch(const Problem& problem, SearchContext& context) {
+  return LnsEngine(problem, context).run();
 }
 
 }  // namespace netembed::core

@@ -13,6 +13,7 @@
 //   2. expand the neighbour with the most links into Covered.
 // Complete and correct per the paper's appendix (Lemma 2 / Theorem 1).
 
+#include "core/engine.hpp"
 #include "core/problem.hpp"
 #include "core/search.hpp"
 
@@ -21,5 +22,9 @@ namespace netembed::core {
 [[nodiscard]] EmbedResult lnsSearch(const Problem& problem,
                                     const SearchOptions& options = {},
                                     const SolutionSink& sink = {});
+
+/// Run against an externally-owned context (portfolio contenders, tests
+/// exercising cancellation). The context supplies the options.
+[[nodiscard]] EmbedResult lnsSearch(const Problem& problem, SearchContext& context);
 
 }  // namespace netembed::core

@@ -1,0 +1,141 @@
+#include "core/portfolio.hpp"
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace netembed::core {
+
+std::string PortfolioResult::summary() const {
+  std::ostringstream out;
+  out << "portfolio: winner=" << algorithmName(winner)
+      << (raceDecided ? " decided" : " undecided") << " [";
+  bool first = true;
+  for (const ContenderReport& c : contenders) {
+    if (!first) out << " | ";
+    first = false;
+    out << algorithmName(c.algorithm) << ' ' << outcomeName(c.outcome);
+    if (c.stopReason != StopReason::None) out << '/' << stopReasonName(c.stopReason);
+    out << ' ' << c.searchMs << "ms";
+    if (c.won) out << '*';
+  }
+  out << ']';
+  return out.str();
+}
+
+PortfolioResult portfolioSearch(const Problem& problem, SearchContext& parent,
+                                std::vector<Algorithm> contenders) {
+  if (contenders.empty()) {
+    // RWB stops at its first match by design, so it only races first-match
+    // queries; enumeration races the two exhaustive engines.
+    contenders = parent.options().maxSolutions == 0
+                     ? std::vector<Algorithm>{Algorithm::ECF, Algorithm::LNS}
+                     : std::vector<Algorithm>{Algorithm::ECF, Algorithm::RWB,
+                                              Algorithm::LNS};
+  }
+  problem.validate();
+  util::Stopwatch total;
+  parent.beginSearchPhase();
+
+  struct Entry {
+    const Engine* engine = nullptr;
+    std::unique_ptr<SearchContext> context;
+    EmbedResult result;
+  };
+  const std::size_t n = contenders.size();
+  std::vector<Entry> entries(n);
+  std::atomic<int> winner{-1};
+
+  // Decide the race exactly once; the claimer cancels everyone else. Returns
+  // true when `i` is (or just became) the winner.
+  const auto claim = [&](std::size_t i) {
+    int expected = -1;
+    if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) entries[j].context->requestCancel(StopReason::Cancelled);
+      }
+      return true;
+    }
+    return expected == static_cast<int>(i);
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    entries[i].engine = &engineFor(contenders[i]);
+    SearchOptions options = entries[i].engine->effectiveOptions(parent.options());
+    // The race already fans out across cores; contenders run serial.
+    options.rootSplitThreads = 1;
+    // Only the winner's solutions flow into the parent (and on to the
+    // caller's sink): a loser's in-flight find loses the claim and stops.
+    SolutionSink forward = [&entries, &parent, claim, i](const Mapping& m) {
+      if (!claim(i)) return false;
+      return parent.offerSolution(m);
+    };
+    // Contenders keep no mappings of their own — the parent stores them.
+    options.storeLimit = 0;
+    entries[i].context = std::make_unique<SearchContext>(
+        options, std::move(forward), parent.stopToken());
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      Entry& entry = entries[i];
+      try {
+        entry.result = entry.engine->run(problem, *entry.context);
+      } catch (...) {
+        // e.g. FilterOverflow: this contender drops out of the race.
+        entry.result = EmbedResult{};
+      }
+      if (entry.result.outcome == Outcome::Complete && entry.engine->complete()) {
+        // Exhausted the space: proof (infeasibility when nothing was found).
+        claim(i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  PortfolioResult out;
+  int w = winner.load();
+  out.raceDecided = w >= 0;
+  if (w < 0) {
+    // Undecided (every contender timed out / was cancelled with nothing
+    // found): report the contender that explored the most.
+    w = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (entries[i].result.stats.treeNodesVisited >
+          entries[w].result.stats.treeNodesVisited) {
+        w = static_cast<int>(i);
+      }
+    }
+  }
+  out.winner = contenders[static_cast<std::size_t>(w)];
+  out.contenders.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.contenders.push_back({contenders[i], entries[i].result.outcome,
+                              entries[i].context->stopReason(),
+                              entries[i].result.stats.treeNodesVisited,
+                              entries[i].result.stats.searchMs,
+                              out.raceDecided && static_cast<int>(i) == w});
+  }
+
+  const Entry& winning = entries[static_cast<std::size_t>(w)];
+  parent.mergeStats(winning.result.stats);
+  const bool exhausted =
+      out.raceDecided && winning.result.outcome == Outcome::Complete;
+  out.result = parent.finish(exhausted);
+  out.result.stats.searchMs = total.elapsedMs();
+  return out;
+}
+
+PortfolioResult portfolioSearch(const Problem& problem, const SearchOptions& options,
+                                const SolutionSink& sink,
+                                std::vector<Algorithm> contenders) {
+  SearchContext parent(options, sink);
+  return portfolioSearch(problem, parent, std::move(contenders));
+}
+
+}  // namespace netembed::core

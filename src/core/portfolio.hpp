@@ -1,0 +1,61 @@
+#pragma once
+// Racing portfolio search (paper §VIII: no single algorithm dominates).
+//
+// ECF/RWB win on tightly-constrained queries over sparse hosts; LNS wins for
+// first-match on dense hosts and regular/under-constrained queries — and the
+// static chooser can only guess. The portfolio stops guessing: it races the
+// contenders concurrently on their own threads and cancels the losers the
+// moment one either finds a first feasible mapping or exhausts the search
+// space (proving infeasibility). The caller pays the latency of the *best*
+// engine for the instance, plus a cancellation round-trip.
+//
+// The race is decided exactly once (an atomic claim); only the winner's
+// solutions ever reach the caller's SolutionSink, and after winning the
+// winner keeps honoring the caller's options (so an enumerate-all portfolio
+// query returns the winner's full enumeration).
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/problem.hpp"
+#include "core/search.hpp"
+
+namespace netembed::core {
+
+struct PortfolioResult {
+  EmbedResult result;
+  /// The engine whose result this is. When the race went undecided (nobody
+  /// found a match or completed before the deadline), this is the contender
+  /// that explored the most of the search space.
+  Algorithm winner = Algorithm::ECF;
+  /// True when some contender found a match or proved infeasibility.
+  bool raceDecided = false;
+
+  struct ContenderReport {
+    Algorithm algorithm = Algorithm::ECF;
+    Outcome outcome = Outcome::Inconclusive;
+    StopReason stopReason = StopReason::None;
+    std::uint64_t treeNodesVisited = 0;
+    double searchMs = 0.0;
+    bool won = false;
+  };
+  std::vector<ContenderReport> contenders;
+
+  /// "portfolio: winner=ECF decided [ECF complete 12.1ms | ...]" diagnostics.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Race `contenders` (default ECF, RWB, LNS) on the problem. Solutions,
+/// budget and deadline accounting flow through a context built from
+/// `options`; the sink sees the winner's solutions only.
+[[nodiscard]] PortfolioResult portfolioSearch(
+    const Problem& problem, const SearchOptions& options = {},
+    const SolutionSink& sink = {}, std::vector<Algorithm> contenders = {});
+
+/// Race against an externally-owned parent context. Contenders chain onto
+/// the parent's stop token, so cancelling the parent cancels the race.
+[[nodiscard]] PortfolioResult portfolioSearch(const Problem& problem,
+                                              SearchContext& parent,
+                                              std::vector<Algorithm> contenders = {});
+
+}  // namespace netembed::core

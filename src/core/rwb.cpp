@@ -8,7 +8,12 @@ EmbedResult rwbSearch(const Problem& problem, const SearchOptions& options,
                       const SolutionSink& sink) {
   SearchOptions effective = options;
   if (effective.maxSolutions == 0) effective.maxSolutions = 1;
-  return detail::filteredSearch(problem, effective, sink, /*randomize=*/true);
+  SearchContext context(effective, sink);
+  return detail::filteredSearch(problem, context, /*randomize=*/true);
+}
+
+EmbedResult rwbSearch(const Problem& problem, SearchContext& context) {
+  return detail::filteredSearch(problem, context, /*randomize=*/true);
 }
 
 }  // namespace netembed::core

@@ -6,6 +6,7 @@
 // embedding (maxSolutions == 0 is treated as 1). Backtracking makes the walk
 // exhaustive, so a no-solution return still proves infeasibility.
 
+#include "core/engine.hpp"
 #include "core/problem.hpp"
 #include "core/search.hpp"
 
@@ -14,5 +15,9 @@ namespace netembed::core {
 [[nodiscard]] EmbedResult rwbSearch(const Problem& problem,
                                     const SearchOptions& options = {},
                                     const SolutionSink& sink = {});
+
+/// Run against an externally-owned context (the context must already carry
+/// RWB's effective options — maxSolutions >= 1).
+[[nodiscard]] EmbedResult rwbSearch(const Problem& problem, SearchContext& context);
 
 }  // namespace netembed::core

@@ -8,6 +8,9 @@ const char* algorithmName(Algorithm a) noexcept {
     case Algorithm::RWB: return "RWB";
     case Algorithm::LNS: return "LNS";
     case Algorithm::Naive: return "Naive";
+    case Algorithm::Anneal: return "Anneal";
+    case Algorithm::Genetic: return "Genetic";
+    case Algorithm::Portfolio: return "Portfolio";
   }
   return "?";
 }

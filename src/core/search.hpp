@@ -15,7 +15,11 @@ namespace netembed::core {
 /// Complete mappings have no kInvalidNode entries.
 using Mapping = std::vector<graph::NodeId>;
 
-enum class Algorithm : std::uint8_t { ECF, RWB, LNS, Naive };
+/// Search engines. ECF/RWB/LNS are the paper's algorithms, Naive/Anneal/
+/// Genetic the baselines, and Portfolio races ECF, RWB and LNS concurrently,
+/// cancelling the losers as soon as one finds a match or proves
+/// infeasibility (§VIII: no single algorithm dominates).
+enum class Algorithm : std::uint8_t { ECF, RWB, LNS, Naive, Anneal, Genetic, Portfolio };
 [[nodiscard]] const char* algorithmName(Algorithm a) noexcept;
 
 /// How a search ended (paper §VII-E):
@@ -53,6 +57,12 @@ struct SearchOptions {
 
   /// Deadline poll stride, in visited tree nodes.
   std::uint64_t checkStride = 1024;
+
+  /// ECF/RWB root-split parallelism: the first-depth candidate set (in
+  /// Lemma-1 order) is partitioned across this many workers, each exploring
+  /// its subtrees against the shared immutable FilterMatrix. 1 = serial
+  /// (default); 0 = one worker per hardware thread.
+  std::size_t rootSplitThreads = 1;
 };
 
 struct SearchStats {

@@ -2,9 +2,7 @@
 
 #include <limits>
 
-#include "core/ecf.hpp"
-#include "core/lns.hpp"
-#include "core/rwb.hpp"
+#include "core/engine.hpp"
 
 namespace netembed::service {
 
@@ -52,18 +50,7 @@ OptimizeResult enumerateAndOptimize(const core::Problem& problem,
     return true;  // keep enumerating
   };
 
-  switch (algorithm) {
-    case core::Algorithm::ECF:
-      out.search = core::ecfSearch(problem, options, sink);
-      break;
-    case core::Algorithm::RWB:
-      out.search = core::rwbSearch(problem, options, sink);
-      break;
-    case core::Algorithm::LNS:
-    case core::Algorithm::Naive:
-      out.search = core::lnsSearch(problem, options, sink);
-      break;
-  }
+  out.search = core::runSearch(algorithm, problem, options, sink);
   return out;
 }
 

@@ -1,10 +1,10 @@
 #include "service/service.hpp"
 
 #include <sstream>
+#include <thread>
 
-#include "core/ecf.hpp"
-#include "core/lns.hpp"
-#include "core/rwb.hpp"
+#include "core/engine.hpp"
+#include "core/portfolio.hpp"
 #include "topo/sample.hpp"
 
 namespace netembed::service {
@@ -18,28 +18,42 @@ EmbedResponse NetEmbedService::submit(const EmbedRequest& request) const {
   problem.validate();
 
   const bool wantAll = request.options.maxSolutions != 1;
-  const Algorithm algorithm =
-      request.algorithm.value_or(chooseAlgorithm(request.query, model_.host(), wantAll));
+  const Algorithm predicted = chooseAlgorithm(request.query, model_.host(), wantAll);
+  Algorithm algorithm = request.algorithm.value_or(predicted);
+  // Escalation: first-match auto-selected queries race the portfolio when
+  // the hardware has headroom — §VIII's guidance is a heuristic, the race
+  // is ground truth.
+  if (!request.algorithm.has_value() && !wantAll &&
+      std::thread::hardware_concurrency() > 1) {
+    algorithm = Algorithm::Portfolio;
+  }
 
   EmbedResponse response;
   response.algorithmUsed = algorithm;
   response.modelVersion = model_.version();
-  switch (algorithm) {
-    case Algorithm::ECF:
-      response.result = core::ecfSearch(problem, request.options);
-      break;
-    case Algorithm::RWB:
-      response.result = core::rwbSearch(problem, request.options);
-      break;
-    case Algorithm::LNS:
-    case Algorithm::Naive:  // the service never auto-picks Naive; map it to LNS
-      response.result = core::lnsSearch(problem, request.options);
-      break;
-  }
-
   std::ostringstream diag;
-  diag << core::algorithmName(algorithm) << ": " << core::outcomeName(response.result.outcome)
-       << ", " << response.result.solutionCount << " mapping(s), "
+  if (algorithm == Algorithm::Portfolio) {
+    // Spawn the §VIII-predicted engine first: on busy or low-core machines
+    // the earliest-scheduled contender tends to get CPU first, so the static
+    // heuristic still buys latency while the race guarantees the outcome.
+    std::vector<Algorithm> contenders{predicted};
+    for (const Algorithm a : {Algorithm::LNS, Algorithm::RWB, Algorithm::ECF}) {
+      if (a == predicted) continue;
+      if (wantAll && a == Algorithm::RWB) continue;  // RWB stops at one match
+      contenders.push_back(a);
+    }
+    const core::PortfolioResult race =
+        core::portfolioSearch(problem, request.options, {}, std::move(contenders));
+    response.result = race.result;
+    // Report the engine whose answer the caller is holding.
+    if (race.raceDecided) response.algorithmUsed = race.winner;
+    diag << race.summary() << ": ";
+  } else {
+    response.result = core::runSearch(algorithm, problem, request.options);
+    diag << core::algorithmName(algorithm) << ": ";
+  }
+  diag << core::outcomeName(response.result.outcome) << ", "
+       << response.result.solutionCount << " mapping(s), "
        << response.result.stats.searchMs << " ms";
   response.diagnostics = diag.str();
   return response;

@@ -17,6 +17,7 @@ struct ThreadPool::Impl {
   std::vector<std::thread> workers;
   std::size_t inFlight = 0;
   bool shutdown = false;
+  std::stop_source stop;
 
   void workerLoop() {
     for (;;) {
@@ -74,6 +75,28 @@ void ThreadPool::wait() {
 }
 
 std::size_t ThreadPool::threadCount() const noexcept { return impl_->workers.size(); }
+
+void ThreadPool::requestStop() noexcept {
+  // The mutex serializes against resetStop() reassigning the stop_source;
+  // tokens handed out by stopToken() stay lock-free to poll.
+  std::lock_guard lock(impl_->mutex);
+  impl_->stop.request_stop();
+}
+
+bool ThreadPool::stopRequested() const noexcept {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->stop.stop_requested();
+}
+
+std::stop_token ThreadPool::stopToken() const noexcept {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->stop.get_token();
+}
+
+void ThreadPool::resetStop() {
+  std::lock_guard lock(impl_->mutex);
+  impl_->stop = std::stop_source{};
+}
 
 void parallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn, std::size_t grain) {

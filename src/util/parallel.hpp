@@ -3,17 +3,23 @@
 //
 // NETEMBED's stage-1 filter construction evaluates the constraint expression
 // over |E_Q| x |E_R| edge pairs; that loop is embarrassingly parallel and is
-// the main user of parallelFor. Benchmark harnesses also use the pool to run
+// the main user of parallelFor. The core engines also lease workers from the
+// pool for root-split search, and benchmark harnesses use it to run
 // independent repetitions concurrently.
 
 #include <cstddef>
 #include <functional>
+#include <stop_token>
 #include <vector>
 
 namespace netembed::util {
 
 /// Fixed-size worker pool. Tasks are arbitrary std::function<void()>; the
 /// destructor drains the queue and joins all workers (RAII, no detach).
+///
+/// Cooperative cancellation: the pool owns a std::stop_source. requestStop()
+/// never interrupts a running task — cancellable tasks poll stopToken() /
+/// stopRequested() and wind down at their next check.
 class ThreadPool {
  public:
   /// threads == 0 selects the hardware concurrency (at least 1).
@@ -30,6 +36,16 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t threadCount() const noexcept;
 
+  /// Ask cooperative tasks to stop early. Queued-but-unstarted work still
+  /// runs (tasks poll the token themselves); nothing is interrupted.
+  void requestStop() noexcept;
+  [[nodiscard]] bool stopRequested() const noexcept;
+  /// Token view for tasks; observes requestStop() until the next resetStop().
+  [[nodiscard]] std::stop_token stopToken() const noexcept;
+  /// Re-arm after a requestStop() so the pool can be reused. Call only when
+  /// no cooperative task is in flight (typically right after wait()).
+  void resetStop();
+
  private:
   struct Impl;
   Impl* impl_;  // pimpl keeps <thread>/<condition_variable> out of the header
@@ -37,6 +53,9 @@ class ThreadPool {
 
 /// Process [0, n) with `fn(i)` across the pool, in contiguous chunks.
 /// Exceptions thrown by fn propagate to the caller (first one wins).
+/// Always visits every index or throws — correctness-critical loops (the
+/// stage-1 filter build) rely on that, so parallelFor deliberately ignores
+/// the pool's stop token; a cancellable fn polls stopToken() itself.
 void parallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn,
                  std::size_t grain = 0);

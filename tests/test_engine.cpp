@@ -1,0 +1,329 @@
+// The unified Engine layer: SearchContext cancellation semantics, parallel
+// root-split search, the engine registry, and the racing portfolio.
+
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/ecf.hpp"
+#include "core/lns.hpp"
+#include "core/portfolio.hpp"
+#include "core/rwb.hpp"
+#include "core/verify.hpp"
+#include "topo/regular.hpp"
+
+namespace {
+
+using namespace netembed;
+using core::Algorithm;
+using core::EmbedResult;
+using core::Outcome;
+using core::Problem;
+using core::SearchContext;
+using core::SearchOptions;
+using core::StopReason;
+using graph::Graph;
+
+const expr::ConstraintSet kNone;
+
+SearchOptions storeAll() {
+  SearchOptions o;
+  o.storeLimit = 100000;
+  return o;
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(EngineRegistry, EveryAlgorithmResolvesToItself) {
+  for (const Algorithm a :
+       {Algorithm::ECF, Algorithm::RWB, Algorithm::LNS, Algorithm::Naive,
+        Algorithm::Anneal, Algorithm::Genetic, Algorithm::Portfolio}) {
+    EXPECT_EQ(core::engineFor(a).algorithm(), a);
+    EXPECT_STREQ(core::engineFor(a).name(), core::algorithmName(a));
+  }
+}
+
+TEST(EngineRegistry, CompletenessFlagsMatchTheory) {
+  EXPECT_TRUE(core::engineFor(Algorithm::ECF).complete());
+  EXPECT_TRUE(core::engineFor(Algorithm::RWB).complete());
+  EXPECT_TRUE(core::engineFor(Algorithm::LNS).complete());
+  EXPECT_TRUE(core::engineFor(Algorithm::Naive).complete());
+  EXPECT_FALSE(core::engineFor(Algorithm::Anneal).complete());
+  EXPECT_FALSE(core::engineFor(Algorithm::Genetic).complete());
+}
+
+TEST(EngineRegistry, RunSearchDispatchesEveryCompleteEngine) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::ring(4);
+  const Problem problem(query, host, kNone);
+  const EmbedResult reference = core::runSearch(Algorithm::ECF, problem, storeAll());
+  ASSERT_EQ(reference.outcome, Outcome::Complete);
+  for (const Algorithm a : {Algorithm::LNS, Algorithm::Naive}) {
+    const EmbedResult r = core::runSearch(a, problem, storeAll());
+    EXPECT_EQ(r.outcome, Outcome::Complete) << core::algorithmName(a);
+    EXPECT_EQ(r.solutionCount, reference.solutionCount) << core::algorithmName(a);
+  }
+  // RWB normalizes maxSolutions=0 to a first-match query.
+  const EmbedResult rwb = core::runSearch(Algorithm::RWB, problem, storeAll());
+  EXPECT_EQ(rwb.solutionCount, 1u);
+}
+
+TEST(EngineRegistry, MetaheuristicsRunBehindTheSameInterface) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::clique(8);
+  const Problem problem(query, host, kNone);
+  for (const Algorithm a : {Algorithm::Anneal, Algorithm::Genetic}) {
+    SearchOptions o;
+    o.seed = 7;
+    const EmbedResult r = core::runSearch(a, problem, o);
+    ASSERT_EQ(r.outcome, Outcome::Partial) << core::algorithmName(a);
+    ASSERT_FALSE(r.mappings.empty());
+    EXPECT_TRUE(core::verifyMapping(problem, r.mappings.front()).ok);
+  }
+}
+
+// --- cancellation semantics --------------------------------------------------
+
+TEST(Cancellation, PreCancelledContextYieldsInconclusiveNotComplete) {
+  const Graph query = topo::clique(3);
+  const Graph host = topo::clique(6);
+  const Problem problem(query, host, kNone);
+  for (const Algorithm a :
+       {Algorithm::ECF, Algorithm::RWB, Algorithm::LNS, Algorithm::Naive}) {
+    const core::Engine& engine = core::engineFor(a);
+    SearchContext context(engine.effectiveOptions(storeAll()));
+    context.requestCancel();
+    const EmbedResult r = engine.run(problem, context);
+    EXPECT_EQ(r.outcome, Outcome::Inconclusive) << core::algorithmName(a);
+    EXPECT_EQ(r.solutionCount, 0u) << core::algorithmName(a);
+    EXPECT_FALSE(r.provenInfeasible()) << core::algorithmName(a);
+    EXPECT_EQ(context.stopReason(), StopReason::Cancelled);
+  }
+}
+
+TEST(Cancellation, MidRunCancelNeverReportsComplete) {
+  // Enumerating K5 into K24 visits millions of nodes; a cancel shortly after
+  // launch must stop the search without a Complete claim.
+  const Graph query = topo::clique(5);
+  const Graph host = topo::clique(24);
+  const Problem problem(query, host, kNone);
+  SearchOptions o;
+  o.storeLimit = 1;
+  o.checkStride = 64;
+  SearchContext context(o);
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    context.requestCancel();
+  });
+  const EmbedResult r = core::ecfSearch(problem, context);
+  canceller.join();
+  EXPECT_NE(r.outcome, Outcome::Complete);
+  // Solutions exist everywhere in K24, so the 20 ms head start finds some.
+  EXPECT_EQ(r.outcome, r.solutionCount > 0 ? Outcome::Partial : Outcome::Inconclusive);
+}
+
+TEST(Cancellation, DeadlineStopIsRecordedAsDeadline) {
+  const Graph query = topo::clique(5);
+  const Graph host = topo::clique(24);
+  const Problem problem(query, host, kNone);
+  SearchOptions o;
+  o.storeLimit = 1;
+  o.timeout = std::chrono::milliseconds(20);
+  o.checkStride = 64;
+  SearchContext context(o);
+  const EmbedResult r = core::ecfSearch(problem, context);
+  EXPECT_NE(r.outcome, Outcome::Complete);
+  EXPECT_EQ(context.stopReason(), StopReason::Deadline);
+}
+
+TEST(Cancellation, SolutionBudgetStopIsPartial) {
+  const Graph query = topo::clique(3);
+  const Graph host = topo::clique(10);
+  SearchOptions o = storeAll();
+  o.maxSolutions = 5;
+  SearchContext context(o);
+  const EmbedResult r = core::ecfSearch(Problem(query, host, kNone), context);
+  EXPECT_EQ(r.outcome, Outcome::Partial);
+  EXPECT_EQ(r.solutionCount, 5u);
+  EXPECT_EQ(context.stopReason(), StopReason::SolutionBudget);
+}
+
+TEST(Cancellation, ExternalStopTokenChainsIntoContext) {
+  const Graph query = topo::clique(5);
+  const Graph host = topo::clique(24);
+  const Problem problem(query, host, kNone);
+  std::stop_source parent;
+  SearchOptions o;
+  o.storeLimit = 1;
+  o.checkStride = 64;
+  SearchContext context(o, {}, parent.get_token());
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    parent.request_stop();
+  });
+  const EmbedResult r = core::ecfSearch(problem, context);
+  canceller.join();
+  EXPECT_NE(r.outcome, Outcome::Complete);
+  EXPECT_EQ(context.stopReason(), StopReason::Cancelled);
+}
+
+// --- root-split parallel search ----------------------------------------------
+
+TEST(RootSplit, EcfMatchesSerialSolutionCountExactly) {
+  // Enumeration workload: the acceptance bar for the parallel refactor.
+  const Graph query = topo::ring(4);
+  const Graph host = topo::clique(9);
+  const Problem problem(query, host, kNone);
+  const EmbedResult serial = core::ecfSearch(problem, storeAll());
+  ASSERT_EQ(serial.outcome, Outcome::Complete);
+  ASSERT_GT(serial.solutionCount, 0u);
+  for (const std::size_t threads : {2u, 4u, 0u /* hardware */}) {
+    SearchOptions o = storeAll();
+    o.rootSplitThreads = threads;
+    const EmbedResult split = core::ecfSearch(problem, o);
+    EXPECT_EQ(split.outcome, Outcome::Complete) << threads;
+    EXPECT_EQ(split.solutionCount, serial.solutionCount) << threads;
+    EXPECT_EQ(split.mappings.size(), serial.mappings.size()) << threads;
+  }
+}
+
+TEST(RootSplit, EcfProvesInfeasibilityInParallel) {
+  const Graph query = topo::clique(4);
+  const Graph host = topo::ring(10);
+  SearchOptions o = storeAll();
+  o.rootSplitThreads = 4;
+  const EmbedResult r = core::ecfSearch(Problem(query, host, kNone), o);
+  EXPECT_TRUE(r.provenInfeasible());
+}
+
+TEST(RootSplit, SolutionBudgetIsExactAcrossWorkers) {
+  const Graph query = topo::clique(3);
+  const Graph host = topo::clique(12);
+  SearchOptions o = storeAll();
+  o.maxSolutions = 9;
+  o.rootSplitThreads = 4;
+  const EmbedResult r = core::ecfSearch(Problem(query, host, kNone), o);
+  EXPECT_EQ(r.outcome, Outcome::Partial);
+  EXPECT_EQ(r.solutionCount, 9u);  // never over-counts despite racing workers
+  EXPECT_EQ(r.mappings.size(), 9u);
+}
+
+TEST(RootSplit, RwbFindsAValidFirstMatch) {
+  const Graph query = topo::line(4);
+  const Graph host = topo::clique(10);
+  const Problem problem(query, host, kNone);
+  SearchOptions o;
+  o.rootSplitThreads = 4;
+  o.seed = 11;
+  const EmbedResult r = core::rwbSearch(problem, o);
+  EXPECT_EQ(r.outcome, Outcome::Partial);
+  ASSERT_EQ(r.solutionCount, 1u);
+  ASSERT_EQ(r.mappings.size(), 1u);
+  EXPECT_TRUE(core::verifyMapping(problem, r.mappings.front()).ok);
+}
+
+TEST(RootSplit, CancelledWorkersNeverReportComplete) {
+  const Graph query = topo::clique(5);
+  const Graph host = topo::clique(24);
+  const Problem problem(query, host, kNone);
+  SearchOptions o;
+  o.storeLimit = 1;
+  o.checkStride = 64;
+  o.rootSplitThreads = 4;
+  SearchContext context(o);
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    context.requestCancel();
+  });
+  const EmbedResult r = core::ecfSearch(problem, context);
+  canceller.join();
+  EXPECT_NE(r.outcome, Outcome::Complete);
+}
+
+// --- portfolio ---------------------------------------------------------------
+
+TEST(Portfolio, FirstMatchRaceReturnsAVerifiedMapping) {
+  const Graph query = topo::ring(4);
+  const Graph host = topo::clique(10);
+  const Problem problem(query, host, kNone);
+  SearchOptions o;
+  o.maxSolutions = 1;
+  const core::PortfolioResult race = core::portfolioSearch(problem, o);
+  EXPECT_TRUE(race.raceDecided);
+  EXPECT_EQ(race.result.outcome, Outcome::Partial);
+  ASSERT_EQ(race.result.solutionCount, 1u);
+  ASSERT_EQ(race.result.mappings.size(), 1u);
+  EXPECT_TRUE(core::verifyMapping(problem, race.result.mappings.front()).ok);
+  EXPECT_EQ(race.contenders.size(), 3u);
+  EXPECT_FALSE(race.summary().empty());
+}
+
+TEST(Portfolio, ProvesInfeasibilityWhenAContenderCompletes) {
+  const Graph query = topo::clique(4);
+  const Graph host = topo::ring(8);
+  SearchOptions o;
+  o.maxSolutions = 1;
+  const core::PortfolioResult race =
+      core::portfolioSearch(Problem(query, host, kNone), o);
+  EXPECT_TRUE(race.raceDecided);
+  EXPECT_TRUE(race.result.provenInfeasible());
+}
+
+TEST(Portfolio, EnumerationRaceMatchesSerialCount) {
+  const Graph query = topo::ring(4);
+  const Graph host = topo::clique(8);
+  const Problem problem(query, host, kNone);
+  const EmbedResult serial = core::ecfSearch(problem, storeAll());
+  const core::PortfolioResult race = core::portfolioSearch(problem, storeAll());
+  EXPECT_TRUE(race.raceDecided);
+  EXPECT_EQ(race.result.outcome, Outcome::Complete);
+  EXPECT_EQ(race.result.solutionCount, serial.solutionCount);
+}
+
+TEST(Portfolio, SinkSeesOnlyWinnerSolutions) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::clique(8);
+  const Problem problem(query, host, kNone);
+  SearchOptions o;
+  o.maxSolutions = 1;
+  std::size_t sinkCalls = 0;
+  const core::PortfolioResult race = core::portfolioSearch(
+      problem, o, [&](const core::Mapping&) {
+        ++sinkCalls;
+        return true;
+      });
+  EXPECT_TRUE(race.raceDecided);
+  EXPECT_EQ(sinkCalls, race.result.solutionCount);
+  EXPECT_EQ(race.result.solutionCount, 1u);
+}
+
+TEST(Portfolio, ParentCancellationPropagatesToContenders) {
+  const Graph query = topo::clique(5);
+  const Graph host = topo::clique(24);
+  const Problem problem(query, host, kNone);
+  SearchOptions o = storeAll();
+  o.checkStride = 64;
+  SearchContext parent(o);
+  parent.requestCancel();
+  // Enumeration of K5-in-K24 would take forever; the pre-cancelled parent
+  // must stop the whole race almost immediately.
+  const core::PortfolioResult race =
+      core::portfolioSearch(problem, parent, {Algorithm::ECF, Algorithm::LNS});
+  EXPECT_NE(race.result.outcome, Outcome::Complete);
+}
+
+TEST(Portfolio, RunsBehindTheEngineInterfaceToo) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::clique(6);
+  SearchOptions o;
+  o.maxSolutions = 1;
+  const EmbedResult r =
+      core::runSearch(Algorithm::Portfolio, Problem(query, host, kNone), o);
+  EXPECT_EQ(r.outcome, Outcome::Partial);
+  EXPECT_EQ(r.solutionCount, 1u);
+}
+
+}  // namespace

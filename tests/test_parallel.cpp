@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <stop_token>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -65,6 +69,58 @@ TEST(ParallelFor, ComputesCorrectSum) {
   EXPECT_EQ(sum.load(), static_cast<long long>(kN) * (kN - 1) / 2);
 }
 
+TEST(ThreadPool, ExposesCooperativeStopToken) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.stopRequested());
+  const std::stop_token token = pool.stopToken();
+  EXPECT_FALSE(token.stop_requested());
+  pool.requestStop();
+  EXPECT_TRUE(pool.stopRequested());
+  EXPECT_TRUE(token.stop_requested());
+  pool.resetStop();
+  EXPECT_FALSE(pool.stopRequested());
+  // The old token observes the old (stopped) state; a fresh one is live.
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_FALSE(pool.stopToken().stop_requested());
+}
+
+TEST(ThreadPool, StopTokenIsObservableFromTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> sawStop{0};
+  std::atomic<int> entered{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      entered.fetch_add(1);
+      while (!pool.stopRequested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      sawStop.fetch_add(1);
+    });
+  }
+  while (entered.load() == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  pool.requestStop();
+  pool.wait();
+  EXPECT_EQ(sawStop.load(), 8);
+  pool.resetStop();
+}
+
+TEST(ParallelFor, IgnoresPoolStopButFnMayPollIt) {
+  ThreadPool pool(4);
+  pool.requestStop();
+  // parallelFor itself must still visit every index (the stage-1 filter
+  // build relies on all-or-throw semantics)...
+  std::atomic<int> visited{0};
+  parallelFor(pool, 1'000, [&](std::size_t) { visited.fetch_add(1); }, 8);
+  EXPECT_EQ(visited.load(), 1'000);
+  // ...while a cancellable fn can observe the token and skip its own work.
+  std::atomic<int> skipped{0};
+  parallelFor(pool, 1'000, [&](std::size_t) {
+    if (pool.stopRequested()) skipped.fetch_add(1);
+  }, 8);
+  EXPECT_EQ(skipped.load(), 1'000);
+  pool.resetStop();
+}
+
 TEST(ParallelFor, PropagatesExceptions) {
   ThreadPool pool(4);
   EXPECT_THROW(
@@ -77,6 +133,27 @@ TEST(ParallelFor, PropagatesExceptions) {
   std::atomic<int> counter{0};
   parallelFor(pool, 10, [&](std::size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelFor, FirstExceptionPropagatesWithoutDeadlockingWait) {
+  ThreadPool pool(4);
+  // Several chunks throw; exactly one exception must surface, and a
+  // subsequent wait() must return instead of hanging on leaked in-flight
+  // bookkeeping.
+  try {
+    parallelFor(pool, 10'000,
+                [&](std::size_t i) {
+                  if (i % 97 == 0) throw std::runtime_error("chunk " + std::to_string(i));
+                },
+                16);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("chunk"), std::string::npos);
+  }
+  pool.wait();  // must not deadlock
+  std::atomic<int> counter{0};
+  parallelFor(pool, 64, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 64);
 }
 
 TEST(ParallelFor, RespectsExplicitGrain) {

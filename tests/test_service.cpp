@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "core/verify.hpp"
 #include "topo/regular.hpp"
 #include "topo/sample.hpp"
@@ -75,6 +77,59 @@ TEST(Service, AutoSelectionFollowsPaperGuidance) {
   // Clique query prefers LNS for first match even on sparse hosts.
   EXPECT_EQ(NetEmbedService::chooseAlgorithm(topo::clique(5), sparse, false),
             Algorithm::LNS);
+}
+
+TEST(Service, PortfolioModeReturnsWinnerAndMatch) {
+  NetEmbedService svc(smallHost());
+  auto request = sampledRequest(svc.model().host(), 8);
+  request.algorithm = Algorithm::Portfolio;
+  const auto response = svc.submit(request);
+  ASSERT_TRUE(response.result.feasible());
+  // algorithmUsed reports the engine that won the race.
+  EXPECT_TRUE(response.algorithmUsed == Algorithm::ECF ||
+              response.algorithmUsed == Algorithm::RWB ||
+              response.algorithmUsed == Algorithm::LNS)
+      << core::algorithmName(response.algorithmUsed);
+  EXPECT_NE(response.diagnostics.find("portfolio"), std::string::npos)
+      << response.diagnostics;
+}
+
+TEST(Service, PortfolioModeProvesInfeasibility) {
+  NetEmbedService svc(topo::ring(8));
+  service::EmbedRequest request;
+  request.query = topo::clique(4);  // no K4 in a cycle
+  request.algorithm = Algorithm::Portfolio;
+  request.options.maxSolutions = 1;
+  const auto response = svc.submit(request);
+  EXPECT_TRUE(response.result.provenInfeasible());
+}
+
+TEST(Service, AutoFirstMatchEscalatesToPortfolio) {
+  NetEmbedService svc(smallHost());
+  auto request = sampledRequest(svc.model().host(), 9);
+  ASSERT_FALSE(request.algorithm.has_value());
+  ASSERT_EQ(request.options.maxSolutions, 1u);
+  const auto response = svc.submit(request);
+  ASSERT_TRUE(response.result.feasible());
+  if (std::thread::hardware_concurrency() > 1) {
+    EXPECT_NE(response.diagnostics.find("portfolio"), std::string::npos)
+        << response.diagnostics;
+  }
+}
+
+TEST(Service, ExplicitBaselineAlgorithmsRun) {
+  NetEmbedService svc(smallHost());
+  auto request = sampledRequest(svc.model().host(), 10);
+  for (const Algorithm algo : {Algorithm::Naive, Algorithm::Anneal, Algorithm::Genetic}) {
+    request.algorithm = algo;
+    request.options.timeout = std::chrono::milliseconds(2000);
+    const auto response = svc.submit(request);
+    EXPECT_EQ(response.algorithmUsed, algo);
+    // The metaheuristics may legitimately fail; they must never claim proof.
+    if (!response.result.feasible()) {
+      EXPECT_FALSE(response.result.provenInfeasible()) << core::algorithmName(algo);
+    }
+  }
 }
 
 TEST(Service, BadConstraintThrows) {
