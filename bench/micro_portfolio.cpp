@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
          return core::runSearch(core::Algorithm::LNS, p, o);
        }},
       {"ecf_split", [](const core::Problem& p, core::SearchOptions o) {
-         o.rootSplitThreads = 0;  // one worker per hardware thread
+         o.rootSplitThreads = 0;  // all pool threads + the caller
          return core::runSearch(core::Algorithm::ECF, p, o);
        }},
       {"portfolio", [](const core::Problem& p, core::SearchOptions o) {

@@ -17,7 +17,7 @@ namespace {
 class NaiveEngine {
  public:
   NaiveEngine(const Problem& problem, SearchContext& context)
-      : problem_(problem), options_(context.options()), context_(context) {}
+      : problem_(problem), context_(context) {}
 
   EmbedResult run() {
     util::Stopwatch total;
@@ -107,7 +107,6 @@ class NaiveEngine {
   }
 
   const Problem& problem_;
-  const SearchOptions& options_;
   SearchContext& context_;
   core::Mapping mapping_;
   std::vector<bool> used_;

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <numeric>
 
 #include "core/filter.hpp"
+#include "util/latch.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -27,9 +27,10 @@ struct FilteredPlan {
   std::vector<std::vector<FilterMatrix::Constrainer>> earlier;
 
   static FilteredPlan build(const Problem& problem, const SearchOptions& options,
-                            SearchStats& stats) {
+                            SearchStats& stats,
+                            const std::function<bool()>& cancelled = {}) {
     FilteredPlan plan;
-    plan.filters = FilterMatrix::build(problem, options, stats);
+    plan.filters = FilterMatrix::build(problem, options, stats, cancelled);
 
     const std::size_t nq = problem.query->nodeCount();
     plan.order.resize(nq);
@@ -187,13 +188,21 @@ EmbedResult filteredSearch(const Problem& problem, SearchContext& context,
   SearchStats setupStats;
   std::unique_ptr<FilteredPlan> plan;
   try {
-    plan = std::make_unique<FilteredPlan>(
-        FilteredPlan::build(problem, options, setupStats));
+    plan = std::make_unique<FilteredPlan>(FilteredPlan::build(
+        problem, options, setupStats, [&context] { return context.shouldStop(); }));
   } catch (const FilterOverflow&) {
-    // Space blow-up: report inconclusive rather than dying (the documented
-    // failure mode that motivates LNS).
+    // Space blow-up (the documented failure mode that motivates LNS): merge
+    // what the setup measured, then surface the overflow to the caller — the
+    // portfolio converts it into a contender drop-out.
     context.mergeStats(setupStats);
     throw;
+  } catch (const FilterBuildCancelled&) {
+    // Cancel or deadline fired mid-build (a lost race, an expired timeout):
+    // the engine was told to stop before it could start searching.
+    context.mergeStats(setupStats);
+    EmbedResult result = context.finish(/*exhausted=*/false);
+    result.stats.searchMs = total.elapsedMs();
+    return result;
   }
   context.mergeStats(setupStats);
   context.beginSearchPhase();
@@ -208,13 +217,26 @@ EmbedResult filteredSearch(const Problem& problem, SearchContext& context,
 
   const auto viableRoots = plan->filters.viable(plan->order.front());
   std::vector<graph::NodeId> roots(viableRoots.begin(), viableRoots.end());
-  if (randomize) util::Rng(options.seed).shuffle(roots);
+  // The root shuffle gets its own stream: worker 0 seeds its candidate
+  // shuffles with the raw seed, and reusing it here would hand same-length
+  // lists the exact same permutation, correlating the root order with the
+  // walk's candidate orders.
+  constexpr std::uint64_t kRootShuffleStream = ~std::uint64_t{0};
+  if (randomize) {
+    util::Rng(util::deriveSeed(options.seed, kRootShuffleStream)).shuffle(roots);
+  }
 
   std::size_t workers = options.rootSplitThreads == 0
                             ? util::sharedPool().threadCount() + 1
                             : options.rootSplitThreads;
   workers = std::max<std::size_t>(1, std::min(workers, std::max<std::size_t>(
                                                            roots.size(), 1)));
+  // Never root-split from inside a shared-pool task (e.g. bench repetitions
+  // run on the pool): the blocking wait below would pin a worker thread while
+  // its subtasks sit queued behind it, and enough concurrent callers would
+  // starve the queue into deadlock. The workers > 1 guard keeps the serial
+  // path from lazily instantiating the pool just to ask.
+  if (workers > 1 && util::sharedPool().isWorkerThread()) workers = 1;
 
   std::atomic<std::size_t> cursor{0};
   bool exhausted = true;
@@ -234,9 +256,7 @@ EmbedResult filteredSearch(const Problem& problem, SearchContext& context,
           problem, *plan, context, randomize,
           w == 0 ? options.seed : util::deriveSeed(options.seed, w)));
     }
-    std::atomic<std::size_t> pending{workers - 1};
-    std::mutex doneMutex;
-    std::condition_variable doneCv;
+    util::CompletionLatch latch;
     std::exception_ptr firstError;
     std::mutex errorMutex;
     // A throwing worker (user sink, bad_alloc) must not escape into the
@@ -254,19 +274,16 @@ EmbedResult filteredSearch(const Problem& problem, SearchContext& context,
       }
     };
     for (std::size_t w = 1; w < workers; ++w) {
-      util::sharedPool().submit([&, w] {
-        runGuarded(w);
-        if (pending.fetch_sub(1) == 1) {
-          std::lock_guard lock(doneMutex);
-          doneCv.notify_all();
-        }
-      });
+      util::submitCounted(
+          util::sharedPool(), latch,
+          [&, w] {
+            runGuarded(w);
+            latch.done();
+          },
+          [&] { context.requestCancel(); });
     }
     runGuarded(0);
-    {
-      std::unique_lock lock(doneMutex);
-      doneCv.wait(lock, [&] { return pending.load() == 0; });
-    }
+    latch.wait();
     if (firstError) std::rethrow_exception(firstError);
     for (const auto& worker : team) {
       context.mergeStats(worker->stats());

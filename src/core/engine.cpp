@@ -50,16 +50,25 @@ bool SearchContext::shouldStop(std::uint64_t visits) noexcept {
 }
 
 bool SearchContext::offerSolution(const Mapping& mapping) {
-  std::lock_guard lock(mutex_);
-  // Exact budget accounting across workers: an over-budget offer is rejected
-  // un-counted, and a sink-stop freezes admission entirely.
-  if (stopReason() == StopReason::SinkStop) return false;
-  const std::uint64_t before = solutions_.load(std::memory_order_relaxed);
-  if (options_.maxSolutions != 0 && before >= options_.maxSolutions) return false;
-  const std::uint64_t count = before + 1;
-  solutions_.store(count, std::memory_order_release);
-  if (firstMatchMs_ < 0) firstMatchMs_ = firstMatchClock_.elapsedMs();
-  if (mappings_.size() < options_.storeLimit) mappings_.push_back(mapping);
+  std::uint64_t count;
+  {
+    std::lock_guard lock(mutex_);
+    // Exact budget accounting across workers: an over-budget offer is
+    // rejected un-counted, and a sink-stop freezes admission of later offers.
+    if (stopReason() == StopReason::SinkStop) return false;
+    const std::uint64_t before = solutions_.load(std::memory_order_relaxed);
+    if (options_.maxSolutions != 0 && before >= options_.maxSolutions) {
+      return false;
+    }
+    count = before + 1;
+    solutions_.store(count, std::memory_order_release);
+    if (firstMatchMs_ < 0) firstMatchMs_ = firstMatchClock_.elapsedMs();
+    if (mappings_.size() < options_.storeLimit) mappings_.push_back(mapping);
+  }
+  // The sink runs outside the lock: a slow sink must not serialize root-split
+  // workers, and a sink that calls back into this context must not deadlock
+  // on the non-recursive mutex. Consequence: offers admitted concurrently may
+  // reach their sinks concurrently (see the SolutionSink contract).
   if (sink_ && !sink_(mapping)) {
     requestCancel(StopReason::SinkStop);
     return false;

@@ -90,6 +90,8 @@ class SearchContext {
   /// caller must stop its own search (budget exhausted or sink said stop);
   /// a false return for an over-budget offer means the mapping was NOT
   /// counted, keeping solutionCount exact even across racing workers.
+  /// Admission is serialized, but the sink itself runs outside the context
+  /// lock and may execute concurrently with other admitted offers' sinks.
   bool offerSolution(const Mapping& mapping);
 
   [[nodiscard]] std::uint64_t solutionCount() const noexcept {
@@ -120,9 +122,9 @@ class SearchContext {
   std::atomic<std::uint64_t> solutions_{0};
   util::Stopwatch firstMatchClock_;
 
-  std::mutex mutex_;  // guards mappings_, sink_, stats_, firstMatchMs_
+  std::mutex mutex_;  // guards mappings_, stats_, firstMatchMs_
   std::vector<Mapping> mappings_;
-  SolutionSink sink_;
+  SolutionSink sink_;  // immutable after construction; invoked outside mutex_
   SearchStats stats_{};
   double firstMatchMs_ = -1.0;
 };

@@ -27,7 +27,8 @@ std::vector<std::vector<bool>> nodeViability(const Problem& p) {
 }  // namespace
 
 FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& options,
-                                 SearchStats& stats) {
+                                 SearchStats& stats,
+                                 const std::function<bool()>& cancelled) {
   util::Stopwatch timer;
   problem.validate();
   const graph::Graph& q = *problem.query;
@@ -87,6 +88,10 @@ FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& op
   const std::size_t entryBudget =
       options.maxFilterEntries == 0 ? static_cast<std::size_t>(-1) : options.maxFilterEntries;
 
+  // Poll sparsely: the predicate may check the wall clock, and the loop body
+  // is a handful of lookups per host edge.
+  constexpr graph::EdgeId kCancelPollStride = 4096;
+
   const auto evaluateQueryEdge = [&](std::size_t qeIndex) {
     const auto qe = static_cast<graph::EdgeId>(qeIndex);
     const graph::NodeId qa = q.edgeSource(qe);
@@ -95,6 +100,9 @@ FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& op
     std::uint64_t localEvals = 0;
 
     for (graph::EdgeId he = 0; he < h.edgeCount(); ++he) {
+      if (he % kCancelPollStride == 0 && cancelled && cancelled()) {
+        throw FilterBuildCancelled();
+      }
       const graph::NodeId ra = h.edgeSource(he);
       const graph::NodeId rb = h.edgeTarget(he);
       if (h.directed()) {

@@ -14,6 +14,7 @@
 // (the explicit F-bar's O(n^5) space is what motivates LNS in §V-C).
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -28,6 +29,14 @@ class FilterOverflow : public std::runtime_error {
   explicit FilterOverflow(std::size_t entries)
       : std::runtime_error("filter matrix exceeds entry budget (" +
                            std::to_string(entries) + " entries)") {}
+};
+
+/// Thrown when the build's `cancelled` poll fires (deadline or external
+/// cancel). Not an error: the engine was told to stop before it could start
+/// searching, and reports Inconclusive.
+class FilterBuildCancelled : public std::runtime_error {
+ public:
+  FilterBuildCancelled() : std::runtime_error("filter build cancelled") {}
 };
 
 class FilterMatrix {
@@ -48,10 +57,15 @@ class FilterMatrix {
   };
 
   /// Build the filters; fills stats.filterEntries / filterBuildMs /
-  /// constraintEvals. Throws FilterOverflow past the entry budget.
-  [[nodiscard]] static FilterMatrix build(const Problem& problem,
-                                          const SearchOptions& options,
-                                          SearchStats& stats);
+  /// constraintEvals. Throws FilterOverflow past the entry budget. The
+  /// `cancelled` predicate (may be empty) is polled periodically during the
+  /// dominant stage-1 loop — a portfolio loser or an expired deadline must
+  /// not keep burning CPU on a build nobody will search; when it returns
+  /// true the build throws FilterBuildCancelled. The predicate may be
+  /// invoked concurrently when parallelFilterBuild is on.
+  [[nodiscard]] static FilterMatrix build(
+      const Problem& problem, const SearchOptions& options, SearchStats& stats,
+      const std::function<bool()>& cancelled = {});
 
   [[nodiscard]] std::span<const Slot> slots(graph::NodeId v) const {
     return slots_[v];

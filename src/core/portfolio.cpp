@@ -1,10 +1,12 @@
 #include "core/portfolio.hpp"
 
 #include <atomic>
+#include <exception>
 #include <memory>
 #include <sstream>
 #include <thread>
 
+#include "core/filter.hpp"
 #include "util/timer.hpp"
 
 namespace netembed::core {
@@ -26,15 +28,29 @@ std::string PortfolioResult::summary() const {
   return out.str();
 }
 
+std::vector<Algorithm> defaultContenders(const SearchOptions& options,
+                                         std::optional<Algorithm> spawnFirst) {
+  // RWB honors a bounded budget, but unbounded enumeration would let it stop
+  // at its normalized budget of one and truncate the race — that race
+  // belongs to the two exhaustive engines. The exclusion binds spawnFirst
+  // too: an RWB hint must not smuggle it back in.
+  const auto excluded = [&](Algorithm a) {
+    return options.maxSolutions == 0 && a == Algorithm::RWB;
+  };
+  std::vector<Algorithm> contenders;
+  if (spawnFirst && !excluded(*spawnFirst)) contenders.push_back(*spawnFirst);
+  for (const Algorithm a : {Algorithm::ECF, Algorithm::RWB, Algorithm::LNS}) {
+    if (!contenders.empty() && a == contenders.front()) continue;
+    if (excluded(a)) continue;
+    contenders.push_back(a);
+  }
+  return contenders;
+}
+
 PortfolioResult portfolioSearch(const Problem& problem, SearchContext& parent,
                                 std::vector<Algorithm> contenders) {
   if (contenders.empty()) {
-    // RWB stops at its first match by design, so it only races first-match
-    // queries; enumeration races the two exhaustive engines.
-    contenders = parent.options().maxSolutions == 0
-                     ? std::vector<Algorithm>{Algorithm::ECF, Algorithm::LNS}
-                     : std::vector<Algorithm>{Algorithm::ECF, Algorithm::RWB,
-                                              Algorithm::LNS};
+    contenders = defaultContenders(parent.options());
   }
   problem.validate();
   util::Stopwatch total;
@@ -44,6 +60,7 @@ PortfolioResult portfolioSearch(const Problem& problem, SearchContext& parent,
     const Engine* engine = nullptr;
     std::unique_ptr<SearchContext> context;
     EmbedResult result;
+    std::exception_ptr error;  // written only by this entry's own thread
   };
   const std::size_t n = contenders.size();
   std::vector<Entry> entries(n);
@@ -69,7 +86,7 @@ PortfolioResult portfolioSearch(const Problem& problem, SearchContext& parent,
     options.rootSplitThreads = 1;
     // Only the winner's solutions flow into the parent (and on to the
     // caller's sink): a loser's in-flight find loses the claim and stops.
-    SolutionSink forward = [&entries, &parent, claim, i](const Mapping& m) {
+    SolutionSink forward = [&parent, claim, i](const Mapping& m) {
       if (!claim(i)) return false;
       return parent.offerSolution(m);
     };
@@ -81,25 +98,70 @@ PortfolioResult portfolioSearch(const Problem& problem, SearchContext& parent,
 
   std::vector<std::thread> threads;
   threads.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    threads.emplace_back([&, i] {
-      Entry& entry = entries[i];
-      try {
-        entry.result = entry.engine->run(problem, *entry.context);
-      } catch (...) {
-        // e.g. FilterOverflow: this contender drops out of the race.
-        entry.result = EmbedResult{};
-      }
-      if (entry.result.outcome == Outcome::Complete && entry.engine->complete()) {
-        // Exhausted the space: proof (infeasibility when nothing was found).
-        claim(i);
-      }
-    });
+  try {
+    for (std::size_t i = 0; i < n; ++i) {
+      threads.emplace_back([&, i] {
+        Entry& entry = entries[i];
+        try {
+          entry.result = entry.engine->run(problem, *entry.context);
+        } catch (const FilterOverflow&) {
+          // Documented drop-out: stage-1 space blow-up disqualifies this
+          // contender, but the race goes on.
+          entry.result = EmbedResult{};
+        } catch (...) {
+          // Anything else (throwing user sink, bad_alloc) is a real error:
+          // record it and stop the other losers. An already-decided winner
+          // keeps running — its (possibly enumerate-all) result must not be
+          // truncated by a loser's failure. Whether the error surfaces is
+          // decided after the join, once the race outcome is known.
+          entry.error = std::current_exception();
+          const int decided = winner.load();
+          for (std::size_t j = 0; j < n; ++j) {
+            if (static_cast<int>(j) == decided) continue;
+            entries[j].context->requestCancel(StopReason::Cancelled);
+          }
+          entry.result = EmbedResult{};
+        }
+        if (entry.result.outcome == Outcome::Complete && entry.engine->complete()) {
+          // Exhausted the space: proof (infeasibility when nothing was found).
+          claim(i);
+        }
+      });
+    }
+  } catch (...) {
+    // std::thread construction can fail (resource exhaustion); joinable
+    // threads must not reach ~vector or std::terminate is called. Cancel the
+    // contenders already racing, join them, then surface the error.
+    for (std::size_t i = 0; i < n; ++i) {
+      entries[i].context->requestCancel(StopReason::Cancelled);
+    }
+    for (std::thread& thread : threads) thread.join();
+    throw;
   }
   for (std::thread& thread : threads) thread.join();
 
   PortfolioResult out;
   int w = winner.load();
+  // The winner's error (e.g. the caller's sink throwing mid-forward) always
+  // surfaces, as does any error when the race stayed undecided. A loser's
+  // error after the race is decided is dropped — the delivered result must
+  // not be destroyed by a cancelled contender's bad_alloc — unless the
+  // failure's cancel fan-out reached the winner before the claim landed
+  // (StopReason::Cancelled): then the winner's result may be truncated and
+  // returning it silently would hide the failure.
+  if (w >= 0) {
+    const Entry& winning = entries[static_cast<std::size_t>(w)];
+    if (winning.error) std::rethrow_exception(winning.error);
+    if (winning.context->stopReason() == StopReason::Cancelled) {
+      for (const Entry& entry : entries) {
+        if (entry.error) std::rethrow_exception(entry.error);
+      }
+    }
+  } else {
+    for (const Entry& entry : entries) {
+      if (entry.error) std::rethrow_exception(entry.error);
+    }
+  }
   out.raceDecided = w >= 0;
   if (w < 0) {
     // Undecided (every contender timed out / was cancelled with nothing

@@ -14,6 +14,7 @@
 // winner keeps honoring the caller's options (so an enumerate-all portfolio
 // query returns the winner's full enumeration).
 
+#include <optional>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -21,6 +22,14 @@
 #include "core/search.hpp"
 
 namespace netembed::core {
+
+/// The default contender set for a race under `options`: ECF, RWB, LNS for
+/// bounded queries; RWB sits out unbounded enumeration (maxSolutions == 0),
+/// which races the two exhaustive engines. `spawnFirst` (e.g. the §VIII
+/// heuristic's pick) is moved to the front — on busy or low-core machines
+/// the earliest-spawned contender tends to get CPU first.
+[[nodiscard]] std::vector<Algorithm> defaultContenders(
+    const SearchOptions& options, std::optional<Algorithm> spawnFirst = {});
 
 struct PortfolioResult {
   EmbedResult result;

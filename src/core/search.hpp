@@ -61,7 +61,8 @@ struct SearchOptions {
   /// ECF/RWB root-split parallelism: the first-depth candidate set (in
   /// Lemma-1 order) is partitioned across this many workers, each exploring
   /// its subtrees against the shared immutable FilterMatrix. 1 = serial
-  /// (default); 0 = one worker per hardware thread.
+  /// (default); 0 = every shared-pool thread plus the participating caller
+  /// (hardware threads + 1).
   std::size_t rootSplitThreads = 1;
 };
 
@@ -91,7 +92,12 @@ struct EmbedResult {
 };
 
 /// Invoked for every feasible mapping as it is found; return false to stop
-/// the search (the result is then Partial).
+/// the search (the result is then Partial). With rootSplitThreads > 1 the
+/// sink may be invoked concurrently from several workers — guard any state it
+/// mutates. Returning false requests a stop but does not fence other
+/// workers: until the request propagates, further mappings may be admitted
+/// and the sink invoked for them, so captured state must stay valid after a
+/// false return.
 using SolutionSink = std::function<bool(const Mapping&)>;
 
 /// Render "q0->r3 q1->r7 ..." using node names.

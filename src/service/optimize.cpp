@@ -1,6 +1,7 @@
 #include "service/optimize.hpp"
 
 #include <limits>
+#include <mutex>
 
 #include "core/engine.hpp"
 
@@ -41,8 +42,12 @@ OptimizeResult enumerateAndOptimize(const core::Problem& problem,
   OptimizeResult out;
   out.bestCost = std::numeric_limits<double>::infinity();
 
+  // Sinks may run concurrently under root-split; the cost evaluation stays
+  // lock-free, only the best-so-far update is guarded.
+  std::mutex bestMutex;
   const core::SolutionSink sink = [&](const core::Mapping& m) {
     const double c = cost(m);
+    std::lock_guard lock(bestMutex);
     if (c < out.bestCost) {
       out.bestCost = c;
       out.best = m;

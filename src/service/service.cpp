@@ -22,8 +22,14 @@ EmbedResponse NetEmbedService::submit(const EmbedRequest& request) const {
   Algorithm algorithm = request.algorithm.value_or(predicted);
   // Escalation: first-match auto-selected queries race the portfolio when
   // the hardware has headroom — §VIII's guidance is a heuristic, the race
-  // is ground truth.
+  // is ground truth. Two exceptions keep the heuristic's safeguards intact:
+  // a caller who explicitly asked for root-split parallelism keeps it
+  // (contenders run serial inside the race), and a first-match LNS pick
+  // stands — it fires exactly when the instance is dense enough that the
+  // filtered contenders would burn memory on doomed stage-1 builds.
   if (!request.algorithm.has_value() && !wantAll &&
+      predicted != Algorithm::LNS &&
+      request.options.rootSplitThreads == 1 &&
       std::thread::hardware_concurrency() > 1) {
     algorithm = Algorithm::Portfolio;
   }
@@ -33,17 +39,11 @@ EmbedResponse NetEmbedService::submit(const EmbedRequest& request) const {
   response.modelVersion = model_.version();
   std::ostringstream diag;
   if (algorithm == Algorithm::Portfolio) {
-    // Spawn the §VIII-predicted engine first: on busy or low-core machines
-    // the earliest-scheduled contender tends to get CPU first, so the static
-    // heuristic still buys latency while the race guarantees the outcome.
-    std::vector<Algorithm> contenders{predicted};
-    for (const Algorithm a : {Algorithm::LNS, Algorithm::RWB, Algorithm::ECF}) {
-      if (a == predicted) continue;
-      if (wantAll && a == Algorithm::RWB) continue;  // RWB stops at one match
-      contenders.push_back(a);
-    }
-    const core::PortfolioResult race =
-        core::portfolioSearch(problem, request.options, {}, std::move(contenders));
+    // Spawn the §VIII-predicted engine first: the static heuristic still
+    // buys latency while the race guarantees the outcome.
+    const core::PortfolioResult race = core::portfolioSearch(
+        problem, request.options, {},
+        core::defaultContenders(request.options, predicted));
     response.result = race.result;
     // Report the engine whose answer the caller is holding.
     if (race.raceDecided) response.algorithmUsed = race.winner;

@@ -1,0 +1,48 @@
+#pragma once
+// Countdown latch for submit-and-wait fan-out on a ThreadPool.
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace netembed::util {
+
+/// Counts outstanding tasks for one fan-out. Usage: add() before each
+/// submission (revert() if the submission throws), the task calls done() as
+/// its last action, the owner wait()s before the latch leaves scope. Unlike
+/// std::latch the count grows dynamically and a failed submission can be
+/// un-accounted.
+class CompletionLatch {
+ public:
+  void add() {
+    std::lock_guard lock(mutex_);
+    ++count_;
+  }
+
+  /// Un-account a task whose submission threw (it will never run).
+  void revert() {
+    std::lock_guard lock(mutex_);
+    --count_;
+  }
+
+  void done() {
+    // Decrement-and-notify under the mutex: the waiter must not be able to
+    // observe count == 0 (and destroy this latch) while the calling task is
+    // still between the decrement and the notify.
+    std::lock_guard lock(mutex_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  /// Block until every accounted task has called done().
+  void wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace netembed::util

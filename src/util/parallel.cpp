@@ -7,7 +7,15 @@
 #include <mutex>
 #include <thread>
 
+#include "util/latch.hpp"
+
 namespace netembed::util {
+
+namespace {
+// Identifies which pool (if any) owns the calling thread, so the serial
+// fallbacks below only trigger for the pool actually being waited on.
+thread_local const void* tlsWorkerOfPool = nullptr;
+}  // namespace
 
 struct ThreadPool::Impl {
   std::mutex mutex;
@@ -20,6 +28,7 @@ struct ThreadPool::Impl {
   std::stop_source stop;
 
   void workerLoop() {
+    tlsWorkerOfPool = this;
     for (;;) {
       std::function<void()> task;
       {
@@ -76,19 +85,23 @@ void ThreadPool::wait() {
 
 std::size_t ThreadPool::threadCount() const noexcept { return impl_->workers.size(); }
 
-void ThreadPool::requestStop() noexcept {
+bool ThreadPool::isWorkerThread() const noexcept {
+  return tlsWorkerOfPool == impl_;
+}
+
+void ThreadPool::requestStop() {
   // The mutex serializes against resetStop() reassigning the stop_source;
   // tokens handed out by stopToken() stay lock-free to poll.
   std::lock_guard lock(impl_->mutex);
   impl_->stop.request_stop();
 }
 
-bool ThreadPool::stopRequested() const noexcept {
+bool ThreadPool::stopRequested() const {
   std::lock_guard lock(impl_->mutex);
   return impl_->stop.stop_requested();
 }
 
-std::stop_token ThreadPool::stopToken() const noexcept {
+std::stop_token ThreadPool::stopToken() const {
   std::lock_guard lock(impl_->mutex);
   return impl_->stop.get_token();
 }
@@ -98,11 +111,27 @@ void ThreadPool::resetStop() {
   impl_->stop = std::stop_source{};
 }
 
+void submitCounted(ThreadPool& pool, CompletionLatch& latch,
+                   std::function<void()> task,
+                   const std::function<void()>& onSubmitFailure) {
+  latch.add();
+  try {
+    pool.submit(std::move(task));
+  } catch (...) {
+    latch.revert();
+    if (onSubmitFailure) onSubmitFailure();
+    latch.wait();
+    throw;
+  }
+}
+
 void parallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn, std::size_t grain) {
   if (n == 0) return;
   const std::size_t workers = pool.threadCount();
-  if (n == 1 || workers == 1) {
+  // Run serial when called from one of this pool's own tasks: blocking on
+  // subtasks here could starve the queue if enough workers do the same.
+  if (n == 1 || workers == 1 || pool.isWorkerThread()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -113,33 +142,37 @@ void parallelFor(ThreadPool& pool, std::size_t n,
   std::mutex errorMutex;
 
   const std::size_t tasks = std::min(workers, (n + grain - 1) / grain);
-  std::atomic<std::size_t> remaining{tasks};
-  std::mutex doneMutex;
-  std::condition_variable doneCv;
+  CompletionLatch latch;
+
+  const auto drainChunks = [&] {
+    for (;;) {
+      const std::size_t begin = cursor.fetch_add(grain);
+      if (begin >= n) break;
+      const std::size_t end = std::min(n, begin + grain);
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+        cursor.store(n);  // cancel remaining chunks
+      }
+    }
+  };
 
   for (std::size_t t = 0; t < tasks; ++t) {
-    pool.submit([&] {
-      for (;;) {
-        const std::size_t begin = cursor.fetch_add(grain);
-        if (begin >= n) break;
-        const std::size_t end = std::min(n, begin + grain);
-        try {
-          for (std::size_t i = begin; i < end; ++i) fn(i);
-        } catch (...) {
-          std::lock_guard lock(errorMutex);
-          if (!firstError) firstError = std::current_exception();
-          cursor.store(n);  // cancel remaining chunks
-        }
-      }
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard lock(doneMutex);
-        doneCv.notify_all();
-      }
-    });
+    submitCounted(
+        pool, latch,
+        [&] {
+          drainChunks();
+          latch.done();
+        },
+        [&] { cursor.store(n); });
   }
 
-  std::unique_lock lock(doneMutex);
-  doneCv.wait(lock, [&] { return remaining.load() == 0; });
+  // The caller pulls chunks too instead of sleeping in wait(): forward
+  // progress stays guaranteed even when every pool worker is busy elsewhere.
+  drainChunks();
+  latch.wait();
   if (firstError) std::rethrow_exception(firstError);
 }
 

@@ -14,6 +14,8 @@
 
 namespace netembed::util {
 
+class CompletionLatch;
+
 /// Fixed-size worker pool. Tasks are arbitrary std::function<void()>; the
 /// destructor drains the queue and joins all workers (RAII, no detach).
 ///
@@ -36,12 +38,20 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t threadCount() const noexcept;
 
+  /// True when the calling thread is one of THIS pool's workers. Code that
+  /// submits to the pool and then blocks on completion (root-split search,
+  /// parallelFor) checks this to fall back to serial execution instead of
+  /// risking pool starvation; workers of other pools are unaffected.
+  [[nodiscard]] bool isWorkerThread() const noexcept;
+
   /// Ask cooperative tasks to stop early. Queued-but-unstarted work still
   /// runs (tasks poll the token themselves); nothing is interrupted.
-  void requestStop() noexcept;
-  [[nodiscard]] bool stopRequested() const noexcept;
+  /// Not noexcept: these serialize against resetStop() on the pool mutex,
+  /// and locking a std::mutex may throw.
+  void requestStop();
+  [[nodiscard]] bool stopRequested() const;
   /// Token view for tasks; observes requestStop() until the next resetStop().
-  [[nodiscard]] std::stop_token stopToken() const noexcept;
+  [[nodiscard]] std::stop_token stopToken() const;
   /// Re-arm after a requestStop() so the pool can be reused. Call only when
   /// no cooperative task is in flight (typically right after wait()).
   void resetStop();
@@ -63,6 +73,17 @@ void parallelFor(ThreadPool& pool, std::size_t n,
 /// Convenience overload using a process-wide shared pool.
 void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
                  std::size_t grain = 0);
+
+/// Submit one task of a submit-and-wait fan-out, accounting it in `latch`.
+/// The task must call latch.done() as its last action. If the submission
+/// itself throws (allocation failure), the never-queued task is
+/// un-accounted, `onSubmitFailure` runs (cancel the siblings), the
+/// already-queued tasks are drained via latch.wait(), and the error is
+/// rethrown — the tasks reference the caller's frame, which is about to
+/// unwind.
+void submitCounted(ThreadPool& pool, CompletionLatch& latch,
+                   std::function<void()> task,
+                   const std::function<void()>& onSubmitFailure);
 
 /// The lazily-created process-wide pool (hardware concurrency).
 ThreadPool& sharedPool();

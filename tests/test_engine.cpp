@@ -225,6 +225,19 @@ TEST(RootSplit, RwbFindsAValidFirstMatch) {
   EXPECT_TRUE(core::verifyMapping(problem, r.mappings.front()).ok);
 }
 
+TEST(Cancellation, CancelDuringFilterBuildReportsInconclusive) {
+  const Graph query = topo::ring(4);
+  const Graph host = topo::clique(12);
+  // A context cancelled before the engine starts must stop the stage-1
+  // filter build at its first poll — no tree node is ever visited.
+  SearchContext context(storeAll());
+  context.requestCancel();
+  const EmbedResult r = core::ecfSearch(Problem(query, host, kNone), context);
+  EXPECT_EQ(r.outcome, Outcome::Inconclusive);
+  EXPECT_EQ(r.solutionCount, 0u);
+  EXPECT_EQ(r.stats.treeNodesVisited, 0u);
+}
+
 TEST(RootSplit, CancelledWorkersNeverReportComplete) {
   const Graph query = topo::clique(5);
   const Graph host = topo::clique(24);
