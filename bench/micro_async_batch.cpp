@@ -1,0 +1,168 @@
+// micro_async_batch — plan-cache amortization for batched submission.
+//
+// A batch of same-signature first-match queries against one model version
+// needs exactly one stage-1 FilterMatrix build; everything after the first
+// request rides the shared plan. Three variants over the same batch:
+//
+//   serial_nocache  N x NetEmbedService::submit with the plan cache disabled
+//                   (the pre-PR behavior: one build per query)
+//   serial_cached   N x submit with the cache on (1 build, same thread)
+//   async_batch     N x AsyncNetEmbedService::submitAsync (1 build, and the
+//                   post-build searches overlap across scheduler workers)
+//
+// The build counter (core::filterPlanBuilds) verifies the sharing; the bench
+// exits non-zero when a cached batch performs more than one build, so CI can
+// smoke-run it as an acceptance check.
+
+#include "common.hpp"
+
+#include "core/plan.hpp"
+#include "service/async.hpp"
+#include "service/service.hpp"
+#include "util/timer.hpp"
+
+#include <future>
+
+using namespace netembed;
+using namespace netembed::bench;
+
+namespace {
+
+struct Run {
+  double totalMs = 0.0;
+  std::uint64_t planBuilds = 0;
+  std::uint64_t feasible = 0;
+};
+
+service::EmbedRequest batchRequest(const graph::Graph& host, std::size_t queryNodes,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  service::EmbedRequest request;
+  request.query = sampledDelayQuery(host, queryNodes, queryNodes * 2, 0.02, rng);
+  request.edgeConstraint = topo::delayWindowConstraint();
+  request.options.maxSolutions = 1;
+  request.options.storeLimit = 1;
+  // Pin a plan-using engine: the batch measures plan sharing, not the
+  // chooser. (ECF and RWB share plans; LNS never builds one.)
+  request.algorithm = core::Algorithm::ECF;
+  return request;
+}
+
+template <class Submit>
+Run timedBatch(std::size_t batchSize, const Submit& submit) {
+  Run run;
+  const std::uint64_t buildsBefore = core::filterPlanBuilds();
+  util::Stopwatch clock;
+  run.feasible = submit(batchSize);
+  run.totalMs = clock.elapsedMs();
+  run.planBuilds = core::filterPlanBuilds() - buildsBefore;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  const BenchConfig cfg = BenchConfig::fromArgs(args, 3, 5000);
+  const auto batchSize =
+      static_cast<std::size_t>(args.getInt("batch", cfg.paper ? 32 : 8));
+
+  const std::vector<std::size_t> hostSizes =
+      cfg.paper ? std::vector<std::size_t>{600, 1500} : std::vector<std::size_t>{400};
+
+  util::TablePrinter table({"host N", "query N", "batch", "serial nocache (ms)",
+                            "serial cached (ms)", "async batch (ms)",
+                            "builds nocache/cached/async", "speedup"});
+  std::vector<std::vector<std::string>> csvRows;
+  bool sharingHeld = true;
+
+  for (const std::size_t hostSize : hostSizes) {
+    topo::BriteOptions bo;
+    bo.nodes = hostSize;
+    bo.m = 2;
+    bo.seed = util::deriveSeed(cfg.seed, hostSize);
+    const graph::Graph host = topo::brite(bo);
+    const std::size_t queryNodes = hostSize / 3;
+
+    util::RunningStats noCacheMs, cachedMs, asyncMs;
+    std::uint64_t noCacheBuilds = 0, cachedBuilds = 0, asyncBuilds = 0;
+
+    for (std::size_t rep = 0; rep < cfg.reps; ++rep) {
+      const service::EmbedRequest request =
+          batchRequest(host, queryNodes, util::deriveSeed(cfg.seed, rep + 1));
+
+      const Run noCache = timedBatch(batchSize, [&](std::size_t n) {
+        service::NetEmbedService svc(host, /*planCacheCapacity=*/0);
+        std::uint64_t feasible = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          feasible += svc.submit(request).result.feasible() ? 1 : 0;
+        }
+        return feasible;
+      });
+
+      const Run cached = timedBatch(batchSize, [&](std::size_t n) {
+        service::NetEmbedService svc(host);
+        std::uint64_t feasible = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          feasible += svc.submit(request).result.feasible() ? 1 : 0;
+        }
+        return feasible;
+      });
+
+      const Run async = timedBatch(batchSize, [&](std::size_t n) {
+        service::AsyncNetEmbedService svc{graph::Graph(host)};
+        std::vector<std::future<service::EmbedResponse>> futures;
+        futures.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          futures.push_back(svc.submitAsync(request));
+        }
+        std::uint64_t feasible = 0;
+        for (auto& future : futures) {
+          feasible += future.get().result.feasible() ? 1 : 0;
+        }
+        return feasible;
+      });
+
+      noCacheMs.add(noCache.totalMs);
+      cachedMs.add(cached.totalMs);
+      asyncMs.add(async.totalMs);
+      noCacheBuilds = noCache.planBuilds;
+      cachedBuilds = cached.planBuilds;
+      asyncBuilds = async.planBuilds;
+      if (cached.planBuilds != 1 || async.planBuilds != 1) sharingHeld = false;
+      if (noCache.feasible != batchSize || cached.feasible != batchSize ||
+          async.feasible != batchSize) {
+        std::cout << "WARNING: not every batch query was feasible\n";
+      }
+    }
+
+    const double speedup =
+        asyncMs.mean() > 0.0 ? noCacheMs.mean() / asyncMs.mean() : 0.0;
+    const std::string builds = std::to_string(noCacheBuilds) + "/" +
+                               std::to_string(cachedBuilds) + "/" +
+                               std::to_string(asyncBuilds);
+    table.addRow({std::to_string(hostSize), std::to_string(queryNodes),
+                  std::to_string(batchSize), meanCi(noCacheMs), meanCi(cachedMs),
+                  meanCi(asyncMs), builds, util::formatFixed(speedup, 2) + "x"});
+    csvRows.push_back({std::to_string(hostSize), std::to_string(queryNodes),
+                       std::to_string(batchSize),
+                       util::CsvWriter::field(noCacheMs.mean()),
+                       util::CsvWriter::field(cachedMs.mean()),
+                       util::CsvWriter::field(asyncMs.mean()),
+                       std::to_string(noCacheBuilds), std::to_string(cachedBuilds),
+                       std::to_string(asyncBuilds)});
+  }
+
+  emit("micro: batched submission with a shared FilterMatrix plan cache", table,
+       csvRows,
+       {"host_n", "query_n", "batch", "serial_nocache_ms", "serial_cached_ms",
+        "async_batch_ms", "builds_nocache", "builds_cached", "builds_async"},
+       cfg.csv);
+
+  if (!sharingHeld) {
+    std::cout << "FAIL: a cached batch performed more than one stage-1 build\n";
+    return 1;
+  }
+  std::cout << "OK: every cached batch shared exactly one stage-1 plan build\n";
+  return 0;
+}

@@ -5,9 +5,9 @@
 #include <exception>
 #include <memory>
 #include <mutex>
-#include <numeric>
 
 #include "core/filter.hpp"
+#include "core/plan.hpp"
 #include "util/latch.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -17,45 +17,6 @@ namespace netembed::core {
 
 namespace {
 
-/// Immutable per-search setup shared by every root-split worker: the stage-1
-/// filters, the Lemma-1 static order and the per-node lists of constrainers
-/// whose owner is assigned earlier in that order. Built once, read
-/// concurrently without synchronization.
-struct FilteredPlan {
-  FilterMatrix filters;
-  std::vector<graph::NodeId> order;
-  std::vector<std::vector<FilterMatrix::Constrainer>> earlier;
-
-  static FilteredPlan build(const Problem& problem, const SearchOptions& options,
-                            SearchStats& stats,
-                            const std::function<bool()>& cancelled = {}) {
-    FilteredPlan plan;
-    plan.filters = FilterMatrix::build(problem, options, stats, cancelled);
-
-    const std::size_t nq = problem.query->nodeCount();
-    plan.order.resize(nq);
-    std::iota(plan.order.begin(), plan.order.end(), 0);
-    if (options.staticOrdering) {
-      // Lemma 1: ascending candidate count minimizes the permutation tree.
-      std::stable_sort(plan.order.begin(), plan.order.end(),
-                       [&](graph::NodeId a, graph::NodeId b) {
-                         return plan.filters.viable(a).size() <
-                                plan.filters.viable(b).size();
-                       });
-    }
-    std::vector<std::size_t> position(nq, 0);
-    for (std::size_t d = 0; d < nq; ++d) position[plan.order[d]] = d;
-
-    plan.earlier.resize(nq);
-    for (graph::NodeId v = 0; v < nq; ++v) {
-      for (const FilterMatrix::Constrainer& c : plan.filters.constrainersOf(v)) {
-        if (position[c.owner] < position[v]) plan.earlier[v].push_back(c);
-      }
-    }
-    return plan;
-  }
-};
-
 /// One depth-first explorer over the shared plan. Serial search runs a
 /// single worker over the whole root candidate list; root-split search runs
 /// one per thread, pulling root candidates from a shared cursor. Stopping,
@@ -64,7 +25,7 @@ struct FilteredPlan {
 /// exact.
 class FilteredWorker {
  public:
-  FilteredWorker(const Problem& problem, const FilteredPlan& plan,
+  FilteredWorker(const Problem& problem, const FilterPlan& plan,
                  SearchContext& context, bool randomize, std::uint64_t seed)
       : plan_(plan), context_(context), randomize_(randomize), rng_(seed) {
     const std::size_t nq = problem.query->nodeCount();
@@ -163,7 +124,7 @@ class FilteredWorker {
     ++stats_.backtracks;
   }
 
-  const FilteredPlan& plan_;
+  const FilterPlan& plan_;
   SearchContext& context_;
   bool randomize_;
   util::Rng rng_;
@@ -185,11 +146,35 @@ EmbedResult filteredSearch(const Problem& problem, SearchContext& context,
   problem.validate();
   const SearchOptions& options = context.options();
 
+  // Acquire the stage-1 plan: through the context's shared builder when one
+  // is installed (service plan cache, portfolio race) — the first consumer
+  // builds and everyone else reuses — otherwise via a private build.
+  // FilterOverflow (the space blow-up that motivates LNS) propagates to the
+  // caller; the portfolio converts it into a contender drop-out.
+  std::shared_ptr<const FilterPlan> plan;
+  // Collects the stats of a build THIS thread performs, even one that throws
+  // mid-way — the cost of a doomed build (overflow, lost race, deadline)
+  // must still reach the caller's stats. Stays zero for plan reusers and for
+  // waiters whose shared build failed on another thread: they did no work.
   SearchStats setupStats;
-  std::unique_ptr<FilteredPlan> plan;
   try {
-    plan = std::make_unique<FilteredPlan>(FilteredPlan::build(
-        problem, options, setupStats, [&context] { return context.shouldStop(); }));
+    const auto cancelled = [&context] { return context.shouldStop(); };
+    if (const auto& builder = context.planBuilder()) {
+      const SharedPlanBuilder::Acquired acquired =
+          builder->get(problem, options, cancelled, &setupStats);
+      plan = acquired.plan;
+      SearchStats setup = plan->buildStats;
+      if (!acquired.builtHere) {
+        // The build was billed to the consumer that performed it; a reuser
+        // inherits the entry count (a plan property) but no build cost.
+        setup.filterBuildMs = 0.0;
+        setup.constraintEvals = 0;
+      }
+      context.mergeStats(setup);
+    } else {
+      plan = FilterPlan::build(problem, options, cancelled, &setupStats);
+      context.mergeStats(plan->buildStats);
+    }
   } catch (const FilterOverflow&) {
     // Space blow-up (the documented failure mode that motivates LNS): merge
     // what the setup measured, then surface the overflow to the caller — the
@@ -204,7 +189,6 @@ EmbedResult filteredSearch(const Problem& problem, SearchContext& context,
     result.stats.searchMs = total.elapsedMs();
     return result;
   }
-  context.mergeStats(setupStats);
   context.beginSearchPhase();
 
   // Empty query: the empty mapping is the one embedding.

@@ -14,6 +14,7 @@
 // engine knowing who else is running.
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <stop_token>
 
@@ -22,6 +23,8 @@
 #include "util/timer.hpp"
 
 namespace netembed::core {
+
+class SharedPlanBuilder;  // core/plan.hpp
 
 /// Why a search stopped before exhausting its space.
 enum class StopReason : std::uint8_t {
@@ -98,6 +101,21 @@ class SearchContext {
     return solutions_.load(std::memory_order_acquire);
   }
 
+  // --- shared stage-1 plan -------------------------------------------------
+
+  /// Install the (possibly shared) stage-1 plan source before running an
+  /// engine. Filtered engines (ECF/RWB) consult it instead of building their
+  /// own plan: the service's FilterPlanCache amortizes builds across queries
+  /// against one model version, and the portfolio hands the same builder to
+  /// every contender so a race performs exactly one build. Not thread-safe
+  /// against concurrent run() — set it before handing the context out.
+  void setPlanBuilder(std::shared_ptr<SharedPlanBuilder> builder) noexcept {
+    planBuilder_ = std::move(builder);
+  }
+  [[nodiscard]] const std::shared_ptr<SharedPlanBuilder>& planBuilder() const noexcept {
+    return planBuilder_;
+  }
+
   // --- stats and result ----------------------------------------------------
 
   /// Restart the first-match clock. Drivers call this once setup (e.g. the
@@ -121,6 +139,7 @@ class SearchContext {
   std::atomic<std::uint8_t> reason_{static_cast<std::uint8_t>(StopReason::None)};
   std::atomic<std::uint64_t> solutions_{0};
   util::Stopwatch firstMatchClock_;
+  std::shared_ptr<SharedPlanBuilder> planBuilder_;  // set before run, read-only after
 
   std::mutex mutex_;  // guards mappings_, stats_, firstMatchMs_
   std::vector<Mapping> mappings_;

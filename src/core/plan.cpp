@@ -1,0 +1,110 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+namespace netembed::core {
+
+namespace {
+std::atomic<std::uint64_t> gPlanBuilds{0};
+}  // namespace
+
+std::uint64_t filterPlanBuilds() noexcept {
+  return gPlanBuilds.load(std::memory_order_relaxed);
+}
+
+std::shared_ptr<const FilterPlan> FilterPlan::build(
+    const Problem& problem, const SearchOptions& options,
+    const std::function<bool()>& cancelled, SearchStats* partial) {
+  // Build into the caller's partial-stats slot when given: if the matrix
+  // build throws (overflow, cancel), the work done so far stays observable
+  // instead of dying with the discarded plan.
+  SearchStats local;
+  SearchStats& stats = partial ? *partial : local;
+  auto plan = std::make_shared<FilterPlan>();
+  plan->filters = FilterMatrix::build(problem, options, stats, cancelled);
+
+  const std::size_t nq = problem.query->nodeCount();
+  plan->order.resize(nq);
+  std::iota(plan->order.begin(), plan->order.end(), 0);
+  if (options.staticOrdering) {
+    // Lemma 1: ascending candidate count minimizes the permutation tree.
+    std::stable_sort(plan->order.begin(), plan->order.end(),
+                     [&](graph::NodeId a, graph::NodeId b) {
+                       return plan->filters.viable(a).size() <
+                              plan->filters.viable(b).size();
+                     });
+  }
+  std::vector<std::size_t> position(nq, 0);
+  for (std::size_t d = 0; d < nq; ++d) position[plan->order[d]] = d;
+
+  plan->earlier.resize(nq);
+  for (graph::NodeId v = 0; v < nq; ++v) {
+    for (const FilterMatrix::Constrainer& c : plan->filters.constrainersOf(v)) {
+      if (position[c.owner] < position[v]) plan->earlier[v].push_back(c);
+    }
+  }
+  plan->buildStats = stats;
+  gPlanBuilds.fetch_add(1, std::memory_order_relaxed);
+  return plan;
+}
+
+SharedPlanBuilder::Acquired SharedPlanBuilder::get(
+    const Problem& problem, const SearchOptions& options,
+    const std::function<bool()>& cancelled, SearchStats* partial) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (plan_) return {plan_, /*builtHere=*/false};
+    if (error_) std::rethrow_exception(error_);
+    if (!building_) {
+      building_ = true;
+      lock.unlock();
+      std::shared_ptr<const FilterPlan> built;
+      try {
+        built = FilterPlan::build(problem, options, cancelled, partial);
+      } catch (const FilterBuildCancelled&) {
+        // This consumer was told to stop; the build itself is still wanted.
+        // Release the builder role so a live waiter can take over.
+        lock.lock();
+        building_ = false;
+        cv_.notify_all();
+        throw;
+      } catch (const FilterOverflow&) {
+        // Deterministic: the plan can never materialize under these options
+        // — record the failure for every sharer (a negative cache).
+        lock.lock();
+        building_ = false;
+        error_ = std::current_exception();
+        cv_.notify_all();
+        throw;
+      } catch (...) {
+        // Transient failure (bad_alloc under pressure, a throwing user
+        // constraint): fail this consumer but release the builder role — a
+        // later consumer may well succeed, and a sticky record would poison
+        // the cached builder for its whole (version, signature) lifetime.
+        lock.lock();
+        building_ = false;
+        cv_.notify_all();
+        throw;
+      }
+      lock.lock();
+      building_ = false;
+      plan_ = std::move(built);
+      cv_.notify_all();
+      return {plan_, /*builtHere=*/true};
+    }
+    // Someone else is building: wait, but keep honoring our own cancellation
+    // (a portfolio loser waiting on the winner-to-be's build must still die).
+    cv_.wait_for(lock, std::chrono::milliseconds(2),
+                 [&] { return plan_ != nullptr || error_ != nullptr || !building_; });
+    if (!plan_ && !error_ && cancelled && cancelled()) throw FilterBuildCancelled();
+  }
+}
+
+std::shared_ptr<const FilterPlan> SharedPlanBuilder::ready() const {
+  std::lock_guard lock(mutex_);
+  return plan_;
+}
+
+}  // namespace netembed::core

@@ -1,0 +1,108 @@
+#pragma once
+// The shareable stage-1 search plan.
+//
+// ECF and RWB spend their setup phase building the same three immutable
+// structures: the FilterMatrix, the Lemma-1 static order, and the per-node
+// index of constrainers assigned earlier in that order. The plan depends only
+// on the problem instance and the plan-relevant options (staticOrdering,
+// maxFilterEntries) — not on seeds, budgets or thread counts — so one build
+// can back any number of concurrent searches: every root-split worker, both
+// filtered contenders of a portfolio race, and every queued service request
+// with the same (model version, query signature).
+//
+// SharedPlanBuilder is the sharing primitive: consumers call get() with their
+// own Problem and cancellation predicate; the first caller builds, the rest
+// block on the same build and receive the shared immutable plan. A cancelled
+// builder hands the build over to the next live waiter, so one consumer's
+// deadline never poisons the plan for the others.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/filter.hpp"
+#include "core/problem.hpp"
+#include "core/search.hpp"
+
+namespace netembed::core {
+
+/// Immutable per-instance setup shared by every filtered search: stage-1
+/// filters, Lemma-1 static order, and for each query node the constrainers
+/// whose owner precedes it in that order. Built once, read concurrently
+/// without synchronization.
+struct FilterPlan {
+  FilterMatrix filters;
+  std::vector<graph::NodeId> order;
+  std::vector<std::vector<FilterMatrix::Constrainer>> earlier;
+  /// What the build cost (filterEntries / filterBuildMs / constraintEvals).
+  /// Consumers that reuse the plan merge the entries but not the build time.
+  SearchStats buildStats;
+
+  /// Build the plan. Throws FilterOverflow past options.maxFilterEntries and
+  /// FilterBuildCancelled when `cancelled` fires mid-build. On a throw,
+  /// `partial` (when given) holds the stats of the work performed before the
+  /// failure, so the caller can still account a doomed build's cost.
+  [[nodiscard]] static std::shared_ptr<const FilterPlan> build(
+      const Problem& problem, const SearchOptions& options,
+      const std::function<bool()>& cancelled = {}, SearchStats* partial = nullptr);
+};
+
+/// Process-wide count of *completed* FilterPlan builds. Test and bench hook:
+/// a portfolio race or a same-signature batch asserts sharing by taking the
+/// counter delta around the run.
+[[nodiscard]] std::uint64_t filterPlanBuilds() noexcept;
+
+/// One lazily-built FilterPlan shared by several consumers.
+///
+/// Thread-safe. The first get() builds (polling its caller's `cancelled`
+/// predicate); concurrent get()s block until the build resolves. Outcomes:
+///  * success        — every caller receives the same shared plan;
+///  * FilterOverflow — sticky: recorded and rethrown to every caller (the
+///    plan can never materialize under these options);
+///  * FilterBuildCancelled — NOT sticky: the cancelled caller rethrows, and
+///    the next live waiter takes over the build, so a shared builder survives
+///    any individual consumer's deadline or lost race;
+///  * anything else (bad_alloc, a throwing constraint) — NOT sticky either:
+///    the failing caller rethrows and the builder role is released, so a
+///    transient failure never poisons the builder for later consumers.
+class SharedPlanBuilder {
+ public:
+  SharedPlanBuilder() = default;
+  /// Pre-resolved builder: every get() returns `plan` without building.
+  explicit SharedPlanBuilder(std::shared_ptr<const FilterPlan> plan)
+      : plan_(std::move(plan)) {}
+
+  struct Acquired {
+    std::shared_ptr<const FilterPlan> plan;
+    /// True when this call performed the build — the caller that accounts
+    /// the build cost in its stats.
+    bool builtHere = false;
+  };
+
+  /// Get the shared plan, building it on first call. `problem` must describe
+  /// the same instance for every caller (that is the sharer's contract — the
+  /// portfolio passes one problem, the service cache keys by signature);
+  /// each caller passes its own reference because the earliest acquirer's
+  /// problem may die before a later caller triggers the build. When this
+  /// call performs a build that throws, `partial` (if given) receives the
+  /// stats of the work done before the failure.
+  [[nodiscard]] Acquired get(const Problem& problem, const SearchOptions& options,
+                             const std::function<bool()>& cancelled = {},
+                             SearchStats* partial = nullptr);
+
+  /// The plan if already built, nullptr otherwise. Never blocks.
+  [[nodiscard]] std::shared_ptr<const FilterPlan> ready() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::shared_ptr<const FilterPlan> plan_;  // set at most once
+  std::exception_ptr error_;                // sticky failure (FilterOverflow)
+  bool building_ = false;
+};
+
+}  // namespace netembed::core

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/filter.hpp"
+#include "core/plan.hpp"
 #include "util/timer.hpp"
 
 namespace netembed::core {
@@ -66,6 +67,14 @@ PortfolioResult portfolioSearch(const Problem& problem, SearchContext& parent,
   std::vector<Entry> entries(n);
   std::atomic<int> winner{-1};
 
+  // ECF and RWB need the identical stage-1 plan (it depends on neither seed
+  // nor budget): one shared builder means the race performs exactly one
+  // build — the first filtered contender builds, the other reuses. When the
+  // parent already carries a builder (the service's plan cache), the race
+  // shares — and warms — that one instead.
+  std::shared_ptr<SharedPlanBuilder> sharedPlan = parent.planBuilder();
+  if (!sharedPlan) sharedPlan = std::make_shared<SharedPlanBuilder>();
+
   // Decide the race exactly once; the claimer cancels everyone else. Returns
   // true when `i` is (or just became) the winner.
   const auto claim = [&](std::size_t i) {
@@ -94,6 +103,7 @@ PortfolioResult portfolioSearch(const Problem& problem, SearchContext& parent,
     options.storeLimit = 0;
     entries[i].context = std::make_unique<SearchContext>(
         options, std::move(forward), parent.stopToken());
+    entries[i].context->setPlanBuilder(sharedPlan);
   }
 
   std::vector<std::thread> threads;

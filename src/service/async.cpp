@@ -1,0 +1,109 @@
+#include "service/async.hpp"
+
+namespace netembed::service {
+
+AsyncNetEmbedService::AsyncNetEmbedService(NetworkModel model, Options options)
+    : model_(std::move(model)),
+      planCache_(options.planCacheCapacity),
+      scheduler_(options.workers) {
+  publishSnapshotLocked();  // construction is single-threaded; no lock needed
+}
+
+std::future<EmbedResponse> AsyncNetEmbedService::submitAsync(EmbedRequest request) {
+  return scheduler_.schedule(
+      [this, request = std::move(request)] { return execute(request); });
+}
+
+void AsyncNetEmbedService::submitAsync(EmbedRequest request, Callback callback) {
+  // The future is deliberately discarded: the callback is the delivery
+  // channel. An exception thrown by the callback itself lands in that
+  // discarded future rather than the worker loop.
+  (void)scheduler_.schedule(
+      [this, request = std::move(request), callback = std::move(callback)] {
+        EmbedResponse response;
+        std::exception_ptr error;
+        try {
+          response = execute(request);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        callback(std::move(response), error);
+      });
+}
+
+EmbedResponse AsyncNetEmbedService::execute(const EmbedRequest& request) const {
+  // Pin the newest snapshot for the whole run: the plan cache key and the
+  // response's modelVersion must describe the exact host graph searched.
+  const std::shared_ptr<const Snapshot> snapshot = currentSnapshot();
+  return detail::executeEmbed(request, *snapshot->host, snapshot->version,
+                              /*allowPortfolioEscalation=*/false, &planCache_);
+}
+
+std::uint64_t AsyncNetEmbedService::version() const {
+  std::lock_guard lock(modelMutex_);
+  return model_.version();
+}
+
+std::shared_ptr<const graph::Graph> AsyncNetEmbedService::hostSnapshot() const {
+  return currentSnapshot()->host;
+}
+
+NetworkModel::ReservationId AsyncNetEmbedService::reserve(
+    const graph::Graph& query, const core::Mapping& mapping,
+    const NetworkModel::ReservationSpec& spec) {
+  std::lock_guard lock(modelMutex_);
+  const NetworkModel::ReservationId id = model_.reserve(query, mapping, spec);
+  publishSnapshotLocked();
+  return id;
+}
+
+void AsyncNetEmbedService::release(NetworkModel::ReservationId id) {
+  std::lock_guard lock(modelMutex_);
+  model_.release(id);
+  publishSnapshotLocked();
+}
+
+std::size_t AsyncNetEmbedService::activeReservations() const {
+  std::lock_guard lock(modelMutex_);
+  return model_.activeReservations();
+}
+
+std::size_t AsyncNetEmbedService::applyMeasurements(
+    std::span<const NetworkModel::Measurement> batch) {
+  std::lock_guard lock(modelMutex_);
+  const std::size_t applied = model_.applyMeasurements(batch);
+  if (applied > 0) publishSnapshotLocked();
+  return applied;
+}
+
+void AsyncNetEmbedService::setNodeAttr(graph::NodeId n, std::string_view attr,
+                                       graph::AttrValue value) {
+  std::lock_guard lock(modelMutex_);
+  model_.setNodeAttr(n, attr, std::move(value));
+  publishSnapshotLocked();
+}
+
+void AsyncNetEmbedService::setEdgeMetric(graph::NodeId u, graph::NodeId v,
+                                         std::string_view attr,
+                                         graph::AttrValue value) {
+  std::lock_guard lock(modelMutex_);
+  model_.setEdgeMetric(u, v, attr, std::move(value));
+  publishSnapshotLocked();
+}
+
+std::shared_ptr<const AsyncNetEmbedService::Snapshot>
+AsyncNetEmbedService::currentSnapshot() const {
+  std::lock_guard lock(modelMutex_);
+  return snapshot_;
+}
+
+void AsyncNetEmbedService::publishSnapshotLocked() {
+  // Copy-on-write: queries in flight keep reading the snapshot they pinned;
+  // this copy is what makes reservations safe beside unsynchronized reads.
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->host = std::make_shared<const graph::Graph>(model_.host());
+  snapshot->version = model_.version();
+  snapshot_ = std::move(snapshot);
+}
+
+}  // namespace netembed::service

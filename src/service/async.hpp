@@ -1,0 +1,137 @@
+#pragma once
+// The asynchronous, batched NETEMBED front end.
+//
+// The paper frames NETEMBED as a *service* (§III, Fig. 1): many applications
+// query one shared model of the real network concurrently. This class is the
+// queued counterpart of NetEmbedService::submit — requests are accepted
+// immediately, enqueued on a util::Scheduler (ThreadPool-backed, FIFO), and
+// resolved through std::future or a completion callback.
+//
+// Concurrency model:
+//  * Queries never touch the live NetworkModel. Every mutation (reservation,
+//    release, measurement batch) happens under a mutex and publishes an
+//    immutable copy-on-write snapshot {host graph, version}; a worker picks
+//    the newest snapshot when its request starts executing and runs against
+//    it unsynchronized. EmbedResponse::modelVersion records exactly which
+//    snapshot answered the query.
+//  * Stage-1 plans are shared through a FilterPlanCache keyed by
+//    (snapshot version, query signature): concurrent same-signature requests
+//    — a batch of identical queries — perform exactly one FilterMatrix
+//    build. Version bumps invalidate the cache, so a plan never crosses a
+//    mutation.
+//  * Queued requests do NOT auto-escalate to the racing portfolio: the
+//    scheduler already keeps every core busy with distinct requests, so each
+//    runs the single §VIII-predicted engine. An explicit
+//    Algorithm::Portfolio request still races.
+//
+// Shutdown: the destructor drains the queue — every accepted request
+// resolves before the service dies. Futures obtained from submitAsync stay
+// valid; callbacks run on the worker that executed the request.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+
+#include "service/service.hpp"
+#include "util/scheduler.hpp"
+
+namespace netembed::service {
+
+struct AsyncServiceOptions {
+  /// Scheduler worker count; 0 selects the hardware concurrency.
+  std::size_t workers = 0;
+  /// Plan-cache capacity (signatures per model version); 0 disables
+  /// plan sharing.
+  std::size_t planCacheCapacity = 64;
+};
+
+class AsyncNetEmbedService {
+ public:
+  using Options = AsyncServiceOptions;
+
+  explicit AsyncNetEmbedService(NetworkModel model, Options options = {});
+  explicit AsyncNetEmbedService(graph::Graph host, Options options = {})
+      : AsyncNetEmbedService(NetworkModel(std::move(host)), options) {}
+
+  AsyncNetEmbedService(const AsyncNetEmbedService&) = delete;
+  AsyncNetEmbedService& operator=(const AsyncNetEmbedService&) = delete;
+
+  /// Drains the queue and joins the workers (every accepted request
+  /// resolves its future / fires its callback first).
+  ~AsyncNetEmbedService() = default;
+
+  // --- submission ----------------------------------------------------------
+
+  /// Queue one query. The future carries the response, or the exception the
+  /// search raised (expr::SyntaxError, std::invalid_argument, ...).
+  [[nodiscard]] std::future<EmbedResponse> submitAsync(EmbedRequest request);
+
+  /// Callback form: exactly one of (response, error) is meaningful — error
+  /// is null on success. The callback runs on the scheduler worker that
+  /// executed the request and must not throw (a thrown exception is
+  /// swallowed into a discarded future).
+  using Callback = std::function<void(EmbedResponse, std::exception_ptr)>;
+  void submitAsync(EmbedRequest request, Callback callback);
+
+  /// Requests accepted but not yet resolved (queued + running).
+  [[nodiscard]] std::size_t pendingRequests() const noexcept {
+    return scheduler_.pending();
+  }
+
+  /// Block until every request accepted so far has resolved.
+  void drain() { scheduler_.drain(); }
+
+  // --- synchronized model access -------------------------------------------
+
+  [[nodiscard]] std::uint64_t version() const;
+
+  /// The host graph the next query would run against (an immutable
+  /// snapshot; safe to read while mutations continue).
+  [[nodiscard]] std::shared_ptr<const graph::Graph> hostSnapshot() const;
+
+  /// Reserve resources for a mapping (paper §III component 3). Bumps the
+  /// model version and publishes a fresh snapshot; queries already running
+  /// keep their old snapshot, queries dequeued afterwards see the new one.
+  NetworkModel::ReservationId reserve(const graph::Graph& query,
+                                      const core::Mapping& mapping,
+                                      const NetworkModel::ReservationSpec& spec);
+  void release(NetworkModel::ReservationId id);
+  [[nodiscard]] std::size_t activeReservations() const;
+
+  /// Monitoring-style updates; each publishes a fresh snapshot.
+  std::size_t applyMeasurements(std::span<const NetworkModel::Measurement> batch);
+  void setNodeAttr(graph::NodeId n, std::string_view attr, graph::AttrValue value);
+  void setEdgeMetric(graph::NodeId u, graph::NodeId v, std::string_view attr,
+                     graph::AttrValue value);
+
+  [[nodiscard]] FilterPlanCache::Stats planCacheStats() const {
+    return planCache_.stats();
+  }
+
+  [[nodiscard]] std::size_t workerCount() const noexcept {
+    return scheduler_.threadCount();
+  }
+
+ private:
+  struct Snapshot {
+    std::shared_ptr<const graph::Graph> host;
+    std::uint64_t version = 0;
+  };
+
+  [[nodiscard]] std::shared_ptr<const Snapshot> currentSnapshot() const;
+  void publishSnapshotLocked();
+  [[nodiscard]] EmbedResponse execute(const EmbedRequest& request) const;
+
+  mutable std::mutex modelMutex_;  // guards model_ and snapshot_ publication
+  NetworkModel model_;
+  std::shared_ptr<const Snapshot> snapshot_;
+  mutable FilterPlanCache planCache_;
+  // Declared last => destroyed first: the destructor drains in-flight
+  // requests while the model, snapshot and cache are still alive.
+  util::Scheduler scheduler_;
+};
+
+}  // namespace netembed::service

@@ -1,10 +1,20 @@
 #include "service/model.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace netembed::service {
 
 NetworkModel::NetworkModel(graph::Graph host) : host_(std::move(host)) {}
+
+NetworkModel& NetworkModel::operator=(NetworkModel other) noexcept {
+  const std::uint64_t floor = std::max(version_, other.version_) + 1;
+  host_ = std::move(other.host_);
+  nextId_ = other.nextId_;
+  reservations_ = std::move(other.reservations_);
+  version_ = floor;
+  return *this;
+}
 
 void NetworkModel::setEdgeMetric(graph::NodeId u, graph::NodeId v,
                                  std::string_view attr, graph::AttrValue value) {

@@ -19,6 +19,14 @@ class NetworkModel {
  public:
   explicit NetworkModel(graph::Graph host);
 
+  NetworkModel(const NetworkModel&) = default;
+  NetworkModel(NetworkModel&&) = default;
+  /// Replacing a live model wholesale is a mutation like any other: the
+  /// version strictly rises past both operands, so consumers keyed by
+  /// version (the service's FilterPlanCache) can never mistake the new host
+  /// for the old one.
+  NetworkModel& operator=(NetworkModel other) noexcept;
+
   [[nodiscard]] const graph::Graph& host() const noexcept { return host_; }
 
   /// Monotonically increasing; bumped by every mutation. Lets distributed

@@ -11,14 +11,19 @@ namespace netembed::service {
 
 using core::Algorithm;
 
-EmbedResponse NetEmbedService::submit(const EmbedRequest& request) const {
+namespace detail {
+
+EmbedResponse executeEmbed(const EmbedRequest& request, const graph::Graph& host,
+                           std::uint64_t version, bool allowPortfolioEscalation,
+                           FilterPlanCache* cache) {
   const expr::ConstraintSet constraints =
       expr::ConstraintSet::parse(request.edgeConstraint, request.nodeConstraint);
-  const core::Problem problem(request.query, model_.host(), constraints);
+  const core::Problem problem(request.query, host, constraints);
   problem.validate();
 
   const bool wantAll = request.options.maxSolutions != 1;
-  const Algorithm predicted = chooseAlgorithm(request.query, model_.host(), wantAll);
+  const Algorithm predicted =
+      NetEmbedService::chooseAlgorithm(request.query, host, wantAll);
   Algorithm algorithm = request.algorithm.value_or(predicted);
   // Escalation: first-match auto-selected queries race the portfolio when
   // the hardware has headroom — §VIII's guidance is a heuristic, the race
@@ -27,29 +32,46 @@ EmbedResponse NetEmbedService::submit(const EmbedRequest& request) const {
   // (contenders run serial inside the race), and a first-match LNS pick
   // stands — it fires exactly when the instance is dense enough that the
   // filtered contenders would burn memory on doomed stage-1 builds.
-  if (!request.algorithm.has_value() && !wantAll &&
+  if (allowPortfolioEscalation && !request.algorithm.has_value() && !wantAll &&
       predicted != Algorithm::LNS &&
       request.options.rootSplitThreads == 1 &&
       std::thread::hardware_concurrency() > 1) {
     algorithm = Algorithm::Portfolio;
   }
 
+  // Filtered searches share stage-1 plans: acquire the builder for this
+  // (version, signature) so identical queries — and the ECF/RWB contenders
+  // inside one portfolio race — build at most once per model version.
+  std::shared_ptr<core::SharedPlanBuilder> builder;
+  const bool usesPlan = algorithm == Algorithm::ECF ||
+                        algorithm == Algorithm::RWB ||
+                        algorithm == Algorithm::Portfolio;
+  if (cache && cache->enabled() && usesPlan) {
+    builder = cache->acquire(
+        version, planSignature(request.query, request.edgeConstraint,
+                               request.nodeConstraint, request.options));
+  }
+
   EmbedResponse response;
   response.algorithmUsed = algorithm;
-  response.modelVersion = model_.version();
+  response.modelVersion = version;
   std::ostringstream diag;
   if (algorithm == Algorithm::Portfolio) {
     // Spawn the §VIII-predicted engine first: the static heuristic still
     // buys latency while the race guarantees the outcome.
+    core::SearchContext parent(request.options);
+    parent.setPlanBuilder(builder);  // null => the race makes its own
     const core::PortfolioResult race = core::portfolioSearch(
-        problem, request.options, {},
-        core::defaultContenders(request.options, predicted));
+        problem, parent, core::defaultContenders(request.options, predicted));
     response.result = race.result;
     // Report the engine whose answer the caller is holding.
     if (race.raceDecided) response.algorithmUsed = race.winner;
     diag << race.summary() << ": ";
   } else {
-    response.result = core::runSearch(algorithm, problem, request.options);
+    const core::Engine& engine = core::engineFor(algorithm);
+    core::SearchContext context(engine.effectiveOptions(request.options));
+    context.setPlanBuilder(std::move(builder));
+    response.result = engine.run(problem, context);
     diag << core::algorithmName(algorithm) << ": ";
   }
   diag << core::outcomeName(response.result.outcome) << ", "
@@ -57,6 +79,13 @@ EmbedResponse NetEmbedService::submit(const EmbedRequest& request) const {
        << response.result.stats.searchMs << " ms";
   response.diagnostics = diag.str();
   return response;
+}
+
+}  // namespace detail
+
+EmbedResponse NetEmbedService::submit(const EmbedRequest& request) const {
+  return detail::executeEmbed(request, model_.host(), model_.version(),
+                              /*allowPortfolioEscalation=*/true, &planCache_);
 }
 
 Algorithm NetEmbedService::chooseAlgorithm(const graph::Graph& query,

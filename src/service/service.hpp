@@ -12,6 +12,7 @@
 #include "core/problem.hpp"
 #include "core/search.hpp"
 #include "service/model.hpp"
+#include "service/plan_cache.hpp"
 
 namespace netembed::service {
 
@@ -33,11 +34,20 @@ struct EmbedResponse {
 
 class NetEmbedService {
  public:
-  explicit NetEmbedService(NetworkModel model) : model_(std::move(model)) {}
-  explicit NetEmbedService(graph::Graph host) : model_(std::move(host)) {}
+  /// `planCacheCapacity` bounds the stage-1 plan cache (signatures retained
+  /// per model version); 0 disables plan sharing across submits.
+  explicit NetEmbedService(NetworkModel model, std::size_t planCacheCapacity = 32)
+      : model_(std::move(model)), planCache_(planCacheCapacity) {}
+  explicit NetEmbedService(graph::Graph host, std::size_t planCacheCapacity = 32)
+      : model_(std::move(host)), planCache_(planCacheCapacity) {}
 
   [[nodiscard]] NetworkModel& model() noexcept { return model_; }
   [[nodiscard]] const NetworkModel& model() const noexcept { return model_; }
+
+  /// Hit/miss/invalidation counters of the shared stage-1 plan cache.
+  [[nodiscard]] FilterPlanCache::Stats planCacheStats() const {
+    return planCache_.stats();
+  }
 
   /// Run one query. Throws expr::SyntaxError on bad constraint source and
   /// std::invalid_argument on malformed problems.
@@ -75,6 +85,25 @@ class NetEmbedService {
 
  private:
   NetworkModel model_;
+  mutable FilterPlanCache planCache_;  // internally synchronized
 };
+
+namespace detail {
+/// Shared implementation behind the synchronous and asynchronous front ends:
+/// parse constraints, build the problem against `host`, choose (and possibly
+/// escalate) the algorithm, acquire a shared stage-1 plan from `cache`
+/// (nullable), run, and stamp `version` into the response.
+///
+/// `allowPortfolioEscalation` gates the multi-core first-match auto-race.
+/// The batched scheduler passes false: queued requests already saturate the
+/// cores side by side, so racing three engines per query would oversubscribe
+/// the machine for no latency win — explicit Algorithm::Portfolio requests
+/// still race.
+[[nodiscard]] EmbedResponse executeEmbed(const EmbedRequest& request,
+                                         const graph::Graph& host,
+                                         std::uint64_t version,
+                                         bool allowPortfolioEscalation,
+                                         FilterPlanCache* cache);
+}  // namespace detail
 
 }  // namespace netembed::service

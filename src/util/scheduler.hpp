@@ -1,0 +1,73 @@
+#pragma once
+// A future-returning task scheduler on top of ThreadPool.
+//
+// ThreadPool::submit is fire-and-forget; the async service layer needs each
+// queued request to resolve a std::future and to know how many requests are
+// still in flight. Scheduler adds exactly that: schedule() wraps the callable
+// in a packaged_task (exceptions land in the future, never in the worker
+// loop), counts it as pending until it finishes, and hands back the future.
+//
+// FIFO fairness comes from the underlying pool's queue; drain() blocks until
+// the queue is empty, and the destructor (via ~ThreadPool) drains and joins.
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "util/parallel.hpp"
+
+namespace netembed::util {
+
+class Scheduler {
+ public:
+  /// `threads` == 0 selects the hardware concurrency (at least 1).
+  explicit Scheduler(std::size_t threads = 0) : pool_(threads) {}
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Queue `fn` for execution on a pool worker; the returned future carries
+  /// its result or exception. Tasks run in submission order across the
+  /// pool's workers.
+  template <class F>
+  [[nodiscard]] auto schedule(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    // shared_ptr because std::function requires copyable callables while
+    // packaged_task is move-only.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      pool_.submit([this, task] {
+        (*task)();  // exceptions are captured into the future
+        pending_.fetch_sub(1, std::memory_order_release);
+      });
+    } catch (...) {
+      pending_.fetch_sub(1, std::memory_order_release);
+      throw;
+    }
+    return future;
+  }
+
+  /// Tasks scheduled but not yet finished (queued + running).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+  /// Block until every scheduled task has finished.
+  void drain() { pool_.wait(); }
+
+  [[nodiscard]] std::size_t threadCount() const noexcept {
+    return pool_.threadCount();
+  }
+
+ private:
+  // The pool is deliberately not exposed: a task submitted around schedule()
+  // would be invisible to pending(), breaking the drain/pending contract.
+  ThreadPool pool_;
+  std::atomic<std::size_t> pending_{0};
+};
+
+}  // namespace netembed::util

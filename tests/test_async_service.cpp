@@ -1,0 +1,310 @@
+// The asynchronous batched front end: futures and callbacks resolve, queued
+// requests share stage-1 plans per model version, version bumps invalidate
+// the cache, and concurrent submitters survive a mutating reservation thread.
+
+#include "service/async.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/verify.hpp"
+#include "topo/regular.hpp"
+#include "topo/sample.hpp"
+#include "trace/planetlab.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace netembed;
+using core::Algorithm;
+using service::AsyncNetEmbedService;
+using service::AsyncServiceOptions;
+using service::EmbedRequest;
+using service::EmbedResponse;
+using service::NetworkModel;
+using graph::Graph;
+
+constexpr auto kResolveBudget = std::chrono::seconds(60);
+
+Graph asyncHost() {
+  trace::PlanetLabOptions o;
+  o.sites = 40;
+  o.clusters = 5;
+  o.deadSites = 0;
+  o.pairLossRate = 0.3;
+  o.seed = 11;
+  Graph host = trace::synthesize(o);
+  for (graph::NodeId n = 0; n < host.nodeCount(); ++n) {
+    host.nodeAttrs(n).set("slots", 64.0);
+  }
+  return host;
+}
+
+EmbedRequest delayRequest(const Graph& host, std::uint64_t seed,
+                          std::size_t maxSolutions = 1) {
+  util::Rng rng(seed);
+  auto sub = topo::sampleConnectedSubgraph(host, 5, 6, rng);
+  topo::widenDelayWindows(sub.graph, 0.1);
+  EmbedRequest request;
+  request.query = std::move(sub.graph);
+  request.edgeConstraint = topo::delayWindowConstraint();
+  request.options.maxSolutions = maxSolutions;
+  return request;
+}
+
+EmbedResponse resolve(std::future<EmbedResponse>& future) {
+  if (future.wait_for(kResolveBudget) != std::future_status::ready) {
+    ADD_FAILURE() << "future did not resolve within the budget";
+    std::abort();  // a hung scheduler would otherwise stall the whole suite
+  }
+  return future.get();
+}
+
+TEST(AsyncService, FutureResolvesWithFeasibleMapping) {
+  AsyncNetEmbedService svc(asyncHost());
+  EmbedRequest request = delayRequest(*svc.hostSnapshot(), 1);
+  auto future = svc.submitAsync(request);
+  const EmbedResponse response = resolve(future);
+  ASSERT_TRUE(response.result.feasible());
+  EXPECT_EQ(response.modelVersion, svc.version());
+
+  const auto constraints =
+      expr::ConstraintSet::edgeOnly(topo::delayWindowConstraint());
+  const core::Problem problem(request.query, *svc.hostSnapshot(), constraints);
+  EXPECT_TRUE(core::verifyMapping(problem, response.result.mappings.front()).ok);
+}
+
+TEST(AsyncService, BatchOfIdenticalQueriesBuildsExactlyOnePlan) {
+  AsyncServiceOptions options;
+  options.workers = 2;
+  AsyncNetEmbedService svc(asyncHost(), options);
+  EmbedRequest request = delayRequest(*svc.hostSnapshot(), 2);
+  request.algorithm = Algorithm::ECF;  // a plan-using engine, deterministically
+
+  const std::uint64_t buildsBefore = core::filterPlanBuilds();
+  std::vector<std::future<EmbedResponse>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(svc.submitAsync(request));
+  for (auto& future : futures) {
+    const EmbedResponse response = resolve(future);
+    EXPECT_TRUE(response.result.feasible());
+    EXPECT_EQ(response.algorithmUsed, Algorithm::ECF);
+  }
+  EXPECT_EQ(core::filterPlanBuilds() - buildsBefore, 1u)
+      << "a same-signature batch must share one stage-1 build";
+
+  const auto stats = svc.planCacheStats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 7u);
+}
+
+TEST(AsyncService, VersionBumpInvalidatesCachedPlans) {
+  AsyncNetEmbedService svc(asyncHost());
+  EmbedRequest request = delayRequest(*svc.hostSnapshot(), 3);
+  request.algorithm = Algorithm::ECF;
+
+  const std::uint64_t builds0 = core::filterPlanBuilds();
+  auto f1 = svc.submitAsync(request);
+  const EmbedResponse r1 = resolve(f1);
+  ASSERT_TRUE(r1.result.feasible());
+  EXPECT_EQ(core::filterPlanBuilds() - builds0, 1u);
+
+  // Same signature again at the same version: pure cache hit, no build.
+  auto f2 = svc.submitAsync(request);
+  (void)resolve(f2);
+  EXPECT_EQ(core::filterPlanBuilds() - builds0, 1u);
+
+  // A reservation bumps the model version; the cached plan must not serve
+  // any query against the new version.
+  NetworkModel::ReservationSpec spec;
+  spec.nodeCapacityAttrs = {"slots"};
+  for (graph::NodeId n = 0; n < request.query.nodeCount(); ++n) {
+    request.query.nodeAttrs(n).set("slots", 1.0);
+  }
+  const auto id = svc.reserve(request.query, r1.result.mappings.front(), spec);
+  EXPECT_GT(svc.version(), r1.modelVersion);
+
+  auto f3 = svc.submitAsync(request);
+  const EmbedResponse r3 = resolve(f3);
+  EXPECT_EQ(r3.modelVersion, svc.version());
+  EXPECT_EQ(core::filterPlanBuilds() - builds0, 2u)
+      << "a post-bump query must rebuild, never reuse the stale plan";
+  EXPECT_GT(svc.planCacheStats().invalidations, 0u);
+  svc.release(id);
+}
+
+TEST(AsyncService, CallbackOverloadDeliversResponse) {
+  AsyncNetEmbedService svc(asyncHost());
+  std::promise<EmbedResponse> delivered;
+  svc.submitAsync(delayRequest(*svc.hostSnapshot(), 4),
+                  [&](EmbedResponse response, std::exception_ptr error) {
+                    EXPECT_FALSE(error);
+                    delivered.set_value(std::move(response));
+                  });
+  auto future = delivered.get_future();
+  const EmbedResponse response = resolve(future);
+  EXPECT_TRUE(response.result.feasible());
+  EXPECT_EQ(response.modelVersion, svc.version());
+}
+
+TEST(AsyncService, CallbackOverloadDeliversErrors) {
+  AsyncNetEmbedService svc(asyncHost());
+  EmbedRequest bad = delayRequest(*svc.hostSnapshot(), 5);
+  bad.edgeConstraint = "vEdge..broken";
+  std::promise<std::exception_ptr> delivered;
+  svc.submitAsync(std::move(bad), [&](EmbedResponse, std::exception_ptr error) {
+    delivered.set_value(error);
+  });
+  const std::exception_ptr error = delivered.get_future().get();
+  ASSERT_TRUE(error);
+  EXPECT_THROW(std::rethrow_exception(error), expr::SyntaxError);
+}
+
+TEST(AsyncService, SyntaxErrorPropagatesThroughFuture) {
+  AsyncNetEmbedService svc(asyncHost());
+  EmbedRequest bad = delayRequest(*svc.hostSnapshot(), 6);
+  bad.edgeConstraint = "vEdge..broken";
+  auto future = svc.submitAsync(std::move(bad));
+  EXPECT_THROW((void)future.get(), expr::SyntaxError);
+}
+
+TEST(AsyncService, QueuedRequestsDoNotEscalateToPortfolio) {
+  // The scheduler runs one engine per queued request; only an explicit
+  // Algorithm::Portfolio request may race (regardless of core count).
+  AsyncNetEmbedService svc(asyncHost());
+  EmbedRequest request = delayRequest(*svc.hostSnapshot(), 7);
+  ASSERT_FALSE(request.algorithm.has_value());
+  ASSERT_EQ(request.options.maxSolutions, 1u);
+  auto future = svc.submitAsync(request);
+  const EmbedResponse response = resolve(future);
+  EXPECT_TRUE(response.result.feasible());
+  EXPECT_EQ(response.diagnostics.find("portfolio"), std::string::npos)
+      << response.diagnostics;
+
+  request.algorithm = Algorithm::Portfolio;
+  auto raced = svc.submitAsync(request);
+  const EmbedResponse racedResponse = resolve(raced);
+  EXPECT_TRUE(racedResponse.result.feasible());
+  EXPECT_NE(racedResponse.diagnostics.find("portfolio"), std::string::npos)
+      << racedResponse.diagnostics;
+}
+
+TEST(AsyncService, DrainResolvesEverythingAccepted) {
+  AsyncServiceOptions options;
+  options.workers = 2;
+  AsyncNetEmbedService svc(asyncHost(), options);
+  std::vector<std::future<EmbedResponse>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(svc.submitAsync(delayRequest(*svc.hostSnapshot(), 20 + i)));
+  }
+  svc.drain();
+  EXPECT_EQ(svc.pendingRequests(), 0u);
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_TRUE(future.get().result.feasible());
+  }
+}
+
+TEST(AsyncService, DestructorDrainsInFlightRequests) {
+  std::vector<std::future<EmbedResponse>> futures;
+  {
+    AsyncNetEmbedService svc(asyncHost());
+    for (int i = 0; i < 6; ++i) {
+      futures.push_back(svc.submitAsync(delayRequest(*svc.hostSnapshot(), 40 + i)));
+    }
+  }  // ~AsyncNetEmbedService drains the queue
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_TRUE(future.get().result.feasible());
+  }
+}
+
+// The archetype stress test: N submitter threads race mixed first-match and
+// enumeration queries while a reservation thread bumps the model version.
+// Every future must resolve, every response must carry a version that
+// existed, and no feasible mapping may violate its constraints (reservations
+// only touch "slots", which the delay constraint never reads, so mappings
+// verify against any snapshot).
+TEST(AsyncService, StressConcurrentSubmittersAndReservations) {
+  constexpr int kSubmitters = 3;
+  constexpr int kQueriesPerThread = 8;
+  constexpr int kReservationRounds = 4;
+
+  AsyncServiceOptions options;
+  options.workers = 3;
+  options.planCacheCapacity = 8;
+  AsyncNetEmbedService svc(asyncHost(), options);
+  const std::uint64_t v0 = svc.version();
+
+  std::atomic<std::uint64_t> reservationsMade{0};
+  std::thread reserver([&] {
+    NetworkModel::ReservationSpec spec;
+    spec.nodeCapacityAttrs = {"slots"};
+    for (int round = 0; round < kReservationRounds; ++round) {
+      EmbedRequest request = delayRequest(*svc.hostSnapshot(), 100 + round);
+      for (graph::NodeId n = 0; n < request.query.nodeCount(); ++n) {
+        request.query.nodeAttrs(n).set("slots", 1.0);
+      }
+      auto future = svc.submitAsync(request);
+      const EmbedResponse response = resolve(future);
+      if (!response.result.feasible()) continue;
+      try {
+        const auto id =
+            svc.reserve(request.query, response.result.mappings.front(), spec);
+        reservationsMade.fetch_add(1, std::memory_order_relaxed);
+        svc.release(id);  // another version bump
+      } catch (const std::exception&) {
+        // Capacity raced away — legal under concurrency, not a failure.
+      }
+    }
+  });
+
+  std::vector<std::thread> submitters;
+  std::atomic<int> resolved{0};
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      std::vector<std::pair<EmbedRequest, std::future<EmbedResponse>>> inflight;
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        // Mix first-match and bounded enumeration signatures; reuse a few
+        // seeds across threads so the plan cache sees concurrent sharers.
+        EmbedRequest request = delayRequest(
+            *svc.hostSnapshot(), 200 + (t * kQueriesPerThread + i) % 5,
+            i % 2 == 0 ? 1 : 4);
+        auto future = svc.submitAsync(request);
+        inflight.emplace_back(std::move(request), std::move(future));
+      }
+      for (auto& [request, future] : inflight) {
+        const EmbedResponse response = resolve(future);
+        resolved.fetch_add(1, std::memory_order_relaxed);
+        if (response.modelVersion < v0) failures.fetch_add(1);
+        if (response.result.feasible()) {
+          const auto constraints =
+              expr::ConstraintSet::edgeOnly(topo::delayWindowConstraint());
+          const auto host = svc.hostSnapshot();
+          const core::Problem problem(request.query, *host, constraints);
+          for (const core::Mapping& m : response.result.mappings) {
+            if (!core::verifyMapping(problem, m).ok) failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+  reserver.join();
+
+  EXPECT_EQ(resolved.load(), kSubmitters * kQueriesPerThread);
+  EXPECT_EQ(failures.load(), 0);
+  const std::uint64_t finalVersion = svc.version();
+  EXPECT_GE(finalVersion, v0 + 2 * reservationsMade.load());
+  // Post-drain sanity: a fresh query runs against the final version.
+  auto future = svc.submitAsync(delayRequest(*svc.hostSnapshot(), 300));
+  EXPECT_EQ(resolve(future).modelVersion, finalVersion);
+}
+
+}  // namespace

@@ -8,8 +8,11 @@
 #include <chrono>
 #include <thread>
 
+#include <algorithm>
+
 #include "core/ecf.hpp"
 #include "core/lns.hpp"
+#include "core/plan.hpp"
 #include "core/portfolio.hpp"
 #include "core/rwb.hpp"
 #include "core/verify.hpp"
@@ -326,6 +329,124 @@ TEST(Portfolio, ParentCancellationPropagatesToContenders) {
   const core::PortfolioResult race =
       core::portfolioSearch(problem, parent, {Algorithm::ECF, Algorithm::LNS});
   EXPECT_NE(race.result.outcome, Outcome::Complete);
+}
+
+// --- shared stage-1 plans ----------------------------------------------------
+
+std::vector<core::Mapping> sortedMappings(EmbedResult result) {
+  std::sort(result.mappings.begin(), result.mappings.end());
+  return result.mappings;
+}
+
+TEST(SharedPlan, EcfSolutionSetIdenticalWithPlanCacheOnAndOff) {
+  const Graph query = topo::ring(4);
+  const Graph host = topo::clique(9);
+  const Problem problem(query, host, kNone);
+
+  const EmbedResult bare = core::ecfSearch(problem, storeAll());
+  ASSERT_EQ(bare.outcome, Outcome::Complete);
+
+  // Pre-resolved shared plan (a cache hit) must change nothing.
+  auto builder = std::make_shared<core::SharedPlanBuilder>(
+      core::FilterPlan::build(problem, storeAll()));
+  SearchContext context(storeAll());
+  context.setPlanBuilder(builder);
+  const EmbedResult cached = core::ecfSearch(problem, context);
+  EXPECT_EQ(cached.outcome, Outcome::Complete);
+  EXPECT_EQ(cached.solutionCount, bare.solutionCount);
+  EXPECT_EQ(sortedMappings(cached), sortedMappings(bare));
+}
+
+TEST(SharedPlan, RootSplitSolutionSetIdenticalToSerialWithSharedPlan) {
+  const Graph query = topo::ring(4);
+  const Graph host = topo::clique(9);
+  const Problem problem(query, host, kNone);
+  const EmbedResult serial = core::ecfSearch(problem, storeAll());
+  ASSERT_EQ(serial.outcome, Outcome::Complete);
+
+  auto builder = std::make_shared<core::SharedPlanBuilder>();
+  for (const std::size_t threads : {1u, 3u}) {
+    SearchOptions o = storeAll();
+    o.rootSplitThreads = threads;
+    SearchContext context(o);
+    context.setPlanBuilder(builder);  // lazily built once, reused by both runs
+    const EmbedResult split = core::ecfSearch(problem, context);
+    EXPECT_EQ(split.outcome, Outcome::Complete) << threads;
+    EXPECT_EQ(sortedMappings(split), sortedMappings(serial)) << threads;
+  }
+}
+
+TEST(SharedPlan, RwbFixedSeedReturnsIdenticalMappingWithPlanCacheOnAndOff) {
+  const Graph query = topo::line(4);
+  const Graph host = topo::clique(10);
+  const Problem problem(query, host, kNone);
+  SearchOptions o;
+  o.seed = 17;
+
+  const EmbedResult bare = core::rwbSearch(problem, o);
+  ASSERT_EQ(bare.solutionCount, 1u);
+
+  auto builder = std::make_shared<core::SharedPlanBuilder>(
+      core::FilterPlan::build(problem, o));
+  SearchContext context(core::engineFor(Algorithm::RWB).effectiveOptions(o));
+  context.setPlanBuilder(builder);
+  const EmbedResult cached = core::rwbSearch(problem, context);
+  ASSERT_EQ(cached.solutionCount, 1u);
+  EXPECT_EQ(cached.mappings, bare.mappings);  // same seed, same plan, same walk
+}
+
+TEST(SharedPlan, PortfolioEnumerationIdenticalWithAndWithoutSharedPlan) {
+  const Graph query = topo::ring(4);
+  const Graph host = topo::clique(8);
+  const Problem problem(query, host, kNone);
+  const EmbedResult serial = core::ecfSearch(problem, storeAll());
+
+  SearchContext bareParent(storeAll());
+  const core::PortfolioResult bare = core::portfolioSearch(problem, bareParent);
+  ASSERT_TRUE(bare.raceDecided);
+
+  SearchContext cachedParent(storeAll());
+  cachedParent.setPlanBuilder(std::make_shared<core::SharedPlanBuilder>(
+      core::FilterPlan::build(problem, storeAll())));
+  const core::PortfolioResult cached = core::portfolioSearch(problem, cachedParent);
+  ASSERT_TRUE(cached.raceDecided);
+
+  // An enumerate-all race is exhaustive regardless of who wins: both runs
+  // must reproduce the serial enumeration exactly.
+  EXPECT_EQ(sortedMappings(bare.result), sortedMappings(serial));
+  EXPECT_EQ(sortedMappings(cached.result), sortedMappings(serial));
+}
+
+TEST(SharedPlan, PortfolioRacePerformsExactlyOneFilterBuild) {
+  // ROADMAP's known inefficiency, fixed: the filtered contenders of one race
+  // share a single stage-1 build (counter-verified).
+  const Graph query = topo::ring(4);
+  const Graph host = topo::clique(10);
+  const Problem problem(query, host, kNone);
+  SearchOptions o;
+  o.maxSolutions = 1;
+  const std::uint64_t buildsBefore = core::filterPlanBuilds();
+  const core::PortfolioResult race =
+      core::portfolioSearch(problem, o, {}, {Algorithm::ECF, Algorithm::RWB});
+  EXPECT_TRUE(race.raceDecided);
+  EXPECT_EQ(race.result.solutionCount, 1u);
+  EXPECT_EQ(core::filterPlanBuilds() - buildsBefore, 1u);
+}
+
+TEST(SharedPlan, SharedOverflowDropsBothFilteredContendersOnce) {
+  // The shared build's overflow is sticky: ECF and RWB both drop out after
+  // ONE failed build attempt, and LNS still wins the race.
+  const Graph query = topo::ring(4);
+  const Graph host = topo::clique(12);
+  const Problem problem(query, host, kNone);
+  SearchOptions o;
+  o.maxSolutions = 1;
+  o.maxFilterEntries = 1;
+  const core::PortfolioResult race = core::portfolioSearch(
+      problem, o, {}, {Algorithm::ECF, Algorithm::RWB, Algorithm::LNS});
+  EXPECT_TRUE(race.raceDecided);
+  EXPECT_EQ(race.winner, Algorithm::LNS);
+  EXPECT_EQ(race.result.solutionCount, 1u);
 }
 
 TEST(Portfolio, RunsBehindTheEngineInterfaceToo) {

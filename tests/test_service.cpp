@@ -4,6 +4,7 @@
 
 #include <thread>
 
+#include "core/plan.hpp"
 #include "core/verify.hpp"
 #include "topo/regular.hpp"
 #include "topo/sample.hpp"
@@ -206,6 +207,29 @@ TEST(Service, AllocateReturnsNulloptWhenInfeasible) {
   request.query = topo::clique(4);
   const auto allocation = svc.allocateFirstFeasible(request, {});
   EXPECT_FALSE(allocation.has_value());
+}
+
+TEST(Service, ModelReplacementInvalidatesCachedPlans) {
+  // Assigning a new (here: smaller) model must not let a same-signature
+  // query hit a plan built against the old host — stale host node ids would
+  // index out of the new host's bounds.
+  NetEmbedService svc(topo::clique(8));
+  EmbedRequest request;
+  request.query = topo::ring(4);
+  request.algorithm = Algorithm::ECF;
+  request.options.maxSolutions = 1;
+  const std::uint64_t builds0 = core::filterPlanBuilds();
+  const auto first = svc.submit(request);
+  ASSERT_TRUE(first.result.feasible());
+  EXPECT_EQ(core::filterPlanBuilds() - builds0, 1u);
+
+  svc.model() = service::NetworkModel(topo::clique(6));
+  EXPECT_GT(svc.model().version(), first.modelVersion);
+  const auto second = svc.submit(request);
+  EXPECT_TRUE(second.result.feasible());
+  EXPECT_EQ(second.modelVersion, svc.model().version());
+  EXPECT_EQ(core::filterPlanBuilds() - builds0, 2u)
+      << "the replaced model must force a fresh stage-1 build";
 }
 
 TEST(Service, ModelVersionReportedInResponse) {

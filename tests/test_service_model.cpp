@@ -26,6 +26,22 @@ TEST(Model, VersionBumpsOnMutation) {
   EXPECT_GT(model.version(), v0 + 1);
 }
 
+TEST(Model, AssignmentKeepsTheVersionStrictlyRising) {
+  // Wholesale replacement is a mutation: version-keyed consumers (the plan
+  // cache) must never see a version collide across different host graphs.
+  NetworkModel model(topo::ring(4));
+  model.setNodeAttr(0, "load", 0.5);
+  const auto before = model.version();
+  NetworkModel fresh(topo::ring(3));  // fresh.version() == 0 < before
+  model = fresh;
+  EXPECT_GT(model.version(), before);
+  EXPECT_EQ(model.host().nodeCount(), 3u);
+  const auto replaced = model.version();
+  model = NetworkModel(topo::line(5));
+  EXPECT_GT(model.version(), replaced);
+  EXPECT_EQ(model.host().nodeCount(), 5u);
+}
+
 TEST(Model, SetEdgeMetricRejectsMissingEdge) {
   NetworkModel model(topo::ring(4));
   EXPECT_THROW(model.setEdgeMetric(0, 2, "delay", 1.0), std::invalid_argument);
