@@ -3,8 +3,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/ecf.hpp"
 #include "core/filter.hpp"
+#include "core/plan.hpp"
+#include "topo/regular.hpp"
 #include "topo/sample.hpp"
 #include "trace/planetlab.hpp"
 #include "util/rng.hpp"
@@ -52,19 +56,46 @@ BENCHMARK(BM_FilterBuild)
     ->Args({60, 0})
     ->Args({60, 1});
 
-void BM_CandidateIntersection(benchmark::State& state) {
-  // End-to-end ECF on a modest instance: dominated by candidate set
-  // intersections once filters exist.
-  const Fixture fixture(20);
-  const core::Problem problem(fixture.query, fixture.host, fixture.constraints);
-  core::SearchOptions options;
+/// Run ECF against a pre-resolved shared plan so iterations time pure
+/// candidate enumeration, not the stage-1 build.
+void runEnumeration(benchmark::State& state, const core::Problem& problem,
+                    core::SearchOptions options) {
   options.storeLimit = 1;
+  options.maxSolutions = 20000;  // bounded: full enumerations are astronomical
+  options.bitsetMode =
+      state.range(0) != 0 ? core::BitsetMode::Auto : core::BitsetMode::Off;
+  const auto builder = std::make_shared<core::SharedPlanBuilder>(
+      core::FilterPlan::build(problem, options));
   for (auto _ : state) {
-    const auto result = core::ecfSearch(problem, options);
+    core::SearchContext context(options);
+    context.setPlanBuilder(builder);
+    const auto result = core::ecfSearch(problem, context);
     benchmark::DoNotOptimize(result.solutionCount);
   }
+  state.SetLabel(state.range(0) != 0 ? "bitset" : "csr");
 }
-BENCHMARK(BM_CandidateIntersection);
+
+void BM_CandidateIntersection(benchmark::State& state) {
+  // Candidate intersections on a modest PlanetLab-style instance. Arg
+  // toggles the candidate-domain representation (0 = CSR-only, 1 = dual
+  // CSR/bitset default).
+  const Fixture fixture(20);
+  const core::Problem problem(fixture.query, fixture.host, fixture.constraints);
+  runEnumeration(state, problem, {});
+}
+BENCHMARK(BM_CandidateIntersection)->Arg(0)->Arg(1);
+
+void BM_CandidateIntersectionDense(benchmark::State& state) {
+  // The dense §VII-D shape (clique query into a clique host): every depth
+  // intersects as many all-but-one rows as there are mapped neighbours —
+  // the word-parallel AND's target workload.
+  const graph::Graph host = topo::clique(56);
+  const graph::Graph query = topo::clique(7);
+  const expr::ConstraintSet none;
+  const core::Problem problem(query, host, none);
+  runEnumeration(state, problem, {});
+}
+BENCHMARK(BM_CandidateIntersectionDense)->Arg(0)->Arg(1);
 
 }  // namespace
 

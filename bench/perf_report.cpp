@@ -1,0 +1,239 @@
+// Perf trajectory baseline: a fixed instance matrix (sparse PlanetLab-like,
+// dense BRITE-like Waxman, clique) timed through filter build, first match
+// and capped enumeration, in both candidate-domain representations (CSR-only
+// vs. the dual CSR/bitset default). Medians land in BENCH_netembed.json so
+// future PRs can diff against a tracked baseline instead of folklore.
+//
+//   --reps <n>     repetitions per (instance, mode) cell (default 5)
+//   --seed <u64>   root seed (default 42)
+//   --out <path>   JSON output path (default BENCH_netembed.json)
+//   --check        enforce the acceptance thresholds: >= 2x enumeration
+//                  speedup on the dense instances, <= 10% regression on the
+//                  sparse one (exit 1 on violation)
+//
+// The binary also cross-checks that both representations enumerate the same
+// number of solutions on every instance and exits non-zero otherwise — the
+// perf baseline must never be produced by a wrong answer.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/filter.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace netembed;
+
+struct ModeTimings {
+  double filterBuildMs = 0.0;
+  double firstMatchMs = 0.0;   // pure search (build excluded)
+  double enumerateMs = 0.0;    // pure search (build excluded)
+  std::uint64_t enumerated = 0;
+  std::size_t filterEntries = 0;
+};
+
+struct InstanceReport {
+  std::string name;
+  std::size_t queryNodes = 0;
+  std::size_t queryEdges = 0;
+  std::size_t hostNodes = 0;
+  std::size_t hostEdges = 0;
+  std::size_t filterEntries = 0;
+  ModeTimings csr;
+  ModeTimings bitset;
+
+  [[nodiscard]] double enumerateSpeedup() const {
+    return bitset.enumerateMs > 0.0 ? csr.enumerateMs / bitset.enumerateMs : 0.0;
+  }
+};
+
+ModeTimings timeMode(const core::Problem& problem, core::BitsetMode mode,
+                     std::size_t reps, std::size_t enumerateCap) {
+  std::vector<double> build, first, enumerate;
+  ModeTimings out;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    core::SearchOptions base;
+    base.bitsetMode = mode;
+    {
+      core::SearchStats stats;
+      const auto fm = core::FilterMatrix::build(problem, base, stats);
+      build.push_back(stats.filterBuildMs);
+      out.filterEntries = fm.totalEntries();
+    }
+    {
+      core::SearchOptions o = base;
+      o.maxSolutions = 1;
+      o.storeLimit = 1;
+      const auto r = core::ecfSearch(problem, o);
+      first.push_back(r.stats.searchMs - r.stats.filterBuildMs);
+    }
+    {
+      core::SearchOptions o = base;
+      o.maxSolutions = enumerateCap;
+      o.storeLimit = 1;
+      const auto r = core::ecfSearch(problem, o);
+      enumerate.push_back(r.stats.searchMs - r.stats.filterBuildMs);
+      out.enumerated = r.solutionCount;
+    }
+  }
+  out.filterBuildMs = util::median(build);
+  out.firstMatchMs = util::median(first);
+  out.enumerateMs = util::median(enumerate);
+  return out;
+}
+
+InstanceReport runInstance(const std::string& name, const graph::Graph& query,
+                           const graph::Graph& host,
+                           const expr::ConstraintSet& constraints,
+                           std::size_t reps, std::size_t enumerateCap) {
+  const core::Problem problem(query, host, constraints);
+  InstanceReport report;
+  report.name = name;
+  report.queryNodes = query.nodeCount();
+  report.queryEdges = query.edgeCount();
+  report.hostNodes = host.nodeCount();
+  report.hostEdges = host.edgeCount();
+  report.csr = timeMode(problem, core::BitsetMode::Off, reps, enumerateCap);
+  report.bitset = timeMode(problem, core::BitsetMode::Auto, reps, enumerateCap);
+  report.filterEntries = report.csr.filterEntries;
+  return report;
+}
+
+void writeJson(std::ostream& os, const std::vector<InstanceReport>& reports,
+               std::uint64_t seed, std::size_t reps) {
+  const auto mode = [&](const ModeTimings& t) {
+    os << "{\"filter_build_ms\": " << t.filterBuildMs
+       << ", \"first_match_ms\": " << t.firstMatchMs
+       << ", \"enumerate_ms\": " << t.enumerateMs
+       << ", \"enumerated\": " << t.enumerated << "}";
+  };
+  os << "{\n  \"bench\": \"netembed_perf_report\",\n"
+     << "  \"seed\": " << seed << ",\n  \"reps\": " << reps << ",\n"
+     << "  \"instances\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const InstanceReport& r = reports[i];
+    os << "    {\"name\": \"" << r.name << "\", \"query_nodes\": " << r.queryNodes
+       << ", \"query_edges\": " << r.queryEdges << ", \"host_nodes\": " << r.hostNodes
+       << ", \"host_edges\": " << r.hostEdges
+       << ", \"filter_entries\": " << r.filterEntries << ",\n     \"csr\": ";
+    mode(r.csr);
+    os << ",\n     \"bitset\": ";
+    mode(r.bitset);
+    os << ",\n     \"enumerate_speedup\": " << r.enumerateSpeedup() << "}"
+       << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::size_t reps = static_cast<std::size_t>(args.getInt("reps", 5));
+  const std::uint64_t seed = args.getSeed("seed", 42);
+  const std::string outPath = args.getString("out", "BENCH_netembed.json");
+  const bool check = args.getBool("check");
+
+  std::vector<InstanceReport> reports;
+
+  // Sparse: the synthetic PlanetLab substrate with tight delay windows AND an
+  // isBoundTo-style node constraint (OS match) — filter cells hold a handful
+  // of candidates each, the CSR path's home turf and the non-regression
+  // guard for the density heuristic.
+  {
+    const graph::Graph& host = bench::planetlabHost(seed);
+    util::Rng rng(util::deriveSeed(seed, 1));
+    const graph::Graph query = bench::sampledDelayQuery(host, 18, 30, 0.25, rng);
+    const expr::ConstraintSet constraints = expr::ConstraintSet::parse(
+        topo::delayWindowConstraint(), "rNode.osType == vNode.osType");
+    // A lower enumeration cap than the dense instances: each solution here
+    // sits deep in a heavily-pruned tree, so 1500 keeps a rep near 300 ms.
+    reports.push_back(
+        runInstance("planetlab_sparse", query, host, constraints, reps, 1500));
+  }
+
+  // Dense BRITE-like: a Waxman topology thick with edges and a widened delay
+  // window that lets most of them match — big cells, the word-parallel AND's
+  // target workload (fig. 11-13 territory).
+  {
+    topo::BriteOptions bo;
+    bo.nodes = 400;
+    bo.model = topo::BriteOptions::Model::Waxman;
+    bo.waxmanAlpha = 0.5;
+    bo.waxmanBeta = 0.6;
+    bo.seed = util::deriveSeed(seed, 2);
+    const graph::Graph host = topo::brite(bo);
+    util::Rng rng(util::deriveSeed(seed, 3));
+    auto sub = topo::sampleConnectedSubgraph(host, 10, 16, rng);
+    topo::widenDelayWindows(sub.graph, 2.0);
+    const expr::ConstraintSet constraints =
+        expr::ConstraintSet::edgeOnly(topo::delayWindowConstraint());
+    reports.push_back(
+        runInstance("brite_dense", sub.graph, host, constraints, reps, 20000));
+  }
+
+  // Clique: topology-only K7 into K56 (§VII-D) — every cell is all-but-one
+  // host node and every depth intersects as many constrainer rows as there
+  // are mapped neighbours, the densest domains an instance can produce.
+  {
+    const graph::Graph host = topo::clique(56);
+    const graph::Graph query = topo::clique(7);
+    const expr::ConstraintSet none;
+    reports.push_back(runInstance("clique", query, host, none, reps, 20000));
+  }
+
+  util::TablePrinter table(
+      {"instance", "entries", "build csr", "build bits", "enum csr", "enum bits",
+       "speedup"});
+  for (const InstanceReport& r : reports) {
+    table.addRow({r.name, std::to_string(r.filterEntries),
+                  util::formatFixed(r.csr.filterBuildMs, 2),
+                  util::formatFixed(r.bitset.filterBuildMs, 2),
+                  util::formatFixed(r.csr.enumerateMs, 2),
+                  util::formatFixed(r.bitset.enumerateMs, 2),
+                  util::formatFixed(r.enumerateSpeedup(), 2) + "x"});
+  }
+  std::cout << "\n=== perf baseline (median of " << reps << ") ===\n";
+  table.print(std::cout);
+
+  std::ofstream out(outPath);
+  if (!out) {
+    std::cerr << "FAIL: cannot open " << outPath << " for writing\n";
+    return 1;
+  }
+  writeJson(out, reports, seed, reps);
+  out.flush();
+  if (!out) {
+    std::cerr << "FAIL: short write to " << outPath << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << outPath << "\n";
+
+  bool ok = true;
+  for (const InstanceReport& r : reports) {
+    if (r.csr.enumerated != r.bitset.enumerated) {
+      std::cerr << "FAIL: " << r.name << " enumerated " << r.csr.enumerated
+                << " (csr) vs " << r.bitset.enumerated << " (bitset)\n";
+      ok = false;
+    }
+  }
+  if (check) {
+    for (const InstanceReport& r : reports) {
+      const double speedup = r.enumerateSpeedup();
+      if (r.name == "planetlab_sparse" && speedup < 0.9) {
+        std::cerr << "FAIL: sparse regression > 10% (speedup " << speedup << ")\n";
+        ok = false;
+      }
+      if (r.name != "planetlab_sparse" && speedup < 2.0) {
+        std::cerr << "FAIL: " << r.name << " speedup " << speedup << " < 2x\n";
+        ok = false;
+      }
+    }
+  }
+  return ok ? 0 : 1;
+}

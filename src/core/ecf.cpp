@@ -8,6 +8,7 @@
 
 #include "core/filter.hpp"
 #include "core/plan.hpp"
+#include "util/bitset.hpp"
 #include "util/latch.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -30,7 +31,8 @@ class FilteredWorker {
       : plan_(plan), context_(context), randomize_(randomize), rng_(seed) {
     const std::size_t nq = problem.query->nodeCount();
     mapping_.assign(nq, graph::kInvalidNode);
-    used_.assign(problem.host->nodeCount(), false);
+    used_.assign(problem.host->nodeCount());
+    scratch_.assign(problem.host->nodeCount());
     candidateBuffers_.resize(nq);
   }
 
@@ -44,9 +46,9 @@ class FilteredWorker {
       const graph::NodeId r = roots[i];
       ++stats_.treeNodesVisited;
       mapping_[v0] = r;
-      used_[r] = true;
+      used_.set(r);
       descend(1);
-      used_[r] = false;
+      used_.reset(r);
       mapping_[v0] = graph::kInvalidNode;
       if (stopped_) return;
     }
@@ -64,32 +66,70 @@ class FilteredWorker {
 
   void collectCandidates(graph::NodeId v, std::vector<graph::NodeId>& out) {
     out.clear();
+    const FilterMatrix& fm = plan_.filters;
     const auto& earlier = plan_.earlier[v];
+    const auto emit = [&](std::size_t r) {
+      out.push_back(static_cast<graph::NodeId>(r));
+    };
     if (earlier.empty()) {
-      for (const graph::NodeId r : plan_.filters.viable(v)) {
-        if (!used_[r]) out.push_back(r);
-      }
+      // Root / next component: viable minus used, word-wise.
+      scratch_.copyFrom(fm.viableBits(v));
+      scratch_.andNotWith(used_);
+      scratch_.forEachSet(emit);
       return;
     }
-    // Intersect candidate cells of all previously-assigned neighbours,
-    // iterating the smallest cell and probing the rest (eq. 2).
+    // Word-parallel path (eq. 2): when every constrainer cell carries bitset
+    // rows, AND them into the reusable scratch with viability and `used_`
+    // folded in as one more AND/ANDNOT, then walk the surviving bits. One
+    // scratch per worker suffices: the result is drained into the per-depth
+    // buffer before the search descends.
+    bool allBits = true;
+    for (const FilterMatrix::Constrainer& c : earlier) {
+      if (!fm.hasCandidateBits(c.owner, c.slot)) {
+        allBits = false;
+        break;
+      }
+    }
+    if (allBits) {
+      scratch_.copyFrom(fm.viableBits(v));
+      scratch_.andNotWith(used_);
+      for (const FilterMatrix::Constrainer& c : earlier) {
+        if (!scratch_.andWith(fm.candidateBits(c.owner, c.slot, mapping_[c.owner]))) {
+          return;
+        }
+      }
+      scratch_.forEachSet(emit);
+      return;
+    }
+    // Hybrid/CSR path: iterate the smallest sorted cell and probe the rest —
+    // an O(1) bit test where a cell has rows, binary search where it is
+    // sparse. Identical sets in identical (ascending) order as above.
     std::span<const graph::NodeId> base;
+    const FilterMatrix::Constrainer* baseC = nullptr;
     std::size_t baseSize = static_cast<std::size_t>(-1);
     for (const FilterMatrix::Constrainer& c : earlier) {
-      const auto cell = plan_.filters.candidates(c.owner, c.slot, mapping_[c.owner]);
+      const auto cell = fm.candidates(c.owner, c.slot, mapping_[c.owner]);
       if (cell.size() < baseSize) {
         baseSize = cell.size();
         base = cell;
+        baseC = &c;
       }
       if (baseSize == 0) return;
     }
     for (const graph::NodeId r : base) {
-      if (used_[r]) continue;
-      if (!plan_.filters.isViable(v, r)) continue;  // forward arc-consistency prune
+      if (used_.test(r)) continue;
+      if (!fm.isViable(v, r)) continue;  // forward arc-consistency prune
       bool inAll = true;
       for (const FilterMatrix::Constrainer& c : earlier) {
-        const auto cell = plan_.filters.candidates(c.owner, c.slot, mapping_[c.owner]);
-        if (cell.data() == base.data()) continue;
+        if (&c == baseC) continue;  // r was drawn from this cell
+        if (fm.hasCandidateBits(c.owner, c.slot)) {
+          if (!util::testBit(fm.candidateBits(c.owner, c.slot, mapping_[c.owner]), r)) {
+            inAll = false;
+            break;
+          }
+          continue;
+        }
+        const auto cell = fm.candidates(c.owner, c.slot, mapping_[c.owner]);
         if (!std::binary_search(cell.begin(), cell.end(), r)) {
           inAll = false;
           break;
@@ -115,9 +155,9 @@ class FilteredWorker {
       if (limitsHit()) return;
       ++stats_.treeNodesVisited;
       mapping_[v] = r;
-      used_[r] = true;
+      used_.set(r);
       descend(depth + 1);
-      used_[r] = false;
+      used_.reset(r);
       mapping_[v] = graph::kInvalidNode;
       if (stopped_) return;
     }
@@ -130,7 +170,8 @@ class FilteredWorker {
   util::Rng rng_;
 
   Mapping mapping_;
-  std::vector<bool> used_;
+  util::Bitset used_;     // host nodes taken by the current partial mapping
+  util::Bitset scratch_;  // eq.-2 intersection accumulator
   std::vector<std::vector<graph::NodeId>> candidateBuffers_;
   SearchStats stats_;
   bool stopped_ = false;

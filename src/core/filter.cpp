@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
@@ -12,16 +13,54 @@ namespace {
 
 /// Dense bitmap of node-level viability (node constraint + degree bound),
 /// computed once up front; O(NQ * NR) evaluations of the node constraint.
-std::vector<std::vector<bool>> nodeViability(const Problem& p) {
+/// Parallel over query nodes (rows are disjoint word ranges) and cancellable
+/// mid-row: on large hosts with an expensive node constraint this stage
+/// alone can outlive a portfolio race or a deadline.
+util::BitMatrix nodeViability(const Problem& p, const SearchOptions& options,
+                              const std::function<bool()>& cancelled) {
   const std::size_t nq = p.query->nodeCount();
   const std::size_t nr = p.host->nodeCount();
-  std::vector<std::vector<bool>> ok(nq, std::vector<bool>(nr, false));
-  for (graph::NodeId q = 0; q < nq; ++q) {
+  util::BitMatrix ok(nq, nr);
+  constexpr std::size_t kCancelPollStride = 4096;
+  const auto evalRow = [&](std::size_t q) {
+    std::uint64_t* row = ok.rowData(q);
     for (graph::NodeId r = 0; r < nr; ++r) {
-      ok[q][r] = p.degreeOk(q, r) && p.nodeOk(q, r);
+      if (r % kCancelPollStride == 0 && cancelled && cancelled()) {
+        throw FilterBuildCancelled();
+      }
+      if (p.degreeOk(static_cast<graph::NodeId>(q), r) &&
+          p.nodeOk(static_cast<graph::NodeId>(q), r)) {
+        row[r / util::kBitsPerWord] |= std::uint64_t{1} << (r % util::kBitsPerWord);
+      }
     }
+  };
+  if (options.parallelFilterBuild && nq > 1) {
+    util::parallelFor(nq, evalRow, 1);
+  } else {
+    for (std::size_t q = 0; q < nq; ++q) evalRow(q);
   }
   return ok;
+}
+
+/// Density heuristic: does a cell with `entries` stored candidates over an
+/// `nr`-node host earn bitset rows? A row AND costs one word per 64 host
+/// nodes no matter how sparse the cell, so demand an average of at least one
+/// set bit per word (density >= 1/64 — there the nr*nr/8-byte bitmap costs
+/// 2x the 4-byte-entry CSR list it shadows, shrinking relatively as density
+/// grows); small hosts get rows unconditionally because a handful of words
+/// beats any binary search.
+[[nodiscard]] bool wantCellBits(BitsetMode mode, std::size_t entries,
+                                std::size_t nr) noexcept {
+  constexpr std::size_t kSmallHostBits = 256;
+  switch (mode) {
+    case BitsetMode::Off:
+      return false;
+    case BitsetMode::Force:
+      return true;
+    case BitsetMode::Auto:
+      break;
+  }
+  return nr <= kSmallHostBits || entries * util::kBitsPerWord >= nr * nr;
 }
 
 }  // namespace
@@ -59,9 +98,12 @@ FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& op
       fm.constrainers_[fm.slots_[v][s].neighbor].push_back({v, s});
     }
   }
-  fm.cells_.resize(fm.slotBase_[nq]);
+  const std::size_t cellCount = fm.slotBase_[nq];
+  fm.cells_.resize(cellCount);
+  fm.cellBits_.resize(cellCount);
 
-  const std::vector<std::vector<bool>> nodeOk = nodeViability(problem);
+  // --- stage 0: node-level viability bitmap --------------------------------
+  const util::BitMatrix nodeOk = nodeViability(problem, options, cancelled);
 
   // --- stage 1: evaluate the constraint per (query edge, host edge) -------
   //
@@ -106,25 +148,25 @@ FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& op
       const graph::NodeId ra = h.edgeSource(he);
       const graph::NodeId rb = h.edgeTarget(he);
       if (h.directed()) {
-        if (nodeOk[qa][ra] && nodeOk[qb][rb] &&
+        if (nodeOk.test(qa, ra) && nodeOk.test(qb, rb) &&
             problem.edgeOk(qe, qa, qb, he, ra, rb, localEvals)) {
           pairs.emplace_back(ra, rb);
         }
         continue;
       }
       if (symmetric) {
-        const bool forward = nodeOk[qa][ra] && nodeOk[qb][rb];
-        const bool backward = nodeOk[qa][rb] && nodeOk[qb][ra];
+        const bool forward = nodeOk.test(qa, ra) && nodeOk.test(qb, rb);
+        const bool backward = nodeOk.test(qa, rb) && nodeOk.test(qb, ra);
         if (!forward && !backward) continue;
         if (!problem.edgeOk(qe, qa, qb, he, ra, rb, localEvals)) continue;
         if (forward) pairs.emplace_back(ra, rb);
         if (backward) pairs.emplace_back(rb, ra);
       } else {
-        if (nodeOk[qa][ra] && nodeOk[qb][rb] &&
+        if (nodeOk.test(qa, ra) && nodeOk.test(qb, rb) &&
             problem.edgeOk(qe, qa, qb, he, ra, rb, localEvals)) {
           pairs.emplace_back(ra, rb);
         }
-        if (nodeOk[qa][rb] && nodeOk[qb][ra] &&
+        if (nodeOk.test(qa, rb) && nodeOk.test(qb, ra) &&
             problem.edgeOk(qe, qa, qb, he, rb, ra, localEvals)) {
           pairs.emplace_back(rb, ra);
         }
@@ -144,47 +186,100 @@ FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& op
     for (std::size_t i = 0; i < q.edgeCount(); ++i) evaluateQueryEdge(i);
   }
 
-  // --- stage 2: scatter match pairs into per-slot CSR cells ---------------
+  // --- stage 2: scatter match pairs into per-slot CSR (+ bitset) cells ----
   // Slot (v, s) with edge e: if v == src(e) the cell keys on ra and stores
-  // rb; otherwise it keys on rb and stores ra.
-  const auto fillSlot = [&](graph::NodeId v, std::uint32_t s) {
-    const Slot slot = fm.slots_[v][s];
-    Csr& csr = fm.cells_[fm.slotBase_[v] + s];
-    const bool vIsSource = q.edgeSource(slot.edge) == v;
-    auto& pairs = matchPairs[slot.edge];
-
-    std::vector<std::pair<graph::NodeId, graph::NodeId>> keyed;
-    keyed.reserve(pairs.size());
-    for (const auto& [ra, rb] : pairs) {
-      keyed.emplace_back(vIsSource ? ra : rb, vIsSource ? rb : ra);
-    }
-    std::sort(keyed.begin(), keyed.end());
-    csr.offsets.assign(nr + 1, 0);
-    csr.data.resize(keyed.size());
-    for (std::size_t i = 0; i < keyed.size(); ++i) {
-      ++csr.offsets[keyed[i].first + 1];
-      csr.data[i] = keyed[i].second;
-    }
-    for (std::size_t r = 0; r < nr; ++r) csr.offsets[r + 1] += csr.offsets[r];
-  };
+  // rb; otherwise it keys on rb and stores ra. Cells are disjoint, so the
+  // scatter parallelizes over them directly.
+  std::vector<std::pair<graph::NodeId, std::uint32_t>> cellOwner(cellCount);
   for (graph::NodeId v = 0; v < nq; ++v) {
-    for (std::uint32_t s = 0; s < fm.slots_[v].size(); ++s) fillSlot(v, s);
+    for (std::uint32_t s = 0; s < fm.slots_[v].size(); ++s) {
+      cellOwner[fm.slotBase_[v] + s] = {v, s};
+    }
   }
 
-  // --- viable lists (strengthened eq. 1) ------------------------------------
-  for (graph::NodeId v = 0; v < nq; ++v) {
+  const auto fillSlot = [&](std::size_t cellIndex) {
+    if (cancelled && cancelled()) throw FilterBuildCancelled();
+    const auto [v, s] = cellOwner[cellIndex];
+    const Slot slot = fm.slots_[v][s];
+    Csr& csr = fm.cells_[cellIndex];
+    const bool vIsSource = q.edgeSource(slot.edge) == v;
+    const auto& pairs = matchPairs[slot.edge];
+    const std::size_t m = pairs.size();
+
+    // Two stable counting passes (LSD radix over the host-node id): order by
+    // stored value first, then scatter by key — O(E + NR) total, replacing
+    // the former O(E log E) comparison sort, while producing the same
+    // key-grouped, value-ascending layout.
+    std::vector<graph::NodeId> keys(m), vals(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      keys[i] = vIsSource ? pairs[i].first : pairs[i].second;
+      vals[i] = vIsSource ? pairs[i].second : pairs[i].first;
+    }
+    std::vector<std::uint32_t> start(nr + 1, 0);
+    for (std::size_t i = 0; i < m; ++i) ++start[vals[i] + 1];
+    for (std::size_t r = 0; r < nr; ++r) start[r + 1] += start[r];
+    std::vector<graph::NodeId> keysByVal(m), valsByVal(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint32_t pos = start[vals[i]]++;
+      keysByVal[pos] = keys[i];
+      valsByVal[pos] = vals[i];
+    }
+
+    csr.offsets.assign(nr + 1, 0);
+    for (std::size_t i = 0; i < m; ++i) ++csr.offsets[keysByVal[i] + 1];
+    for (std::size_t r = 0; r < nr; ++r) csr.offsets[r + 1] += csr.offsets[r];
+    csr.data.resize(m);
+    std::vector<std::uint32_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+    for (std::size_t i = 0; i < m; ++i) {
+      csr.data[cursor[keysByVal[i]]++] = valsByVal[i];
+    }
+
+    if (wantCellBits(options.bitsetMode, m, nr)) {
+      util::BitMatrix& bits = fm.cellBits_[cellIndex];
+      bits.assign(nr, nr);
+      for (graph::NodeId r = 0; r < nr; ++r) {
+        std::uint64_t* row = bits.rowData(r);
+        for (std::uint32_t i = csr.offsets[r]; i < csr.offsets[r + 1]; ++i) {
+          const graph::NodeId c = csr.data[i];
+          row[c / util::kBitsPerWord] |= std::uint64_t{1}
+                                         << (c % util::kBitsPerWord);
+        }
+      }
+    }
+  };
+  if (options.parallelFilterBuild && cellCount > 1) {
+    util::parallelFor(cellCount, fillSlot, 1);
+  } else {
+    for (std::size_t i = 0; i < cellCount; ++i) fillSlot(i);
+  }
+
+  // --- viable lists + bit rows (strengthened eq. 1) -------------------------
+  fm.viableBits_.assign(nq, nr);
+  const auto fillViable = [&](std::size_t vIndex) {
+    if (cancelled && cancelled()) throw FilterBuildCancelled();
+    const auto v = static_cast<graph::NodeId>(vIndex);
     std::vector<graph::NodeId>& out = fm.viable_[v];
+    std::uint64_t* row = fm.viableBits_.rowData(v);
     for (graph::NodeId r = 0; r < nr; ++r) {
-      if (!nodeOk[v][r]) continue;
+      if (!nodeOk.test(v, r)) continue;
       bool allSlotsSupported = true;
       for (std::uint32_t s = 0; s < fm.slots_[v].size(); ++s) {
-        if (fm.candidates(v, s, r).empty()) {
+        const Csr& csr = fm.cells_[fm.slotBase_[v] + s];
+        if (csr.offsets[r + 1] == csr.offsets[r]) {
           allSlotsSupported = false;
           break;
         }
       }
-      if (allSlotsSupported) out.push_back(r);
+      if (allSlotsSupported) {
+        out.push_back(r);
+        row[r / util::kBitsPerWord] |= std::uint64_t{1} << (r % util::kBitsPerWord);
+      }
     }
+  };
+  if (options.parallelFilterBuild && nq > 1) {
+    util::parallelFor(nq, fillViable, 1);
+  } else {
+    for (std::size_t v = 0; v < nq; ++v) fillViable(v);
   }
 
   fm.totalEntries_ = entries.load();
@@ -192,11 +287,6 @@ FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& op
   stats.constraintEvals += evals.load();
   stats.filterBuildMs = timer.elapsedMs();
   return fm;
-}
-
-bool FilterMatrix::isViable(graph::NodeId v, graph::NodeId r) const {
-  const std::vector<graph::NodeId>& list = viable_[v];
-  return std::binary_search(list.begin(), list.end(), r);
 }
 
 }  // namespace netembed::core

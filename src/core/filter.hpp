@@ -2,16 +2,23 @@
 // Stage-1 candidate filters for ECF and RWB (paper §V-A).
 //
 // For every *directed use* of a query edge (v's slot pointing at neighbour
-// w) and every host node r, the filter stores the sorted list of host nodes
-// s such that mapping v->r, w->s satisfies topology, node-level checks
-// (node constraint + degree bound) and the edge constraint expression:
+// w) and every host node r, the filter stores the set of host nodes s such
+// that mapping v->r, w->s satisfies topology, node-level checks (node
+// constraint + degree bound) and the edge constraint expression:
 //
 //     F[v][slot(w)][r] = { s : ok(v->r, w->s) }
 //
-// Cells are stored sparsely in CSR form per (v, slot). The paper's negative
-// filter F-bar is represented implicitly: candidate sets are always computed
-// by intersecting positive cells, which is equivalent and strictly cheaper
-// (the explicit F-bar's O(n^5) space is what motivates LNS in §V-C).
+// Cells have a dual representation:
+//   * CSR (always): sorted lists per (v, slot) — ordered enumeration and the
+//     memory floor on sparse instances;
+//   * packed 64-bit bitset rows (per BitsetMode / density heuristic): the
+//     same sets as word masks over host nodes, so eq.-2 intersection is one
+//     AND per 64 host nodes instead of a binary search per probe. Node
+//     viability is always also available as a bit row (viableBits).
+// The paper's negative filter F-bar is represented implicitly: candidate
+// sets are always computed by intersecting positive cells, which is
+// equivalent and strictly cheaper (the explicit F-bar's O(n^5) space is what
+// motivates LNS in §V-C).
 
 #include <cstdint>
 #include <functional>
@@ -20,6 +27,7 @@
 
 #include "core/problem.hpp"
 #include "core/search.hpp"
+#include "util/bitset.hpp"
 
 namespace netembed::core {
 
@@ -58,8 +66,9 @@ class FilterMatrix {
 
   /// Build the filters; fills stats.filterEntries / filterBuildMs /
   /// constraintEvals. Throws FilterOverflow past the entry budget. The
-  /// `cancelled` predicate (may be empty) is polled periodically during the
-  /// dominant stage-1 loop — a portfolio loser or an expired deadline must
+  /// `cancelled` predicate (may be empty) is polled periodically during
+  /// every O(NQ*NR)+ stage (node viability, the stage-1 constraint sweep,
+  /// the CSR/bitset scatter) — a portfolio loser or an expired deadline must
   /// not keep burning CPU on a build nobody will search; when it returns
   /// true the build throws FilterBuildCancelled. The predicate may be
   /// invoked concurrently when parallelFilterBuild is on.
@@ -85,13 +94,41 @@ class FilterMatrix {
                                           csr.offsets[r + 1] - csr.offsets[r]);
   }
 
+  /// True when cell (owner, slot) carries bitset rows (dense enough under
+  /// the build's BitsetMode). Uniform per cell: either every row of the cell
+  /// has a mask or none does.
+  [[nodiscard]] bool hasCandidateBits(graph::NodeId owner, std::uint32_t slot) const {
+    return !cellBits_[slotBase_[owner] + slot].empty();
+  }
+
+  /// The bitset row matching candidates(owner, slot, r): bit s is set iff s
+  /// is in the CSR list. Only valid when hasCandidateBits(owner, slot).
+  [[nodiscard]] std::span<const std::uint64_t> candidateBits(graph::NodeId owner,
+                                                             std::uint32_t slot,
+                                                             graph::NodeId r) const {
+    return cellBits_[slotBase_[owner] + slot].row(r);
+  }
+
   /// Host nodes viable for v considering node-level checks and non-emptiness
   /// of every slot cell (strengthened eq. 1). Sorted ascending.
   [[nodiscard]] std::span<const graph::NodeId> viable(graph::NodeId v) const {
     return viable_[v];
   }
 
-  [[nodiscard]] bool isViable(graph::NodeId v, graph::NodeId r) const;
+  /// viable(v) as a bit row (always built; hostWords() words wide).
+  [[nodiscard]] std::span<const std::uint64_t> viableBits(graph::NodeId v) const {
+    return viableBits_.row(v);
+  }
+
+  [[nodiscard]] bool isViable(graph::NodeId v, graph::NodeId r) const {
+    return viableBits_.test(v, r);
+  }
+
+  /// Words per host-node bit row — the width of every candidateBits /
+  /// viableBits span and of any scratch Bitset intersected against them.
+  [[nodiscard]] std::size_t hostWords() const noexcept {
+    return viableBits_.wordsPerRow();
+  }
 
   [[nodiscard]] std::size_t totalEntries() const noexcept { return totalEntries_; }
 
@@ -104,8 +141,10 @@ class FilterMatrix {
   std::vector<std::vector<Slot>> slots_;            // per query node
   std::vector<std::uint32_t> slotBase_;             // prefix sum into cells_
   std::vector<Csr> cells_;                          // per (node, slot)
+  std::vector<util::BitMatrix> cellBits_;           // parallel to cells_; may be empty
   std::vector<std::vector<Constrainer>> constrainers_;
   std::vector<std::vector<graph::NodeId>> viable_;  // per query node, sorted
+  util::BitMatrix viableBits_;                      // nq x nr
   std::size_t totalEntries_ = 0;
 };
 

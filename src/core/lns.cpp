@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/bitset.hpp"
 #include "util/timer.hpp"
 
 namespace netembed::core {
@@ -21,10 +22,10 @@ class LnsEngine {
     const std::size_t nq = problem_.query->nodeCount();
     const std::size_t nr = problem_.host->nodeCount();
     mapping_.assign(nq, graph::kInvalidNode);
-    covered_.assign(nq, false);
+    covered_.assign(nq);
     linksToCovered_.assign(nq, 0);
-    used_.assign(nr, false);
-    nodeOkKnown_.assign(nq, std::vector<std::uint8_t>(nr, 0));
+    used_.assign(nr);
+    nodeOkKnown_.assign(nq * nr, 0);
     coveredCount_ = 0;
     stopped_ = false;
 
@@ -48,7 +49,7 @@ class LnsEngine {
 
   /// Memoized node-level viability (node constraint + degree bound).
   bool nodeViable(graph::NodeId v, graph::NodeId r) {
-    std::uint8_t& known = nodeOkKnown_[v][r];
+    std::uint8_t& known = nodeOkKnown_[v * used_.size() + r];
     if (known == 0) {
       known = (problem_.degreeOk(v, r) && problem_.nodeOk(v, r)) ? 2 : 1;
     }
@@ -63,7 +64,7 @@ class LnsEngine {
     graph::NodeId best = graph::kInvalidNode;
     // Neighbor set first.
     for (graph::NodeId v = 0; v < covered_.size(); ++v) {
-      if (covered_[v] || linksToCovered_[v] == 0) continue;
+      if (covered_.test(v) || linksToCovered_[v] == 0) continue;
       if (best == graph::kInvalidNode) {
         best = v;
         if (!options_.lnsMostConnectedNeighbor) return best;
@@ -78,7 +79,7 @@ class LnsEngine {
     if (best != graph::kInvalidNode) return best;
     // Start / next component.
     for (graph::NodeId v = 0; v < covered_.size(); ++v) {
-      if (covered_[v]) continue;
+      if (covered_.test(v)) continue;
       if (best == graph::kInvalidNode) {
         best = v;
         if (!options_.lnsMaxDegreeStart) return best;
@@ -103,13 +104,13 @@ class LnsEngine {
     // bind vSource/vTarget to the stored endpoints, even on undirected
     // graphs where adjacency lists run both ways).
     for (const graph::Neighbor& nb : query().neighbors(v)) {
-      if (covered_[nb.node]) {
+      if (covered_.test(nb.node)) {
         out.push_back({nb.edge, nb.node, query().edgeSource(nb.edge) == v});
       }
     }
     if (query().directed()) {
       for (const graph::Neighbor& nb : query().inNeighbors(v)) {
-        if (covered_[nb.node]) out.push_back({nb.edge, nb.node, false});
+        if (covered_.test(nb.node)) out.push_back({nb.edge, nb.node, false});
       }
     }
   }
@@ -118,7 +119,7 @@ class LnsEngine {
   /// Checks adjacency + constraint for every connecting edge.
   bool candidateOk(graph::NodeId v, graph::NodeId s,
                    const std::vector<ConnectingEdge>& connecting) {
-    if (used_[s] || !nodeViable(v, s)) return false;
+    if (used_.test(s) || !nodeViable(v, s)) return false;
     for (const ConnectingEdge& ce : connecting) {
       const graph::NodeId rw = mapping_[ce.coveredNode];
       // Required host edge orientation mirrors the query edge orientation.
@@ -150,7 +151,7 @@ class LnsEngine {
       // Start node or disconnected component: every viable unused host node.
       for (graph::NodeId s = 0; s < used_.size(); ++s) {
         if (limitsHit()) return;
-        if (used_[s] || !nodeViable(v, s)) continue;
+        if (used_.test(s) || !nodeViable(v, s)) continue;
         ++stats_.treeNodesVisited;
         push(v, s);
         descend();
@@ -198,22 +199,22 @@ class LnsEngine {
 
   void push(graph::NodeId v, graph::NodeId s) {
     mapping_[v] = s;
-    covered_[v] = true;
-    used_[s] = true;
+    covered_.set(v);
+    used_.set(s);
     ++coveredCount_;
     stats_.peakCovered = std::max(stats_.peakCovered, coveredCount_);
     forEachQueryNeighbor(v, [&](graph::NodeId u) {
-      if (!covered_[u]) ++linksToCovered_[u];
+      if (!covered_.test(u)) ++linksToCovered_[u];
     });
   }
 
   void pop(graph::NodeId v, graph::NodeId s) {
     forEachQueryNeighbor(v, [&](graph::NodeId u) {
-      if (!covered_[u]) --linksToCovered_[u];
+      if (!covered_.test(u)) --linksToCovered_[u];
     });
     --coveredCount_;
-    used_[s] = false;
-    covered_[v] = false;
+    used_.reset(s);
+    covered_.reset(v);
     mapping_[v] = graph::kInvalidNode;
   }
 
@@ -230,10 +231,10 @@ class LnsEngine {
   SearchContext& context_;
 
   Mapping mapping_;
-  std::vector<bool> covered_;
+  util::Bitset covered_;  // query nodes already mapped
   std::vector<std::uint32_t> linksToCovered_;
-  std::vector<bool> used_;
-  std::vector<std::vector<std::uint8_t>> nodeOkKnown_;  // 0 unknown, 1 no, 2 yes
+  util::Bitset used_;     // host nodes taken by the current partial mapping
+  std::vector<std::uint8_t> nodeOkKnown_;  // nq x nr flat: 0 unknown, 1 no, 2 yes
   std::size_t coveredCount_ = 0;
   SearchStats stats_;
   bool stopped_ = false;

@@ -5,7 +5,9 @@
 // structures: the FilterMatrix, the Lemma-1 static order, and the per-node
 // index of constrainers assigned earlier in that order. The plan depends only
 // on the problem instance and the plan-relevant options (staticOrdering,
-// maxFilterEntries) — not on seeds, budgets or thread counts — so one build
+// maxFilterEntries, bitsetMode — the latter changes only the cell
+// representation, never the candidate sets) — not on seeds, budgets or
+// thread counts — so one build
 // can back any number of concurrent searches: every root-split worker, both
 // filtered contenders of a portfolio race, and every queued service request
 // with the same (model version, query signature).

@@ -31,6 +31,21 @@ enum class Algorithm : std::uint8_t { ECF, RWB, LNS, Naive, Anneal, Genetic, Por
 enum class Outcome : std::uint8_t { Complete, Partial, Inconclusive };
 [[nodiscard]] const char* outcomeName(Outcome o) noexcept;
 
+/// Candidate-domain representation for stage-1 filter cells (§V-A). Every
+/// cell always keeps its sorted CSR list (ordered enumeration, memory floor);
+/// this chooses when a packed bitset row is built alongside it so eq.-2
+/// intersections run word-parallel. Purely a performance knob: every mode
+/// yields identical candidate sets in identical order.
+enum class BitsetMode : std::uint8_t {
+  /// Per-cell density heuristic: bitset rows only where the AND beats the
+  /// sorted-list probe and the memory is proportionate (the default).
+  Auto,
+  /// CSR only — the iterate-smallest + binary-search path everywhere.
+  Off,
+  /// Bitset rows for every cell regardless of density (differential tests).
+  Force,
+};
+
 struct SearchOptions {
   /// Wall-clock budget; zero means unlimited.
   std::chrono::milliseconds timeout{0};
@@ -50,6 +65,9 @@ struct SearchOptions {
   bool lnsMostConnectedNeighbor = true;
   /// Build stage-1 filters in parallel over query edges.
   bool parallelFilterBuild = true;
+
+  /// Dual CSR/bitset candidate domains (see BitsetMode).
+  BitsetMode bitsetMode = BitsetMode::Auto;
 
   /// Abort filter construction beyond this many stored candidate entries
   /// (the O(n^5) blow-up guard the paper motivates LNS with). 0 = unlimited.

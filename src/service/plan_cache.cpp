@@ -82,10 +82,14 @@ std::string planSignature(const graph::Graph& query,
   appendString(sig, edgeConstraint);
   appendString(sig, nodeConstraint);
   // Plan-relevant options only: staticOrdering shapes the Lemma-1 order,
-  // maxFilterEntries decides whether the build overflows. Seeds, budgets and
-  // thread counts do not touch plan content and must not split the cache.
+  // maxFilterEntries decides whether the build overflows, bitsetMode decides
+  // which cells carry bit rows (identical candidate sets, but a requester
+  // must get the representation it asked for). Seeds, budgets and thread
+  // counts do not touch plan content and must not split the cache.
   sig += options.staticOrdering ? 'S' : 's';
   sig += std::to_string(options.maxFilterEntries);
+  sig += 'b';
+  sig += std::to_string(static_cast<unsigned>(options.bitsetMode));
   return sig;
 }
 

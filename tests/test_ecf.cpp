@@ -171,13 +171,16 @@ TEST(Ecf, SinkCanStopSearch) {
 }
 
 TEST(Ecf, TimeoutProducesPartialWhenSolutionsExist) {
-  const Graph query = topo::clique(5);
-  const Graph host = topo::clique(24);  // ~5.1M embeddings: cannot finish fast
+  // Sized for the word-parallel candidate path: K5-in-K24 (~5.1M embeddings)
+  // can now be exhausted inside the budget, so give the enumeration ~165M
+  // embeddings to guarantee the deadline wins.
+  const Graph query = topo::clique(6);
+  const Graph host = topo::clique(26);
   SearchOptions o;
   o.storeLimit = 1;
   // Generous budget: a loaded single-core CI box may deschedule us past a
-  // tight deadline before the first solution; the ~5M-embedding enumeration
-  // still cannot finish, so the outcome stays Partial.
+  // tight deadline before the first solution; the ~165M-embedding
+  // enumeration still cannot finish, so the outcome stays Partial.
   o.timeout = std::chrono::milliseconds(250);
   o.checkStride = 256;
   const EmbedResult r = ecfSearch(Problem(query, host, kNone), o);

@@ -17,6 +17,7 @@
 #include "core/rwb.hpp"
 #include "core/verify.hpp"
 #include "topo/regular.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -447,6 +448,122 @@ TEST(SharedPlan, SharedOverflowDropsBothFilteredContendersOnce) {
   EXPECT_TRUE(race.raceDecided);
   EXPECT_EQ(race.winner, Algorithm::LNS);
   EXPECT_EQ(race.result.solutionCount, 1u);
+}
+
+// --- bitset vs CSR differential ----------------------------------------------
+//
+// The dual candidate-domain representation is purely a performance choice:
+// Off (sorted CSR + binary search), Force (word-parallel bitset rows) and
+// Auto (density-mixed) must produce identical candidate sets in identical
+// order, hence byte-identical solution streams, on every engine topology.
+
+graph::Graph randomConnected(std::size_t n, std::size_t extraEdges, bool directed,
+                             util::Rng& rng) {
+  Graph g(directed);
+  for (std::size_t i = 0; i < n; ++i) g.addNode();
+  for (graph::NodeId i = 1; i < n; ++i) {
+    const auto j = static_cast<graph::NodeId>(rng.index(i));
+    if (directed && rng.bernoulli(0.5)) {
+      g.addEdge(i, j);
+    } else {
+      g.addEdge(j, i);
+    }
+  }
+  for (std::size_t k = 0; k < extraEdges; ++k) {
+    const auto u = static_cast<graph::NodeId>(rng.index(n));
+    const auto v = static_cast<graph::NodeId>(rng.index(n));
+    if (u == v || g.findEdge(u, v)) continue;
+    g.addEdge(u, v);
+  }
+  return g;
+}
+
+TEST(BitsetDifferential, SerialEcfStreamsByteIdenticalAcrossModes) {
+  for (const bool directed : {false, true}) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      util::Rng rng(util::deriveSeed(seed, directed));
+      const Graph query = randomConnected(5, 4, directed, rng);
+      const Graph host = randomConnected(11, 20, directed, rng);
+      const Problem problem(query, host, kNone);
+      SearchOptions off = storeAll();
+      off.bitsetMode = core::BitsetMode::Off;
+      const EmbedResult reference = core::ecfSearch(problem, off);
+      for (const core::BitsetMode mode :
+           {core::BitsetMode::Auto, core::BitsetMode::Force}) {
+        SearchOptions o = storeAll();
+        o.bitsetMode = mode;
+        const EmbedResult r = core::ecfSearch(problem, o);
+        EXPECT_EQ(r.outcome, reference.outcome);
+        EXPECT_EQ(r.solutionCount, reference.solutionCount);
+        // Ordered, not sorted: the serial enumeration order itself must match.
+        EXPECT_EQ(r.mappings, reference.mappings)
+            << "directed=" << directed << " seed=" << seed
+            << " mode=" << static_cast<int>(mode);
+      }
+    }
+  }
+}
+
+TEST(BitsetDifferential, RwbSeededWalkIdenticalAcrossModes) {
+  // RWB shuffles the candidate buffer; identical pre-shuffle order + the same
+  // seed means the walk — and so the first match — must be identical.
+  util::Rng rng(21);
+  const Graph query = randomConnected(5, 3, false, rng);
+  const Graph host = randomConnected(12, 26, false, rng);
+  const Problem problem(query, host, kNone);
+  SearchOptions off;
+  off.seed = 9;
+  off.bitsetMode = core::BitsetMode::Off;
+  const EmbedResult reference = core::rwbSearch(problem, off);
+  ASSERT_EQ(reference.solutionCount, 1u);
+  for (const core::BitsetMode mode :
+       {core::BitsetMode::Auto, core::BitsetMode::Force}) {
+    SearchOptions o = off;
+    o.bitsetMode = mode;
+    const EmbedResult r = core::rwbSearch(problem, o);
+    ASSERT_EQ(r.solutionCount, 1u);
+    EXPECT_EQ(r.mappings, reference.mappings) << static_cast<int>(mode);
+  }
+}
+
+TEST(BitsetDifferential, RootSplitSolutionSetsIdenticalAcrossModes) {
+  util::Rng rng(33);
+  const Graph query = randomConnected(5, 4, false, rng);
+  const Graph host = randomConnected(11, 22, false, rng);
+  const Problem problem(query, host, kNone);
+  SearchOptions off = storeAll();
+  off.bitsetMode = core::BitsetMode::Off;
+  const EmbedResult reference = core::ecfSearch(problem, off);
+  ASSERT_EQ(reference.outcome, Outcome::Complete);
+  for (const core::BitsetMode mode :
+       {core::BitsetMode::Auto, core::BitsetMode::Force}) {
+    SearchOptions o = storeAll();
+    o.bitsetMode = mode;
+    o.rootSplitThreads = 3;
+    const EmbedResult r = core::ecfSearch(problem, o);
+    EXPECT_EQ(r.outcome, Outcome::Complete);
+    EXPECT_EQ(sortedMappings(r), sortedMappings(reference)) << static_cast<int>(mode);
+  }
+}
+
+TEST(BitsetDifferential, PortfolioEnumerationIdenticalAcrossModes) {
+  util::Rng rng(44);
+  const Graph query = randomConnected(4, 3, false, rng);
+  const Graph host = randomConnected(10, 18, false, rng);
+  const Problem problem(query, host, kNone);
+  SearchOptions off = storeAll();
+  off.bitsetMode = core::BitsetMode::Off;
+  const EmbedResult reference = core::ecfSearch(problem, off);
+  for (const core::BitsetMode mode :
+       {core::BitsetMode::Off, core::BitsetMode::Auto, core::BitsetMode::Force}) {
+    SearchOptions o = storeAll();
+    o.bitsetMode = mode;
+    const core::PortfolioResult race = core::portfolioSearch(problem, o);
+    ASSERT_TRUE(race.raceDecided);
+    EXPECT_EQ(race.result.outcome, Outcome::Complete);
+    EXPECT_EQ(sortedMappings(race.result), sortedMappings(reference))
+        << static_cast<int>(mode);
+  }
 }
 
 TEST(Portfolio, RunsBehindTheEngineInterfaceToo) {

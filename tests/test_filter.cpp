@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include "topo/regular.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
 using namespace netembed;
+using core::BitsetMode;
 using core::FilterMatrix;
 using core::Problem;
 using core::SearchOptions;
@@ -174,6 +177,140 @@ TEST(Filter, SerialAndParallelBuildsAgree) {
       }
     }
   }
+}
+
+// --- dual CSR/bitset representation -----------------------------------------
+
+Graph randomConnected(std::size_t n, std::size_t extraEdges, bool directed,
+                      util::Rng& rng) {
+  Graph g(directed);
+  for (std::size_t i = 0; i < n; ++i) g.addNode();
+  for (NodeId i = 1; i < n; ++i) {
+    const auto j = static_cast<NodeId>(rng.index(i));
+    if (directed && rng.bernoulli(0.5)) {
+      g.addEdge(i, j);
+    } else {
+      g.addEdge(j, i);
+    }
+  }
+  for (std::size_t k = 0; k < extraEdges; ++k) {
+    const auto u = static_cast<NodeId>(rng.index(n));
+    const auto v = static_cast<NodeId>(rng.index(n));
+    if (u == v || g.findEdge(u, v)) continue;
+    g.addEdge(u, v);
+  }
+  return g;
+}
+
+const expr::ConstraintSet kTopologyOnly;
+
+SearchOptions withMode(BitsetMode mode) {
+  SearchOptions o;
+  o.bitsetMode = mode;
+  return o;
+}
+
+TEST(FilterBitset, RowsMirrorCsrCellsExactly) {
+  // Force mode on randomized instances: every (owner, slot, r) bit row must
+  // contain exactly the sorted CSR list, and viableBits must mirror viable().
+  for (const bool directed : {false, true}) {
+    util::Rng rng(directed ? 5 : 6);
+    const Graph query = randomConnected(5, 4, directed, rng);
+    const Graph host = randomConnected(14, 30, directed, rng);
+    const Problem problem(query, host, kTopologyOnly);
+    SearchStats stats;
+    const FilterMatrix fm =
+        FilterMatrix::build(problem, withMode(BitsetMode::Force), stats);
+    for (NodeId v = 0; v < query.nodeCount(); ++v) {
+      std::vector<NodeId> viaBits;
+      util::forEachSetBit(fm.viableBits(v), [&](std::size_t r) {
+        viaBits.push_back(static_cast<NodeId>(r));
+      });
+      EXPECT_EQ(viaBits, toVec(fm.viable(v))) << "v=" << v;
+      for (std::uint32_t s = 0; s < fm.slots(v).size(); ++s) {
+        ASSERT_TRUE(fm.hasCandidateBits(v, s));
+        for (NodeId r = 0; r < host.nodeCount(); ++r) {
+          std::vector<NodeId> bits;
+          util::forEachSetBit(fm.candidateBits(v, s, r), [&](std::size_t c) {
+            bits.push_back(static_cast<NodeId>(c));
+          });
+          EXPECT_EQ(bits, toVec(fm.candidates(v, s, r)))
+              << "v=" << v << " s=" << s << " r=" << r << " directed=" << directed;
+        }
+      }
+    }
+  }
+}
+
+TEST(FilterBitset, ModesProduceIdenticalCsrContent) {
+  util::Rng rng(17);
+  const Graph query = randomConnected(5, 4, false, rng);
+  const Graph host = randomConnected(12, 24, false, rng);
+  const Problem problem(query, host, kTopologyOnly);
+  SearchStats s1, s2, s3;
+  const FilterMatrix off = FilterMatrix::build(problem, withMode(BitsetMode::Off), s1);
+  const FilterMatrix autoFm =
+      FilterMatrix::build(problem, withMode(BitsetMode::Auto), s2);
+  const FilterMatrix force =
+      FilterMatrix::build(problem, withMode(BitsetMode::Force), s3);
+  EXPECT_EQ(off.totalEntries(), force.totalEntries());
+  for (NodeId v = 0; v < query.nodeCount(); ++v) {
+    EXPECT_EQ(toVec(off.viable(v)), toVec(force.viable(v)));
+    EXPECT_EQ(toVec(off.viable(v)), toVec(autoFm.viable(v)));
+    for (std::uint32_t s = 0; s < off.slots(v).size(); ++s) {
+      EXPECT_FALSE(off.hasCandidateBits(v, s));
+      for (NodeId r = 0; r < host.nodeCount(); ++r) {
+        EXPECT_EQ(toVec(off.candidates(v, s, r)), toVec(force.candidates(v, s, r)));
+        EXPECT_EQ(toVec(off.candidates(v, s, r)), toVec(autoFm.candidates(v, s, r)));
+      }
+    }
+  }
+}
+
+TEST(FilterBitset, AutoGivesSmallHostsRowsUnconditionally) {
+  // 5-node host: rows are one word; the density heuristic always takes them.
+  const Graph query = topo::ring(3);
+  const Graph host = topo::clique(5);
+  const Problem problem(query, host, kTopologyOnly);
+  SearchStats stats;
+  const FilterMatrix fm = FilterMatrix::build(problem, withMode(BitsetMode::Auto), stats);
+  for (NodeId v = 0; v < 3; ++v) {
+    for (std::uint32_t s = 0; s < fm.slots(v).size(); ++s) {
+      EXPECT_TRUE(fm.hasCandidateBits(v, s));
+    }
+  }
+  EXPECT_EQ(fm.hostWords(), 1u);
+}
+
+TEST(FilterBitset, OffNeverAllocatesRows) {
+  const Graph query = topo::ring(4);
+  const Graph host = topo::clique(10);
+  const Problem problem(query, host, kTopologyOnly);
+  SearchStats stats;
+  const FilterMatrix fm = FilterMatrix::build(problem, withMode(BitsetMode::Off), stats);
+  for (NodeId v = 0; v < 4; ++v) {
+    for (std::uint32_t s = 0; s < fm.slots(v).size(); ++s) {
+      EXPECT_FALSE(fm.hasCandidateBits(v, s));
+    }
+  }
+  // The viability bit rows are representation-independent and always built.
+  EXPECT_TRUE(fm.isViable(0, 0));
+}
+
+TEST(Filter, NodeViabilityStageIsCancellable) {
+  // A query with no edges never enters the stage-1 sweep: only the O(NQ*NR)
+  // node-constraint stage can observe the cancel. It must.
+  Graph query(false);
+  for (int i = 0; i < 4; ++i) query.nodeAttrs(query.addNode()).set("cap", 1.0);
+  Graph host = topo::clique(8);
+  topo::setAllNodes(host, "cap", 2.0);
+  const expr::ConstraintSet constraints =
+      expr::ConstraintSet::parse("", "rNode.cap >= vNode.cap");
+  const Problem problem(query, host, constraints);
+  SearchStats stats;
+  EXPECT_THROW(
+      (void)FilterMatrix::build(problem, {}, stats, [] { return true; }),
+      core::FilterBuildCancelled);
 }
 
 TEST(Filter, InvalidProblemRejected) {
