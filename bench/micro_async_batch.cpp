@@ -1,4 +1,5 @@
-// micro_async_batch — plan-cache amortization for batched submission.
+// micro_async_batch — plan-cache amortization for batched submission, plus a
+// QoS saturation scenario.
 //
 // A batch of same-signature first-match queries against one model version
 // needs exactly one stage-1 FilterMatrix build; everything after the first
@@ -13,12 +14,20 @@
 // The build counter (core::filterPlanBuilds) verifies the sharing; the bench
 // exits non-zero when a cached batch performs more than one build, so CI can
 // smoke-run it as an acceptance check.
+//
+// The saturation scenario then drives the ticket API into overload: a
+// bounded admission queue (capacity << batch) under ShedLowestPriority with
+// mixed priority classes and two tenants. It reports per-submit admission
+// latency and the shed/completed split, and exits non-zero if any ticket
+// fails to resolve or the drop accounting does not add up — the smoke check
+// the Release CI job runs.
 
 #include "common.hpp"
 
 #include "core/plan.hpp"
 #include "service/async.hpp"
 #include "service/service.hpp"
+#include "service/ticket.hpp"
 #include "util/timer.hpp"
 
 #include <future>
@@ -159,10 +168,91 @@ int main(int argc, char** argv) {
         "async_batch_ms", "builds_nocache", "builds_cached", "builds_async"},
        cfg.csv);
 
+  // --- saturation: queue at capacity, mixed priorities, shed accounting ----
+  const auto satBatch =
+      static_cast<std::size_t>(args.getInt("sat-batch", cfg.paper ? 64 : 24));
+  const std::size_t satCapacity = 4;
+  bool saturationHeld = true;
+  {
+    topo::BriteOptions bo;
+    bo.nodes = 300;
+    bo.m = 2;
+    bo.seed = util::deriveSeed(cfg.seed, 777);
+    const graph::Graph host = topo::brite(bo);
+    const service::EmbedRequest base =
+        batchRequest(host, 100, util::deriveSeed(cfg.seed, 778));
+
+    service::AsyncServiceOptions options;
+    options.workers = 2;
+    options.queueCapacity = satCapacity;
+    options.overloadPolicy = util::OverloadPolicy::ShedLowestPriority;
+    service::AsyncNetEmbedService svc{graph::Graph(host), options};
+    svc.setTenantWeight(1, 3.0);
+    svc.setTenantWeight(2, 1.0);
+
+    util::RunningStats admitMs;
+    double admitMaxMs = 0.0;
+    std::vector<service::SubmitTicket> tickets;
+    tickets.reserve(satBatch);
+    constexpr service::Priority kPriorities[] = {
+        service::Priority::Low, service::Priority::Normal, service::Priority::High};
+    for (std::size_t i = 0; i < satBatch; ++i) {
+      service::EmbedRequest request = base;
+      request.qos.priority = kPriorities[i % 3];
+      request.qos.tenant = 1 + i % 2;
+      util::Stopwatch admitClock;
+      tickets.push_back(svc.submit(std::move(request)));
+      const double ms = admitClock.elapsedMs();
+      admitMs.add(ms);
+      admitMaxMs = std::max(admitMaxMs, ms);
+    }
+    svc.drain();
+
+    std::size_t done = 0, refused = 0, other = 0;
+    for (service::SubmitTicket& ticket : tickets) {
+      auto& future = ticket.future();
+      if (future.wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
+        saturationHeld = false;  // a ticket that never resolves is the bug
+        ++other;
+        continue;
+      }
+      switch (future.get().status) {
+        case service::RequestStatus::Done: ++done; break;
+        case service::RequestStatus::Rejected: ++refused; break;
+        default: ++other; break;
+      }
+    }
+    const auto queueStats = svc.queueStats();
+    if (done + refused != satBatch || other != 0) saturationHeld = false;
+    if (queueStats.shed != refused) saturationHeld = false;
+
+    util::TablePrinter satTable({"batch", "capacity", "done", "shed",
+                                 "admit mean (ms)", "admit max (ms)"});
+    satTable.addRow({std::to_string(satBatch), std::to_string(satCapacity),
+                     std::to_string(done), std::to_string(refused),
+                     util::formatFixed(admitMs.mean(), 3),
+                     util::formatFixed(admitMaxMs, 3)});
+    emit("micro: QoS saturation (bounded queue, mixed priorities, shed policy)",
+         satTable,
+         {{std::to_string(satBatch), std::to_string(satCapacity),
+           std::to_string(done), std::to_string(refused),
+           util::CsvWriter::field(admitMs.mean()),
+           util::CsvWriter::field(admitMaxMs)}},
+         {"sat_batch", "queue_capacity", "done", "shed", "admit_mean_ms",
+          "admit_max_ms"},
+         cfg.csv);
+  }
+
   if (!sharingHeld) {
     std::cout << "FAIL: a cached batch performed more than one stage-1 build\n";
     return 1;
   }
-  std::cout << "OK: every cached batch shared exactly one stage-1 plan build\n";
+  if (!saturationHeld) {
+    std::cout << "FAIL: saturation scenario lost a request (done + shed != "
+                 "batch, or a ticket never resolved)\n";
+    return 1;
+  }
+  std::cout << "OK: every cached batch shared exactly one stage-1 plan build; "
+               "saturation resolved every ticket (done + shed == batch)\n";
   return 0;
 }

@@ -27,7 +27,19 @@
 //   --timeout MS       search budget (default 10000)
 //   --seed N           RNG seed (default 42)
 //   --csv              machine-readable mapping output
+//   --priority P       QoS class: low | normal | high (default normal)
+//   --deadline-ms MS   QoS compute budget once running (0 = none; tightens
+//                      --timeout, never widens it). Also recorded as the
+//                      admission deadline, which binds only when the request
+//                      goes through the queued AsyncNetEmbedService — this
+//                      tool's direct ticket submission has no queue wait.
+//   --tenant N         QoS fair-queueing tenant id (default 0)
+//
+// The request runs through the ticket API (submitTicketed): mappings stream
+// to stderr as the search finds them, and the terminal status/diagnostics
+// line reports the request's lifecycle outcome.
 
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -52,6 +64,13 @@ graph::Graph loadHost(const std::string& path, std::uint64_t seed) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open host file '" + path + "'");
   return trace::readAllPairsPing(in);
+}
+
+service::Priority parsePriority(const std::string& name) {
+  if (name == "low") return service::Priority::Low;
+  if (name == "normal") return service::Priority::Normal;
+  if (name == "high") return service::Priority::High;
+  throw std::runtime_error("unknown --priority '" + name + "' (low|normal|high)");
 }
 
 std::optional<core::Algorithm> parseAlgo(const std::string& name) {
@@ -108,10 +127,32 @@ int main(int argc, char** argv) {
     request.options.storeLimit = std::max<std::size_t>(request.options.maxSolutions, 16);
     request.options.timeout = std::chrono::milliseconds(args.getInt("timeout", 10000));
     request.options.seed = seed;
+    request.qos.priority = parsePriority(args.getString("priority", "normal"));
+    request.qos.tenant = args.getSeed("tenant", 0);
+    const auto deadlineMs = args.getInt("deadline-ms", 0);
+    if (deadlineMs > 0) {
+      request.qos.admissionDeadline = std::chrono::milliseconds(deadlineMs);
+      request.qos.computeBudget = std::chrono::milliseconds(deadlineMs);
+    }
+    std::cerr << "qos: priority=" << service::priorityName(request.qos.priority)
+              << " tenant=" << request.qos.tenant
+              << " deadline-ms=" << deadlineMs << '\n';
 
     service::NetEmbedService svc{service::NetworkModel(std::move(host))};
-    const service::EmbedResponse response = svc.submit(request);
-    std::cerr << response.diagnostics << '\n';
+    // The lifecycle API: solutions stream out as the search admits them; the
+    // terminal response still carries the stored mappings printed below.
+    service::TicketCallbacks callbacks;
+    std::atomic<std::uint64_t> streamed{0};
+    callbacks.onSolution = [&](const core::Mapping& m) {
+      std::cerr << "streamed #" << streamed.fetch_add(1) + 1 << ": "
+                << core::formatMapping(m, request.query, svc.model().host())
+                << '\n';
+      return true;
+    };
+    service::SubmitTicket ticket = svc.submitTicketed(request, std::move(callbacks));
+    const service::EmbedResponse response = ticket.get();
+    std::cerr << "status: " << service::requestStatusName(response.status)
+              << " | " << response.diagnostics << '\n';
 
     if (!response.result.feasible()) {
       std::cout << "no feasible embedding ("

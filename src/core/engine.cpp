@@ -21,6 +21,7 @@ const char* stopReasonName(StopReason r) noexcept {
     case StopReason::None: return "none";
     case StopReason::Deadline: return "deadline";
     case StopReason::SolutionBudget: return "solution-budget";
+    case StopReason::VisitBudget: return "visit-budget";
     case StopReason::SinkStop: return "sink-stop";
     case StopReason::Cancelled: return "cancelled";
   }
@@ -38,6 +39,10 @@ bool SearchContext::shouldStop(std::uint64_t visits) noexcept {
   if (stop_.stop_requested()) return true;
   if (external_.stop_possible() && external_.stop_requested()) {
     requestCancel(StopReason::Cancelled);
+    return true;
+  }
+  if (options_.visitBudget != 0 && visits >= options_.visitBudget) {
+    requestCancel(StopReason::VisitBudget);
     return true;
   }
   const std::uint64_t stride = options_.checkStride;

@@ -31,6 +31,7 @@ enum class StopReason : std::uint8_t {
   None,            // still running, or ran to completion
   Deadline,        // SearchOptions::timeout expired
   SolutionBudget,  // maxSolutions reached
+  VisitBudget,     // SearchOptions::visitBudget exhausted (QoS compute budget)
   SinkStop,        // a SolutionSink returned false
   Cancelled,       // external requestCancel (portfolio loser, shutdown, ...)
 };

@@ -73,6 +73,16 @@ struct SearchOptions {
   /// (the O(n^5) blow-up guard the paper motivates LNS with). 0 = unlimited.
   std::size_t maxFilterEntries = 200'000'000;
 
+  /// Compute budget in visited tree nodes; zero means unlimited. Enforced
+  /// per worker at the cooperative poll, so a root-split or portfolio run
+  /// may expand up to (workers x budget) nodes in total — the knob bounds
+  /// work deterministically for serial runs and approximately for parallel
+  /// ones. The service maps QoS compute budgets onto it. Binds the engines
+  /// that count tree-node visits (ECF/RWB/LNS/Naive/Anneal); the
+  /// generation-based Genetic baseline polls coarsely and is bounded by the
+  /// wall-clock budget only.
+  std::uint64_t visitBudget = 0;
+
   /// Deadline poll stride, in visited tree nodes.
   std::uint64_t checkStride = 1024;
 

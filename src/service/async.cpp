@@ -1,42 +1,124 @@
 #include "service/async.hpp"
 
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace netembed::service {
+
+namespace {
+
+RequestStatus statusForDrop(util::QosDropReason reason) noexcept {
+  switch (reason) {
+    case util::QosDropReason::Rejected: return RequestStatus::Rejected;
+    // A shed request was displaced by higher-priority work — from the
+    // submitter's perspective that is an admission refusal.
+    case util::QosDropReason::Shed: return RequestStatus::Rejected;
+    case util::QosDropReason::Expired: return RequestStatus::Expired;
+    case util::QosDropReason::Cancelled: return RequestStatus::Cancelled;
+  }
+  return RequestStatus::Rejected;
+}
+
+}  // namespace
 
 AsyncNetEmbedService::AsyncNetEmbedService(NetworkModel model, Options options)
     : model_(std::move(model)),
       planCache_(options.planCacheCapacity),
-      scheduler_(options.workers) {
+      options_(options),
+      qos_(std::make_shared<util::QosScheduler>(
+          util::QosScheduler::Options{options.workers, options.queueCapacity,
+                                      options.overloadPolicy})) {
   publishSnapshotLocked();  // construction is single-threaded; no lock needed
 }
 
+AsyncNetEmbedService::~AsyncNetEmbedService() { shutdown(options_.shutdownMode); }
+
+void AsyncNetEmbedService::shutdown(ShutdownMode mode) {
+  if (mode == ShutdownMode::CancelPending) {
+    // Cooperative stop for everything still alive: queued requests resolve
+    // Cancelled through the scheduler's drop path below; running ones see
+    // the stop at their next poll and resolve with their partial result.
+    std::vector<std::shared_ptr<detail::TicketState>> live;
+    {
+      std::lock_guard lock(inflightMutex_);
+      live.reserve(inflight_.size());
+      for (const auto& [key, weak] : inflight_) {
+        (void)key;
+        if (auto state = weak.lock()) live.push_back(std::move(state));
+      }
+    }
+    for (const auto& state : live) state->stop.request_stop();
+  }
+  qos_->shutdown(mode);
+}
+
+SubmitTicket AsyncNetEmbedService::submit(EmbedRequest request,
+                                          TicketCallbacks callbacks) {
+  auto state = std::make_shared<detail::TicketState>(std::move(callbacks));
+  SubmitTicket ticket(state);
+  registerInflight(state);
+
+  util::QosScheduler::Job job;
+  job.priority = static_cast<int>(request.qos.priority);
+  job.tenant = request.qos.tenant;
+  if (request.qos.admissionDeadline.count() > 0) {
+    job.admitBy =
+        util::QosScheduler::Clock::now() + request.qos.admissionDeadline;
+  }
+  job.run = [this, state, request = std::move(request)] {
+    // Pin the newest snapshot for the whole run: the plan cache key and the
+    // response's modelVersion must describe the exact host graph searched.
+    const std::shared_ptr<const Snapshot> snapshot = currentSnapshot();
+    detail::runTicketed(state, request, *snapshot->host, snapshot->version,
+                        /*allowPortfolioEscalation=*/false, &planCache_);
+    unregisterInflight(state.get());
+  };
+  job.onDrop = [this, state](util::QosDropReason reason) {
+    detail::resolveDropped(*state, statusForDrop(reason),
+                           std::string("dropped at admission: ") +
+                               util::qosDropReasonName(reason));
+    unregisterInflight(state.get());
+  };
+
+  const util::QosScheduler::JobId id = qos_->submit(std::move(job));
+  if (id != 0) {
+    // Arm the queue-removal side of cancel(). The job may already be
+    // running — cancel(id) then misses and the stop token carries the
+    // cancel instead. The hook shares ownership of the scheduler (not the
+    // service): a copy raced against service destruction lands on the
+    // joined, empty queue — a harmless miss, never freed memory.
+    std::lock_guard lock(state->mutex);
+    if (!state->resolved) {
+      state->tryDequeue = [qos = qos_, id] { return qos->cancel(id); };
+    }
+  }
+  return ticket;
+}
+
 std::future<EmbedResponse> AsyncNetEmbedService::submitAsync(EmbedRequest request) {
-  return scheduler_.schedule(
-      [this, request = std::move(request)] { return execute(request); });
+  return submit(std::move(request)).takeFuture();
 }
 
 void AsyncNetEmbedService::submitAsync(EmbedRequest request, Callback callback) {
-  // The future is deliberately discarded: the callback is the delivery
-  // channel. An exception thrown by the callback itself lands in that
-  // discarded future rather than the worker loop.
-  (void)scheduler_.schedule(
-      [this, request = std::move(request), callback = std::move(callback)] {
-        EmbedResponse response;
-        std::exception_ptr error;
-        try {
-          response = execute(request);
-        } catch (...) {
-          error = std::current_exception();
-        }
-        callback(std::move(response), error);
-      });
+  TicketCallbacks callbacks;
+  callbacks.onComplete = [callback = std::move(callback)](
+                             const EmbedResponse& response,
+                             std::exception_ptr error) {
+    callback(response, error);
+  };
+  (void)submit(std::move(request), std::move(callbacks));
 }
 
-EmbedResponse AsyncNetEmbedService::execute(const EmbedRequest& request) const {
-  // Pin the newest snapshot for the whole run: the plan cache key and the
-  // response's modelVersion must describe the exact host graph searched.
-  const std::shared_ptr<const Snapshot> snapshot = currentSnapshot();
-  return detail::executeEmbed(request, *snapshot->host, snapshot->version,
-                              /*allowPortfolioEscalation=*/false, &planCache_);
+void AsyncNetEmbedService::registerInflight(
+    const std::shared_ptr<detail::TicketState>& state) {
+  std::lock_guard lock(inflightMutex_);
+  inflight_.emplace(state.get(), state);
+}
+
+void AsyncNetEmbedService::unregisterInflight(const detail::TicketState* key) {
+  std::lock_guard lock(inflightMutex_);
+  inflight_.erase(key);
 }
 
 std::uint64_t AsyncNetEmbedService::version() const {

@@ -1,11 +1,14 @@
 #pragma once
-// The asynchronous, batched NETEMBED front end.
+// The asynchronous, QoS-scheduled NETEMBED front end.
 //
 // The paper frames NETEMBED as a *service* (§III, Fig. 1): many applications
 // query one shared model of the real network concurrently. This class is the
-// queued counterpart of NetEmbedService::submit — requests are accepted
-// immediately, enqueued on a util::Scheduler (ThreadPool-backed, FIFO), and
-// resolved through std::future or a completion callback.
+// queued counterpart of NetEmbedService::submit, rebuilt around an explicit
+// request lifecycle: submissions pass a bounded util::QosScheduler admission
+// queue (priority classes, per-tenant weighted fair dequeue, admission
+// deadlines, pluggable overload policy) and hand back a SubmitTicket that
+// can cancel the request at any point of its life, report its status, and
+// stream solutions incrementally through TicketCallbacks::onSolution.
 //
 // Concurrency model:
 //  * Queries never touch the live NetworkModel. Every mutation (reservation,
@@ -23,10 +26,17 @@
 //    scheduler already keeps every core busy with distinct requests, so each
 //    runs the single §VIII-predicted engine. An explicit
 //    Algorithm::Portfolio request still races.
+//  * Cancellation is cooperative end to end: SubmitTicket::cancel pulls a
+//    queued request out of the admission queue (its future resolves with
+//    RequestStatus::Cancelled immediately) or, once running, stops the
+//    engine mid-search and mid-filter-build through the std::stop_token
+//    chained into its SearchContext.
 //
-// Shutdown: the destructor drains the queue — every accepted request
-// resolves before the service dies. Futures obtained from submitAsync stay
-// valid; callbacks run on the worker that executed the request.
+// Shutdown: AsyncServiceOptions::shutdownMode picks between Drain (the
+// default and the historical behavior — every accepted request resolves
+// before the service dies) and CancelPending (queued requests resolve
+// Cancelled without running; running ones are stopped cooperatively and
+// resolve with their partial result). Futures stay valid either way.
 
 #include <cstdint>
 #include <functional>
@@ -34,8 +44,10 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 
 #include "service/service.hpp"
+#include "service/ticket.hpp"
 #include "util/scheduler.hpp"
 
 namespace netembed::service {
@@ -46,11 +58,20 @@ struct AsyncServiceOptions {
   /// Plan-cache capacity (signatures per model version); 0 disables
   /// plan sharing.
   std::size_t planCacheCapacity = 64;
+  /// Admission-queue bound (queued requests; running ones do not count);
+  /// 0 = unbounded (the historical behavior).
+  std::size_t queueCapacity = 0;
+  /// What submit does when the queue is at capacity.
+  util::OverloadPolicy overloadPolicy = util::OverloadPolicy::Block;
+  /// What the destructor does with requests still pending.
+  util::QosScheduler::ShutdownMode shutdownMode =
+      util::QosScheduler::ShutdownMode::Drain;
 };
 
 class AsyncNetEmbedService {
  public:
   using Options = AsyncServiceOptions;
+  using ShutdownMode = util::QosScheduler::ShutdownMode;
 
   explicit AsyncNetEmbedService(NetworkModel model, Options options = {});
   explicit AsyncNetEmbedService(graph::Graph host, Options options = {})
@@ -59,30 +80,54 @@ class AsyncNetEmbedService {
   AsyncNetEmbedService(const AsyncNetEmbedService&) = delete;
   AsyncNetEmbedService& operator=(const AsyncNetEmbedService&) = delete;
 
-  /// Drains the queue and joins the workers (every accepted request
-  /// resolves its future / fires its callback first).
-  ~AsyncNetEmbedService() = default;
+  /// Applies Options::shutdownMode (Drain by default: every accepted request
+  /// resolves its future / fires its callbacks first).
+  ~AsyncNetEmbedService();
 
   // --- submission ----------------------------------------------------------
 
-  /// Queue one query. The future carries the response, or the exception the
-  /// search raised (expr::SyntaxError, std::invalid_argument, ...).
+  /// Queue one query through QoS admission (request.qos: priority class,
+  /// admission deadline, compute budget, tenant). The ticket reports status,
+  /// cancels, and counts streamed solutions; callbacks.onSolution receives
+  /// every feasible mapping as the search admits it. A request refused at
+  /// admission (full queue under Reject/ShedLowestPriority, expired
+  /// admission deadline, post-shutdown submit) still returns a valid ticket
+  /// whose future is already resolved with the terminal status.
+  [[nodiscard]] SubmitTicket submit(EmbedRequest request,
+                                    TicketCallbacks callbacks = {});
+
+  /// Legacy fire-and-collect form (a thin wrapper over submit): the future
+  /// carries the response, or the exception the search raised
+  /// (expr::SyntaxError, std::invalid_argument, ...).
   [[nodiscard]] std::future<EmbedResponse> submitAsync(EmbedRequest request);
 
-  /// Callback form: exactly one of (response, error) is meaningful — error
-  /// is null on success. The callback runs on the scheduler worker that
-  /// executed the request and must not throw (a thrown exception is
-  /// swallowed into a discarded future).
+  /// Legacy callback form (a thin wrapper over submit): exactly one of
+  /// (response, error) is meaningful — error is null on success. The
+  /// callback runs on the thread that resolved the request and must not
+  /// throw (a thrown exception is swallowed).
   using Callback = std::function<void(EmbedResponse, std::exception_ptr)>;
   void submitAsync(EmbedRequest request, Callback callback);
 
-  /// Requests accepted but not yet resolved (queued + running).
-  [[nodiscard]] std::size_t pendingRequests() const noexcept {
-    return scheduler_.pending();
+  /// Fair-share weight for a tenant's requests (default 1.0). Applies from
+  /// the next dequeue.
+  void setTenantWeight(std::uint64_t tenant, double weight) {
+    qos_->setTenantWeight(tenant, weight);
   }
 
+  /// Requests accepted but not yet resolved (queued + running).
+  [[nodiscard]] std::size_t pendingRequests() const { return qos_->pending(); }
+
   /// Block until every request accepted so far has resolved.
-  void drain() { scheduler_.drain(); }
+  void drain() { qos_->drain(); }
+
+  /// Idempotent early shutdown; the destructor otherwise runs it with
+  /// Options::shutdownMode. After shutdown, submissions resolve Rejected.
+  void shutdown(ShutdownMode mode);
+
+  /// Admission-queue counters (accepted/rejected/shed/expired/cancelled).
+  [[nodiscard]] util::QosScheduler::Stats queueStats() const {
+    return qos_->stats();
+  }
 
   // --- synchronized model access -------------------------------------------
 
@@ -112,7 +157,7 @@ class AsyncNetEmbedService {
   }
 
   [[nodiscard]] std::size_t workerCount() const noexcept {
-    return scheduler_.threadCount();
+    return qos_->workerCount();
   }
 
  private:
@@ -123,15 +168,28 @@ class AsyncNetEmbedService {
 
   [[nodiscard]] std::shared_ptr<const Snapshot> currentSnapshot() const;
   void publishSnapshotLocked();
-  [[nodiscard]] EmbedResponse execute(const EmbedRequest& request) const;
+  void registerInflight(const std::shared_ptr<detail::TicketState>& state);
+  void unregisterInflight(const detail::TicketState* key);
 
   mutable std::mutex modelMutex_;  // guards model_ and snapshot_ publication
   NetworkModel model_;
   std::shared_ptr<const Snapshot> snapshot_;
   mutable FilterPlanCache planCache_;
-  // Declared last => destroyed first: the destructor drains in-flight
-  // requests while the model, snapshot and cache are still alive.
-  util::Scheduler scheduler_;
+  Options options_;
+
+  // Unresolved ticket states, for CancelPending shutdown's cooperative stop
+  // fan-out. Entries are erased as requests resolve.
+  std::mutex inflightMutex_;
+  std::unordered_map<const detail::TicketState*, std::weak_ptr<detail::TicketState>>
+      inflight_;
+
+  // Shared so a ticket's queue-removal hook (SubmitTicket::cancel) keeps the
+  // scheduler object alive even if a stale copy of the hook races service
+  // destruction — it then lands on a joined, empty queue (a harmless miss)
+  // instead of freed memory. The destructor body settles every in-flight
+  // request (shutdown) before any member dies, so jobs never touch a dead
+  // model, snapshot or cache.
+  std::shared_ptr<util::QosScheduler> qos_;
 };
 
 }  // namespace netembed::service

@@ -1,0 +1,27 @@
+#include "service/qos.hpp"
+
+namespace netembed::service {
+
+const char* priorityName(Priority p) noexcept {
+  switch (p) {
+    case Priority::Low: return "low";
+    case Priority::Normal: return "normal";
+    case Priority::High: return "high";
+  }
+  return "?";
+}
+
+const char* requestStatusName(RequestStatus s) noexcept {
+  switch (s) {
+    case RequestStatus::Queued: return "queued";
+    case RequestStatus::Running: return "running";
+    case RequestStatus::Done: return "done";
+    case RequestStatus::Cancelled: return "cancelled";
+    case RequestStatus::Rejected: return "rejected";
+    case RequestStatus::Expired: return "expired";
+    case RequestStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
+}  // namespace netembed::service

@@ -1,0 +1,52 @@
+#pragma once
+// Request-lifecycle vocabulary for the service layer (paper §III: NETEMBED
+// is a shared service answering many concurrent applications, so a request
+// is an admission-negotiated, cancellable, deadline-carrying object — not a
+// bare blocking call).
+
+#include <chrono>
+#include <cstdint>
+
+namespace netembed::service {
+
+/// Admission priority class. Higher classes dequeue strictly first; within a
+/// class, tenants share the workers by weighted fair queueing (see
+/// util::QosScheduler).
+enum class Priority : std::uint8_t { Low = 0, Normal = 1, High = 2 };
+[[nodiscard]] const char* priorityName(Priority p) noexcept;
+
+/// Quality-of-service block attached to every EmbedRequest. The zero values
+/// reproduce the pre-QoS behavior exactly: Normal priority, wait forever for
+/// admission, unbounded compute, the anonymous tenant.
+struct QoS {
+  Priority priority = Priority::Normal;
+  /// Maximum time the request may wait in the admission queue before it is
+  /// dropped with RequestStatus::Expired. Zero = no admission deadline.
+  std::chrono::milliseconds admissionDeadline{0};
+  /// Wall-clock compute budget once running; tightens (never widens)
+  /// SearchOptions::timeout. Zero = no extra bound.
+  std::chrono::milliseconds computeBudget{0};
+  /// Compute budget in visited search-tree nodes; tightens
+  /// SearchOptions::visitBudget. Zero = no extra bound.
+  std::uint64_t visitBudget = 0;
+  /// Fair-queueing identity. Weights are configured on the service
+  /// (setTenantWeight); the default tenant 0 has weight 1.
+  std::uint64_t tenant = 0;
+};
+
+/// Where a request is in its lifecycle. Queued/Running are live states
+/// reported by SubmitTicket::status(); the rest are terminal and also
+/// stamped into EmbedResponse::status.
+enum class RequestStatus : std::uint8_t {
+  Queued,     // accepted, waiting for a worker
+  Running,    // dispatched to a worker
+  Done,       // search finished (any Outcome) without a ticket cancel
+  Cancelled,  // ticket cancel (or cancelPending shutdown) — possibly with a
+              // partial result if the cancel landed mid-search
+  Rejected,   // refused at admission (queue full under Reject/Shed policy)
+  Expired,    // admission deadline passed while still queued
+  Failed,     // the search threw; the future carries the exception
+};
+[[nodiscard]] const char* requestStatusName(RequestStatus s) noexcept;
+
+}  // namespace netembed::service

@@ -13,14 +13,36 @@ using core::Algorithm;
 
 namespace detail {
 
+namespace {
+
+/// Fold the request's QoS compute budgets into the search options: each
+/// budget tightens (never widens) the corresponding limit, so a QoS block
+/// can only make a request cheaper than its bare options.
+core::SearchOptions applyQosBudgets(core::SearchOptions options, const QoS& qos) {
+  if (qos.computeBudget.count() > 0 &&
+      (options.timeout.count() <= 0 || qos.computeBudget < options.timeout)) {
+    options.timeout = qos.computeBudget;
+  }
+  if (qos.visitBudget != 0 &&
+      (options.visitBudget == 0 || qos.visitBudget < options.visitBudget)) {
+    options.visitBudget = qos.visitBudget;
+  }
+  return options;
+}
+
+}  // namespace
+
 EmbedResponse executeEmbed(const EmbedRequest& request, const graph::Graph& host,
                            std::uint64_t version, bool allowPortfolioEscalation,
-                           FilterPlanCache* cache) {
+                           FilterPlanCache* cache, const core::SolutionSink& sink,
+                           std::stop_token stopToken) {
   const expr::ConstraintSet constraints =
       expr::ConstraintSet::parse(request.edgeConstraint, request.nodeConstraint);
   const core::Problem problem(request.query, host, constraints);
   problem.validate();
 
+  const core::SearchOptions qosOptions =
+      applyQosBudgets(request.options, request.qos);
   const bool wantAll = request.options.maxSolutions != 1;
   const Algorithm predicted =
       NetEmbedService::chooseAlgorithm(request.query, host, wantAll);
@@ -49,7 +71,7 @@ EmbedResponse executeEmbed(const EmbedRequest& request, const graph::Graph& host
   if (cache && cache->enabled() && usesPlan) {
     builder = cache->acquire(
         version, planSignature(request.query, request.edgeConstraint,
-                               request.nodeConstraint, request.options));
+                               request.nodeConstraint, qosOptions));
   }
 
   EmbedResponse response;
@@ -59,17 +81,18 @@ EmbedResponse executeEmbed(const EmbedRequest& request, const graph::Graph& host
   if (algorithm == Algorithm::Portfolio) {
     // Spawn the §VIII-predicted engine first: the static heuristic still
     // buys latency while the race guarantees the outcome.
-    core::SearchContext parent(request.options);
+    core::SearchContext parent(qosOptions, sink, std::move(stopToken));
     parent.setPlanBuilder(builder);  // null => the race makes its own
     const core::PortfolioResult race = core::portfolioSearch(
-        problem, parent, core::defaultContenders(request.options, predicted));
+        problem, parent, core::defaultContenders(qosOptions, predicted));
     response.result = race.result;
     // Report the engine whose answer the caller is holding.
     if (race.raceDecided) response.algorithmUsed = race.winner;
     diag << race.summary() << ": ";
   } else {
     const core::Engine& engine = core::engineFor(algorithm);
-    core::SearchContext context(engine.effectiveOptions(request.options));
+    core::SearchContext context(engine.effectiveOptions(qosOptions), sink,
+                                std::move(stopToken));
     context.setPlanBuilder(std::move(builder));
     response.result = engine.run(problem, context);
     diag << core::algorithmName(algorithm) << ": ";

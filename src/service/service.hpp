@@ -7,14 +7,19 @@
 // is no compliant mapping").
 
 #include <optional>
+#include <stop_token>
 #include <string>
 
 #include "core/problem.hpp"
 #include "core/search.hpp"
 #include "service/model.hpp"
 #include "service/plan_cache.hpp"
+#include "service/qos.hpp"
 
 namespace netembed::service {
+
+class SubmitTicket;      // service/ticket.hpp
+struct TicketCallbacks;  // service/ticket.hpp
 
 struct EmbedRequest {
   graph::Graph query;
@@ -23,12 +28,20 @@ struct EmbedRequest {
   /// nullopt => the service chooses (see chooseAlgorithm).
   std::optional<core::Algorithm> algorithm;
   core::SearchOptions options;
+  /// Priority class, admission deadline, compute budget, tenant. The default
+  /// block is inert: pre-QoS requests behave exactly as before.
+  QoS qos;
 };
 
 struct EmbedResponse {
   core::EmbedResult result;
   core::Algorithm algorithmUsed = core::Algorithm::ECF;
   std::uint64_t modelVersion = 0;
+  /// Terminal lifecycle state. Done for every successful plain submit();
+  /// ticket submissions may resolve Cancelled/Rejected/Expired instead (the
+  /// result is then whatever partial state the search reached — typically
+  /// empty for pre-dispatch drops).
+  RequestStatus status = RequestStatus::Done;
   std::string diagnostics;
 };
 
@@ -52,6 +65,18 @@ class NetEmbedService {
   /// Run one query. Throws expr::SyntaxError on bad constraint source and
   /// std::invalid_argument on malformed problems.
   [[nodiscard]] EmbedResponse submit(const EmbedRequest& request) const;
+
+  /// Lifecycle form of submit(): runs the request on a dedicated thread
+  /// against a snapshot of the host taken at submission (mutating the model
+  /// while the ticket is outstanding is safe — the runner never reads the
+  /// live model), and returns a SubmitTicket supporting cancel(), status(),
+  /// a streaming onSolution callback fed from SearchContext admission, and
+  /// a future for the terminal EmbedResponse. The QoS compute budgets
+  /// apply; the admission deadline does not (there is no queue here — see
+  /// AsyncNetEmbedService for queued admission). The service must outlive
+  /// the ticket; destroying an unconsumed ticket cancels the run and joins.
+  [[nodiscard]] SubmitTicket submitTicketed(EmbedRequest request,
+                                            TicketCallbacks callbacks) const;
 
   /// §VIII: ECF/RWB win on tightly-constrained queries over sparse hosts;
   /// LNS wins for first-match on dense hosts and regular/under-constrained
@@ -99,11 +124,19 @@ namespace detail {
 /// cores side by side, so racing three engines per query would oversubscribe
 /// the machine for no latency win — explicit Algorithm::Portfolio requests
 /// still race.
+///
+/// `sink` streams every admitted solution as the search finds it (the
+/// SolutionSink contract from core/search.hpp applies: may fire concurrently
+/// under root-split, return false to stop). `stopToken` chains external
+/// cancellation — a ticket cancel or service shutdown — into the
+/// SearchContext so the run stops mid-search and mid-filter-build.
 [[nodiscard]] EmbedResponse executeEmbed(const EmbedRequest& request,
                                          const graph::Graph& host,
                                          std::uint64_t version,
                                          bool allowPortfolioEscalation,
-                                         FilterPlanCache* cache);
+                                         FilterPlanCache* cache,
+                                         const core::SolutionSink& sink = {},
+                                         std::stop_token stopToken = {});
 }  // namespace detail
 
 }  // namespace netembed::service

@@ -1,0 +1,177 @@
+#include "service/ticket.hpp"
+
+#include <optional>
+
+namespace netembed::service {
+
+namespace detail {
+
+namespace {
+
+/// Claim the single resolution. nullopt when someone else already resolved;
+/// otherwise whether a ticket cancel had been requested at the moment the
+/// outcome was sealed. Deciding Cancelled-vs-Done under the same mutex
+/// cancelTicket reads `resolved` through makes the two agree: a cancel()
+/// that returned true is always visible to the claim, so its request can
+/// never resolve plain Done.
+std::optional<bool> claimResolution(TicketState& state) {
+  std::lock_guard lock(state.mutex);
+  if (state.resolved) return std::nullopt;
+  state.resolved = true;
+  // The queue-removal hook references the submitting service's scheduler; a
+  // resolved ticket must never call it again (it may outlive the service).
+  state.tryDequeue = nullptr;
+  return state.stop.stop_requested();
+}
+
+void fireOnComplete(TicketState& state, const EmbedResponse& response,
+                    std::exception_ptr error) {
+  if (!state.callbacks.onComplete) return;
+  try {
+    state.callbacks.onComplete(response, error);
+  } catch (...) {
+    // The callback contract says it must not throw; swallowing protects the
+    // resolving thread (a queue worker or the canceller).
+  }
+}
+
+}  // namespace
+
+void resolveResponse(TicketState& state, EmbedResponse response) {
+  const std::optional<bool> cancelled = claimResolution(state);
+  if (!cancelled) return;
+  if (*cancelled && response.status != RequestStatus::Cancelled) {
+    response.status = RequestStatus::Cancelled;
+    response.diagnostics += " [ticket cancelled]";
+  }
+  state.status.store(response.status, std::memory_order_release);
+  if (state.callbacks.onComplete) {
+    state.promise.set_value(response);  // copy: the callback still needs it
+    fireOnComplete(state, response, nullptr);
+  } else {
+    state.promise.set_value(std::move(response));
+  }
+}
+
+void resolveError(TicketState& state, std::exception_ptr error) {
+  if (!claimResolution(state)) return;
+  state.status.store(RequestStatus::Failed, std::memory_order_release);
+  state.promise.set_exception(error);
+  EmbedResponse placeholder;
+  placeholder.status = RequestStatus::Failed;
+  fireOnComplete(state, placeholder, error);
+}
+
+void resolveDropped(TicketState& state, RequestStatus status,
+                    std::string diagnostics) {
+  EmbedResponse response;
+  response.status = status;
+  response.diagnostics = std::move(diagnostics);
+  resolveResponse(state, std::move(response));
+}
+
+bool cancelTicket(TicketState& state) {
+  // Stop first: if the request is mid-search (or mid-filter-build) the
+  // SearchContext's external token picks this up at the next cooperative
+  // poll, and if it is dequeued concurrently with the cancel, runTicketed's
+  // pre-dispatch check resolves it Cancelled without running the engine.
+  state.stop.request_stop();
+  std::function<bool()> tryDequeue;
+  {
+    std::lock_guard lock(state.mutex);
+    // Sealed already (under this same mutex): the outcome cannot reflect
+    // this cancel, so report that it missed.
+    if (state.resolved) return false;
+    tryDequeue = state.tryDequeue;
+  }
+  // Still live at the seal point above, and our request_stop precedes any
+  // later claim: the eventual resolution is guaranteed to record Cancelled.
+  // Pulling a still-queued request out of the admission queue just resolves
+  // it now instead of at dispatch.
+  if (tryDequeue) (void)tryDequeue();
+  return true;
+}
+
+void runTicketed(const std::shared_ptr<TicketState>& state,
+                 const EmbedRequest& request, const graph::Graph& host,
+                 std::uint64_t version, bool allowPortfolioEscalation,
+                 FilterPlanCache* cache) {
+  if (state->stop.stop_requested()) {
+    // Cancelled between admission and dispatch (the fix for the leaked
+    // never-satisfied promise): resolve instead of running.
+    resolveDropped(*state, RequestStatus::Cancelled,
+                   "cancelled before dispatch");
+    return;
+  }
+  state->status.store(RequestStatus::Running, std::memory_order_release);
+  // The streaming hook: every admitted solution flows out while the search
+  // runs. The wrapper counts even without a user callback so
+  // solutionsStreamed() always reports admissions.
+  const core::SolutionSink sink = [state](const core::Mapping& mapping) {
+    state->streamed.fetch_add(1, std::memory_order_relaxed);
+    const core::SolutionSink& user = state->callbacks.onSolution;
+    return user ? user(mapping) : true;
+  };
+  try {
+    EmbedResponse response =
+        detail::executeEmbed(request, host, version, allowPortfolioEscalation,
+                             cache, sink, state->stop.get_token());
+    // Cancelled-vs-Done is decided inside resolveResponse, under the same
+    // lock cancelTicket synchronizes on — no window where a cancel that
+    // reported success resolves plain Done.
+    resolveResponse(*state, std::move(response));
+  } catch (...) {
+    resolveError(*state, std::current_exception());
+  }
+}
+
+}  // namespace detail
+
+RequestStatus SubmitTicket::status() const noexcept {
+  if (!state_) return RequestStatus::Failed;
+  return state_->status.load(std::memory_order_acquire);
+}
+
+bool SubmitTicket::cancel() {
+  if (!state_) return false;
+  return detail::cancelTicket(*state_);
+}
+
+std::uint64_t SubmitTicket::solutionsStreamed() const noexcept {
+  if (!state_) return 0;
+  return state_->streamed.load(std::memory_order_relaxed);
+}
+
+std::future<EmbedResponse>& SubmitTicket::futureRef() {
+  if (!state_) {
+    // Same error an operation on a default-constructed std::future raises.
+    throw std::future_error(std::future_errc::no_state);
+  }
+  return state_->future;
+}
+
+SubmitTicket NetEmbedService::submitTicketed(EmbedRequest request,
+                                             TicketCallbacks callbacks) const {
+  auto state = std::make_shared<detail::TicketState>(std::move(callbacks));
+  // Snapshot the host on the submitting thread: the runner searches the
+  // copy, so the caller may keep mutating the live model (reservations,
+  // measurements) while the ticket is outstanding — same isolation the
+  // async service gets from its COW snapshots. The plan cache is internally
+  // synchronized and version-keyed, so a concurrent bump simply bypasses it.
+  auto host = std::make_shared<const graph::Graph>(model_.host());
+  const std::uint64_t version = model_.version();
+  SubmitTicket ticket(state);
+  ticket.runner_ = std::jthread(
+      [this, state, host = std::move(host), version,
+       request = std::move(request)](std::stop_token st) {
+        // Chain the jthread's own stop (ticket destruction / reassignment)
+        // into the ticket's stop source so both cancel paths converge on the
+        // SearchContext's external token.
+        std::stop_callback chain(st, [&state] { state->stop.request_stop(); });
+        detail::runTicketed(state, request, *host, version,
+                            /*allowPortfolioEscalation=*/true, &planCache_);
+      });
+  return ticket;
+}
+
+}  // namespace netembed::service

@@ -1,0 +1,144 @@
+#pragma once
+// The request-lifecycle handle.
+//
+// Both NETEMBED front ends hand back a SubmitTicket for lifecycle-aware
+// submissions: it reports where the request is (queued / running / a
+// terminal RequestStatus), cancels it — pulling a queued request out of the
+// admission queue, or stopping a running one cooperatively mid-search and
+// mid-filter-build through the std::stop_token chained into its
+// SearchContext — and exposes the terminal EmbedResponse as a future.
+// Solutions stream incrementally through TicketCallbacks::onSolution, fed
+// straight from SearchContext admission instead of only appearing in the
+// terminal response.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stop_token>
+#include <thread>
+#include <utility>
+
+#include "service/service.hpp"
+
+namespace netembed::service {
+
+struct TicketCallbacks {
+  /// Invoked for every feasible mapping the moment SearchContext admits it
+  /// (before the search finishes). The core SolutionSink contract applies:
+  /// with root-split or portfolio parallelism it may fire concurrently;
+  /// return false to stop the search (terminal result is then Partial).
+  core::SolutionSink onSolution;
+  /// Fired exactly once at terminal resolution, after the future is
+  /// satisfied, on whichever thread resolved the request. Exactly one of
+  /// (response, error) is meaningful — error is null unless the search
+  /// threw (the response is then a placeholder with status Failed). Must
+  /// not throw.
+  std::function<void(const EmbedResponse&, std::exception_ptr)> onComplete;
+};
+
+namespace detail {
+
+/// Shared lifecycle state behind one SubmitTicket. The submitting service,
+/// the executing worker and the ticket holder all reference it; whichever
+/// side resolves first wins (single-resolution is guarded).
+struct TicketState {
+  explicit TicketState(TicketCallbacks cb)
+      : callbacks(std::move(cb)), future(promise.get_future()) {}
+
+  TicketCallbacks callbacks;
+  std::promise<EmbedResponse> promise;
+  std::future<EmbedResponse> future;
+  /// Cancellation chain: ticket cancel / shutdown request stop here; the
+  /// token is handed to the SearchContext as its external stop.
+  std::stop_source stop;
+  std::atomic<RequestStatus> status{RequestStatus::Queued};
+  std::atomic<std::uint64_t> streamed{0};
+
+  std::mutex mutex;            // guards resolved + tryDequeue
+  bool resolved = false;       // the promise has been satisfied
+  std::function<bool()> tryDequeue;  // async service: pull out of the queue
+};
+
+/// Resolve with a response (status read from response.status). No-ops if
+/// already resolved.
+void resolveResponse(TicketState& state, EmbedResponse response);
+/// Resolve with the search's exception (status Failed).
+void resolveError(TicketState& state, std::exception_ptr error);
+/// Resolve a request that never ran (Cancelled / Rejected / Expired).
+void resolveDropped(TicketState& state, RequestStatus status,
+                    std::string diagnostics);
+/// SubmitTicket::cancel implementation (shared by both services).
+bool cancelTicket(TicketState& state);
+
+/// Execute one ticketed request end to end: honor a pre-dispatch cancel,
+/// mark Running, wire the streaming sink and the ticket's stop token into
+/// executeEmbed, and resolve the promise with the outcome.
+void runTicketed(const std::shared_ptr<TicketState>& state,
+                 const EmbedRequest& request, const graph::Graph& host,
+                 std::uint64_t version, bool allowPortfolioEscalation,
+                 FilterPlanCache* cache);
+
+}  // namespace detail
+
+/// Move-only handle for one submitted request. Default-constructed tickets
+/// are invalid (valid() == false); every accessor on an invalid ticket
+/// returns the inert value noted below.
+class SubmitTicket {
+ public:
+  SubmitTicket() = default;
+  SubmitTicket(SubmitTicket&&) = default;
+  SubmitTicket& operator=(SubmitTicket&&) = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Current lifecycle state (Failed for an invalid ticket).
+  [[nodiscard]] RequestStatus status() const noexcept;
+
+  /// Cancel the request: a still-queued one resolves immediately with
+  /// RequestStatus::Cancelled; a running one stops cooperatively (mid-search
+  /// and mid-filter-build) and resolves Cancelled with whatever partial
+  /// result it reached. Returns true when the cancel took hold of a live
+  /// request — the terminal status is then Cancelled, with one carve-out: a
+  /// search that *throws* (bad constraint source, bad_alloc) still resolves
+  /// Failed with the exception in the future, even against a racing cancel,
+  /// because the error is the more informative outcome. False when the
+  /// request had already resolved (or the ticket is invalid). Idempotent.
+  bool cancel();
+
+  /// The one-shot future carrying the terminal EmbedResponse (or the
+  /// exception the search raised). Throws std::future_error: if consumed
+  /// twice (broken_promise semantics of std::future), or no_state when the
+  /// ticket is invalid.
+  [[nodiscard]] std::future<EmbedResponse>& future() { return futureRef(); }
+
+  /// Move the future out (the fire-and-forget wrappers use this; afterwards
+  /// future()/get() on the ticket are spent).
+  [[nodiscard]] std::future<EmbedResponse> takeFuture() {
+    return std::move(futureRef());
+  }
+
+  /// Block for the terminal response (rethrows the search's exception).
+  EmbedResponse get() { return futureRef().get(); }
+
+  /// Solutions streamed through onSolution so far (0 for invalid tickets).
+  [[nodiscard]] std::uint64_t solutionsStreamed() const noexcept;
+
+ private:
+  friend class NetEmbedService;
+  friend class AsyncNetEmbedService;
+  explicit SubmitTicket(std::shared_ptr<detail::TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::future<EmbedResponse>& futureRef();
+
+  std::shared_ptr<detail::TicketState> state_;
+  /// Sync-service tickets own the thread running their request; destroying
+  /// (or overwriting) the ticket requests stop and joins it — the
+  /// stop_callback inside the thread chains that into state_->stop.
+  std::jthread runner_;
+};
+
+}  // namespace netembed::service

@@ -1,0 +1,423 @@
+#include "util/scheduler.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace netembed::util {
+
+const char* overloadPolicyName(OverloadPolicy p) noexcept {
+  switch (p) {
+    case OverloadPolicy::Block: return "block";
+    case OverloadPolicy::Reject: return "reject";
+    case OverloadPolicy::ShedLowestPriority: return "shed-lowest-priority";
+  }
+  return "?";
+}
+
+const char* qosDropReasonName(QosDropReason r) noexcept {
+  switch (r) {
+    case QosDropReason::Rejected: return "rejected";
+    case QosDropReason::Shed: return "shed";
+    case QosDropReason::Expired: return "expired";
+    case QosDropReason::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+namespace {
+
+struct QueuedJob {
+  QosScheduler::JobId id = 0;  // ids are monotonic => id order = admission order
+  QosScheduler::Job job;
+};
+
+struct TenantState {
+  double weight = 1.0;
+  double pass = 0.0;       // stride-scheduling virtual time consumed
+  std::size_t queued = 0;  // jobs of this tenant across all classes
+};
+
+/// Fire an onDrop callback per its must-not-throw contract: a throw is
+/// swallowed so it can never strand the `resolving` accounting (which would
+/// deadlock drain()/shutdown()).
+void fireDrop(QosScheduler::Job& job, QosDropReason reason) noexcept {
+  if (!job.onDrop) return;
+  try {
+    job.onDrop(reason);
+  } catch (...) {
+  }
+}
+
+}  // namespace
+
+struct QosScheduler::Impl {
+  // One mutex rules the whole queue: admissions, dequeues and weight changes
+  // are short critical sections, and the jobs themselves (searches taking
+  // milliseconds to seconds) run far outside it.
+  mutable std::mutex mutex;
+  std::condition_variable workCv;   // workers: "a job is queued" / shutdown
+  std::condition_variable spaceCv;  // Block submitters: "the queue shrank"
+  std::condition_variable idleCv;   // drain(): "nothing queued or running"
+
+  Options options;
+  bool stopping = false;
+  bool shuttingDown = false;  // a shutdown() call is in progress
+  bool joined = false;        // shutdown finished: workers joined, drops done
+
+  JobId nextId = 1;
+  std::size_t queuedTotal = 0;
+  std::size_t running = 0;
+  // Accepted jobs popped from the queue whose onDrop is still being fired.
+  // Counted so drain() cannot return between a drop decision and the
+  // callback that resolves the dropped job's future.
+  std::size_t resolving = 0;
+  Stats stats;
+
+  // priority class -> tenant -> FIFO. Dequeue walks the highest class; shed
+  // walks the lowest. Tenant maps stay small (a handful of applications).
+  std::map<int, std::map<std::uint64_t, std::deque<QueuedJob>>> classes;
+  std::unordered_map<std::uint64_t, TenantState> tenants;
+  // Pass of the most recent dequeue: a tenant going active re-enters at the
+  // current service level instead of claiming its whole idle period back.
+  double virtualTime = 0.0;
+
+  std::vector<std::thread> workers;
+
+  TenantState& tenant(std::uint64_t id) { return tenants[id]; }
+
+  void enqueueLocked(QueuedJob&& qj) {
+    TenantState& ts = tenant(qj.job.tenant);
+    if (ts.queued++ == 0) ts.pass = std::max(ts.pass, virtualTime);
+    classes[qj.job.priority][qj.job.tenant].push_back(std::move(qj));
+    ++queuedTotal;
+    ++stats.accepted;
+  }
+
+  /// Remove one bookkept job (already popped from its deque).
+  void noteRemovedLocked(const QueuedJob& qj) {
+    --queuedTotal;
+    --tenant(qj.job.tenant).queued;
+    spaceCv.notify_one();
+  }
+
+  /// Erase now-empty structure around `tenantIt` in `classIt`.
+  template <class ClassIt, class TenantIt>
+  void pruneLocked(ClassIt classIt, TenantIt tenantIt) {
+    if (tenantIt->second.empty()) classIt->second.erase(tenantIt);
+    if (classIt->second.empty()) classes.erase(classIt);
+  }
+
+  /// Highest class, then the tenant with the lowest pass (ties to the lower
+  /// tenant id — fully deterministic). Advances the stride clock.
+  QueuedJob popFairLocked() {
+    const auto classIt = std::prev(classes.end());
+    auto& byTenant = classIt->second;
+    auto best = byTenant.begin();
+    for (auto it = std::next(best); it != byTenant.end(); ++it) {
+      if (tenant(it->first).pass < tenant(best->first).pass) best = it;
+    }
+    TenantState& ts = tenant(best->first);
+    virtualTime = ts.pass;
+    ts.pass += 1.0 / std::max(ts.weight, 1e-9);
+    QueuedJob qj = std::move(best->second.front());
+    best->second.pop_front();
+    noteRemovedLocked(qj);
+    pruneLocked(classIt, best);
+    return qj;
+  }
+
+  /// The most recently admitted job of the lowest queued class (the shed
+  /// victim): it has waited least and its class ranks last.
+  QueuedJob popShedVictimLocked() {
+    const auto classIt = classes.begin();
+    auto& byTenant = classIt->second;
+    auto best = byTenant.begin();
+    for (auto it = std::next(best); it != byTenant.end(); ++it) {
+      if (it->second.back().id > best->second.back().id) best = it;
+    }
+    QueuedJob qj = std::move(best->second.back());
+    best->second.pop_back();
+    noteRemovedLocked(qj);
+    pruneLocked(classIt, best);
+    return qj;
+  }
+
+  void notifyIfIdleLocked() {
+    if (queuedTotal == 0 && running == 0 && resolving == 0) idleCv.notify_all();
+  }
+
+  void workerLoop() {
+    std::unique_lock lock(mutex);
+    for (;;) {
+      workCv.wait(lock, [&] { return stopping || queuedTotal > 0; });
+      if (queuedTotal == 0) return;  // stopping with nothing left to run
+      QueuedJob qj = popFairLocked();
+      if (qj.job.admitBy && Clock::now() >= *qj.job.admitBy) {
+        ++stats.expired;
+        ++resolving;
+        lock.unlock();
+        fireDrop(qj.job, QosDropReason::Expired);
+        lock.lock();
+        --resolving;
+        notifyIfIdleLocked();
+        continue;
+      }
+      ++running;
+      lock.unlock();
+      try {
+        qj.job.run();
+      } catch (...) {
+        // The Job contract says run() must not throw; swallowing here keeps
+        // one misbehaving job from taking the worker (and the queue) down.
+      }
+      lock.lock();
+      --running;
+      ++stats.completed;
+      notifyIfIdleLocked();
+    }
+  }
+};
+
+QosScheduler::QosScheduler() : QosScheduler(Options{}) {}
+
+QosScheduler::QosScheduler(Options options) : impl_(new Impl) {
+  impl_->options = options;
+  std::size_t n = options.workers;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  impl_->workers.reserve(n);
+  try {
+    for (std::size_t i = 0; i < n; ++i) {
+      impl_->workers.emplace_back([this] { impl_->workerLoop(); });
+    }
+  } catch (...) {
+    // Thread spawn failed (resource exhaustion): stop and join whatever
+    // spawned, free the Impl, and surface the error — no zombie workers
+    // parked on workCv, no leak.
+    {
+      std::lock_guard lock(impl_->mutex);
+      impl_->stopping = true;
+      impl_->workCv.notify_all();
+    }
+    for (std::thread& worker : impl_->workers) {
+      if (worker.joinable()) worker.join();
+    }
+    delete impl_;
+    throw;
+  }
+}
+
+QosScheduler::~QosScheduler() {
+  shutdown(ShutdownMode::Drain);
+  delete impl_;
+}
+
+QosScheduler::JobId QosScheduler::submit(Job job) {
+  // A drop decided under the lock fires its callback after release.
+  std::optional<QosDropReason> dropIncoming;
+  std::optional<QueuedJob> victim;
+  JobId id = 0;
+  {
+    std::unique_lock lock(impl_->mutex);
+    for (;;) {
+      if (impl_->stopping) {
+        ++impl_->stats.rejected;
+        dropIncoming = QosDropReason::Rejected;
+        break;
+      }
+      const std::size_t cap = impl_->options.queueCapacity;
+      if (cap == 0 || impl_->queuedTotal < cap) {
+        id = impl_->nextId++;
+        impl_->enqueueLocked(QueuedJob{id, std::move(job)});
+        break;
+      }
+      if (impl_->options.overload == OverloadPolicy::Reject) {
+        ++impl_->stats.rejected;
+        dropIncoming = QosDropReason::Rejected;
+        break;
+      }
+      if (impl_->options.overload == OverloadPolicy::ShedLowestPriority) {
+        ++impl_->stats.shed;
+        if (job.priority > impl_->classes.begin()->first) {
+          victim = impl_->popShedVictimLocked();
+          ++impl_->resolving;  // until the victim's onDrop has fired
+          id = impl_->nextId++;
+          impl_->enqueueLocked(QueuedJob{id, std::move(job)});
+        } else {
+          // The newcomer is (at best) tied with the lowest queued class: it
+          // is itself the lowest-priority work on offer, so it is the shed.
+          dropIncoming = QosDropReason::Shed;
+        }
+        break;
+      }
+      // Block: wait for space, bounded by the job's own admission deadline.
+      if (job.admitBy) {
+        if (Clock::now() >= *job.admitBy) {
+          ++impl_->stats.expired;
+          dropIncoming = QosDropReason::Expired;
+          break;
+        }
+        impl_->spaceCv.wait_until(lock, *job.admitBy);
+      } else {
+        impl_->spaceCv.wait(lock);
+      }
+    }
+    // Account the incoming drop like every other: its onDrop (fired below,
+    // outside the lock) may touch the submitting service, so shutdown must
+    // not report done until it has run.
+    if (dropIncoming) ++impl_->resolving;
+  }
+  if (victim) {
+    fireDrop(victim->job, QosDropReason::Shed);
+    std::lock_guard lock(impl_->mutex);
+    --impl_->resolving;
+    impl_->notifyIfIdleLocked();
+  }
+  if (dropIncoming) {
+    fireDrop(job, *dropIncoming);
+    std::lock_guard lock(impl_->mutex);
+    --impl_->resolving;
+    impl_->notifyIfIdleLocked();
+    return 0;
+  }
+  impl_->workCv.notify_one();
+  return id;
+}
+
+bool QosScheduler::cancel(JobId id) {
+  std::optional<QueuedJob> dropped;
+  {
+    std::lock_guard lock(impl_->mutex);
+    // Return right after pruneLocked: it may erase the iterators being
+    // walked, so no loop may advance past the removal point.
+    const auto findAndErase = [&]() -> bool {
+      for (auto classIt = impl_->classes.begin();
+           classIt != impl_->classes.end(); ++classIt) {
+        for (auto tenantIt = classIt->second.begin();
+             tenantIt != classIt->second.end(); ++tenantIt) {
+          auto& fifo = tenantIt->second;
+          const auto it =
+              std::find_if(fifo.begin(), fifo.end(),
+                           [&](const QueuedJob& qj) { return qj.id == id; });
+          if (it == fifo.end()) continue;
+          dropped = std::move(*it);
+          fifo.erase(it);
+          ++impl_->stats.cancelled;
+          ++impl_->resolving;  // until onDrop below has fired
+          impl_->noteRemovedLocked(*dropped);
+          impl_->pruneLocked(classIt, tenantIt);
+          return true;
+        }
+      }
+      return false;
+    };
+    findAndErase();
+  }
+  if (!dropped) return false;
+  fireDrop(dropped->job, QosDropReason::Cancelled);
+  {
+    std::lock_guard lock(impl_->mutex);
+    --impl_->resolving;
+    impl_->notifyIfIdleLocked();
+  }
+  return true;
+}
+
+void QosScheduler::setTenantWeight(std::uint64_t tenant, double weight) {
+  std::lock_guard lock(impl_->mutex);
+  impl_->tenants[tenant].weight = std::max(weight, 1e-9);
+}
+
+void QosScheduler::drain() {
+  std::unique_lock lock(impl_->mutex);
+  impl_->idleCv.wait(lock, [&] {
+    return impl_->queuedTotal == 0 && impl_->running == 0 &&
+           impl_->resolving == 0;
+  });
+}
+
+void QosScheduler::shutdown(ShutdownMode mode) {
+  std::vector<QueuedJob> dropped;
+  {
+    std::unique_lock lock(impl_->mutex);
+    if (impl_->shuttingDown) {
+      // Another thread is (or was) shutting down; wait for it to finish
+      // rather than double-joining the same workers.
+      impl_->idleCv.wait(lock, [&] { return impl_->joined; });
+      return;
+    }
+    impl_->shuttingDown = true;
+    impl_->stopping = true;
+    if (mode == ShutdownMode::CancelPending) {
+      for (auto& [priority, byTenant] : impl_->classes) {
+        (void)priority;
+        for (auto& [tenant, fifo] : byTenant) {
+          (void)tenant;
+          for (QueuedJob& qj : fifo) dropped.push_back(std::move(qj));
+        }
+      }
+      impl_->classes.clear();
+      impl_->queuedTotal = 0;
+      for (auto& [id, ts] : impl_->tenants) {
+        (void)id;
+        ts.queued = 0;
+      }
+      impl_->stats.cancelled += dropped.size();
+      impl_->resolving += dropped.size();  // until the drops below have fired
+    }
+    impl_->workCv.notify_all();
+    impl_->spaceCv.notify_all();
+  }
+  // Resolve the dropped queue before the (possibly long) join so waiters on
+  // those jobs' results unblock immediately.
+  for (QueuedJob& qj : dropped) {
+    fireDrop(qj.job, QosDropReason::Cancelled);
+  }
+  if (!dropped.empty()) {
+    std::lock_guard lock(impl_->mutex);
+    impl_->resolving -= dropped.size();
+    impl_->notifyIfIdleLocked();
+  }
+  for (std::thread& worker : impl_->workers) {
+    if (worker.joinable()) worker.join();
+  }
+  std::unique_lock lock(impl_->mutex);
+  // A concurrent cancel() may still be mid-onDrop (it popped its job before
+  // the queue was cleared); the callback can touch the submitting service,
+  // so shutdown must not report done — and let that service die — until
+  // every drop has fired.
+  impl_->idleCv.wait(lock, [&] { return impl_->resolving == 0; });
+  impl_->joined = true;
+  impl_->idleCv.notify_all();
+}
+
+std::size_t QosScheduler::queuedCount() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->queuedTotal;
+}
+
+std::size_t QosScheduler::runningCount() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->running;
+}
+
+std::size_t QosScheduler::pending() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->queuedTotal + impl_->running;
+}
+
+std::size_t QosScheduler::workerCount() const noexcept {
+  return impl_->workers.size();
+}
+
+QosScheduler::Stats QosScheduler::stats() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->stats;
+}
+
+}  // namespace netembed::util

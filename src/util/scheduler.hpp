@@ -1,73 +1,141 @@
 #pragma once
-// A future-returning task scheduler on top of ThreadPool.
+// QoS-aware admission scheduling for the service layer.
 //
-// ThreadPool::submit is fire-and-forget; the async service layer needs each
-// queued request to resolve a std::future and to know how many requests are
-// still in flight. Scheduler adds exactly that: schedule() wraps the callable
-// in a packaged_task (exceptions land in the future, never in the worker
-// loop), counts it as pending until it finishes, and hands back the future.
+// The async NETEMBED front end used to accept work unboundedly into a FIFO
+// ThreadPool; serving many concurrent applications (paper §III) needs a real
+// admission queue instead. QosScheduler provides exactly the queue the
+// request-lifecycle API is built on:
 //
-// FIFO fairness comes from the underlying pool's queue; drain() blocks until
-// the queue is empty, and the destructor (via ~ThreadPool) drains and joins.
+//  * a *bounded* admission queue with a pluggable overload policy — Block
+//    the submitter, Reject the newcomer, or ShedLowestPriority (evict the
+//    most recently admitted job of the lowest priority class to make room
+//    for a higher-priority newcomer);
+//  * strict priority classes: a queued higher-priority job always dequeues
+//    before any lower-priority one;
+//  * weighted fair dequeue across tenants *within* a class, via stride
+//    scheduling (each tenant advances a virtual "pass" by 1/weight per
+//    dequeue; the lowest pass runs next, ties break to the lower tenant id,
+//    so the order is deterministic and a weight-3 tenant gets 3x the
+//    dequeues of a weight-1 tenant under saturation);
+//  * admission deadlines: a job that waits in the queue past its admitBy
+//    point is dropped (checked when a worker would dequeue it, and while a
+//    Block-policy submitter waits for space);
+//  * cancellation of queued jobs by id, and a two-mode shutdown (Drain runs
+//    everything accepted; CancelPending drops the queue).
+//
+// Jobs that will never run are reported exactly once through their onDrop
+// callback with the reason; a job is either run() or onDrop()'d, never both.
+// Callbacks fire outside the scheduler lock (on the submitter, worker,
+// canceller or shutdown thread — whichever decided the drop).
 
-#include <atomic>
-#include <future>
-#include <memory>
-#include <type_traits>
-#include <utility>
-
-#include "util/parallel.hpp"
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
 
 namespace netembed::util {
 
-class Scheduler {
+/// What submit() does when the queue is at capacity.
+enum class OverloadPolicy : std::uint8_t {
+  /// Wait for space (or for the job's admission deadline / shutdown).
+  Block,
+  /// Drop the newcomer immediately with QosDropReason::Rejected.
+  Reject,
+  /// Make room by evicting the most recently admitted job of the lowest
+  /// queued priority class — if the newcomer outranks it. A newcomer at (or
+  /// below) the lowest queued priority is itself the shed victim.
+  ShedLowestPriority,
+};
+[[nodiscard]] const char* overloadPolicyName(OverloadPolicy p) noexcept;
+
+/// Why a job was dropped without running.
+enum class QosDropReason : std::uint8_t { Rejected, Shed, Expired, Cancelled };
+[[nodiscard]] const char* qosDropReasonName(QosDropReason r) noexcept;
+
+class QosScheduler {
  public:
-  /// `threads` == 0 selects the hardware concurrency (at least 1).
-  explicit Scheduler(std::size_t threads = 0) : pool_(threads) {}
+  using JobId = std::uint64_t;
+  using Clock = std::chrono::steady_clock;
 
-  Scheduler(const Scheduler&) = delete;
-  Scheduler& operator=(const Scheduler&) = delete;
+  struct Options {
+    /// Worker count; 0 selects the hardware concurrency (at least 1).
+    std::size_t workers = 0;
+    /// Queued-job bound (running jobs do not count); 0 = unbounded.
+    std::size_t queueCapacity = 0;
+    OverloadPolicy overload = OverloadPolicy::Block;
+  };
 
-  /// Queue `fn` for execution on a pool worker; the returned future carries
-  /// its result or exception. Tasks run in submission order across the
-  /// pool's workers.
-  template <class F>
-  [[nodiscard]] auto schedule(F&& fn) -> std::future<std::invoke_result_t<F>> {
-    using R = std::invoke_result_t<F>;
-    // shared_ptr because std::function requires copyable callables while
-    // packaged_task is move-only.
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
-    std::future<R> future = task->get_future();
-    pending_.fetch_add(1, std::memory_order_relaxed);
-    try {
-      pool_.submit([this, task] {
-        (*task)();  // exceptions are captured into the future
-        pending_.fetch_sub(1, std::memory_order_release);
-      });
-    } catch (...) {
-      pending_.fetch_sub(1, std::memory_order_release);
-      throw;
-    }
-    return future;
-  }
+  struct Job {
+    /// Executed on a worker thread. Must not throw (exceptions are swallowed
+    /// to keep the worker alive — wrap fallible work in its own try/catch).
+    std::function<void()> run;
+    /// Fired exactly once if the job will never run. May be empty. Must not
+    /// throw (like run(), exceptions are swallowed — a throw must never
+    /// strand the scheduler's internal drop accounting).
+    std::function<void(QosDropReason)> onDrop;
+    /// Higher dequeues strictly first.
+    int priority = 0;
+    /// Fair-queueing identity (see setTenantWeight).
+    std::uint64_t tenant = 0;
+    /// Queue-wait deadline; nullopt = wait forever.
+    std::optional<Clock::time_point> admitBy;
+  };
 
-  /// Tasks scheduled but not yet finished (queued + running).
-  [[nodiscard]] std::size_t pending() const noexcept {
-    return pending_.load(std::memory_order_acquire);
-  }
+  enum class ShutdownMode : std::uint8_t {
+    Drain,          // run every queued job, then join
+    CancelPending,  // drop every queued job (onDrop(Cancelled)), then join;
+                    // jobs already running finish on their own
+  };
 
-  /// Block until every scheduled task has finished.
-  void drain() { pool_.wait(); }
+  QosScheduler();  // all-default Options
+  explicit QosScheduler(Options options);
+  /// shutdown(Drain) unless a shutdown already happened.
+  ~QosScheduler();
 
-  [[nodiscard]] std::size_t threadCount() const noexcept {
-    return pool_.threadCount();
-  }
+  QosScheduler(const QosScheduler&) = delete;
+  QosScheduler& operator=(const QosScheduler&) = delete;
+
+  /// Admit one job. Returns its id, or 0 when the job was dropped instead —
+  /// the onDrop callback has then already fired (Rejected/Shed per policy,
+  /// Expired when a Block wait outlived the job's admission deadline,
+  /// Rejected after shutdown).
+  JobId submit(Job job);
+
+  /// Drop a still-queued job (onDrop(Cancelled) fires before returning).
+  /// False when the job already started, finished, or was never queued —
+  /// cancelling running work is the caller's business (stop tokens).
+  bool cancel(JobId id);
+
+  /// Fair-share weight for a tenant (default 1.0; clamped to > 0). Takes
+  /// effect from the next dequeue. Tenants never seen keep the default.
+  void setTenantWeight(std::uint64_t tenant, double weight);
+
+  /// Block until no job is queued or running.
+  void drain();
+
+  /// Idempotent; joins the workers. Safe to call before destruction to pick
+  /// CancelPending.
+  void shutdown(ShutdownMode mode);
+
+  [[nodiscard]] std::size_t queuedCount() const;
+  [[nodiscard]] std::size_t runningCount() const;
+  /// Queued + running.
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t workerCount() const noexcept;
+
+  struct Stats {
+    std::uint64_t accepted = 0;   // submit() admissions
+    std::uint64_t completed = 0;  // run() returned
+    std::uint64_t rejected = 0;   // dropped: queue full / shutdown
+    std::uint64_t shed = 0;       // dropped: ShedLowestPriority
+    std::uint64_t expired = 0;    // dropped: admission deadline
+    std::uint64_t cancelled = 0;  // dropped: cancel() or CancelPending
+  };
+  [[nodiscard]] Stats stats() const;
 
  private:
-  // The pool is deliberately not exposed: a task submitted around schedule()
-  // would be invisible to pending(), breaking the drain/pending contract.
-  ThreadPool pool_;
-  std::atomic<std::size_t> pending_{0};
+  struct Impl;
+  Impl* impl_;  // pimpl keeps <thread>/<condition_variable>/<map> out here
 };
 
 }  // namespace netembed::util

@@ -1,6 +1,9 @@
 // The asynchronous batched front end: futures and callbacks resolve, queued
 // requests share stage-1 plans per model version, version bumps invalidate
 // the cache, and concurrent submitters survive a mutating reservation thread.
+// Plus the request-lifecycle API v2: SubmitTicket status/cancel, streaming
+// onSolution, QoS admission (priorities, deadlines, budgets, overload
+// policies) and the two shutdown modes.
 
 #include "service/async.hpp"
 
@@ -9,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -28,6 +32,9 @@ using service::AsyncServiceOptions;
 using service::EmbedRequest;
 using service::EmbedResponse;
 using service::NetworkModel;
+using service::RequestStatus;
+using service::SubmitTicket;
+using service::TicketCallbacks;
 using graph::Graph;
 
 constexpr auto kResolveBudget = std::chrono::seconds(60);
@@ -65,6 +72,46 @@ EmbedResponse resolve(std::future<EmbedResponse>& future) {
   }
   return future.get();
 }
+
+EmbedResponse resolve(SubmitTicket& ticket) { return resolve(ticket.future()); }
+
+/// Topology-only enumeration with a huge solution space: a 3-node path into
+/// the PlanetLab mesh — ideal for observing streaming/cancellation mid-run.
+EmbedRequest pathRequest(std::size_t maxSolutions, std::size_t storeLimit = 8) {
+  EmbedRequest request;
+  request.query = topo::line(3);
+  request.algorithm = Algorithm::ECF;  // serial, deterministic, streams in order
+  request.options.maxSolutions = maxSolutions;
+  request.options.storeLimit = storeLimit;
+  return request;
+}
+
+/// A streaming sink that parks the worker inside the FIRST onSolution call
+/// until release() — the staging primitive for deterministic mid-search
+/// cancellation: while parked, the request is provably mid-enumeration.
+struct StreamGate {
+  std::promise<void> firstPromise;
+  std::shared_future<void> first = firstPromise.get_future().share();
+  std::promise<void> releasePromise;
+  std::shared_future<void> release = releasePromise.get_future().share();
+  std::atomic<bool> armed{true};
+
+  core::SolutionSink sink() {
+    return [this](const core::Mapping&) {
+      if (armed.exchange(false)) {
+        firstPromise.set_value();
+        release.wait();
+      }
+      return true;
+    };
+  }
+
+  void waitFirst() {
+    ASSERT_EQ(first.wait_for(kResolveBudget), std::future_status::ready)
+        << "no solution streamed";
+  }
+  void open() { releasePromise.set_value(); }
+};
 
 TEST(AsyncService, FutureResolvesWithFeasibleMapping) {
   AsyncNetEmbedService svc(asyncHost());
@@ -305,6 +352,303 @@ TEST(AsyncService, StressConcurrentSubmittersAndReservations) {
   // Post-drain sanity: a fresh query runs against the final version.
   auto future = svc.submitAsync(delayRequest(*svc.hostSnapshot(), 300));
   EXPECT_EQ(resolve(future).modelVersion, finalVersion);
+}
+
+// --- request lifecycle v2: tickets, streaming, QoS admission -----------------
+
+// The acceptance scenario: solutions stream out while the enumeration is
+// still running, the ticket cancel stops the engine mid-search, and the
+// cancelled run provably expanded fewer tree nodes than the uncancelled one.
+TEST(AsyncService, TicketStreamsThenCancelStopsEngineEarly) {
+  constexpr std::size_t kMax = 2000;
+  const Graph host = asyncHost();
+
+  // Uncancelled reference over the same host/request.
+  service::NetEmbedService reference{NetworkModel(Graph(host))};
+  const EmbedResponse full = reference.submit(pathRequest(kMax));
+  ASSERT_EQ(full.result.solutionCount, kMax)
+      << "the instance must be rich enough to observe a mid-run cancel";
+  const std::uint64_t fullVisits = full.result.stats.treeNodesVisited;
+
+  AsyncServiceOptions options;
+  options.workers = 1;
+  AsyncNetEmbedService svc(Graph(host), options);
+  StreamGate gate;
+  SubmitTicket ticket = svc.submit(pathRequest(kMax), {gate.sink(), {}});
+  gate.waitFirst();  // >= 1 onSolution fired, enumeration still in flight
+  EXPECT_EQ(ticket.status(), RequestStatus::Running);
+  EXPECT_TRUE(ticket.cancel());
+  gate.open();
+
+  const EmbedResponse cancelled = resolve(ticket);
+  EXPECT_EQ(cancelled.status, RequestStatus::Cancelled);
+  EXPECT_EQ(ticket.status(), RequestStatus::Cancelled);
+  EXPECT_GE(ticket.solutionsStreamed(), 1u);
+  EXPECT_GE(cancelled.result.solutionCount, 1u);
+  EXPECT_LT(cancelled.result.solutionCount, kMax)
+      << "cancel must truncate the enumeration";
+  EXPECT_LT(cancelled.result.stats.treeNodesVisited, fullVisits)
+      << "the engine must stop expanding nodes once cancelled";
+  EXPECT_NE(cancelled.result.outcome, core::Outcome::Complete);
+}
+
+// Differential: the ticket API returns byte-identical results to the legacy
+// submit path for the same seed/options — deterministic ECF enumeration and
+// a seeded RWB walk.
+TEST(AsyncService, TicketResultsMatchLegacySubmitByteForByte) {
+  const Graph host = asyncHost();
+  service::NetEmbedService sync{NetworkModel(Graph(host))};
+  AsyncNetEmbedService svc{Graph(host)};
+
+  EmbedRequest ecf = pathRequest(/*maxSolutions=*/32, /*storeLimit=*/32);
+  const EmbedResponse viaLegacy = sync.submit(ecf);
+  SubmitTicket ecfTicket = svc.submit(ecf);
+  const EmbedResponse viaTicket = resolve(ecfTicket);
+  EXPECT_EQ(viaTicket.status, RequestStatus::Done);
+  EXPECT_EQ(viaTicket.algorithmUsed, viaLegacy.algorithmUsed);
+  EXPECT_EQ(viaTicket.result.outcome, viaLegacy.result.outcome);
+  EXPECT_EQ(viaTicket.result.solutionCount, viaLegacy.result.solutionCount);
+  EXPECT_EQ(viaTicket.result.mappings, viaLegacy.result.mappings);
+  EXPECT_EQ(ecfTicket.solutionsStreamed(), viaLegacy.result.solutionCount);
+
+  EmbedRequest rwb = delayRequest(host, /*seed=*/12, /*maxSolutions=*/4);
+  rwb.algorithm = Algorithm::RWB;
+  rwb.options.storeLimit = 4;
+  rwb.options.seed = 77;
+  const EmbedResponse rwbLegacy = sync.submit(rwb);
+  SubmitTicket rwbTicket = svc.submit(rwb);
+  const EmbedResponse rwbViaTicket = resolve(rwbTicket);
+  EXPECT_EQ(rwbViaTicket.result.solutionCount, rwbLegacy.result.solutionCount);
+  EXPECT_EQ(rwbViaTicket.result.mappings, rwbLegacy.result.mappings);
+}
+
+// Regression (the leaked-promise fix): cancelling a queued-but-not-started
+// request must resolve its future with a Cancelled status immediately.
+TEST(AsyncService, CancelQueuedRequestResolvesFutureWithCancelledStatus) {
+  AsyncServiceOptions options;
+  options.workers = 1;
+  AsyncNetEmbedService svc(asyncHost(), options);
+
+  StreamGate gate;
+  SubmitTicket runner = svc.submit(pathRequest(/*maxSolutions=*/5), {gate.sink(), {}});
+  gate.waitFirst();  // the single worker is provably busy
+
+  SubmitTicket queued = svc.submit(delayRequest(*svc.hostSnapshot(), 61));
+  EXPECT_EQ(queued.status(), RequestStatus::Queued);
+  EXPECT_TRUE(queued.cancel());
+  ASSERT_EQ(queued.future().wait_for(kResolveBudget), std::future_status::ready)
+      << "a cancelled queued request must not leak a never-satisfied promise";
+  const EmbedResponse response = queued.future().get();
+  EXPECT_EQ(response.status, RequestStatus::Cancelled);
+  EXPECT_EQ(response.result.solutionCount, 0u);
+  EXPECT_EQ(queued.status(), RequestStatus::Cancelled);
+  EXPECT_FALSE(queued.cancel()) << "cancel on a resolved ticket reports false";
+
+  gate.open();
+  EXPECT_EQ(resolve(runner).status, RequestStatus::Done);
+}
+
+// Explicit shutdown mode (vs the always-drain destructor of old): queued
+// requests resolve Cancelled without running; the running one is stopped
+// cooperatively and resolves with its partial result.
+TEST(AsyncService, ShutdownCancelPendingResolvesQueuedAndRunning) {
+  AsyncServiceOptions options;
+  options.workers = 1;
+  options.shutdownMode = AsyncNetEmbedService::ShutdownMode::CancelPending;
+  AsyncNetEmbedService svc(asyncHost(), options);
+
+  StreamGate gate;
+  SubmitTicket runner = svc.submit(pathRequest(/*maxSolutions=*/2000), {gate.sink(), {}});
+  gate.waitFirst();
+  SubmitTicket queuedA = svc.submit(delayRequest(*svc.hostSnapshot(), 62));
+  SubmitTicket queuedB = svc.submit(delayRequest(*svc.hostSnapshot(), 63));
+
+  std::thread shutdownThread(
+      [&] { svc.shutdown(AsyncNetEmbedService::ShutdownMode::CancelPending); });
+  // Queued futures resolve during shutdown, before the worker join (the
+  // runner is still parked in its sink at this point).
+  EXPECT_EQ(resolve(queuedA).status, RequestStatus::Cancelled);
+  EXPECT_EQ(resolve(queuedB).status, RequestStatus::Cancelled);
+  gate.open();
+  shutdownThread.join();
+
+  const EmbedResponse partial = resolve(runner);
+  EXPECT_EQ(partial.status, RequestStatus::Cancelled);
+  EXPECT_GE(partial.result.solutionCount, 1u);
+
+  // Post-shutdown submissions resolve Rejected instead of hanging.
+  SubmitTicket late = svc.submit(delayRequest(*svc.hostSnapshot(), 64));
+  EXPECT_EQ(resolve(late).status, RequestStatus::Rejected);
+}
+
+TEST(AsyncService, HighPriorityDequeuesBeforeLowUnderSaturation) {
+  AsyncServiceOptions options;
+  options.workers = 1;
+  AsyncNetEmbedService svc(asyncHost(), options);
+
+  StreamGate gate;
+  SubmitTicket runner = svc.submit(pathRequest(/*maxSolutions=*/3), {gate.sink(), {}});
+  gate.waitFirst();
+
+  std::mutex orderMutex;
+  std::vector<char> order;
+  const auto record = [&](char label) {
+    TicketCallbacks cb;
+    cb.onComplete = [&, label](const EmbedResponse&, std::exception_ptr) {
+      std::lock_guard lock(orderMutex);
+      order.push_back(label);
+    };
+    return cb;
+  };
+  EmbedRequest low = delayRequest(*svc.hostSnapshot(), 65);
+  low.qos.priority = service::Priority::Low;
+  EmbedRequest high = delayRequest(*svc.hostSnapshot(), 66);
+  high.qos.priority = service::Priority::High;
+  SubmitTicket lowTicket = svc.submit(std::move(low), record('L'));
+  SubmitTicket highTicket = svc.submit(std::move(high), record('H'));
+
+  gate.open();
+  svc.drain();
+  EXPECT_EQ(resolve(lowTicket).status, RequestStatus::Done);
+  EXPECT_EQ(resolve(highTicket).status, RequestStatus::Done);
+  std::lock_guard lock(orderMutex);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'H') << "the High request must jump the Low one";
+  EXPECT_EQ(order[1], 'L');
+}
+
+TEST(AsyncService, AdmissionDeadlineExpiresQueuedRequest) {
+  AsyncServiceOptions options;
+  options.workers = 1;
+  AsyncNetEmbedService svc(asyncHost(), options);
+
+  StreamGate gate;
+  SubmitTicket runner = svc.submit(pathRequest(/*maxSolutions=*/3), {gate.sink(), {}});
+  gate.waitFirst();
+
+  EmbedRequest hurried = delayRequest(*svc.hostSnapshot(), 67);
+  hurried.qos.admissionDeadline = std::chrono::milliseconds(5);
+  SubmitTicket ticket = svc.submit(std::move(hurried));
+  // Hold the worker well past the deadline, then let it dequeue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate.open();
+
+  const EmbedResponse response = resolve(ticket);
+  EXPECT_EQ(response.status, RequestStatus::Expired);
+  EXPECT_EQ(ticket.solutionsStreamed(), 0u);
+  EXPECT_EQ(svc.queueStats().expired, 1u);
+  EXPECT_EQ(resolve(runner).status, RequestStatus::Done);
+}
+
+// The QoS compute budget (here its deterministic visit form) bounds how much
+// work a request may burn, stopping the engine mid-search.
+TEST(AsyncService, QosVisitBudgetBoundsSearchWork) {
+  AsyncNetEmbedService svc(asyncHost());
+
+  EmbedRequest unbounded = pathRequest(/*maxSolutions=*/100000, /*storeLimit=*/4);
+  auto fullFuture = svc.submitAsync(unbounded);
+  const EmbedResponse full = resolve(fullFuture);
+  ASSERT_GT(full.result.stats.treeNodesVisited, 1000u);
+
+  EmbedRequest capped = pathRequest(/*maxSolutions=*/100000, /*storeLimit=*/4);
+  capped.qos.visitBudget = 100;
+  SubmitTicket ticket = svc.submit(std::move(capped));
+  const EmbedResponse budgeted = resolve(ticket);
+  EXPECT_EQ(budgeted.status, RequestStatus::Done);
+  EXPECT_NE(budgeted.result.outcome, core::Outcome::Complete);
+  EXPECT_LE(budgeted.result.stats.treeNodesVisited, 101u)
+      << "the visit budget must stop the engine at the next poll";
+  EXPECT_LT(budgeted.result.solutionCount, full.result.solutionCount);
+}
+
+TEST(AsyncService, RejectPolicyResolvesOverflowTicketRejected) {
+  AsyncServiceOptions options;
+  options.workers = 1;
+  options.queueCapacity = 1;
+  options.overloadPolicy = util::OverloadPolicy::Reject;
+  AsyncNetEmbedService svc(asyncHost(), options);
+
+  StreamGate gate;
+  SubmitTicket runner = svc.submit(pathRequest(/*maxSolutions=*/3), {gate.sink(), {}});
+  gate.waitFirst();
+  SubmitTicket queued = svc.submit(delayRequest(*svc.hostSnapshot(), 68));
+  SubmitTicket overflow = svc.submit(delayRequest(*svc.hostSnapshot(), 69));
+
+  // The refusal is synchronous: the ticket comes back already resolved.
+  EXPECT_EQ(overflow.status(), RequestStatus::Rejected);
+  EXPECT_EQ(resolve(overflow).status, RequestStatus::Rejected);
+  EXPECT_EQ(svc.queueStats().rejected, 1u);
+
+  gate.open();
+  EXPECT_EQ(resolve(queued).status, RequestStatus::Done);
+  EXPECT_EQ(resolve(runner).status, RequestStatus::Done);
+}
+
+TEST(AsyncService, ShedLowestPriorityDisplacesQueuedLowForHigh) {
+  AsyncServiceOptions options;
+  options.workers = 1;
+  options.queueCapacity = 1;
+  options.overloadPolicy = util::OverloadPolicy::ShedLowestPriority;
+  AsyncNetEmbedService svc(asyncHost(), options);
+
+  StreamGate gate;
+  SubmitTicket runner = svc.submit(pathRequest(/*maxSolutions=*/3), {gate.sink(), {}});
+  gate.waitFirst();
+
+  EmbedRequest low = delayRequest(*svc.hostSnapshot(), 70);
+  low.qos.priority = service::Priority::Low;
+  SubmitTicket lowTicket = svc.submit(std::move(low));
+  EXPECT_EQ(lowTicket.status(), RequestStatus::Queued);
+
+  EmbedRequest high = delayRequest(*svc.hostSnapshot(), 71);
+  high.qos.priority = service::Priority::High;
+  SubmitTicket highTicket = svc.submit(std::move(high));
+
+  // The queued Low request was shed to make room; its future resolves now.
+  EXPECT_EQ(resolve(lowTicket).status, RequestStatus::Rejected);
+  EXPECT_EQ(svc.queueStats().shed, 1u);
+
+  gate.open();
+  EXPECT_EQ(resolve(highTicket).status, RequestStatus::Done);
+  EXPECT_EQ(resolve(runner).status, RequestStatus::Done);
+}
+
+// --- the synchronous service's ticket form -----------------------------------
+
+TEST(TicketApi, SyncServiceTicketStreamsAndCancels) {
+  service::NetEmbedService svc(asyncHost());
+  StreamGate gate;
+  SubmitTicket ticket = svc.submitTicketed(pathRequest(/*maxSolutions=*/2000),
+                                           {gate.sink(), {}});
+  gate.waitFirst();
+  EXPECT_TRUE(ticket.cancel());
+  gate.open();
+  const EmbedResponse response = resolve(ticket);
+  EXPECT_EQ(response.status, RequestStatus::Cancelled);
+  EXPECT_GE(ticket.solutionsStreamed(), 1u);
+  EXPECT_LT(response.result.solutionCount, 2000u);
+}
+
+TEST(TicketApi, SyncServiceTicketMatchesLegacySubmit) {
+  service::NetEmbedService svc(asyncHost());
+  const EmbedRequest request = pathRequest(/*maxSolutions=*/16, /*storeLimit=*/16);
+  const EmbedResponse legacy = svc.submit(request);
+  SubmitTicket ticket = svc.submitTicketed(request, {});
+  const EmbedResponse viaTicket = resolve(ticket);
+  EXPECT_EQ(viaTicket.status, RequestStatus::Done);
+  EXPECT_EQ(viaTicket.result.solutionCount, legacy.result.solutionCount);
+  EXPECT_EQ(viaTicket.result.mappings, legacy.result.mappings);
+  EXPECT_EQ(viaTicket.result.outcome, legacy.result.outcome);
+}
+
+TEST(TicketApi, DroppingUnconsumedTicketCancelsAndJoins) {
+  service::NetEmbedService svc(asyncHost());
+  {
+    SubmitTicket ticket =
+        svc.submitTicketed(pathRequest(/*maxSolutions=*/0), {});
+    (void)ticket;
+  }  // ~SubmitTicket requests stop and joins the runner — must not hang
+  SUCCEED();
 }
 
 }  // namespace

@@ -143,6 +143,24 @@ TEST(Cancellation, DeadlineStopIsRecordedAsDeadline) {
   EXPECT_EQ(context.stopReason(), StopReason::Deadline);
 }
 
+TEST(Cancellation, VisitBudgetStopsSearchDeterministically) {
+  const Graph query = topo::line(3);
+  const Graph host = topo::clique(10);
+  const Problem problem(query, host, kNone);
+  const EmbedResult full = core::runSearch(Algorithm::ECF, problem, storeAll());
+  ASSERT_EQ(full.outcome, Outcome::Complete);
+  ASSERT_GT(full.stats.treeNodesVisited, 100u);
+
+  SearchOptions capped = storeAll();
+  capped.visitBudget = 40;
+  const EmbedResult budgeted = core::runSearch(Algorithm::ECF, problem, capped);
+  EXPECT_NE(budgeted.outcome, Outcome::Complete)
+      << "a budget-stopped run must never claim exhaustion";
+  EXPECT_LE(budgeted.stats.treeNodesVisited, 41u)
+      << "the engine polls the budget at every visit";
+  EXPECT_LT(budgeted.stats.treeNodesVisited, full.stats.treeNodesVisited);
+}
+
 TEST(Cancellation, SolutionBudgetStopIsPartial) {
   const Graph query = topo::clique(3);
   const Graph host = topo::clique(10);

@@ -1,0 +1,370 @@
+// util::QosScheduler: bounded admission, overload policies (Block / Reject /
+// ShedLowestPriority), strict priority classes, per-tenant weighted fair
+// dequeue, admission deadlines, cancellation and the two shutdown modes.
+//
+// Determinism technique: a single worker plus a "gate" job that blocks it
+// lets each test stage an exact queue state before any dequeue decision is
+// made; the stride-based fair dequeue is then a pure function of the staged
+// queue.
+
+#include "util/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using netembed::util::OverloadPolicy;
+using netembed::util::QosDropReason;
+using netembed::util::QosScheduler;
+
+constexpr auto kWaitBudget = std::chrono::seconds(30);
+
+/// Blocks the (single) worker until open() — the staging primitive.
+struct Gate {
+  std::promise<void> runningPromise;
+  std::shared_future<void> running = runningPromise.get_future().share();
+  std::promise<void> openPromise;
+  std::shared_future<void> open = openPromise.get_future().share();
+
+  QosScheduler::Job job(int priority = 1000) {
+    QosScheduler::Job j;
+    j.priority = priority;  // outranks everything: always dequeues first
+    j.tenant = 999;
+    j.run = [this] {
+      runningPromise.set_value();
+      open.wait();
+    };
+    return j;
+  }
+
+  void waitRunning() {
+    ASSERT_EQ(running.wait_for(kWaitBudget), std::future_status::ready)
+        << "gate job never started";
+  }
+  void release() { openPromise.set_value(); }
+};
+
+/// Thread-safe execution-order recorder.
+struct OrderLog {
+  std::mutex mutex;
+  std::vector<int> order;
+
+  QosScheduler::Job job(int label, int priority = 0, std::uint64_t tenant = 0) {
+    QosScheduler::Job j;
+    j.priority = priority;
+    j.tenant = tenant;
+    j.run = [this, label] {
+      std::lock_guard lock(mutex);
+      order.push_back(label);
+    };
+    return j;
+  }
+
+  std::vector<int> snapshot() {
+    std::lock_guard lock(mutex);
+    return order;
+  }
+};
+
+QosScheduler::Options singleWorker(std::size_t capacity = 0,
+                                   OverloadPolicy policy = OverloadPolicy::Block) {
+  QosScheduler::Options o;
+  o.workers = 1;
+  o.queueCapacity = capacity;
+  o.overload = policy;
+  return o;
+}
+
+TEST(QosScheduler, RunsAcceptedJobsAndCountsThem) {
+  OrderLog log;
+  {
+    QosScheduler sched(singleWorker());
+    Gate gate;
+    ASSERT_NE(sched.submit(gate.job()), 0u);
+    gate.waitRunning();
+    for (int i = 0; i < 4; ++i) ASSERT_NE(sched.submit(log.job(i)), 0u);
+    EXPECT_EQ(sched.queuedCount(), 4u);
+    EXPECT_EQ(sched.pending(), 5u);
+    gate.release();
+    sched.drain();
+    EXPECT_EQ(sched.pending(), 0u);
+    const QosScheduler::Stats stats = sched.stats();
+    EXPECT_EQ(stats.accepted, 5u);
+    EXPECT_EQ(stats.completed, 5u);
+    EXPECT_EQ(stats.rejected + stats.shed + stats.expired + stats.cancelled, 0u);
+  }
+  // Same priority, same tenant: admission order is execution order.
+  EXPECT_EQ(log.snapshot(), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(QosScheduler, HigherPriorityClassesDequeueStrictlyFirst) {
+  OrderLog log;
+  QosScheduler sched(singleWorker());
+  Gate gate;
+  ASSERT_NE(sched.submit(gate.job()), 0u);
+  gate.waitRunning();
+  ASSERT_NE(sched.submit(log.job(/*label=*/0, /*priority=*/0)), 0u);
+  ASSERT_NE(sched.submit(log.job(/*label=*/2, /*priority=*/2)), 0u);
+  ASSERT_NE(sched.submit(log.job(/*label=*/1, /*priority=*/1)), 0u);
+  ASSERT_NE(sched.submit(log.job(/*label=*/3, /*priority=*/2)), 0u);
+  gate.release();
+  sched.drain();
+  // Class 2 first (FIFO within it), then 1, then 0.
+  EXPECT_EQ(log.snapshot(), (std::vector<int>{2, 3, 1, 0}));
+}
+
+TEST(QosScheduler, WeightedFairDequeueHonorsTenantWeights) {
+  // Saturated two-tenant queue, weights 3:1 — dequeues must interleave at
+  // the configured ratio, not starve either side.
+  constexpr int kPerTenant = 9;
+  OrderLog log;
+  QosScheduler sched(singleWorker());
+  sched.setTenantWeight(1, 3.0);
+  sched.setTenantWeight(2, 1.0);
+  Gate gate;
+  ASSERT_NE(sched.submit(gate.job()), 0u);
+  gate.waitRunning();
+  for (int i = 0; i < kPerTenant; ++i) {
+    ASSERT_NE(sched.submit(log.job(/*label=*/1, /*priority=*/0, /*tenant=*/1)), 0u);
+    ASSERT_NE(sched.submit(log.job(/*label=*/2, /*priority=*/0, /*tenant=*/2)), 0u);
+  }
+  gate.release();
+  sched.drain();
+
+  const std::vector<int> order = log.snapshot();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(2 * kPerTenant));
+  // Within the window where both tenants still have queued work (the first
+  // 12 dequeues: 9 + 3), the weight-3 tenant gets 3x the service.
+  int tenant1First12 = 0;
+  for (int i = 0; i < 12; ++i) tenant1First12 += order[static_cast<std::size_t>(i)] == 1;
+  EXPECT_GE(tenant1First12, 8) << "weight-3 tenant under-served";
+  EXPECT_LE(tenant1First12, 10) << "weight-1 tenant starved";
+  // Fairness also means the light tenant is served early, not appended.
+  const auto firstTenant2 = std::find(order.begin(), order.end(), 2);
+  EXPECT_LT(firstTenant2 - order.begin(), 4);
+  // Everything accepted eventually runs.
+  EXPECT_EQ(std::count(order.begin(), order.end(), 1), kPerTenant);
+  EXPECT_EQ(std::count(order.begin(), order.end(), 2), kPerTenant);
+}
+
+TEST(QosScheduler, RejectPolicyDropsNewcomerAtCapacity) {
+  OrderLog log;
+  QosScheduler sched(singleWorker(/*capacity=*/2, OverloadPolicy::Reject));
+  Gate gate;
+  ASSERT_NE(sched.submit(gate.job()), 0u);
+  gate.waitRunning();
+  ASSERT_NE(sched.submit(log.job(0)), 0u);
+  ASSERT_NE(sched.submit(log.job(1)), 0u);
+
+  std::atomic<int> drops{0};
+  QosScheduler::Job overflow = log.job(2);
+  overflow.onDrop = [&](QosDropReason reason) {
+    EXPECT_EQ(reason, QosDropReason::Rejected);
+    drops.fetch_add(1);
+  };
+  // The drop is synchronous: id 0 and the callback has fired on return.
+  EXPECT_EQ(sched.submit(std::move(overflow)), 0u);
+  EXPECT_EQ(drops.load(), 1);
+
+  gate.release();
+  sched.drain();
+  EXPECT_EQ(log.snapshot(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(sched.stats().rejected, 1u);
+}
+
+TEST(QosScheduler, ShedLowestPriorityEvictsMostRecentLowJob) {
+  OrderLog log;
+  QosScheduler sched(singleWorker(/*capacity=*/2, OverloadPolicy::ShedLowestPriority));
+  Gate gate;
+  ASSERT_NE(sched.submit(gate.job()), 0u);
+  gate.waitRunning();
+
+  std::atomic<int> shedDrops{0};
+  QosScheduler::Job lowA = log.job(/*label=*/10, /*priority=*/0);
+  QosScheduler::Job lowB = log.job(/*label=*/11, /*priority=*/0);
+  lowB.onDrop = [&](QosDropReason reason) {
+    EXPECT_EQ(reason, QosDropReason::Shed);
+    shedDrops.fetch_add(1);
+  };
+  ASSERT_NE(sched.submit(std::move(lowA)), 0u);
+  ASSERT_NE(sched.submit(std::move(lowB)), 0u);
+
+  // A higher-priority newcomer evicts the most recently admitted low job
+  // (lowB — lowA has waited longer and keeps its place).
+  ASSERT_NE(sched.submit(log.job(/*label=*/20, /*priority=*/1)), 0u);
+  EXPECT_EQ(shedDrops.load(), 1);
+
+  // A newcomer at the lowest queued priority is itself the shed victim.
+  std::atomic<int> selfShed{0};
+  QosScheduler::Job lowC = log.job(/*label=*/12, /*priority=*/0);
+  lowC.onDrop = [&](QosDropReason reason) {
+    EXPECT_EQ(reason, QosDropReason::Shed);
+    selfShed.fetch_add(1);
+  };
+  EXPECT_EQ(sched.submit(std::move(lowC)), 0u);
+  EXPECT_EQ(selfShed.load(), 1);
+
+  gate.release();
+  sched.drain();
+  EXPECT_EQ(log.snapshot(), (std::vector<int>{20, 10}));
+  EXPECT_EQ(sched.stats().shed, 2u);
+}
+
+TEST(QosScheduler, BlockPolicyWaitsForSpace) {
+  OrderLog log;
+  QosScheduler sched(singleWorker(/*capacity=*/1, OverloadPolicy::Block));
+  Gate gate;
+  ASSERT_NE(sched.submit(gate.job()), 0u);
+  gate.waitRunning();
+  ASSERT_NE(sched.submit(log.job(0)), 0u);  // fills the queue
+
+  std::atomic<bool> admitted{false};
+  std::thread submitter([&] {
+    EXPECT_NE(sched.submit(log.job(1)), 0u);
+    admitted.store(true);
+  });
+  // The submitter must be blocked while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_FALSE(admitted.load());
+
+  gate.release();  // worker drains job 0 -> space -> submitter unblocks
+  submitter.join();
+  EXPECT_TRUE(admitted.load());
+  sched.drain();
+  EXPECT_EQ(log.snapshot(), (std::vector<int>{0, 1}));
+}
+
+TEST(QosScheduler, AdmissionDeadlineExpiresQueuedJob) {
+  OrderLog log;
+  QosScheduler sched(singleWorker());
+  Gate gate;
+  ASSERT_NE(sched.submit(gate.job()), 0u);
+  gate.waitRunning();
+
+  std::promise<QosDropReason> droppedPromise;
+  auto dropped = droppedPromise.get_future();
+  QosScheduler::Job stale = log.job(0);
+  stale.admitBy = QosScheduler::Clock::now() - std::chrono::milliseconds(1);
+  stale.onDrop = [&](QosDropReason reason) { droppedPromise.set_value(reason); };
+  ASSERT_NE(sched.submit(std::move(stale)), 0u);  // queued; expiry is lazy
+  ASSERT_NE(sched.submit(log.job(1)), 0u);
+
+  gate.release();
+  sched.drain();
+  ASSERT_EQ(dropped.wait_for(kWaitBudget), std::future_status::ready);
+  EXPECT_EQ(dropped.get(), QosDropReason::Expired);
+  EXPECT_EQ(log.snapshot(), (std::vector<int>{1}));
+  EXPECT_EQ(sched.stats().expired, 1u);
+}
+
+TEST(QosScheduler, BlockedSubmitterRespectsItsOwnDeadline) {
+  OrderLog log;
+  QosScheduler sched(singleWorker(/*capacity=*/1, OverloadPolicy::Block));
+  Gate gate;
+  ASSERT_NE(sched.submit(gate.job()), 0u);
+  gate.waitRunning();
+  ASSERT_NE(sched.submit(log.job(0)), 0u);  // fills the queue
+
+  std::atomic<int> expired{0};
+  QosScheduler::Job hurried = log.job(1);
+  hurried.admitBy = QosScheduler::Clock::now() + std::chrono::milliseconds(30);
+  hurried.onDrop = [&](QosDropReason reason) {
+    EXPECT_EQ(reason, QosDropReason::Expired);
+    expired.fetch_add(1);
+  };
+  // The queue stays full past the deadline: the blocked submit gives up.
+  EXPECT_EQ(sched.submit(std::move(hurried)), 0u);
+  EXPECT_EQ(expired.load(), 1);
+
+  gate.release();
+  sched.drain();
+  EXPECT_EQ(log.snapshot(), (std::vector<int>{0}));
+}
+
+TEST(QosScheduler, CancelRemovesQueuedJobExactlyOnce) {
+  OrderLog log;
+  QosScheduler sched(singleWorker());
+  Gate gate;
+  ASSERT_NE(sched.submit(gate.job()), 0u);
+  gate.waitRunning();
+
+  std::atomic<int> drops{0};
+  QosScheduler::Job doomed = log.job(0);
+  doomed.onDrop = [&](QosDropReason reason) {
+    EXPECT_EQ(reason, QosDropReason::Cancelled);
+    drops.fetch_add(1);
+  };
+  const QosScheduler::JobId id = sched.submit(std::move(doomed));
+  ASSERT_NE(id, 0u);
+  ASSERT_NE(sched.submit(log.job(1)), 0u);
+
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_EQ(drops.load(), 1);
+  EXPECT_FALSE(sched.cancel(id)) << "second cancel must miss";
+  EXPECT_FALSE(sched.cancel(987654u)) << "unknown id must miss";
+
+  gate.release();
+  sched.drain();
+  EXPECT_EQ(log.snapshot(), (std::vector<int>{1}));
+  EXPECT_EQ(sched.stats().cancelled, 1u);
+}
+
+TEST(QosScheduler, ShutdownCancelPendingDropsQueuedJobs) {
+  OrderLog log;
+  QosScheduler sched(singleWorker());
+  Gate gate;
+  ASSERT_NE(sched.submit(gate.job()), 0u);
+  gate.waitRunning();
+
+  std::promise<void> bothDroppedPromise;
+  auto bothDropped = bothDroppedPromise.get_future();
+  std::atomic<int> drops{0};
+  for (int i = 0; i < 2; ++i) {
+    QosScheduler::Job job = log.job(i);
+    job.onDrop = [&](QosDropReason reason) {
+      EXPECT_EQ(reason, QosDropReason::Cancelled);
+      if (drops.fetch_add(1) + 1 == 2) bothDroppedPromise.set_value();
+    };
+    ASSERT_NE(sched.submit(std::move(job)), 0u);
+  }
+
+  // Shutdown resolves the dropped queue before joining the (still gated)
+  // worker, so the drops are observable while the gate is closed.
+  std::thread shutdownThread([&] {
+    sched.shutdown(QosScheduler::ShutdownMode::CancelPending);
+  });
+  ASSERT_EQ(bothDropped.wait_for(kWaitBudget), std::future_status::ready);
+  gate.release();
+  shutdownThread.join();
+
+  EXPECT_TRUE(log.snapshot().empty());
+  EXPECT_EQ(sched.stats().cancelled, 2u);
+  // Post-shutdown submissions are refused.
+  std::atomic<int> lateDrops{0};
+  QosScheduler::Job late = log.job(9);
+  late.onDrop = [&](QosDropReason reason) {
+    EXPECT_EQ(reason, QosDropReason::Rejected);
+    lateDrops.fetch_add(1);
+  };
+  EXPECT_EQ(sched.submit(std::move(late)), 0u);
+  EXPECT_EQ(lateDrops.load(), 1);
+}
+
+TEST(QosScheduler, DestructorDrainsEverythingAccepted) {
+  OrderLog log;
+  {
+    QosScheduler sched(singleWorker());
+    for (int i = 0; i < 5; ++i) ASSERT_NE(sched.submit(log.job(i)), 0u);
+  }  // ~QosScheduler == shutdown(Drain)
+  EXPECT_EQ(log.snapshot().size(), 5u);
+}
+
+}  // namespace
