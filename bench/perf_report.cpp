@@ -9,11 +9,18 @@
 //   --out <path>   JSON output path (default BENCH_netembed.json)
 //   --check        enforce the acceptance thresholds: >= 2x enumeration
 //                  speedup on the dense instances, <= 10% regression on the
-//                  sparse one (exit 1 on violation)
+//                  sparse one, and >= 5x on the mutation scenario's
+//                  patch-vs-rebuild medians (exit 1 on violation)
 //
-// The binary also cross-checks that both representations enumerate the same
-// number of solutions on every instance and exits non-zero otherwise — the
-// perf baseline must never be produced by a wrong answer.
+// Besides the representation matrix, a mutation-heavy scenario times the
+// live-model update path: a large host under 1-node-touch monitoring
+// deltas, comparing {structurally shared snapshot copy + FilterPlan::patch}
+// against the historical {deep host copy + from-scratch build} per update.
+//
+// The binary also cross-checks that both representations — and the patched
+// vs rebuilt plans — enumerate the same number of solutions and exits
+// non-zero otherwise: the perf baseline must never be produced by a wrong
+// answer.
 
 #include <fstream>
 #include <iostream>
@@ -22,6 +29,8 @@
 
 #include "common.hpp"
 #include "core/filter.hpp"
+#include "core/plan.hpp"
+#include "service/model.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -87,6 +96,96 @@ ModeTimings timeMode(const core::Problem& problem, core::BitsetMode mode,
   return out;
 }
 
+struct MutationReport {
+  std::size_t hostNodes = 0;
+  std::size_t hostEdges = 0;
+  std::size_t queryNodes = 0;
+  double fullMs = 0.0;   // deep host copy + from-scratch FilterPlan::build
+  double patchMs = 0.0;  // shared snapshot copy + FilterPlan::patch
+  std::uint64_t enumeratedFull = 0;
+  std::uint64_t enumeratedPatch = 0;
+
+  [[nodiscard]] double speedup() const {
+    return patchMs > 0.0 ? fullMs / patchMs : 0.0;
+  }
+};
+
+/// 1-node-touch monitoring updates against the large PlanetLab host: each
+/// rep flips one site's osType (read by the node constraint, so the delta is
+/// constraint-relevant and genuinely patchable), then times both update
+/// paths from the same base plan. Patching chains rep to rep — exactly what
+/// the service plan cache does under a monitoring feed.
+MutationReport runMutationScenario(std::uint64_t seed, std::size_t reps,
+                                   std::size_t enumerateCap) {
+  const graph::Graph& pristine = bench::planetlabHost(seed);
+  util::Rng rng(util::deriveSeed(seed, 4));
+  const graph::Graph query = bench::sampledDelayQuery(pristine, 18, 30, 0.25, rng);
+  const expr::ConstraintSet constraints = expr::ConstraintSet::parse(
+      topo::delayWindowConstraint(), "rNode.osType == vNode.osType");
+  const core::SearchOptions planOptions;
+
+  MutationReport report;
+  report.hostNodes = pristine.nodeCount();
+  report.hostEdges = pristine.edgeCount();
+  report.queryNodes = query.nodeCount();
+
+  service::NetworkModel model{graph::Graph(pristine)};
+  std::shared_ptr<const core::FilterPlan> basePlan;
+  {
+    const graph::Graph baseSnap = model.host();
+    basePlan = core::FilterPlan::build(
+        core::Problem(query, baseSnap, constraints), planOptions);
+  }  // the plan holds no graph references; the snapshot can go
+
+  const graph::NodeId touched = 0;
+  const std::string originalOs =
+      pristine.nodeAttrs(touched).at("osType").asString();
+
+  std::vector<double> fullTimes, patchTimes;
+  graph::Graph patchSnap, fullSnap;
+  std::shared_ptr<const core::FilterPlan> patchedPlan, rebuiltPlan;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    model.setNodeAttr(touched, "osType",
+                      rep % 2 == 0 ? std::string("mutated-os") : originalOs);
+    const core::ModelDelta delta = model.lastDelta();
+    {
+      util::Stopwatch clock;
+      graph::Graph snap = model.host();  // structurally shared snapshot
+      patchedPlan = core::FilterPlan::patch(
+          *basePlan, core::Problem(query, snap, constraints), planOptions, delta);
+      patchTimes.push_back(clock.elapsedMs());
+      patchSnap = std::move(snap);
+    }
+    {
+      util::Stopwatch clock;
+      graph::Graph snap = model.host().detachedCopy();  // the historical path
+      rebuiltPlan = core::FilterPlan::build(
+          core::Problem(query, snap, constraints), planOptions);
+      fullTimes.push_back(clock.elapsedMs());
+      fullSnap = std::move(snap);
+    }
+    basePlan = patchedPlan;
+  }
+  report.fullMs = util::median(fullTimes);
+  report.patchMs = util::median(patchTimes);
+
+  // Cross-check: both plans describe the same final model version and must
+  // enumerate identical solution counts.
+  const auto enumerate = [&](const std::shared_ptr<const core::FilterPlan>& plan,
+                             const graph::Graph& host) {
+    core::SearchOptions o = planOptions;
+    o.maxSolutions = enumerateCap;
+    o.storeLimit = 1;
+    core::SearchContext context(o);
+    context.setPlanBuilder(std::make_shared<core::SharedPlanBuilder>(plan));
+    return core::ecfSearch(core::Problem(query, host, constraints), context)
+        .solutionCount;
+  };
+  report.enumeratedPatch = enumerate(patchedPlan, patchSnap);
+  report.enumeratedFull = enumerate(rebuiltPlan, fullSnap);
+  return report;
+}
+
 InstanceReport runInstance(const std::string& name, const graph::Graph& query,
                            const graph::Graph& host,
                            const expr::ConstraintSet& constraints,
@@ -105,7 +204,8 @@ InstanceReport runInstance(const std::string& name, const graph::Graph& query,
 }
 
 void writeJson(std::ostream& os, const std::vector<InstanceReport>& reports,
-               std::uint64_t seed, std::size_t reps) {
+               const MutationReport& mutation, std::uint64_t seed,
+               std::size_t reps) {
   const auto mode = [&](const ModeTimings& t) {
     os << "{\"filter_build_ms\": " << t.filterBuildMs
        << ", \"first_match_ms\": " << t.firstMatchMs
@@ -127,7 +227,14 @@ void writeJson(std::ostream& os, const std::vector<InstanceReport>& reports,
     os << ",\n     \"enumerate_speedup\": " << r.enumerateSpeedup() << "}"
        << (i + 1 < reports.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ],\n  \"mutation\": {\"host_nodes\": " << mutation.hostNodes
+     << ", \"host_edges\": " << mutation.hostEdges
+     << ", \"query_nodes\": " << mutation.queryNodes
+     << ",\n    \"full_rebuild_ms\": " << mutation.fullMs
+     << ", \"patch_ms\": " << mutation.patchMs
+     << ", \"patch_speedup\": " << mutation.speedup()
+     << ",\n    \"enumerated_full\": " << mutation.enumeratedFull
+     << ", \"enumerated_patch\": " << mutation.enumeratedPatch << "}\n}\n";
 }
 
 }  // namespace
@@ -187,6 +294,8 @@ int main(int argc, char** argv) {
     reports.push_back(runInstance("clique", query, host, none, reps, 20000));
   }
 
+  const MutationReport mutation = runMutationScenario(seed, reps, 1500);
+
   util::TablePrinter table(
       {"instance", "entries", "build csr", "build bits", "enum csr", "enum bits",
        "speedup"});
@@ -201,12 +310,22 @@ int main(int argc, char** argv) {
   std::cout << "\n=== perf baseline (median of " << reps << ") ===\n";
   table.print(std::cout);
 
+  util::TablePrinter mutationTable({"host", "edges", "full rebuild (ms)",
+                                    "patch (ms)", "speedup"});
+  mutationTable.addRow(
+      {std::to_string(mutation.hostNodes), std::to_string(mutation.hostEdges),
+       util::formatFixed(mutation.fullMs, 2), util::formatFixed(mutation.patchMs, 2),
+       util::formatFixed(mutation.speedup(), 1) + "x"});
+  std::cout << "\n=== mutation scenario (1-node-touch deltas, median of " << reps
+            << ") ===\n";
+  mutationTable.print(std::cout);
+
   std::ofstream out(outPath);
   if (!out) {
     std::cerr << "FAIL: cannot open " << outPath << " for writing\n";
     return 1;
   }
-  writeJson(out, reports, seed, reps);
+  writeJson(out, reports, mutation, seed, reps);
   out.flush();
   if (!out) {
     std::cerr << "FAIL: short write to " << outPath << "\n";
@@ -222,7 +341,17 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
+  if (mutation.enumeratedFull != mutation.enumeratedPatch) {
+    std::cerr << "FAIL: mutation scenario enumerated " << mutation.enumeratedFull
+              << " (rebuilt) vs " << mutation.enumeratedPatch << " (patched)\n";
+    ok = false;
+  }
   if (check) {
+    if (mutation.speedup() < 5.0) {
+      std::cerr << "FAIL: mutation patch speedup " << mutation.speedup()
+                << " < 5x\n";
+      ok = false;
+    }
     for (const InstanceReport& r : reports) {
       const double speedup = r.enumerateSpeedup();
       if (r.name == "planetlab_sparse" && speedup < 0.9) {

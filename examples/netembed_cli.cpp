@@ -34,10 +34,21 @@
 //                      goes through the queued AsyncNetEmbedService — this
 //                      tool's direct ticket submission has no queue wait.
 //   --tenant N         QoS fair-queueing tenant id (default 0)
+//   --mutate-rate R    replay mode: run --replay queries through the queued
+//                      AsyncNetEmbedService, applying R monitoring-style
+//                      attribute updates to the live host model before each
+//                      query (half touch a constraint-relevant delay metric,
+//                      half an unreferenced load attribute). Exercises the
+//                      delta-first mutation path end to end: structurally
+//                      shared snapshots, plan-cache re-keying, and
+//                      FilterPlan patch/reuse — the cache/patch counters are
+//                      reported at the end. 0 (default) = off.
+//   --replay N         queries per replay run (default 8)
 //
-// The request runs through the ticket API (submitTicketed): mappings stream
-// to stderr as the search finds them, and the terminal status/diagnostics
-// line reports the request's lifecycle outcome.
+// Outside replay mode the request runs through the ticket API
+// (submitTicketed): mappings stream to stderr as the search finds them, and
+// the terminal status/diagnostics line reports the request's lifecycle
+// outcome.
 
 #include <atomic>
 #include <fstream>
@@ -84,6 +95,67 @@ std::optional<core::Algorithm> parseAlgo(const std::string& name) {
   if (name == "auto") return std::nullopt;
   throw std::runtime_error("unknown --algo '" + name +
                            "' (ecf|rwb|lns|naive|anneal|genetic|portfolio|auto)");
+}
+
+/// Replay mode: interleave monitoring-style host mutations with queries
+/// against the queued service, then report how many stage-1 plans were
+/// patched / reused / rebuilt across the induced version bumps.
+int runMutateReplay(graph::Graph host, service::EmbedRequest request,
+                    double mutateRate, std::size_t replays, std::uint64_t seed) {
+  if (!request.algorithm.has_value()) {
+    // The replay measures the stage-1 delta path; the auto-chooser may pick
+    // LNS (no stage-1 plan) on dense hosts, which would exercise nothing.
+    request.algorithm = core::Algorithm::ECF;
+    std::cerr << "replay: pinning --algo ecf (stage-1 plans are the point)\n";
+  }
+  service::AsyncNetEmbedService svc{std::move(host)};
+  util::Rng rng(util::deriveSeed(seed, 99));
+  const std::uint64_t buildsBefore = core::filterPlanBuilds();
+  const std::uint64_t patchesBefore = core::filterPlanPatches();
+
+  double pendingMutations = 0.0;
+  std::size_t mutations = 0;
+  std::size_t feasible = 0;
+  bool allDone = true;
+  for (std::size_t i = 0; i < replays; ++i) {
+    pendingMutations += mutateRate;
+    for (; pendingMutations >= 1.0; pendingMutations -= 1.0) {
+      const auto snapshot = svc.hostSnapshot();
+      if (mutations % 2 == 0 && snapshot->edgeCount() > 0) {
+        // Constraint-relevant (the demo's delay-window constraint reads
+        // minDelay): nudge one link's floor delay by ~1%.
+        const auto e = static_cast<graph::EdgeId>(rng.index(snapshot->edgeCount()));
+        const double delay = snapshot->edgeAttrs(e).getDouble("minDelay", 10.0);
+        svc.setEdgeMetric(snapshot->edgeSource(e), snapshot->edgeTarget(e),
+                          "minDelay", delay * (rng.bernoulli(0.5) ? 1.01 : 0.99));
+      } else {
+        // Unreferenced by the constraints: provably irrelevant to cached
+        // plans, which must be reused as-is (no patch, no rebuild).
+        const auto n = static_cast<graph::NodeId>(rng.index(snapshot->nodeCount()));
+        svc.setNodeAttr(n, "load", rng.uniform(0.0, 1.0));
+      }
+      ++mutations;
+    }
+    service::EmbedRequest query = request;
+    const service::EmbedResponse response = svc.submit(std::move(query)).get();
+    std::cerr << "replay " << (i + 1) << "/" << replays << ": v"
+              << response.modelVersion << " "
+              << service::requestStatusName(response.status) << " | "
+              << response.diagnostics << '\n';
+    if (response.status != service::RequestStatus::Done) allDone = false;
+    if (response.result.feasible()) ++feasible;
+  }
+
+  const auto cache = svc.planCacheStats();
+  std::cout << "replay: " << replays << " queries, " << mutations
+            << " mutations, " << feasible << " feasible\n"
+            << "plan cache: " << cache.hits << " hits, " << cache.misses
+            << " misses, " << cache.rekeys << " rekeys, " << cache.invalidations
+            << " invalidations\n"
+            << "stage-1 plans: " << core::filterPlanBuilds() - buildsBefore
+            << " built, " << core::filterPlanPatches() - patchesBefore
+            << " patched\n";
+  return allDone ? 0 : 1;
 }
 
 }  // namespace
@@ -137,6 +209,13 @@ int main(int argc, char** argv) {
     std::cerr << "qos: priority=" << service::priorityName(request.qos.priority)
               << " tenant=" << request.qos.tenant
               << " deadline-ms=" << deadlineMs << '\n';
+
+    const double mutateRate = args.getDouble("mutate-rate", 0.0);
+    if (mutateRate > 0.0) {
+      const auto replays = static_cast<std::size_t>(args.getInt("replay", 8));
+      return runMutateReplay(std::move(host), std::move(request), mutateRate,
+                             replays, seed);
+    }
 
     service::NetEmbedService svc{service::NetworkModel(std::move(host))};
     // The lifecycle API: solutions stream out as the search admits them; the

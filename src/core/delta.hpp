@@ -1,0 +1,118 @@
+#pragma once
+// The delta vocabulary for live host-model mutations.
+//
+// NETEMBED is a service over a monitored network: host attributes change
+// continuously while queries run. A ModelDelta is the record of one (or a
+// merged run of) mutation(s) — which host nodes and edges were touched, and
+// which attribute ids changed — precise enough for the stage-1 plan layer to
+// re-evaluate only the filter cells those elements can influence
+// (FilterPlan::patch) instead of rebuilding from scratch, and for the
+// service plan cache to carry plans across version bumps.
+//
+// `structural` marks mutations no patch can follow (nodes/edges added or
+// removed, a wholesale model replacement): consumers must rebuild.
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/attr_map.hpp"
+#include "graph/graph.hpp"
+
+namespace netembed::core {
+
+struct ModelDelta {
+  /// Touched host nodes / edges; sorted ascending and deduplicated once
+  /// normalize() has run (producers append cheaply, then normalize once per
+  /// mutation — a measurement batch must not pay a sorted insert per entry).
+  std::vector<graph::NodeId> nodes;
+  std::vector<graph::EdgeId> edges;
+  /// Union of changed attribute ids (same normalized form).
+  std::vector<graph::AttrId> attrs;
+  /// Topology changed (or the whole model was replaced): not patchable.
+  bool structural = false;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return !structural && nodes.empty() && edges.empty();
+  }
+
+  void clear() {
+    nodes.clear();
+    edges.clear();
+    attrs.clear();
+    structural = false;
+  }
+
+  /// Record one node / edge touch. Amortized O(1): duplicates are collapsed
+  /// by normalize(), not here.
+  void touchNode(graph::NodeId n, graph::AttrId attr) {
+    nodes.push_back(n);
+    attrs.push_back(attr);
+  }
+  void touchEdge(graph::EdgeId e, graph::AttrId attr) {
+    edges.push_back(e);
+    attrs.push_back(attr);
+  }
+
+  /// Sort + deduplicate the three sets. Producers call this once per
+  /// mutation before handing the delta to consumers; every method below
+  /// assumes normalized form.
+  void normalize() {
+    sortUnique(nodes);
+    sortUnique(edges);
+    sortUnique(attrs);
+  }
+
+  /// Fold a later (normalized) delta into this one: the merged delta
+  /// describes both mutations applied in sequence (set union; structural is
+  /// sticky).
+  void merge(const ModelDelta& later) {
+    structural = structural || later.structural;
+    nodes.insert(nodes.end(), later.nodes.begin(), later.nodes.end());
+    edges.insert(edges.end(), later.edges.begin(), later.edges.end());
+    attrs.insert(attrs.end(), later.attrs.begin(), later.attrs.end());
+    normalize();
+  }
+
+  /// True when any changed attribute id is in `referenced` (both sorted).
+  [[nodiscard]] bool touchesAnyAttr(const std::vector<graph::AttrId>& referenced) const {
+    auto a = attrs.begin();
+    auto b = referenced.begin();
+    while (a != attrs.end() && b != referenced.end()) {
+      if (*a == *b) return true;
+      *a < *b ? ++a : ++b;
+    }
+    return false;
+  }
+
+ private:
+  template <class V>
+  static void sortUnique(V& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+};
+
+/// Mark the host edges whose stage-1 filter outcome `delta` can change: the
+/// touched edges plus every edge incident to a touched node (edge
+/// constraints may read endpoint attributes). This is THE rule both the
+/// patch-vs-rebuild cost model (classifyDelta) and the patch itself
+/// (FilterMatrix::patch) must agree on, so it lives in exactly one place.
+/// Returns false when the delta references ids outside `host` (a foreign
+/// delta) — callers must treat that as not patchable.
+[[nodiscard]] inline bool affectedEdgeMask(const graph::Graph& host,
+                                           const ModelDelta& delta,
+                                           std::vector<char>& mask) {
+  mask.assign(host.edgeCount(), 0);
+  for (const graph::EdgeId e : delta.edges) {
+    if (e >= host.edgeCount()) return false;
+    mask[e] = 1;
+  }
+  for (const graph::NodeId n : delta.nodes) {
+    if (n >= host.nodeCount()) return false;
+    for (const graph::Neighbor& nb : host.neighbors(n)) mask[nb.edge] = 1;
+    for (const graph::Neighbor& nb : host.inNeighbors(n)) mask[nb.edge] = 1;
+  }
+  return true;
+}
+
+}  // namespace netembed::core

@@ -103,7 +103,9 @@ FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& op
   fm.cellBits_.resize(cellCount);
 
   // --- stage 0: node-level viability bitmap --------------------------------
-  const util::BitMatrix nodeOk = nodeViability(problem, options, cancelled);
+  // Moved into the matrix at the end: patch() re-gates pair evaluations with
+  // it so node constraints only re-run over the touched host nodes.
+  util::BitMatrix nodeOk = nodeViability(problem, options, cancelled);
 
   // --- stage 1: evaluate the constraint per (query edge, host edge) -------
   //
@@ -282,11 +284,225 @@ FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& op
     for (std::size_t v = 0; v < nq; ++v) fillViable(v);
   }
 
+  fm.nodeOkBits_ = std::move(nodeOk);
   fm.totalEntries_ = entries.load();
   stats.filterEntries = fm.totalEntries_;
   stats.constraintEvals += evals.load();
   stats.filterBuildMs = timer.elapsedMs();
   return fm;
+}
+
+void FilterMatrix::patch(const Problem& problem, const SearchOptions& options,
+                         const ModelDelta& delta, SearchStats& stats,
+                         const std::function<bool()>& cancelled) {
+  util::Stopwatch timer;
+  problem.validate();
+  const graph::Graph& q = *problem.query;
+  const graph::Graph& h = *problem.host;
+  const std::size_t nq = q.nodeCount();
+  const std::size_t nr = h.nodeCount();
+
+  // --- affected sets --------------------------------------------------------
+  // A touched edge changes its own constraint outcomes; a touched node
+  // changes its node-level viability AND the outcome of every incident edge
+  // (edge constraints may read rSource/rTarget attributes). Everything else
+  // is untouched by construction — that is the whole point of the patch.
+  // affectedEdgeMask is the same rule classifyDelta costed the patch with.
+  std::vector<char> edgeAffected;
+  if (!affectedEdgeMask(h, delta, edgeAffected)) {
+    throw std::invalid_argument("FilterMatrix::patch: delta references ids outside the host");
+  }
+  std::vector<graph::EdgeId> affectedEdges;
+  for (graph::EdgeId he = 0; he < h.edgeCount(); ++he) {
+    if (edgeAffected[he]) affectedEdges.push_back(he);
+  }
+  std::vector<char> nodeAffected(nr, 0);
+  for (const graph::NodeId n : delta.nodes) nodeAffected[n] = 1;
+  for (const graph::EdgeId he : affectedEdges) {
+    nodeAffected[h.edgeSource(he)] = 1;
+    nodeAffected[h.edgeTarget(he)] = 1;
+  }
+
+  // --- refresh node-level viability for the touched nodes -------------------
+  for (const graph::NodeId r : delta.nodes) {
+    for (graph::NodeId v = 0; v < nq; ++v) {
+      nodeOkBits_.setTo(v, r, problem.degreeOk(v, r) && problem.nodeOk(v, r));
+    }
+  }
+
+  // --- re-evaluate the affected (query edge, host edge) pairs ---------------
+  // Mirrors stage 1 of build() exactly (same gating, same symmetric-once
+  // evaluation) so a patched matrix is candidate-set-identical to a fresh
+  // build; only the loop domain shrinks from every host edge to the
+  // affected ones.
+  const expr::Constraint* edgeConstraint = problem.edgeConstraint();
+  bool symmetric = true;
+  if (edgeConstraint) {
+    constexpr std::uint32_t endpointMask =
+        (1u << static_cast<std::uint32_t>(expr::ObjectId::VSource)) |
+        (1u << static_cast<std::uint32_t>(expr::ObjectId::VTarget)) |
+        (1u << static_cast<std::uint32_t>(expr::ObjectId::RSource)) |
+        (1u << static_cast<std::uint32_t>(expr::ObjectId::RTarget));
+    symmetric = (edgeConstraint->program().objectsUsed() & endpointMask) == 0;
+  }
+
+  // Which cells key on the mapped source endpoint of each query edge.
+  std::vector<std::vector<std::pair<std::uint32_t, bool>>> cellsOfEdge(q.edgeCount());
+  for (graph::NodeId v = 0; v < nq; ++v) {
+    for (std::uint32_t s = 0; s < slots_[v].size(); ++s) {
+      const Slot& slot = slots_[v][s];
+      cellsOfEdge[slot.edge].push_back(
+          {slotBase_[v] + s, q.edgeSource(slot.edge) == v});
+    }
+  }
+
+  // One membership decision per (cell, key, val) — unique within a patch
+  // because (key, val) determines the host edge and cells belong to one
+  // query edge.
+  struct Edit {
+    graph::NodeId key;
+    graph::NodeId val;
+    bool present;
+  };
+  std::vector<std::vector<Edit>> cellEdits(cells_.size());
+  std::uint64_t evals = 0;
+  std::size_t polls = 0;
+  constexpr std::size_t kCancelPollStride = 1024;
+
+  for (graph::EdgeId qe = 0; qe < q.edgeCount(); ++qe) {
+    const graph::NodeId qa = q.edgeSource(qe);
+    const graph::NodeId qb = q.edgeTarget(qe);
+    for (const graph::EdgeId he : affectedEdges) {
+      if (++polls % kCancelPollStride == 0 && cancelled && cancelled()) {
+        throw FilterBuildCancelled();
+      }
+      const graph::NodeId ra = h.edgeSource(he);
+      const graph::NodeId rb = h.edgeTarget(he);
+      bool forward = false;
+      bool backward = false;
+      if (h.directed()) {
+        forward = nodeOkBits_.test(qa, ra) && nodeOkBits_.test(qb, rb) &&
+                  problem.edgeOk(qe, qa, qb, he, ra, rb, evals);
+      } else if (symmetric) {
+        const bool fGate = nodeOkBits_.test(qa, ra) && nodeOkBits_.test(qb, rb);
+        const bool bGate = nodeOkBits_.test(qa, rb) && nodeOkBits_.test(qb, ra);
+        const bool pass =
+            (fGate || bGate) && problem.edgeOk(qe, qa, qb, he, ra, rb, evals);
+        forward = fGate && pass;
+        backward = bGate && pass;
+      } else {
+        forward = nodeOkBits_.test(qa, ra) && nodeOkBits_.test(qb, rb) &&
+                  problem.edgeOk(qe, qa, qb, he, ra, rb, evals);
+        backward = nodeOkBits_.test(qa, rb) && nodeOkBits_.test(qb, ra) &&
+                   problem.edgeOk(qe, qa, qb, he, rb, ra, evals);
+      }
+      for (const auto& [cell, keyIsSource] : cellsOfEdge[qe]) {
+        cellEdits[cell].push_back({keyIsSource ? ra : rb, keyIsSource ? rb : ra,
+                                   forward});
+        if (!h.directed()) {
+          cellEdits[cell].push_back({keyIsSource ? rb : ra, keyIsSource ? ra : rb,
+                                     backward});
+        }
+      }
+    }
+  }
+
+  // --- splice the edits into the CSR cells (and their bit rows) -------------
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    std::vector<Edit>& edits = cellEdits[c];
+    if (edits.empty()) continue;
+    if (cancelled && cancelled()) throw FilterBuildCancelled();
+    std::sort(edits.begin(), edits.end(), [](const Edit& a, const Edit& b) {
+      return a.key != b.key ? a.key < b.key : a.val < b.val;
+    });
+    Csr& csr = cells_[c];
+    std::vector<graph::NodeId> newData;
+    newData.reserve(csr.data.size() + edits.size());
+    std::vector<std::uint32_t> newOffsets(nr + 1, 0);
+    std::size_t ei = 0;
+    for (graph::NodeId r = 0; r < nr; ++r) {
+      newOffsets[r] = static_cast<std::uint32_t>(newData.size());
+      const std::uint32_t begin = csr.offsets[r];
+      const std::uint32_t end = csr.offsets[r + 1];
+      if (ei >= edits.size() || edits[ei].key != r) {
+        newData.insert(newData.end(), csr.data.begin() + begin,
+                       csr.data.begin() + end);
+        continue;
+      }
+      // Merge the old sorted row with this key's sorted membership edits.
+      std::uint32_t i = begin;
+      while (ei < edits.size() && edits[ei].key == r) {
+        const Edit& e = edits[ei];
+        while (i < end && csr.data[i] < e.val) newData.push_back(csr.data[i++]);
+        const bool wasPresent = i < end && csr.data[i] == e.val;
+        if (e.present) newData.push_back(e.val);
+        if (wasPresent) ++i;  // the old copy is replaced or removed
+        ++ei;
+      }
+      while (i < end) newData.push_back(csr.data[i++]);
+    }
+    newOffsets[nr] = static_cast<std::uint32_t>(newData.size());
+    totalEntries_ += newData.size();
+    totalEntries_ -= csr.data.size();
+    csr.data = std::move(newData);
+    csr.offsets = std::move(newOffsets);
+
+    if (!cellBits_[c].empty()) {
+      util::BitMatrix& bits = cellBits_[c];
+      graph::NodeId lastKey = graph::kInvalidNode;
+      for (const Edit& e : edits) {
+        if (e.key == lastKey) continue;
+        lastKey = e.key;
+        std::uint64_t* row = bits.rowData(e.key);
+        std::fill(row, row + bits.wordsPerRow(), 0);
+        for (std::uint32_t i = csr.offsets[e.key]; i < csr.offsets[e.key + 1]; ++i) {
+          const graph::NodeId s = csr.data[i];
+          row[s / util::kBitsPerWord] |= std::uint64_t{1} << (s % util::kBitsPerWord);
+        }
+      }
+    }
+  }
+
+  const std::size_t entryBudget = options.maxFilterEntries == 0
+                                      ? static_cast<std::size_t>(-1)
+                                      : options.maxFilterEntries;
+  if (totalEntries_ > entryBudget) throw FilterOverflow(totalEntries_);
+
+  // --- viability (strengthened eq. 1) over the affected host nodes ----------
+  std::vector<graph::NodeId> affectedNodes;
+  for (graph::NodeId r = 0; r < nr; ++r) {
+    if (nodeAffected[r]) affectedNodes.push_back(r);
+  }
+  for (graph::NodeId v = 0; v < nq; ++v) {
+    bool dirty = false;
+    for (const graph::NodeId r : affectedNodes) {
+      bool ok = nodeOkBits_.test(v, r);
+      if (ok) {
+        for (std::uint32_t s = 0; s < slots_[v].size(); ++s) {
+          const Csr& csr = cells_[slotBase_[v] + s];
+          if (csr.offsets[r + 1] == csr.offsets[r]) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok != viableBits_.test(v, r)) {
+        viableBits_.setTo(v, r, ok);
+        dirty = true;
+      }
+    }
+    if (dirty) {
+      std::vector<graph::NodeId>& out = viable_[v];
+      out.clear();
+      for (graph::NodeId r = 0; r < nr; ++r) {
+        if (viableBits_.test(v, r)) out.push_back(r);
+      }
+    }
+  }
+
+  stats.filterEntries = totalEntries_;
+  stats.constraintEvals += evals;
+  stats.filterBuildMs = timer.elapsedMs();
 }
 
 }  // namespace netembed::core

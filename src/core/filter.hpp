@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "core/delta.hpp"
 #include "core/problem.hpp"
 #include "core/search.hpp"
 #include "util/bitset.hpp"
@@ -75,6 +76,24 @@ class FilterMatrix {
   [[nodiscard]] static FilterMatrix build(
       const Problem& problem, const SearchOptions& options, SearchStats& stats,
       const std::function<bool()>& cancelled = {});
+
+  /// Incrementally re-evaluate this matrix against an attribute-only host
+  /// delta: `problem.host` is the post-mutation graph (same topology as the
+  /// one this matrix was built from), `delta` names the touched nodes/edges.
+  /// Only the (query edge, host edge) pairs whose outcome can have changed —
+  /// edges in the delta plus every edge incident to a touched node, since
+  /// edge constraints may read endpoint attributes — are re-evaluated; CSR
+  /// lists, bitset rows, the viability bit-matrix and the viable lists are
+  /// spliced in place. The result is candidate-set-identical to a fresh
+  /// build (cell bitset coverage keeps the original build's density
+  /// decision; candidate *sets* never differ). Callers must have rejected
+  /// structural deltas (see classifyDelta in core/plan.hpp). Throws
+  /// FilterOverflow when edits push the entry count past the budget and
+  /// FilterBuildCancelled when `cancelled` fires. On either throw the matrix
+  /// is left in an unspecified state — discard it.
+  void patch(const Problem& problem, const SearchOptions& options,
+             const ModelDelta& delta, SearchStats& stats,
+             const std::function<bool()>& cancelled = {});
 
   [[nodiscard]] std::span<const Slot> slots(graph::NodeId v) const {
     return slots_[v];
@@ -145,6 +164,10 @@ class FilterMatrix {
   std::vector<std::vector<Constrainer>> constrainers_;
   std::vector<std::vector<graph::NodeId>> viable_;  // per query node, sorted
   util::BitMatrix viableBits_;                      // nq x nr
+  /// Node-level viability (degree bound + node constraint) kept separate
+  /// from viableBits_ — patch() needs it to re-gate pair evaluations without
+  /// re-running the node constraint over untouched host nodes.
+  util::BitMatrix nodeOkBits_;                      // nq x nr
   std::size_t totalEntries_ = 0;
 };
 

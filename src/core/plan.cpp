@@ -7,11 +7,81 @@
 namespace netembed::core {
 
 namespace {
+
 std::atomic<std::uint64_t> gPlanBuilds{0};
+std::atomic<std::uint64_t> gPlanPatches{0};
+
+/// Lemma-1 static order + per-node earlier-constrainer index over a filled
+/// matrix. Shared verbatim by build() and patch(): a patched plan must sort
+/// from the same iota start so its order is byte-identical to a fresh
+/// build's.
+void finalizeOrder(FilterPlan& plan, const SearchOptions& options, std::size_t nq) {
+  plan.order.assign(nq, 0);
+  std::iota(plan.order.begin(), plan.order.end(), 0);
+  if (options.staticOrdering) {
+    // Lemma 1: ascending candidate count minimizes the permutation tree.
+    std::stable_sort(plan.order.begin(), plan.order.end(),
+                     [&](graph::NodeId a, graph::NodeId b) {
+                       return plan.filters.viable(a).size() <
+                              plan.filters.viable(b).size();
+                     });
+  }
+  std::vector<std::size_t> position(nq, 0);
+  for (std::size_t d = 0; d < nq; ++d) position[plan.order[d]] = d;
+
+  plan.earlier.assign(nq, std::vector<FilterMatrix::Constrainer>{});
+  for (graph::NodeId v = 0; v < nq; ++v) {
+    for (const FilterMatrix::Constrainer& c : plan.filters.constrainersOf(v)) {
+      if (position[c.owner] < position[v]) plan.earlier[v].push_back(c);
+    }
+  }
+}
+
 }  // namespace
 
 std::uint64_t filterPlanBuilds() noexcept {
   return gPlanBuilds.load(std::memory_order_relaxed);
+}
+
+std::uint64_t filterPlanPatches() noexcept {
+  return gPlanPatches.load(std::memory_order_relaxed);
+}
+
+DeltaImpact classifyDelta(const Problem& problem, const ModelDelta& delta) {
+  if (delta.structural) return DeltaImpact::Rebuild;
+  if (delta.empty()) return DeltaImpact::Unaffected;
+
+  // Attribute references are static in the constraint language, so the set
+  // of attribute ids a plan can depend on is exact: a delta touching none of
+  // them is provably irrelevant. Anything else (including a problem whose
+  // constraints we cannot introspect) falls through to the patch/rebuild
+  // decision below.
+  std::vector<graph::AttrId> referenced;
+  const auto collect = [&referenced](const expr::Constraint* c) {
+    if (!c) return;
+    const std::vector<std::uint32_t>& used = c->program().attrsUsed();
+    referenced.insert(referenced.end(), used.begin(), used.end());
+  };
+  collect(problem.edgeConstraint());
+  collect(problem.nodeConstraint());
+  std::sort(referenced.begin(), referenced.end());
+  if (!delta.touchesAnyAttr(referenced)) return DeltaImpact::Unaffected;
+
+  // Patch cost scales with the affected host edges (touched + incident to
+  // touched nodes; affectedEdgeMask is the shared rule the patch itself
+  // uses); past a fraction of the host the parallel full rebuild wins, and
+  // a conservative cutoff also bounds the patch's worst case.
+  const graph::Graph& h = *problem.host;
+  std::vector<char> affected;
+  if (!affectedEdgeMask(h, delta, affected)) {
+    return DeltaImpact::Rebuild;  // foreign delta
+  }
+  std::size_t affectedCount = 0;
+  for (const char a : affected) affectedCount += a != 0;
+  if (affectedCount * kPatchEdgeShareDivisor > h.edgeCount()) {
+    return DeltaImpact::Rebuild;
+  }
+  return DeltaImpact::Patchable;
 }
 
 std::shared_ptr<const FilterPlan> FilterPlan::build(
@@ -24,30 +94,35 @@ std::shared_ptr<const FilterPlan> FilterPlan::build(
   SearchStats& stats = partial ? *partial : local;
   auto plan = std::make_shared<FilterPlan>();
   plan->filters = FilterMatrix::build(problem, options, stats, cancelled);
-
-  const std::size_t nq = problem.query->nodeCount();
-  plan->order.resize(nq);
-  std::iota(plan->order.begin(), plan->order.end(), 0);
-  if (options.staticOrdering) {
-    // Lemma 1: ascending candidate count minimizes the permutation tree.
-    std::stable_sort(plan->order.begin(), plan->order.end(),
-                     [&](graph::NodeId a, graph::NodeId b) {
-                       return plan->filters.viable(a).size() <
-                              plan->filters.viable(b).size();
-                     });
-  }
-  std::vector<std::size_t> position(nq, 0);
-  for (std::size_t d = 0; d < nq; ++d) position[plan->order[d]] = d;
-
-  plan->earlier.resize(nq);
-  for (graph::NodeId v = 0; v < nq; ++v) {
-    for (const FilterMatrix::Constrainer& c : plan->filters.constrainersOf(v)) {
-      if (position[c.owner] < position[v]) plan->earlier[v].push_back(c);
-    }
-  }
+  finalizeOrder(*plan, options, problem.query->nodeCount());
   plan->buildStats = stats;
   gPlanBuilds.fetch_add(1, std::memory_order_relaxed);
   return plan;
+}
+
+std::shared_ptr<const FilterPlan> FilterPlan::patch(
+    const FilterPlan& base, const Problem& problem, const SearchOptions& options,
+    const ModelDelta& delta, const std::function<bool()>& cancelled,
+    SearchStats* partial) {
+  SearchStats local;
+  SearchStats& stats = partial ? *partial : local;
+  auto plan = std::make_shared<FilterPlan>();
+  // Structural copy first (no constraint evaluations — the dominant rebuild
+  // cost), then splice the delta-affected cells in place. `base` stays
+  // untouched: in-flight searches against the old version keep their plan.
+  plan->filters = base.filters;
+  plan->filters.patch(problem, options, delta, stats, cancelled);
+  finalizeOrder(*plan, options, problem.query->nodeCount());
+  plan->buildStats = stats;
+  gPlanPatches.fetch_add(1, std::memory_order_relaxed);
+  return plan;
+}
+
+bool SharedPlanBuilder::mergeDelta(const ModelDelta& later) {
+  std::lock_guard lock(mutex_);
+  if (plan_ || error_ || building_ || !patchSource_) return false;
+  patchSource_->delta.merge(later);
+  return true;
 }
 
 SharedPlanBuilder::Acquired SharedPlanBuilder::get(
@@ -59,10 +134,32 @@ SharedPlanBuilder::Acquired SharedPlanBuilder::get(
     if (error_) std::rethrow_exception(error_);
     if (!building_) {
       building_ = true;
+      // Copied out so the (lock-free) resolution below reads stable data;
+      // mergeDelta refuses to touch the source while building_ is set.
+      const std::optional<PatchSource> source = patchSource_;
       lock.unlock();
       std::shared_ptr<const FilterPlan> built;
+      bool builtHere = true;
       try {
-        built = FilterPlan::build(problem, options, cancelled, partial);
+        if (source) {
+          switch (classifyDelta(problem, source->delta)) {
+            case DeltaImpact::Unaffected:
+              // Provably identical candidate sets: the inherited plan IS the
+              // plan for this version. No build, no patch, no cost.
+              built = source->base;
+              builtHere = false;
+              break;
+            case DeltaImpact::Patchable:
+              built = FilterPlan::patch(*source->base, problem, options,
+                                        source->delta, cancelled, partial);
+              break;
+            case DeltaImpact::Rebuild:
+              built = FilterPlan::build(problem, options, cancelled, partial);
+              break;
+          }
+        } else {
+          built = FilterPlan::build(problem, options, cancelled, partial);
+        }
       } catch (const FilterBuildCancelled&) {
         // This consumer was told to stop; the build itself is still wanted.
         // Release the builder role so a live waiter can take over.
@@ -91,8 +188,9 @@ SharedPlanBuilder::Acquired SharedPlanBuilder::get(
       lock.lock();
       building_ = false;
       plan_ = std::move(built);
+      patchSource_.reset();  // the base plan is no longer needed
       cv_.notify_all();
-      return {plan_, /*builtHere=*/true};
+      return {plan_, builtHere};
     }
     // Someone else is building: wait, but keep honoring our own cancellation
     // (a portfolio loser waiting on the winner-to-be's build must still die).

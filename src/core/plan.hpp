@@ -24,13 +24,36 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
+#include "core/delta.hpp"
 #include "core/filter.hpp"
 #include "core/problem.hpp"
 #include "core/search.hpp"
 
 namespace netembed::core {
+
+/// How a host-model delta relates to a stage-1 plan for `problem`.
+enum class DeltaImpact : std::uint8_t {
+  /// No constraint reads any changed attribute (attribute references are
+  /// static in the expression language, so this is provable): the candidate
+  /// sets cannot have moved and the old plan serves the new version as-is.
+  Unaffected,
+  /// Bounded incremental re-evaluation pays: patch the plan.
+  Patchable,
+  /// Structural change, or the delta reaches too much of the host for a
+  /// patch to beat a (parallel) rebuild: fall back to a full build.
+  Rebuild,
+};
+
+/// Conservative patch-vs-rebuild threshold: a delta whose affected host
+/// edges (touched edges + edges incident to touched nodes) exceed 1/this of
+/// the host's edge count is classified Rebuild.
+inline constexpr std::size_t kPatchEdgeShareDivisor = 4;
+
+[[nodiscard]] DeltaImpact classifyDelta(const Problem& problem,
+                                        const ModelDelta& delta);
 
 /// Immutable per-instance setup shared by every filtered search: stage-1
 /// filters, Lemma-1 static order, and for each query node the constrainers
@@ -51,12 +74,31 @@ struct FilterPlan {
   [[nodiscard]] static std::shared_ptr<const FilterPlan> build(
       const Problem& problem, const SearchOptions& options,
       const std::function<bool()>& cancelled = {}, SearchStats* partial = nullptr);
+
+  /// Derive the plan for a mutated host from `base` (built against the
+  /// pre-mutation host) by re-evaluating only the delta-affected filter
+  /// cells, then recomputing the Lemma-1 order and constrainer index exactly
+  /// as build() would — the result is candidate-set- and order-identical to
+  /// a from-scratch build against `problem.host`. The caller must have
+  /// classified the delta Patchable (or Unaffected, where reusing `base`
+  /// directly is cheaper still). Throws like build(); `base` is never
+  /// modified.
+  [[nodiscard]] static std::shared_ptr<const FilterPlan> patch(
+      const FilterPlan& base, const Problem& problem, const SearchOptions& options,
+      const ModelDelta& delta, const std::function<bool()>& cancelled = {},
+      SearchStats* partial = nullptr);
 };
 
 /// Process-wide count of *completed* FilterPlan builds. Test and bench hook:
 /// a portfolio race or a same-signature batch asserts sharing by taking the
 /// counter delta around the run.
 [[nodiscard]] std::uint64_t filterPlanBuilds() noexcept;
+
+/// Process-wide count of completed FilterPlan::patch calls — the
+/// incremental-update twin of filterPlanBuilds(): a monitoring-style version
+/// bump that re-keys cached plans shows up here instead of in the build
+/// counter.
+[[nodiscard]] std::uint64_t filterPlanPatches() noexcept;
 
 /// One lazily-built FilterPlan shared by several consumers.
 ///
@@ -77,6 +119,28 @@ class SharedPlanBuilder {
   /// Pre-resolved builder: every get() returns `plan` without building.
   explicit SharedPlanBuilder(std::shared_ptr<const FilterPlan> plan)
       : plan_(std::move(plan)) {}
+
+  /// A plan inherited across a model-version bump: `base` was built against
+  /// the pre-delta host. The first get() resolves it against its caller's
+  /// (post-delta) problem — reusing `base` outright when classifyDelta says
+  /// Unaffected, patching when Patchable, falling back to a full build when
+  /// Rebuild. The service plan cache re-keys entries with this instead of
+  /// invalidating them.
+  struct PatchSource {
+    std::shared_ptr<const FilterPlan> base;
+    ModelDelta delta;
+  };
+  explicit SharedPlanBuilder(PatchSource source)
+      : patchSource_(std::move(source)) {}
+
+  /// Fold a later delta into an unresolved patch source, so one builder can
+  /// absorb several version bumps before anyone asks for the plan. Returns
+  /// false — the caller must drop or replace the builder — once resolution
+  /// started (plan built / building / failed) or there is no patch source.
+  /// The cache calls this only on builders it exclusively owns: merging
+  /// under the feet of an in-flight get() would hand that caller a plan for
+  /// a different version than its snapshot.
+  [[nodiscard]] bool mergeDelta(const ModelDelta& later);
 
   struct Acquired {
     std::shared_ptr<const FilterPlan> plan;
@@ -105,6 +169,7 @@ class SharedPlanBuilder {
   std::shared_ptr<const FilterPlan> plan_;  // set at most once
   std::exception_ptr error_;                // sticky failure (FilterOverflow)
   bool building_ = false;
+  std::optional<PatchSource> patchSource_;  // cleared once plan_ resolves
 };
 
 }  // namespace netembed::core

@@ -1,5 +1,6 @@
 #include "expr/compile.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -208,6 +209,13 @@ Program compile(const Ast& ast) {
   program.stringPool_ = std::move(buffers.stringPool);
   program.objectsUsed_ = buffers.objectsUsed;
   program.maxStack_ = buffers.maxStack;
+  for (const Instr& instr : program.code_) {
+    if (instr.op == OpCode::PushAttr) program.attrsUsed_.push_back(instr.b);
+  }
+  std::sort(program.attrsUsed_.begin(), program.attrsUsed_.end());
+  program.attrsUsed_.erase(
+      std::unique(program.attrsUsed_.begin(), program.attrsUsed_.end()),
+      program.attrsUsed_.end());
   return program;
 }
 

@@ -44,6 +44,13 @@ class Program {
   [[nodiscard]] const std::vector<Instr>& code() const noexcept { return code_; }
   [[nodiscard]] const std::vector<Value>& constants() const noexcept { return constants_; }
   [[nodiscard]] std::uint32_t objectsUsed() const noexcept { return objectsUsed_; }
+  /// Interned attribute ids this program reads (sorted ascending, unique).
+  /// Attribute references are static in the language, so this is exact: a
+  /// host mutation touching none of these ids cannot change any evaluation —
+  /// the incremental-plan layer uses that to prove a delta irrelevant.
+  [[nodiscard]] const std::vector<std::uint32_t>& attrsUsed() const noexcept {
+    return attrsUsed_;
+  }
   [[nodiscard]] std::size_t maxStackDepth() const noexcept { return maxStack_; }
 
   /// Human-readable disassembly, for tests and debugging.
@@ -55,6 +62,7 @@ class Program {
   std::vector<Value> constants_;
   std::vector<std::unique_ptr<std::string>> stringPool_;  // owns string constants
   std::uint32_t objectsUsed_ = 0;
+  std::vector<std::uint32_t> attrsUsed_;
   std::size_t maxStack_ = 0;
 };
 

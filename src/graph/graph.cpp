@@ -1,19 +1,63 @@
 #include "graph/graph.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace netembed::graph {
+
+Graph::Graph(bool directed)
+    : directed_(directed), topo_(std::make_shared<Topo>()) {
+  // Any graph that can be moved from was constructed first, so touching the
+  // shared empty block here guarantees the noexcept moves below never hit
+  // its (allocating) first-use initialization.
+  (void)emptyTopo();
+}
+
+const std::shared_ptr<Graph::Topo>& Graph::emptyTopo() noexcept {
+  // The block every moved-from Graph points at. Held here forever, so its
+  // use_count is always >= 2 while any graph references it — topoMut()
+  // therefore always clones before the first structural mutation.
+  static const std::shared_ptr<Topo> empty = std::make_shared<Topo>();
+  return empty;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : directed_(other.directed_),
+      topo_(std::exchange(other.topo_, emptyTopo())),
+      nodeAttrs_(std::move(other.nodeAttrs_)),
+      edgeAttrs_(std::move(other.edgeAttrs_)),
+      graphAttrs_(std::move(other.graphAttrs_)) {}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this == &other) return *this;
+  directed_ = other.directed_;
+  topo_ = std::exchange(other.topo_, emptyTopo());
+  nodeAttrs_ = std::move(other.nodeAttrs_);
+  edgeAttrs_ = std::move(other.edgeAttrs_);
+  graphAttrs_ = std::move(other.graphAttrs_);
+  return *this;
+}
+
+Graph::Topo& Graph::topoMut() {
+  // Structural copy-on-write: the topology block is immutable while shared
+  // with another Graph copy (a published service snapshot), so a structural
+  // mutation on this copy clones it first. Attribute-only mutations never
+  // come through here.
+  if (topo_.use_count() > 1) topo_ = std::make_shared<Topo>(*topo_);
+  return *topo_;
+}
 
 NodeId Graph::addNode(std::string name) {
   const auto id = static_cast<NodeId>(nodeAttrs_.size());
   if (name.empty()) name = "n" + std::to_string(id);
-  const auto [it, inserted] = byName_.try_emplace(name, id);
+  Topo& topo = topoMut();
+  const auto [it, inserted] = topo.byName.try_emplace(name, id);
   (void)it;
   if (!inserted) throw std::invalid_argument("Graph: duplicate node name '" + name + "'");
-  nodeAttrs_.emplace_back();
-  names_.push_back(std::move(name));
-  out_.emplace_back();
-  if (directed_) in_.emplace_back();
+  nodeAttrs_.push_back(AttrMap{});
+  topo.names.push_back(std::move(name));
+  topo.out.emplace_back();
+  if (directed_) topo.in.emplace_back();
   return id;
 }
 
@@ -31,25 +75,26 @@ EdgeId Graph::addEdge(NodeId u, NodeId v) {
   checkNode(v);
   if (u == v) throw std::invalid_argument("Graph: self-loops are not allowed");
   const std::uint64_t key = edgeKey(u, v);
-  if (edgeIndex_.count(key) != 0) {
-    throw std::invalid_argument("Graph: duplicate edge (" + names_[u] + ", " +
-                                names_[v] + ")");
+  Topo& topo = topoMut();
+  if (topo.edgeIndex.count(key) != 0) {
+    throw std::invalid_argument("Graph: duplicate edge (" + topo.names[u] + ", " +
+                                topo.names[v] + ")");
   }
-  const auto id = static_cast<EdgeId>(edges_.size());
-  edges_.push_back({u, v});
-  edgeAttrs_.emplace_back();
-  edgeIndex_.emplace(key, id);
-  out_[u].push_back({v, id});
+  const auto id = static_cast<EdgeId>(topo.edges.size());
+  topo.edges.push_back({u, v});
+  edgeAttrs_.push_back(AttrMap{});
+  topo.edgeIndex.emplace(key, id);
+  topo.out[u].push_back({v, id});
   if (directed_) {
-    in_[v].push_back({u, id});
+    topo.in[v].push_back({u, id});
   } else {
-    out_[v].push_back({u, id});
+    topo.out[v].push_back({u, id});
   }
   return id;
 }
 
 NodeId Graph::edgeOther(EdgeId e, NodeId n) const {
-  const EdgeRec& rec = edges_.at(e);
+  const EdgeRec& rec = edgeRec(e);
   if (rec.src == n) return rec.dst;
   if (rec.dst == n) return rec.src;
   throw std::invalid_argument("Graph: node is not an endpoint of edge");
@@ -57,14 +102,14 @@ NodeId Graph::edgeOther(EdgeId e, NodeId n) const {
 
 std::optional<EdgeId> Graph::findEdge(NodeId u, NodeId v) const {
   if (u >= nodeCount() || v >= nodeCount()) return std::nullopt;
-  const auto it = edgeIndex_.find(edgeKey(u, v));
-  if (it == edgeIndex_.end()) return std::nullopt;
+  const auto it = topo_->edgeIndex.find(edgeKey(u, v));
+  if (it == topo_->edgeIndex.end()) return std::nullopt;
   return it->second;
 }
 
 std::optional<NodeId> Graph::findNode(std::string_view name) const {
-  const auto it = byName_.find(std::string(name));
-  if (it == byName_.end()) return std::nullopt;
+  const auto it = topo_->byName.find(std::string(name));
+  if (it == topo_->byName.end()) return std::nullopt;
   return it->second;
 }
 
@@ -73,6 +118,15 @@ double Graph::density() const noexcept {
   if (n < 2) return 0.0;
   const double pairs = directed_ ? n * (n - 1) : n * (n - 1) / 2.0;
   return static_cast<double>(edgeCount()) / pairs;
+}
+
+Graph Graph::detachedCopy() const {
+  Graph out(directed_);
+  out.topo_ = std::make_shared<Topo>(*topo_);
+  out.nodeAttrs_ = nodeAttrs_.detached();
+  out.edgeAttrs_ = edgeAttrs_.detached();
+  out.graphAttrs_ = graphAttrs_;
+  return out;
 }
 
 }  // namespace netembed::graph

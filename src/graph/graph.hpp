@@ -8,8 +8,20 @@
 //     graphs the adjacency is symmetric and findEdge is orientation-blind.
 // Self-loops and parallel edges are rejected: a mapping is injective on
 // nodes, so neither can ever participate in a feasible embedding.
+//
+// Copies share structure. The topology (edge records, adjacency, the edge
+// and name hash indexes) lives behind one shared immutable block, and the
+// node/edge attribute maps live in copy-on-write chunks (util::CowChunks):
+// copying a Graph is O(elements / 64) pointer copies, and mutating an
+// attribute on one copy clones only that element's 64-entry chunk. This is
+// what makes the service's per-mutation host snapshots cheap — the
+// high-frequency-monitoring case the paper's "service" framing implies.
+// The usual container rule applies: concurrent reads of any copies are
+// fine; mutating one *object* while another thread copies or reads that
+// same object needs external synchronization.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -17,6 +29,7 @@
 #include <vector>
 
 #include "graph/attr_map.hpp"
+#include "util/cow.hpp"
 
 namespace netembed::graph {
 
@@ -35,11 +48,22 @@ struct Neighbor {
 
 class Graph {
  public:
-  explicit Graph(bool directed = false) : directed_(directed) {}
+  explicit Graph(bool directed = false);
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  // A moved-from Graph stays a valid empty graph (as it was before the
+  // structural-sharing refactor): the default move would null topo_ and
+  // leave every structural accessor dereferencing nothing. The moved-from
+  // side receives a process-wide immutable empty topology block — never
+  // allocated in the move, never mutated through (topoMut() sees it shared
+  // and clones first).
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
 
   [[nodiscard]] bool directed() const noexcept { return directed_; }
   [[nodiscard]] std::size_t nodeCount() const noexcept { return nodeAttrs_.size(); }
-  [[nodiscard]] std::size_t edgeCount() const noexcept { return edges_.size(); }
+  [[nodiscard]] std::size_t edgeCount() const noexcept { return topo_->edges.size(); }
 
   /// Adds a node; an empty name is replaced by "n<id>". Names must be unique.
   NodeId addNode(std::string name = {});
@@ -48,39 +72,46 @@ class Graph {
   /// duplicate edge, or out-of-range endpoints.
   EdgeId addEdge(NodeId u, NodeId v);
 
-  [[nodiscard]] NodeId edgeSource(EdgeId e) const { return edges_.at(e).src; }
-  [[nodiscard]] NodeId edgeTarget(EdgeId e) const { return edges_.at(e).dst; }
+  [[nodiscard]] NodeId edgeSource(EdgeId e) const { return edgeRec(e).src; }
+  [[nodiscard]] NodeId edgeTarget(EdgeId e) const { return edgeRec(e).dst; }
 
   /// The endpoint of `e` that is not `n` (n must be an endpoint).
   [[nodiscard]] NodeId edgeOther(EdgeId e, NodeId n) const;
 
-  [[nodiscard]] AttrMap& nodeAttrs(NodeId n) { return nodeAttrs_.at(n); }
+  /// Mutable attribute access copies-on-write: the element's chunk is cloned
+  /// when shared with another Graph copy, so the write never leaks into a
+  /// published snapshot. Don't hold the reference across a copy of this
+  /// graph or another mutation — take it, write, drop it.
+  [[nodiscard]] AttrMap& nodeAttrs(NodeId n) { return nodeAttrs_.mutate(n); }
   [[nodiscard]] const AttrMap& nodeAttrs(NodeId n) const { return nodeAttrs_.at(n); }
-  [[nodiscard]] AttrMap& edgeAttrs(EdgeId e) { return edgeAttrs_.at(e); }
+  [[nodiscard]] AttrMap& edgeAttrs(EdgeId e) { return edgeAttrs_.mutate(e); }
   [[nodiscard]] const AttrMap& edgeAttrs(EdgeId e) const { return edgeAttrs_.at(e); }
 
   /// Out-adjacency for directed graphs, full adjacency for undirected.
   [[nodiscard]] std::span<const Neighbor> neighbors(NodeId n) const {
-    return out_.at(n);
+    return topo_->out.at(n);
   }
   /// In-adjacency; only meaningful for directed graphs (empty otherwise).
   [[nodiscard]] std::span<const Neighbor> inNeighbors(NodeId n) const {
-    return directed_ ? std::span<const Neighbor>(in_.at(n)) : std::span<const Neighbor>();
+    return directed_ ? std::span<const Neighbor>(topo_->in.at(n))
+                     : std::span<const Neighbor>();
   }
 
   [[nodiscard]] std::size_t degree(NodeId n) const {
-    return out_.at(n).size() + (directed_ ? in_.at(n).size() : 0);
+    return topo_->out.at(n).size() + (directed_ ? topo_->in.at(n).size() : 0);
   }
-  [[nodiscard]] std::size_t outDegree(NodeId n) const { return out_.at(n).size(); }
+  [[nodiscard]] std::size_t outDegree(NodeId n) const { return topo_->out.at(n).size(); }
   [[nodiscard]] std::size_t inDegree(NodeId n) const {
-    return directed_ ? in_.at(n).size() : out_.at(n).size();
+    return directed_ ? topo_->in.at(n).size() : topo_->out.at(n).size();
   }
 
   /// Directed: edge u->v. Undirected: edge {u,v} in either orientation.
   [[nodiscard]] std::optional<EdgeId> findEdge(NodeId u, NodeId v) const;
   [[nodiscard]] bool hasEdge(NodeId u, NodeId v) const { return findEdge(u, v).has_value(); }
 
-  [[nodiscard]] const std::string& nodeName(NodeId n) const { return names_.at(n); }
+  [[nodiscard]] const std::string& nodeName(NodeId n) const {
+    return topo_->names.at(n);
+  }
   [[nodiscard]] std::optional<NodeId> findNode(std::string_view name) const;
 
   /// Graph-level attributes (e.g. generator provenance).
@@ -91,24 +122,46 @@ class Graph {
   /// each unordered pair once; 0 for |V| < 2.
   [[nodiscard]] double density() const noexcept;
 
+  /// A structurally independent deep copy: no shared topology, no shared
+  /// attribute chunks. This is the pre-structural-sharing snapshot cost,
+  /// kept for callers that want a mutation-isolated private graph (and as
+  /// the baseline the mutation bench compares overlay snapshots against).
+  [[nodiscard]] Graph detachedCopy() const;
+
+  /// True when this graph currently shares its topology block with another
+  /// copy (test/diagnostic hook).
+  [[nodiscard]] bool sharesTopology() const noexcept {
+    return topo_.use_count() > 1;
+  }
+
  private:
   struct EdgeRec {
     NodeId src;
     NodeId dst;
   };
 
+  /// Everything structural: immutable while shared. addNode/addEdge clone it
+  /// first when another Graph copy still references it.
+  struct Topo {
+    std::vector<EdgeRec> edges;
+    std::vector<std::string> names;
+    std::unordered_map<std::string, NodeId> byName;
+    std::vector<std::vector<Neighbor>> out;
+    std::vector<std::vector<Neighbor>> in;  // directed only
+    std::unordered_map<std::uint64_t, EdgeId> edgeIndex;
+  };
+
+  [[nodiscard]] const EdgeRec& edgeRec(EdgeId e) const { return topo_->edges.at(e); }
+  [[nodiscard]] Topo& topoMut();
+  [[nodiscard]] static const std::shared_ptr<Topo>& emptyTopo() noexcept;
+
   [[nodiscard]] std::uint64_t edgeKey(NodeId u, NodeId v) const noexcept;
   void checkNode(NodeId n) const;
 
   bool directed_;
-  std::vector<AttrMap> nodeAttrs_;
-  std::vector<std::string> names_;
-  std::unordered_map<std::string, NodeId> byName_;
-  std::vector<EdgeRec> edges_;
-  std::vector<AttrMap> edgeAttrs_;
-  std::vector<std::vector<Neighbor>> out_;
-  std::vector<std::vector<Neighbor>> in_;  // directed only
-  std::unordered_map<std::uint64_t, EdgeId> edgeIndex_;
+  std::shared_ptr<Topo> topo_;
+  util::CowChunks<AttrMap> nodeAttrs_;
+  util::CowChunks<AttrMap> edgeAttrs_;
   AttrMap graphAttrs_;
 };
 

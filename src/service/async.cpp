@@ -145,6 +145,22 @@ void AsyncNetEmbedService::release(NetworkModel::ReservationId id) {
   publishSnapshotLocked();
 }
 
+void AsyncNetEmbedService::publishSnapshotLocked() {
+  // Structural sharing: the Graph copy shares its topology block and every
+  // untouched attribute chunk with the model's live host, so a snapshot
+  // costs O(elements / chunk) pointer copies — not the former deep copy.
+  // Queries in flight keep reading the snapshot they pinned.
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->host = std::make_shared<const graph::Graph>(model_.host());
+  snapshot->version = model_.version();
+  // Announce the mutation to the plan cache *before* the new snapshot
+  // becomes visible (both happen under modelMutex_, which currentSnapshot()
+  // also takes): cached stage-1 plans are carried across the bump as lazy
+  // patch sources instead of being invalidated wholesale.
+  planCache_.applyDelta(model_.version(), model_.lastDelta());
+  snapshot_ = std::move(snapshot);
+}
+
 std::size_t AsyncNetEmbedService::activeReservations() const {
   std::lock_guard lock(modelMutex_);
   return model_.activeReservations();
@@ -179,13 +195,5 @@ AsyncNetEmbedService::currentSnapshot() const {
   return snapshot_;
 }
 
-void AsyncNetEmbedService::publishSnapshotLocked() {
-  // Copy-on-write: queries in flight keep reading the snapshot they pinned;
-  // this copy is what makes reservations safe beside unsynchronized reads.
-  auto snapshot = std::make_shared<Snapshot>();
-  snapshot->host = std::make_shared<const graph::Graph>(model_.host());
-  snapshot->version = model_.version();
-  snapshot_ = std::move(snapshot);
-}
 
 }  // namespace netembed::service

@@ -13,15 +13,22 @@
 // Concurrency model:
 //  * Queries never touch the live NetworkModel. Every mutation (reservation,
 //    release, measurement batch) happens under a mutex and publishes an
-//    immutable copy-on-write snapshot {host graph, version}; a worker picks
-//    the newest snapshot when its request starts executing and runs against
-//    it unsynchronized. EmbedResponse::modelVersion records exactly which
-//    snapshot answered the query.
+//    immutable snapshot {host graph, version} with *structural sharing*: the
+//    graph copy shares its topology block and all untouched attribute chunks
+//    with the live model (see graph::Graph), so a monitoring update costs
+//    O(delta), not O(|host|). A worker picks the newest snapshot when its
+//    request starts executing and runs against it unsynchronized.
+//    EmbedResponse::modelVersion records exactly which snapshot answered the
+//    query.
 //  * Stage-1 plans are shared through a FilterPlanCache keyed by
 //    (snapshot version, query signature): concurrent same-signature requests
 //    — a batch of identical queries — perform exactly one FilterMatrix
-//    build. Version bumps invalidate the cache, so a plan never crosses a
-//    mutation.
+//    build. Mutations are announced to the cache as ModelDeltas
+//    (NetworkModel::lastDelta): cached plans are re-keyed to the new version
+//    and lazily reused as-is (delta provably irrelevant to the constraints),
+//    patched (only the delta-affected filter cells re-evaluated), or rebuilt
+//    (structural / oversized delta) on their next use — so a version bump no
+//    longer costs every query a from-scratch stage-1 build.
 //  * Queued requests do NOT auto-escalate to the racing portfolio: the
 //    scheduler already keeps every core busy with distinct requests, so each
 //    runs the single §VIII-predicted engine. An explicit

@@ -13,6 +13,9 @@ NetworkModel& NetworkModel::operator=(NetworkModel other) noexcept {
   nextId_ = other.nextId_;
   reservations_ = std::move(other.reservations_);
   version_ = floor;
+  // A wholesale replacement has no bounded footprint: structural.
+  lastDelta_.clear();
+  lastDelta_.structural = true;
   return *this;
 }
 
@@ -20,23 +23,34 @@ void NetworkModel::setEdgeMetric(graph::NodeId u, graph::NodeId v,
                                  std::string_view attr, graph::AttrValue value) {
   const auto e = host_.findEdge(u, v);
   if (!e) throw std::invalid_argument("NetworkModel: no such edge");
-  host_.edgeAttrs(*e).set(attr, std::move(value));
+  const graph::AttrId id = graph::attrId(attr);
+  host_.edgeAttrs(*e).set(id, std::move(value));
+  lastDelta_.clear();
+  lastDelta_.touchEdge(*e, id);
+  lastDelta_.normalize();
   ++version_;
 }
 
 void NetworkModel::setNodeAttr(graph::NodeId n, std::string_view attr,
                                graph::AttrValue value) {
-  host_.nodeAttrs(n).set(attr, std::move(value));
+  const graph::AttrId id = graph::attrId(attr);
+  host_.nodeAttrs(n).set(id, std::move(value));
+  lastDelta_.clear();
+  lastDelta_.touchNode(n, id);
+  lastDelta_.normalize();
   ++version_;
 }
 
 std::size_t NetworkModel::applyMeasurements(std::span<const Measurement> batch) {
   std::size_t applied = 0;
+  core::ModelDelta delta;
   for (const Measurement& m : batch) {
     const auto src = host_.findNode(m.src);
     if (!src) continue;
+    const graph::AttrId id = graph::attrId(m.attr);
     if (m.dst.empty()) {
-      host_.nodeAttrs(*src).set(m.attr, m.value);
+      host_.nodeAttrs(*src).set(id, m.value);
+      delta.touchNode(*src, id);
       ++applied;
       continue;
     }
@@ -44,10 +58,15 @@ std::size_t NetworkModel::applyMeasurements(std::span<const Measurement> batch) 
     if (!dst) continue;
     const auto e = host_.findEdge(*src, *dst);
     if (!e) continue;
-    host_.edgeAttrs(*e).set(m.attr, m.value);
+    host_.edgeAttrs(*e).set(id, m.value);
+    delta.touchEdge(*e, id);
     ++applied;
   }
-  if (applied > 0) ++version_;
+  if (applied > 0) {
+    delta.normalize();
+    lastDelta_ = std::move(delta);
+    ++version_;
+  }
   return applied;
 }
 
@@ -100,11 +119,19 @@ NetworkModel::ReservationId NetworkModel::reserve(const graph::Graph& query,
                                graph::attrName(d.attr) + "' capacity");
     }
   }
+  lastDelta_.clear();
   for (const Delta& d : deltas) {
     graph::AttrMap& attrs =
         d.onNode ? host_.nodeAttrs(d.element) : host_.edgeAttrs(d.element);
     attrs.set(d.attr, attrs.get(d.attr)->asDouble() - d.amount);
+    if (d.onNode) {
+      lastDelta_.touchNode(d.element, d.attr);
+    } else {
+      lastDelta_.touchEdge(d.element, d.attr);
+    }
   }
+
+  lastDelta_.normalize();
 
   const ReservationId id = nextId_++;
   reservations_.emplace(id, std::move(deltas));
@@ -117,13 +144,20 @@ void NetworkModel::release(ReservationId id) {
   if (it == reservations_.end()) {
     throw std::invalid_argument("NetworkModel::release: unknown reservation");
   }
+  lastDelta_.clear();
   for (const Delta& d : it->second) {
     graph::AttrMap& attrs =
         d.onNode ? host_.nodeAttrs(d.element) : host_.edgeAttrs(d.element);
     const graph::AttrValue* current = attrs.get(d.attr);
     const double base = current && current->isNumeric() ? current->asDouble() : 0.0;
     attrs.set(d.attr, base + d.amount);
+    if (d.onNode) {
+      lastDelta_.touchNode(d.element, d.attr);
+    } else {
+      lastDelta_.touchEdge(d.element, d.attr);
+    }
   }
+  lastDelta_.normalize();
   reservations_.erase(it);
   ++version_;
 }

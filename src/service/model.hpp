@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/delta.hpp"
 #include "core/search.hpp"
 #include "graph/graph.hpp"
 
@@ -33,6 +34,16 @@ class NetworkModel {
   /// replicas detect staleness (paper §III: "an up-to-date copy of the model
   /// on each server").
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// The delta the most recent version bump applied: which host nodes/edges
+  /// were touched and which attribute ids changed (structural for a
+  /// wholesale model replacement). Consumers that carry derived state across
+  /// versions — the service's FilterPlanCache patching stage-1 plans instead
+  /// of rebuilding them — read this right after mutating, under the same
+  /// synchronization as the mutation itself. Empty before any mutation.
+  [[nodiscard]] const core::ModelDelta& lastDelta() const noexcept {
+    return lastDelta_;
+  }
 
   // --- monitoring updates ---------------------------------------------------
 
@@ -88,6 +99,7 @@ class NetworkModel {
 
   graph::Graph host_;
   std::uint64_t version_ = 0;
+  core::ModelDelta lastDelta_;
   ReservationId nextId_ = 1;
   std::map<ReservationId, std::vector<Delta>> reservations_;
 };

@@ -130,6 +130,43 @@ std::shared_ptr<core::SharedPlanBuilder> FilterPlanCache::acquire(
   return builder;
 }
 
+void FilterPlanCache::applyDelta(std::uint64_t newVersion,
+                                 const core::ModelDelta& delta) {
+  std::lock_guard lock(mutex_);
+  if (capacity_ == 0) return;
+  if (newVersion <= version_) return;  // duplicate / out-of-order announcement
+  version_ = newVersion;
+  if (delta.structural) {
+    stats_.invalidations += entries_.size();
+    entries_.clear();
+    lru_.clear();
+    return;
+  }
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& entry = it->second;
+    if (auto plan = entry.builder->ready()) {
+      // Completed plan: re-wrap as a lazy patch source. The old builder (and
+      // the old plan, through any in-flight search) lives on unharmed.
+      entry.builder = std::make_shared<core::SharedPlanBuilder>(
+          core::SharedPlanBuilder::PatchSource{std::move(plan), delta});
+      ++stats_.rekeys;
+      ++it;
+    } else if (entry.builder.use_count() == 1 && entry.builder->mergeDelta(delta)) {
+      // A patch source from an earlier bump that nobody has asked for yet:
+      // exclusively ours, so the deltas accumulate into one future patch.
+      ++stats_.rekeys;
+      ++it;
+    } else {
+      // No completed plan and the builder may be in an in-flight get()
+      // against the old version — mutating it would hand that caller a plan
+      // for the wrong version. Dropping is the only safe carry.
+      lru_.erase(entry.lruPos);
+      ++stats_.invalidations;
+      it = entries_.erase(it);
+    }
+  }
+}
+
 FilterPlanCache::Stats FilterPlanCache::stats() const {
   std::lock_guard lock(mutex_);
   Stats out = stats_;

@@ -8,13 +8,19 @@
 // miss together still share, because they receive the same builder *before*
 // the build completes and the builder serializes it.
 //
-// Invalidation: the cache only ever holds entries for the newest model
-// version it has seen. An acquire() with a newer version drops every older
-// entry (reservations and monitoring updates bump NetworkModel::version(),
-// and a plan built against the old attribute values must never serve a query
-// against the new ones). An acquire() with an *older* version — a racing
-// reader that sampled the version just before a bump — gets a private,
-// uncached builder: correct for its snapshot, invisible to everyone else.
+// Invalidation vs. re-keying: the cache only ever holds entries for the
+// newest model version it has seen. A mutation announced through
+// applyDelta() *carries* entries across the bump instead of dropping them —
+// each completed plan is re-wrapped in a SharedPlanBuilder::PatchSource so
+// its next consumer reuses it outright (delta provably irrelevant), patches
+// it (bounded re-evaluation of the delta-affected cells), or rebuilds
+// (structural / oversized delta), per core::classifyDelta. An acquire() with
+// a newer version than any announced delta falls back to the historical
+// behavior and drops every older entry (a mutation happened behind the
+// cache's back, so no delta chain exists). An acquire() with an *older*
+// version — a racing reader that sampled the version just before a bump —
+// gets a private, uncached builder: correct for its snapshot, invisible to
+// everyone else.
 
 #include <cstdint>
 #include <list>
@@ -53,6 +59,8 @@ class FilterPlanCache {
     std::uint64_t invalidations = 0; // entries dropped by version bumps
     std::uint64_t evictions = 0;     // entries dropped by capacity
     std::uint64_t bypasses = 0;      // stale-version acquires served uncached
+    std::uint64_t rekeys = 0;        // entries carried across a version bump
+                                     // by applyDelta (reuse/patch on demand)
     std::size_t size = 0;            // current entry count
   };
 
@@ -64,6 +72,20 @@ class FilterPlanCache {
   /// signature against `modelVersion`. Never returns nullptr.
   [[nodiscard]] std::shared_ptr<core::SharedPlanBuilder> acquire(
       std::uint64_t modelVersion, std::string signature);
+
+  /// Announce a model mutation: `newVersion` is the post-mutation version,
+  /// `delta` its footprint (NetworkModel::lastDelta). Cached plans are
+  /// re-keyed to the new version as lazy patch sources instead of being
+  /// invalidated; entries whose plan never completed — and is possibly still
+  /// being built by an in-flight query against the old version — are
+  /// dropped, unless this cache exclusively owns the builder, in which case
+  /// the delta is folded into its pending patch source (so back-to-back
+  /// mutations with no query in between accumulate into one patch). A
+  /// structural delta drops everything. Call under the same synchronization
+  /// that ordered the mutation *before* publishing the new version to
+  /// queries, so no acquire(newVersion) can race ahead and trigger the
+  /// no-delta invalidation path.
+  void applyDelta(std::uint64_t newVersion, const core::ModelDelta& delta);
 
   [[nodiscard]] Stats stats() const;
   void clear();

@@ -183,6 +183,15 @@ class BitMatrix {
     words_[r * wordsPerRow_ + c / kBitsPerWord] |= std::uint64_t{1}
                                                    << (c % kBitsPerWord);
   }
+  void reset(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    words_[r * wordsPerRow_ + c / kBitsPerWord] &=
+        ~(std::uint64_t{1} << (c % kBitsPerWord));
+  }
+  /// Write one bit (named distinctly from assign(rows, cols), which resizes).
+  void setTo(std::size_t r, std::size_t c, bool value) noexcept {
+    value ? set(r, c) : reset(r, c);
+  }
 
  private:
   std::size_t rows_ = 0;

@@ -1,0 +1,123 @@
+#pragma once
+// Chunked copy-on-write storage: the structural-sharing primitive behind
+// cheap host-graph snapshots.
+//
+// A CowChunks<T> behaves like a vector<T> whose elements live in fixed-size
+// chunks, each held through a shared_ptr. Copying the container copies only
+// the chunk-pointer table (one pointer per kChunkSize elements), so two
+// copies share every chunk until one of them mutates an element — mutate()
+// then clones just that element's chunk. A monitoring update that touches
+// one host attribute therefore costs O(kChunkSize) element copies plus an
+// O(size / kChunkSize) pointer-table copy at snapshot time, instead of the
+// former O(size) deep copy of every attribute map.
+//
+// Thread-safety contract (the usual C++ container rule): concurrent const
+// reads of any number of copies are safe; mutating one object while another
+// thread copies or mutates *that same object* requires external
+// synchronization (the service's model mutex). Distinct copies may be read
+// and mutated from different threads freely — mutation never writes a chunk
+// another copy can observe (use_count tracking makes the clone decision
+// under the mutating object's exclusive access).
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace netembed::util {
+
+template <class T>
+class CowChunks {
+ public:
+  /// 64 elements per chunk: small enough that a single-element mutation
+  /// copies little, large enough that the pointer table stays ~1.5% of a
+  /// flat vector's footprint.
+  static constexpr std::size_t kChunkShift = 6;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+  CowChunks() = default;
+  CowChunks(const CowChunks&) = default;
+  CowChunks& operator=(const CowChunks&) = default;
+  // A moved-from container must read as empty: the default move would strip
+  // the chunk table but leave size_ behind, so at()/mutate() would pass the
+  // bounds check and index freed state.
+  CowChunks(CowChunks&& other) noexcept
+      : chunks_(std::move(other.chunks_)), size_(std::exchange(other.size_, 0)) {
+    other.chunks_.clear();
+  }
+  CowChunks& operator=(CowChunks&& other) noexcept {
+    if (this == &other) return *this;  // self-move must not clear a live table
+    chunks_ = std::move(other.chunks_);
+    size_ = std::exchange(other.size_, 0);
+    other.chunks_.clear();
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return (*chunks_[i >> kChunkShift])[i & (kChunkSize - 1)];
+  }
+
+  [[nodiscard]] const T& at(std::size_t i) const {
+    checkIndex(i);
+    return (*this)[i];
+  }
+
+  /// Mutable element access with copy-on-write: when the element's chunk is
+  /// shared with another copy of the container, the chunk is cloned first so
+  /// the write can never be observed through that other copy. The returned
+  /// reference is invalidated by any later mutate()/push_back() on a copy
+  /// that shares the chunk — take it, write, drop it.
+  [[nodiscard]] T& mutate(std::size_t i) {
+    checkIndex(i);
+    Chunk& chunk = chunks_[i >> kChunkShift];
+    if (chunk.use_count() > 1) chunk = std::make_shared<std::vector<T>>(*chunk);
+    return (*chunk)[i & (kChunkSize - 1)];
+  }
+
+  void push_back(T value) {
+    if ((size_ & (kChunkSize - 1)) == 0) {
+      chunks_.push_back(std::make_shared<std::vector<T>>());
+      chunks_.back()->reserve(kChunkSize);
+    } else if (chunks_.back().use_count() > 1) {
+      chunks_.back() = std::make_shared<std::vector<T>>(*chunks_.back());
+      chunks_.back()->reserve(kChunkSize);
+    }
+    chunks_.back()->push_back(std::move(value));
+    ++size_;
+  }
+
+  /// A structurally independent copy: every chunk cloned, nothing shared.
+  /// For handing a mutable copy to another thread without COW ping-pong.
+  [[nodiscard]] CowChunks detached() const {
+    CowChunks out;
+    out.size_ = size_;
+    out.chunks_.reserve(chunks_.size());
+    for (const Chunk& chunk : chunks_) {
+      out.chunks_.push_back(std::make_shared<std::vector<T>>(*chunk));
+    }
+    return out;
+  }
+
+  /// True when element i's chunk is shared with at least one other copy
+  /// (test/diagnostic hook; racy by nature under concurrent copying).
+  [[nodiscard]] bool sharesChunk(std::size_t i) const {
+    checkIndex(i);
+    return chunks_[i >> kChunkShift].use_count() > 1;
+  }
+
+ private:
+  using Chunk = std::shared_ptr<std::vector<T>>;
+
+  void checkIndex(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("CowChunks: index out of range");
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace netembed::util

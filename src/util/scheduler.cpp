@@ -9,6 +9,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/rng.hpp"
+
 namespace netembed::util {
 
 const char* overloadPolicyName(OverloadPolicy p) noexcept {
@@ -35,6 +37,7 @@ namespace {
 struct QueuedJob {
   QosScheduler::JobId id = 0;  // ids are monotonic => id order = admission order
   QosScheduler::Job job;
+  QosScheduler::Clock::time_point admitted;  // queue-wait measurement anchor
 };
 
 struct TenantState {
@@ -87,7 +90,28 @@ struct QosScheduler::Impl {
   // current service level instead of claiming its whole idle period back.
   double virtualTime = 0.0;
 
+  // Queue-wait reservoir (uniform sampling, fixed footprint): every dequeue
+  // — including one that expires on arrival — contributes its admission
+  // latency; stats() derives p50/p99 from the sample.
+  static constexpr std::size_t kWaitReservoirCap = 1024;
+  std::vector<double> waitReservoir;
+  std::uint64_t waitSamples = 0;
+  std::uint64_t waitRngState = 0x9e3779b97f4a7c15ull;  // splitmix64 stream
+
   std::vector<std::thread> workers;
+
+  void sampleWaitLocked(Clock::time_point admitted) {
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - admitted).count();
+    ++waitSamples;
+    if (waitReservoir.size() < kWaitReservoirCap) {
+      waitReservoir.push_back(ms);
+      return;
+    }
+    // splitmix64: cheap, deterministic, no <random> machinery under the lock.
+    const std::uint64_t slot = splitmix64(waitRngState) % waitSamples;
+    if (slot < kWaitReservoirCap) waitReservoir[slot] = ms;
+  }
 
   TenantState& tenant(std::uint64_t id) { return tenants[id]; }
 
@@ -158,6 +182,7 @@ struct QosScheduler::Impl {
       workCv.wait(lock, [&] { return stopping || queuedTotal > 0; });
       if (queuedTotal == 0) return;  // stopping with nothing left to run
       QueuedJob qj = popFairLocked();
+      sampleWaitLocked(qj.admitted);
       if (qj.job.admitBy && Clock::now() >= *qj.job.admitBy) {
         ++stats.expired;
         ++resolving;
@@ -233,7 +258,7 @@ QosScheduler::JobId QosScheduler::submit(Job job) {
       const std::size_t cap = impl_->options.queueCapacity;
       if (cap == 0 || impl_->queuedTotal < cap) {
         id = impl_->nextId++;
-        impl_->enqueueLocked(QueuedJob{id, std::move(job)});
+        impl_->enqueueLocked(QueuedJob{id, std::move(job), Clock::now()});
         break;
       }
       if (impl_->options.overload == OverloadPolicy::Reject) {
@@ -247,7 +272,7 @@ QosScheduler::JobId QosScheduler::submit(Job job) {
           victim = impl_->popShedVictimLocked();
           ++impl_->resolving;  // until the victim's onDrop has fired
           id = impl_->nextId++;
-          impl_->enqueueLocked(QueuedJob{id, std::move(job)});
+          impl_->enqueueLocked(QueuedJob{id, std::move(job), Clock::now()});
         } else {
           // The newcomer is (at best) tied with the lowest queued class: it
           // is itself the lowest-priority work on offer, so it is the shed.
@@ -417,7 +442,18 @@ std::size_t QosScheduler::workerCount() const noexcept {
 
 QosScheduler::Stats QosScheduler::stats() const {
   std::lock_guard lock(impl_->mutex);
-  return impl_->stats;
+  Stats out = impl_->stats;
+  out.admissionWaitSamples = impl_->waitSamples;
+  if (!impl_->waitReservoir.empty()) {
+    std::vector<double> sorted = impl_->waitReservoir;
+    std::sort(sorted.begin(), sorted.end());
+    const auto at = [&](double q) {
+      return sorted[static_cast<std::size_t>(q * (sorted.size() - 1))];
+    };
+    out.admissionWaitP50Ms = at(0.5);
+    out.admissionWaitP99Ms = at(0.99);
+  }
+  return out;
 }
 
 }  // namespace netembed::util

@@ -130,6 +130,16 @@ class QosScheduler {
     std::uint64_t shed = 0;       // dropped: ShedLowestPriority
     std::uint64_t expired = 0;    // dropped: admission deadline
     std::uint64_t cancelled = 0;  // dropped: cancel() or CancelPending
+    // Admission-latency distribution: queue wait from a job's admission to
+    // the moment a worker dequeues it (expired dequeues included — they
+    // waited too). Estimated from a fixed-size uniform reservoir so the
+    // memory stays O(1) no matter how long the scheduler lives; the
+    // percentiles are what an adaptive admission controller would steer on
+    // (derive capacity / shed thresholds from observed wait, not a static
+    // knob). Zero until the first dequeue.
+    std::uint64_t admissionWaitSamples = 0;  // dequeues observed (not capped)
+    double admissionWaitP50Ms = 0.0;
+    double admissionWaitP99Ms = 0.0;
   };
   [[nodiscard]] Stats stats() const;
 

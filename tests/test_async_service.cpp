@@ -150,12 +150,13 @@ TEST(AsyncService, BatchOfIdenticalQueriesBuildsExactlyOnePlan) {
   EXPECT_EQ(stats.hits, 7u);
 }
 
-TEST(AsyncService, VersionBumpInvalidatesCachedPlans) {
+TEST(AsyncService, VersionBumpRekeysCachedPlansInsteadOfInvalidating) {
   AsyncNetEmbedService svc(asyncHost());
   EmbedRequest request = delayRequest(*svc.hostSnapshot(), 3);
   request.algorithm = Algorithm::ECF;
 
   const std::uint64_t builds0 = core::filterPlanBuilds();
+  const std::uint64_t patches0 = core::filterPlanPatches();
   auto f1 = svc.submitAsync(request);
   const EmbedResponse r1 = resolve(f1);
   ASSERT_TRUE(r1.result.feasible());
@@ -166,22 +167,39 @@ TEST(AsyncService, VersionBumpInvalidatesCachedPlans) {
   (void)resolve(f2);
   EXPECT_EQ(core::filterPlanBuilds() - builds0, 1u);
 
-  // A reservation bumps the model version; the cached plan must not serve
-  // any query against the new version.
+  // A reservation bumps the model version, but it only touches "slots" —
+  // which the delay constraint never reads. The delta proves the cached plan
+  // untouched, so the post-bump query reuses it: no rebuild, no patch.
+  EmbedRequest reserveReq = request;
   NetworkModel::ReservationSpec spec;
   spec.nodeCapacityAttrs = {"slots"};
-  for (graph::NodeId n = 0; n < request.query.nodeCount(); ++n) {
-    request.query.nodeAttrs(n).set("slots", 1.0);
+  for (graph::NodeId n = 0; n < reserveReq.query.nodeCount(); ++n) {
+    reserveReq.query.nodeAttrs(n).set("slots", 1.0);
   }
-  const auto id = svc.reserve(request.query, r1.result.mappings.front(), spec);
+  const auto id = svc.reserve(reserveReq.query, r1.result.mappings.front(), spec);
   EXPECT_GT(svc.version(), r1.modelVersion);
 
   auto f3 = svc.submitAsync(request);
   const EmbedResponse r3 = resolve(f3);
   EXPECT_EQ(r3.modelVersion, svc.version());
-  EXPECT_EQ(core::filterPlanBuilds() - builds0, 2u)
-      << "a post-bump query must rebuild, never reuse the stale plan";
-  EXPECT_GT(svc.planCacheStats().invalidations, 0u);
+  EXPECT_EQ(core::filterPlanBuilds() - builds0, 1u)
+      << "an irrelevant delta must not force a rebuild";
+  EXPECT_EQ(core::filterPlanPatches() - patches0, 0u);
+  EXPECT_EQ(svc.planCacheStats().invalidations, 0u);
+  EXPECT_GE(svc.planCacheStats().rekeys, 1u);
+
+  // A constraint-relevant mutation (one link's delay floor) is patched —
+  // still no from-scratch rebuild.
+  const auto host = svc.hostSnapshot();
+  const double floorDelay = host->edgeAttrs(0).getDouble("minDelay", 5.0);
+  svc.setEdgeMetric(host->edgeSource(0), host->edgeTarget(0), "minDelay",
+                    floorDelay * 1.01);
+  auto f4 = svc.submitAsync(request);
+  const EmbedResponse r4 = resolve(f4);
+  EXPECT_EQ(r4.modelVersion, svc.version());
+  EXPECT_EQ(core::filterPlanBuilds() - builds0, 1u);
+  EXPECT_EQ(core::filterPlanPatches() - patches0, 1u)
+      << "a relevant single-edge delta must patch, not rebuild";
   svc.release(id);
 }
 
@@ -352,6 +370,87 @@ TEST(AsyncService, StressConcurrentSubmittersAndReservations) {
   // Post-drain sanity: a fresh query runs against the final version.
   auto future = svc.submitAsync(delayRequest(*svc.hostSnapshot(), 300));
   EXPECT_EQ(resolve(future).modelVersion, finalVersion);
+}
+
+// Delta-path stress: monitoring mutators rewrite constraint-relevant link
+// metrics and irrelevant node attrs while submitters race same-signature
+// queries, so cached plans are concurrently re-keyed, patched, reused and
+// (for raced unready builders) dropped. Every future must resolve, versions
+// must be monotonic, and after the feed quiesces the patched plan chain must
+// agree byte-for-byte with a from-scratch service over the final host.
+TEST(AsyncService, StressMutateWhileQueryKeepsPatchedPlansExact) {
+  constexpr int kSubmitters = 3;
+  constexpr int kQueriesPerThread = 6;
+  constexpr int kMutationsPerThread = 24;
+
+  AsyncServiceOptions options;
+  options.workers = 3;
+  options.planCacheCapacity = 8;
+  AsyncNetEmbedService svc(asyncHost(), options);
+  const std::uint64_t v0 = svc.version();
+
+  std::atomic<bool> stopMutating{false};
+  std::vector<std::thread> mutators;
+  for (int m = 0; m < 2; ++m) {
+    mutators.emplace_back([&, m] {
+      util::Rng rng(500 + m);
+      const auto pristine = svc.hostSnapshot();
+      for (int i = 0; i < kMutationsPerThread && !stopMutating.load(); ++i) {
+        if (i % 3 == 2) {
+          // Irrelevant to the delay constraint: exercises pure reuse.
+          svc.setNodeAttr(static_cast<graph::NodeId>(rng.index(pristine->nodeCount())),
+                          "load", rng.uniform(0.0, 1.0));
+        } else {
+          const auto e =
+              static_cast<graph::EdgeId>(rng.index(pristine->edgeCount()));
+          const double delay =
+              pristine->edgeAttrs(e).getDouble("minDelay", 5.0);
+          svc.setEdgeMetric(pristine->edgeSource(e), pristine->edgeTarget(e),
+                            "minDelay",
+                            delay * (rng.bernoulli(0.5) ? 1.02 : 0.98));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  std::vector<std::thread> submitters;
+  std::atomic<int> resolved{0};
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        // A few shared seeds: concurrent same-signature queries hit the same
+        // (possibly patch-pending) builder.
+        EmbedRequest request =
+            delayRequest(*svc.hostSnapshot(), 400 + (t + i) % 3, 2);
+        request.algorithm = Algorithm::ECF;
+        auto future = svc.submitAsync(std::move(request));
+        const EmbedResponse response = resolve(future);
+        resolved.fetch_add(1, std::memory_order_relaxed);
+        if (response.status != RequestStatus::Done) failures.fetch_add(1);
+        if (response.modelVersion < v0) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+  stopMutating.store(true);
+  for (std::thread& thread : mutators) thread.join();
+  EXPECT_EQ(resolved.load(), kSubmitters * kQueriesPerThread);
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiesced ground truth: the (re-keyed, possibly patch-chained) cache must
+  // answer exactly like a fresh service over the final host.
+  EmbedRequest finalRequest = delayRequest(*svc.hostSnapshot(), 401, 0);
+  finalRequest.algorithm = Algorithm::ECF;
+  finalRequest.options.storeLimit = 10000;
+  auto cachedFuture = svc.submitAsync(finalRequest);
+  const EmbedResponse viaCache = resolve(cachedFuture);
+  service::NetEmbedService fresh{
+      service::NetworkModel(graph::Graph(*svc.hostSnapshot()))};
+  const EmbedResponse viaFresh = fresh.submit(finalRequest);
+  EXPECT_EQ(viaCache.result.solutionCount, viaFresh.result.solutionCount);
+  EXPECT_EQ(viaCache.result.mappings, viaFresh.result.mappings);
 }
 
 // --- request lifecycle v2: tickets, streaming, QoS admission -----------------

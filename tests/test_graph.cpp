@@ -165,6 +165,127 @@ TEST(Graph, CopySemantics) {
   EXPECT_TRUE(copy.hasEdge(0, 1));
 }
 
+// --- structural sharing ---------------------------------------------------------
+
+TEST(GraphSharing, CopySharesTopologyUntilStructuralMutation) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.addNode();
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  EXPECT_FALSE(g.sharesTopology());
+
+  Graph copy = g;
+  EXPECT_TRUE(g.sharesTopology());
+  EXPECT_TRUE(copy.sharesTopology());
+
+  // A structural mutation on the copy detaches it; the original is unmoved.
+  copy.addEdge(2, 3);
+  EXPECT_FALSE(copy.sharesTopology());
+  EXPECT_FALSE(g.sharesTopology());
+  EXPECT_TRUE(copy.hasEdge(2, 3));
+  EXPECT_FALSE(g.hasEdge(2, 3));
+  EXPECT_EQ(g.edgeCount(), 2u);
+
+  const NodeId added = copy.addNode("extra");
+  EXPECT_EQ(copy.nodeCount(), 6u);
+  EXPECT_EQ(g.nodeCount(), 5u);
+  EXPECT_FALSE(g.findNode("extra").has_value());
+  EXPECT_EQ(copy.findNode("extra"), added);
+}
+
+TEST(GraphSharing, AttributeWritesNeverLeakIntoACopy) {
+  Graph g;
+  for (int i = 0; i < 130; ++i) g.addNode();  // spans three attribute chunks
+  for (int i = 0; i + 1 < 130; ++i) g.addEdge(i, i + 1);
+  g.nodeAttrs(0).set("x", 1.0);
+  g.nodeAttrs(128).set("x", 1.0);
+  g.edgeAttrs(0).set("w", 1.0);
+
+  const Graph snapshot = g;
+  g.nodeAttrs(0).set("x", 2.0);     // chunk 0 cloned
+  g.nodeAttrs(128).set("x", 3.0);   // chunk 2 cloned
+  g.edgeAttrs(0).set("w", 4.0);
+  EXPECT_EQ(snapshot.nodeAttrs(0).at("x").asDouble(), 1.0);
+  EXPECT_EQ(snapshot.nodeAttrs(128).at("x").asDouble(), 1.0);
+  EXPECT_EQ(snapshot.edgeAttrs(0).at("w").asDouble(), 1.0);
+  EXPECT_EQ(g.nodeAttrs(0).at("x").asDouble(), 2.0);
+  EXPECT_EQ(g.nodeAttrs(128).at("x").asDouble(), 3.0);
+  // Untouched chunks are still physically shared (the snapshot-cost win).
+  EXPECT_TRUE(snapshot.sharesTopology());
+}
+
+TEST(GraphSharing, DetachedCopySharesNothing) {
+  Graph g;
+  for (int i = 0; i < 70; ++i) g.addNode();
+  g.addEdge(0, 1);
+  g.nodeAttrs(5).set("x", 1.0);
+
+  const Graph detached = g.detachedCopy();
+  EXPECT_FALSE(g.sharesTopology());
+  EXPECT_FALSE(detached.sharesTopology());
+  g.nodeAttrs(5).set("x", 9.0);
+  EXPECT_EQ(detached.nodeAttrs(5).at("x").asDouble(), 1.0);
+  EXPECT_EQ(detached.nodeCount(), 70u);
+  EXPECT_TRUE(detached.hasEdge(0, 1));
+}
+
+TEST(GraphSharing, MovedFromGraphIsAValidEmptyGraph) {
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.addNode();
+  g.addEdge(0, 1);
+  g.nodeAttrs(0).set("x", 1.0);
+
+  Graph taken = std::move(g);
+  EXPECT_EQ(taken.nodeCount(), 3u);
+  EXPECT_TRUE(taken.hasEdge(0, 1));
+  // The moved-from object must stay usable (it was before structural
+  // sharing): empty reads, and mutations that never leak into the shared
+  // empty topology block.
+  EXPECT_EQ(g.nodeCount(), 0u);
+  EXPECT_EQ(g.edgeCount(), 0u);
+  EXPECT_FALSE(g.findNode("n0").has_value());
+  const NodeId n = g.addNode("fresh");
+  EXPECT_EQ(g.nodeCount(), 1u);
+  EXPECT_EQ(g.findNode("fresh"), n);
+
+  Graph h;
+  h.addNode();
+  h = std::move(taken);
+  EXPECT_EQ(h.nodeCount(), 3u);
+  EXPECT_EQ(taken.nodeCount(), 0u);
+  EXPECT_EQ(taken.edgeCount(), 0u);
+  // Two moved-from graphs share the empty block; neither's mutation may
+  // reach the other.
+  Graph taken2 = std::move(h);
+  EXPECT_EQ(taken2.nodeCount(), 3u);
+  taken.addNode("a");
+  EXPECT_EQ(h.nodeCount(), 0u);
+  EXPECT_FALSE(h.findNode("a").has_value());
+}
+
+TEST(GraphSharing, CowChunksClonesExactlyTheMutatedChunk) {
+  netembed::util::CowChunks<int> a;
+  for (int i = 0; i < 100; ++i) a.push_back(i);
+  netembed::util::CowChunks<int> b = a;
+  EXPECT_TRUE(a.sharesChunk(0));
+  EXPECT_TRUE(a.sharesChunk(99));
+
+  b.mutate(70) = -1;
+  EXPECT_TRUE(a.sharesChunk(0));     // chunk 0 still shared
+  EXPECT_FALSE(a.sharesChunk(70));   // chunk 1 diverged
+  EXPECT_EQ(a[70], 70);
+  EXPECT_EQ(b[70], -1);
+  EXPECT_EQ(b[69], 69);  // neighbours in the cloned chunk kept their values
+
+  // Appending to a copy whose tail chunk is shared clones that chunk first.
+  netembed::util::CowChunks<int> c = a;
+  c.push_back(100);
+  EXPECT_EQ(c.size(), 101u);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a[99], 99);
+  EXPECT_THROW((void)a.at(100), std::out_of_range);
+}
+
 TEST(Graph, LargeGraphEdgeLookupIsConsistent) {
   Graph g;
   constexpr int kN = 200;
