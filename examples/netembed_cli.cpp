@@ -24,6 +24,9 @@
 //                      portfolio | auto (default auto; auto races the
 //                      portfolio for first-match queries)
 //   --max N            stop after N mappings (default 1; 0 = all)
+//   --ordering MODE    static | dynamic variable order for the filtered
+//                      engines (default static — the paper's Lemma-1 order;
+//                      dynamic re-picks the smallest live domain each depth)
 //   --timeout MS       search budget (default 10000)
 //   --seed N           RNG seed (default 42)
 //   --csv              machine-readable mapping output
@@ -58,6 +61,7 @@
 #include "netembed/netembed.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/simd.hpp"
 
 using namespace netembed;
 
@@ -82,6 +86,12 @@ service::Priority parsePriority(const std::string& name) {
   if (name == "normal") return service::Priority::Normal;
   if (name == "high") return service::Priority::High;
   throw std::runtime_error("unknown --priority '" + name + "' (low|normal|high)");
+}
+
+core::Ordering parseOrdering(const std::string& name) {
+  if (name == "static") return core::Ordering::Static;
+  if (name == "dynamic") return core::Ordering::Dynamic;
+  throw std::runtime_error("unknown --ordering '" + name + "' (static|dynamic)");
 }
 
 std::optional<core::Algorithm> parseAlgo(const std::string& name) {
@@ -167,7 +177,8 @@ int main(int argc, char** argv) {
 
     graph::Graph host = loadHost(args.getString("host", ""), seed);
     std::cerr << "host: " << host.nodeCount() << " nodes, " << host.edgeCount()
-              << " edges\n";
+              << " edges | simd: "
+              << util::simd::isaName(util::simd::activeIsa()) << '\n';
 
     graph::Graph query;
     std::string edgeConstraint = args.getString("edge-constraint", "");
@@ -198,6 +209,7 @@ int main(int argc, char** argv) {
     request.options.maxSolutions = static_cast<std::size_t>(args.getInt("max", 1));
     request.options.storeLimit = std::max<std::size_t>(request.options.maxSolutions, 16);
     request.options.timeout = std::chrono::milliseconds(args.getInt("timeout", 10000));
+    request.options.ordering = parseOrdering(args.getString("ordering", "static"));
     request.options.seed = seed;
     request.qos.priority = parsePriority(args.getString("priority", "normal"));
     request.qos.tenant = args.getSeed("tenant", 0);
@@ -208,7 +220,9 @@ int main(int argc, char** argv) {
     }
     std::cerr << "qos: priority=" << service::priorityName(request.qos.priority)
               << " tenant=" << request.qos.tenant
-              << " deadline-ms=" << deadlineMs << '\n';
+              << " deadline-ms=" << deadlineMs
+              << " | ordering=" << core::orderingName(request.options.ordering)
+              << '\n';
 
     const double mutateRate = args.getDouble("mutate-rate", 0.0);
     if (mutateRate > 0.0) {

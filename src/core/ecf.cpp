@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "core/dynamic_order.hpp"
 #include "core/filter.hpp"
 #include "core/plan.hpp"
 #include "util/bitset.hpp"
@@ -28,17 +29,23 @@ class FilteredWorker {
  public:
   FilteredWorker(const Problem& problem, const FilterPlan& plan,
                  SearchContext& context, bool randomize, std::uint64_t seed)
-      : plan_(plan), context_(context), randomize_(randomize), rng_(seed) {
+      : plan_(plan),
+        context_(context),
+        randomize_(randomize),
+        dynamic_(context.options().ordering == Ordering::Dynamic),
+        rng_(seed) {
     const std::size_t nq = problem.query->nodeCount();
     mapping_.assign(nq, graph::kInvalidNode);
     used_.assign(problem.host->nodeCount());
     scratch_.assign(problem.host->nodeCount());
     candidateBuffers_.resize(nq);
+    if (dynamic_) tracker_ = std::make_unique<DomainTracker>(plan);
   }
 
   /// Explore the subtree of each root candidate claimed from `cursor`.
   void run(std::span<const graph::NodeId> roots, std::atomic<std::size_t>& cursor) {
-    const graph::NodeId v0 = plan_.order.front();
+    const graph::NodeId v0 =
+        dynamic_ ? DomainTracker::firstNode(plan_) : plan_.order.front();
     for (;;) {
       if (limitsHit()) return;
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -46,9 +53,16 @@ class FilteredWorker {
       const graph::NodeId r = roots[i];
       ++stats_.treeNodesVisited;
       mapping_[v0] = r;
-      used_.set(r);
-      descend(1);
-      used_.reset(r);
+      if (dynamic_) {
+        // Domains absorb the used-set (r is dropped from every live domain),
+        // so the dynamic path never consults `used_`.
+        if (tracker_->assign(v0, r)) descendDynamic(1);
+        tracker_->unassign();
+      } else {
+        used_.set(r);
+        descend(1);
+        used_.reset(r);
+      }
       mapping_[v0] = graph::kInvalidNode;
       if (stopped_) return;
     }
@@ -72,17 +86,16 @@ class FilteredWorker {
       out.push_back(static_cast<graph::NodeId>(r));
     };
     if (earlier.empty()) {
-      // Root / next component: viable minus used, word-wise.
-      scratch_.copyFrom(fm.viableBits(v));
-      scratch_.andNotWith(used_);
+      // Root / next component: viable minus used, fused into one pass.
+      scratch_.assignAndNot(fm.viableBits(v), used_);
       scratch_.forEachSet(emit);
       return;
     }
     // Word-parallel path (eq. 2): when every constrainer cell carries bitset
     // rows, AND them into the reusable scratch with viability and `used_`
-    // folded in as one more AND/ANDNOT, then walk the surviving bits. One
-    // scratch per worker suffices: the result is drained into the per-depth
-    // buffer before the search descends.
+    // folded into the first constrainer's pass (a & b & ~c in one sweep),
+    // then walk the surviving bits. One scratch per worker suffices: the
+    // result is drained into the per-depth buffer before the search descends.
     bool allBits = true;
     for (const FilterMatrix::Constrainer& c : earlier) {
       if (!fm.hasCandidateBits(c.owner, c.slot)) {
@@ -91,9 +104,14 @@ class FilteredWorker {
       }
     }
     if (allBits) {
-      scratch_.copyFrom(fm.viableBits(v));
-      scratch_.andNotWith(used_);
-      for (const FilterMatrix::Constrainer& c : earlier) {
+      const FilterMatrix::Constrainer& first = earlier.front();
+      if (!scratch_.assignAndAndNot(
+              fm.candidateBits(first.owner, first.slot, mapping_[first.owner]),
+              fm.viableBits(v), used_)) {
+        return;
+      }
+      for (std::size_t i = 1; i < earlier.size(); ++i) {
+        const FilterMatrix::Constrainer& c = earlier[i];
         if (!scratch_.andWith(fm.candidateBits(c.owner, c.slot, mapping_[c.owner]))) {
           return;
         }
@@ -164,15 +182,49 @@ class FilteredWorker {
     ++stats_.backtracks;
   }
 
+  /// Smallest-live-domain descent: pick the unassigned node with the fewest
+  /// live candidates (tracker-maintained, exact in every bitset mode), walk
+  /// its domain row, and let the tracker's wipeout signal prune assignments
+  /// whose forward-checked neighbors lost their last candidate. Same
+  /// solution set as descend(); only the visit order differs.
+  void descendDynamic(std::size_t depth) {
+    if (limitsHit()) return;
+    stats_.peakCovered = std::max(stats_.peakCovered, depth);
+    if (depth == plan_.order.size()) {
+      if (!context_.offerSolution(mapping_)) stopped_ = true;
+      return;
+    }
+    const graph::NodeId v = tracker_->selectNext();
+    std::vector<graph::NodeId>& candidates = candidateBuffers_[depth];
+    candidates.clear();
+    util::forEachSetBit(tracker_->domain(v), [&](std::size_t r) {
+      candidates.push_back(static_cast<graph::NodeId>(r));
+    });
+    if (randomize_) rng_.shuffle(candidates);
+
+    for (const graph::NodeId r : candidates) {
+      if (limitsHit()) return;
+      ++stats_.treeNodesVisited;
+      mapping_[v] = r;
+      if (tracker_->assign(v, r)) descendDynamic(depth + 1);
+      tracker_->unassign();
+      mapping_[v] = graph::kInvalidNode;
+      if (stopped_) return;
+    }
+    ++stats_.backtracks;
+  }
+
   const FilterPlan& plan_;
   SearchContext& context_;
   bool randomize_;
+  bool dynamic_;
   util::Rng rng_;
 
   Mapping mapping_;
   util::Bitset used_;     // host nodes taken by the current partial mapping
   util::Bitset scratch_;  // eq.-2 intersection accumulator
   std::vector<std::vector<graph::NodeId>> candidateBuffers_;
+  std::unique_ptr<DomainTracker> tracker_;  // dynamic ordering only
   SearchStats stats_;
   bool stopped_ = false;
 };
@@ -240,7 +292,13 @@ EmbedResult filteredSearch(const Problem& problem, SearchContext& context,
     return result;
   }
 
-  const auto viableRoots = plan->filters.viable(plan->order.front());
+  // Dynamic ordering picks its own first node (smallest stage-1 viable set,
+  // static position as tie-break) — identical to order.front() whenever the
+  // plan was Lemma-1 sorted, but correct under the staticOrdering ablation.
+  const graph::NodeId rootNode = options.ordering == Ordering::Dynamic
+                                     ? DomainTracker::firstNode(*plan)
+                                     : plan->order.front();
+  const auto viableRoots = plan->filters.viable(rootNode);
   std::vector<graph::NodeId> roots(viableRoots.begin(), viableRoots.end());
   // The root shuffle gets its own stream: worker 0 seeds its candidate
   // shuffles with the raw seed, and reusing it here would hand same-length

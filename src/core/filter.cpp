@@ -44,14 +44,19 @@ util::BitMatrix nodeViability(const Problem& p, const SearchOptions& options,
 
 /// Density heuristic: does a cell with `entries` stored candidates over an
 /// `nr`-node host earn bitset rows? A row AND costs one word per 64 host
-/// nodes no matter how sparse the cell, so demand an average of at least one
-/// set bit per word (density >= 1/64 — there the nr*nr/8-byte bitmap costs
-/// 2x the 4-byte-entry CSR list it shadows, shrinking relatively as density
-/// grows); small hosts get rows unconditionally because a handful of words
-/// beats any binary search.
+/// nodes no matter how sparse the cell, but the per-word constant (one
+/// vectorized AND) is tiny next to the per-candidate constant of the hybrid
+/// probe path it replaces (a gather + merge per surviving candidate):
+/// measured on the sparse overlay instances the ANDs win until cells carry
+/// fewer than ~one set bit per 16 words. Demand density >= 1/1024 — the
+/// nr*nr/8-byte bitmap there costs ~32x the CSR list it shadows, an
+/// acceptable ceiling since absolute size stays small for the hosts where
+/// such sparse cells appear; hosts up to a few hundred nodes get rows
+/// unconditionally because a handful of words beats any binary search.
 [[nodiscard]] bool wantCellBits(BitsetMode mode, std::size_t entries,
                                 std::size_t nr) noexcept {
-  constexpr std::size_t kSmallHostBits = 256;
+  constexpr std::size_t kSmallHostBits = 512;
+  constexpr std::size_t kMinBitsPerWord16 = util::kBitsPerWord * 16;
   switch (mode) {
     case BitsetMode::Off:
       return false;
@@ -60,7 +65,7 @@ util::BitMatrix nodeViability(const Problem& p, const SearchOptions& options,
     case BitsetMode::Auto:
       break;
   }
-  return nr <= kSmallHostBits || entries * util::kBitsPerWord >= nr * nr;
+  return nr <= kSmallHostBits || entries * kMinBitsPerWord16 >= nr * nr;
 }
 
 }  // namespace
@@ -365,13 +370,25 @@ void FilterMatrix::patch(const Problem& problem, const SearchOptions& options,
     bool present;
   };
   std::vector<std::vector<Edit>> cellEdits(cells_.size());
-  std::uint64_t evals = 0;
-  std::size_t polls = 0;
+  std::atomic<std::uint64_t> evals{0};
   constexpr std::size_t kCancelPollStride = 1024;
+  // Patch work scales with |affected host edges| x |query edges|; below this
+  // many pair re-evaluations the parallelFor dispatch overhead dominates the
+  // loop body, and a monitoring-style one-node bump stays serial.
+  constexpr std::size_t kParallelPatchPairs = 2048;
+  const bool parallel = options.parallelFilterBuild &&
+                        affectedEdges.size() * q.edgeCount() >= kParallelPatchPairs;
 
-  for (graph::EdgeId qe = 0; qe < q.edgeCount(); ++qe) {
+  // Safe to fan out over query edges: every cell belongs to exactly one
+  // query edge, so the cellEdits buckets written by distinct tasks are
+  // disjoint, and the per-(qe, he) evaluation order within a bucket is the
+  // serial order — patched cells stay byte-identical either way.
+  const auto evaluateEdge = [&](std::size_t qeIndex) {
+    const auto qe = static_cast<graph::EdgeId>(qeIndex);
     const graph::NodeId qa = q.edgeSource(qe);
     const graph::NodeId qb = q.edgeTarget(qe);
+    std::uint64_t localEvals = 0;
+    std::size_t polls = 0;
     for (const graph::EdgeId he : affectedEdges) {
       if (++polls % kCancelPollStride == 0 && cancelled && cancelled()) {
         throw FilterBuildCancelled();
@@ -382,19 +399,19 @@ void FilterMatrix::patch(const Problem& problem, const SearchOptions& options,
       bool backward = false;
       if (h.directed()) {
         forward = nodeOkBits_.test(qa, ra) && nodeOkBits_.test(qb, rb) &&
-                  problem.edgeOk(qe, qa, qb, he, ra, rb, evals);
+                  problem.edgeOk(qe, qa, qb, he, ra, rb, localEvals);
       } else if (symmetric) {
         const bool fGate = nodeOkBits_.test(qa, ra) && nodeOkBits_.test(qb, rb);
         const bool bGate = nodeOkBits_.test(qa, rb) && nodeOkBits_.test(qb, ra);
         const bool pass =
-            (fGate || bGate) && problem.edgeOk(qe, qa, qb, he, ra, rb, evals);
+            (fGate || bGate) && problem.edgeOk(qe, qa, qb, he, ra, rb, localEvals);
         forward = fGate && pass;
         backward = bGate && pass;
       } else {
         forward = nodeOkBits_.test(qa, ra) && nodeOkBits_.test(qb, rb) &&
-                  problem.edgeOk(qe, qa, qb, he, ra, rb, evals);
+                  problem.edgeOk(qe, qa, qb, he, ra, rb, localEvals);
         backward = nodeOkBits_.test(qa, rb) && nodeOkBits_.test(qb, ra) &&
-                   problem.edgeOk(qe, qa, qb, he, rb, ra, evals);
+                   problem.edgeOk(qe, qa, qb, he, rb, ra, localEvals);
       }
       for (const auto& [cell, keyIsSource] : cellsOfEdge[qe]) {
         cellEdits[cell].push_back({keyIsSource ? ra : rb, keyIsSource ? rb : ra,
@@ -405,12 +422,21 @@ void FilterMatrix::patch(const Problem& problem, const SearchOptions& options,
         }
       }
     }
+    evals.fetch_add(localEvals, std::memory_order_relaxed);
+  };
+  if (parallel && q.edgeCount() > 1) {
+    util::parallelFor(q.edgeCount(), evaluateEdge, 1);
+  } else {
+    for (std::size_t i = 0; i < q.edgeCount(); ++i) evaluateEdge(i);
   }
 
   // --- splice the edits into the CSR cells (and their bit rows) -------------
-  for (std::size_t c = 0; c < cells_.size(); ++c) {
+  // Cells are disjoint (own CSR, own bit rows), so the splice fans out over
+  // them directly; only the entry-count delta needs an atomic.
+  std::atomic<std::ptrdiff_t> entryDelta{0};
+  const auto spliceCell = [&](std::size_t c) {
     std::vector<Edit>& edits = cellEdits[c];
-    if (edits.empty()) continue;
+    if (edits.empty()) return;
     if (cancelled && cancelled()) throw FilterBuildCancelled();
     std::sort(edits.begin(), edits.end(), [](const Edit& a, const Edit& b) {
       return a.key != b.key ? a.key < b.key : a.val < b.val;
@@ -442,8 +468,9 @@ void FilterMatrix::patch(const Problem& problem, const SearchOptions& options,
       while (i < end) newData.push_back(csr.data[i++]);
     }
     newOffsets[nr] = static_cast<std::uint32_t>(newData.size());
-    totalEntries_ += newData.size();
-    totalEntries_ -= csr.data.size();
+    entryDelta.fetch_add(static_cast<std::ptrdiff_t>(newData.size()) -
+                             static_cast<std::ptrdiff_t>(csr.data.size()),
+                         std::memory_order_relaxed);
     csr.data = std::move(newData);
     csr.offsets = std::move(newOffsets);
 
@@ -461,7 +488,14 @@ void FilterMatrix::patch(const Problem& problem, const SearchOptions& options,
         }
       }
     }
+  };
+  if (parallel && cells_.size() > 1) {
+    util::parallelFor(cells_.size(), spliceCell, 1);
+  } else {
+    for (std::size_t c = 0; c < cells_.size(); ++c) spliceCell(c);
   }
+  totalEntries_ = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(totalEntries_) +
+                                           entryDelta.load(std::memory_order_relaxed));
 
   const std::size_t entryBudget = options.maxFilterEntries == 0
                                       ? static_cast<std::size_t>(-1)
@@ -473,7 +507,9 @@ void FilterMatrix::patch(const Problem& problem, const SearchOptions& options,
   for (graph::NodeId r = 0; r < nr; ++r) {
     if (nodeAffected[r]) affectedNodes.push_back(r);
   }
-  for (graph::NodeId v = 0; v < nq; ++v) {
+  // Each task owns one query node's bit row and viable list — disjoint.
+  const auto regateNode = [&](std::size_t vIndex) {
+    const auto v = static_cast<graph::NodeId>(vIndex);
     bool dirty = false;
     for (const graph::NodeId r : affectedNodes) {
       bool ok = nodeOkBits_.test(v, r);
@@ -498,10 +534,15 @@ void FilterMatrix::patch(const Problem& problem, const SearchOptions& options,
         if (viableBits_.test(v, r)) out.push_back(r);
       }
     }
+  };
+  if (parallel && nq > 1) {
+    util::parallelFor(nq, regateNode, 1);
+  } else {
+    for (std::size_t v = 0; v < nq; ++v) regateNode(v);
   }
 
   stats.filterEntries = totalEntries_;
-  stats.constraintEvals += evals;
+  stats.constraintEvals += evals.load(std::memory_order_relaxed);
   stats.filterBuildMs = timer.elapsedMs();
 }
 

@@ -86,7 +86,11 @@ class FilterMatrix {
   /// lists, bitset rows, the viability bit-matrix and the viable lists are
   /// spliced in place. The result is candidate-set-identical to a fresh
   /// build (cell bitset coverage keeps the original build's density
-  /// decision; candidate *sets* never differ). Callers must have rejected
+  /// decision; candidate *sets* never differ). Past a work threshold the
+  /// re-evaluation, the per-cell splice and the viability re-gate fan out
+  /// over util::parallelFor (query edges / cells / query nodes are disjoint
+  /// write domains), honoring parallelFilterBuild like build(). Callers must
+  /// have rejected
   /// structural deltas (see classifyDelta in core/plan.hpp). Throws
   /// FilterOverflow when edits push the entry count past the budget and
   /// FilterBuildCancelled when `cancelled` fires. On either throw the matrix
@@ -148,6 +152,9 @@ class FilterMatrix {
   [[nodiscard]] std::size_t hostWords() const noexcept {
     return viableBits_.wordsPerRow();
   }
+
+  /// Host-node count the rows are sized for (columns of every bit row).
+  [[nodiscard]] std::size_t hostNodes() const noexcept { return viableBits_.cols(); }
 
   [[nodiscard]] std::size_t totalEntries() const noexcept { return totalEntries_; }
 

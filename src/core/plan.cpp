@@ -10,6 +10,7 @@ namespace {
 
 std::atomic<std::uint64_t> gPlanBuilds{0};
 std::atomic<std::uint64_t> gPlanPatches{0};
+std::atomic<std::uint64_t> gPlanInPlacePatches{0};
 
 /// Lemma-1 static order + per-node earlier-constrainer index over a filled
 /// matrix. Shared verbatim by build() and patch(): a patched plan must sort
@@ -45,6 +46,10 @@ std::uint64_t filterPlanBuilds() noexcept {
 
 std::uint64_t filterPlanPatches() noexcept {
   return gPlanPatches.load(std::memory_order_relaxed);
+}
+
+std::uint64_t filterPlanInPlacePatches() noexcept {
+  return gPlanInPlacePatches.load(std::memory_order_relaxed);
 }
 
 DeltaImpact classifyDelta(const Problem& problem, const ModelDelta& delta) {
@@ -118,6 +123,30 @@ std::shared_ptr<const FilterPlan> FilterPlan::patch(
   return plan;
 }
 
+std::shared_ptr<const FilterPlan> FilterPlan::patchOwned(
+    std::shared_ptr<const FilterPlan> base, const Problem& problem,
+    const SearchOptions& options, const ModelDelta& delta,
+    const std::function<bool()>& cancelled, SearchStats* partial) {
+  // The count can only fall once we hold the last visible copy: no other
+  // thread can clone a reference it does not have. So a reading of 1 here is
+  // stable exclusivity, not a race window.
+  if (base.use_count() != 1) {
+    return patch(*base, problem, options, delta, cancelled, partial);
+  }
+  SearchStats local;
+  SearchStats& stats = partial ? *partial : local;
+  // Sole owner: splice the delta straight into the existing matrix. The
+  // const_cast is sound — every FilterPlan is created mutable through
+  // make_shared and only exposed through const pointers.
+  auto* plan = const_cast<FilterPlan*>(base.get());
+  plan->filters.patch(problem, options, delta, stats, cancelled);
+  finalizeOrder(*plan, options, problem.query->nodeCount());
+  plan->buildStats = stats;
+  gPlanPatches.fetch_add(1, std::memory_order_relaxed);
+  gPlanInPlacePatches.fetch_add(1, std::memory_order_relaxed);
+  return base;
+}
+
 bool SharedPlanBuilder::mergeDelta(const ModelDelta& later) {
   std::lock_guard lock(mutex_);
   if (plan_ || error_ || building_ || !patchSource_) return false;
@@ -134,9 +163,17 @@ SharedPlanBuilder::Acquired SharedPlanBuilder::get(
     if (error_) std::rethrow_exception(error_);
     if (!building_) {
       building_ = true;
-      // Copied out so the (lock-free) resolution below reads stable data;
-      // mergeDelta refuses to touch the source while building_ is set.
-      const std::optional<PatchSource> source = patchSource_;
+      // MOVED out (not copied) so the builder's own reference to the base
+      // plan is gone during resolution — a copy here would keep use_count at
+      // 2 and defeat patchOwned's exclusivity test. mergeDelta refuses to
+      // touch the source while building_ is set, and a failed build restores
+      // it below unless the in-place patch already consumed the base.
+      std::optional<PatchSource> source = std::move(patchSource_);
+      patchSource_.reset();
+      // True once the base plan may have been mutated in place: from then on
+      // a throw must NOT hand the (possibly corrupted) source to the next
+      // taker — it full-builds instead.
+      bool sourceConsumed = false;
       lock.unlock();
       std::shared_ptr<const FilterPlan> built;
       bool builtHere = true;
@@ -150,8 +187,13 @@ SharedPlanBuilder::Acquired SharedPlanBuilder::get(
               builtHere = false;
               break;
             case DeltaImpact::Patchable:
-              built = FilterPlan::patch(*source->base, problem, options,
-                                        source->delta, cancelled, partial);
+              // With the builder's reference moved into `source`, a base no
+              // in-flight search still holds is exclusively ours and patches
+              // in place (no structural copy).
+              sourceConsumed = true;
+              built = FilterPlan::patchOwned(std::move(source->base), problem,
+                                             options, source->delta, cancelled,
+                                             partial);
               break;
             case DeltaImpact::Rebuild:
               built = FilterPlan::build(problem, options, cancelled, partial);
@@ -162,9 +204,11 @@ SharedPlanBuilder::Acquired SharedPlanBuilder::get(
         }
       } catch (const FilterBuildCancelled&) {
         // This consumer was told to stop; the build itself is still wanted.
-        // Release the builder role so a live waiter can take over.
+        // Release the builder role so a live waiter can take over, with the
+        // patch source restored when it is still intact.
         lock.lock();
         building_ = false;
+        if (source && !sourceConsumed) patchSource_ = std::move(source);
         cv_.notify_all();
         throw;
       } catch (const FilterOverflow&) {
@@ -182,13 +226,13 @@ SharedPlanBuilder::Acquired SharedPlanBuilder::get(
         // the cached builder for its whole (version, signature) lifetime.
         lock.lock();
         building_ = false;
+        if (source && !sourceConsumed) patchSource_ = std::move(source);
         cv_.notify_all();
         throw;
       }
       lock.lock();
       building_ = false;
       plan_ = std::move(built);
-      patchSource_.reset();  // the base plan is no longer needed
       cv_.notify_all();
       return {plan_, builtHere};
     }

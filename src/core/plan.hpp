@@ -87,6 +87,19 @@ struct FilterPlan {
       const FilterPlan& base, const Problem& problem, const SearchOptions& options,
       const ModelDelta& delta, const std::function<bool()>& cancelled = {},
       SearchStats* partial = nullptr);
+
+  /// patch() that takes ownership of `base`. When the caller's reference is
+  /// the last one (use_count() == 1 — no in-flight search, no other cache
+  /// entry), the cells are spliced directly into the existing matrix,
+  /// skipping the structural copy entirely; otherwise this falls back to
+  /// patch()'s copy-then-splice. The in-place mutation is invisible by
+  /// construction: a sole owner has, by definition, no concurrent reader.
+  /// On a throw from the in-place path the (consumed) base is corrupted —
+  /// callers must treat the pointer they passed as gone either way.
+  [[nodiscard]] static std::shared_ptr<const FilterPlan> patchOwned(
+      std::shared_ptr<const FilterPlan> base, const Problem& problem,
+      const SearchOptions& options, const ModelDelta& delta,
+      const std::function<bool()>& cancelled = {}, SearchStats* partial = nullptr);
 };
 
 /// Process-wide count of *completed* FilterPlan builds. Test and bench hook:
@@ -99,6 +112,11 @@ struct FilterPlan {
 /// bump that re-keys cached plans shows up here instead of in the build
 /// counter.
 [[nodiscard]] std::uint64_t filterPlanPatches() noexcept;
+
+/// Of filterPlanPatches(), how many ran in place on an exclusively-owned
+/// plan (no structural copy). Tests assert the cache's delta re-keying takes
+/// the in-place path when nothing else holds the old plan.
+[[nodiscard]] std::uint64_t filterPlanInPlacePatches() noexcept;
 
 /// One lazily-built FilterPlan shared by several consumers.
 ///

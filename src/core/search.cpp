@@ -15,6 +15,14 @@ const char* algorithmName(Algorithm a) noexcept {
   return "?";
 }
 
+const char* orderingName(Ordering o) noexcept {
+  switch (o) {
+    case Ordering::Static: return "static";
+    case Ordering::Dynamic: return "dynamic";
+  }
+  return "?";
+}
+
 const char* outcomeName(Outcome o) noexcept {
   switch (o) {
     case Outcome::Complete: return "complete";

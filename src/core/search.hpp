@@ -31,6 +31,21 @@ enum class Algorithm : std::uint8_t { ECF, RWB, LNS, Naive, Anneal, Genetic, Por
 enum class Outcome : std::uint8_t { Complete, Partial, Inconclusive };
 [[nodiscard]] const char* outcomeName(Outcome o) noexcept;
 
+/// Variable-ordering policy for the filtered engines (ECF/RWB).
+///  * Static  — the plan's Lemma-1 order (ascending stage-1 candidate count),
+///    fixed before the search starts. Deterministic streams, byte-identical
+///    to the historical behavior.
+///  * Dynamic — classic smallest-live-domain: per-node candidate domains are
+///    maintained incrementally as assignments constrain them (the same
+///    constrainer-row ANDs the search performs anyway, with popcounts folded
+///    into the pass), and each depth descends into the unassigned node with
+///    the fewest live candidates, breaking ties by the static order. A node
+///    whose domain wipes out prunes the subtree immediately. Enumerates the
+///    exact same solution *set* as Static — only the visit order (and so the
+///    first match under a cap) differs; still fully deterministic.
+enum class Ordering : std::uint8_t { Static, Dynamic };
+[[nodiscard]] const char* orderingName(Ordering o) noexcept;
+
 /// Candidate-domain representation for stage-1 filter cells (§V-A). Every
 /// cell always keeps its sorted CSR list (ordered enumeration, memory floor);
 /// this chooses when a packed bitset row is built alongside it so eq.-2
@@ -68,6 +83,11 @@ struct SearchOptions {
 
   /// Dual CSR/bitset candidate domains (see BitsetMode).
   BitsetMode bitsetMode = BitsetMode::Auto;
+
+  /// ECF/RWB variable order (see Ordering). Static keeps the historical
+  /// byte-identical streams; Dynamic pays a small per-assignment bookkeeping
+  /// cost to fail earlier on backtrack-heavy instances.
+  Ordering ordering = Ordering::Static;
 
   /// Abort filter construction beyond this many stored candidate entries
   /// (the O(n^5) blow-up guard the paper motivates LNS with). 0 = unlimited.

@@ -12,6 +12,10 @@
 // All word-level operations preserve the invariant that bits at positions
 // >= size() in the last word are zero, so count()/forEachSet() never see
 // ghost bits and row-vs-row operations on equal-sized operands are exact.
+//
+// The word loops dispatch through util::simd — AVX2/AVX-512 on x86, NEON on
+// AArch64, scalar otherwise — selected once at startup (overridable via
+// NETEMBED_SIMD); every ISA produces bit-identical results.
 
 #include <bit>
 #include <cassert>
@@ -19,6 +23,8 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "util/simd.hpp"
 
 namespace netembed::util {
 
@@ -95,15 +101,10 @@ class Bitset {
   }
 
   [[nodiscard]] std::size_t count() const noexcept {
-    std::size_t n = 0;
-    for (const std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
-    return n;
+    return simd::popcount(words_.data(), words_.size());
   }
   [[nodiscard]] bool any() const noexcept {
-    for (const std::uint64_t w : words_) {
-      if (w != 0) return true;
-    }
-    return false;
+    return simd::orReduce(words_.data(), words_.size()) != 0;
   }
 
   /// Overwrite with `row`, which must span exactly wordCount() words.
@@ -116,15 +117,38 @@ class Bitset {
   /// folded into the pass so callers can stop intersecting a dead set).
   bool andWith(std::span<const std::uint64_t> row) noexcept {
     assert(row.size() == words_.size());
-    std::uint64_t alive = 0;
-    for (std::size_t w = 0; w < words_.size(); ++w) alive |= (words_[w] &= row[w]);
-    return alive != 0;
+    return simd::andInto(words_.data(), row.data(), words_.size()) != 0;
   }
 
   /// this &= ~row.
   void andNotWith(std::span<const std::uint64_t> row) noexcept {
     assert(row.size() == words_.size());
-    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~row[w];
+    simd::andNotInto(words_.data(), row.data(), words_.size());
+  }
+
+  /// this = a & ~b — the fused "viable minus used" seed (one pass where
+  /// copyFrom + andNotWith would take two).
+  void assignAndNot(std::span<const std::uint64_t> a, const Bitset& b) noexcept {
+    assert(a.size() == words_.size() && b.wordCount() == words_.size());
+    simd::copyAndNot(words_.data(), a.data(), b.words().data(), words_.size());
+  }
+
+  /// this = a & b & ~c, returning true when any bit survives — the fused
+  /// first-constrainer intersection with viability and the used-set folded
+  /// into the same pass.
+  bool assignAndAndNot(std::span<const std::uint64_t> a,
+                       std::span<const std::uint64_t> b, const Bitset& c) noexcept {
+    assert(a.size() == words_.size() && b.size() == words_.size() &&
+           c.wordCount() == words_.size());
+    return simd::copyAndAndNot(words_.data(), a.data(), b.data(),
+                               c.words().data(), words_.size()) != 0;
+  }
+
+  /// this &= row, returning the resulting popcount — the dynamic-order
+  /// domain update (narrow and re-count in one pass).
+  std::size_t andWithCount(std::span<const std::uint64_t> row) noexcept {
+    assert(row.size() == words_.size());
+    return simd::andIntoPopcount(words_.data(), row.data(), words_.size());
   }
 
   bool andWith(const Bitset& other) noexcept { return andWith(other.words()); }

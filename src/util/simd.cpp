@@ -1,0 +1,447 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace netembed::util::simd {
+
+namespace {
+
+/// Parse the NETEMBED_SIMD override; returns true and sets `out` on a
+/// recognized value. Unrecognized values are ignored (auto-detect wins) —
+/// a typo in an env var must not silently change behavior to the slowest
+/// path without the operator noticing the requested name did nothing.
+bool parseIsaEnv(Isa& out) noexcept {
+  const char* raw = std::getenv("NETEMBED_SIMD");
+  if (raw == nullptr || *raw == '\0') return false;
+  std::string v(raw);
+  for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (v == "scalar") {
+    out = Isa::Scalar;
+    return true;
+  }
+  if (v == "avx2") {
+    out = Isa::Avx2;
+    return true;
+  }
+  if (v == "avx512") {
+    out = Isa::Avx512;
+    return true;
+  }
+  if (v == "neon") {
+    out = Isa::Neon;
+    return true;
+  }
+  return false;
+}
+
+Isa detectBestIsa() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  // AVX-512: the kernels use F (512-bit integer ops) and BW (byte shuffles
+  // in the popcount). VL/DQ are not required.
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw")) {
+    return Isa::Avx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return Isa::Avx2;
+  return Isa::Scalar;
+#elif defined(__aarch64__)
+  return Isa::Neon;  // NEON is architectural on AArch64
+#else
+  return Isa::Scalar;
+#endif
+}
+
+Isa clampToSupported(Isa requested) noexcept {
+  if (requested == Isa::Scalar) return Isa::Scalar;
+  const Isa best = detectBestIsa();
+#if defined(__x86_64__) || defined(_M_X64)
+  if (requested == Isa::Neon) return Isa::Scalar;  // wrong architecture
+  if (requested == Isa::Avx512 && best != Isa::Avx512) {
+    return best;  // Avx2 or Scalar, whichever the CPU has
+  }
+  if (requested == Isa::Avx2 && best == Isa::Scalar) return Isa::Scalar;
+  return requested;
+#elif defined(__aarch64__)
+  return requested == Isa::Neon ? Isa::Neon : Isa::Scalar;
+#else
+  (void)best;
+  return Isa::Scalar;
+#endif
+}
+
+Isa initialIsa() noexcept {
+  Isa requested;
+  if (parseIsaEnv(requested)) return clampToSupported(requested);
+  return detectBestIsa();
+}
+
+/// Startup-resolved, test-overridable dispatch knob. Relaxed ordering is
+/// sufficient: every value of the knob yields bit-identical results, so a
+/// racing reader can at worst run one kernel on the previous ISA.
+std::atomic<Isa>& isaKnob() noexcept {
+  static std::atomic<Isa> knob{initialIsa()};
+  return knob;
+}
+
+}  // namespace
+
+const char* isaName(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::Scalar: return "scalar";
+    case Isa::Neon: return "neon";
+    case Isa::Avx2: return "avx2";
+    case Isa::Avx512: return "avx512";
+  }
+  return "unknown";
+}
+
+Isa activeIsa() noexcept { return isaKnob().load(std::memory_order_relaxed); }
+
+Isa bestSupportedIsa() noexcept {
+  static const Isa best = detectBestIsa();
+  return best;
+}
+
+bool isaSupported(Isa isa) noexcept { return clampToSupported(isa) == isa; }
+
+Isa setActiveIsa(Isa isa) noexcept {
+  return isaKnob().exchange(clampToSupported(isa), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+Isa loadActiveIsa() noexcept { return isaKnob().load(std::memory_order_relaxed); }
+
+std::size_t popcountScalarImpl(const std::uint64_t* w, std::size_t n) noexcept {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    count += static_cast<std::size_t>(std::popcount(w[i]));
+  }
+  return count;
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+// --- AVX2 (4 words per vector) ----------------------------------------------
+// All loads/stores are unaligned: rows live inside std::vector storage with
+// no alignment guarantee beyond operator new's.
+
+__attribute__((target("avx2"))) std::uint64_t andIntoAvx2(
+    std::uint64_t* dst, const std::uint64_t* src, std::size_t n) noexcept {
+  std::size_t i = 0;
+  __m256i alive = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    const __m256i r = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), r);
+    alive = _mm256_or_si256(alive, r);
+  }
+  std::uint64_t tail = _mm256_testz_si256(alive, alive) ? 0 : 1;
+  for (; i < n; ++i) tail |= (dst[i] &= src[i]);
+  return tail;
+}
+
+__attribute__((target("avx2"))) void andNotIntoAvx2(std::uint64_t* dst,
+                                                    const std::uint64_t* src,
+                                                    std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // _mm256_andnot_si256(a, b) = ~a & b.
+    const __m256i r = _mm256_andnot_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), r);
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+__attribute__((target("avx2"))) void copyAndNotAvx2(std::uint64_t* dst,
+                                                    const std::uint64_t* a,
+                                                    const std::uint64_t* b,
+                                                    std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i r = _mm256_andnot_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), r);
+  }
+  for (; i < n; ++i) dst[i] = a[i] & ~b[i];
+}
+
+__attribute__((target("avx2"))) std::uint64_t copyAndAndNotAvx2(
+    std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+    const std::uint64_t* c, std::size_t n) noexcept {
+  std::size_t i = 0;
+  __m256i alive = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    const __m256i ab = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    const __m256i r = _mm256_andnot_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i)), ab);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), r);
+    alive = _mm256_or_si256(alive, r);
+  }
+  std::uint64_t tail = _mm256_testz_si256(alive, alive) ? 0 : 1;
+  for (; i < n; ++i) tail |= (dst[i] = a[i] & b[i] & ~c[i]);
+  return tail;
+}
+
+/// Nibble-LUT popcount of one 256-bit lane accumulated as four u64 sums
+/// (Mula's PSHUFB + PSADBW scheme — exact for any input).
+__attribute__((target("avx2"))) static inline __m256i popcount256(__m256i v) noexcept {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3,
+                                       4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3,
+                                       3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(v, low));
+  const __m256i hi = _mm256_shuffle_epi8(
+      lut, _mm256_and_si256(_mm256_srli_epi16(v, 4), low));
+  return _mm256_sad_epu8(_mm256_add_epi8(lo, hi), _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) std::size_t popcountAvx2(const std::uint64_t* w,
+                                                         std::size_t n) noexcept {
+  std::size_t i = 0;
+  __m256i acc = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, popcount256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i))));
+  }
+  std::uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::size_t count =
+      static_cast<std::size_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  for (; i < n; ++i) count += static_cast<std::size_t>(std::popcount(w[i]));
+  return count;
+}
+
+__attribute__((target("avx2"))) std::size_t andIntoPopcountAvx2(
+    std::uint64_t* dst, const std::uint64_t* src, std::size_t n) noexcept {
+  std::size_t i = 0;
+  __m256i acc = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    const __m256i r = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), r);
+    acc = _mm256_add_epi64(acc, popcount256(r));
+  }
+  std::uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::size_t count =
+      static_cast<std::size_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    dst[i] &= src[i];
+    count += static_cast<std::size_t>(std::popcount(dst[i]));
+  }
+  return count;
+}
+
+// --- AVX-512 (8 words per vector; F for the ops, BW for the popcount) -------
+
+// GCC's avx512fintrin.h trips -Wuninitialized on its own
+// _mm512_undefined_epi32 inside the unaligned-load intrinsics; the values
+// are fully overwritten before use.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+__attribute__((target("avx512f"))) std::uint64_t andIntoAvx512(
+    std::uint64_t* dst, const std::uint64_t* src, std::size_t n) noexcept {
+  std::size_t i = 0;
+  __m512i alive = _mm512_setzero_si512();
+  for (; i + 8 <= n; i += 8) {
+    const __m512i r = _mm512_and_si512(_mm512_loadu_si512(dst + i),
+                                       _mm512_loadu_si512(src + i));
+    _mm512_storeu_si512(dst + i, r);
+    alive = _mm512_or_si512(alive, r);
+  }
+  std::uint64_t tail = _mm512_reduce_or_epi64(alive);
+  for (; i < n; ++i) tail |= (dst[i] &= src[i]);
+  return tail;
+}
+
+__attribute__((target("avx512f"))) void andNotIntoAvx512(std::uint64_t* dst,
+                                                         const std::uint64_t* src,
+                                                         std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i r = _mm512_andnot_si512(_mm512_loadu_si512(src + i),
+                                          _mm512_loadu_si512(dst + i));
+    _mm512_storeu_si512(dst + i, r);
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+__attribute__((target("avx512f"))) void copyAndNotAvx512(std::uint64_t* dst,
+                                                         const std::uint64_t* a,
+                                                         const std::uint64_t* b,
+                                                         std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i r = _mm512_andnot_si512(_mm512_loadu_si512(b + i),
+                                          _mm512_loadu_si512(a + i));
+    _mm512_storeu_si512(dst + i, r);
+  }
+  for (; i < n; ++i) dst[i] = a[i] & ~b[i];
+}
+
+__attribute__((target("avx512f"))) std::uint64_t copyAndAndNotAvx512(
+    std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+    const std::uint64_t* c, std::size_t n) noexcept {
+  std::size_t i = 0;
+  __m512i alive = _mm512_setzero_si512();
+  for (; i + 8 <= n; i += 8) {
+    const __m512i ab =
+        _mm512_and_si512(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i));
+    const __m512i r = _mm512_andnot_si512(_mm512_loadu_si512(c + i), ab);
+    _mm512_storeu_si512(dst + i, r);
+    alive = _mm512_or_si512(alive, r);
+  }
+  std::uint64_t tail = _mm512_reduce_or_epi64(alive);
+  for (; i < n; ++i) tail |= (dst[i] = a[i] & b[i] & ~c[i]);
+  return tail;
+}
+
+/// 512-bit nibble-LUT popcount (needs BW for the byte shuffle/psadbw).
+__attribute__((target("avx512f,avx512bw"))) static inline __m512i popcount512(
+    __m512i v) noexcept {
+  const __m512i lut = _mm512_broadcast_i32x4(_mm_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4));
+  const __m512i low = _mm512_set1_epi8(0x0f);
+  const __m512i lo = _mm512_shuffle_epi8(lut, _mm512_and_si512(v, low));
+  const __m512i hi =
+      _mm512_shuffle_epi8(lut, _mm512_and_si512(_mm512_srli_epi16(v, 4), low));
+  return _mm512_sad_epu8(_mm512_add_epi8(lo, hi), _mm512_setzero_si512());
+}
+
+__attribute__((target("avx512f,avx512bw"))) std::size_t popcountAvx512(
+    const std::uint64_t* w, std::size_t n) noexcept {
+  std::size_t i = 0;
+  __m512i acc = _mm512_setzero_si512();
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc, popcount512(_mm512_loadu_si512(w + i)));
+  }
+  std::size_t count = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) count += static_cast<std::size_t>(std::popcount(w[i]));
+  return count;
+}
+
+__attribute__((target("avx512f,avx512bw"))) std::size_t andIntoPopcountAvx512(
+    std::uint64_t* dst, const std::uint64_t* src, std::size_t n) noexcept {
+  std::size_t i = 0;
+  __m512i acc = _mm512_setzero_si512();
+  for (; i + 8 <= n; i += 8) {
+    const __m512i r = _mm512_and_si512(_mm512_loadu_si512(dst + i),
+                                       _mm512_loadu_si512(src + i));
+    _mm512_storeu_si512(dst + i, r);
+    acc = _mm512_add_epi64(acc, popcount512(r));
+  }
+  std::size_t count = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    dst[i] &= src[i];
+    count += static_cast<std::size_t>(std::popcount(dst[i]));
+  }
+  return count;
+}
+
+#pragma GCC diagnostic pop
+
+#elif defined(__aarch64__)
+
+// --- NEON (2 words per vector) ----------------------------------------------
+
+std::uint64_t andIntoNeon(std::uint64_t* dst, const std::uint64_t* src,
+                          std::size_t n) noexcept {
+  std::size_t i = 0;
+  uint64x2_t alive = vdupq_n_u64(0);
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t r = vandq_u64(vld1q_u64(dst + i), vld1q_u64(src + i));
+    vst1q_u64(dst + i, r);
+    alive = vorrq_u64(alive, r);
+  }
+  std::uint64_t tail = vgetq_lane_u64(alive, 0) | vgetq_lane_u64(alive, 1);
+  for (; i < n; ++i) tail |= (dst[i] &= src[i]);
+  return tail;
+}
+
+void andNotIntoNeon(std::uint64_t* dst, const std::uint64_t* src,
+                    std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vbicq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+void copyAndNotNeon(std::uint64_t* dst, const std::uint64_t* a,
+                    const std::uint64_t* b, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vbicq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & ~b[i];
+}
+
+std::uint64_t copyAndAndNotNeon(std::uint64_t* dst, const std::uint64_t* a,
+                                const std::uint64_t* b, const std::uint64_t* c,
+                                std::size_t n) noexcept {
+  std::size_t i = 0;
+  uint64x2_t alive = vdupq_n_u64(0);
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t r = vbicq_u64(
+        vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)), vld1q_u64(c + i));
+    vst1q_u64(dst + i, r);
+    alive = vorrq_u64(alive, r);
+  }
+  std::uint64_t tail = vgetq_lane_u64(alive, 0) | vgetq_lane_u64(alive, 1);
+  for (; i < n; ++i) tail |= (dst[i] = a[i] & b[i] & ~c[i]);
+  return tail;
+}
+
+std::size_t popcountNeon(const std::uint64_t* w, std::size_t n) noexcept {
+  std::size_t i = 0;
+  std::uint64_t count = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint8x16_t bytes = vcntq_u8(vreinterpretq_u8_u64(vld1q_u64(w + i)));
+    count += vaddvq_u8(bytes);
+  }
+  for (; i < n; ++i) count += static_cast<std::uint64_t>(std::popcount(w[i]));
+  return static_cast<std::size_t>(count);
+}
+
+std::size_t andIntoPopcountNeon(std::uint64_t* dst, const std::uint64_t* src,
+                                std::size_t n) noexcept {
+  std::size_t i = 0;
+  std::uint64_t count = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t r = vandq_u64(vld1q_u64(dst + i), vld1q_u64(src + i));
+    vst1q_u64(dst + i, r);
+    count += vaddvq_u8(vcntq_u8(vreinterpretq_u8_u64(r)));
+  }
+  for (; i < n; ++i) {
+    dst[i] &= src[i];
+    count += static_cast<std::uint64_t>(std::popcount(dst[i]));
+  }
+  return static_cast<std::size_t>(count);
+}
+
+#endif
+
+}  // namespace detail
+
+}  // namespace netembed::util::simd

@@ -732,4 +732,135 @@ TEST(AsyncServiceDelta, MutationRekeysPlansAndPatchesInsteadOfRebuilding) {
   EXPECT_EQ(third.result.solutionCount, expected.result.solutionCount);
 }
 
+// --- patchOwned: in-place exclusivity ----------------------------------------
+
+TEST(PlanPatch, PatchOwnedSplicesInPlaceOnlyWhenExclusive) {
+  util::Rng rng(31);
+  Graph query = randomConnected(4, 3, false, rng);
+  attributeQuery(query);
+  Graph host = randomConnected(14, 30, false, rng);
+  attributeHost(host, rng);
+  const SearchOptions options = storeAll(core::BitsetMode::Auto);
+  NetworkModel model{graph::Graph(host)};
+  const Graph base = model.host();
+  const Problem baseProblem(query, base, capConstraints());
+
+  model.setNodeAttr(minDegreeNode(base), "cap", 9.0);
+  const ModelDelta delta = model.lastDelta();
+  const Graph mutated = model.host();
+  const Problem mutatedProblem(query, mutated, capConstraints());
+  const auto fresh = FilterPlan::build(mutatedProblem, options);
+
+  {
+    // A second holder forces the copy path: the shared base must come
+    // through untouched, and the in-place counter must not move.
+    auto plan = FilterPlan::build(baseProblem, options);
+    const auto held = plan;
+    const auto inPlaceBefore = core::filterPlanInPlacePatches();
+    const auto patchesBefore = core::filterPlanPatches();
+    const auto patched =
+        FilterPlan::patchOwned(std::move(plan), mutatedProblem, options, delta);
+    EXPECT_NE(patched.get(), held.get());
+    EXPECT_EQ(core::filterPlanPatches(), patchesBefore + 1);
+    EXPECT_EQ(core::filterPlanInPlacePatches(), inPlaceBefore);
+    expectPlansIdentical(*patched, *fresh, query, mutated);
+    const auto pristine = FilterPlan::build(baseProblem, options);
+    expectPlansIdentical(*held, *pristine, query, base);
+  }
+  {
+    // Sole owner: the same shared_ptr comes back, spliced in place.
+    auto plan = FilterPlan::build(baseProblem, options);
+    const FilterPlan* raw = plan.get();
+    const auto inPlaceBefore = core::filterPlanInPlacePatches();
+    const auto patched =
+        FilterPlan::patchOwned(std::move(plan), mutatedProblem, options, delta);
+    EXPECT_EQ(patched.get(), raw);
+    EXPECT_EQ(core::filterPlanInPlacePatches(), inPlaceBefore + 1);
+    expectPlansIdentical(*patched, *fresh, query, mutated);
+  }
+}
+
+TEST(FilterPlanCache, RekeyedExclusivePlansPatchInPlace) {
+  // A cached ready plan nobody is searching with is exclusively owned once
+  // applyDelta hands it to the patch source — resolving the re-keyed builder
+  // must take the in-place path.
+  util::Rng rng(37);
+  Graph query = randomConnected(4, 3, false, rng);
+  attributeQuery(query);
+  Graph host = randomConnected(14, 30, false, rng);
+  attributeHost(host, rng);
+  const SearchOptions options = storeAll(core::BitsetMode::Auto);
+  NetworkModel model{graph::Graph(host)};
+
+  FilterPlanCache cache(4);
+  const std::string signature = "q-sig";
+  {
+    const Graph snap = model.host();
+    auto builder = cache.acquire(model.version(), signature);
+    (void)builder->get(Problem(query, snap, capConstraints()), options);
+  }  // no outside reference to the cached plan survives this scope
+
+  model.setNodeAttr(minDegreeNode(host), "cap", 8.0);
+  cache.applyDelta(model.version(), model.lastDelta());
+
+  const Graph mutated = model.host();
+  const Problem mutatedProblem(query, mutated, capConstraints());
+  const auto inPlaceBefore = core::filterPlanInPlacePatches();
+  auto builder = cache.acquire(model.version(), signature);
+  const auto acquired = builder->get(mutatedProblem, options);
+  EXPECT_EQ(core::filterPlanInPlacePatches(), inPlaceBefore + 1);
+  const auto fresh = FilterPlan::build(mutatedProblem, options);
+  expectPlansIdentical(*acquired.plan, *fresh, query, mutated);
+}
+
+// --- parallel patch fan-out ---------------------------------------------------
+
+TEST(PlanPatch, ParallelPatchMatchesAFreshBuild) {
+  // A delta wide enough to cross the parallel-fan-out threshold (affected
+  // host edges x query edges >= 2048) with parallelFilterBuild on: the three
+  // parallel stages must produce exactly the serial (= fresh build) result.
+  util::Rng rng(41);
+  Graph query = randomConnected(6, 6, false, rng);
+  attributeQuery(query);
+  Graph host = randomConnected(48, 420, false, rng);
+  attributeHost(host, rng);
+
+  SearchOptions parallelOptions = storeAll(core::BitsetMode::Auto);
+  parallelOptions.parallelFilterBuild = true;
+  SearchOptions serialOptions = storeAll(core::BitsetMode::Auto);
+  serialOptions.parallelFilterBuild = false;
+
+  NetworkModel model{graph::Graph(host)};
+  const Graph base = model.host();
+  const auto planParallel =
+      FilterPlan::build(Problem(query, base, capConstraints()), parallelOptions);
+  const auto planSerial =
+      FilterPlan::build(Problem(query, base, capConstraints()), serialOptions);
+
+  // Touch a third of the host's nodes in one merged delta.
+  ModelDelta delta;
+  for (graph::NodeId n = 0; n < host.nodeCount(); n += 3) {
+    model.setNodeAttr(n, "cap", 10.0);
+    delta.merge(model.lastDelta());
+  }
+  const Graph mutated = model.host();
+  const Problem mutatedProblem(query, mutated, capConstraints());
+
+  const auto patchedParallel = FilterPlan::patch(*planParallel, mutatedProblem,
+                                                 parallelOptions, delta);
+  const auto patchedSerial =
+      FilterPlan::patch(*planSerial, mutatedProblem, serialOptions, delta);
+  const auto fresh = FilterPlan::build(mutatedProblem, serialOptions);
+  expectPlansIdentical(*patchedParallel, *fresh, query, mutated);
+  expectPlansIdentical(*patchedSerial, *fresh, query, mutated);
+
+  // And the patched plan searches identically to the fresh one.
+  const EmbedResult viaPatch = runWithPlan(Algorithm::ECF, mutatedProblem,
+                                           serialOptions, patchedParallel);
+  const EmbedResult viaFresh =
+      runWithPlan(Algorithm::ECF, mutatedProblem, serialOptions, fresh);
+  EXPECT_EQ(viaPatch.solutionCount, viaFresh.solutionCount);
+  EXPECT_EQ(viaPatch.mappings, viaFresh.mappings);
+}
+
 }  // namespace

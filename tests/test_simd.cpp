@@ -1,0 +1,417 @@
+// Runtime-dispatched SIMD kernels and everything built on them.
+//
+// Three layers of evidence, strongest last:
+//   1. kernel matrix — every dispatched word kernel against an independently
+//      computed reference, for every ISA reachable on this host, across word
+//      counts that straddle each vector width and its scalar tail;
+//   2. Bitset/BitMatrix tails — the bit-level wrappers for sizes 0..130 and
+//      beyond the inline-dispatch threshold, against a std::vector<bool>
+//      model (ghost bits past size() must never appear);
+//   3. end-to-end differential — forcing each reachable ISA must leave every
+//      engine's *ordered* solution stream byte-identical, and the dynamic
+//      ordering must keep its domain-count invariant and enumerate exactly
+//      the static order's solution set.
+
+#include "util/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/dynamic_order.hpp"
+#include "core/ecf.hpp"
+#include "core/plan.hpp"
+#include "core/rwb.hpp"
+#include "core/verify.hpp"
+#include "topo/brite.hpp"
+#include "topo/sample.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace netembed;
+using util::simd::Isa;
+
+std::vector<Isa> reachableIsas() {
+  std::vector<Isa> out;
+  for (const Isa isa : {Isa::Scalar, Isa::Neon, Isa::Avx2, Isa::Avx512}) {
+    if (util::simd::isaSupported(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+/// RAII ISA override so a failing assertion cannot leak a forced ISA into
+/// later tests.
+class IsaGuard {
+ public:
+  explicit IsaGuard(Isa isa) : previous_(util::simd::setActiveIsa(isa)) {}
+  ~IsaGuard() { util::simd::setActiveIsa(previous_); }
+
+ private:
+  Isa previous_;
+};
+
+std::vector<std::uint64_t> randomWords(std::size_t n, util::Rng& rng) {
+  std::vector<std::uint64_t> out(n);
+  for (std::uint64_t& w : out) w = rng.next();
+  return out;
+}
+
+// --- 1. kernel matrix ---------------------------------------------------------
+
+class SimdKernels : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(SimdKernels, EveryReachableIsaMatchesTheReference) {
+  const std::size_t n = GetParam();
+  util::Rng rng(7777 + n);
+  const std::vector<std::uint64_t> a = randomWords(n, rng);
+  const std::vector<std::uint64_t> b = randomWords(n, rng);
+  const std::vector<std::uint64_t> c = randomWords(n, rng);
+
+  // Independent references (plain loops, no shared code with the kernels).
+  std::vector<std::uint64_t> refAnd(n), refAndNot(n), refCopyAndNot(n),
+      refCopyAndAndNot(n);
+  std::uint64_t refAliveAnd = 0, refAliveCaan = 0, refOr = 0;
+  std::size_t refPop = 0, refAndPop = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    refAnd[i] = a[i] & b[i];
+    refAliveAnd |= refAnd[i];
+    refAndNot[i] = a[i] & ~b[i];
+    refCopyAndNot[i] = a[i] & ~b[i];
+    refCopyAndAndNot[i] = a[i] & b[i] & ~c[i];
+    refAliveCaan |= refCopyAndAndNot[i];
+    refOr |= a[i];
+    refPop += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+    refAndPop += static_cast<std::size_t>(__builtin_popcountll(refAnd[i]));
+  }
+
+  for (const Isa isa : reachableIsas()) {
+    SCOPED_TRACE(util::simd::isaName(isa));
+    IsaGuard guard(isa);
+    ASSERT_EQ(util::simd::activeIsa(), isa);
+
+    std::vector<std::uint64_t> dst = a;
+    EXPECT_EQ(util::simd::andInto(dst.data(), b.data(), n) != 0, refAliveAnd != 0);
+    EXPECT_EQ(dst, refAnd);
+
+    dst = a;
+    util::simd::andNotInto(dst.data(), b.data(), n);
+    EXPECT_EQ(dst, refAndNot);
+
+    std::vector<std::uint64_t> out(n, ~std::uint64_t{0});
+    util::simd::copyAndNot(out.data(), a.data(), b.data(), n);
+    EXPECT_EQ(out, refCopyAndNot);
+
+    out.assign(n, ~std::uint64_t{0});
+    EXPECT_EQ(
+        util::simd::copyAndAndNot(out.data(), a.data(), b.data(), c.data(), n) != 0,
+        refAliveCaan != 0);
+    EXPECT_EQ(out, refCopyAndAndNot);
+
+    dst = a;
+    EXPECT_EQ(util::simd::andIntoPopcount(dst.data(), b.data(), n), refAndPop);
+    EXPECT_EQ(dst, refAnd);
+
+    EXPECT_EQ(util::simd::popcount(a.data(), n), refPop);
+    EXPECT_EQ(util::simd::orReduce(a.data(), n), refOr);
+  }
+}
+
+// 0..4 stay inside the inline scalar fast path; 5..9 exercise one partial
+// vector iteration per ISA; 16/17 straddle the AVX-512 8-word stride; the
+// larger counts cover multi-stride rows with every tail length.
+INSTANTIATE_TEST_SUITE_P(WordCounts, SimdKernels,
+                         testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12,
+                                         13, 15, 16, 17, 23, 24, 31, 33, 64, 130));
+
+// --- 2. Bitset tails under every ISA -----------------------------------------
+
+class SimdBitsetTails : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(SimdBitsetTails, BitsetOpsMatchABoolVectorModel) {
+  const std::size_t bits = GetParam();
+  util::Rng rng(99 + bits);
+  std::vector<bool> modelA(bits), modelB(bits), modelC(bits);
+  util::Bitset a(bits), b(bits), c(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.bernoulli(0.4)) { modelA[i] = true; a.set(i); }
+    if (rng.bernoulli(0.4)) { modelB[i] = true; b.set(i); }
+    if (rng.bernoulli(0.2)) { modelC[i] = true; c.set(i); }
+  }
+  std::size_t refAndCount = 0;
+  bool refAnyAnd = false;
+  for (std::size_t i = 0; i < bits; ++i) {
+    refAndCount += (modelA[i] && modelB[i]) ? 1u : 0u;
+    refAnyAnd = refAnyAnd || (modelA[i] && modelB[i]);
+  }
+
+  for (const Isa isa : reachableIsas()) {
+    SCOPED_TRACE(util::simd::isaName(isa));
+    IsaGuard guard(isa);
+
+    util::Bitset d = a;
+    EXPECT_EQ(d.andWith(b), refAnyAnd);
+    EXPECT_EQ(d.count(), refAndCount);
+    for (std::size_t i = 0; i < bits; ++i) {
+      ASSERT_EQ(d.test(i), modelA[i] && modelB[i]) << "bit " << i;
+    }
+
+    d = a;
+    EXPECT_EQ(d.andWithCount(b.words()), refAndCount);
+
+    d = a;
+    d.andNotWith(b);
+    for (std::size_t i = 0; i < bits; ++i) {
+      ASSERT_EQ(d.test(i), modelA[i] && !modelB[i]) << "bit " << i;
+    }
+
+    d.assign(bits);
+    d.assignAndNot(a.words(), b);
+    std::size_t survivors = 0;
+    for (std::size_t i = 0; i < bits; ++i) {
+      ASSERT_EQ(d.test(i), modelA[i] && !modelB[i]) << "bit " << i;
+      survivors += d.test(i) ? 1u : 0u;
+    }
+    EXPECT_EQ(d.count(), survivors);
+
+    d.assign(bits);
+    const bool alive = d.assignAndAndNot(a.words(), b.words(), c);
+    bool refAlive = false;
+    for (std::size_t i = 0; i < bits; ++i) {
+      const bool expect = modelA[i] && modelB[i] && !modelC[i];
+      ASSERT_EQ(d.test(i), expect) << "bit " << i;
+      refAlive = refAlive || expect;
+    }
+    EXPECT_EQ(alive, refAlive);
+  }
+}
+
+// 0..130 covers every tail of the first three words (the ISSUE's contract);
+// 320+ puts rows past the inline threshold so the vector units really run.
+INSTANTIATE_TEST_SUITE_P(BitCounts, SimdBitsetTails,
+                         testing::Values(0, 1, 2, 31, 32, 63, 64, 65, 66, 95,
+                                         127, 128, 129, 130, 319, 320, 321, 512,
+                                         515, 1024, 1030));
+
+// --- 3. end-to-end differentials ----------------------------------------------
+
+struct Instance {
+  graph::Graph host{false};
+  graph::Graph query{false};
+  expr::ConstraintSet constraints;
+};
+
+/// A host large enough that filter rows span >4 words (vector paths engage),
+/// with a sampled feasible query and delay windows.
+Instance bigInstance(std::uint64_t seed) {
+  topo::BriteOptions bo;
+  bo.nodes = 330;
+  bo.m = 2;
+  bo.seed = util::deriveSeed(seed, 1);
+  Instance inst;
+  inst.host = topo::brite(bo);
+  util::Rng rng(util::deriveSeed(seed, 2));
+  auto sub = topo::sampleConnectedSubgraph(inst.host, 7, 9, rng);
+  topo::widenDelayWindows(sub.graph, 1.0);
+  inst.query = std::move(sub.graph);
+  inst.constraints = expr::ConstraintSet::edgeOnly(topo::delayWindowConstraint());
+  return inst;
+}
+
+core::SearchOptions enumerateAll(core::Ordering ordering,
+                                 core::BitsetMode mode = core::BitsetMode::Auto) {
+  core::SearchOptions o;
+  o.ordering = ordering;
+  o.bitsetMode = mode;
+  o.storeLimit = 1u << 20;
+  return o;
+}
+
+TEST(SimdDifferential, EcfStreamsAreByteIdenticalUnderEveryIsa) {
+  const Instance inst = bigInstance(101);
+  const core::Problem problem(inst.query, inst.host, inst.constraints);
+  ASSERT_GT(core::FilterPlan::build(problem, enumerateAll(core::Ordering::Static))
+                ->filters.hostWords(),
+            util::simd::kInlineWordThreshold);
+
+  for (const core::Ordering ordering :
+       {core::Ordering::Static, core::Ordering::Dynamic}) {
+    std::vector<core::Mapping> reference;
+    std::uint64_t referenceCount = 0;
+    for (const Isa isa : reachableIsas()) {
+      SCOPED_TRACE(util::simd::isaName(isa));
+      IsaGuard guard(isa);
+      const core::EmbedResult r =
+          core::ecfSearch(problem, enumerateAll(ordering));
+      ASSERT_EQ(r.outcome, core::Outcome::Complete);
+      if (isa == Isa::Scalar) {
+        reference = r.mappings;
+        referenceCount = r.solutionCount;
+        EXPECT_GE(referenceCount, 1u);
+        continue;
+      }
+      // Ordered streams, not sets: dispatch must be invisible bit for bit.
+      EXPECT_EQ(r.solutionCount, referenceCount);
+      EXPECT_EQ(r.mappings, reference);
+    }
+  }
+}
+
+TEST(SimdDifferential, RwbFirstMatchAgreesUnderEveryIsa) {
+  const Instance inst = bigInstance(202);
+  const core::Problem problem(inst.query, inst.host, inst.constraints);
+  std::vector<core::Mapping> reference;
+  for (const Isa isa : reachableIsas()) {
+    SCOPED_TRACE(util::simd::isaName(isa));
+    IsaGuard guard(isa);
+    core::SearchOptions o = enumerateAll(core::Ordering::Static);
+    o.seed = 9;
+    const core::EmbedResult r = core::rwbSearch(problem, o);
+    ASSERT_TRUE(r.feasible());
+    if (reference.empty()) {
+      reference = r.mappings;
+      continue;
+    }
+    EXPECT_EQ(r.mappings, reference);
+  }
+}
+
+// --- dynamic ordering ---------------------------------------------------------
+
+Instance smallInstance(std::uint64_t seed) {
+  topo::BriteOptions bo;
+  bo.nodes = 26;
+  bo.m = 2;
+  bo.seed = util::deriveSeed(seed, 1);
+  Instance inst;
+  inst.host = topo::brite(bo);
+  util::Rng rng(util::deriveSeed(seed, 2));
+  auto sub = topo::sampleConnectedSubgraph(inst.host, 5, 7, rng);
+  topo::widenDelayWindows(sub.graph, 0.5);
+  inst.query = std::move(sub.graph);
+  inst.constraints = expr::ConstraintSet::edgeOnly(topo::delayWindowConstraint());
+  return inst;
+}
+
+class OrderingDifferential : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrderingDifferential, DynamicEnumeratesTheStaticSolutionSet) {
+  const Instance inst = smallInstance(GetParam());
+  const core::Problem problem(inst.query, inst.host, inst.constraints);
+
+  for (const core::BitsetMode mode :
+       {core::BitsetMode::Off, core::BitsetMode::Auto, core::BitsetMode::Force}) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    const core::EmbedResult stat =
+        core::ecfSearch(problem, enumerateAll(core::Ordering::Static, mode));
+    const core::EmbedResult dyn =
+        core::ecfSearch(problem, enumerateAll(core::Ordering::Dynamic, mode));
+    ASSERT_EQ(stat.outcome, core::Outcome::Complete);
+    ASSERT_EQ(dyn.outcome, core::Outcome::Complete);
+    EXPECT_EQ(dyn.solutionCount, stat.solutionCount);
+    // Same *set*; the visit order may legitimately differ.
+    const std::set<core::Mapping> statSet(stat.mappings.begin(),
+                                          stat.mappings.end());
+    const std::set<core::Mapping> dynSet(dyn.mappings.begin(), dyn.mappings.end());
+    EXPECT_EQ(dynSet, statSet);
+    for (const core::Mapping& m : dyn.mappings) {
+      EXPECT_TRUE(core::verifyMapping(problem, m).ok);
+    }
+
+    // RWB under dynamic ordering agrees on feasibility and returns a member
+    // of the same solution set.
+    core::SearchOptions rwbOpts = enumerateAll(core::Ordering::Dynamic, mode);
+    rwbOpts.seed = 17;
+    const core::EmbedResult rwb = core::rwbSearch(problem, rwbOpts);
+    EXPECT_EQ(rwb.feasible(), stat.solutionCount > 0);
+    if (rwb.feasible()) {
+      EXPECT_TRUE(statSet.count(rwb.mappings[0]) > 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderingDifferential,
+                         testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(OrderingDifferential, RootSplitWorkersAgreeUnderDynamic) {
+  // One DomainTracker per root-split worker, no sharing: the parallel
+  // dynamic enumeration must produce exactly the serial static set. (This
+  // is the dynamic-order case the TSan CI job runs.)
+  const Instance inst = smallInstance(77);
+  const core::Problem problem(inst.query, inst.host, inst.constraints);
+  const core::EmbedResult serial =
+      core::ecfSearch(problem, enumerateAll(core::Ordering::Static));
+  ASSERT_EQ(serial.outcome, core::Outcome::Complete);
+
+  core::SearchOptions split = enumerateAll(core::Ordering::Dynamic);
+  split.rootSplitThreads = 3;
+  const core::EmbedResult parallel = core::ecfSearch(problem, split);
+  ASSERT_EQ(parallel.outcome, core::Outcome::Complete);
+  EXPECT_EQ(parallel.solutionCount, serial.solutionCount);
+  EXPECT_EQ(std::set<core::Mapping>(parallel.mappings.begin(),
+                                    parallel.mappings.end()),
+            std::set<core::Mapping>(serial.mappings.begin(),
+                                    serial.mappings.end()));
+}
+
+// --- DomainTracker invariants -------------------------------------------------
+
+TEST(DomainTracker, CountsStayConsistentThroughRandomWalks) {
+  const Instance inst = smallInstance(314);
+  const core::Problem problem(inst.query, inst.host, inst.constraints);
+  const auto plan =
+      core::FilterPlan::build(problem, enumerateAll(core::Ordering::Dynamic));
+  core::DomainTracker tracker(*plan);
+  ASSERT_TRUE(tracker.countsConsistent());
+
+  util::Rng rng(2718);
+  const std::size_t nq = inst.query.nodeCount();
+  std::vector<std::size_t> initialCounts(nq);
+  for (graph::NodeId v = 0; v < nq; ++v) initialCounts[v] = tracker.liveCount(v);
+
+  for (int walk = 0; walk < 40; ++walk) {
+    // Descend to a random depth, asserting the popcount invariant after
+    // every assign, then unwind fully and demand exact restoration.
+    std::size_t depth = 0;
+    while (tracker.assignedCount() < nq && rng.bernoulli(0.8)) {
+      const graph::NodeId v = tracker.selectNext();
+      ASSERT_FALSE(tracker.isAssigned(v));
+      if (tracker.liveCount(v) == 0) break;
+      // Pick a random live candidate from the maintained domain.
+      std::vector<graph::NodeId> live;
+      util::forEachSetBit(tracker.domain(v),
+                          [&](std::size_t r) {
+                            live.push_back(static_cast<graph::NodeId>(r));
+                          });
+      ASSERT_EQ(live.size(), tracker.liveCount(v));
+      const graph::NodeId r = live[rng.index(live.size())];
+      tracker.assign(v, r);  // dead-end results still must undo cleanly
+      ++depth;
+      ASSERT_TRUE(tracker.countsConsistent()) << "after assign at depth " << depth;
+    }
+    while (depth > 0) {
+      tracker.unassign();
+      --depth;
+      ASSERT_TRUE(tracker.countsConsistent()) << "after unassign to depth " << depth;
+    }
+    ASSERT_EQ(tracker.assignedCount(), 0u);
+    for (graph::NodeId v = 0; v < nq; ++v) {
+      ASSERT_EQ(tracker.liveCount(v), initialCounts[v]) << "node " << v;
+    }
+  }
+}
+
+TEST(DomainTracker, FirstNodeMatchesTheLemma1Front) {
+  const Instance inst = smallInstance(555);
+  const core::Problem problem(inst.query, inst.host, inst.constraints);
+  const auto plan =
+      core::FilterPlan::build(problem, enumerateAll(core::Ordering::Static));
+  // With the plan Lemma-1 sorted, the depth-0 dynamic pick is exactly the
+  // static front: same count key, same tie-break.
+  EXPECT_EQ(core::DomainTracker::firstNode(*plan), plan->order.front());
+}
+
+}  // namespace
