@@ -30,6 +30,7 @@
 #include "service/ticket.hpp"
 #include "util/timer.hpp"
 
+#include <climits>
 #include <future>
 
 using namespace netembed;
@@ -208,7 +209,7 @@ int main(int argc, char** argv) {
     }
     svc.drain();
 
-    std::size_t done = 0, refused = 0, other = 0;
+    std::size_t done = 0, refused = 0, preempted = 0, other = 0;
     for (service::SubmitTicket& ticket : tickets) {
       auto& future = ticket.future();
       if (future.wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
@@ -219,11 +220,14 @@ int main(int argc, char** argv) {
       switch (future.get().status) {
         case service::RequestStatus::Done: ++done; break;
         case service::RequestStatus::Rejected: ++refused; break;
+        case service::RequestStatus::Preempted: ++preempted; break;
         default: ++other; break;
       }
     }
     const auto queueStats = svc.queueStats();
     if (done + refused != satBatch || other != 0) saturationHeld = false;
+    // Preemption is off in this scenario; the status must not appear.
+    if (preempted != 0) saturationHeld = false;
     if (queueStats.shed != refused) saturationHeld = false;
     // Queue-wait percentiles come from the scheduler's reservoir: every
     // admitted job that reached a worker must have been sampled, and under
@@ -232,6 +236,19 @@ int main(int argc, char** argv) {
     if (queueStats.admissionWaitP99Ms < queueStats.admissionWaitP50Ms) {
       saturationHeld = false;
     }
+    // The per-class breakdown must tile the totals: every completion and
+    // every wait sample belongs to exactly one priority class.
+    std::uint64_t classCompleted = 0, classWaits = 0;
+    int lastPriority = INT_MIN;
+    for (const auto& cls : queueStats.classes) {
+      classCompleted += cls.completed;
+      classWaits += cls.waitSamples;
+      if (cls.priority <= lastPriority) saturationHeld = false;  // ascending
+      lastPriority = cls.priority;
+      if (cls.completed > 0 && cls.serviceEwmaMs <= 0.0) saturationHeld = false;
+    }
+    if (classCompleted != queueStats.completed) saturationHeld = false;
+    if (classWaits != queueStats.admissionWaitSamples) saturationHeld = false;
 
     util::TablePrinter satTable({"batch", "capacity", "done", "shed",
                                  "admit mean (ms)", "admit max (ms)",

@@ -47,6 +47,19 @@
 //                      FilterPlan patch/reuse — the cache/patch counters are
 //                      reported at the end. 0 (default) = off.
 //   --replay N         queries per replay run (default 8)
+//   --adaptive         replay mode: enable the queued service's adaptive
+//                      admission control (capacity derived from per-class
+//                      service-time EWMAs via Little's law, plus an early
+//                      low-priority shed watermark at 0.9 of capacity)
+//   --target-delay-ms  queue delay the adaptive capacity aims for
+//                      (default 250; implies nothing without --adaptive)
+//   --slack            replay mode: convert remaining admission slack into
+//                      the compute budget at dispatch (binds only for
+//                      requests with --deadline-ms)
+//   --preempt          replay mode: let queued High-class work preempt the
+//                      longest-running lower-class search (re-queued rather
+//                      than resolved Preempted); preemption counters are
+//                      reported at the end
 //
 // Outside replay mode the request runs through the ticket API
 // (submitTicketed): mappings stream to stderr as the search finds them, and
@@ -111,14 +124,15 @@ std::optional<core::Algorithm> parseAlgo(const std::string& name) {
 /// against the queued service, then report how many stage-1 plans were
 /// patched / reused / rebuilt across the induced version bumps.
 int runMutateReplay(graph::Graph host, service::EmbedRequest request,
-                    double mutateRate, std::size_t replays, std::uint64_t seed) {
+                    double mutateRate, std::size_t replays, std::uint64_t seed,
+                    const service::AsyncServiceOptions& serviceOptions) {
   if (!request.algorithm.has_value()) {
     // The replay measures the stage-1 delta path; the auto-chooser may pick
     // LNS (no stage-1 plan) on dense hosts, which would exercise nothing.
     request.algorithm = core::Algorithm::ECF;
     std::cerr << "replay: pinning --algo ecf (stage-1 plans are the point)\n";
   }
-  service::AsyncNetEmbedService svc{std::move(host)};
+  service::AsyncNetEmbedService svc{std::move(host), serviceOptions};
   util::Rng rng(util::deriveSeed(seed, 99));
   const std::uint64_t buildsBefore = core::filterPlanBuilds();
   const std::uint64_t patchesBefore = core::filterPlanPatches();
@@ -165,6 +179,20 @@ int runMutateReplay(graph::Graph host, service::EmbedRequest request,
             << "stage-1 plans: " << core::filterPlanBuilds() - buildsBefore
             << " built, " << core::filterPlanPatches() - patchesBefore
             << " patched\n";
+  if (serviceOptions.control.queue.adaptiveCapacity ||
+      serviceOptions.control.preemptLowForHigh) {
+    const auto queue = svc.queueStats();
+    const auto control = svc.controlStats();
+    std::cout << "control plane: effective capacity " << queue.effectiveCapacity
+              << ", " << control.preemptionsFired << " preemptions fired, "
+              << control.preemptRequeues << " re-queued\n";
+    for (const auto& cls : queue.classes) {
+      std::cout << "  class " << cls.priority << ": " << cls.completed
+                << " completed, service EWMA "
+                << util::formatFixed(cls.serviceEwmaMs, 2) << " ms, wait p99 "
+                << util::formatFixed(cls.waitP99Ms, 2) << " ms\n";
+    }
+  }
   return allDone ? 0 : 1;
 }
 
@@ -227,8 +255,21 @@ int main(int argc, char** argv) {
     const double mutateRate = args.getDouble("mutate-rate", 0.0);
     if (mutateRate > 0.0) {
       const auto replays = static_cast<std::size_t>(args.getInt("replay", 8));
+      service::AsyncServiceOptions serviceOptions;
+      if (args.getBool("adaptive")) {
+        serviceOptions.control.queue.adaptiveCapacity = true;
+        serviceOptions.control.queue.targetQueueDelay =
+            std::chrono::milliseconds(args.getInt("target-delay-ms", 250));
+        serviceOptions.control.queue.lowPriorityShedWatermark = 0.9;
+        serviceOptions.overloadPolicy = util::OverloadPolicy::ShedLowestPriority;
+      }
+      serviceOptions.control.propagateSlack = args.getBool("slack");
+      if (args.getBool("preempt")) {
+        serviceOptions.control.preemptLowForHigh = true;
+        serviceOptions.control.requeuePreempted = true;
+      }
       return runMutateReplay(std::move(host), std::move(request), mutateRate,
-                             replays, seed);
+                             replays, seed, serviceOptions);
     }
 
     service::NetEmbedService svc{service::NetworkModel(std::move(host))};

@@ -1,5 +1,6 @@
 #include "service/async.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
@@ -8,12 +9,17 @@ namespace netembed::service {
 
 namespace {
 
-RequestStatus statusForDrop(util::QosDropReason reason) noexcept {
+RequestStatus statusForDrop(util::QosDropReason reason,
+                            bool isPreemptRequeue) noexcept {
   switch (reason) {
-    case util::QosDropReason::Rejected: return RequestStatus::Rejected;
-    // A shed request was displaced by higher-priority work — from the
-    // submitter's perspective that is an admission refusal.
-    case util::QosDropReason::Shed: return RequestStatus::Rejected;
+    case util::QosDropReason::Rejected:
+    case util::QosDropReason::Shed:
+      // A shed request was displaced by higher-priority work — from the
+      // submitter's perspective that is an admission refusal. A *re-queue*
+      // of a preempted attempt that finds no room reports what actually
+      // ended the request: the preemption.
+      return isPreemptRequeue ? RequestStatus::Preempted
+                              : RequestStatus::Rejected;
     case util::QosDropReason::Expired: return RequestStatus::Expired;
     case util::QosDropReason::Cancelled: return RequestStatus::Cancelled;
   }
@@ -28,7 +34,8 @@ AsyncNetEmbedService::AsyncNetEmbedService(NetworkModel model, Options options)
       options_(options),
       qos_(std::make_shared<util::QosScheduler>(
           util::QosScheduler::Options{options.workers, options.queueCapacity,
-                                      options.overloadPolicy})) {
+                                      options.overloadPolicy,
+                                      options.control.queue})) {
   publishSnapshotLocked();  // construction is single-threaded; no lock needed
 }
 
@@ -59,41 +66,143 @@ SubmitTicket AsyncNetEmbedService::submit(EmbedRequest request,
   SubmitTicket ticket(state);
   registerInflight(state);
 
-  util::QosScheduler::Job job;
-  job.priority = static_cast<int>(request.qos.priority);
-  job.tenant = request.qos.tenant;
-  if (request.qos.admissionDeadline.count() > 0) {
-    job.admitBy =
-        util::QosScheduler::Clock::now() + request.qos.admissionDeadline;
+  std::optional<util::QosScheduler::Clock::time_point> admitBy;
+  if (request.qos.admissionDeadline) {
+    // An explicitly non-positive deadline means "no wait at all": the
+    // admitBy point is already in the past, so the request expires at its
+    // first admission check (Block wait or dequeue) — the lazy-expiry
+    // contract — instead of silently degrading to an unbounded wait.
+    admitBy =
+        util::QosScheduler::Clock::now() + *request.qos.admissionDeadline;
   }
-  job.run = [this, state, request = std::move(request)] {
-    // Pin the newest snapshot for the whole run: the plan cache key and the
-    // response's modelVersion must describe the exact host graph searched.
-    const std::shared_ptr<const Snapshot> snapshot = currentSnapshot();
-    detail::runTicketed(state, request, *snapshot->host, snapshot->version,
-                        /*allowPortfolioEscalation=*/false, &planCache_);
-    unregisterInflight(state.get());
+  enqueueRequest(state, std::move(request), admitBy,
+                 /*isPreemptRequeue=*/false);
+  return ticket;
+}
+
+void AsyncNetEmbedService::enqueueRequest(
+    std::shared_ptr<detail::TicketState> state, EmbedRequest request,
+    std::optional<util::QosScheduler::Clock::time_point> admitBy,
+    bool isPreemptRequeue) {
+  const int priority = static_cast<int>(request.qos.priority);
+
+  util::QosScheduler::Job job;
+  job.priority = priority;
+  job.tenant = request.qos.tenant;
+  job.admitBy = admitBy;
+  job.run = [this, state, request = std::move(request), admitBy] {
+    runAttempt(state, request, admitBy);
   };
-  job.onDrop = [this, state](util::QosDropReason reason) {
-    detail::resolveDropped(*state, statusForDrop(reason),
+  job.onDrop = [this, state, isPreemptRequeue](util::QosDropReason reason) {
+    detail::resolveDropped(*state, statusForDrop(reason, isPreemptRequeue),
                            std::string("dropped at admission: ") +
                                util::qosDropReasonName(reason));
     unregisterInflight(state.get());
   };
 
-  const util::QosScheduler::JobId id = qos_->submit(std::move(job));
+  // A re-queue runs on a scheduler worker: it must never Block-wait for
+  // space there (a single-worker scheduler would deadlock against itself).
+  const util::QosScheduler::JobId id = isPreemptRequeue
+                                           ? qos_->trySubmit(std::move(job))
+                                           : qos_->submit(std::move(job));
   if (id != 0) {
+    if (isPreemptRequeue) {
+      preemptRequeues_.fetch_add(1, std::memory_order_relaxed);
+    }
     // Arm the queue-removal side of cancel(). The job may already be
     // running — cancel(id) then misses and the stop token carries the
     // cancel instead. The hook shares ownership of the scheduler (not the
     // service): a copy raced against service destruction lands on the
     // joined, empty queue — a harmless miss, never freed memory.
-    std::lock_guard lock(state->mutex);
-    if (!state->resolved) {
-      state->tryDequeue = [qos = qos_, id] { return qos->cancel(id); };
+    {
+      std::lock_guard lock(state->mutex);
+      if (!state->resolved) {
+        state->tryDequeue = [qos = qos_, id] { return qos->cancel(id); };
+      }
+    }
+    if (options_.control.preemptLowForHigh) maybePreemptFor(priority);
+  }
+}
+
+void AsyncNetEmbedService::runAttempt(
+    const std::shared_ptr<detail::TicketState>& state,
+    const EmbedRequest& request,
+    std::optional<util::QosScheduler::Clock::time_point> admitBy) {
+  // Pin the newest snapshot for the whole run: the plan cache key and the
+  // response's modelVersion must describe the exact host graph searched.
+  const std::shared_ptr<const Snapshot> snapshot = currentSnapshot();
+
+  // Deadline-slack propagation: the wall-clock budget of this attempt is at
+  // most the slack that remained at dispatch (executeEmbed only ever
+  // tightens SearchOptions::timeout from it). A nearly-expired request burns
+  // a sliver of compute, not a full search budget.
+  const EmbedRequest* toRun = &request;
+  EmbedRequest tightened;
+  if (options_.control.propagateSlack && admitBy) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        *admitBy - util::QosScheduler::Clock::now());
+    const auto budget = std::max(remaining, options_.control.minSlackBudget);
+    if (request.qos.computeBudget.count() == 0 ||
+        budget < request.qos.computeBudget) {
+      tightened = request;
+      tightened.qos.computeBudget = budget;
+      toRun = &tightened;
     }
   }
-  return ticket;
+
+  std::shared_ptr<detail::PreemptSlot> slot;
+  if (options_.control.preemptLowForHigh) {
+    slot = std::make_shared<detail::PreemptSlot>();
+    slot->priority = static_cast<int>(request.qos.priority);
+    slot->started = util::QosScheduler::Clock::now();
+    std::lock_guard lock(slotsMutex_);
+    runningSlots_[state.get()] = slot;
+  }
+
+  const detail::RunOutcome outcome = detail::runTicketedAttempt(
+      state, *toRun, *snapshot->host, snapshot->version,
+      /*allowPortfolioEscalation=*/false, &planCache_, slot.get(),
+      options_.control.requeuePreempted);
+
+  if (slot) {
+    std::lock_guard lock(slotsMutex_);
+    runningSlots_.erase(state.get());
+  }
+
+  if (outcome == detail::RunOutcome::RequeuePreempted) {
+    // Back into the queue, original admission deadline still ticking. The
+    // ticket stays registered in inflight_ across attempts.
+    enqueueRequest(state, request, admitBy, /*isPreemptRequeue=*/true);
+    return;
+  }
+  unregisterInflight(state.get());
+}
+
+void AsyncNetEmbedService::maybePreemptFor(int priority) {
+  // Only worth firing when nothing will pick the queued job up on its own:
+  // every worker busy, at least one of them on strictly lower-class work.
+  if (qos_->runningCount() < qos_->workerCount()) return;
+  std::shared_ptr<detail::PreemptSlot> victim;
+  {
+    std::lock_guard lock(slotsMutex_);
+    for (const auto& [key, slot] : runningSlots_) {
+      (void)key;
+      if (slot->priority >= priority) continue;
+      if (slot->preempted.load(std::memory_order_relaxed)) continue;
+      // Lowest class first; within a class the longest-running attempt (it
+      // has had the most service, and its restart loses the least slack).
+      if (!victim || slot->priority < victim->priority ||
+          (slot->priority == victim->priority &&
+           slot->started < victim->started)) {
+        victim = slot;
+      }
+    }
+    if (victim) victim->preempted.store(true, std::memory_order_release);
+  }
+  if (victim) {
+    victim->attempt.request_stop();
+    preemptionsFired_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::future<EmbedResponse> AsyncNetEmbedService::submitAsync(EmbedRequest request) {

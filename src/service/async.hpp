@@ -45,11 +45,14 @@
 // Cancelled without running; running ones are stopped cooperatively and
 // resolve with their partial result). Futures stay valid either way.
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <unordered_map>
 
@@ -73,6 +76,36 @@ struct AsyncServiceOptions {
   /// What the destructor does with requests still pending.
   util::QosScheduler::ShutdownMode shutdownMode =
       util::QosScheduler::ShutdownMode::Drain;
+
+  /// The closed-loop overload controller. All defaults off: the service then
+  /// behaves exactly like the static PR-4 front end.
+  struct ControlPolicy {
+    /// Queue-side control: adaptive capacity from per-class service-time
+    /// EWMAs and the early low-priority shed watermark (see
+    /// util::QosScheduler::ControlPolicy).
+    util::QosScheduler::ControlPolicy queue{};
+    /// Convert a request's remaining admission slack into its wall-clock
+    /// compute budget at dispatch: a request admitted close to its deadline
+    /// runs with a correspondingly small budget instead of burning a full
+    /// search budget on an answer nobody is waiting for any more. Only ever
+    /// *tightens* an explicit QoS::computeBudget; requests without an
+    /// admission deadline are untouched.
+    bool propagateSlack = false;
+    /// Floor for the slack-derived budget (a request admitted exactly at its
+    /// deadline still gets this much compute rather than zero).
+    std::chrono::milliseconds minSlackBudget{1};
+    /// When High-class work queues behind a full worker set, stop the
+    /// longest-running strictly-lower-class search (its per-attempt stop
+    /// token fires; the ticket resolves RequestStatus::Preempted with its
+    /// partial result). Best-effort and cooperative: the victim stops at its
+    /// next deadline poll.
+    bool preemptLowForHigh = false;
+    /// Instead of resolving a preempted request, re-admit it (non-blocking;
+    /// a refused re-queue resolves Preempted after all). Its admission
+    /// deadline, if any, keeps running across attempts.
+    bool requeuePreempted = false;
+  };
+  ControlPolicy control{};
 };
 
 class AsyncNetEmbedService {
@@ -136,6 +169,18 @@ class AsyncNetEmbedService {
     return qos_->stats();
   }
 
+  /// Control-plane counters.
+  struct ControlStats {
+    /// Preemption stop-tokens fired at running lower-class attempts.
+    std::uint64_t preemptionsFired = 0;
+    /// Preempted requests successfully re-admitted to the queue.
+    std::uint64_t preemptRequeues = 0;
+  };
+  [[nodiscard]] ControlStats controlStats() const {
+    return ControlStats{preemptionsFired_.load(std::memory_order_relaxed),
+                        preemptRequeues_.load(std::memory_order_relaxed)};
+  }
+
   // --- synchronized model access -------------------------------------------
 
   [[nodiscard]] std::uint64_t version() const;
@@ -178,6 +223,21 @@ class AsyncNetEmbedService {
   void registerInflight(const std::shared_ptr<detail::TicketState>& state);
   void unregisterInflight(const detail::TicketState* key);
 
+  /// Build and submit the scheduler job for one (possibly re-queued)
+  /// request; arms the ticket's queue-removal hook on success.
+  void enqueueRequest(std::shared_ptr<detail::TicketState> state,
+                      EmbedRequest request,
+                      std::optional<util::QosScheduler::Clock::time_point> admitBy,
+                      bool isPreemptRequeue);
+  /// One execution attempt on a scheduler worker: slack propagation, preempt
+  /// slot registration, and the re-queue round trip.
+  void runAttempt(const std::shared_ptr<detail::TicketState>& state,
+                  const EmbedRequest& request,
+                  std::optional<util::QosScheduler::Clock::time_point> admitBy);
+  /// Fire the preemption chain for newly queued work of class `priority`
+  /// when every worker is busy and one of them runs strictly lower work.
+  void maybePreemptFor(int priority);
+
   mutable std::mutex modelMutex_;  // guards model_ and snapshot_ publication
   NetworkModel model_;
   std::shared_ptr<const Snapshot> snapshot_;
@@ -189,6 +249,16 @@ class AsyncNetEmbedService {
   std::mutex inflightMutex_;
   std::unordered_map<const detail::TicketState*, std::weak_ptr<detail::TicketState>>
       inflight_;
+
+  // Attempts currently executing with preemption enabled, keyed by ticket:
+  // maybePreemptFor picks its victim here. Registered/unregistered by
+  // runAttempt around the engine run.
+  std::mutex slotsMutex_;
+  std::unordered_map<const detail::TicketState*,
+                     std::shared_ptr<detail::PreemptSlot>>
+      runningSlots_;
+  std::atomic<std::uint64_t> preemptionsFired_{0};
+  std::atomic<std::uint64_t> preemptRequeues_{0};
 
   // Shared so a ticket's queue-removal hook (SubmitTicket::cancel) keeps the
   // scheduler object alive even if a stale copy of the hook races service

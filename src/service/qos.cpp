@@ -20,6 +20,7 @@ const char* requestStatusName(RequestStatus s) noexcept {
     case RequestStatus::Rejected: return "rejected";
     case RequestStatus::Expired: return "expired";
     case RequestStatus::Failed: return "failed";
+    case RequestStatus::Preempted: return "preempted";
   }
   return "?";
 }

@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 
 namespace netembed::service {
 
@@ -21,8 +22,12 @@ enum class Priority : std::uint8_t { Low = 0, Normal = 1, High = 2 };
 struct QoS {
   Priority priority = Priority::Normal;
   /// Maximum time the request may wait in the admission queue before it is
-  /// dropped with RequestStatus::Expired. Zero = no admission deadline.
-  std::chrono::milliseconds admissionDeadline{0};
+  /// dropped with RequestStatus::Expired. nullopt (the default) = no
+  /// admission deadline. An *explicitly set* non-positive value means
+  /// expire-immediately: a caller that computed its remaining slack and
+  /// landed on zero or negative asked for "no wait at all", which must not
+  /// silently degrade to "wait forever" (it used to — the sentinel was 0).
+  std::optional<std::chrono::milliseconds> admissionDeadline;
   /// Wall-clock compute budget once running; tightens (never widens)
   /// SearchOptions::timeout. Zero = no extra bound.
   std::chrono::milliseconds computeBudget{0};
@@ -46,6 +51,11 @@ enum class RequestStatus : std::uint8_t {
   Rejected,   // refused at admission (queue full under Reject/Shed policy)
   Expired,    // admission deadline passed while still queued
   Failed,     // the search threw; the future carries the exception
+  Preempted,  // a Low-class run was stopped to free its worker for queued
+              // High-class work; the response carries the partial result.
+              // With ControlPolicy::requeuePreempted the request re-enters
+              // the queue instead and this status is only seen when the
+              // re-queue was refused.
 };
 [[nodiscard]] const char* requestStatusName(RequestStatus s) noexcept;
 

@@ -1,5 +1,7 @@
 #include "service/ticket.hpp"
 
+#include <condition_variable>
+#include <deque>
 #include <optional>
 
 namespace netembed::service {
@@ -7,6 +9,105 @@ namespace netembed::service {
 namespace detail {
 
 namespace {
+
+/// Bounded hand-off between the search thread(s) admitting mappings and one
+/// per-ticket consumer thread delivering them to the user's onSolution. The
+/// point: a slow consumer must not park the scheduler worker that happens to
+/// be running this request's search (Block throttles only this request's
+/// *search*; DropOldest doesn't even do that). Single consumer => deliveries
+/// are sequential and in admission order, and closeAndJoin() guarantees the
+/// last delivery happens-before the ticket resolves.
+class SolutionBuffer {
+ public:
+  SolutionBuffer(TicketState& state, std::size_t capacity,
+                 SolutionBufferPolicy policy)
+      : state_(state),
+        capacity_(std::max<std::size_t>(capacity, 1)),
+        policy_(policy),
+        consumer_([this] { consumerLoop(); }) {}
+
+  ~SolutionBuffer() { closeAndJoin(); }
+
+  /// Producer side (the engine's SolutionSink; may be called concurrently
+  /// under root split). Returns false once the consumer asked the search to
+  /// stop (user sink returned false).
+  bool push(const core::Mapping& mapping) {
+    std::unique_lock lock(mutex_);
+    if (policy_ == SolutionBufferPolicy::Block) {
+      spaceCv_.wait(lock, [&] {
+        return buffer_.size() < capacity_ || stopStream_ || closed_;
+      });
+    } else if (buffer_.size() >= capacity_) {
+      buffer_.pop_front();
+      state_.droppedSolutions.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (stopStream_ || closed_) return false;
+    buffer_.push_back(mapping);
+    itemsCv_.notify_one();
+    return true;
+  }
+
+  /// Flush the remaining buffer through onSolution and join the consumer.
+  /// Idempotent; must complete before the ticket resolves.
+  void closeAndJoin() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+      itemsCv_.notify_all();
+      spaceCv_.notify_all();
+    }
+    if (consumer_.joinable()) consumer_.join();
+  }
+
+ private:
+  void consumerLoop() {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      itemsCv_.wait(lock, [&] { return !buffer_.empty() || closed_; });
+      if (buffer_.empty()) return;  // closed and drained
+      if (stopStream_) {
+        // The user declined further solutions: whatever is still buffered
+        // will never be delivered — account it as dropped and stop.
+        state_.droppedSolutions.fetch_add(buffer_.size(),
+                                          std::memory_order_relaxed);
+        buffer_.clear();
+        spaceCv_.notify_all();
+        return;
+      }
+      core::Mapping mapping = std::move(buffer_.front());
+      buffer_.pop_front();
+      spaceCv_.notify_one();
+      lock.unlock();
+      state_.streamed.fetch_add(1, std::memory_order_relaxed);
+      bool keepGoing = true;
+      const core::SolutionSink& user = state_.callbacks.onSolution;
+      if (user) {
+        try {
+          keepGoing = user(mapping);
+        } catch (...) {
+          // SolutionSink is not supposed to throw; treat a throw as "stop".
+          keepGoing = false;
+        }
+      }
+      lock.lock();
+      if (!keepGoing) {
+        stopStream_ = true;  // producers see false from the next push
+        spaceCv_.notify_all();
+      }
+    }
+  }
+
+  TicketState& state_;
+  const std::size_t capacity_;
+  const SolutionBufferPolicy policy_;
+  std::mutex mutex_;
+  std::condition_variable itemsCv_;  // consumer: "a mapping is buffered"
+  std::condition_variable spaceCv_;  // Block producers: "a slot freed up"
+  std::deque<core::Mapping> buffer_;
+  bool closed_ = false;      // no more pushes; drain and exit
+  bool stopStream_ = false;  // user sink said stop; pushes return false
+  std::thread consumer_;
+};
 
 /// Claim the single resolution. nullopt when someone else already resolved;
 /// otherwise whether a ticket cancel had been requested at the moment the
@@ -96,33 +197,87 @@ void runTicketed(const std::shared_ptr<TicketState>& state,
                  const EmbedRequest& request, const graph::Graph& host,
                  std::uint64_t version, bool allowPortfolioEscalation,
                  FilterPlanCache* cache) {
+  (void)runTicketedAttempt(state, request, host, version,
+                           allowPortfolioEscalation, cache, /*slot=*/nullptr,
+                           /*requeueOnPreempt=*/false);
+}
+
+RunOutcome runTicketedAttempt(const std::shared_ptr<TicketState>& state,
+                              const EmbedRequest& request,
+                              const graph::Graph& host, std::uint64_t version,
+                              bool allowPortfolioEscalation,
+                              FilterPlanCache* cache, PreemptSlot* slot,
+                              bool requeueOnPreempt) {
   if (state->stop.stop_requested()) {
     // Cancelled between admission and dispatch (the fix for the leaked
     // never-satisfied promise): resolve instead of running.
     resolveDropped(*state, RequestStatus::Cancelled,
                    "cancelled before dispatch");
-    return;
+    return RunOutcome::Resolved;
   }
   state->status.store(RequestStatus::Running, std::memory_order_release);
+
+  // The engine runs under the attempt's stop token when one exists: the
+  // service can then stop *this run* (preemption) without poisoning the
+  // ticket, while a genuine ticket cancel still propagates through the
+  // chained callback.
+  std::optional<std::stop_callback<std::function<void()>>> chain;
+  std::stop_token token = state->stop.get_token();
+  if (slot) {
+    chain.emplace(state->stop.get_token(),
+                  std::function<void()>(
+                      [slot] { slot->attempt.request_stop(); }));
+    token = slot->attempt.get_token();
+  }
+
   // The streaming hook: every admitted solution flows out while the search
-  // runs. The wrapper counts even without a user callback so
+  // runs — inline from the search thread (historical default), or through a
+  // bounded buffer + consumer thread when the ticket asked for backpressure
+  // decoupling. The inline wrapper counts even without a user callback so
   // solutionsStreamed() always reports admissions.
-  const core::SolutionSink sink = [state](const core::Mapping& mapping) {
-    state->streamed.fetch_add(1, std::memory_order_relaxed);
-    const core::SolutionSink& user = state->callbacks.onSolution;
-    return user ? user(mapping) : true;
-  };
+  std::optional<SolutionBuffer> buffer;
+  core::SolutionSink sink;
+  if (state->callbacks.solutionBufferCapacity > 0) {
+    buffer.emplace(*state, state->callbacks.solutionBufferCapacity,
+                   state->callbacks.solutionBufferPolicy);
+    SolutionBuffer* buf = &*buffer;
+    sink = [buf](const core::Mapping& mapping) { return buf->push(mapping); };
+  } else {
+    sink = [state](const core::Mapping& mapping) {
+      state->streamed.fetch_add(1, std::memory_order_relaxed);
+      const core::SolutionSink& user = state->callbacks.onSolution;
+      return user ? user(mapping) : true;
+    };
+  }
+
   try {
-    EmbedResponse response =
-        detail::executeEmbed(request, host, version, allowPortfolioEscalation,
-                             cache, sink, state->stop.get_token());
+    EmbedResponse response = detail::executeEmbed(
+        request, host, version, allowPortfolioEscalation, cache, sink, token);
+    // Every buffered delivery happens-before the resolution below.
+    if (buffer) buffer->closeAndJoin();
+    const bool preempted = slot &&
+                           slot->preempted.load(std::memory_order_acquire) &&
+                           !state->stop.stop_requested();
+    if (preempted && response.result.outcome != core::Outcome::Complete) {
+      if (requeueOnPreempt) {
+        // Hand the unresolved ticket back for re-admission: from the
+        // holder's perspective it simply went back to waiting in the queue.
+        state->status.store(RequestStatus::Queued, std::memory_order_release);
+        return RunOutcome::RequeuePreempted;
+      }
+      response.status = RequestStatus::Preempted;
+      response.diagnostics += " [preempted for higher-priority work]";
+    }
     // Cancelled-vs-Done is decided inside resolveResponse, under the same
     // lock cancelTicket synchronizes on — no window where a cancel that
-    // reported success resolves plain Done.
+    // reported success resolves plain Done. (A preempt that raced a natural
+    // completion — outcome Complete — resolves Done: the work is whole.)
     resolveResponse(*state, std::move(response));
   } catch (...) {
+    if (buffer) buffer->closeAndJoin();
     resolveError(*state, std::current_exception());
   }
+  return RunOutcome::Resolved;
 }
 
 }  // namespace detail
@@ -140,6 +295,11 @@ bool SubmitTicket::cancel() {
 std::uint64_t SubmitTicket::solutionsStreamed() const noexcept {
   if (!state_) return 0;
   return state_->streamed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SubmitTicket::solutionsDropped() const noexcept {
+  if (!state_) return 0;
+  return state_->droppedSolutions.load(std::memory_order_relaxed);
 }
 
 std::future<EmbedResponse>& SubmitTicket::futureRef() {

@@ -12,6 +12,7 @@
 // terminal response.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -25,6 +26,18 @@
 
 namespace netembed::service {
 
+/// What a *buffered* onSolution does when its bounded buffer is full (see
+/// TicketCallbacks::solutionBufferCapacity).
+enum class SolutionBufferPolicy : std::uint8_t {
+  /// The search worker waits for the consumer to free a slot (lossless; a
+  /// slow consumer throttles only its own search, never a scheduler worker
+  /// running someone else's).
+  Block,
+  /// Evict the oldest undelivered mapping to admit the new one (lossy;
+  /// counted in SubmitTicket::solutionsDropped). The search never stalls.
+  DropOldest,
+};
+
 struct TicketCallbacks {
   /// Invoked for every feasible mapping the moment SearchContext admits it
   /// (before the search finishes). The core SolutionSink contract applies:
@@ -37,6 +50,16 @@ struct TicketCallbacks {
   /// threw (the response is then a placeholder with status Failed). Must
   /// not throw.
   std::function<void(const EmbedResponse&, std::exception_ptr)> onComplete;
+  /// 0 (the default) delivers onSolution inline from the search thread — the
+  /// historical behavior, where a slow consumer stalls the worker running
+  /// the search. > 0 decouples them: mappings land in a bounded buffer of
+  /// this capacity and a dedicated per-ticket consumer thread delivers them
+  /// in admission order (onSolution then never fires concurrently and always
+  /// before onComplete). solutionsStreamed() counts *deliveries*, so it lags
+  /// the search while the buffer drains.
+  std::size_t solutionBufferCapacity = 0;
+  /// Full-buffer behavior; meaningless when solutionBufferCapacity is 0.
+  SolutionBufferPolicy solutionBufferPolicy = SolutionBufferPolicy::Block;
 };
 
 namespace detail {
@@ -56,10 +79,35 @@ struct TicketState {
   std::stop_source stop;
   std::atomic<RequestStatus> status{RequestStatus::Queued};
   std::atomic<std::uint64_t> streamed{0};
+  /// Mappings a DropOldest solution buffer evicted undelivered (plus any
+  /// undelivered leftovers after the consumer asked the search to stop).
+  std::atomic<std::uint64_t> droppedSolutions{0};
 
   std::mutex mutex;            // guards resolved + tryDequeue
   bool resolved = false;       // the promise has been satisfied
   std::function<bool()> tryDequeue;  // async service: pull out of the queue
+};
+
+/// One *attempt* at running a preemptable request. The attempt's stop source
+/// is distinct from the ticket's: the service fires it to reclaim the worker
+/// for higher-priority queued work, without marking the ticket cancelled
+/// (the ticket stop is chained in, so a real cancel still stops the attempt).
+struct PreemptSlot {
+  std::stop_source attempt;
+  std::atomic<bool> preempted{false};
+  int priority = 0;
+  std::chrono::steady_clock::time_point started{};
+};
+
+/// How runTicketedAttempt left the ticket.
+enum class RunOutcome : std::uint8_t {
+  /// The promise is satisfied (Done / Cancelled / Preempted / Failed / ...).
+  Resolved,
+  /// The attempt was preempted and the caller asked for re-queue semantics:
+  /// the ticket is back in Queued state, unresolved — the caller must
+  /// re-enqueue it (and resolve it Preempted itself if the re-queue is
+  /// refused).
+  RequeuePreempted,
 };
 
 /// Resolve with a response (status read from response.status). No-ops if
@@ -80,6 +128,20 @@ void runTicketed(const std::shared_ptr<TicketState>& state,
                  const EmbedRequest& request, const graph::Graph& host,
                  std::uint64_t version, bool allowPortfolioEscalation,
                  FilterPlanCache* cache);
+
+/// runTicketed generalized to one preemptable attempt. With a non-null
+/// `slot`, the engine runs under the attempt's stop token (ticket stop
+/// chained in); a fired preemption resolves the response Preempted with its
+/// partial result — unless the search had already completed naturally
+/// (Done), the ticket was genuinely cancelled (Cancelled), or
+/// `requeueOnPreempt` asked to hand the unresolved ticket back for
+/// re-admission instead. Also implements the buffered-onSolution path (see
+/// TicketCallbacks::solutionBufferCapacity) for both entry points.
+[[nodiscard]] RunOutcome runTicketedAttempt(
+    const std::shared_ptr<TicketState>& state, const EmbedRequest& request,
+    const graph::Graph& host, std::uint64_t version,
+    bool allowPortfolioEscalation, FilterPlanCache* cache, PreemptSlot* slot,
+    bool requeueOnPreempt);
 
 }  // namespace detail
 
@@ -124,7 +186,12 @@ class SubmitTicket {
   EmbedResponse get() { return futureRef().get(); }
 
   /// Solutions streamed through onSolution so far (0 for invalid tickets).
+  /// With a buffered onSolution this counts deliveries, not admissions.
   [[nodiscard]] std::uint64_t solutionsStreamed() const noexcept;
+
+  /// Mappings evicted undelivered by a DropOldest solution buffer (0 for
+  /// invalid tickets and for inline / Block configurations).
+  [[nodiscard]] std::uint64_t solutionsDropped() const noexcept;
 
  private:
   friend class NetEmbedService;

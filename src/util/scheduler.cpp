@@ -1,6 +1,7 @@
 #include "util/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace netembed::util {
 
@@ -98,19 +100,81 @@ struct QosScheduler::Impl {
   std::uint64_t waitSamples = 0;
   std::uint64_t waitRngState = 0x9e3779b97f4a7c15ull;  // splitmix64 stream
 
+  // Per-priority-class controller inputs: a service-time EWMA from completed
+  // jobs and a smaller per-class wait reservoir. The adaptive capacity is a
+  // Little's-law inversion over the completion-weighted mean of the EWMAs.
+  static constexpr std::size_t kClassReservoirCap = 512;
+  struct ClassTrack {
+    std::uint64_t completed = 0;
+    double serviceEwmaMs = 0.0;
+    std::vector<double> waitReservoir;
+    std::uint64_t waitSamples = 0;
+    std::uint64_t rngState = 0xbf58476d1ce4e5b9ull;
+  };
+  std::map<int, ClassTrack> classTrack;
+
+  std::size_t workerCountHint = 1;  // set before the threads spawn
   std::vector<std::thread> workers;
 
-  void sampleWaitLocked(Clock::time_point admitted) {
-    const double ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - admitted).count();
-    ++waitSamples;
-    if (waitReservoir.size() < kWaitReservoirCap) {
-      waitReservoir.push_back(ms);
+  static void reservoirAddLocked(std::vector<double>& reservoir,
+                                 std::uint64_t& samples, std::uint64_t& rng,
+                                 std::size_t cap, double ms) {
+    ++samples;
+    if (reservoir.size() < cap) {
+      reservoir.push_back(ms);
       return;
     }
     // splitmix64: cheap, deterministic, no <random> machinery under the lock.
-    const std::uint64_t slot = splitmix64(waitRngState) % waitSamples;
-    if (slot < kWaitReservoirCap) waitReservoir[slot] = ms;
+    const std::uint64_t slot = splitmix64(rng) % samples;
+    if (slot < cap) reservoir[slot] = ms;
+  }
+
+  void sampleWaitLocked(Clock::time_point admitted, int priority) {
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - admitted).count();
+    reservoirAddLocked(waitReservoir, waitSamples, waitRngState,
+                       kWaitReservoirCap, ms);
+    ClassTrack& ct = classTrack[priority];
+    reservoirAddLocked(ct.waitReservoir, ct.waitSamples, ct.rngState,
+                       kClassReservoirCap, ms);
+  }
+
+  void recordServiceLocked(int priority, double serviceMs) {
+    ClassTrack& ct = classTrack[priority];
+    const double alpha =
+        std::clamp(options.control.ewmaAlpha, 1e-6, 1.0);
+    ct.serviceEwmaMs = ct.completed == 0
+                           ? serviceMs
+                           : alpha * serviceMs + (1.0 - alpha) * ct.serviceEwmaMs;
+    ++ct.completed;
+  }
+
+  /// The capacity admissions check against right now. Static queueCapacity
+  /// until the controller has at least one completed job to learn from (or
+  /// when adaptive control is off); then targetQueueDelay * workers / mean
+  /// service time, clamped. 0 = unbounded.
+  [[nodiscard]] std::size_t effectiveCapacityLocked() const {
+    if (!options.control.adaptiveCapacity) return options.queueCapacity;
+    std::uint64_t completed = 0;
+    double weightedMs = 0.0;
+    for (const auto& [priority, ct] : classTrack) {
+      (void)priority;
+      completed += ct.completed;
+      weightedMs += ct.serviceEwmaMs * static_cast<double>(ct.completed);
+    }
+    if (completed == 0) return options.queueCapacity;
+    const double meanMs = weightedMs / static_cast<double>(completed);
+    const double targetMs = std::chrono::duration<double, std::milli>(
+                                options.control.targetQueueDelay)
+                                .count();
+    if (meanMs <= 0.0 || targetMs <= 0.0) return options.control.minCapacity;
+    const double derived =
+        std::ceil(targetMs * static_cast<double>(workerCountHint) / meanMs);
+    const auto lo = static_cast<double>(std::max<std::size_t>(
+        options.control.minCapacity, 1));
+    const auto hi = static_cast<double>(
+        std::max<std::size_t>(options.control.maxCapacity, 1));
+    return static_cast<std::size_t>(std::clamp(derived, lo, std::max(lo, hi)));
   }
 
   TenantState& tenant(std::uint64_t id) { return tenants[id]; }
@@ -118,7 +182,21 @@ struct QosScheduler::Impl {
   void enqueueLocked(QueuedJob&& qj) {
     TenantState& ts = tenant(qj.job.tenant);
     if (ts.queued++ == 0) ts.pass = std::max(ts.pass, virtualTime);
-    classes[qj.job.priority][qj.job.tenant].push_back(std::move(qj));
+    auto& fifo = classes[qj.job.priority][qj.job.tenant];
+    // EDF within the bucket: deadline-bearing jobs sort ahead of unbounded
+    // ones by earliest admitBy; ties — and the no-deadline common case —
+    // fall back to id order, i.e. admission order, so a deadline-free bucket
+    // is exactly the historical FIFO.
+    const auto before = [](const QueuedJob& a, const QueuedJob& b) {
+      const bool ad = a.job.admitBy.has_value();
+      const bool bd = b.job.admitBy.has_value();
+      if (ad != bd) return ad;
+      if (ad && *a.job.admitBy != *b.job.admitBy)
+        return *a.job.admitBy < *b.job.admitBy;
+      return a.id < b.id;
+    };
+    fifo.insert(std::upper_bound(fifo.begin(), fifo.end(), qj, before),
+                std::move(qj));
     ++queuedTotal;
     ++stats.accepted;
   }
@@ -138,7 +216,11 @@ struct QosScheduler::Impl {
   }
 
   /// Highest class, then the tenant with the lowest pass (ties to the lower
-  /// tenant id — fully deterministic). Advances the stride clock.
+  /// tenant id — fully deterministic). Does NOT advance the stride clock:
+  /// the caller charges via chargeStrideLocked only when the job actually
+  /// dispatches, so a job that expired in the queue costs its tenant nothing
+  /// (an expired pop used to charge a full quantum, bleeding fair share from
+  /// deadline-heavy tenants to their neighbors).
   QueuedJob popFairLocked() {
     const auto classIt = std::prev(classes.end());
     auto& byTenant = classIt->second;
@@ -146,9 +228,6 @@ struct QosScheduler::Impl {
     for (auto it = std::next(best); it != byTenant.end(); ++it) {
       if (tenant(it->first).pass < tenant(best->first).pass) best = it;
     }
-    TenantState& ts = tenant(best->first);
-    virtualTime = ts.pass;
-    ts.pass += 1.0 / std::max(ts.weight, 1e-9);
     QueuedJob qj = std::move(best->second.front());
     best->second.pop_front();
     noteRemovedLocked(qj);
@@ -156,19 +235,34 @@ struct QosScheduler::Impl {
     return qj;
   }
 
+  /// Advance the stride clock for one dispatched job of `tenantId`.
+  void chargeStrideLocked(std::uint64_t tenantId) {
+    TenantState& ts = tenant(tenantId);
+    virtualTime = ts.pass;
+    ts.pass += 1.0 / std::max(ts.weight, 1e-9);
+  }
+
   /// The most recently admitted job of the lowest queued class (the shed
-  /// victim): it has waited least and its class ranks last.
+  /// victim): it has waited least and its class ranks last. Buckets are
+  /// deadline-sorted (EDF), so the highest id can sit anywhere in a deque —
+  /// scan the whole class, not just the backs.
   QueuedJob popShedVictimLocked() {
     const auto classIt = classes.begin();
     auto& byTenant = classIt->second;
-    auto best = byTenant.begin();
-    for (auto it = std::next(best); it != byTenant.end(); ++it) {
-      if (it->second.back().id > best->second.back().id) best = it;
+    auto bestTenant = byTenant.begin();
+    auto bestJob = bestTenant->second.begin();
+    for (auto it = byTenant.begin(); it != byTenant.end(); ++it) {
+      for (auto jt = it->second.begin(); jt != it->second.end(); ++jt) {
+        if (jt->id > bestJob->id) {
+          bestTenant = it;
+          bestJob = jt;
+        }
+      }
     }
-    QueuedJob qj = std::move(best->second.back());
-    best->second.pop_back();
+    QueuedJob qj = std::move(*bestJob);
+    bestTenant->second.erase(bestJob);
     noteRemovedLocked(qj);
-    pruneLocked(classIt, best);
+    pruneLocked(classIt, bestTenant);
     return qj;
   }
 
@@ -182,8 +276,9 @@ struct QosScheduler::Impl {
       workCv.wait(lock, [&] { return stopping || queuedTotal > 0; });
       if (queuedTotal == 0) return;  // stopping with nothing left to run
       QueuedJob qj = popFairLocked();
-      sampleWaitLocked(qj.admitted);
+      sampleWaitLocked(qj.admitted, qj.job.priority);
       if (qj.job.admitBy && Clock::now() >= *qj.job.admitBy) {
+        // Expired on arrival: no stride charge — the tenant got no service.
         ++stats.expired;
         ++resolving;
         lock.unlock();
@@ -193,17 +288,26 @@ struct QosScheduler::Impl {
         notifyIfIdleLocked();
         continue;
       }
+      chargeStrideLocked(qj.job.tenant);
       ++running;
       lock.unlock();
+      const Clock::time_point started = Clock::now();
       try {
         qj.job.run();
       } catch (...) {
         // The Job contract says run() must not throw; swallowing here keeps
         // one misbehaving job from taking the worker (and the queue) down.
       }
+      const double serviceMs =
+          std::chrono::duration<double, std::milli>(Clock::now() - started)
+              .count();
       lock.lock();
       --running;
       ++stats.completed;
+      recordServiceLocked(qj.job.priority, serviceMs);
+      // New service-time data can grow the adaptive capacity — wake Block
+      // submitters so they re-check against the new bound.
+      if (options.control.adaptiveCapacity) spaceCv.notify_all();
       notifyIfIdleLocked();
     }
   }
@@ -215,6 +319,7 @@ QosScheduler::QosScheduler(Options options) : impl_(new Impl) {
   impl_->options = options;
   std::size_t n = options.workers;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  impl_->workerCountHint = n;
   impl_->workers.reserve(n);
   try {
     for (std::size_t i = 0; i < n; ++i) {
@@ -243,6 +348,14 @@ QosScheduler::~QosScheduler() {
 }
 
 QosScheduler::JobId QosScheduler::submit(Job job) {
+  return submitImpl(std::move(job), /*allowBlock=*/true);
+}
+
+QosScheduler::JobId QosScheduler::trySubmit(Job job) {
+  return submitImpl(std::move(job), /*allowBlock=*/false);
+}
+
+QosScheduler::JobId QosScheduler::submitImpl(Job job, bool allowBlock) {
   // A drop decided under the lock fires its callback after release.
   std::optional<QosDropReason> dropIncoming;
   std::optional<QueuedJob> victim;
@@ -255,13 +368,30 @@ QosScheduler::JobId QosScheduler::submit(Job job) {
         dropIncoming = QosDropReason::Rejected;
         break;
       }
-      const std::size_t cap = impl_->options.queueCapacity;
+      const std::size_t cap = impl_->effectiveCapacityLocked();
+      // Early watermark shed (ShedLowestPriority only): past the configured
+      // fraction of capacity, a newcomer strictly below the highest queued
+      // class is shed on arrival — the remaining headroom is reserved for
+      // the top class instead of being consumed first-come-first-served.
+      const double watermark = impl_->options.control.lowPriorityShedWatermark;
+      if (impl_->options.overload == OverloadPolicy::ShedLowestPriority &&
+          watermark < 1.0 && cap > 0 && !impl_->classes.empty() &&
+          impl_->queuedTotal >=
+              std::max<std::size_t>(
+                  1, static_cast<std::size_t>(
+                         std::ceil(watermark * static_cast<double>(cap)))) &&
+          job.priority < std::prev(impl_->classes.end())->first) {
+        ++impl_->stats.shed;
+        dropIncoming = QosDropReason::Shed;
+        break;
+      }
       if (cap == 0 || impl_->queuedTotal < cap) {
         id = impl_->nextId++;
         impl_->enqueueLocked(QueuedJob{id, std::move(job), Clock::now()});
         break;
       }
-      if (impl_->options.overload == OverloadPolicy::Reject) {
+      if (impl_->options.overload == OverloadPolicy::Reject ||
+          (impl_->options.overload == OverloadPolicy::Block && !allowBlock)) {
         ++impl_->stats.rejected;
         dropIncoming = QosDropReason::Rejected;
         break;
@@ -445,14 +575,23 @@ QosScheduler::Stats QosScheduler::stats() const {
   Stats out = impl_->stats;
   out.admissionWaitSamples = impl_->waitSamples;
   if (!impl_->waitReservoir.empty()) {
-    std::vector<double> sorted = impl_->waitReservoir;
-    std::sort(sorted.begin(), sorted.end());
-    const auto at = [&](double q) {
-      return sorted[static_cast<std::size_t>(q * (sorted.size() - 1))];
-    };
-    out.admissionWaitP50Ms = at(0.5);
-    out.admissionWaitP99Ms = at(0.99);
+    out.admissionWaitP50Ms = quantileNearestRank(impl_->waitReservoir, 0.5);
+    out.admissionWaitP99Ms = quantileNearestRank(impl_->waitReservoir, 0.99);
   }
+  out.classes.reserve(impl_->classTrack.size());
+  for (const auto& [priority, ct] : impl_->classTrack) {
+    Stats::ClassStats cs;
+    cs.priority = priority;
+    cs.completed = ct.completed;
+    cs.serviceEwmaMs = ct.serviceEwmaMs;
+    cs.waitSamples = ct.waitSamples;
+    if (!ct.waitReservoir.empty()) {
+      cs.waitP50Ms = quantileNearestRank(ct.waitReservoir, 0.5);
+      cs.waitP99Ms = quantileNearestRank(ct.waitReservoir, 0.99);
+    }
+    out.classes.push_back(cs);
+  }
+  out.effectiveCapacity = impl_->effectiveCapacityLocked();
   return out;
 }
 

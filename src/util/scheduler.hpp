@@ -19,7 +19,14 @@
 //    dequeues of a weight-1 tenant under saturation);
 //  * admission deadlines: a job that waits in the queue past its admitBy
 //    point is dropped (checked when a worker would dequeue it, and while a
-//    Block-policy submitter waits for space);
+//    Block-policy submitter waits for space). Within a (class, tenant)
+//    bucket, deadline-bearing jobs dequeue earliest-deadline-first ahead of
+//    unbounded ones (EDF); with no deadlines the bucket is the historical
+//    FIFO;
+//  * an optional adaptive controller (ControlPolicy): per-class service-time
+//    EWMAs from completed jobs derive the effective queue capacity via
+//    Little's law (target queue delay x workers / mean service time) and an
+//    early-shed watermark, instead of steering on the static queueCapacity;
 //  * cancellation of queued jobs by id, and a two-mode shutdown (Drain runs
 //    everything accepted; CancelPending drops the queue).
 //
@@ -57,12 +64,37 @@ class QosScheduler {
   using JobId = std::uint64_t;
   using Clock = std::chrono::steady_clock;
 
+  /// Closed-loop admission control. Defaults reproduce the static behavior
+  /// exactly: a fixed queueCapacity bound and no early shedding.
+  struct ControlPolicy {
+    /// Derive the effective queue capacity from observed service times:
+    /// capacity = targetQueueDelay * workers / mean service time (the mean
+    /// weighted over per-class EWMAs by completion count), clamped to
+    /// [minCapacity, maxCapacity]. Until the first completion the static
+    /// queueCapacity applies. Off = always the static bound.
+    bool adaptiveCapacity = false;
+    /// The queue delay the adaptive capacity aims to keep a newly admitted
+    /// job under (Little's law inversion).
+    std::chrono::milliseconds targetQueueDelay{250};
+    /// Per-class service-time EWMA smoothing factor in (0, 1].
+    double ewmaAlpha = 0.2;
+    std::size_t minCapacity = 2;
+    std::size_t maxCapacity = 4096;
+    /// Under ShedLowestPriority only: when the queue depth reaches this
+    /// fraction of the effective capacity, a newcomer ranking strictly below
+    /// the highest queued class is shed immediately — reserving the
+    /// remaining headroom for top-class work. 1.0 (the default) disables
+    /// early shedding (only a full queue sheds).
+    double lowPriorityShedWatermark = 1.0;
+  };
+
   struct Options {
     /// Worker count; 0 selects the hardware concurrency (at least 1).
     std::size_t workers = 0;
     /// Queued-job bound (running jobs do not count); 0 = unbounded.
     std::size_t queueCapacity = 0;
     OverloadPolicy overload = OverloadPolicy::Block;
+    ControlPolicy control{};
   };
 
   struct Job {
@@ -101,6 +133,13 @@ class QosScheduler {
   /// Rejected after shutdown).
   JobId submit(Job job);
 
+  /// submit() that never blocks the caller: under OverloadPolicy::Block a
+  /// full queue drops the job with Rejected instead of waiting for space.
+  /// Safe to call from a scheduler worker thread (a blocking submit there
+  /// could deadlock a single-worker scheduler); the preemption re-queue path
+  /// uses exactly this.
+  JobId trySubmit(Job job);
+
   /// Drop a still-queued job (onDrop(Cancelled) fires before returning).
   /// False when the job already started, finished, or was never queued —
   /// cancelling running work is the caller's business (stop tokens).
@@ -138,12 +177,34 @@ class QosScheduler {
     // (derive capacity / shed thresholds from observed wait, not a static
     // knob). Zero until the first dequeue.
     std::uint64_t admissionWaitSamples = 0;  // dequeues observed (not capped)
+    // Nearest-rank percentiles (see util::quantileNearestRank): always an
+    // observed wait, never an interpolation, and the rank rounds up so the
+    // tail is not under-reported.
     double admissionWaitP50Ms = 0.0;
     double admissionWaitP99Ms = 0.0;
+
+    /// Per-priority-class service/wait tracking (one entry per class ever
+    /// completed or dequeued, ascending priority) — the signals the adaptive
+    /// controller steers on, surfaced for benches and dashboards.
+    struct ClassStats {
+      int priority = 0;
+      std::uint64_t completed = 0;   // run() returned
+      double serviceEwmaMs = 0.0;    // EWMA of run() wall time
+      std::uint64_t waitSamples = 0; // dequeues observed for this class
+      double waitP50Ms = 0.0;
+      double waitP99Ms = 0.0;
+    };
+    std::vector<ClassStats> classes;
+    /// The capacity admissions are currently checked against: the static
+    /// queueCapacity, or the adaptive derivation once it has service-time
+    /// data (0 = unbounded).
+    std::size_t effectiveCapacity = 0;
   };
   [[nodiscard]] Stats stats() const;
 
  private:
+  JobId submitImpl(Job job, bool allowBlock);
+
   struct Impl;
   Impl* impl_;  // pimpl keeps <thread>/<condition_variable>/<map> out here
 };

@@ -70,6 +70,15 @@ double percentile(std::vector<double> values, double p) {
   return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
 }
 
+double quantileNearestRank(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size() - 1)));
+  return values[std::min(idx, values.size() - 1)];
+}
+
 double mean(const std::vector<double>& values) {
   RunningStats s;
   for (double v : values) s.add(v);

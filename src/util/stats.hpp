@@ -36,6 +36,15 @@ class RunningStats {
 /// p in [0,100]; linear interpolation between order statistics.
 [[nodiscard]] double percentile(std::vector<double> values, double p);
 
+/// Nearest-rank quantile, q in [0,1]: sorts and returns the element at index
+/// ceil(q * (n-1)). Unlike percentile() this never interpolates — the result
+/// is always an observed sample — and unlike a floored rank it never
+/// under-reports the tail (p99 of 1024 samples reads index 1013, not 1012;
+/// p50 of a 2-sample set reads the larger, not the minimum). Returns 0 for an
+/// empty sample. This is the definition the QosScheduler admission-latency
+/// stats report.
+[[nodiscard]] double quantileNearestRank(std::vector<double> values, double q);
+
 [[nodiscard]] double mean(const std::vector<double>& values);
 [[nodiscard]] double median(std::vector<double> values);
 

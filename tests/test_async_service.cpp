@@ -750,4 +750,257 @@ TEST(TicketApi, DroppingUnconsumedTicketCancelsAndJoins) {
   SUCCEED();
 }
 
+// --- the self-tuning control plane -------------------------------------------
+
+TEST(ControlPlane, NonPositiveAdmissionDeadlineExpiresImmediately) {
+  AsyncServiceOptions options;
+  options.workers = 1;
+  AsyncNetEmbedService svc(asyncHost(), options);
+
+  // A caller that computed its remaining slack and landed on zero (or past
+  // it) asked for "no wait at all" — it must not degrade to "wait forever".
+  EmbedRequest zero = pathRequest(/*maxSolutions=*/1);
+  zero.qos.admissionDeadline = std::chrono::milliseconds(0);
+  SubmitTicket zeroTicket = svc.submit(zero);
+  EXPECT_EQ(resolve(zeroTicket).status, RequestStatus::Expired);
+
+  EmbedRequest negative = pathRequest(/*maxSolutions=*/1);
+  negative.qos.admissionDeadline = std::chrono::milliseconds(-50);
+  SubmitTicket negativeTicket = svc.submit(negative);
+  EXPECT_EQ(resolve(negativeTicket).status, RequestStatus::Expired);
+
+  // The default-constructed QoS (nullopt) still means "no deadline".
+  SubmitTicket unbounded = svc.submit(pathRequest(/*maxSolutions=*/1));
+  const EmbedResponse response = resolve(unbounded);
+  EXPECT_EQ(response.status, RequestStatus::Done);
+  EXPECT_EQ(response.result.solutionCount, 1u);
+
+  svc.drain();  // the completed counter lands after the future resolves
+  const auto stats = svc.queueStats();
+  EXPECT_EQ(stats.expired, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ControlPlane, SlackPropagationTightensComputeBudget) {
+  // The same gated request twice: without slack propagation it enumerates to
+  // completion after the gate opens; with it, the admission slack became the
+  // compute budget at dispatch, so by the time the gate opens (well past the
+  // deadline) the engine stops at its next poll with a partial result.
+  const auto runOnce = [](bool propagateSlack) {
+    AsyncServiceOptions options;
+    options.workers = 1;
+    options.control.propagateSlack = propagateSlack;
+    AsyncNetEmbedService svc(asyncHost(), options);
+
+    EmbedRequest request = pathRequest(/*maxSolutions=*/0, /*storeLimit=*/4);
+    request.qos.admissionDeadline = std::chrono::milliseconds(250);
+    StreamGate gate;
+    SubmitTicket ticket = svc.submit(std::move(request), {gate.sink(), {}});
+    gate.waitFirst();
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    gate.open();
+    return resolve(ticket);
+  };
+
+  const EmbedResponse unbounded = runOnce(/*propagateSlack=*/false);
+  EXPECT_EQ(unbounded.status, RequestStatus::Done);
+  EXPECT_EQ(unbounded.result.outcome, core::Outcome::Complete);
+
+  const EmbedResponse budgeted = runOnce(/*propagateSlack=*/true);
+  EXPECT_EQ(budgeted.status, RequestStatus::Done);
+  EXPECT_NE(budgeted.result.outcome, core::Outcome::Complete)
+      << "the slack-derived budget must stop the gated enumeration";
+  EXPECT_GE(budgeted.result.solutionCount, 1u);
+}
+
+TEST(ControlPlane, HighPreemptsLongestRunningLow) {
+  AsyncServiceOptions options;
+  options.workers = 1;
+  options.control.preemptLowForHigh = true;
+  AsyncNetEmbedService svc(asyncHost(), options);
+
+  EmbedRequest low = pathRequest(/*maxSolutions=*/0);
+  low.qos.priority = service::Priority::Low;
+  StreamGate gate;
+  SubmitTicket lowTicket = svc.submit(std::move(low), {gate.sink(), {}});
+  gate.waitFirst();  // the only worker is provably mid-enumeration
+
+  EmbedRequest high = pathRequest(/*maxSolutions=*/1);
+  high.qos.priority = service::Priority::High;
+  SubmitTicket highTicket = svc.submit(std::move(high));
+  // The preemption chain fires synchronously inside submit.
+  EXPECT_EQ(svc.controlStats().preemptionsFired, 1u);
+
+  gate.open();
+  const EmbedResponse lowResponse = resolve(lowTicket);
+  EXPECT_EQ(lowResponse.status, RequestStatus::Preempted);
+  EXPECT_GE(lowResponse.result.solutionCount, 1u)
+      << "a preempted request keeps its partial result";
+  EXPECT_NE(lowResponse.result.outcome, core::Outcome::Complete);
+
+  const EmbedResponse highResponse = resolve(highTicket);
+  EXPECT_EQ(highResponse.status, RequestStatus::Done);
+  EXPECT_EQ(highResponse.result.solutionCount, 1u);
+}
+
+TEST(ControlPlane, PreemptedRequestRequeuesAndCompletes) {
+  AsyncServiceOptions options;
+  options.workers = 1;
+  options.control.preemptLowForHigh = true;
+  options.control.requeuePreempted = true;
+  AsyncNetEmbedService svc(asyncHost(), options);
+
+  EmbedRequest low = pathRequest(/*maxSolutions=*/8);
+  low.qos.priority = service::Priority::Low;
+  StreamGate gate;  // arms once: the re-run streams straight through
+  SubmitTicket lowTicket = svc.submit(std::move(low), {gate.sink(), {}});
+  gate.waitFirst();
+
+  EmbedRequest high = pathRequest(/*maxSolutions=*/1);
+  high.qos.priority = service::Priority::High;
+  SubmitTicket highTicket = svc.submit(std::move(high));
+  EXPECT_EQ(svc.controlStats().preemptionsFired, 1u);
+
+  gate.open();
+  EXPECT_EQ(resolve(highTicket).status, RequestStatus::Done);
+  // The preempted Low request went back through admission (behind the High
+  // work) instead of resolving, and its fresh attempt ran to completion.
+  const EmbedResponse lowResponse = resolve(lowTicket);
+  EXPECT_EQ(lowResponse.status, RequestStatus::Done);
+  EXPECT_EQ(lowResponse.result.solutionCount, 8u)
+      << "the fresh attempt must reach its full max-solutions quota";
+  EXPECT_EQ(svc.controlStats().preemptRequeues, 1u);
+}
+
+TEST(ControlPlane, StressMixedLoadResolvesEveryTicket) {
+  // TSan target: every control-plane feature on at once under a mutating
+  // model. The assertion is accountability — every ticket reaches a terminal
+  // status, nothing throws, nothing hangs.
+  AsyncServiceOptions options;
+  options.workers = 2;
+  options.queueCapacity = 8;
+  options.overloadPolicy = util::OverloadPolicy::ShedLowestPriority;
+  options.control.queue.adaptiveCapacity = true;
+  options.control.queue.targetQueueDelay = std::chrono::milliseconds(100);
+  options.control.queue.lowPriorityShedWatermark = 0.75;
+  options.control.propagateSlack = true;
+  options.control.preemptLowForHigh = true;
+  options.control.requeuePreempted = true;
+  AsyncNetEmbedService svc(asyncHost(), options);
+  svc.setTenantWeight(1, 3.0);
+  svc.setTenantWeight(2, 1.0);
+
+  const auto host = svc.hostSnapshot();
+  std::vector<SubmitTicket> tickets;
+  for (int i = 0; i < 48; ++i) {
+    EmbedRequest request = pathRequest(/*maxSolutions=*/4);
+    request.qos.priority = static_cast<service::Priority>(i % 3);
+    request.qos.tenant = static_cast<std::uint64_t>(i % 3);
+    if (i % 4 == 0)
+      request.qos.admissionDeadline = std::chrono::milliseconds(250);
+    if (i % 5 == 0) request.qos.computeBudget = std::chrono::milliseconds(50);
+    tickets.push_back(svc.submit(std::move(request)));
+    if (i % 8 == 0)
+      svc.setEdgeMetric(host->edgeSource(0), host->edgeTarget(0), "minDelay",
+                        1.0 + static_cast<double>(i));
+  }
+
+  for (auto& ticket : tickets) {
+    const EmbedResponse response = resolve(ticket);
+    EXPECT_NE(response.status, RequestStatus::Queued);
+    EXPECT_NE(response.status, RequestStatus::Running);
+    EXPECT_NE(response.status, RequestStatus::Failed);
+  }
+  svc.drain();
+  const auto stats = svc.queueStats();
+  EXPECT_GT(stats.completed, 0u);
+  EXPECT_GT(stats.effectiveCapacity, 0u);
+}
+
+// --- the bounded onSolution buffer -------------------------------------------
+
+TEST(SolutionBuffer, BlockPolicyDeliversEveryMappingInOrder) {
+  AsyncServiceOptions options;
+  options.workers = 1;
+  AsyncNetEmbedService svc(asyncHost(), options);
+
+  std::vector<core::Mapping> delivered;
+  TicketCallbacks callbacks;
+  callbacks.solutionBufferCapacity = 2;  // far smaller than the stream
+  callbacks.solutionBufferPolicy = service::SolutionBufferPolicy::Block;
+  callbacks.onSolution = [&delivered](const core::Mapping& m) {
+    delivered.push_back(m);  // single consumer thread: no lock needed
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return true;
+  };
+  SubmitTicket ticket =
+      svc.submit(pathRequest(/*maxSolutions=*/32, /*storeLimit=*/32),
+                 std::move(callbacks));
+  const EmbedResponse response = resolve(ticket);
+  EXPECT_EQ(response.status, RequestStatus::Done);
+  EXPECT_EQ(response.result.solutionCount, 32u);
+  // Lossless: every admitted mapping was delivered, in admission order
+  // (onComplete ordering — the future resolves after the buffer drains).
+  EXPECT_EQ(ticket.solutionsStreamed(), 32u);
+  EXPECT_EQ(ticket.solutionsDropped(), 0u);
+  ASSERT_EQ(delivered.size(), 32u);
+  EXPECT_EQ(delivered, response.result.mappings);
+}
+
+TEST(SolutionBuffer, DropOldestKeepsTheSearchUnblocked) {
+  AsyncServiceOptions options;
+  options.workers = 1;
+  AsyncNetEmbedService svc(asyncHost(), options);
+
+  StreamGate gate;  // parks the *consumer thread* in its first delivery
+  TicketCallbacks callbacks;
+  callbacks.solutionBufferCapacity = 2;
+  callbacks.solutionBufferPolicy = service::SolutionBufferPolicy::DropOldest;
+  callbacks.onSolution = gate.sink();
+  SubmitTicket ticket = svc.submit(
+      pathRequest(/*maxSolutions=*/50, /*storeLimit=*/50), std::move(callbacks));
+  gate.waitFirst();
+
+  // With the consumer parked, the search must still run to completion: every
+  // further admission evicts the oldest buffered mapping instead of stalling
+  // the scheduler worker. 50 admitted, 1 being delivered, <= 2 buffered.
+  const auto deadline = std::chrono::steady_clock::now() + kResolveBudget;
+  while (ticket.solutionsDropped() < 47u &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(ticket.solutionsDropped(), 47u)
+      << "the search stalled behind the parked consumer";
+
+  gate.open();
+  const EmbedResponse response = resolve(ticket);
+  EXPECT_EQ(response.status, RequestStatus::Done);
+  EXPECT_EQ(response.result.solutionCount, 50u);
+  // Conservation: every admitted mapping was either delivered or counted.
+  EXPECT_EQ(ticket.solutionsStreamed() + ticket.solutionsDropped(), 50u);
+  EXPECT_GE(ticket.solutionsStreamed(), 1u);
+}
+
+TEST(SolutionBuffer, ConsumerReturningFalseStopsTheSearch) {
+  AsyncServiceOptions options;
+  options.workers = 1;
+  AsyncNetEmbedService svc(asyncHost(), options);
+
+  std::atomic<std::uint64_t> seen{0};
+  TicketCallbacks callbacks;
+  callbacks.solutionBufferCapacity = 2;
+  callbacks.onSolution = [&seen](const core::Mapping&) {
+    return seen.fetch_add(1) + 1 < 3;  // stop after the third delivery
+  };
+  SubmitTicket ticket =
+      svc.submit(pathRequest(/*maxSolutions=*/0, /*storeLimit=*/4),
+                 std::move(callbacks));
+  const EmbedResponse response = resolve(ticket);
+  EXPECT_EQ(response.status, RequestStatus::Done);
+  EXPECT_NE(response.result.outcome, core::Outcome::Complete)
+      << "the consumer's stop must reach the search";
+  EXPECT_EQ(ticket.solutionsStreamed(), 3u);
+  EXPECT_GE(response.result.solutionCount, 3u);
+}
+
 }  // namespace

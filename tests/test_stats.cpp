@@ -111,4 +111,38 @@ TEST(MeanMedian, Helpers) {
   EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
 }
 
+TEST(QuantileNearestRank, KnownDistributions) {
+  using netembed::util::quantileNearestRank;
+  // 1..1024: the floored rank used to read index 1012 (~p98.8); nearest-rank
+  // rounds up to index 1013, value 1014.
+  std::vector<double> big;
+  for (int i = 1; i <= 1024; ++i) big.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(quantileNearestRank(big, 0.99), 1014.0);
+  EXPECT_DOUBLE_EQ(quantileNearestRank(big, 0.5), 513.0);
+  EXPECT_DOUBLE_EQ(quantileNearestRank(big, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantileNearestRank(big, 1.0), 1024.0);
+  // 1..100.
+  std::vector<double> hundred;
+  for (int i = 1; i <= 100; ++i) hundred.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(quantileNearestRank(hundred, 0.99), 100.0);
+  EXPECT_DOUBLE_EQ(quantileNearestRank(hundred, 0.5), 51.0);
+}
+
+TEST(QuantileNearestRank, TwoSampleMedianIsNotTheMinimum) {
+  using netembed::util::quantileNearestRank;
+  // The floored rank returned the smaller of two samples as the "median";
+  // nearest-rank reads the upper one.
+  EXPECT_DOUBLE_EQ(quantileNearestRank({10.0, 20.0}, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(quantileNearestRank({20.0, 10.0}, 0.99), 20.0);
+}
+
+TEST(QuantileNearestRank, DegenerateInputs) {
+  using netembed::util::quantileNearestRank;
+  EXPECT_DOUBLE_EQ(quantileNearestRank({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantileNearestRank({7.0}, 0.99), 7.0);
+  // Out-of-range q clamps instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(quantileNearestRank({1.0, 2.0}, 1.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantileNearestRank({1.0, 2.0}, -0.5), 1.0);
+}
+
 }  // namespace
