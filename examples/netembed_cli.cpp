@@ -60,6 +60,12 @@
 //                      longest-running lower-class search (re-queued rather
 //                      than resolved Preempted); preemption counters are
 //                      reported at the end
+//   --retry N          QoS retry budget: re-dispatch a transiently failed
+//                      request up to N attempts total, with exponential
+//                      backoff between attempts (default 1 = no retries).
+//                      Applies to both the direct ticket path and replay
+//                      mode; replay mode also reports the fault-tolerance
+//                      counters (retries, abandons, degradations)
 //
 // Outside replay mode the request runs through the ticket API
 // (submitTicketed): mappings stream to stderr as the search finds them, and
@@ -193,6 +199,17 @@ int runMutateReplay(graph::Graph host, service::EmbedRequest request,
                 << util::formatFixed(cls.waitP99Ms, 2) << " ms\n";
     }
   }
+  {
+    // The fault-tolerance ledger: zero all the way down on a healthy run,
+    // and the first place to look when a replay reports anything but Done.
+    const auto control = svc.controlStats();
+    std::cout << "fault tolerance: " << control.transientRetries
+              << " transient retries, " << control.retriesAbandoned
+              << " abandoned, " << control.cacheBypassFallbacks
+              << " plan-cache bypasses, " << control.poolWorkersLost
+              << " pool workers lost, " << control.poolSerialFallbacks
+              << " serial fallbacks\n";
+  }
   return allDone ? 0 : 1;
 }
 
@@ -241,6 +258,8 @@ int main(int argc, char** argv) {
     request.options.seed = seed;
     request.qos.priority = parsePriority(args.getString("priority", "normal"));
     request.qos.tenant = args.getSeed("tenant", 0);
+    request.qos.retry.maxAttempts =
+        static_cast<std::uint32_t>(std::max<long long>(args.getInt("retry", 1), 1));
     const auto deadlineMs = args.getInt("deadline-ms", 0);
     if (deadlineMs > 0) {
       request.qos.admissionDeadline = std::chrono::milliseconds(deadlineMs);

@@ -10,6 +10,7 @@
 #include "core/filter.hpp"
 #include "core/plan.hpp"
 #include "util/bitset.hpp"
+#include "util/fault.hpp"
 #include "util/latch.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -251,7 +252,17 @@ EmbedResult filteredSearch(const Problem& problem, SearchContext& context,
   // waiters whose shared build failed on another thread: they did no work.
   SearchStats setupStats;
   try {
-    const auto cancelled = [&context] { return context.shouldStop(); };
+    const auto cancelled = [&context] {
+      // Spurious-cancellation probe: reports "cancelled" to the plan build
+      // without any real stop. The catch below detects the lie (the context
+      // was never actually stopped) and rethrows, making it a transient
+      // failure instead of a silent empty-partial result.
+      if (util::FaultInjector::enabled() &&
+          util::faultFires(util::faultsite::kPlanCancel)) {
+        return true;
+      }
+      return context.shouldStop();
+    };
     if (const auto& builder = context.planBuilder()) {
       const SharedPlanBuilder::Acquired acquired =
           builder->get(problem, options, cancelled, &setupStats);
@@ -275,6 +286,16 @@ EmbedResult filteredSearch(const Problem& problem, SearchContext& context,
     context.mergeStats(setupStats);
     throw;
   } catch (const FilterBuildCancelled&) {
+    // A genuine cancel always leaves the context stopped (the predicate
+    // above routes through shouldStop, which records the reason). A
+    // cancellation with NO stop on record is spurious — injected or a buggy
+    // caller — and resolving it as an empty partial would silently lose the
+    // request; rethrow so the retry/degradation layers treat it as a
+    // transient failure instead.
+    if (!context.stopRequested()) {
+      context.mergeStats(setupStats);
+      throw;
+    }
     // Cancel or deadline fired mid-build (a lost race, an expired timeout):
     // the engine was told to stop before it could start searching.
     context.mergeStats(setupStats);

@@ -13,6 +13,7 @@
 #include "core/lns.hpp"
 #include "core/portfolio.hpp"
 #include "core/rwb.hpp"
+#include "util/fault.hpp"
 
 namespace netembed::core {
 
@@ -35,7 +36,13 @@ void SearchContext::requestCancel(StopReason reason) noexcept {
   stop_.request_stop();
 }
 
-bool SearchContext::shouldStop(std::uint64_t visits) noexcept {
+bool SearchContext::shouldStop(std::uint64_t visits) {
+  // Mid-search crash probe: every engine polls here per visited node, so one
+  // armed site covers ECF, RWB, LNS, the baselines and every portfolio
+  // contender without per-engine instrumentation.
+  if (util::FaultInjector::enabled()) {
+    util::faultPoint(util::faultsite::kEngineStep);
+  }
   if (stop_.stop_requested()) return true;
   if (external_.stop_possible() && external_.stop_requested()) {
     requestCancel(StopReason::Cancelled);

@@ -79,12 +79,15 @@ class SearchContext {
 
   /// Cooperative poll, called by engines once per visited tree node. Checks
   /// the cancel flags every call (relaxed atomic loads) and the wall clock
-  /// once per SearchOptions::checkStride visits.
-  [[nodiscard]] bool shouldStop(std::uint64_t visits) noexcept;
+  /// once per SearchOptions::checkStride visits. Not noexcept: this is the
+  /// one hook every engine runs per visited node, so it doubles as the
+  /// mid-search crash probe (util::faultsite::kEngineStep) and may throw
+  /// util::InjectedFault under an armed chaos schedule.
+  [[nodiscard]] bool shouldStop(std::uint64_t visits);
 
   /// Poll for coarse-grained loops (one call per restart/generation): the
   /// wall clock is checked on every call.
-  [[nodiscard]] bool shouldStop() noexcept { return shouldStop(0); }
+  [[nodiscard]] bool shouldStop() { return shouldStop(0); }
 
   // --- solutions -----------------------------------------------------------
 

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <numeric>
 
+#include "util/fault.hpp"
+
 namespace netembed::core {
 
 namespace {
@@ -92,6 +94,12 @@ DeltaImpact classifyDelta(const Problem& problem, const ModelDelta& delta) {
 std::shared_ptr<const FilterPlan> FilterPlan::build(
     const Problem& problem, const SearchOptions& options,
     const std::function<bool()>& cancelled, SearchStats* partial) {
+  // Injected allocation failure, thrown before any work: SharedPlanBuilder
+  // treats it as a transient build failure (role released, next caller
+  // retries), and the service's cache-bypass ladder catches repeats.
+  if (util::FaultInjector::enabled()) {
+    util::faultPoint(util::faultsite::kPlanBuild);
+  }
   // Build into the caller's partial-stats slot when given: if the matrix
   // build throws (overflow, cancel), the work done so far stays observable
   // instead of dying with the discarded plan.
@@ -109,6 +117,9 @@ std::shared_ptr<const FilterPlan> FilterPlan::patch(
     const FilterPlan& base, const Problem& problem, const SearchOptions& options,
     const ModelDelta& delta, const std::function<bool()>& cancelled,
     SearchStats* partial) {
+  if (util::FaultInjector::enabled()) {
+    util::faultPoint(util::faultsite::kPlanPatch);
+  }
   SearchStats local;
   SearchStats& stats = partial ? *partial : local;
   auto plan = std::make_shared<FilterPlan>();
@@ -132,6 +143,11 @@ std::shared_ptr<const FilterPlan> FilterPlan::patchOwned(
   // stable exclusivity, not a race window.
   if (base.use_count() != 1) {
     return patch(*base, problem, options, delta, cancelled, partial);
+  }
+  // Probe before the in-place mutation begins, so an injected failure leaves
+  // the base plan intact (the copying patch() path has its own probe).
+  if (util::FaultInjector::enabled()) {
+    util::faultPoint(util::faultsite::kPlanPatch);
   }
   SearchStats local;
   SearchStats& stats = partial ? *partial : local;

@@ -1,9 +1,12 @@
 #include "service/async.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/parallel.hpp"
 
 namespace netembed::service {
 
@@ -37,11 +40,41 @@ AsyncNetEmbedService::AsyncNetEmbedService(NetworkModel model, Options options)
                                       options.overloadPolicy,
                                       options.control.queue})) {
   publishSnapshotLocked();  // construction is single-threaded; no lock needed
+  baseCacheBypass_ = detail::cacheBypassFallbacks();
+  basePoolDeaths_ = util::sharedPool().workerDeaths();
+  basePoolSerial_ = util::sharedPool().serialFallbacks();
+  retryTimer_ = std::thread([this] { retryLoop(); });
 }
 
 AsyncNetEmbedService::~AsyncNetEmbedService() { shutdown(options_.shutdownMode); }
 
 void AsyncNetEmbedService::shutdown(ShutdownMode mode) {
+  // Settle the retry backlog before the admission queue: a request parked on
+  // the backoff timer is invisible to the scheduler, so qos_->shutdown alone
+  // would leave its future hanging. Drain cuts the backoff short and
+  // re-admits; CancelPending resolves Cancelled. New scheduleRetry calls
+  // from still-running attempts abandon immediately (retryStopping_).
+  std::vector<PendingRetry> backlog;
+  {
+    std::lock_guard lock(retryMutex_);
+    retryStopping_ = true;
+    backlog = std::move(retryQueue_);
+    retryQueue_.clear();
+  }
+  retryCv_.notify_all();
+  if (retryTimer_.joinable()) retryTimer_.join();
+  for (PendingRetry& entry : backlog) {
+    if (mode == ShutdownMode::Drain) {
+      transientRetries_.fetch_add(1, std::memory_order_relaxed);
+      enqueueRequest(entry.state, std::move(entry.request), entry.admitBy,
+                     Requeue::Retry);
+    } else {
+      releaseRetryBudget(*entry.state, entry.request.qos.priority);
+      detail::resolveDropped(*entry.state, RequestStatus::Cancelled,
+                             "cancelled at shutdown while awaiting retry");
+      unregisterInflight(entry.state.get());
+    }
+  }
   if (mode == ShutdownMode::CancelPending) {
     // Cooperative stop for everything still alive: queued requests resolve
     // Cancelled through the scheduler's drop path below; running ones see
@@ -75,16 +108,16 @@ SubmitTicket AsyncNetEmbedService::submit(EmbedRequest request,
     admitBy =
         util::QosScheduler::Clock::now() + *request.qos.admissionDeadline;
   }
-  enqueueRequest(state, std::move(request), admitBy,
-                 /*isPreemptRequeue=*/false);
+  enqueueRequest(state, std::move(request), admitBy, Requeue::None);
   return ticket;
 }
 
 void AsyncNetEmbedService::enqueueRequest(
     std::shared_ptr<detail::TicketState> state, EmbedRequest request,
     std::optional<util::QosScheduler::Clock::time_point> admitBy,
-    bool isPreemptRequeue) {
+    Requeue requeue) {
   const int priority = static_cast<int>(request.qos.priority);
+  const Priority cls = request.qos.priority;
 
   util::QosScheduler::Job job;
   job.priority = priority;
@@ -93,20 +126,31 @@ void AsyncNetEmbedService::enqueueRequest(
   job.run = [this, state, request = std::move(request), admitBy] {
     runAttempt(state, request, admitBy);
   };
-  job.onDrop = [this, state, isPreemptRequeue](util::QosDropReason reason) {
-    detail::resolveDropped(*state, statusForDrop(reason, isPreemptRequeue),
+  job.onDrop = [this, state, requeue, cls](util::QosDropReason reason) {
+    if (requeue == Requeue::Retry &&
+        (reason == util::QosDropReason::Rejected ||
+         reason == util::QosDropReason::Shed)) {
+      // A retry whose re-admission found no room: the informative outcome is
+      // the error that caused the retry, not a bland "rejected".
+      abandonRetry(state, cls, "re-admission refused (queue full)");
+      return;
+    }
+    releaseRetryBudget(*state, cls);
+    detail::resolveDropped(*state,
+                           statusForDrop(reason, requeue == Requeue::Preempt),
                            std::string("dropped at admission: ") +
                                util::qosDropReasonName(reason));
     unregisterInflight(state.get());
   };
 
-  // A re-queue runs on a scheduler worker: it must never Block-wait for
-  // space there (a single-worker scheduler would deadlock against itself).
-  const util::QosScheduler::JobId id = isPreemptRequeue
+  // A re-queue runs on a scheduler worker (or the retry timer): it must
+  // never Block-wait for space there (a single-worker scheduler would
+  // deadlock against itself).
+  const util::QosScheduler::JobId id = requeue != Requeue::None
                                            ? qos_->trySubmit(std::move(job))
                                            : qos_->submit(std::move(job));
   if (id != 0) {
-    if (isPreemptRequeue) {
+    if (requeue == Requeue::Preempt) {
       preemptRequeues_.fetch_add(1, std::memory_order_relaxed);
     }
     // Arm the queue-removal side of cancel(). The job may already be
@@ -162,7 +206,8 @@ void AsyncNetEmbedService::runAttempt(
   const detail::RunOutcome outcome = detail::runTicketedAttempt(
       state, *toRun, *snapshot->host, snapshot->version,
       /*allowPortfolioEscalation=*/false, &planCache_, slot.get(),
-      options_.control.requeuePreempted);
+      options_.control.requeuePreempted,
+      /*allowRetry=*/request.qos.retry.maxAttempts > 1);
 
   if (slot) {
     std::lock_guard lock(slotsMutex_);
@@ -172,10 +217,127 @@ void AsyncNetEmbedService::runAttempt(
   if (outcome == detail::RunOutcome::RequeuePreempted) {
     // Back into the queue, original admission deadline still ticking. The
     // ticket stays registered in inflight_ across attempts.
-    enqueueRequest(state, request, admitBy, /*isPreemptRequeue=*/true);
+    enqueueRequest(state, request, admitBy, Requeue::Preempt);
     return;
   }
+  if (outcome == detail::RunOutcome::RetryTransient) {
+    // Park the ORIGINAL request on the backoff timer, not the
+    // slack-tightened copy: the retry re-derives its budget from the slack
+    // remaining at its own dispatch.
+    scheduleRetry(state, request, admitBy);
+    return;
+  }
+  releaseRetryBudget(*state, request.qos.priority);
   unregisterInflight(state.get());
+}
+
+void AsyncNetEmbedService::scheduleRetry(
+    std::shared_ptr<detail::TicketState> state, EmbedRequest request,
+    std::optional<util::QosScheduler::Clock::time_point> admitBy) {
+  const Priority cls = request.qos.priority;
+  const std::size_t budget = options_.control.retryBudgetPerClass;
+  if (budget != 0 && !state->retryCharged.load(std::memory_order_acquire)) {
+    // Charge the class budget once per request, at its first retry; the
+    // slot is held until terminal resolution.
+    auto& outstanding = retryOutstanding_[static_cast<std::size_t>(cls)];
+    std::size_t current = outstanding.load(std::memory_order_relaxed);
+    for (;;) {
+      if (current >= budget) {
+        abandonRetry(state, cls, "per-class retry budget exhausted");
+        return;
+      }
+      if (outstanding.compare_exchange_weak(current, current + 1,
+                                            std::memory_order_acq_rel)) {
+        state->retryCharged.store(true, std::memory_order_release);
+        break;
+      }
+    }
+  }
+  // Seed mixes only stable identities (tenant) with the per-ticket attempt
+  // count inside nextRetryBackoff — deterministic, so chaos schedules replay.
+  const auto backoff =
+      detail::nextRetryBackoff(request.qos.retry, request.qos.tenant, *state);
+  PendingRetry entry;
+  entry.due = util::QosScheduler::Clock::now() + backoff;
+  entry.state = state;
+  entry.request = std::move(request);
+  entry.admitBy = admitBy;
+  {
+    std::lock_guard lock(retryMutex_);
+    if (!retryStopping_) {
+      retryQueue_.push_back(std::move(entry));
+      retryCv_.notify_one();
+      return;
+    }
+  }
+  abandonRetry(state, cls, "service shutting down");
+}
+
+void AsyncNetEmbedService::retryLoop() {
+  std::unique_lock lock(retryMutex_);
+  for (;;) {
+    if (retryQueue_.empty()) {
+      if (retryStopping_) return;
+      retryCv_.wait(lock,
+                    [&] { return retryStopping_ || !retryQueue_.empty(); });
+      continue;
+    }
+    const auto next = std::min_element(
+        retryQueue_.begin(), retryQueue_.end(),
+        [](const PendingRetry& a, const PendingRetry& b) {
+          return a.due < b.due;
+        });
+    if (!retryStopping_ && util::QosScheduler::Clock::now() < next->due) {
+      // Re-scan after the wait: a later-armed retry may be due earlier.
+      retryCv_.wait_until(lock, next->due);
+      continue;
+    }
+    PendingRetry entry = std::move(*next);
+    retryQueue_.erase(next);
+    lock.unlock();
+    transientRetries_.fetch_add(1, std::memory_order_relaxed);
+    enqueueRequest(entry.state, std::move(entry.request), entry.admitBy,
+                   Requeue::Retry);
+    lock.lock();
+  }
+}
+
+void AsyncNetEmbedService::releaseRetryBudget(detail::TicketState& state,
+                                              Priority cls) {
+  if (!state.retryCharged.exchange(false, std::memory_order_acq_rel)) return;
+  retryOutstanding_[static_cast<std::size_t>(cls)].fetch_sub(
+      1, std::memory_order_acq_rel);
+}
+
+void AsyncNetEmbedService::abandonRetry(
+    const std::shared_ptr<detail::TicketState>& state, Priority cls,
+    const char* why) {
+  retriesAbandoned_.fetch_add(1, std::memory_order_relaxed);
+  releaseRetryBudget(*state, cls);
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(state->mutex);
+    error = state->lastError;
+  }
+  if (!error) {
+    error = std::make_exception_ptr(
+        std::runtime_error(std::string("retry abandoned: ") + why));
+  }
+  detail::resolveError(*state, error, version());
+  unregisterInflight(state.get());
+}
+
+AsyncNetEmbedService::ControlStats AsyncNetEmbedService::controlStats() const {
+  ControlStats out;
+  out.preemptionsFired = preemptionsFired_.load(std::memory_order_relaxed);
+  out.preemptRequeues = preemptRequeues_.load(std::memory_order_relaxed);
+  out.transientRetries = transientRetries_.load(std::memory_order_relaxed);
+  out.retriesAbandoned = retriesAbandoned_.load(std::memory_order_relaxed);
+  out.cacheBypassFallbacks = detail::cacheBypassFallbacks() - baseCacheBypass_;
+  const util::ThreadPool& pool = util::sharedPool();
+  out.poolWorkersLost = pool.workerDeaths() - basePoolDeaths_;
+  out.poolSerialFallbacks = pool.serialFallbacks() - basePoolSerial_;
+  return out;
 }
 
 void AsyncNetEmbedService::maybePreemptFor(int priority) {

@@ -45,8 +45,10 @@
 // Cancelled without running; running ones are stopped cooperatively and
 // resolve with their partial result). Futures stay valid either way.
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -54,7 +56,9 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "service/service.hpp"
 #include "service/ticket.hpp"
@@ -104,6 +108,13 @@ struct AsyncServiceOptions {
     /// a refused re-queue resolves Preempted after all). Its admission
     /// deadline, if any, keeps running across attempts.
     bool requeuePreempted = false;
+    /// Ceiling on requests of one priority class concurrently holding a
+    /// retry slot (QoS::retry): a request is charged once at its first
+    /// transient-failure retry and released at terminal resolution, so a
+    /// flood of failing Low work cannot monopolize the queue with retries
+    /// while High requests wait. Over budget, the retry is abandoned and
+    /// the ticket resolves Failed with the attempt's error. 0 = unbounded.
+    std::size_t retryBudgetPerClass = 0;
   };
   ControlPolicy control{};
 };
@@ -169,17 +180,28 @@ class AsyncNetEmbedService {
     return qos_->stats();
   }
 
-  /// Control-plane counters.
+  /// Control-plane counters. The pool/cache degradation entries are deltas
+  /// since this service was constructed (the underlying counters are
+  /// process-wide).
   struct ControlStats {
     /// Preemption stop-tokens fired at running lower-class attempts.
     std::uint64_t preemptionsFired = 0;
     /// Preempted requests successfully re-admitted to the queue.
     std::uint64_t preemptRequeues = 0;
+    /// Transient-failure retries dispatched back into the queue (QoS::retry).
+    std::uint64_t transientRetries = 0;
+    /// Retries given up on (budget exhausted, re-admission refused,
+    /// shutdown); the ticket resolved Failed with the attempt's error.
+    std::uint64_t retriesAbandoned = 0;
+    /// Degradation rung 1: plan-cache builds that failed transiently and
+    /// were served by a cache-bypass direct build instead.
+    std::uint64_t cacheBypassFallbacks = 0;
+    /// Degradation rung 2: shared-pool workers lost to injected deaths, and
+    /// tasks the degraded pool ran inline on their submitter.
+    std::uint64_t poolWorkersLost = 0;
+    std::uint64_t poolSerialFallbacks = 0;
   };
-  [[nodiscard]] ControlStats controlStats() const {
-    return ControlStats{preemptionsFired_.load(std::memory_order_relaxed),
-                        preemptRequeues_.load(std::memory_order_relaxed)};
-  }
+  [[nodiscard]] ControlStats controlStats() const;
 
   // --- synchronized model access -------------------------------------------
 
@@ -223,12 +245,40 @@ class AsyncNetEmbedService {
   void registerInflight(const std::shared_ptr<detail::TicketState>& state);
   void unregisterInflight(const detail::TicketState* key);
 
+  /// What kind of (re-)admission enqueueRequest performs. Anything but None
+  /// uses the non-blocking trySubmit — re-queues run on scheduler workers or
+  /// the retry timer, which must never Block-wait on queue space.
+  enum class Requeue : std::uint8_t { None, Preempt, Retry };
+
+  /// One transiently failed request waiting out its backoff before
+  /// re-admission.
+  struct PendingRetry {
+    util::QosScheduler::Clock::time_point due;
+    std::shared_ptr<detail::TicketState> state;
+    EmbedRequest request;
+    std::optional<util::QosScheduler::Clock::time_point> admitBy;
+  };
+
   /// Build and submit the scheduler job for one (possibly re-queued)
   /// request; arms the ticket's queue-removal hook on success.
   void enqueueRequest(std::shared_ptr<detail::TicketState> state,
                       EmbedRequest request,
                       std::optional<util::QosScheduler::Clock::time_point> admitBy,
-                      bool isPreemptRequeue);
+                      Requeue requeue);
+  /// Charge the per-class retry budget (first retry only) and park the
+  /// request on the backoff timer; abandons the retry instead when over
+  /// budget or already shutting down.
+  void scheduleRetry(std::shared_ptr<detail::TicketState> state,
+                     EmbedRequest request,
+                     std::optional<util::QosScheduler::Clock::time_point> admitBy);
+  /// The backoff timer thread: re-admits pending retries as they come due.
+  void retryLoop();
+  /// Give back the ticket's retry-budget slot, if it holds one. Idempotent.
+  void releaseRetryBudget(detail::TicketState& state, Priority cls);
+  /// Stop retrying: resolve the ticket Failed with the last attempt's error
+  /// (or a synthesized one naming `why`).
+  void abandonRetry(const std::shared_ptr<detail::TicketState>& state,
+                    Priority cls, const char* why);
   /// One execution attempt on a scheduler worker: slack propagation, preempt
   /// slot registration, and the re-queue round trip.
   void runAttempt(const std::shared_ptr<detail::TicketState>& state,
@@ -259,6 +309,24 @@ class AsyncNetEmbedService {
       runningSlots_;
   std::atomic<std::uint64_t> preemptionsFired_{0};
   std::atomic<std::uint64_t> preemptRequeues_{0};
+
+  // Retry plane: requests waiting out a transient-failure backoff, the timer
+  // thread that re-admits them, and the per-class outstanding-retry counts
+  // backing ControlPolicy::retryBudgetPerClass.
+  std::mutex retryMutex_;
+  std::condition_variable retryCv_;
+  std::vector<PendingRetry> retryQueue_;
+  bool retryStopping_ = false;
+  std::array<std::atomic<std::size_t>, 3> retryOutstanding_{};
+  std::atomic<std::uint64_t> transientRetries_{0};
+  std::atomic<std::uint64_t> retriesAbandoned_{0};
+  std::thread retryTimer_;
+
+  // Construction-time baselines of the process-wide degradation counters,
+  // so ControlStats reports this service's share.
+  std::uint64_t baseCacheBypass_ = 0;
+  std::uint64_t basePoolDeaths_ = 0;
+  std::uint64_t basePoolSerial_ = 0;
 
   // Shared so a ticket's queue-removal hook (SubmitTicket::cancel) keeps the
   // scheduler object alive even if a stale copy of the hook races service

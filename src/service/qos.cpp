@@ -21,6 +21,7 @@ const char* requestStatusName(RequestStatus s) noexcept {
     case RequestStatus::Expired: return "expired";
     case RequestStatus::Failed: return "failed";
     case RequestStatus::Preempted: return "preempted";
+    case RequestStatus::Retrying: return "retrying";
   }
   return "?";
 }

@@ -16,6 +16,21 @@ namespace netembed::service {
 enum class Priority : std::uint8_t { Low = 0, Normal = 1, High = 2 };
 [[nodiscard]] const char* priorityName(Priority p) noexcept;
 
+/// Per-request retry behavior for transient failures (injected faults,
+/// engine exceptions, plan-build failures — anything except an invalid
+/// query or an explicit cancel). The default maxAttempts = 1 reproduces the
+/// pre-retry behavior exactly: fail on the first error.
+struct RetryPolicy {
+  /// Total attempts, first run included. 1 = never retry.
+  std::uint32_t maxAttempts = 1;
+  /// Backoff before the first retry; subsequent retries use decorrelated
+  /// jitter (next = base + uniform[0, prev*3 - base], capped) so a burst of
+  /// co-failing requests de-synchronizes instead of thundering back in.
+  std::chrono::milliseconds baseBackoff{5};
+  /// Upper bound on any single backoff sleep.
+  std::chrono::milliseconds maxBackoff{250};
+};
+
 /// Quality-of-service block attached to every EmbedRequest. The zero values
 /// reproduce the pre-QoS behavior exactly: Normal priority, wait forever for
 /// admission, unbounded compute, the anonymous tenant.
@@ -37,6 +52,8 @@ struct QoS {
   /// Fair-queueing identity. Weights are configured on the service
   /// (setTenantWeight); the default tenant 0 has weight 1.
   std::uint64_t tenant = 0;
+  /// Transient-failure retry behavior (default: no retries).
+  RetryPolicy retry;
 };
 
 /// Where a request is in its lifecycle. Queued/Running are live states
@@ -56,6 +73,10 @@ enum class RequestStatus : std::uint8_t {
               // With ControlPolicy::requeuePreempted the request re-enters
               // the queue instead and this status is only seen when the
               // re-queue was refused.
+  Retrying,   // live state: the last attempt failed transiently and the
+              // request is waiting out its backoff before re-admission
+              // (QoS::retry). Never terminal — the ticket later resolves
+              // with one of the statuses above.
 };
 [[nodiscard]] const char* requestStatusName(RequestStatus s) noexcept;
 

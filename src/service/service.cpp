@@ -1,11 +1,14 @@
 #include "service/service.hpp"
 
+#include <atomic>
 #include <sstream>
 #include <thread>
 
 #include "core/engine.hpp"
+#include "core/filter.hpp"
 #include "core/portfolio.hpp"
 #include "topo/sample.hpp"
+#include "util/fault.hpp"
 
 namespace netembed::service {
 
@@ -30,7 +33,35 @@ core::SearchOptions applyQosBudgets(core::SearchOptions options, const QoS& qos)
   return options;
 }
 
+std::atomic<std::uint64_t> gCacheBypassFallbacks{0};
+
+/// Does this failure look like the shared stage-1 plan build (not the search
+/// itself) died? Only these earn the cache-bypass rung: a mid-search engine
+/// failure re-run under a private plan would just fail mid-search again, and
+/// classifying it here would double-run searches the ticket retry layer
+/// already re-dispatches with backoff.
+bool isPlanBuildFailure(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const core::FilterBuildCancelled&) {
+    // Genuine cancels resolve as partial results inside the engines; one
+    // escaping to here is spurious (injected or a misbehaving predicate).
+    return true;
+  } catch (const std::bad_alloc&) {
+    return true;
+  } catch (const util::InjectedFault& fault) {
+    return fault.site() == util::faultsite::kPlanBuild ||
+           fault.site() == util::faultsite::kPlanPatch;
+  } catch (...) {
+    return false;
+  }
+}
+
 }  // namespace
+
+std::uint64_t cacheBypassFallbacks() noexcept {
+  return gCacheBypassFallbacks.load(std::memory_order_relaxed);
+}
 
 EmbedResponse executeEmbed(const EmbedRequest& request, const graph::Graph& host,
                            std::uint64_t version, bool allowPortfolioEscalation,
@@ -77,29 +108,63 @@ EmbedResponse executeEmbed(const EmbedRequest& request, const graph::Graph& host
   EmbedResponse response;
   response.algorithmUsed = algorithm;
   response.modelVersion = version;
-  std::ostringstream diag;
-  if (algorithm == Algorithm::Portfolio) {
-    // Spawn the §VIII-predicted engine first: the static heuristic still
-    // buys latency while the race guarantees the outcome.
-    core::SearchContext parent(qosOptions, sink, std::move(stopToken));
-    parent.setPlanBuilder(builder);  // null => the race makes its own
-    const core::PortfolioResult race = core::portfolioSearch(
-        problem, parent, core::defaultContenders(qosOptions, predicted));
-    response.result = race.result;
-    // Report the engine whose answer the caller is holding.
-    if (race.raceDecided) response.algorithmUsed = race.winner;
-    diag << race.summary() << ": ";
-  } else {
-    const core::Engine& engine = core::engineFor(algorithm);
-    core::SearchContext context(engine.effectiveOptions(qosOptions), sink,
-                                std::move(stopToken));
-    context.setPlanBuilder(std::move(builder));
-    response.result = engine.run(problem, context);
-    diag << core::algorithmName(algorithm) << ": ";
+  std::string prefix;
+  // The run body, parameterized on the plan source so it can execute twice:
+  // once against the shared cache builder, and — when that attempt fails
+  // transiently — once more with a private direct build (cache bypass, the
+  // first rung of the degradation ladder). stopToken is copied, not moved:
+  // both attempts must observe the same external cancel.
+  const auto runOnce =
+      [&](const std::shared_ptr<core::SharedPlanBuilder>& planSource) {
+        std::ostringstream head;
+        if (algorithm == Algorithm::Portfolio) {
+          // Spawn the §VIII-predicted engine first: the static heuristic
+          // still buys latency while the race guarantees the outcome.
+          core::SearchContext parent(qosOptions, sink, stopToken);
+          parent.setPlanBuilder(planSource);  // null => the race makes its own
+          const core::PortfolioResult race = core::portfolioSearch(
+              problem, parent, core::defaultContenders(qosOptions, predicted));
+          response.result = race.result;
+          // Report the engine whose answer the caller is holding.
+          response.algorithmUsed =
+              race.raceDecided ? race.winner : algorithm;
+          head << race.summary() << ": ";
+        } else {
+          const core::Engine& engine = core::engineFor(algorithm);
+          core::SearchContext context(engine.effectiveOptions(qosOptions), sink,
+                                      stopToken);
+          context.setPlanBuilder(planSource);
+          response.result = engine.run(problem, context);
+          head << core::algorithmName(algorithm) << ": ";
+        }
+        prefix = head.str();
+      };
+  bool cacheBypassed = false;
+  try {
+    runOnce(builder);
+  } catch (const core::FilterOverflow&) {
+    // Deterministic space blow-up: a private rebuild would only blow up
+    // again. Not a degradation candidate.
+    throw;
+  } catch (...) {
+    // Transient plan-build failure while the shared builder was in play
+    // (injected plan-build fault, allocation failure, spurious
+    // cancellation): degrade to a cache-bypass direct build instead of
+    // failing the request. A genuinely cancelled run is not retried —
+    // honoring the cancel beats finishing the work.
+    if (!builder || !isPlanBuildFailure(std::current_exception()) ||
+        (stopToken.stop_possible() && stopToken.stop_requested())) {
+      throw;
+    }
+    gCacheBypassFallbacks.fetch_add(1, std::memory_order_relaxed);
+    cacheBypassed = true;
+    runOnce(nullptr);
   }
-  diag << core::outcomeName(response.result.outcome) << ", "
+  std::ostringstream diag;
+  diag << prefix << core::outcomeName(response.result.outcome) << ", "
        << response.result.solutionCount << " mapping(s), "
        << response.result.stats.searchMs << " ms";
+  if (cacheBypassed) diag << " [plan cache bypassed after transient failure]";
   response.diagnostics = diag.str();
   return response;
 }

@@ -37,6 +37,9 @@ struct EmbedResponse {
   core::EmbedResult result;
   core::Algorithm algorithmUsed = core::Algorithm::ECF;
   std::uint64_t modelVersion = 0;
+  /// Attempts consumed to produce this response (1 = first try; >1 means
+  /// transient failures were retried under QoS::retry).
+  std::uint32_t attempts = 1;
   /// Terminal lifecycle state. Done for every successful plain submit();
   /// ticket submissions may resolve Cancelled/Rejected/Expired instead (the
   /// result is then whatever partial state the search reached — typically
@@ -130,6 +133,12 @@ namespace detail {
 /// under root-split, return false to stop). `stopToken` chains external
 /// cancellation — a ticket cancel or service shutdown — into the
 /// SearchContext so the run stops mid-search and mid-filter-build.
+///
+/// Degradation rung 1: if the run fails transiently while holding a shared
+/// plan builder (injected plan-build fault, allocation failure, spurious
+/// cancellation), executeEmbed retries ONCE with the cache bypassed — a
+/// direct private build — before surfacing the error. FilterOverflow is
+/// deterministic and never retried. Counted in cacheBypassFallbacks().
 [[nodiscard]] EmbedResponse executeEmbed(const EmbedRequest& request,
                                          const graph::Graph& host,
                                          std::uint64_t version,
@@ -137,6 +146,9 @@ namespace detail {
                                          FilterPlanCache* cache,
                                          const core::SolutionSink& sink = {},
                                          std::stop_token stopToken = {});
+
+/// Process-wide count of cache-bypass degradations served by executeEmbed.
+[[nodiscard]] std::uint64_t cacheBypassFallbacks() noexcept;
 }  // namespace detail
 
 }  // namespace netembed::service

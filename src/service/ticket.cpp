@@ -1,8 +1,14 @@
 #include "service/ticket.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <optional>
+
+#include "expr/lexer.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace netembed::service {
 
@@ -83,9 +89,16 @@ class SolutionBuffer {
       const core::SolutionSink& user = state_.callbacks.onSolution;
       if (user) {
         try {
+          // Slow/throwing-consumer probe, inside the try: an injected
+          // consumer fault takes the same counted stop path a real one does.
+          if (util::FaultInjector::enabled()) {
+            util::faultPoint(util::faultsite::kTicketConsumer);
+          }
           keepGoing = user(mapping);
         } catch (...) {
-          // SolutionSink is not supposed to throw; treat a throw as "stop".
+          // SolutionSink is not supposed to throw; count it (sinkErrors) and
+          // treat it as "stop" — the search continues, streaming ends.
+          state_.sinkErrors.fetch_add(1, std::memory_order_relaxed);
           keepGoing = false;
         }
       }
@@ -154,12 +167,72 @@ void resolveResponse(TicketState& state, EmbedResponse response) {
   }
 }
 
-void resolveError(TicketState& state, std::exception_ptr error) {
+std::string describeError(std::exception_ptr error) {
+  if (!error) return {};
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown non-standard exception";
+  }
+}
+
+bool isPermanentError(std::exception_ptr error) noexcept {
+  if (!error) return false;
+  try {
+    std::rethrow_exception(error);
+  } catch (const expr::SyntaxError&) {
+    return true;  // bad constraint source: every retry re-parses the same text
+  } catch (const std::invalid_argument&) {
+    return true;  // malformed problem/options: deterministic validation
+  } catch (...) {
+    return false;  // injected fault, allocation, engine exception, overflow...
+  }
+}
+
+std::chrono::milliseconds nextRetryBackoff(const RetryPolicy& policy,
+                                           std::uint64_t seed,
+                                           TicketState& state) {
+  using std::chrono::milliseconds;
+  const auto base = std::max<milliseconds>(policy.baseBackoff, milliseconds(1));
+  const auto cap = std::max<milliseconds>(policy.maxBackoff, base);
+  std::lock_guard lock(state.mutex);
+  const auto prev = std::max<milliseconds>(state.lastBackoff, base);
+  // Decorrelated jitter: next = min(cap, base + uniform[0, prev*3 - base]).
+  // Deterministic per (seed, attempt) so chaos schedules replay exactly.
+  const std::uint32_t attempt = state.attempts.load(std::memory_order_relaxed);
+  util::Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (attempt + 1)));
+  const auto spanMs = static_cast<std::uint64_t>((prev * 3 - base).count()) + 1;
+  auto next = base + milliseconds(rng.uniformInt(0, spanMs - 1));
+  next = std::min(next, cap);
+  state.lastBackoff = next;
+  return next;
+}
+
+void resolveError(TicketState& state, std::exception_ptr error,
+                  std::uint64_t version) {
   if (!claimResolution(state)) return;
   state.status.store(RequestStatus::Failed, std::memory_order_release);
   state.promise.set_exception(error);
+  // The placeholder is attributable, not empty: model version, attempts
+  // consumed, and the partial work the failed attempts measured — an
+  // onComplete observer can bill the failure without touching the future.
   EmbedResponse placeholder;
   placeholder.status = RequestStatus::Failed;
+  placeholder.modelVersion = version;
+  placeholder.attempts =
+      std::max<std::uint32_t>(state.attempts.load(std::memory_order_relaxed), 1);
+  {
+    std::lock_guard lock(state.mutex);
+    state.errorText = describeError(error);
+    state.lastError = error;
+    placeholder.result.stats = state.carriedStats;
+    placeholder.result.outcome = core::Outcome::Inconclusive;
+    placeholder.result.solutionCount =
+        state.streamed.load(std::memory_order_relaxed);
+    placeholder.diagnostics = "failed: " + state.errorText;
+  }
   fireOnComplete(state, placeholder, error);
 }
 
@@ -207,12 +280,47 @@ RunOutcome runTicketedAttempt(const std::shared_ptr<TicketState>& state,
                               const graph::Graph& host, std::uint64_t version,
                               bool allowPortfolioEscalation,
                               FilterPlanCache* cache, PreemptSlot* slot,
-                              bool requeueOnPreempt) {
+                              bool requeueOnPreempt, bool allowRetry) {
   if (state->stop.stop_requested()) {
     // Cancelled between admission and dispatch (the fix for the leaked
     // never-satisfied promise): resolve instead of running.
     resolveDropped(*state, RequestStatus::Cancelled,
                    "cancelled before dispatch");
+    return RunOutcome::Resolved;
+  }
+  const bool retryEnabled = allowRetry && request.qos.retry.maxAttempts > 1;
+  const std::uint32_t attempt =
+      state->attempts.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::size_t maxSolutions = request.options.maxSolutions;
+  // Admissions earlier attempts already streamed to the user: the dedup line
+  // for exactly-once delivery on a retry.
+  std::uint64_t carried = 0;
+  if (retryEnabled && attempt > 1) {
+    std::lock_guard lock(state->mutex);
+    carried = state->carriedAdmissions;
+  }
+  if (retryEnabled && attempt > 1 && maxSolutions != 0 &&
+      carried >= maxSolutions) {
+    // Solution-count floor: the failed attempt had already admitted (and
+    // streamed) every requested solution before it died — resolve from the
+    // carry instead of burning a whole re-search.
+    EmbedResponse response;
+    response.modelVersion = version;
+    response.attempts = attempt;
+    response.status = RequestStatus::Done;
+    response.result.outcome = core::Outcome::Partial;
+    response.result.solutionCount = carried;
+    {
+      std::lock_guard lock(state->mutex);
+      response.result.stats = state->carriedStats;
+      response.result.mappings = state->carriedMappings;
+    }
+    if (response.result.mappings.size() > request.options.storeLimit) {
+      response.result.mappings.resize(request.options.storeLimit);
+    }
+    response.diagnostics =
+        "retry: resolved from the previous attempt's carried solutions";
+    resolveResponse(*state, std::move(response));
     return RunOutcome::Resolved;
   }
   state->status.store(RequestStatus::Running, std::memory_order_release);
@@ -236,25 +344,64 @@ RunOutcome runTicketedAttempt(const std::shared_ptr<TicketState>& state,
   // decoupling. The inline wrapper counts even without a user callback so
   // solutionsStreamed() always reports admissions.
   std::optional<SolutionBuffer> buffer;
-  core::SolutionSink sink;
+  core::SolutionSink deliver;
   if (state->callbacks.solutionBufferCapacity > 0) {
     buffer.emplace(*state, state->callbacks.solutionBufferCapacity,
                    state->callbacks.solutionBufferPolicy);
     SolutionBuffer* buf = &*buffer;
-    sink = [buf](const core::Mapping& mapping) { return buf->push(mapping); };
+    deliver = [buf](const core::Mapping& mapping) {
+      return buf->push(mapping);
+    };
   } else {
-    sink = [state](const core::Mapping& mapping) {
+    deliver = [state](const core::Mapping& mapping) {
       state->streamed.fetch_add(1, std::memory_order_relaxed);
       const core::SolutionSink& user = state->callbacks.onSolution;
-      return user ? user(mapping) : true;
+      if (!user) return true;
+      try {
+        return user(mapping);
+      } catch (...) {
+        // Inline sink throw: counted, then propagated into the search — the
+        // attempt fails (and may retry; the admission stays carried, so the
+        // mapping is not re-delivered).
+        state->sinkErrors.fetch_add(1, std::memory_order_relaxed);
+        throw;
+      }
+    };
+  }
+  core::SolutionSink sink = deliver;
+  if (retryEnabled) {
+    // Retry bookkeeping wrapper: record every admission into the carry, and
+    // forward only admissions past what earlier attempts already delivered —
+    // the engines replay deterministically, so admission i of a retry is the
+    // same mapping an earlier attempt already streamed as i.
+    const std::size_t keep =
+        maxSolutions == 0
+            ? std::size_t{0}
+            : std::min(maxSolutions, request.options.storeLimit);
+    auto seen = std::make_shared<std::atomic<std::uint64_t>>(0);
+    sink = [state, deliver, carried, keep, seen](const core::Mapping& mapping) {
+      const std::uint64_t idx = seen->fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard lock(state->mutex);
+        if (idx == state->carriedMappings.size() && idx < keep) {
+          state->carriedMappings.push_back(mapping);
+        }
+        if (idx + 1 > state->carriedAdmissions) {
+          state->carriedAdmissions = idx + 1;
+        }
+      }
+      if (idx < carried) return true;  // delivered by an earlier attempt
+      return deliver(mapping);
     };
   }
 
+  util::Stopwatch attemptClock;
   try {
     EmbedResponse response = detail::executeEmbed(
         request, host, version, allowPortfolioEscalation, cache, sink, token);
     // Every buffered delivery happens-before the resolution below.
     if (buffer) buffer->closeAndJoin();
+    response.attempts = attempt;
     const bool preempted = slot &&
                            slot->preempted.load(std::memory_order_acquire) &&
                            !state->stop.stop_requested();
@@ -275,7 +422,27 @@ RunOutcome runTicketedAttempt(const std::shared_ptr<TicketState>& state,
     resolveResponse(*state, std::move(response));
   } catch (...) {
     if (buffer) buffer->closeAndJoin();
-    resolveError(*state, std::current_exception());
+    const std::exception_ptr error = std::current_exception();
+    bool alreadyResolved;
+    {
+      std::lock_guard lock(state->mutex);
+      state->lastError = error;
+      state->errorText = describeError(error);
+      // Bill the doomed attempt's wall time into the carry so the eventual
+      // terminal response reports the true accumulated cost.
+      state->carriedStats.searchMs += attemptClock.elapsedMs();
+      alreadyResolved = state->resolved;
+    }
+    // Transient-vs-permanent classification (see isPermanentError). A
+    // genuine cancel is never retried — honoring it beats finishing — and a
+    // concurrently resolved ticket (racing cancel) has nothing left to retry.
+    if (retryEnabled && attempt < request.qos.retry.maxAttempts &&
+        !state->stop.stop_requested() && !isPermanentError(error) &&
+        !alreadyResolved) {
+      state->status.store(RequestStatus::Retrying, std::memory_order_release);
+      return RunOutcome::RetryTransient;
+    }
+    resolveError(*state, error, version);
   }
   return RunOutcome::Resolved;
 }
@@ -300,6 +467,28 @@ std::uint64_t SubmitTicket::solutionsStreamed() const noexcept {
 std::uint64_t SubmitTicket::solutionsDropped() const noexcept {
   if (!state_) return 0;
   return state_->droppedSolutions.load(std::memory_order_relaxed);
+}
+
+std::uint32_t SubmitTicket::attempts() const noexcept {
+  if (!state_) return 0;
+  return state_->attempts.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SubmitTicket::sinkErrors() const noexcept {
+  if (!state_) return 0;
+  return state_->sinkErrors.load(std::memory_order_relaxed);
+}
+
+std::string SubmitTicket::errorMessage() const {
+  if (!state_) return {};
+  std::lock_guard lock(state_->mutex);
+  // Only a sealed Failed outcome reports: mid-flight attempt errors are
+  // retry-internal until the resolution commits to one.
+  if (!state_->resolved ||
+      state_->status.load(std::memory_order_acquire) != RequestStatus::Failed) {
+    return {};
+  }
+  return state_->errorText;
 }
 
 std::future<EmbedResponse>& SubmitTicket::futureRef() {
@@ -328,8 +517,25 @@ SubmitTicket NetEmbedService::submitTicketed(EmbedRequest request,
         // into the ticket's stop source so both cancel paths converge on the
         // SearchContext's external token.
         std::stop_callback chain(st, [&state] { state->stop.request_stop(); });
-        detail::runTicketed(state, request, *host, version,
-                            /*allowPortfolioEscalation=*/true, &planCache_);
+        // The runner doubles as the retry loop: a transient failure with
+        // attempts left (QoS::retry) sleeps out its backoff — stop-aware, in
+        // slices — and dispatches the next attempt on this same thread.
+        for (;;) {
+          const detail::RunOutcome outcome = detail::runTicketedAttempt(
+              state, request, *host, version,
+              /*allowPortfolioEscalation=*/true, &planCache_, /*slot=*/nullptr,
+              /*requeueOnPreempt=*/false, /*allowRetry=*/true);
+          if (outcome != detail::RunOutcome::RetryTransient) break;
+          const auto backoff = detail::nextRetryBackoff(
+              request.qos.retry, version ^ request.qos.tenant, *state);
+          const auto wakeAt = std::chrono::steady_clock::now() + backoff;
+          while (std::chrono::steady_clock::now() < wakeAt &&
+                 !st.stop_requested() && !state->stop.stop_requested()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          // A cancel during the backoff resolves at the next attempt's
+          // pre-dispatch check.
+        }
       });
   return ticket;
 }

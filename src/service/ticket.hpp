@@ -14,13 +14,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <stop_token>
+#include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "service/service.hpp"
 
@@ -43,6 +46,11 @@ struct TicketCallbacks {
   /// (before the search finishes). The core SolutionSink contract applies:
   /// with root-split or portfolio parallelism it may fire concurrently;
   /// return false to stop the search (terminal result is then Partial).
+  /// Throwing is off-contract but accounted (SubmitTicket::sinkErrors):
+  /// inline (capacity 0) a throw propagates into the search and fails — or,
+  /// under QoS::retry, retries — the attempt; buffered, a throw stops
+  /// further deliveries for the attempt (like returning false) while the
+  /// search continues and the ticket resolves normally.
   core::SolutionSink onSolution;
   /// Fired exactly once at terminal resolution, after the future is
   /// satisfied, on whichever thread resolved the request. Exactly one of
@@ -82,10 +90,35 @@ struct TicketState {
   /// Mappings a DropOldest solution buffer evicted undelivered (plus any
   /// undelivered leftovers after the consumer asked the search to stop).
   std::atomic<std::uint64_t> droppedSolutions{0};
+  /// Attempts started (incremented at each dispatch; see QoS::retry).
+  std::atomic<std::uint32_t> attempts{0};
+  /// Times the user's onSolution sink threw (see SubmitTicket::sinkErrors).
+  std::atomic<std::uint64_t> sinkErrors{0};
+  /// Whether this ticket currently holds a slot of the async service's
+  /// per-class retry budget (charged once at the first retry, released at
+  /// terminal resolution).
+  std::atomic<bool> retryCharged{false};
 
-  std::mutex mutex;            // guards resolved + tryDequeue
+  std::mutex mutex;            // guards resolved + tryDequeue + retry carry
   bool resolved = false;       // the promise has been satisfied
   std::function<bool()> tryDequeue;  // async service: pull out of the queue
+  /// what() of the error behind a Failed resolution (errorMessage()).
+  std::string errorText;
+  /// The exception of the most recent failed attempt; a retry that is later
+  /// abandoned (budget, shutdown, queue refusal) resolves with this instead
+  /// of a generic "retry abandoned" error.
+  std::exception_ptr lastError;
+  /// Retry carry — the previous attempts' partial result. Engines replay
+  /// deterministically, so admission i of a retry is the mapping already
+  /// admitted as i in an earlier attempt: carriedAdmissions gives retries a
+  /// solution-count floor (enough carried admissions synthesize a Done
+  /// without re-searching) and the dedup line for exactly-once onSolution
+  /// delivery; carriedMappings stores the first maxSolutions of them.
+  std::vector<core::Mapping> carriedMappings;
+  std::uint64_t carriedAdmissions = 0;
+  core::SearchStats carriedStats{};
+  /// Previous backoff actually slept, the anchor of decorrelated jitter.
+  std::chrono::milliseconds lastBackoff{0};
 };
 
 /// One *attempt* at running a preemptable request. The attempt's stop source
@@ -108,13 +141,34 @@ enum class RunOutcome : std::uint8_t {
   /// re-enqueue it (and resolve it Preempted itself if the re-queue is
   /// refused).
   RequeuePreempted,
+  /// The attempt failed transiently, the retry policy has attempts left and
+  /// the ticket is unresolved in Retrying state — the caller must wait out
+  /// the backoff and dispatch another attempt (or abandon via resolveError
+  /// with the stored lastError).
+  RetryTransient,
 };
 
 /// Resolve with a response (status read from response.status). No-ops if
 /// already resolved.
 void resolveResponse(TicketState& state, EmbedResponse response);
-/// Resolve with the search's exception (status Failed).
-void resolveError(TicketState& state, std::exception_ptr error);
+/// Resolve with the search's exception (status Failed). The onComplete
+/// placeholder response is attributable: it carries `version` (the model
+/// version the attempts ran against), the attempt count, and the partial
+/// SearchStats / admission count accumulated across failed attempts.
+void resolveError(TicketState& state, std::exception_ptr error,
+                  std::uint64_t version = 0);
+
+/// what() of `error` (or a fallback for non-std exceptions).
+[[nodiscard]] std::string describeError(std::exception_ptr error);
+/// Failure classification for retries: true for errors no retry can fix
+/// (invalid constraint source, malformed problem). Everything else —
+/// injected faults, allocation failures, engine exceptions, plan overflow —
+/// is transient.
+[[nodiscard]] bool isPermanentError(std::exception_ptr error) noexcept;
+/// Next backoff under `policy` with decorrelated jitter, deterministic from
+/// (seed, attempt number); records itself as state.lastBackoff.
+[[nodiscard]] std::chrono::milliseconds nextRetryBackoff(
+    const RetryPolicy& policy, std::uint64_t seed, TicketState& state);
 /// Resolve a request that never ran (Cancelled / Rejected / Expired).
 void resolveDropped(TicketState& state, RequestStatus status,
                     std::string diagnostics);
@@ -137,11 +191,18 @@ void runTicketed(const std::shared_ptr<TicketState>& state,
 /// `requeueOnPreempt` asked to hand the unresolved ticket back for
 /// re-admission instead. Also implements the buffered-onSolution path (see
 /// TicketCallbacks::solutionBufferCapacity) for both entry points.
+///
+/// `allowRetry` turns on QoS::retry semantics: a transient failure with
+/// attempts remaining returns RunOutcome::RetryTransient instead of
+/// resolving Failed, retries skip re-delivering solutions already streamed
+/// by earlier attempts (exactly-once onSolution), and a retry whose carried
+/// admissions already cover maxSolutions resolves Done from the carry
+/// without re-searching.
 [[nodiscard]] RunOutcome runTicketedAttempt(
     const std::shared_ptr<TicketState>& state, const EmbedRequest& request,
     const graph::Graph& host, std::uint64_t version,
     bool allowPortfolioEscalation, FilterPlanCache* cache, PreemptSlot* slot,
-    bool requeueOnPreempt);
+    bool requeueOnPreempt, bool allowRetry = false);
 
 }  // namespace detail
 
@@ -192,6 +253,24 @@ class SubmitTicket {
   /// Mappings evicted undelivered by a DropOldest solution buffer (0 for
   /// invalid tickets and for inline / Block configurations).
   [[nodiscard]] std::uint64_t solutionsDropped() const noexcept;
+
+  /// Attempts dispatched so far (0 before the first dispatch; > 1 once
+  /// transient failures were retried under QoS::retry — status() reads
+  /// Retrying while a backoff is pending).
+  [[nodiscard]] std::uint32_t attempts() const noexcept;
+
+  /// Times the onSolution sink threw (0 for invalid tickets). An *inline*
+  /// sink throw propagates into the search and fails (or retries) the
+  /// attempt; a *buffered* sink throw stops further streaming for the
+  /// attempt — the search continues and the ticket still resolves normally
+  /// (see TicketCallbacks::solutionBufferCapacity).
+  [[nodiscard]] std::uint64_t sinkErrors() const noexcept;
+
+  /// what() of the error behind a Failed resolution, captured at resolve
+  /// time — the failure cause without future().get()'s rethrow. Empty while
+  /// unresolved, for non-Failed terminals and for invalid tickets. Not
+  /// noexcept (takes the state mutex).
+  [[nodiscard]] std::string errorMessage() const;
 
  private:
   friend class NetEmbedService;

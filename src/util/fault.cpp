@@ -1,0 +1,166 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace netembed::util {
+
+namespace detail {
+std::atomic<bool> gFaultsEnabled{false};
+}  // namespace detail
+
+namespace {
+
+/// splitmix64: the decision hash. Cheap, stateless, and good enough that
+/// probability thresholds behave like independent coin flips per arrival.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hashSite(const char* site) noexcept {
+  // FNV-1a over the site name; the name is the stable identity (pointer
+  // values would not replay across builds).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h = (h ^ static_cast<unsigned char>(*p)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  struct SiteState {
+    FaultSpec spec;
+    std::atomic<std::uint64_t> arrivals{0};
+    std::atomic<std::uint64_t> fires{0};
+  };
+
+  /// shared_mutex: probes take the shared side (lookups only — SiteState
+  /// counters are atomics); arm/disable take the exclusive side.
+  mutable std::shared_mutex mutex;
+  std::unordered_map<std::string, std::unique_ptr<SiteState>> sites;
+  std::uint64_t seed = 0;
+};
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::Impl& FaultInjector::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+void FaultInjector::enable(std::uint64_t seed) {
+  Impl& im = impl();
+  std::unique_lock lock(im.mutex);
+  im.seed = seed;
+  for (auto& [name, state] : im.sites) {
+    (void)name;
+    state->arrivals.store(0, std::memory_order_relaxed);
+    state->fires.store(0, std::memory_order_relaxed);
+  }
+  detail::gFaultsEnabled.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disable() {
+  Impl& im = impl();
+  detail::gFaultsEnabled.store(false, std::memory_order_release);
+  std::unique_lock lock(im.mutex);
+  im.sites.clear();
+}
+
+void FaultInjector::arm(const char* site, FaultSpec spec) {
+  Impl& im = impl();
+  std::unique_lock lock(im.mutex);
+  auto state = std::make_unique<Impl::SiteState>();
+  state->spec = spec;
+  im.sites[site] = std::move(state);
+}
+
+bool FaultInjector::shouldFire(const char* site, FaultSpec* specOut) {
+  if (!enabled()) return false;
+  Impl& im = impl();
+  FaultSpec spec;
+  std::chrono::milliseconds delay{0};
+  {
+    std::shared_lock lock(im.mutex);
+    const auto it = im.sites.find(site);
+    if (it == im.sites.end()) return false;
+    Impl::SiteState& state = *it->second;
+    spec = state.spec;
+    const std::uint64_t index =
+        state.arrivals.fetch_add(1, std::memory_order_relaxed);
+    if (index < spec.skipFirst) return false;
+    if (spec.probability < 1.0) {
+      // Deterministic per-(seed, site, arrival) coin flip in [0, 1).
+      const std::uint64_t h = mix64(im.seed ^ hashSite(site) ^
+                                    mix64(index + 1));
+      const double u =
+          static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+      if (u >= spec.probability) return false;
+    }
+    if (spec.maxFires != 0) {
+      // Claim one of the remaining fires; losers of the race stay quiet.
+      std::uint64_t fired = state.fires.load(std::memory_order_relaxed);
+      for (;;) {
+        if (fired >= spec.maxFires) return false;
+        if (state.fires.compare_exchange_weak(fired, fired + 1,
+                                              std::memory_order_acq_rel)) {
+          break;
+        }
+      }
+    } else {
+      state.fires.fetch_add(1, std::memory_order_relaxed);
+    }
+    delay = spec.delay;
+  }
+  // The delay is served outside the registry lock: a slow fault must not
+  // serialize unrelated probes.
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  if (specOut) *specOut = spec;
+  return true;
+}
+
+std::uint64_t FaultInjector::arrivals(const char* site) const {
+  Impl& im = impl();
+  std::shared_lock lock(im.mutex);
+  const auto it = im.sites.find(site);
+  return it == im.sites.end()
+             ? 0
+             : it->second->arrivals.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fires(const char* site) const {
+  Impl& im = impl();
+  std::shared_lock lock(im.mutex);
+  const auto it = im.sites.find(site);
+  return it == im.sites.end()
+             ? 0
+             : it->second->fires.load(std::memory_order_relaxed);
+}
+
+bool faultFires(const char* site) {
+  return FaultInjector::instance().shouldFire(site);
+}
+
+void faultPoint(const char* site) {
+  FaultSpec spec;
+  if (!FaultInjector::instance().shouldFire(site, &spec)) return;
+  if (spec.throws) throw InjectedFault(site);
+}
+
+void faultDelay(const char* site) {
+  (void)FaultInjector::instance().shouldFire(site);
+}
+
+}  // namespace netembed::util

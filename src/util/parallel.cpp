@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "util/fault.hpp"
 #include "util/latch.hpp"
 
 namespace netembed::util {
@@ -26,6 +27,25 @@ struct ThreadPool::Impl {
   std::size_t inFlight = 0;
   bool shutdown = false;
   std::stop_source stop;
+  std::atomic<std::size_t> liveWorkers{0};
+  std::atomic<std::uint64_t> workerDeaths{0};
+  std::atomic<std::uint64_t> serialFallbacks{0};
+
+  /// Run everything still queued on this thread (the last surviving worker
+  /// dying under fault injection): no queued task — and no CompletionLatch
+  /// waiting on one — may ever be stranded by worker loss.
+  void drainQueueLocked(std::unique_lock<std::mutex>& lock) {
+    while (!queue.empty()) {
+      std::function<void()> task = std::move(queue.front());
+      queue.pop_front();
+      ++inFlight;
+      lock.unlock();
+      task();
+      lock.lock();
+      --inFlight;
+    }
+    if (inFlight == 0) allDone.notify_all();
+  }
 
   void workerLoop() {
     tlsWorkerOfPool = this;
@@ -35,6 +55,20 @@ struct ThreadPool::Impl {
         std::unique_lock lock(mutex);
         workAvailable.wait(lock, [&] { return shutdown || !queue.empty(); });
         if (shutdown && queue.empty()) return;
+        // Injected worker death: this worker exits *before* dequeuing, so no
+        // accepted task dies with it. The probe sits past the wait — only a
+        // worker with work (or shutdown) in sight can be killed, which keeps
+        // a schedule's fire count meaningful. Once no workers remain the
+        // pool degrades: the dying worker drains the queue inline, and
+        // submit() runs later tasks on their callers.
+        if (FaultInjector::enabled() &&
+            faultFires(faultsite::kPoolWorkerDeath)) {
+          workerDeaths.fetch_add(1, std::memory_order_relaxed);
+          if (liveWorkers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            drainQueueLocked(lock);
+          }
+          return;
+        }
         task = std::move(queue.front());
         queue.pop_front();
         ++inFlight;
@@ -55,6 +89,7 @@ ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
     threads = hw == 0 ? 1 : hw;
   }
   impl_->workers.reserve(threads);
+  impl_->liveWorkers.store(threads, std::memory_order_relaxed);
   for (std::size_t i = 0; i < threads; ++i) {
     impl_->workers.emplace_back([this] { impl_->workerLoop(); });
   }
@@ -71,11 +106,22 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Injected spawn failure: the task is refused before it is queued — the
+  // exact shape of an allocation failure in push_back, which submitCounted
+  // and parallelFor already survive.
+  if (FaultInjector::enabled()) faultPoint(faultsite::kPoolSubmit);
   {
     std::lock_guard lock(impl_->mutex);
-    impl_->queue.push_back(std::move(task));
+    if (impl_->liveWorkers.load(std::memory_order_acquire) > 0) {
+      impl_->queue.push_back(std::move(task));
+      impl_->workAvailable.notify_one();
+      return;
+    }
   }
-  impl_->workAvailable.notify_one();
+  // Degraded mode — every worker died: run inline on the caller. Slower,
+  // but submitted work still completes and wait() still returns.
+  impl_->serialFallbacks.fetch_add(1, std::memory_order_relaxed);
+  task();
 }
 
 void ThreadPool::wait() {
@@ -84,6 +130,18 @@ void ThreadPool::wait() {
 }
 
 std::size_t ThreadPool::threadCount() const noexcept { return impl_->workers.size(); }
+
+std::size_t ThreadPool::liveWorkerCount() const noexcept {
+  return impl_->liveWorkers.load(std::memory_order_acquire);
+}
+
+std::uint64_t ThreadPool::workerDeaths() const noexcept {
+  return impl_->workerDeaths.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ThreadPool::serialFallbacks() const noexcept {
+  return impl_->serialFallbacks.load(std::memory_order_relaxed);
+}
 
 bool ThreadPool::isWorkerThread() const noexcept {
   return tlsWorkerOfPool == impl_;
@@ -131,7 +189,11 @@ void parallelFor(ThreadPool& pool, std::size_t n,
   const std::size_t workers = pool.threadCount();
   // Run serial when called from one of this pool's own tasks: blocking on
   // subtasks here could starve the queue if enough workers do the same.
-  if (n == 1 || workers == 1 || pool.isWorkerThread()) {
+  // A pool degraded to zero live workers (injected worker death) also runs
+  // serial outright — fanning out would only bounce every chunk through
+  // submit()'s inline fallback.
+  if (n == 1 || workers == 1 || pool.isWorkerThread() ||
+      pool.liveWorkerCount() == 0) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }

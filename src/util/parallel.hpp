@@ -8,6 +8,7 @@
 // independent repetitions concurrently.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <stop_token>
 #include <vector>
@@ -31,12 +32,27 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Enqueue one task. Fault probes (see util/fault.hpp): an armed
+  /// faultsite::kPoolSubmit fire throws InjectedFault before the task is
+  /// queued (spawn-failure simulation — submitCounted already survives a
+  /// throwing submit). When every worker has died (kPoolWorkerDeath), the
+  /// pool is degraded and the task runs inline on the calling thread
+  /// instead — the serial fallback, counted in serialFallbacks().
   void submit(std::function<void()> task);
 
   /// Block until every submitted task has finished.
   void wait();
 
   [[nodiscard]] std::size_t threadCount() const noexcept;
+
+  /// Workers still alive. Equal to threadCount() unless fault injection
+  /// killed workers (faultsite::kPoolWorkerDeath); 0 means the pool is
+  /// degraded to inline execution.
+  [[nodiscard]] std::size_t liveWorkerCount() const noexcept;
+  /// Workers lost to injected deaths since construction.
+  [[nodiscard]] std::uint64_t workerDeaths() const noexcept;
+  /// Tasks run inline on their submitter because no worker was left.
+  [[nodiscard]] std::uint64_t serialFallbacks() const noexcept;
 
   /// True when the calling thread is one of THIS pool's workers. Code that
   /// submits to the pool and then blocks on completion (root-split search,

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -291,6 +292,10 @@ struct QosScheduler::Impl {
       chargeStrideLocked(qj.job.tenant);
       ++running;
       lock.unlock();
+      // Injected dispatch-latency spike (clock skew / noisy-neighbor
+      // scheduling delay). Delay-only and outside the lock: the rest of the
+      // scheduler keeps admitting and dispatching while this worker stalls.
+      if (FaultInjector::enabled()) faultDelay(faultsite::kQosDequeue);
       const Clock::time_point started = Clock::now();
       try {
         qj.job.run();
