@@ -13,64 +13,25 @@
 //   # explicit host file + algorithm + CSV of the mappings
 //   $ ./netembed_cli --host trace.ping --query q.graphml --algo lns --csv
 //
-// Flags:
-//   --host FILE        hosting network (.graphml or all-pairs-ping text);
-//                      default: built-in synthetic PlanetLab trace
-//   --query FILE       query network (.graphml); required unless --demo
-//   --demo             use a built-in demo query sampled from the host
-//   --edge-constraint  expression over vEdge/rEdge/vSource/... (default none)
-//   --node-constraint  expression over vNode/rNode (default none)
-//   --algo NAME        ecf | rwb | lns | naive | anneal | genetic |
-//                      portfolio | auto (default auto; auto races the
-//                      portfolio for first-match queries)
-//   --max N            stop after N mappings (default 1; 0 = all)
-//   --ordering MODE    static | dynamic variable order for the filtered
-//                      engines (default static — the paper's Lemma-1 order;
-//                      dynamic re-picks the smallest live domain each depth)
-//   --timeout MS       search budget (default 10000)
-//   --seed N           RNG seed (default 42)
-//   --csv              machine-readable mapping output
-//   --priority P       QoS class: low | normal | high (default normal)
-//   --deadline-ms MS   QoS compute budget once running (0 = none; tightens
-//                      --timeout, never widens it). Also recorded as the
-//                      admission deadline, which binds only when the request
-//                      goes through the queued AsyncNetEmbedService — this
-//                      tool's direct ticket submission has no queue wait.
-//   --tenant N         QoS fair-queueing tenant id (default 0)
-//   --mutate-rate R    replay mode: run --replay queries through the queued
-//                      AsyncNetEmbedService, applying R monitoring-style
-//                      attribute updates to the live host model before each
-//                      query (half touch a constraint-relevant delay metric,
-//                      half an unreferenced load attribute). Exercises the
-//                      delta-first mutation path end to end: structurally
-//                      shared snapshots, plan-cache re-keying, and
-//                      FilterPlan patch/reuse — the cache/patch counters are
-//                      reported at the end. 0 (default) = off.
-//   --replay N         queries per replay run (default 8)
-//   --adaptive         replay mode: enable the queued service's adaptive
-//                      admission control (capacity derived from per-class
-//                      service-time EWMAs via Little's law, plus an early
-//                      low-priority shed watermark at 0.9 of capacity)
-//   --target-delay-ms  queue delay the adaptive capacity aims for
-//                      (default 250; implies nothing without --adaptive)
-//   --slack            replay mode: convert remaining admission slack into
-//                      the compute budget at dispatch (binds only for
-//                      requests with --deadline-ms)
-//   --preempt          replay mode: let queued High-class work preempt the
-//                      longest-running lower-class search (re-queued rather
-//                      than resolved Preempted); preemption counters are
-//                      reported at the end
-//   --retry N          QoS retry budget: re-dispatch a transiently failed
-//                      request up to N attempts total, with exponential
-//                      backoff between attempts (default 1 = no retries).
-//                      Applies to both the direct ticket path and replay
-//                      mode; replay mode also reports the fault-tolerance
-//                      counters (retries, abandons, degradations)
+//   # generate a dynamic workload, then replay it with the live scorecard
+//   $ ./netembed_cli --gen-trace w.csv --gen burst --arrivals 128
+//   $ ./netembed_cli --trace w.csv
 //
-// Outside replay mode the request runs through the ticket API
-// (submitTicketed): mappings stream to stderr as the search finds them, and
-// the terminal status/diagnostics line reports the request's lifecycle
-// outcome.
+// Run `netembed_cli --help` for the full flag table (the kFlags array below
+// is the single source of truth — every flag the parser reads is documented
+// there).
+//
+// Three modes:
+//  * default: one query through the ticket API (submitTicketed) — mappings
+//    stream to stderr as the search finds them, the terminal
+//    status/diagnostics line reports the request's lifecycle outcome.
+//  * --mutate-rate > 0: replay mode — queries through the queued
+//    AsyncNetEmbedService interleaved with monitoring-style host mutations;
+//    reports plan-cache / control-plane / fault-tolerance counters.
+//  * --trace FILE: dynamic-workload mode — replay a sim::Trace CSV
+//    (arrivals with lifetimes, departures, mutations) through the
+//    sim::Driver and print the VNE scorecard; --gen-trace writes such a
+//    file from the seeded generators.
 
 #include <atomic>
 #include <fstream>
@@ -124,6 +85,169 @@ std::optional<core::Algorithm> parseAlgo(const std::string& name) {
   if (name == "auto") return std::nullopt;
   throw std::runtime_error("unknown --algo '" + name +
                            "' (ecf|rwb|lns|naive|anneal|genetic|portfolio|auto)");
+}
+
+struct FlagDoc {
+  const char* flag;
+  const char* arg;
+  const char* def;
+  const char* what;
+};
+
+/// Every flag main() reads, one row each. --help renders this array as one
+/// generated table, so the documentation cannot drift from the parser.
+constexpr FlagDoc kFlags[] = {
+    {"--help", "", "", "print this flag table and exit"},
+    {"--host", "FILE", "synthetic PlanetLab",
+     "hosting network (.graphml or all-pairs-ping text)"},
+    {"--query", "FILE", "", "query network (.graphml); required unless --demo"},
+    {"--demo", "", "off", "use a built-in demo query sampled from the host"},
+    {"--node-constraint", "EXPR", "none", "expression over vNode/rNode"},
+    {"--edge-constraint", "EXPR", "none (demo: delay window)",
+     "expression over vEdge/rEdge/vSource/..."},
+    {"--algo", "NAME", "auto",
+     "ecf|rwb|lns|naive|anneal|genetic|portfolio|auto (auto races the portfolio)"},
+    {"--max", "N", "1", "stop after N mappings (0 = all)"},
+    {"--ordering", "MODE", "static",
+     "variable order: static (the paper's Lemma-1 order) | dynamic "
+     "(re-picks the smallest live domain each depth)"},
+    {"--timeout", "MS", "10000", "search budget"},
+    {"--seed", "N", "42", "RNG seed (host synthesis, demo sampling, traces)"},
+    {"--csv", "", "off", "machine-readable mapping output"},
+    {"--priority", "P", "normal", "QoS class: low|normal|high"},
+    {"--deadline-ms", "MS", "0 (none)",
+     "QoS admission deadline + compute budget (tightens --timeout, never widens)"},
+    {"--tenant", "N", "0", "QoS fair-queueing tenant id"},
+    {"--retry", "N", "1",
+     "QoS retry budget: total dispatch attempts on transient failure, with "
+     "exponential backoff (1 = no retries); also the trace-mode retry knob"},
+    {"--mutate-rate", "R", "0 (off)",
+     "replay mode: run --replay queries through the queued service with R "
+     "monitoring-style host mutations before each (half delay-relevant, half "
+     "unreferenced); reports plan-cache patch/reuse/rebuild counters"},
+    {"--replay", "N", "8", "replay mode: queries per run"},
+    {"--adaptive", "", "off",
+     "replay/trace mode: adaptive admission capacity (per-class service-time "
+     "EWMAs via Little's law + low-priority shed watermark)"},
+    {"--target-delay-ms", "MS", "250",
+     "queue delay the adaptive capacity aims for (needs --adaptive)"},
+    {"--slack", "", "off",
+     "replay/trace mode: convert remaining admission slack into the compute "
+     "budget at dispatch"},
+    {"--preempt", "", "off",
+     "replay/trace mode: High-class work preempts the longest-running "
+     "lower-class search (re-queued, not resolved Preempted)"},
+    {"--trace", "FILE", "",
+     "dynamic-workload mode: replay a sim trace CSV through sim::Driver and "
+     "print the VNE scorecard"},
+    {"--wall", "", "off",
+     "trace mode: scaled wall clock with real service concurrency "
+     "(default: deterministic virtual clock)"},
+    {"--buckets", "N", "8", "trace mode: scorecard time buckets"},
+    {"--cpu-capacity", "X", "16",
+     "trace mode: per-node cpu capacity (default host, or stamped onto a "
+     "--host file lacking a cpu attribute)"},
+    {"--bw-capacity", "X", "24",
+     "trace mode: per-edge bw capacity (same stamping rule)"},
+    {"--gen-trace", "FILE", "", "generate a trace CSV, write it, and exit"},
+    {"--gen", "KIND", "poisson", "--gen-trace arrival process: poisson|burst|diurnal"},
+    {"--arrivals", "N", "64", "--gen-trace: arrivals in the generated trace"},
+    {"--rate", "R", "200", "--gen-trace: base arrival rate (per second)"},
+    {"--hold-ms", "MS", "120", "--gen-trace: mean embedding lifetime"},
+    {"--mutations-per-arrival", "R", "0",
+     "--gen-trace: interleaved host-mutation events per arrival"},
+};
+
+void printHelp(std::ostream& out) {
+  out << "netembed_cli — the embedding service as a command-line tool\n"
+         "usage: netembed_cli [flags]\n\n";
+  util::TablePrinter table({"flag", "arg", "default", "what"});
+  for (const FlagDoc& f : kFlags) table.addRow({f.flag, f.arg, f.def, f.what});
+  table.print(out);
+}
+
+/// Host for trace mode: the default is a capacity-annotated Waxman substrate;
+/// a --host file is used as-is, with uniform capacities stamped onto nodes /
+/// edges that lack them (demand accounting needs both attrs present).
+graph::Graph traceHost(const util::ArgParser& args, std::uint64_t seed) {
+  const double cpuCapacity = args.getDouble("cpu-capacity", 16.0);
+  const double bwCapacity = args.getDouble("bw-capacity", 24.0);
+  const std::string path = args.getString("host", "");
+  if (path.empty()) return sim::capacitatedHost(60, seed, cpuCapacity, bwCapacity);
+  graph::Graph host = loadHost(path, seed);
+  for (graph::NodeId n = 0; n < host.nodeCount(); ++n) {
+    if (!host.nodeAttrs(n).has("cpu")) host.nodeAttrs(n).set("cpu", cpuCapacity);
+  }
+  for (graph::EdgeId e = 0; e < host.edgeCount(); ++e) {
+    if (!host.edgeAttrs(e).has("bw")) host.edgeAttrs(e).set("bw", bwCapacity);
+  }
+  return host;
+}
+
+int runGenTrace(const util::ArgParser& args, std::uint64_t seed) {
+  const std::string path = args.getString("gen-trace", "");
+  sim::TraceGenOptions g;
+  g.seed = seed;
+  g.arrivals = static_cast<std::size_t>(args.getInt("arrivals", 64));
+  g.arrivalsPerSec = args.getDouble("rate", 200.0);
+  g.meanHoldMs = args.getDouble("hold-ms", 120.0);
+  g.mutationsPerArrival = args.getDouble("mutations-per-arrival", 0.0);
+  const std::string kind = args.getString("gen", "poisson");
+  sim::Trace trace;
+  if (kind == "poisson") {
+    trace = sim::poissonTrace(g);
+  } else if (kind == "burst") {
+    trace = sim::burstTrace(g);
+  } else if (kind == "diurnal") {
+    trace = sim::diurnalTrace(g);
+  } else {
+    throw std::runtime_error("unknown --gen '" + kind + "' (poisson|burst|diurnal)");
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  trace.writeCsv(out);
+  std::cerr << "wrote " << trace.events.size() << " events ("
+            << trace.arrivalCount() << " arrivals, " << kind << ", horizon "
+            << trace.horizonUs() / 1000 << " ms) to " << path << '\n';
+  return 0;
+}
+
+/// Dynamic-workload mode: replay a trace CSV through the sim::Driver and
+/// print the scorecard. Virtual clock by default (byte-deterministic per
+/// seed); --wall replays on a scaled real-time clock instead.
+int runTraceReplay(const util::ArgParser& args, std::uint64_t seed) {
+  const std::string path = args.getString("trace", "");
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file '" + path + "'");
+  const sim::Trace trace = sim::Trace::readCsv(in);
+
+  graph::Graph host = traceHost(args, seed);
+  std::cerr << "host: " << host.nodeCount() << " nodes, " << host.edgeCount()
+            << " edges | trace: " << trace.events.size() << " events ("
+            << trace.arrivalCount() << " arrivals)\n";
+
+  sim::DriverOptions opt;
+  opt.clock = args.getBool("wall") ? sim::ClockMode::Wall : sim::ClockMode::Virtual;
+  opt.service.workers = 2;
+  opt.buckets = static_cast<std::size_t>(args.getInt("buckets", 8));
+  opt.retryAttempts = static_cast<std::uint32_t>(
+      std::max<long long>(args.getInt("retry", 1), 1));
+  if (args.getBool("adaptive")) {
+    opt.service.control.queue.adaptiveCapacity = true;
+    opt.service.control.queue.targetQueueDelay =
+        std::chrono::milliseconds(args.getInt("target-delay-ms", 250));
+  }
+  opt.service.control.propagateSlack = args.getBool("slack");
+  if (args.getBool("preempt")) {
+    opt.service.control.preemptLowForHigh = true;
+    opt.service.control.requeuePreempted = true;
+  }
+
+  sim::Driver driver(std::move(host), opt);
+  const sim::Scorecard card =
+      driver.run(trace, path, sim::clockModeName(opt.clock), seed);
+  card.printTable(std::cout);
+  return 0;
 }
 
 /// Replay mode: interleave monitoring-style host mutations with queries
@@ -218,7 +342,13 @@ int runMutateReplay(graph::Graph host, service::EmbedRequest request,
 int main(int argc, char** argv) {
   try {
     const util::ArgParser args(argc, argv);
+    if (args.getBool("help")) {
+      printHelp(std::cout);
+      return 0;
+    }
     const auto seed = args.getSeed("seed", 42);
+    if (args.has("gen-trace")) return runGenTrace(args, seed);
+    if (args.has("trace")) return runTraceReplay(args, seed);
 
     graph::Graph host = loadHost(args.getString("host", ""), seed);
     std::cerr << "host: " << host.nodeCount() << " nodes, " << host.edgeCount()

@@ -1,0 +1,136 @@
+#pragma once
+// The scenario driver: replays a sim::Trace against a live
+// AsyncNetEmbedService and fills the sim::Metrics scorecard.
+//
+// Each arrival samples its query (a connected subgraph of the pristine host
+// under the event's querySeed), stamps per-node "cpu" / per-edge "bw"
+// demands, and submits through the service's ticketed QoS path. An accepted
+// embedding becomes a *live reservation* — AsyncNetEmbedService::reserve
+// subtracts the demands from the host's capacity attributes, bumps the model
+// version, and records an attribute-only ModelDelta — and the matching
+// departure event releases it, so churn flows through the same snapshot /
+// plan-patching machinery every concurrent query exercises. Capacity is
+// therefore *closed-loop*: the constraints read the live capacity attrs, so
+// a saturated substrate yields no feasible mapping (a capacity reject — the
+// query itself is feasible on the pristine host by construction), and
+// departures verifiably re-open admission. reserve() refusals (a race
+// between search and a concurrent reservation in wall mode) count as
+// capacity rejects too.
+//
+// Two clocks:
+//  * ClockMode::Virtual (default): events execute in trace order with no
+//    sleeping, one ticket resolved before the next event fires. Queue waits
+//    are computed from a deterministic virtual-queue model (earliest-free
+//    virtual worker; service time = a fixed base plus a per-visited-node
+//    cost, both deterministic for the pinned serial ECF engine), and
+//    admission deadlines are adjudicated against those virtual waits
+//    driver-side. Result: the scorecard is a pure function of
+//    (host, trace, options) — byte-identical across runs — which is what
+//    the CI determinism gate and the bench's config sweeps rely on.
+//  * ClockMode::Wall: events fire on a scaled real-time clock with genuine
+//    service concurrency — queue contention, preemption and adaptive
+//    admission behave for real, deadlines are enforced by the service, and
+//    per-class waits are measured sojourn times. Faithful, but not
+//    byte-deterministic.
+//
+// Chaos composition: the driver can arm util::FaultInjector sites for the
+// duration of a run (deterministic per chaos seed), so a scenario can sweep
+// "same workload, failing substrate" and the scorecard's churn block shows
+// the retry/degradation cost.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "service/async.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace netembed::sim {
+
+enum class ClockMode : std::uint8_t { Virtual, Wall };
+[[nodiscard]] const char* clockModeName(ClockMode m) noexcept;
+
+struct DriverOptions {
+  ClockMode clock = ClockMode::Virtual;
+  /// Wall mode: virtual-to-wall speedup (50 = a 1 s trace replays in 20 ms).
+  double wallSpeedup = 50.0;
+
+  /// Service construction options (workers, queue bound, ControlPolicy —
+  /// the sweep axis of bench/sim_report).
+  service::AsyncServiceOptions service{};
+
+  /// Constraints every arrival carries. Empty edgeConstraint selects the
+  /// default "delay window && rEdge.bw >= vEdge.bw"; the node constraint
+  /// defaults to "rNode.cpu >= vNode.cpu". Both read the capacity attrs so
+  /// reserve/release deltas stay plan-*patchable*, never rebuild-class.
+  std::string nodeConstraint = "rNode.cpu >= vNode.cpu";
+  std::string edgeConstraint;
+
+  /// Delay-window widening applied to each sampled query (keeps the sampled
+  /// placement feasible with headroom to embed elsewhere).
+  double delayTolerance = 0.5;
+
+  /// Deterministic compute bound per query, in visited tree nodes
+  /// (SearchOptions::visitBudget; wall-clock timeouts would break virtual-
+  /// clock determinism). 0 = unlimited.
+  std::uint64_t visitBudget = 200'000;
+
+  /// QoS::retry attempts per request (0 = no retry) — the knob the chaos
+  /// configs turn so injected transient faults are retried, not fatal.
+  std::uint32_t retryAttempts = 0;
+
+  // --- virtual-queue model ---------------------------------------------------
+  /// Virtual workers the wait model schedules onto. 0 = the service option's
+  /// worker count (or 2 when that is also 0/auto).
+  std::size_t virtualWorkers = 0;
+  /// Virtual service time = base + perVisit * treeNodesVisited (us).
+  double virtualBaseServiceUs = 50.0;
+  double virtualPerVisitUs = 0.5;
+
+  // --- chaos composition -----------------------------------------------------
+  /// Arm util::FaultInjector for the run (process-wide; the driver disables
+  /// it again — including on exception — before returning).
+  bool chaosEnabled = false;
+  std::uint64_t chaosSeed = 7;
+  /// Per-arrival fire probability at the stage-1 plan-build seam and the
+  /// per-visited-node engine poll. 0 leaves the site unarmed.
+  double chaosPlanBuildProb = 0.0;
+  double chaosEngineStepProb = 0.0;
+  /// Fires after which each armed site goes quiet (0 = unlimited).
+  std::uint64_t chaosMaxFiresPerSite = 0;
+
+  // --- scorecard -------------------------------------------------------------
+  std::size_t buckets = 8;
+  double computeCostPerVisit = 1e-3;
+};
+
+/// Build a capacity-annotated Waxman host for simulation scenarios: every
+/// node gets a "cpu" capacity attribute and every edge's "bw" is overwritten
+/// with a uniform capacity (the generator's sampled bandwidths would
+/// otherwise make demand-vs-capacity accounting noise).
+[[nodiscard]] graph::Graph capacitatedHost(std::size_t nodes, std::uint64_t seed,
+                                           double cpuCapacity, double bwCapacity);
+
+class Driver {
+ public:
+  /// `host` is the pristine substrate; each run() constructs a fresh service
+  /// on a copy of it, so one Driver can sweep many configs over the same
+  /// scenario.
+  Driver(graph::Graph host, DriverOptions options);
+
+  [[nodiscard]] const DriverOptions& options() const noexcept { return opt_; }
+  DriverOptions& options() noexcept { return opt_; }
+
+  /// Replay `trace` once and return the frozen scorecard. `scenario` /
+  /// `config` / `seed` are labels stamped into the card. Throws
+  /// std::logic_error when the run violates the accounting identity.
+  [[nodiscard]] Scorecard run(const Trace& trace, std::string scenario,
+                              std::string config, std::uint64_t seed);
+
+ private:
+  graph::Graph host_;
+  DriverOptions opt_;
+};
+
+}  // namespace netembed::sim

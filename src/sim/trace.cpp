@@ -1,0 +1,262 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace netembed::sim {
+
+const char* traceEventKindName(TraceEventKind k) noexcept {
+  switch (k) {
+    case TraceEventKind::Arrival: return "arrival";
+    case TraceEventKind::Departure: return "departure";
+    case TraceEventKind::Mutation: return "mutation";
+  }
+  return "?";
+}
+
+std::size_t Trace::arrivalCount() const {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(), [](const TraceEvent& e) {
+        return e.kind == TraceEventKind::Arrival;
+      }));
+}
+
+std::uint64_t Trace::horizonUs() const {
+  std::uint64_t last = 0;
+  for (const TraceEvent& e : events) last = std::max(last, e.timeUs);
+  return events.empty() ? 0 : last + 1;
+}
+
+void Trace::sortByTime() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.timeUs < b.timeUs;
+                   });
+}
+
+namespace {
+
+/// Doubles round-trip the CSV bit-exactly (max_digits10); the generic
+/// CsvWriter::field 6-digit form is for human-facing series, not artifacts.
+std::string exactDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+constexpr const char* kHeader[] = {
+    "time_us",     "kind",      "id",         "query_nodes", "query_edges",
+    "query_seed",  "priority",  "tenant",     "deadline_ms", "budget_ms",
+    "hold_us",     "cpu_demand", "bw_demand", "mutation_seed"};
+constexpr std::size_t kColumns = sizeof(kHeader) / sizeof(kHeader[0]);
+
+std::uint64_t parseU64(const std::string& s, const char* what, std::size_t row) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("Trace::readCsv: bad " + std::string(what) + " '" +
+                             s + "' at row " + std::to_string(row));
+  }
+}
+
+double parseDouble(const std::string& s, const char* what, std::size_t row) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("Trace::readCsv: bad " + std::string(what) + " '" +
+                             s + "' at row " + std::to_string(row));
+  }
+}
+
+TraceEventKind parseKind(const std::string& s, std::size_t row) {
+  if (s == "arrival") return TraceEventKind::Arrival;
+  if (s == "departure") return TraceEventKind::Departure;
+  if (s == "mutation") return TraceEventKind::Mutation;
+  throw std::runtime_error("Trace::readCsv: unknown kind '" + s + "' at row " +
+                           std::to_string(row));
+}
+
+service::Priority parsePriorityField(const std::string& s, std::size_t row) {
+  if (s == "low") return service::Priority::Low;
+  if (s == "normal") return service::Priority::Normal;
+  if (s == "high") return service::Priority::High;
+  throw std::runtime_error("Trace::readCsv: unknown priority '" + s +
+                           "' at row " + std::to_string(row));
+}
+
+}  // namespace
+
+void Trace::writeCsv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  csv.row(std::vector<std::string>(kHeader, kHeader + kColumns));
+  for (const TraceEvent& e : events) {
+    csv.row({std::to_string(e.timeUs), traceEventKindName(e.kind),
+             std::to_string(e.id), std::to_string(e.queryNodes),
+             std::to_string(e.queryEdges), std::to_string(e.querySeed),
+             service::priorityName(e.priority), std::to_string(e.tenant),
+             std::to_string(e.deadlineMs), std::to_string(e.budgetMs),
+             std::to_string(e.holdUs), exactDouble(e.cpuDemand),
+             exactDouble(e.bwDemand), std::to_string(e.mutationSeed)});
+  }
+}
+
+Trace Trace::readCsv(std::istream& in) {
+  util::CsvReader csv(in);
+  std::vector<std::string> fields;
+  if (!csv.row(fields)) throw std::runtime_error("Trace::readCsv: empty input");
+  if (fields.size() != kColumns ||
+      !std::equal(fields.begin(), fields.end(), kHeader)) {
+    throw std::runtime_error("Trace::readCsv: unrecognized header row");
+  }
+  Trace trace;
+  while (csv.row(fields)) {
+    const std::size_t row = csv.rowsRead();
+    if (fields.size() != kColumns) {
+      throw std::runtime_error("Trace::readCsv: expected " +
+                               std::to_string(kColumns) + " fields, got " +
+                               std::to_string(fields.size()) + " at row " +
+                               std::to_string(row));
+    }
+    TraceEvent e;
+    e.timeUs = parseU64(fields[0], "time_us", row);
+    e.kind = parseKind(fields[1], row);
+    e.id = parseU64(fields[2], "id", row);
+    e.queryNodes = static_cast<std::uint32_t>(parseU64(fields[3], "query_nodes", row));
+    e.queryEdges = static_cast<std::uint32_t>(parseU64(fields[4], "query_edges", row));
+    e.querySeed = parseU64(fields[5], "query_seed", row);
+    e.priority = parsePriorityField(fields[6], row);
+    e.tenant = parseU64(fields[7], "tenant", row);
+    e.deadlineMs = static_cast<std::uint32_t>(parseU64(fields[8], "deadline_ms", row));
+    e.budgetMs = static_cast<std::uint32_t>(parseU64(fields[9], "budget_ms", row));
+    e.holdUs = parseU64(fields[10], "hold_us", row);
+    e.cpuDemand = parseDouble(fields[11], "cpu_demand", row);
+    e.bwDemand = parseDouble(fields[12], "bw_demand", row);
+    e.mutationSeed = parseU64(fields[13], "mutation_seed", row);
+    trace.events.push_back(e);
+  }
+  trace.sortByTime();
+  return trace;
+}
+
+namespace {
+
+/// Shared generator core: arrival times come from the non-homogeneous
+/// Poisson thinning loop over `rate(tUs)` bounded by `maxRate` (Lewis &
+/// Shedler); everything else (payload, departures, mutation interleave) is
+/// identical across the three generator shapes.
+template <typename RateFn>
+Trace generate(const TraceGenOptions& o, double maxRatePerSec, RateFn&& rate) {
+  if (o.arrivals == 0) return {};
+  if (!(maxRatePerSec > 0.0)) {
+    throw std::invalid_argument("sim trace generator: non-positive rate");
+  }
+  util::Rng arrivalRng(util::deriveSeed(o.seed, 1));
+  util::Rng payloadRng(util::deriveSeed(o.seed, 2));
+
+  Trace trace;
+  trace.events.reserve(o.arrivals * 2 +
+                       static_cast<std::size_t>(
+                           o.mutationsPerArrival * static_cast<double>(o.arrivals)) +
+                       4);
+  double tUs = 0.0;
+  double pendingMutations = 0.0;
+  std::uint64_t mutations = 0;
+  for (std::uint64_t id = 0; id < o.arrivals; ++id) {
+    // Thinning: candidate points at the envelope rate, kept with probability
+    // rate(t)/maxRate — exact for any bounded rate function and fully
+    // deterministic per seed.
+    while (true) {
+      tUs += arrivalRng.exponential(maxRatePerSec / 1e6);
+      if (arrivalRng.uniform() * maxRatePerSec <= rate(tUs)) break;
+    }
+    const auto timeUs = static_cast<std::uint64_t>(tUs);
+
+    pendingMutations += o.mutationsPerArrival;
+    for (; pendingMutations >= 1.0; pendingMutations -= 1.0) {
+      TraceEvent m;
+      m.timeUs = timeUs;  // emitted before the arrival; stable sort keeps it
+      m.kind = TraceEventKind::Mutation;
+      m.id = mutations;
+      m.mutationSeed = util::deriveSeed(o.seed, 5000 + mutations);
+      trace.events.push_back(m);
+      ++mutations;
+    }
+
+    TraceEvent a;
+    a.timeUs = timeUs;
+    a.kind = TraceEventKind::Arrival;
+    a.id = id;
+    a.queryNodes = static_cast<std::uint32_t>(
+        payloadRng.uniformInt(o.queryNodesMin, o.queryNodesMax));
+    const std::uint64_t maxEdges =
+        std::min<std::uint64_t>(o.queryEdgesMax,
+                                std::uint64_t{a.queryNodes} * (a.queryNodes - 1) / 2);
+    a.queryEdges = static_cast<std::uint32_t>(payloadRng.uniformInt(
+        a.queryNodes - 1, std::max<std::uint64_t>(maxEdges, a.queryNodes - 1)));
+    a.querySeed = util::deriveSeed(o.seed, 1000 + id);
+    const double cls = payloadRng.uniform();
+    a.priority = cls < o.lowShare                  ? service::Priority::Low
+                 : cls < o.lowShare + o.normalShare ? service::Priority::Normal
+                                                    : service::Priority::High;
+    a.tenant = o.tenants > 0 ? id % o.tenants : 0;
+    if (payloadRng.bernoulli(o.deadlineShare)) {
+      a.deadlineMs = o.deadlineMs;
+      a.budgetMs = o.deadlineMs;
+    }
+    a.holdUs = 1 + static_cast<std::uint64_t>(
+                       payloadRng.exponential(1.0 / (o.meanHoldMs * 1000.0)));
+    a.cpuDemand = payloadRng.uniform(o.cpuDemandMin, o.cpuDemandMax);
+    a.bwDemand = payloadRng.uniform(o.bwDemandMin, o.bwDemandMax);
+    trace.events.push_back(a);
+
+    TraceEvent d;
+    d.timeUs = a.timeUs + a.holdUs;
+    d.kind = TraceEventKind::Departure;
+    d.id = id;
+    trace.events.push_back(d);
+  }
+  trace.sortByTime();
+  return trace;
+}
+
+}  // namespace
+
+Trace poissonTrace(const TraceGenOptions& options) {
+  const double rate = options.arrivalsPerSec;
+  return generate(options, rate, [rate](double) { return rate; });
+}
+
+Trace burstTrace(const TraceGenOptions& options) {
+  const double peak = options.arrivalsPerSec * options.burstFactor;
+  const double periodUs = (options.burstLenMs + options.gapLenMs) * 1000.0;
+  const double burstUs = options.burstLenMs * 1000.0;
+  return generate(options, peak, [=](double tUs) {
+    return std::fmod(tUs, periodUs) < burstUs ? peak : 0.0;
+  });
+}
+
+Trace diurnalTrace(const TraceGenOptions& options) {
+  const double base = options.arrivalsPerSec;
+  const double depth = options.diurnalDepth;
+  const double periodUs = options.diurnalPeriodMs * 1000.0;
+  return generate(options, base * (1.0 + depth), [=](double tUs) {
+    constexpr double kTwoPi = 6.283185307179586;
+    return std::max(0.0, base * (1.0 + depth * std::sin(kTwoPi * tUs / periodUs)));
+  });
+}
+
+}  // namespace netembed::sim

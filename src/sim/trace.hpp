@@ -1,0 +1,148 @@
+#pragma once
+// The dynamic-workload trace model (the simulator's input vocabulary).
+//
+// NETEMBED's figure benches replay static paper instances; a service under
+// continuous traffic sees *arrivals* that hold substrate resources for a
+// lifetime and then *depart* — the standard dynamic-VNE evaluation regime
+// (time-varying acceptance ratio, revenue/cost, utilization under an
+// arrival/departure process). A sim::Trace is the deterministic record of
+// one such workload: a time-ordered event list of arrivals (query shape,
+// demands, QoS class, tenant, budgets, holding time), the departures the
+// holding times imply, and interleaved monitoring-style model mutations.
+//
+// Traces are artifacts: the seeded generators below (Poisson, on/off burst,
+// diurnal) produce them, and writeCsv/readCsv round-trip them through the
+// util::CsvWriter/CsvReader dialect so a scenario can be regenerated,
+// shipped, diffed, and replayed bit-identically (netembed_cli --trace).
+//
+// Time is virtual, in microseconds from the scenario start. A departure
+// event is emitted explicitly at arrivalUs + holdUs rather than derived at
+// replay time, so the trace file alone defines the workload — the driver
+// releases the reservation if the arrival was accepted and skips the event
+// otherwise.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "service/qos.hpp"
+
+namespace netembed::sim {
+
+enum class TraceEventKind : std::uint8_t { Arrival, Departure, Mutation };
+[[nodiscard]] const char* traceEventKindName(TraceEventKind k) noexcept;
+
+/// One trace event. Arrival/Departure pairs share `id`; the fields below
+/// `holdUs` describe the arrival's request and are zero for the other kinds.
+struct TraceEvent {
+  std::uint64_t timeUs = 0;
+  TraceEventKind kind = TraceEventKind::Arrival;
+  /// Request id for Arrival/Departure (unique per arrival, ascending in
+  /// arrival order); generator stream index for Mutation.
+  std::uint64_t id = 0;
+
+  // --- arrival payload -------------------------------------------------------
+  /// Query topology: a connected subgraph of this many nodes / edges sampled
+  /// from the pristine host under `querySeed` (deterministic per seed).
+  std::uint32_t queryNodes = 0;
+  std::uint32_t queryEdges = 0;
+  std::uint64_t querySeed = 0;
+  service::Priority priority = service::Priority::Normal;
+  std::uint64_t tenant = 0;
+  /// Admission deadline in ms (0 = none). On the virtual clock this binds
+  /// against the *virtual* queue wait; on the wall clock it is handed to the
+  /// service's admission queue directly.
+  std::uint32_t deadlineMs = 0;
+  /// Compute budget in ms once running (0 = none).
+  std::uint32_t budgetMs = 0;
+  /// Embedding lifetime: the matching Departure event sits at
+  /// timeUs + holdUs.
+  std::uint64_t holdUs = 0;
+  /// Per-query-node CPU demand / per-query-edge bandwidth demand, reserved
+  /// on acceptance and released at departure.
+  double cpuDemand = 0.0;
+  double bwDemand = 0.0;
+
+  // --- mutation payload ------------------------------------------------------
+  /// Seed for the mutation's RNG stream (which element, which attribute,
+  /// which nudge).
+  std::uint64_t mutationSeed = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+struct Trace {
+  std::vector<TraceEvent> events;  // sorted by (timeUs, stable emit order)
+
+  [[nodiscard]] std::size_t arrivalCount() const;
+  /// One past the last event's timestamp (0 for an empty trace): the
+  /// scenario horizon the scorecard buckets span.
+  [[nodiscard]] std::uint64_t horizonUs() const;
+
+  /// Stable sort by timeUs (generators emit arrival/departure pairs out of
+  /// order; replay requires time order).
+  void sortByTime();
+
+  /// CSV round trip (header row + one row per event, util::CsvWriter
+  /// dialect). readCsv throws std::runtime_error on malformed input —
+  /// unknown header, wrong field count, unparsable numbers.
+  void writeCsv(std::ostream& out) const;
+  [[nodiscard]] static Trace readCsv(std::istream& in);
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+/// Knobs shared by every generator. Defaults give a small, mixed-class,
+/// mixed-tenant workload that a laptop replays in well under a second.
+struct TraceGenOptions {
+  std::uint64_t seed = 42;
+  /// Arrivals to generate (each with a paired departure).
+  std::size_t arrivals = 64;
+  /// Mean arrival rate, requests per virtual second.
+  double arrivalsPerSec = 200.0;
+  /// Mean holding time (exponential), virtual ms.
+  double meanHoldMs = 120.0;
+  /// Query topology bounds (inclusive); edges are drawn per arrival between
+  /// nodes-1 (tree) and nodes*(nodes-1)/2, clamped to this cap.
+  std::uint32_t queryNodesMin = 3;
+  std::uint32_t queryNodesMax = 6;
+  std::uint32_t queryEdgesMax = 9;
+  /// Cumulative Low/Normal/High mix (e.g. {0.25, 0.85, 1.0}).
+  double lowShare = 0.25;
+  double normalShare = 0.60;
+  /// Tenants cycle through [0, tenants).
+  std::uint64_t tenants = 3;
+  /// Fraction of arrivals carrying an admission deadline, and its value.
+  double deadlineShare = 0.25;
+  std::uint32_t deadlineMs = 200;
+  /// Per-node CPU / per-edge bandwidth demand ranges.
+  double cpuDemandMin = 1.0;
+  double cpuDemandMax = 3.0;
+  double bwDemandMin = 1.0;
+  double bwDemandMax = 4.0;
+  /// Monitoring-style model mutations per arrival (Poisson-thinned; 0 = no
+  /// mutation events).
+  double mutationsPerArrival = 0.0;
+
+  // --- burst generator -------------------------------------------------------
+  /// On/off bursts: `burstLenMs` of arrivals at burstFactor x the base rate,
+  /// then `gapLenMs` of silence.
+  double burstFactor = 6.0;
+  double burstLenMs = 40.0;
+  double gapLenMs = 160.0;
+
+  // --- diurnal generator -----------------------------------------------------
+  /// Sinusoidal rate modulation: rate(t) = base * (1 + depth*sin(2*pi*t/T)),
+  /// emulating a day/night load curve compressed to `periodMs`.
+  double diurnalDepth = 0.8;
+  double diurnalPeriodMs = 400.0;
+};
+
+/// Memoryless arrivals at the base rate.
+[[nodiscard]] Trace poissonTrace(const TraceGenOptions& options);
+/// On/off bursts (see burstFactor/burstLenMs/gapLenMs).
+[[nodiscard]] Trace burstTrace(const TraceGenOptions& options);
+/// Sinusoidally modulated arrivals (see diurnalDepth/diurnalPeriodMs).
+[[nodiscard]] Trace diurnalTrace(const TraceGenOptions& options);
+
+}  // namespace netembed::sim

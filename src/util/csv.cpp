@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <istream>
 #include <ostream>
+#include <stdexcept>
 
 namespace netembed::util {
 
@@ -38,6 +40,75 @@ std::string CsvWriter::field(double v) {
 
 std::string CsvWriter::field(long long v) { return std::to_string(v); }
 std::string CsvWriter::field(unsigned long long v) { return std::to_string(v); }
+
+bool CsvReader::row(std::vector<std::string>& fields) {
+  fields.clear();
+  std::istream& in = *in_;
+  int c = in.get();
+  // Skip blank lines between records (CsvWriter never emits them, but hand-
+  // edited trace files may).
+  while (c == '\n' || c == '\r') c = in.get();
+  if (c == std::istream::traits_type::eof()) return false;
+
+  std::string field;
+  bool quoted = false;
+  bool fieldStarted = true;
+  const auto endField = [&] {
+    fields.push_back(std::move(field));
+    field.clear();
+    quoted = false;
+  };
+  while (true) {
+    if (c == std::istream::traits_type::eof()) {
+      if (quoted) {
+        throw std::runtime_error("CsvReader: unterminated quoted field at record " +
+                                 std::to_string(rows_ + 1));
+      }
+      endField();
+      break;
+    }
+    const char ch = static_cast<char>(c);
+    if (quoted) {
+      if (ch == '"') {
+        const int next = in.get();
+        if (next == '"') {
+          field += '"';  // doubled quote inside a quoted field
+        } else {
+          quoted = false;
+          c = next;
+          // After the closing quote only a separator, record end, or EOF may
+          // follow.
+          if (c != ',' && c != '\n' && c != '\r' &&
+              c != std::istream::traits_type::eof()) {
+            throw std::runtime_error(
+                "CsvReader: garbage after closing quote at record " +
+                std::to_string(rows_ + 1));
+          }
+          continue;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch == '"' && fieldStarted && field.empty()) {
+      quoted = true;
+    } else if (ch == ',') {
+      endField();
+      fieldStarted = true;
+      c = in.get();
+      continue;
+    } else if (ch == '\n' || ch == '\r') {
+      if (ch == '\r' && in.peek() == '\n') in.get();
+      endField();
+      break;
+    } else {
+      field += ch;
+    }
+    fieldStarted = false;
+    c = in.get();
+  }
+  ++rows_;
+  return true;
+}
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}

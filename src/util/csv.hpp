@@ -1,6 +1,8 @@
 #pragma once
-// CSV and aligned-table emitters. Each benchmark harness prints the series a
-// paper figure plots, both human-readable (table) and machine-readable (CSV).
+// CSV and aligned-table emitters, plus the matching reader. Each benchmark
+// harness prints the series a paper figure plots, both human-readable
+// (table) and machine-readable (CSV); the simulator round-trips its workload
+// traces through the same dialect so a trace file is a replayable artifact.
 
 #include <iosfwd>
 #include <string>
@@ -22,6 +24,26 @@ class CsvWriter {
 
  private:
   std::ostream* out_;
+};
+
+/// Reader for the dialect CsvWriter emits (RFC-4180-ish: quoted fields may
+/// contain commas, doubled quotes, and embedded newlines).
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in) : in_(&in) {}
+
+  /// Read the next record into `fields` (cleared first). Returns false at
+  /// end of input with no record started. Throws std::runtime_error on a
+  /// malformed record (an unterminated quoted field, or garbage between a
+  /// closing quote and the next separator).
+  bool row(std::vector<std::string>& fields);
+
+  /// Records successfully returned so far (for error messages).
+  [[nodiscard]] std::size_t rowsRead() const noexcept { return rows_; }
+
+ private:
+  std::istream* in_;
+  std::size_t rows_ = 0;
 };
 
 /// Column-aligned plain-text table for terminal output.

@@ -1003,4 +1003,141 @@ TEST(SolutionBuffer, ConsumerReturningFalseStopsTheSearch) {
   EXPECT_GE(response.result.solutionCount, 3u);
 }
 
+/// Host for the reservation-path pins: large enough that a 5-node
+/// reservation's incident-edge share sits well under the patch-vs-rebuild
+/// cutoff (classifyDelta rebuilds past 1/4 of the host's edges).
+Graph reservationHost() {
+  trace::PlanetLabOptions o;
+  o.sites = 80;
+  o.clusters = 8;
+  o.deadSites = 0;
+  o.pairLossRate = 0.3;
+  o.seed = 13;
+  Graph host = trace::synthesize(o);
+  for (graph::NodeId n = 0; n < host.nodeCount(); ++n) {
+    host.nodeAttrs(n).set("slots", 64.0);
+  }
+  return host;
+}
+
+/// A query whose node constraint reads the reservation capacity attr, so
+/// every reserve/release delta is constraint-relevant.
+EmbedRequest slotsRequest(const Graph& host, std::uint64_t seed, double demand,
+                          std::size_t maxSolutions = 1) {
+  EmbedRequest request = delayRequest(host, seed, maxSolutions);
+  request.nodeConstraint = "rNode.slots >= vNode.slots";
+  for (graph::NodeId n = 0; n < request.query.nodeCount(); ++n) {
+    request.query.nodeAttrs(n).set("slots", demand);
+  }
+  return request;
+}
+
+// The dynamic-workload pin (PR 9): a reserve/release round trip records
+// attribute-only deltas on the mapped nodes, and because the node constraint
+// reads the capacity attr, same-signature queries across the two version
+// bumps take the FilterPlan::patch path — never a from-scratch rebuild,
+// never a cache invalidation. This is the seam the sim::Driver's live
+// reservations lean on.
+TEST(AsyncService, ReserveReleaseRoundTripPatchesPlans) {
+  AsyncNetEmbedService svc(reservationHost());
+  EmbedRequest request = slotsRequest(*svc.hostSnapshot(), 8, 1.0);
+  request.algorithm = Algorithm::ECF;
+
+  const std::uint64_t builds0 = core::filterPlanBuilds();
+  const std::uint64_t patches0 = core::filterPlanPatches();
+  auto f1 = svc.submitAsync(request);
+  const EmbedResponse r1 = resolve(f1);
+  ASSERT_TRUE(r1.result.feasible());
+  EXPECT_EQ(core::filterPlanBuilds() - builds0, 1u);
+
+  NetworkModel::ReservationSpec spec;
+  spec.nodeCapacityAttrs = {"slots"};
+  const auto id = svc.reserve(request.query, r1.result.mappings.front(), spec);
+  EXPECT_GT(svc.version(), r1.modelVersion);
+
+  auto f2 = svc.submitAsync(request);
+  const EmbedResponse r2 = resolve(f2);
+  ASSERT_TRUE(r2.result.feasible());
+  EXPECT_EQ(core::filterPlanBuilds() - builds0, 1u)
+      << "an attribute-only reservation delta must not force a rebuild";
+  EXPECT_EQ(core::filterPlanPatches() - patches0, 1u)
+      << "a constraint-relevant reservation delta must take the patch path";
+  EXPECT_EQ(svc.planCacheStats().invalidations, 0u);
+
+  // The release is the inverse attribute-only delta: patched again.
+  svc.release(id);
+  auto f3 = svc.submitAsync(request);
+  const EmbedResponse r3 = resolve(f3);
+  ASSERT_TRUE(r3.result.feasible());
+  EXPECT_EQ(core::filterPlanBuilds() - builds0, 1u);
+  EXPECT_EQ(core::filterPlanPatches() - patches0, 2u)
+      << "the release delta must patch as well";
+  EXPECT_EQ(svc.planCacheStats().invalidations, 0u);
+}
+
+// Concurrent reserve/release cycles racing in-flight *ticketed* queries —
+// the churn pattern the sim driver's wall-clock mode produces. Every ticket
+// must stream and resolve Done with a feasible mapping (the churner's
+// reservations leave ample slots headroom), and the reservation ledger must
+// balance so post-join capacity equals the pristine host's.
+TEST(AsyncService, ConcurrentReserveReleaseRacesTicketedQueries) {
+  constexpr int kTickets = 12;
+  constexpr int kReserveRounds = 6;
+
+  AsyncServiceOptions options;
+  options.workers = 3;
+  AsyncNetEmbedService svc(reservationHost());
+  const std::uint64_t v0 = svc.version();
+
+  std::atomic<std::uint64_t> roundTrips{0};
+  std::thread churner([&] {
+    NetworkModel::ReservationSpec spec;
+    spec.nodeCapacityAttrs = {"slots"};
+    for (int round = 0; round < kReserveRounds; ++round) {
+      EmbedRequest request = slotsRequest(*svc.hostSnapshot(), 500 + round, 2.0);
+      auto future = svc.submitAsync(request);
+      const EmbedResponse response = resolve(future);
+      if (!response.result.feasible()) continue;
+      try {
+        const auto id =
+            svc.reserve(request.query, response.result.mappings.front(), spec);
+        roundTrips.fetch_add(1, std::memory_order_relaxed);
+        svc.release(id);
+      } catch (const std::exception&) {
+        // Capacity raced away under a concurrent reservation — legal.
+      }
+    }
+  });
+
+  std::vector<SubmitTicket> tickets;
+  std::atomic<std::uint64_t> streamed{0};
+  for (int i = 0; i < kTickets; ++i) {
+    EmbedRequest request =
+        slotsRequest(*svc.hostSnapshot(), 600 + i, 1.0, i % 2 == 0 ? 1 : 3);
+    TicketCallbacks callbacks;
+    callbacks.onSolution = [&streamed](const core::Mapping&) {
+      streamed.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    };
+    tickets.push_back(svc.submit(std::move(request), std::move(callbacks)));
+  }
+  for (SubmitTicket& ticket : tickets) {
+    const EmbedResponse response = resolve(ticket);
+    EXPECT_EQ(response.status, RequestStatus::Done);
+    EXPECT_TRUE(response.result.feasible());
+    EXPECT_GE(response.modelVersion, v0);
+  }
+  churner.join();
+
+  EXPECT_GE(streamed.load(), static_cast<std::uint64_t>(kTickets));
+  EXPECT_GT(roundTrips.load(), 0u);
+  // Each round trip is two version bumps; the ledger balanced, so the final
+  // host snapshot carries pristine capacity everywhere.
+  EXPECT_GE(svc.version(), v0 + 2 * roundTrips.load());
+  const auto host = svc.hostSnapshot();
+  for (graph::NodeId n = 0; n < host->nodeCount(); ++n) {
+    ASSERT_DOUBLE_EQ(host->nodeAttrs(n).getDouble("slots", -1.0), 64.0);
+  }
+}
+
 }  // namespace
