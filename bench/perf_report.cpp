@@ -24,6 +24,11 @@
 //                  bound-based rather than speedup ratios, so they hold on
 //                  noisy shared CI runners where the timing gates do not.
 //   --sat-requests <n>  saturation scenario request count (default 1200)
+//   --shard-check  enforce only the large-host shard gates (implied by
+//                  --check): sharded filter build >= 2x the flat build on
+//                  the 100k-node host. The skip margin is ~shardCount x, so
+//                  2x holds on noisy runners; solution-count equality across
+//                  shard configs is checked unconditionally.
 //
 // A dynamic_order scenario times SearchOptions::ordering Static vs Dynamic
 // on a backtrack-heavy planted clique (random per-edge delays on the host
@@ -38,10 +43,20 @@
 // path, which patches in place when the old plan is exclusively owned —
 // against the historical {deep host copy + from-scratch build} per update.
 //
+// A large-host scenario exercises the sharded host model at ROADMAP scale:
+// a ~100k-node pod-structured hugeHost with a pod-affinity query, filter
+// build + first match timed at shards in {1, 8, 64, hw}, with peak process RSS
+// and the filter's per-structure memory breakdown recorded per config. The
+// pod constraint pins each query node's stage-0 viability to one shard, so
+// the bucketed stage-1 sweep skips every shard pair the query cannot touch
+// — the single-core speedup the --shard-check gate enforces.
+//
 // The binary also cross-checks that all representations — and the patched
-// vs rebuilt plans, and both orderings — enumerate the same number of
-// solutions and exits non-zero otherwise: the perf baseline must never be
-// produced by a wrong answer.
+// vs rebuilt plans, both orderings, and every shard count — enumerate the
+// same number of solutions and exits non-zero otherwise: the perf baseline
+// must never be produced by a wrong answer.
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <chrono>
@@ -58,6 +73,7 @@
 #include "core/plan.hpp"
 #include "service/async.hpp"
 #include "service/model.hpp"
+#include "topo/hugehost.hpp"
 #include "util/simd.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -144,6 +160,7 @@ ModeTimings timeMode(const core::Problem& problem, core::BitsetMode mode,
 
 struct OrderingReport {
   std::string name;
+  std::string autoChoice;  // what Ordering::Auto resolves to on this instance
   double staticFirstMs = 0.0;
   double dynamicFirstMs = 0.0;
   double staticEnumerateMs = 0.0;
@@ -209,6 +226,13 @@ OrderingReport runOrderingScenario(const std::string& name,
                                    std::size_t reps, std::size_t enumerateCap) {
   OrderingReport report;
   report.name = name;
+  {
+    // Record what the Auto predictor would pick here: the baseline documents
+    // the decision the CLI default now makes on each instance shape.
+    const auto plan = core::FilterPlan::build(problem, core::SearchOptions{});
+    report.autoChoice =
+        core::orderingName(core::chooseOrdering(*plan, core::Ordering::Auto));
+  }
   std::vector<double> sFirst, dFirst, sEnum, dEnum;
   for (std::size_t rep = 0; rep < reps; ++rep) {
     for (const core::Ordering ordering :
@@ -339,6 +363,149 @@ MutationReport runMutationScenario(std::uint64_t seed, std::size_t reps,
   };
   report.enumeratedPatch = enumerate(chainedPlan, patchSnap);
   report.enumeratedFull = enumerate(rebuiltPlan, fullSnap);
+  return report;
+}
+
+// --- sharded large-host scaling scenario --------------------------------------
+
+struct ShardConfigReport {
+  std::size_t requested = 1;  // SearchOptions::shards as passed
+  std::size_t resolved = 1;   // ShardMap's clamped count
+  double filterBuildMs = 0.0;
+  double firstMatchMs = 0.0;  // pure search (build excluded)
+  std::uint64_t enumerated = 0;
+  core::FilterMatrix::MemoryBreakdown memory;
+  double peakRssMb = 0.0;  // process ru_maxrss after this config (monotone)
+};
+
+struct LargeHostReport {
+  std::size_t hostNodes = 0;
+  std::size_t hostEdges = 0;
+  std::size_t queryNodes = 0;
+  std::size_t queryEdges = 0;
+  std::string autoOrdering;
+  std::vector<ShardConfigReport> configs;  // front() is the flat shards=1 run
+
+  /// Flat build over the fastest genuinely-sharded build — the scaling-path
+  /// figure of merit. Single-core, so any win is pure bucket skipping.
+  [[nodiscard]] double buildSpeedup() const {
+    double best = 0.0;
+    for (const ShardConfigReport& c : configs) {
+      if (c.resolved > 1 && c.filterBuildMs > 0.0) {
+        best = best == 0.0 ? c.filterBuildMs : std::min(best, c.filterBuildMs);
+      }
+    }
+    return best > 0.0 ? configs.front().filterBuildMs / best : 0.0;
+  }
+  [[nodiscard]] bool countsAgree() const {
+    for (const ShardConfigReport& c : configs) {
+      if (c.enumerated != configs.front().enumerated) return false;
+    }
+    return true;
+  }
+};
+
+double processPeakRssMb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: ru_maxrss in KiB
+}
+
+/// ~100k-node pod-composite host, pod-affinity query. podSize 64 makes pod
+/// boundaries coincide with bit-row word boundaries, so every pod lands
+/// whole inside one shard and the "vNode.pod == rNode.pod" constraint pins
+/// each query node's stage-0 occupancy to exactly one shard — the shape the
+/// bucketed stage-1 sweep is built to exploit.
+LargeHostReport runLargeHostScenario(std::uint64_t seed, std::size_t reps,
+                                     std::size_t enumerateCap) {
+  topo::HugeHostOptions ho;
+  ho.pods = 1568;  // 1568 * 64 = 100,352 host nodes
+  ho.podSize = 64;
+  // Dense pods (~1.7M host edges): the flat stage-1 sweep walks every edge
+  // per query edge, which is exactly the term sharding deletes — the skip
+  // margin the >= 2x gate rides on.
+  ho.extraIntraFactor = 24.0;
+  ho.trunkChords = 512;
+  ho.seed = util::deriveSeed(seed, 6);
+  const graph::Graph host = topo::hugeHost(ho);
+
+  // Resample until the query sits in a single pod: induced subgraphs starting
+  // near a gateway can leak across a trunk, and a pod-local query is the
+  // honest workload for a pod-affinity constraint.
+  graph::Graph query;
+  const graph::AttrId podId = graph::attrId("pod");
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    util::Rng rng(util::deriveSeed(seed, 7 + attempt));
+    auto sub = topo::sampleConnectedSubgraph(host, 12, 36, rng);
+    const std::int64_t pod0 = sub.graph.nodeAttrs(0).get(podId)->asInt();
+    bool onePod = true;
+    for (graph::NodeId n = 1; n < sub.graph.nodeCount(); ++n) {
+      if (sub.graph.nodeAttrs(n).get(podId)->asInt() != pod0) {
+        onePod = false;
+        break;
+      }
+    }
+    if (!onePod) continue;
+    topo::widenDelayWindows(sub.graph, 2.0);
+    query = std::move(sub.graph);
+    break;
+  }
+  const expr::ConstraintSet constraints = expr::ConstraintSet::parse(
+      topo::delayWindowConstraint(), "vNode.pod == rNode.pod");
+  const core::Problem problem(query, host, constraints);
+
+  LargeHostReport report;
+  report.hostNodes = host.nodeCount();
+  report.hostEdges = host.edgeCount();
+  report.queryNodes = query.nodeCount();
+  report.queryEdges = query.edgeCount();
+  {
+    const auto plan = core::FilterPlan::build(problem, core::SearchOptions{});
+    report.autoOrdering =
+        core::orderingName(core::chooseOrdering(*plan, core::Ordering::Auto));
+  }
+
+  std::vector<std::size_t> shardCounts{1, 8, core::ShardMap::kMaxShards,
+                                       std::max<std::size_t>(
+                                           1, std::thread::hardware_concurrency())};
+  std::sort(shardCounts.begin(), shardCounts.end());
+  shardCounts.erase(std::unique(shardCounts.begin(), shardCounts.end()),
+                    shardCounts.end());
+
+  for (const std::size_t shards : shardCounts) {
+    ShardConfigReport cfg;
+    cfg.requested = shards;
+    std::vector<double> build, first;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      core::SearchOptions base;
+      base.shards = shards;
+      {
+        core::SearchStats stats;
+        const auto fm = core::FilterMatrix::build(problem, base, stats);
+        build.push_back(stats.filterBuildMs);
+        cfg.resolved = fm.shardMap().shardCount();
+        cfg.memory = fm.memoryBreakdown();
+      }
+      {
+        core::SearchOptions o = base;
+        o.maxSolutions = 1;
+        o.storeLimit = 1;
+        const auto r = core::ecfSearch(problem, o);
+        first.push_back(r.stats.searchMs - r.stats.filterBuildMs);
+      }
+    }
+    {
+      core::SearchOptions o;
+      o.shards = shards;
+      o.maxSolutions = enumerateCap;
+      o.storeLimit = 1;
+      cfg.enumerated = core::ecfSearch(problem, o).solutionCount;
+    }
+    cfg.filterBuildMs = util::median(build);
+    cfg.firstMatchMs = util::median(first);
+    cfg.peakRssMb = processPeakRssMb();
+    report.configs.push_back(cfg);
+  }
   return report;
 }
 
@@ -527,8 +694,9 @@ InstanceReport runInstance(const std::string& name, const core::Problem& problem
 
 void writeJson(std::ostream& os, const std::vector<InstanceReport>& reports,
                const std::vector<OrderingReport>& orderings,
-               const MutationReport& mutation, const SaturationReport& sat,
-               std::uint64_t seed, std::size_t reps) {
+               const MutationReport& mutation, const LargeHostReport& large,
+               const SaturationReport& sat, std::uint64_t seed,
+               std::size_t reps) {
   const auto mode = [&](const ModeTimings& t) {
     os << "{\"filter_build_ms\": " << t.filterBuildMs
        << ", \"first_match_ms\": " << t.firstMatchMs
@@ -558,8 +726,8 @@ void writeJson(std::ostream& os, const std::vector<InstanceReport>& reports,
   os << "  ],\n  \"dynamic_order\": [\n";
   for (std::size_t i = 0; i < orderings.size(); ++i) {
     const OrderingReport& o = orderings[i];
-    os << "    {\"name\": \"" << o.name
-       << "\", \"static_first_match_ms\": " << o.staticFirstMs
+    os << "    {\"name\": \"" << o.name << "\", \"auto_ordering\": \""
+       << o.autoChoice << "\", \"static_first_match_ms\": " << o.staticFirstMs
        << ", \"dynamic_first_match_ms\": " << o.dynamicFirstMs
        << ", \"first_match_speedup\": " << o.firstMatchSpeedup()
        << ",\n     \"static_enumerate_ms\": " << o.staticEnumerateMs
@@ -578,6 +746,29 @@ void writeJson(std::ostream& os, const std::vector<InstanceReport>& reports,
      << ", \"in_place_patches\": " << mutation.inPlacePatches
      << ",\n    \"enumerated_full\": " << mutation.enumeratedFull
      << ", \"enumerated_patch\": " << mutation.enumeratedPatch << "},\n"
+     << "  \"large_host\": {\"host_nodes\": " << large.hostNodes
+     << ", \"host_edges\": " << large.hostEdges
+     << ", \"query_nodes\": " << large.queryNodes
+     << ", \"query_edges\": " << large.queryEdges << ", \"auto_ordering\": \""
+     << large.autoOrdering
+     << "\",\n    \"build_speedup\": " << large.buildSpeedup()
+     << ", \"shard_configs\": [\n";
+  for (std::size_t i = 0; i < large.configs.size(); ++i) {
+    const ShardConfigReport& c = large.configs[i];
+    os << "      {\"shards\": " << c.requested
+       << ", \"resolved_shards\": " << c.resolved
+       << ", \"filter_build_ms\": " << c.filterBuildMs
+       << ", \"first_match_ms\": " << c.firstMatchMs
+       << ", \"enumerated\": " << c.enumerated
+       << ",\n       \"peak_rss_mb\": " << c.peakRssMb
+       << ", \"memory\": {\"csr_bytes\": " << c.memory.csrBytes
+       << ", \"bit_row_bytes\": " << c.memory.bitRowBytes
+       << ", \"viability_bytes\": " << c.memory.viabilityBytes
+       << ", \"occupancy_bytes\": " << c.memory.occupancyBytes
+       << ", \"total_bytes\": " << c.memory.total() << "}}"
+       << (i + 1 < large.configs.size() ? "," : "") << "\n";
+  }
+  os << "    ]},\n"
      << "  \"saturation\": {\"requests\": " << sat.submitted
      << ", \"workers\": " << sat.workers << ", \"done\": " << sat.done
      << ", \"rejected\": " << sat.rejected << ", \"expired\": " << sat.expired
@@ -604,6 +795,7 @@ int main(int argc, char** argv) {
   const std::string outPath = args.getString("out", "BENCH_netembed.json");
   const bool check = args.getBool("check");
   const bool satCheck = check || args.getBool("sat-check");
+  const bool shardCheck = check || args.getBool("shard-check");
 
   std::vector<InstanceReport> reports;
   std::vector<OrderingReport> orderings;
@@ -678,6 +870,10 @@ int main(int argc, char** argv) {
   const MutationReport mutation =
       runMutationScenario(seed, std::max<std::size_t>(reps, 5), 1500);
 
+  // ~100k-node builds run in the 100 ms range: the default reps already cost
+  // seconds, so no extra reps beyond what the caller asked for.
+  const LargeHostReport largeHost = runLargeHostScenario(seed, reps, 2000);
+
   const auto satRequests =
       static_cast<std::size_t>(args.getInt("sat-requests", 1200));
   const SaturationReport saturation = runSaturationScenario(satRequests);
@@ -701,11 +897,11 @@ int main(int argc, char** argv) {
   std::cout << "\n=== perf baseline (median of " << reps << ") ===\n";
   table.print(std::cout);
 
-  util::TablePrinter orderTable({"instance", "first static", "first dynamic",
-                                 "speedup", "enum static", "enum dynamic",
-                                 "speedup"});
+  util::TablePrinter orderTable({"instance", "auto", "first static",
+                                 "first dynamic", "speedup", "enum static",
+                                 "enum dynamic", "speedup"});
   for (const OrderingReport& o : orderings) {
-    orderTable.addRow({o.name, util::formatFixed(o.staticFirstMs, 2),
+    orderTable.addRow({o.name, o.autoChoice, util::formatFixed(o.staticFirstMs, 2),
                        util::formatFixed(o.dynamicFirstMs, 2),
                        util::formatFixed(o.firstMatchSpeedup(), 2) + "x",
                        util::formatFixed(o.staticEnumerateMs, 2),
@@ -728,6 +924,26 @@ int main(int argc, char** argv) {
             << ") ===\n";
   mutationTable.print(std::cout);
 
+  util::TablePrinter largeTable({"shards", "resolved", "build (ms)",
+                                 "first match (ms)", "enumerated", "filter MB",
+                                 "peak RSS MB"});
+  for (const ShardConfigReport& c : largeHost.configs) {
+    largeTable.addRow(
+        {std::to_string(c.requested), std::to_string(c.resolved),
+         util::formatFixed(c.filterBuildMs, 2),
+         util::formatFixed(c.firstMatchMs, 2), std::to_string(c.enumerated),
+         util::formatFixed(static_cast<double>(c.memory.total()) / (1024.0 * 1024.0),
+                           1),
+         util::formatFixed(c.peakRssMb, 0)});
+  }
+  std::cout << "\n=== large host (" << largeHost.hostNodes << " nodes, "
+            << largeHost.hostEdges << " edges, auto ordering "
+            << largeHost.autoOrdering << ", median of " << reps
+            << ") ===\n";
+  largeTable.print(std::cout);
+  std::cout << "sharded build speedup: "
+            << util::formatFixed(largeHost.buildSpeedup(), 2) << "x\n";
+
   util::TablePrinter satTable({"requests", "done", "rejected", "expired",
                                "preempted", "goodput/s", "high p99 (ms)",
                                "low p99 (ms)", "preempts", "cap"});
@@ -748,7 +964,7 @@ int main(int argc, char** argv) {
     std::cerr << "FAIL: cannot open " << outPath << " for writing\n";
     return 1;
   }
-  writeJson(out, reports, orderings, mutation, saturation, seed, reps);
+  writeJson(out, reports, orderings, mutation, largeHost, saturation, seed, reps);
   out.flush();
   if (!out) {
     std::cerr << "FAIL: short write to " << outPath << "\n";
@@ -777,6 +993,23 @@ int main(int argc, char** argv) {
     std::cerr << "FAIL: mutation scenario enumerated " << mutation.enumeratedFull
               << " (rebuilt) vs " << mutation.enumeratedPatch << " (patched)\n";
     ok = false;
+  }
+  // Shard counts are a pure performance knob: every config must see the same
+  // solutions. Unconditional, like the bitset-mode cross-check.
+  if (!largeHost.countsAgree()) {
+    std::cerr << "FAIL: large_host shard configs disagree on solution count:";
+    for (const ShardConfigReport& c : largeHost.configs) {
+      std::cerr << " shards=" << c.requested << " -> " << c.enumerated;
+    }
+    std::cerr << "\n";
+    ok = false;
+  }
+  if (shardCheck) {
+    if (largeHost.buildSpeedup() < 2.0) {
+      std::cerr << "FAIL: large_host sharded build speedup "
+                << largeHost.buildSpeedup() << " < 2x\n";
+      ok = false;
+    }
   }
   // The saturation accounting identity holds unconditionally, like the
   // solution-count cross-checks: a report produced while losing requests is
@@ -845,6 +1078,19 @@ int main(int argc, char** argv) {
       if (o.name == "clique_planted" && o.firstMatchSpeedup() < 1.3) {
         std::cerr << "FAIL: planted-clique dynamic first-match speedup "
                   << o.firstMatchSpeedup() << " < 1.3x\n";
+        ok = false;
+      }
+      // The Auto predictor must capture the planted clique's dynamic win and
+      // must not eat Dynamic's bookkeeping overhead on the dense Waxman
+      // instance — the two poles the spread threshold was fit between.
+      if (o.name == "clique_planted" && o.autoChoice != "dynamic") {
+        std::cerr << "FAIL: Auto ordering picked " << o.autoChoice
+                  << " on clique_planted (expected dynamic)\n";
+        ok = false;
+      }
+      if (o.name == "brite_dense" && o.autoChoice != "static") {
+        std::cerr << "FAIL: Auto ordering picked " << o.autoChoice
+                  << " on brite_dense (expected static)\n";
         ok = false;
       }
     }

@@ -71,7 +71,9 @@ service::Priority parsePriority(const std::string& name) {
 core::Ordering parseOrdering(const std::string& name) {
   if (name == "static") return core::Ordering::Static;
   if (name == "dynamic") return core::Ordering::Dynamic;
-  throw std::runtime_error("unknown --ordering '" + name + "' (static|dynamic)");
+  if (name == "auto") return core::Ordering::Auto;
+  throw std::runtime_error("unknown --ordering '" + name +
+                           "' (static|dynamic|auto)");
 }
 
 std::optional<core::Algorithm> parseAlgo(const std::string& name) {
@@ -108,9 +110,16 @@ constexpr FlagDoc kFlags[] = {
     {"--algo", "NAME", "auto",
      "ecf|rwb|lns|naive|anneal|genetic|portfolio|auto (auto races the portfolio)"},
     {"--max", "N", "1", "stop after N mappings (0 = all)"},
-    {"--ordering", "MODE", "static",
+    {"--ordering", "MODE", "auto",
      "variable order: static (the paper's Lemma-1 order) | dynamic "
-     "(re-picks the smallest live domain each depth)"},
+     "(re-picks the smallest live domain each depth) | auto (picks dynamic "
+     "when the stage-1 viable counts are near-uniform — the shape where "
+     "static ties hide a bottleneck)"},
+    {"--shards", "N", "1",
+     "host-node shards for the filter matrix (<= 64; 0 = one per hardware "
+     "thread). Sharding skips whole shard-pair buckets of the stage-1 sweep "
+     "and restricts search intersections to live shards; pure perf knob — "
+     "solutions are byte-identical to --shards 1"},
     {"--timeout", "MS", "10000", "search budget"},
     {"--seed", "N", "42", "RNG seed (host synthesis, demo sampling, traces)"},
     {"--csv", "", "off", "machine-readable mapping output"},
@@ -384,7 +393,9 @@ int main(int argc, char** argv) {
     request.options.maxSolutions = static_cast<std::size_t>(args.getInt("max", 1));
     request.options.storeLimit = std::max<std::size_t>(request.options.maxSolutions, 16);
     request.options.timeout = std::chrono::milliseconds(args.getInt("timeout", 10000));
-    request.options.ordering = parseOrdering(args.getString("ordering", "static"));
+    request.options.ordering = parseOrdering(args.getString("ordering", "auto"));
+    request.options.shards =
+        static_cast<std::size_t>(args.getInt("shards", 1));
     request.options.seed = seed;
     request.qos.priority = parsePriority(args.getString("priority", "normal"));
     request.qos.tenant = args.getSeed("tenant", 0);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <thread>
 #include <utility>
 
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -13,19 +15,23 @@ namespace {
 
 /// Dense bitmap of node-level viability (node constraint + degree bound),
 /// computed once up front; O(NQ * NR) evaluations of the node constraint.
-/// Parallel over query nodes (rows are disjoint word ranges) and cancellable
-/// mid-row: on large hosts with an expensive node constraint this stage
-/// alone can outlive a portfolio race or a deadline.
+/// Cancellable mid-row: on large hosts with an expensive node constraint
+/// this stage alone can outlive a portfolio race or a deadline. Unsharded,
+/// tasks are whole rows (disjoint word ranges); sharded, one task per
+/// (query node, shard) fills that shard's word subrange of the row —
+/// better locality on wide rows, and each shard task is independently
+/// cancellable and fault-injectable at the plan.shard_build site.
 util::BitMatrix nodeViability(const Problem& p, const SearchOptions& options,
+                              const ShardMap& shards,
                               const std::function<bool()>& cancelled) {
   const std::size_t nq = p.query->nodeCount();
   const std::size_t nr = p.host->nodeCount();
   util::BitMatrix ok(nq, nr);
   constexpr std::size_t kCancelPollStride = 4096;
-  const auto evalRow = [&](std::size_t q) {
+  const auto evalRange = [&](std::size_t q, graph::NodeId begin, graph::NodeId end) {
     std::uint64_t* row = ok.rowData(q);
-    for (graph::NodeId r = 0; r < nr; ++r) {
-      if (r % kCancelPollStride == 0 && cancelled && cancelled()) {
+    for (graph::NodeId r = begin; r < end; ++r) {
+      if ((r - begin) % kCancelPollStride == 0 && cancelled && cancelled()) {
         throw FilterBuildCancelled();
       }
       if (p.degreeOk(static_cast<graph::NodeId>(q), r) &&
@@ -34,12 +40,40 @@ util::BitMatrix nodeViability(const Problem& p, const SearchOptions& options,
       }
     }
   };
+  const std::size_t s = shards.shardCount();
+  if (s > 1) {
+    const auto evalShardTask = [&](std::size_t t) {
+      if (util::FaultInjector::enabled()) {
+        util::faultPoint(util::faultsite::kShardBuild);
+      }
+      const std::size_t k = t % s;
+      evalRange(t / s, static_cast<graph::NodeId>(shards.beginNode(k)),
+                static_cast<graph::NodeId>(shards.endNode(k)));
+    };
+    if (options.parallelFilterBuild) {
+      util::parallelFor(nq * s, evalShardTask, 1);
+    } else {
+      for (std::size_t t = 0; t < nq * s; ++t) evalShardTask(t);
+    }
+    return ok;
+  }
+  const auto evalRow = [&](std::size_t q) {
+    evalRange(q, 0, static_cast<graph::NodeId>(nr));
+  };
   if (options.parallelFilterBuild && nq > 1) {
     util::parallelFor(nq, evalRow, 1);
   } else {
     for (std::size_t q = 0; q < nq; ++q) evalRow(q);
   }
   return ok;
+}
+
+/// SearchOptions::shards -> shard count: 0 means one shard per hardware
+/// thread; ShardMap then clamps to [1, min(64, host word count)].
+[[nodiscard]] std::size_t resolveShardCount(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
 }
 
 /// Density heuristic: does a cell with `entries` stored candidates over an
@@ -106,11 +140,40 @@ FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& op
   const std::size_t cellCount = fm.slotBase_[nq];
   fm.cells_.resize(cellCount);
   fm.cellBits_.resize(cellCount);
+  fm.cellOcc_.resize(cellCount);
+  fm.hostAdjacencySlots_ = h.edgeCount() * (h.directed() ? 1 : 2);
+
+  // --- shard partition ------------------------------------------------------
+  fm.shards_ = ShardMap(nr, resolveShardCount(options.shards));
+  const ShardMap& sm = fm.shards_;
+  const std::size_t shardCount = sm.shardCount();
+  const bool sharded = shardCount > 1;
 
   // --- stage 0: node-level viability bitmap --------------------------------
   // Moved into the matrix at the end: patch() re-gates pair evaluations with
   // it so node constraints only re-run over the touched host nodes.
-  util::BitMatrix nodeOk = nodeViability(problem, options, cancelled);
+  util::BitMatrix nodeOk = nodeViability(problem, options, sm, cancelled);
+
+  // Sharded: bucket the host edges by (source shard, target shard) once per
+  // build, and summarize stage-0 viability per (query node, shard). Stage 1
+  // then walks buckets instead of the flat edge list and skips every bucket
+  // whose shard pair cannot pass the per-pair node gate in any orientation —
+  // the same gate build() applies per pair, hoisted to shard granularity.
+  // Off-diagonal buckets are the boundary-cell overlay: cross-shard host
+  // edges evaluated under exactly the flat per-pair rules, so a query whose
+  // candidates span shards sees byte-identical candidate sets.
+  std::vector<std::uint64_t> nodeOkOcc;
+  std::vector<std::vector<graph::EdgeId>> edgeBuckets;
+  if (sharded) {
+    nodeOkOcc.resize(nq);
+    for (std::size_t v = 0; v < nq; ++v) nodeOkOcc[v] = sm.occupancy(nodeOk.row(v));
+    edgeBuckets.assign(shardCount * shardCount, {});
+    for (graph::EdgeId he = 0; he < h.edgeCount(); ++he) {
+      edgeBuckets[sm.shardOf(h.edgeSource(he)) * shardCount +
+                  sm.shardOf(h.edgeTarget(he))]
+          .push_back(he);
+    }
+  }
 
   // --- stage 1: evaluate the constraint per (query edge, host edge) -------
   //
@@ -148,10 +211,8 @@ FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& op
     auto& pairs = matchPairs[qeIndex];
     std::uint64_t localEvals = 0;
 
-    for (graph::EdgeId he = 0; he < h.edgeCount(); ++he) {
-      if (he % kCancelPollStride == 0 && cancelled && cancelled()) {
-        throw FilterBuildCancelled();
-      }
+    // Per-pair evaluation, identical on the flat and the bucketed path.
+    const auto evalHostEdge = [&](graph::EdgeId he) {
       const graph::NodeId ra = h.edgeSource(he);
       const graph::NodeId rb = h.edgeTarget(he);
       if (h.directed()) {
@@ -159,13 +220,13 @@ FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& op
             problem.edgeOk(qe, qa, qb, he, ra, rb, localEvals)) {
           pairs.emplace_back(ra, rb);
         }
-        continue;
+        return;
       }
       if (symmetric) {
         const bool forward = nodeOk.test(qa, ra) && nodeOk.test(qb, rb);
         const bool backward = nodeOk.test(qa, rb) && nodeOk.test(qb, ra);
-        if (!forward && !backward) continue;
-        if (!problem.edgeOk(qe, qa, qb, he, ra, rb, localEvals)) continue;
+        if (!forward && !backward) return;
+        if (!problem.edgeOk(qe, qa, qb, he, ra, rb, localEvals)) return;
         if (forward) pairs.emplace_back(ra, rb);
         if (backward) pairs.emplace_back(rb, ra);
       } else {
@@ -177,6 +238,47 @@ FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& op
             problem.edgeOk(qe, qa, qb, he, rb, ra, localEvals)) {
           pairs.emplace_back(rb, ra);
         }
+      }
+    };
+
+    if (sharded) {
+      // Bucketed sweep. A bucket (sA, sB) can only yield pairs when some
+      // orientation passes the per-shard stage-0 summary; every per-pair
+      // node gate inside a skipped bucket would have failed before reaching
+      // edgeOk, so skipping changes neither candidates nor eval counts.
+      // Pair discovery order differs from the flat sweep, but stage 2's
+      // counting sort keys cells on (host node, candidate), making the CSR
+      // layout — and everything downstream — order-independent.
+      const auto anyOk = [&](graph::NodeId v, std::size_t k) {
+        return ((nodeOkOcc[v] >> k) & 1u) != 0;
+      };
+      std::size_t polls = 0;
+      for (std::size_t sA = 0; sA < shardCount; ++sA) {
+        for (std::size_t sB = 0; sB < shardCount; ++sB) {
+          const auto& bucket = edgeBuckets[sA * shardCount + sB];
+          if (bucket.empty()) continue;
+          bool reachable = anyOk(qa, sA) && anyOk(qb, sB);
+          if (!h.directed() && !reachable) {
+            reachable = anyOk(qa, sB) && anyOk(qb, sA);
+          }
+          if (!reachable) continue;
+          if (util::FaultInjector::enabled()) {
+            util::faultPoint(util::faultsite::kShardBuild);
+          }
+          for (const graph::EdgeId he : bucket) {
+            if (polls++ % kCancelPollStride == 0 && cancelled && cancelled()) {
+              throw FilterBuildCancelled();
+            }
+            evalHostEdge(he);
+          }
+        }
+      }
+    } else {
+      for (graph::EdgeId he = 0; he < h.edgeCount(); ++he) {
+        if (he % kCancelPollStride == 0 && cancelled && cancelled()) {
+          throw FilterBuildCancelled();
+        }
+        evalHostEdge(he);
       }
     }
 
@@ -252,6 +354,11 @@ FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& op
                                          << (c % util::kBitsPerWord);
         }
       }
+      if (sharded) {
+        auto& occ = fm.cellOcc_[cellIndex];
+        occ.resize(nr);
+        for (graph::NodeId r = 0; r < nr; ++r) occ[r] = sm.occupancy(bits.row(r));
+      }
     }
   };
   if (options.parallelFilterBuild && cellCount > 1) {
@@ -262,6 +369,7 @@ FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& op
 
   // --- viable lists + bit rows (strengthened eq. 1) -------------------------
   fm.viableBits_.assign(nq, nr);
+  if (sharded) fm.viableOcc_.assign(nq, 0);
   const auto fillViable = [&](std::size_t vIndex) {
     if (cancelled && cancelled()) throw FilterBuildCancelled();
     const auto v = static_cast<graph::NodeId>(vIndex);
@@ -282,6 +390,7 @@ FilterMatrix FilterMatrix::build(const Problem& problem, const SearchOptions& op
         row[r / util::kBitsPerWord] |= std::uint64_t{1} << (r % util::kBitsPerWord);
       }
     }
+    if (sharded) fm.viableOcc_[v] = sm.occupancy(fm.viableBits_.row(v));
   };
   if (options.parallelFilterBuild && nq > 1) {
     util::parallelFor(nq, fillViable, 1);
@@ -486,6 +595,9 @@ void FilterMatrix::patch(const Problem& problem, const SearchOptions& options,
           const graph::NodeId s = csr.data[i];
           row[s / util::kBitsPerWord] |= std::uint64_t{1} << (s % util::kBitsPerWord);
         }
+        if (!cellOcc_[c].empty()) {
+          cellOcc_[c][e.key] = shards_.occupancy(bits.row(e.key));
+        }
       }
     }
   };
@@ -533,6 +645,9 @@ void FilterMatrix::patch(const Problem& problem, const SearchOptions& options,
       for (graph::NodeId r = 0; r < nr; ++r) {
         if (viableBits_.test(v, r)) out.push_back(r);
       }
+      if (!viableOcc_.empty()) {
+        viableOcc_[v] = shards_.occupancy(viableBits_.row(v));
+      }
     }
   };
   if (parallel && nq > 1) {
@@ -544,6 +659,23 @@ void FilterMatrix::patch(const Problem& problem, const SearchOptions& options,
   stats.filterEntries = totalEntries_;
   stats.constraintEvals += evals.load(std::memory_order_relaxed);
   stats.filterBuildMs = timer.elapsedMs();
+}
+
+FilterMatrix::MemoryBreakdown FilterMatrix::memoryBreakdown() const noexcept {
+  MemoryBreakdown mb;
+  for (const Csr& csr : cells_) {
+    mb.csrBytes += csr.offsets.size() * sizeof(std::uint32_t) +
+                   csr.data.size() * sizeof(graph::NodeId);
+  }
+  for (const util::BitMatrix& bits : cellBits_) {
+    mb.bitRowBytes += bits.rows() * bits.wordsPerRow() * sizeof(std::uint64_t);
+  }
+  mb.viabilityBytes +=
+      2 * viableBits_.rows() * viableBits_.wordsPerRow() * sizeof(std::uint64_t);
+  for (const auto& list : viable_) mb.viabilityBytes += list.size() * sizeof(graph::NodeId);
+  for (const auto& occ : cellOcc_) mb.occupancyBytes += occ.size() * sizeof(std::uint64_t);
+  mb.occupancyBytes += viableOcc_.size() * sizeof(std::uint64_t);
+  return mb;
 }
 
 }  // namespace netembed::core

@@ -28,6 +28,7 @@
 #include "core/delta.hpp"
 #include "core/problem.hpp"
 #include "core/search.hpp"
+#include "core/shard.hpp"
 #include "util/bitset.hpp"
 
 namespace netembed::core {
@@ -158,6 +159,55 @@ class FilterMatrix {
 
   [[nodiscard]] std::size_t totalEntries() const noexcept { return totalEntries_; }
 
+  /// A cell's theoretical entry capacity: the host's directed adjacency-pair
+  /// count (2E undirected, E directed). totalEntries() / (cellCount x this)
+  /// is the stage-1 density the ordering predictor steers on.
+  [[nodiscard]] std::size_t hostAdjacencySlots() const noexcept {
+    return hostAdjacencySlots_;
+  }
+
+  // --- sharded host model ---------------------------------------------------
+  // With SearchOptions::shards > 1 the host-node id space is partitioned into
+  // word-aligned contiguous ranges (core::ShardMap): stage 0 and the stage-1
+  // edge sweep run shard-local (cross-shard host edges land in boundary
+  // buckets evaluated under the same per-pair rules, so candidate content is
+  // byte-identical to a flat build), and per-row occupancy summaries let the
+  // search restrict intersections to shards that can still hold candidates.
+
+  /// The partition this matrix was built with (single-shard by default).
+  [[nodiscard]] const ShardMap& shardMap() const noexcept { return shards_; }
+
+  /// True when the build partitioned the host into more than one shard.
+  [[nodiscard]] bool sharded() const noexcept { return shards_.shardCount() > 1; }
+
+  /// Shards holding at least one viable host node for v. Falls back to
+  /// all-shards-live when no occupancy summary is maintained (unsharded).
+  [[nodiscard]] std::uint64_t viableShardMask(graph::NodeId v) const noexcept {
+    return viableOcc_.empty() ? shards_.fullMask() : viableOcc_[v];
+  }
+
+  /// Shards holding at least one candidate in candidateBits(owner, slot, r).
+  /// Exact when the cell carries bit rows under a sharded build; the
+  /// all-shards-live superset otherwise (always safe to intersect with).
+  [[nodiscard]] std::uint64_t candidateShardMask(graph::NodeId owner,
+                                                 std::uint32_t slot,
+                                                 graph::NodeId r) const noexcept {
+    const auto& occ = cellOcc_[slotBase_[owner] + slot];
+    return occ.empty() ? shards_.fullMask() : occ[r];
+  }
+
+  /// Per-structure memory accounting for the bench memory trajectory.
+  struct MemoryBreakdown {
+    std::size_t csrBytes = 0;        // offsets + data of every cell
+    std::size_t bitRowBytes = 0;     // per-cell candidate bit matrices
+    std::size_t viabilityBytes = 0;  // viableBits_ + nodeOkBits_ + viable lists
+    std::size_t occupancyBytes = 0;  // shard-occupancy summaries
+    [[nodiscard]] std::size_t total() const noexcept {
+      return csrBytes + bitRowBytes + viabilityBytes + occupancyBytes;
+    }
+  };
+  [[nodiscard]] MemoryBreakdown memoryBreakdown() const noexcept;
+
  private:
   struct Csr {
     std::vector<std::uint32_t> offsets;  // host-node-indexed, size NR+1
@@ -176,6 +226,14 @@ class FilterMatrix {
   /// re-running the node constraint over untouched host nodes.
   util::BitMatrix nodeOkBits_;                      // nq x nr
   std::size_t totalEntries_ = 0;
+  std::size_t hostAdjacencySlots_ = 0;
+
+  ShardMap shards_;
+  /// Parallel to cellBits_: per host node r, the shard-occupancy mask of the
+  /// cell's bit row. Empty per cell unless sharded and the cell has bit rows.
+  std::vector<std::vector<std::uint64_t>> cellOcc_;
+  /// Per query node: shard-occupancy of viableBits(v). Empty when unsharded.
+  std::vector<std::uint64_t> viableOcc_;
 };
 
 }  // namespace netembed::core

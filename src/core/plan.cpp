@@ -40,6 +40,32 @@ void finalizeOrder(FilterPlan& plan, const SearchOptions& options, std::size_t n
   }
 }
 
+/// The delta checks shared by both classifyDelta flavours: structural /
+/// empty / the provable attribute-irrelevance proof. nullopt means "fall
+/// through to the patch-vs-rebuild cost decision".
+std::optional<DeltaImpact> classifyCommon(const Problem& problem,
+                                          const ModelDelta& delta) {
+  if (delta.structural) return DeltaImpact::Rebuild;
+  if (delta.empty()) return DeltaImpact::Unaffected;
+
+  // Attribute references are static in the constraint language, so the set
+  // of attribute ids a plan can depend on is exact: a delta touching none of
+  // them is provably irrelevant. Anything else (including a problem whose
+  // constraints we cannot introspect) falls through to the patch/rebuild
+  // decision.
+  std::vector<graph::AttrId> referenced;
+  const auto collect = [&referenced](const expr::Constraint* c) {
+    if (!c) return;
+    const std::vector<std::uint32_t>& used = c->program().attrsUsed();
+    referenced.insert(referenced.end(), used.begin(), used.end());
+  };
+  collect(problem.edgeConstraint());
+  collect(problem.nodeConstraint());
+  std::sort(referenced.begin(), referenced.end());
+  if (!delta.touchesAnyAttr(referenced)) return DeltaImpact::Unaffected;
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::uint64_t filterPlanBuilds() noexcept {
@@ -55,24 +81,7 @@ std::uint64_t filterPlanInPlacePatches() noexcept {
 }
 
 DeltaImpact classifyDelta(const Problem& problem, const ModelDelta& delta) {
-  if (delta.structural) return DeltaImpact::Rebuild;
-  if (delta.empty()) return DeltaImpact::Unaffected;
-
-  // Attribute references are static in the constraint language, so the set
-  // of attribute ids a plan can depend on is exact: a delta touching none of
-  // them is provably irrelevant. Anything else (including a problem whose
-  // constraints we cannot introspect) falls through to the patch/rebuild
-  // decision below.
-  std::vector<graph::AttrId> referenced;
-  const auto collect = [&referenced](const expr::Constraint* c) {
-    if (!c) return;
-    const std::vector<std::uint32_t>& used = c->program().attrsUsed();
-    referenced.insert(referenced.end(), used.begin(), used.end());
-  };
-  collect(problem.edgeConstraint());
-  collect(problem.nodeConstraint());
-  std::sort(referenced.begin(), referenced.end());
-  if (!delta.touchesAnyAttr(referenced)) return DeltaImpact::Unaffected;
+  if (const auto early = classifyCommon(problem, delta)) return *early;
 
   // Patch cost scales with the affected host edges (touched + incident to
   // touched nodes; affectedEdgeMask is the shared rule the patch itself
@@ -89,6 +98,90 @@ DeltaImpact classifyDelta(const Problem& problem, const ModelDelta& delta) {
     return DeltaImpact::Rebuild;
   }
   return DeltaImpact::Patchable;
+}
+
+DeltaImpact classifyDelta(const Problem& problem, const ModelDelta& delta,
+                          const ShardMap& shards) {
+  if (shards.shardCount() <= 1) return classifyDelta(problem, delta);
+  if (const auto early = classifyCommon(problem, delta)) return *early;
+
+  const graph::Graph& h = *problem.host;
+  std::vector<char> affected;
+  if (!affectedEdgeMask(h, delta, affected)) {
+    return DeltaImpact::Rebuild;  // foreign delta
+  }
+  // The E/4 cutoff at shard granularity. An edge belongs to its endpoints'
+  // shards; a boundary edge charges both (the patch re-evaluates it for
+  // both shards' cells). A delta is Patchable when every touched shard is
+  // individually cheap — its affected share under the cutoff, or its
+  // absolute count under the floor (a localized delta on a sharded host
+  // should never trigger a full O(E_query x E_host) rebuild just because it
+  // saturates one tiny shard).
+  const std::size_t s = shards.shardCount();
+  std::vector<std::size_t> shardEdges(s, 0);
+  std::vector<std::size_t> shardAffected(s, 0);
+  for (graph::EdgeId he = 0; he < h.edgeCount(); ++he) {
+    const std::size_t sA = shards.shardOf(h.edgeSource(he));
+    const std::size_t sB = shards.shardOf(h.edgeTarget(he));
+    ++shardEdges[sA];
+    if (sB != sA) ++shardEdges[sB];
+    if (affected[he]) {
+      ++shardAffected[sA];
+      if (sB != sA) ++shardAffected[sB];
+    }
+  }
+  for (std::size_t k = 0; k < s; ++k) {
+    if (shardAffected[k] <= kPatchShardEdgeFloor) continue;
+    if (shardAffected[k] * kPatchEdgeShareDivisor > shardEdges[k]) {
+      return DeltaImpact::Rebuild;
+    }
+  }
+  return DeltaImpact::Patchable;
+}
+
+Ordering chooseOrdering(const FilterPlan& plan, Ordering requested) noexcept {
+  if (requested != Ordering::Auto) return requested;
+  // Dynamic pays for its per-assignment bookkeeping only when both ordering
+  // signals point its way:
+  //
+  //  * viable-size spread: a wide spread means the Lemma-1 sort already
+  //    front-loads the tight nodes (the sparse-instance shape, measured
+  //    spread ~0.8 on the PlanetLab bench instance) and static ordering wins
+  //    for free. Near-uniform sizes give the static sort nothing to order by.
+  //
+  //  * stage-1 density: totalEntries over the cells' theoretical capacity.
+  //    Near-full cells (dense Waxman with widened windows: 0.90; pure
+  //    topology cliques: 1.0) make every constrainer AND a no-op — the live
+  //    domains barely diverge from the viable rows, smallest-domain
+  //    selection learns nothing, and Dynamic measures 0.6-0.7x. Selective
+  //    cells (the planted-bottleneck clique: 0.27) are where joint pruning
+  //    collapses domains mid-descent and Dynamic measures 16x+.
+  //
+  // Thresholds sit in the wide empirical gaps between those poles, not at
+  // fitted edges.
+  constexpr double kSpreadThreshold = 0.15;
+  constexpr double kDensityThreshold = 0.5;
+  const std::size_t nq = plan.order.size();
+  if (nq == 0) return Ordering::Static;
+  std::size_t minSize = static_cast<std::size_t>(-1);
+  std::size_t maxSize = 0;
+  std::size_t cells = 0;
+  for (std::size_t v = 0; v < nq; ++v) {
+    const std::size_t n = plan.filters.viable(static_cast<graph::NodeId>(v)).size();
+    minSize = std::min(minSize, n);
+    maxSize = std::max(maxSize, n);
+    cells += plan.filters.slots(static_cast<graph::NodeId>(v)).size();
+  }
+  if (maxSize == 0) return Ordering::Static;  // infeasible; order is moot
+  const double spread =
+      static_cast<double>(maxSize - minSize) / static_cast<double>(maxSize);
+  if (spread > kSpreadThreshold) return Ordering::Static;
+  const std::size_t capacity = cells * plan.filters.hostAdjacencySlots();
+  if (capacity == 0) return Ordering::Static;  // edgeless query or host
+  const double density =
+      static_cast<double>(plan.filters.totalEntries()) /
+      static_cast<double>(capacity);
+  return density <= kDensityThreshold ? Ordering::Dynamic : Ordering::Static;
 }
 
 std::shared_ptr<const FilterPlan> FilterPlan::build(
@@ -195,7 +288,8 @@ SharedPlanBuilder::Acquired SharedPlanBuilder::get(
       bool builtHere = true;
       try {
         if (source) {
-          switch (classifyDelta(problem, source->delta)) {
+          switch (classifyDelta(problem, source->delta,
+                                source->base->filters.shardMap())) {
             case DeltaImpact::Unaffected:
               // Provably identical candidate sets: the inherited plan IS the
               // plan for this version. No build, no patch, no cost.

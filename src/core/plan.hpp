@@ -55,6 +55,22 @@ inline constexpr std::size_t kPatchEdgeShareDivisor = 4;
 [[nodiscard]] DeltaImpact classifyDelta(const Problem& problem,
                                         const ModelDelta& delta);
 
+/// Shard-scoped patch floor: a touched shard whose affected-edge count stays
+/// at or below this many edges is always patchable regardless of the shard's
+/// edge-share ratio — on a sharded host a delta confined to a couple of
+/// small shards should never force a full rebuild.
+inline constexpr std::size_t kPatchShardEdgeFloor = 256;
+
+/// classifyDelta against the shard partition a base plan was built with.
+/// Unsharded maps reduce exactly to the flat rule above. Sharded, the E/4
+/// cutoff applies per *touched* shard (cross-shard edges charge both sides):
+/// the patch is accepted when every touched shard is individually cheap —
+/// either under its own edge-share cutoff or under kPatchShardEdgeFloor —
+/// because patch work is shard-local under the sharded build.
+[[nodiscard]] DeltaImpact classifyDelta(const Problem& problem,
+                                        const ModelDelta& delta,
+                                        const ShardMap& shards);
+
 /// Immutable per-instance setup shared by every filtered search: stage-1
 /// filters, Lemma-1 static order, and for each query node the constrainers
 /// whose owner precedes it in that order. Built once, read concurrently
@@ -101,6 +117,19 @@ struct FilterPlan {
       const SearchOptions& options, const ModelDelta& delta,
       const std::function<bool()>& cancelled = {}, SearchStats* partial = nullptr);
 };
+
+/// Resolve Ordering::Auto against a built plan; Static/Dynamic pass through.
+/// The predictor is the relative spread of the plan's stage-1 viable-set
+/// sizes (one popcount per query node, already materialized as list sizes):
+/// when the sizes are near-uniform the Lemma-1 static order has nothing to
+/// discriminate on and smallest-live-domain dynamic ordering pays for its
+/// bookkeeping many times over (17x on planted cliques); when they spread,
+/// the static sort already captures most of the ordering win and Dynamic's
+/// per-assignment cost is pure regression (0.73x on brite_dense).
+/// Deterministic per plan — every root-split worker and portfolio contender
+/// resolves to the same choice.
+[[nodiscard]] Ordering chooseOrdering(const FilterPlan& plan,
+                                      Ordering requested) noexcept;
 
 /// Process-wide count of *completed* FilterPlan builds. Test and bench hook:
 /// a portfolio race or a same-signature batch asserts sharing by taking the

@@ -19,6 +19,7 @@ const char* orderingName(Ordering o) noexcept {
   switch (o) {
     case Ordering::Static: return "static";
     case Ordering::Dynamic: return "dynamic";
+    case Ordering::Auto: return "auto";
   }
   return "?";
 }

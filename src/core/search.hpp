@@ -43,7 +43,12 @@ enum class Outcome : std::uint8_t { Complete, Partial, Inconclusive };
 ///    whose domain wipes out prunes the subtree immediately. Enumerates the
 ///    exact same solution *set* as Static — only the visit order (and so the
 ///    first match under a cap) differs; still fully deterministic.
-enum class Ordering : std::uint8_t { Static, Dynamic };
+///  * Auto    — resolve to Static or Dynamic at search start from the plan's
+///    domain-size spread: Dynamic only pays when stage-1 candidate counts are
+///    too uniform for the static Lemma-1 order to discriminate (it wins 17x
+///    on planted cliques but regresses 0.73x on brite_dense). Deterministic
+///    per plan; resolved once, before any worker starts.
+enum class Ordering : std::uint8_t { Static, Dynamic, Auto };
 [[nodiscard]] const char* orderingName(Ordering o) noexcept;
 
 /// Candidate-domain representation for stage-1 filter cells (§V-A). Every
@@ -112,6 +117,16 @@ struct SearchOptions {
   /// (default); 0 = every shared-pool thread plus the participating caller
   /// (hardware threads + 1).
   std::size_t rootSplitThreads = 1;
+
+  /// Host-model shards: the FilterMatrix partitions host nodes into this
+  /// many contiguous word-aligned ranges (see core::ShardMap), builds each
+  /// shard-local, and the filtered engines restrict per-depth intersections
+  /// to the shards a partial mapping can still reach. 1 = unsharded flat
+  /// model (default, historical behavior); 0 = one shard per hardware
+  /// thread. Clamped to at most 64 and to the host's word count. Purely a
+  /// locality/scaling knob: solution streams are byte-identical across
+  /// shard counts.
+  std::size_t shards = 1;
 };
 
 struct SearchStats {

@@ -90,6 +90,14 @@ std::string planSignature(const graph::Graph& query,
   sig += std::to_string(options.maxFilterEntries);
   sig += 'b';
   sig += std::to_string(static_cast<unsigned>(options.bitsetMode));
+  // Shards partition the matrix (occupancy summaries, per-shard patch
+  // classification), so requesters with different shard counts must not
+  // share a plan. Omitted for the default single-shard model to keep
+  // historical signatures stable.
+  if (options.shards != 1) {
+    sig += 'h';
+    sig += std::to_string(options.shards);
+  }
   return sig;
 }
 

@@ -130,6 +130,10 @@ inline constexpr const char* kPoolSubmit = "pool.submit";
 inline constexpr const char* kPlanBuild = "plan.build";
 /// FilterPlan::patch / patchOwned: same, for the incremental path.
 inline constexpr const char* kPlanPatch = "plan.patch";
+/// Per-shard stage of a sharded FilterMatrix build: a fire fails one
+/// shard's build task (partition-local allocation/worker failure
+/// simulation; the whole build surfaces it like any stage-1 failure).
+inline constexpr const char* kShardBuild = "plan.shard_build";
 /// The filtered engines' build-cancellation predicate: a fire reports
 /// "cancelled" without any real stop (spurious cancellation).
 inline constexpr const char* kPlanCancel = "plan.spurious_cancel";

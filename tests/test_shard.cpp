@@ -1,0 +1,550 @@
+// The sharded host model: ShardMap partitioning, occupancy summaries, and
+// the differential contract — SearchOptions::shards is a pure performance
+// knob, so every shard count must produce byte-identical solution streams to
+// the flat single-shard build, across engines, bitset modes, orderings, and
+// the patch path. Suites are named Shard* so the TSan CI job can pick the
+// whole family up with one gtest filter.
+
+#include "core/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/ecf.hpp"
+#include "core/engine.hpp"
+#include "core/filter.hpp"
+#include "core/plan.hpp"
+#include "core/portfolio.hpp"
+#include "core/rwb.hpp"
+#include "service/model.hpp"
+#include "topo/hugehost.hpp"
+#include "topo/regular.hpp"
+#include "topo/sample.hpp"
+#include "util/bitset.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace netembed;
+using core::Algorithm;
+using core::EmbedResult;
+using core::FilterPlan;
+using core::Outcome;
+using core::Problem;
+using core::SearchOptions;
+using core::ShardMap;
+using graph::Graph;
+
+const expr::ConstraintSet kNone;
+
+// --- ShardMap ----------------------------------------------------------------
+
+TEST(ShardMapTest, ContiguousWordAlignedRangesCoverEveryNode) {
+  for (const std::size_t hostNodes : {1ul, 64ul, 100ul, 320ul, 4096ul, 100352ul}) {
+    for (const std::size_t shards : {1ul, 2ul, 5ul, 8ul, 64ul}) {
+      const ShardMap sm(hostNodes, shards);
+      ASSERT_GE(sm.shardCount(), 1u);
+      ASSERT_LE(sm.shardCount(), ShardMap::kMaxShards);
+      std::size_t covered = 0;
+      for (std::size_t k = 0; k < sm.shardCount(); ++k) {
+        EXPECT_EQ(sm.beginNode(k) % util::kBitsPerWord, 0u)
+            << "shard start must be word-aligned";
+        EXPECT_LT(sm.beginNode(k), sm.endNode(k)) << "every shard owns nodes";
+        EXPECT_EQ(sm.beginNode(k), covered) << "ranges must be contiguous";
+        for (std::size_t r = sm.beginNode(k); r < sm.endNode(k); ++r) {
+          ASSERT_EQ(sm.shardOf(r), k) << "hostNodes=" << hostNodes << " r=" << r;
+        }
+        covered = sm.endNode(k);
+      }
+      EXPECT_EQ(covered, hostNodes);
+      EXPECT_EQ(sm.endWord(sm.shardCount() - 1), sm.totalWords());
+    }
+  }
+}
+
+TEST(ShardMapTest, ClampsToWordCountAndMaxShards) {
+  // 100 nodes = 2 words: at most 2 shards no matter the request.
+  EXPECT_EQ(ShardMap(100, 8).shardCount(), 2u);
+  EXPECT_EQ(ShardMap(100, 64).shardCount(), 2u);
+  // 0 resolves to 1 at this layer (the hardware default is resolved above).
+  EXPECT_EQ(ShardMap(100, 0).shardCount(), 1u);
+  // Plenty of words: the kMaxShards cap (a live-shard set must fit a word).
+  // 4096 nodes = 64 words splits exactly; 100352 nodes = 1568 words splits
+  // into ceil(1568/64) = 25-word shards, resolving to 63 balanced shards.
+  EXPECT_EQ(ShardMap(4096, 200).shardCount(), 64u);
+  EXPECT_LE(ShardMap(100352, 200).shardCount(), ShardMap::kMaxShards);
+  EXPECT_GE(ShardMap(100352, 200).shardCount(), 32u);
+  // Degenerate empty host still yields one (empty) shard.
+  EXPECT_EQ(ShardMap(0, 4).shardCount(), 1u);
+}
+
+TEST(ShardMapTest, OccupancyReportsExactlyTheNonZeroShards) {
+  const ShardMap sm(256, 4);
+  ASSERT_EQ(sm.shardCount(), 4u);
+  util::Bitset row;
+  row.assign(256);
+  EXPECT_EQ(sm.occupancy(row.words()), 0u);
+  row.set(0);     // shard 0
+  row.set(200);   // shard 3
+  EXPECT_EQ(sm.occupancy(row.words()), 0b1001u);
+  row.set(64);    // shard 1 boundary node
+  EXPECT_EQ(sm.occupancy(row.words()), 0b1011u);
+  EXPECT_EQ(sm.fullMask(), 0b1111u);
+}
+
+// --- differential helpers ----------------------------------------------------
+
+Graph randomConnected(std::size_t n, std::size_t extraEdges, util::Rng& rng) {
+  Graph g(false);
+  for (std::size_t i = 0; i < n; ++i) g.addNode();
+  for (graph::NodeId i = 1; i < n; ++i) {
+    g.addEdge(static_cast<graph::NodeId>(rng.index(i)), i);
+  }
+  for (std::size_t k = 0; k < extraEdges; ++k) {
+    const auto u = static_cast<graph::NodeId>(rng.index(n));
+    const auto v = static_cast<graph::NodeId>(rng.index(n));
+    if (u == v || g.findEdge(u, v)) continue;
+    g.addEdge(u, v);
+  }
+  return g;
+}
+
+void attributeHost(Graph& g, util::Rng& rng) {
+  for (graph::NodeId n = 0; n < g.nodeCount(); ++n) {
+    g.nodeAttrs(n).set("cap", static_cast<double>(rng.uniformInt(1, 10)));
+  }
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) {
+    g.edgeAttrs(e).set("bw", static_cast<double>(rng.uniformInt(1, 10)));
+  }
+}
+
+void attributeQuery(Graph& g) {
+  for (graph::NodeId n = 0; n < g.nodeCount(); ++n) g.nodeAttrs(n).set("cap", 3.0);
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) g.edgeAttrs(e).set("bw", 4.0);
+}
+
+const expr::ConstraintSet& capConstraints() {
+  static const expr::ConstraintSet set = expr::ConstraintSet::parse(
+      "rEdge.bw >= vEdge.bw", "rNode.cap >= vNode.cap");
+  return set;
+}
+
+/// A 320-node (5-word) attributed host: room for a genuinely multi-shard
+/// partition while small enough (nr <= 512) that Auto mode still carries bit
+/// rows, so both candidate representations run under every shard count.
+Problem diffProblem(Graph& query, Graph& host, std::uint64_t seed) {
+  util::Rng rng(util::deriveSeed(seed, 900));
+  query = randomConnected(5, 4, rng);
+  attributeQuery(query);
+  host = randomConnected(320, 640, rng);
+  attributeHost(host, rng);
+  return Problem(query, host, capConstraints());
+}
+
+SearchOptions capped(std::size_t shards, core::BitsetMode mode) {
+  SearchOptions o;
+  o.shards = shards;
+  o.bitsetMode = mode;
+  o.maxSolutions = 400;  // a deterministic stream prefix keeps runtime bounded
+  o.storeLimit = 400;
+  return o;
+}
+
+std::vector<core::Mapping> sortedMappings(EmbedResult result) {
+  std::sort(result.mappings.begin(), result.mappings.end());
+  return result.mappings;
+}
+
+// --- differential: shards are invisible in the results -----------------------
+
+TEST(ShardDifferential, SerialEcfStreamsByteIdenticalAcrossShardCounts) {
+  Graph query, host;
+  const Problem problem = diffProblem(query, host, 1);
+  for (const core::BitsetMode mode :
+       {core::BitsetMode::Off, core::BitsetMode::Auto, core::BitsetMode::Force}) {
+    const EmbedResult reference = core::ecfSearch(problem, capped(1, mode));
+    ASSERT_GT(reference.solutionCount, 0u);
+    for (const std::size_t shards : {2ul, 3ul, 5ul}) {
+      const EmbedResult r = core::ecfSearch(problem, capped(shards, mode));
+      EXPECT_EQ(r.outcome, reference.outcome);
+      EXPECT_EQ(r.solutionCount, reference.solutionCount);
+      // Ordered, not sorted: the enumeration order itself must match.
+      EXPECT_EQ(r.mappings, reference.mappings)
+          << "shards=" << shards << " mode=" << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(ShardDifferential, DynamicOrderingStreamsIdenticalAcrossShardCounts) {
+  // Exercises the DomainTracker's live-shard mask maintenance: the sharded
+  // range-restricted narrowing must reproduce the flat visit order exactly.
+  Graph query, host;
+  const Problem problem = diffProblem(query, host, 2);
+  for (const core::BitsetMode mode :
+       {core::BitsetMode::Off, core::BitsetMode::Force}) {
+    SearchOptions flat = capped(1, mode);
+    flat.ordering = core::Ordering::Dynamic;
+    const EmbedResult reference = core::ecfSearch(problem, flat);
+    ASSERT_GT(reference.solutionCount, 0u);
+    for (const std::size_t shards : {3ul, 5ul}) {
+      SearchOptions o = capped(shards, mode);
+      o.ordering = core::Ordering::Dynamic;
+      const EmbedResult r = core::ecfSearch(problem, o);
+      EXPECT_EQ(r.solutionCount, reference.solutionCount);
+      EXPECT_EQ(r.mappings, reference.mappings)
+          << "shards=" << shards << " mode=" << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(ShardDifferential, RwbSeededWalkIdenticalAcrossShardCounts) {
+  // RWB shuffles the candidate buffer: identical pre-shuffle candidate order
+  // plus the same seed means the walk must be identical. RWB is exhaustive,
+  // so a 0-solution instance is genuinely infeasible — skip to the next seed
+  // until the walk has something to find.
+  Graph query, host;
+  for (std::uint64_t instanceSeed = 3; instanceSeed < 23; ++instanceSeed) {
+    const Problem problem = diffProblem(query, host, instanceSeed);
+    SearchOptions flat = capped(1, core::BitsetMode::Auto);
+    flat.maxSolutions = 1;
+    flat.storeLimit = 1;
+    flat.seed = 9;
+    const EmbedResult reference = core::rwbSearch(problem, flat);
+    if (reference.solutionCount == 0) continue;
+    for (const std::size_t shards : {2ul, 5ul}) {
+      SearchOptions o = flat;
+      o.shards = shards;
+      const EmbedResult r = core::rwbSearch(problem, o);
+      ASSERT_EQ(r.solutionCount, 1u) << "shards=" << shards;
+      EXPECT_EQ(r.mappings, reference.mappings) << "shards=" << shards;
+    }
+    return;
+  }
+  FAIL() << "no feasible differential instance within 20 seeds";
+}
+
+TEST(ShardDifferential, RootSplitParallelBuildMatchesSerialFlat) {
+  // The TSan workload: parallel stage-0 shard tasks + per-worker search
+  // threads over one shared sharded plan.
+  Graph query, host;
+  const Problem problem = diffProblem(query, host, 4);
+  const EmbedResult reference =
+      core::ecfSearch(problem, capped(1, core::BitsetMode::Auto));
+  ASSERT_GT(reference.solutionCount, 0u);
+  SearchOptions o = capped(5, core::BitsetMode::Auto);
+  o.rootSplitThreads = 4;
+  o.parallelFilterBuild = true;
+  const EmbedResult r = core::ecfSearch(problem, o);
+  EXPECT_EQ(r.solutionCount, reference.solutionCount);
+  EXPECT_EQ(sortedMappings(r), sortedMappings(reference));
+}
+
+TEST(ShardDifferential, PortfolioCountMatchesFlatEcf) {
+  Graph query, host;
+  const Problem problem = diffProblem(query, host, 5);
+  const EmbedResult reference =
+      core::ecfSearch(problem, capped(1, core::BitsetMode::Auto));
+  const core::PortfolioResult race =
+      core::portfolioSearch(problem, capped(5, core::BitsetMode::Auto));
+  EXPECT_EQ(race.result.solutionCount, reference.solutionCount);
+}
+
+// --- shard seams -------------------------------------------------------------
+
+TEST(ShardSeam, BoundaryStraddlingCandidatesSurviveBucketedBuild) {
+  // A 256-node path query'd by a 3-node path: solutions sit at every host
+  // position, including the ones straddling the word boundaries 63|64,
+  // 127|128 and 191|192 — exactly the pairs that land in off-diagonal
+  // (boundary) buckets under a 4-shard build.
+  const Graph host = topo::line(256);
+  const Graph query = topo::line(3);
+  const Problem problem(query, host, kNone);
+  SearchOptions flat;
+  flat.maxSolutions = 0;
+  flat.storeLimit = 100000;
+  const EmbedResult reference = core::ecfSearch(problem, flat);
+  ASSERT_EQ(reference.outcome, Outcome::Complete);
+  ASSERT_GT(reference.solutionCount, 0u);
+  const auto straddles = [](const core::Mapping& m, graph::NodeId a) {
+    const bool hasA = std::find(m.begin(), m.end(), a) != m.end();
+    const bool hasB = std::find(m.begin(), m.end(), a + 1) != m.end();
+    return hasA && hasB;
+  };
+  for (const graph::NodeId boundary : {63u, 127u, 191u}) {
+    EXPECT_TRUE(std::any_of(
+        reference.mappings.begin(), reference.mappings.end(),
+        [&](const core::Mapping& m) { return straddles(m, boundary); }))
+        << "test premise: solutions must straddle node " << boundary;
+  }
+  for (const std::size_t shards : {2ul, 4ul}) {
+    SearchOptions o = flat;
+    o.shards = shards;
+    const EmbedResult r = core::ecfSearch(problem, o);
+    EXPECT_EQ(r.solutionCount, reference.solutionCount);
+    EXPECT_EQ(r.mappings, reference.mappings) << "shards=" << shards;
+  }
+}
+
+TEST(ShardSeam, ZeroViableShardIsMaskedOutAndHarmless) {
+  // Zone the host: only nodes < 64 (shard 0 of 4) match the query's zone, so
+  // shards 1..3 have zero viable occupancy for every query node.
+  Graph host = topo::line(256);
+  for (graph::NodeId n = 0; n < host.nodeCount(); ++n) {
+    host.nodeAttrs(n).set("zone", static_cast<std::int64_t>(n < 64 ? 0 : 1));
+  }
+  Graph query = topo::line(3);
+  for (graph::NodeId n = 0; n < query.nodeCount(); ++n) {
+    query.nodeAttrs(n).set("zone", std::int64_t{0});
+  }
+  const expr::ConstraintSet constraints =
+      expr::ConstraintSet::parse("", "rNode.zone == vNode.zone");
+  const Problem problem(query, host, constraints);
+
+  SearchOptions o;
+  o.shards = 4;
+  core::SearchStats stats;
+  const auto fm = core::FilterMatrix::build(problem, o, stats);
+  ASSERT_TRUE(fm.sharded());
+  ASSERT_EQ(fm.shardMap().shardCount(), 4u);
+  for (graph::NodeId v = 0; v < query.nodeCount(); ++v) {
+    EXPECT_EQ(fm.viableShardMask(v), 0b0001u) << "v=" << v;
+  }
+
+  SearchOptions flat;
+  flat.maxSolutions = 0;
+  flat.storeLimit = 100000;
+  const EmbedResult reference = core::ecfSearch(problem, flat);
+  ASSERT_GT(reference.solutionCount, 0u);
+  SearchOptions shardedRun = flat;
+  shardedRun.shards = 4;
+  const EmbedResult r = core::ecfSearch(problem, shardedRun);
+  EXPECT_EQ(r.solutionCount, reference.solutionCount);
+  EXPECT_EQ(r.mappings, reference.mappings);
+}
+
+// --- patch path --------------------------------------------------------------
+
+/// Structural equality through the public FilterMatrix surface, shard
+/// summaries included.
+void expectShardPlansIdentical(const FilterPlan& a, const FilterPlan& b,
+                               const Graph& query, const Graph& host) {
+  ASSERT_EQ(a.order, b.order);
+  EXPECT_EQ(a.filters.totalEntries(), b.filters.totalEntries());
+  ASSERT_EQ(a.filters.shardMap(), b.filters.shardMap());
+  for (graph::NodeId v = 0; v < query.nodeCount(); ++v) {
+    const auto va = a.filters.viable(v);
+    const auto vb = b.filters.viable(v);
+    ASSERT_TRUE(std::equal(va.begin(), va.end(), vb.begin(), vb.end())) << "v=" << v;
+    EXPECT_EQ(a.filters.viableShardMask(v), b.filters.viableShardMask(v));
+    ASSERT_EQ(a.filters.slots(v).size(), b.filters.slots(v).size());
+    for (std::uint32_t s = 0; s < a.filters.slots(v).size(); ++s) {
+      ASSERT_EQ(a.filters.hasCandidateBits(v, s), b.filters.hasCandidateBits(v, s));
+      for (graph::NodeId r = 0; r < host.nodeCount(); ++r) {
+        const auto ca = a.filters.candidates(v, s, r);
+        const auto cb = b.filters.candidates(v, s, r);
+        ASSERT_TRUE(std::equal(ca.begin(), ca.end(), cb.begin(), cb.end()))
+            << "v=" << v << " s=" << s << " r=" << r;
+        EXPECT_EQ(a.filters.candidateShardMask(v, s, r),
+                  b.filters.candidateShardMask(v, s, r))
+            << "v=" << v << " s=" << s << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(ShardPatch, MutationStraddlingShardBoundaryMatchesFreshBuild) {
+  util::Rng rng(77);
+  Graph query = randomConnected(5, 4, rng);
+  attributeQuery(query);
+  Graph host = randomConnected(192, 380, rng);  // 3 words -> 3 shards
+  attributeHost(host, rng);
+  if (!host.findEdge(63, 64)) host.addEdge(63, 64);
+  host.edgeAttrs(*host.findEdge(63, 64)).set("bw", 9.0);
+
+  SearchOptions options;
+  options.shards = 3;
+  options.maxSolutions = 0;
+  options.storeLimit = 100000;
+
+  service::NetworkModel model{graph::Graph(host)};
+  const Graph base = model.host();
+  const auto basePlan =
+      FilterPlan::build(Problem(query, base, capConstraints()), options);
+  ASSERT_TRUE(basePlan->filters.sharded());
+
+  // The mutation touches the boundary edge 63-64 (charged to both shards by
+  // the sharded classifier) and node 64 — the first node of shard 1.
+  model.setEdgeMetric(63, 64, "bw", 1.0);
+  core::ModelDelta delta = model.lastDelta();
+  model.setNodeAttr(64, "cap", 1.0);
+  delta.merge(model.lastDelta());
+
+  const Graph mutated = model.host();
+  const Problem problem(query, mutated, capConstraints());
+  const auto patched = FilterPlan::patch(*basePlan, problem, options, delta);
+  const auto fresh = FilterPlan::build(problem, options);
+  expectShardPlansIdentical(*patched, *fresh, query, mutated);
+}
+
+TEST(ShardPatch, ShardScopedClassifierStillRebuildsOnSaturatedShard) {
+  // The sharded rule applies the E/4 cutoff per touched shard (with the
+  // kPatchShardEdgeFloor escape hatch): a delta saturating one shard must
+  // classify Rebuild even when the flat whole-host rule would still patch.
+  util::Rng rng(78);
+  Graph query = randomConnected(4, 3, rng);
+  attributeQuery(query);
+  Graph host = randomConnected(192, 4000, rng);
+  // Densify shard 0 ([0, 64)) well past the absolute patch floor.
+  std::size_t added = 0;
+  for (graph::NodeId i = 0; i < 64 && added < 400; ++i) {
+    for (graph::NodeId j = i + 1; j < 64 && added < 400; ++j) {
+      if (!host.findEdge(i, j)) {
+        host.addEdge(i, j);
+        ++added;
+      }
+    }
+  }
+  attributeHost(host, rng);
+  const Problem problem(query, host, capConstraints());
+  const graph::AttrId bw = graph::attrId("bw");
+
+  core::ModelDelta big;
+  for (graph::EdgeId e = 0; e < host.edgeCount(); ++e) {
+    // Every edge living wholly inside shard 0.
+    if (host.edgeSource(e) < 64 && host.edgeTarget(e) < 64) big.touchEdge(e, bw);
+  }
+  big.normalize();
+  ASSERT_GT(big.edges.size(), core::kPatchShardEdgeFloor);
+  ASSERT_LT(big.edges.size() * core::kPatchEdgeShareDivisor, host.edgeCount())
+      << "test premise: the flat whole-host rule must accept this delta";
+  EXPECT_EQ(core::classifyDelta(problem, big), core::DeltaImpact::Patchable);
+  const ShardMap sm(host.nodeCount(), 3);
+  EXPECT_EQ(core::classifyDelta(problem, big, sm), core::DeltaImpact::Rebuild);
+
+  // A handful of edges in that same shard stays patchable under the floor.
+  core::ModelDelta small;
+  for (graph::EdgeId e = 0; e < host.edgeCount() && small.edges.size() < 8; ++e) {
+    if (host.edgeSource(e) < 64 && host.edgeTarget(e) < 64) small.touchEdge(e, bw);
+  }
+  small.normalize();
+  EXPECT_EQ(core::classifyDelta(problem, small, sm), core::DeltaImpact::Patchable);
+}
+
+// --- hugeHost ----------------------------------------------------------------
+
+TEST(ShardHugeHost, DeterministicPerSeedAndPodAligned) {
+  topo::HugeHostOptions o;
+  o.pods = 4;
+  o.podSize = 64;
+  o.extraIntraFactor = 4.0;
+  o.trunkChords = 3;
+  o.seed = 7;
+  const Graph a = topo::hugeHost(o);
+  const Graph b = topo::hugeHost(o);
+  ASSERT_EQ(a.nodeCount(), 256u);
+  ASSERT_EQ(a.nodeCount(), b.nodeCount());
+  ASSERT_EQ(a.edgeCount(), b.edgeCount());
+  const graph::AttrId podId = graph::attrId("pod");
+  const graph::AttrId delayId = graph::attrId("delay");
+  for (graph::NodeId n = 0; n < a.nodeCount(); ++n) {
+    EXPECT_EQ(a.nodeAttrs(n).get(podId)->asInt(),
+              static_cast<std::int64_t>(n / o.podSize));
+  }
+  for (graph::EdgeId e = 0; e < a.edgeCount(); ++e) {
+    ASSERT_EQ(a.edgeSource(e), b.edgeSource(e));
+    ASSERT_EQ(a.edgeTarget(e), b.edgeTarget(e));
+    ASSERT_EQ(a.edgeAttrs(e).get(delayId)->asDouble(),
+              b.edgeAttrs(e).get(delayId)->asDouble());
+  }
+  o.seed = 8;
+  const Graph c = topo::hugeHost(o);
+  bool differs = c.edgeCount() != a.edgeCount();
+  for (graph::EdgeId e = 0; !differs && e < std::min(a.edgeCount(), c.edgeCount());
+       ++e) {
+    differs = a.edgeSource(e) != c.edgeSource(e) ||
+              a.edgeTarget(e) != c.edgeTarget(e) ||
+              a.edgeAttrs(e).get(delayId)->asDouble() !=
+                  c.edgeAttrs(e).get(delayId)->asDouble();
+  }
+  EXPECT_TRUE(differs) << "a different seed must change the topology";
+}
+
+TEST(ShardHugeHost, PodAffinitySearchIdenticalShardedAndFlat) {
+  topo::HugeHostOptions o;
+  o.pods = 4;
+  o.podSize = 64;
+  o.extraIntraFactor = 4.0;
+  o.seed = 11;
+  const Graph host = topo::hugeHost(o);
+  const graph::AttrId podId = graph::attrId("pod");
+  Graph query;
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    util::Rng rng(util::deriveSeed(11, 100 + attempt));
+    auto sub = topo::sampleConnectedSubgraph(host, 6, 9, rng);
+    const std::int64_t pod0 = sub.graph.nodeAttrs(0).get(podId)->asInt();
+    bool onePod = true;
+    for (graph::NodeId n = 1; n < sub.graph.nodeCount(); ++n) {
+      if (sub.graph.nodeAttrs(n).get(podId)->asInt() != pod0) {
+        onePod = false;
+        break;
+      }
+    }
+    if (!onePod) continue;
+    topo::widenDelayWindows(sub.graph, 2.0);
+    query = std::move(sub.graph);
+    break;
+  }
+  const expr::ConstraintSet constraints = expr::ConstraintSet::parse(
+      topo::delayWindowConstraint(), "vNode.pod == rNode.pod");
+  const Problem problem(query, host, constraints);
+  SearchOptions flat;
+  flat.maxSolutions = 400;
+  flat.storeLimit = 400;
+  const EmbedResult reference = core::ecfSearch(problem, flat);
+  ASSERT_GT(reference.solutionCount, 0u);
+  SearchOptions shardedRun = flat;
+  shardedRun.shards = 4;
+  const EmbedResult r = core::ecfSearch(problem, shardedRun);
+  EXPECT_EQ(r.solutionCount, reference.solutionCount);
+  EXPECT_EQ(r.mappings, reference.mappings);
+}
+
+// --- fault injection ---------------------------------------------------------
+
+struct FaultGuard {
+  explicit FaultGuard(std::uint64_t seed) {
+    util::FaultInjector::instance().enable(seed);
+  }
+  ~FaultGuard() { util::FaultInjector::instance().disable(); }
+};
+
+TEST(ShardFault, ShardBuildFaultSurfacesFromShardedBuildsOnly) {
+  Graph query, host;
+  const Problem problem = diffProblem(query, host, 6);
+  {
+    FaultGuard guard(5);
+    util::FaultInjector::instance().arm(util::faultsite::kShardBuild, {});
+    SearchOptions o;
+    o.shards = 5;
+    core::SearchStats stats;
+    EXPECT_THROW((void)core::FilterMatrix::build(problem, o, stats),
+                 util::InjectedFault);
+    // A flat build never reaches the per-shard probe site.
+    SearchOptions flat;
+    core::SearchStats flatStats;
+    EXPECT_NO_THROW((void)core::FilterMatrix::build(problem, flat, flatStats));
+    EXPECT_EQ(util::FaultInjector::instance().fires(util::faultsite::kShardBuild),
+              1u);
+  }
+  // Injection off: the sharded build runs clean again.
+  SearchOptions o;
+  o.shards = 5;
+  core::SearchStats stats;
+  EXPECT_NO_THROW((void)core::FilterMatrix::build(problem, o, stats));
+}
+
+}  // namespace
